@@ -1,0 +1,93 @@
+//! Model hot paths: transformer forward/training step, CRF Viterbi decode
+//! and feature extraction (per feature-set ablation), and detection.
+
+use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
+use gs_core::WeakLabelConfig;
+use gs_models::transformer::{
+    train_token_classifier, TokenClassifier, TrainConfig, TrainExample, TransformerConfig,
+};
+use gs_models::{
+    sentence_features, weak_labeled_sentences, Crf, CrfConfig, FeatureConfig, LinearDetector,
+    LinearDetectorConfig, ObjectiveDetector,
+};
+use gs_text::labels::LabelSet;
+use gs_text::pretokenize;
+
+fn bench_transformer(c: &mut Criterion) {
+    let config = TransformerConfig::roberta_sim();
+    let model = TokenClassifier::new(config.clone(), 1200, 11, 1);
+    let ids: Vec<usize> = (0..48).map(|i| (i * 13) % 1200).collect();
+
+    c.bench_function("transformer/forward_48_tokens", |b| {
+        b.iter(|| black_box(model.predict_classes(black_box(&ids))))
+    });
+
+    let examples: Vec<TrainExample> = (0..16)
+        .map(|s| {
+            let ids: Vec<usize> = (0..40).map(|i| ((s * 7 + i * 3) % 1200).max(5)).collect();
+            let targets: Vec<i64> = ids.iter().map(|&id| (id % 11) as i64).collect();
+            TrainExample { ids, targets }
+        })
+        .collect();
+    c.bench_function("transformer/train_step_batch16", |b| {
+        b.iter_batched(
+            || TokenClassifier::new(config.clone(), 1200, 11, 1),
+            |mut m| {
+                train_token_classifier(
+                    &mut m,
+                    &examples,
+                    &TrainConfig { epochs: 1, batch_size: 16, ..Default::default() },
+                );
+                m
+            },
+            BatchSize::LargeInput,
+        )
+    });
+}
+
+fn bench_crf(c: &mut Criterion) {
+    let dataset = gs_data::sustaingoals::generate(200, 3);
+    let labels = LabelSet::sustainability_goals();
+    let refs: Vec<&gs_core::Objective> = dataset.objectives.iter().collect();
+    let sentences = weak_labeled_sentences(&refs, &labels, WeakLabelConfig::default());
+    let crf = Crf::train(&sentences, &labels, CrfConfig { epochs: 4, ..Default::default() });
+
+    let probe = pretokenize(
+        "Having pledged to cut water use by 12% by 2030 in an earlier plan, Reduce energy consumption by 24% by 2031 against a 2017 baseline.",
+    );
+    c.bench_function("crf/viterbi_decode", |b| {
+        b.iter(|| black_box(crf.predict(black_box(&probe), &labels)))
+    });
+
+    let mut group = c.benchmark_group("crf/features_per_sentence");
+    for (name, fc) in [
+        ("lexical", FeatureConfig::lexical_only()),
+        ("lex+ortho", FeatureConfig::no_context()),
+        ("full_w1", FeatureConfig::default()),
+        ("full_w2", FeatureConfig::wide_context()),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(sentence_features(black_box(&probe), &fc)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_detector(c: &mut Criterion) {
+    let dataset = gs_data::sustaingoals::generate(200, 5);
+    let mut data: Vec<(&str, bool)> =
+        dataset.objectives.iter().map(|o| (o.text.as_str(), true)).collect();
+    data.extend(gs_data::banks::NOISE_BLOCKS.iter().map(|b| (*b, false)));
+    let detector = LinearDetector::train(&data, LinearDetectorConfig::default());
+    let block = "Reduce single-use beverages per seated headcount by 20% relative.";
+    c.bench_function("detector/score_block", |b| {
+        b.iter(|| black_box(detector.score(black_box(block))))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_transformer, bench_crf, bench_detector
+}
+criterion_main!(benches);

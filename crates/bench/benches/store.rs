@@ -1,0 +1,80 @@
+//! Objective-store benchmarks: ingest rate and the indexed vs full-scan
+//! query paths.
+
+use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use gs_core::ExtractedDetails;
+use gs_store::{ObjectiveRecord, ObjectiveStore, Predicate, Value};
+
+fn sample_records(n: usize) -> Vec<ObjectiveRecord> {
+    (0..n)
+        .map(|i| {
+            let mut details = ExtractedDetails::new();
+            details.set("Action", "Reduce");
+            details.set("Amount", format!("{}%", i % 90 + 2));
+            if i % 3 == 0 {
+                details.set("Deadline", format!("{}", 2024 + i % 30));
+            }
+            ObjectiveRecord::from_details(
+                &format!("C{}", i % 14 + 1),
+                "report.pdf",
+                "Reduce energy consumption by 20% by 2030.",
+                &details,
+                (i % 100) as f64 / 100.0,
+            )
+        })
+        .collect()
+}
+
+fn bench_store(c: &mut Criterion) {
+    let records = sample_records(5000);
+
+    let mut group = c.benchmark_group("store");
+    group.throughput(Throughput::Elements(records.len() as u64));
+    group.bench_function("ingest_5k", |b| {
+        b.iter_batched(
+            ObjectiveStore::new,
+            |store| {
+                for r in &records {
+                    store.insert(r);
+                }
+                store
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+
+    let store = ObjectiveStore::new();
+    for r in &records {
+        store.insert(r);
+    }
+    c.bench_function("store/query_company_hash_index", |b| {
+        b.iter(|| black_box(store.by_company(black_box("C7"))))
+    });
+    c.bench_function("store/query_deadline_btree_range", |b| {
+        b.iter(|| black_box(store.deadlines_between(black_box(2026), black_box(2032))))
+    });
+    c.bench_function("store/query_full_scan_contains", |b| {
+        b.iter(|| {
+            black_box(store.query(&Predicate::Contains("objective".into(), "energy".into())))
+        })
+    });
+    c.bench_function("store/query_compound", |b| {
+        b.iter(|| {
+            black_box(store.query(
+                &Predicate::Eq("company".into(), Value::Text("C3".into()))
+                    .and(Predicate::NotNull("deadline_year".into())),
+            ))
+        })
+    });
+    c.bench_function("store/top_objectives", |b| {
+        b.iter(|| black_box(store.top_objectives(black_box("C5"), 2)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_store
+}
+criterion_main!(benches);

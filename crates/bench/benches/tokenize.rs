@@ -1,0 +1,64 @@
+//! Tokenization microbenchmarks: pre-tokenization and both subword schemes
+//! on realistic objective text (hot path of both training and production).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use gs_text::{pretokenize, Normalizer, NormalizerConfig, Tokenizer};
+
+fn corpus() -> Vec<String> {
+    gs_data::sustaingoals::generate(300, 1)
+        .objectives
+        .into_iter()
+        .map(|o| o.text)
+        .collect()
+}
+
+fn bench_tokenize(c: &mut Criterion) {
+    let texts = corpus();
+    let refs: Vec<&str> = texts.iter().map(String::as_str).collect();
+    let total_bytes: u64 = texts.iter().map(|t| t.len() as u64).sum();
+
+    let mut group = c.benchmark_group("tokenize");
+    group.throughput(Throughput::Bytes(total_bytes));
+
+    group.bench_function("pretokenize", |b| {
+        b.iter(|| {
+            for t in &texts {
+                black_box(pretokenize(black_box(t)));
+            }
+        })
+    });
+
+    let bpe = Tokenizer::train_bpe(&refs, Normalizer::default(), 1200);
+    group.bench_function("bpe_encode", |b| {
+        b.iter(|| {
+            for t in &texts {
+                black_box(bpe.encode(black_box(t)));
+            }
+        })
+    });
+
+    let wp = Tokenizer::train_wordpiece(
+        &refs,
+        Normalizer::new(NormalizerConfig { lowercase: true, ..Default::default() }),
+        1600,
+    );
+    group.bench_function("wordpiece_encode", |b| {
+        b.iter(|| {
+            for t in &texts {
+                black_box(wp.encode(black_box(t)));
+            }
+        })
+    });
+    group.finish();
+
+    c.bench_function("tokenize/bpe_train_300_texts", |b| {
+        b.iter(|| black_box(Tokenizer::train_bpe(&refs, Normalizer::default(), 400)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_tokenize
+}
+criterion_main!(benches);

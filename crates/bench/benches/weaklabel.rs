@@ -1,0 +1,54 @@
+//! Algorithm 1 throughput under each matching policy — the ablation on the
+//! design decision called out in DESIGN.md (exact vs normalized vs fuzzy),
+//! plus the first-vs-all occurrence policy.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use gs_core::{weak_label, MatchPolicy, OccurrencePolicy, WeakLabelConfig};
+use gs_text::labels::LabelSet;
+
+fn bench_weaklabel(c: &mut Criterion) {
+    let dataset = gs_data::sustaingoals::generate(500, 2);
+    let labels = LabelSet::sustainability_goals();
+    let items: Vec<(&str, &gs_core::Annotations)> = dataset
+        .objectives
+        .iter()
+        .map(|o| (o.text.as_str(), o.annotations.as_ref().expect("annotated")))
+        .collect();
+
+    let mut group = c.benchmark_group("weak_label_500_objectives");
+    group.throughput(Throughput::Elements(items.len() as u64));
+    for (name, config) in [
+        ("exact", WeakLabelConfig::default()),
+        (
+            "normalized",
+            WeakLabelConfig { match_policy: MatchPolicy::Normalized, ..Default::default() },
+        ),
+        (
+            "fuzzy2",
+            WeakLabelConfig {
+                match_policy: MatchPolicy::Fuzzy { max_edits: 2 },
+                ..Default::default()
+            },
+        ),
+        (
+            "exact_all_occurrences",
+            WeakLabelConfig { occurrence: OccurrencePolicy::All, ..Default::default() },
+        ),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                for (text, ann) in &items {
+                    black_box(weak_label(black_box(text), ann, &labels, config));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_weaklabel
+}
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! Minimal command-line flag parsing for the harness binaries (no external
+//! CLI crate needed for `--flag value` / `--switch` style arguments).
+
+use std::collections::HashMap;
+
+/// Parsed `--key value` flags and bare `--switch`es.
+#[derive(Clone, Debug, Default)]
+pub struct Args {
+    values: HashMap<String, String>,
+    switches: Vec<String>,
+}
+
+impl Args {
+    /// Parses from `std::env::args` (skipping the binary name).
+    pub fn from_env() -> Self {
+        Self::parse(std::env::args().skip(1))
+    }
+
+    /// Parses from an iterator of argument strings.
+    pub fn parse(args: impl IntoIterator<Item = String>) -> Self {
+        let mut out = Args::default();
+        let mut iter = args.into_iter().peekable();
+        while let Some(arg) = iter.next() {
+            let Some(name) = arg.strip_prefix("--") else {
+                eprintln!("ignoring positional argument {arg:?}");
+                continue;
+            };
+            match iter.peek() {
+                Some(next) if !next.starts_with("--") => {
+                    let value = iter.next().expect("peeked");
+                    out.values.insert(name.to_string(), value);
+                }
+                _ => out.switches.push(name.to_string()),
+            }
+        }
+        out
+    }
+
+    /// Whether a bare switch was passed.
+    pub fn has(&self, name: &str) -> bool {
+        self.switches.iter().any(|s| s == name)
+    }
+
+    /// A string value.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.values.get(name).map(String::as_str)
+    }
+
+    /// A parsed value with default.
+    pub fn get_or<T: std::str::FromStr>(&self, name: &str, default: T) -> T {
+        match self.get(name) {
+            Some(v) => v.parse().unwrap_or_else(|_| panic!("invalid value for --{name}: {v:?}")),
+            None => default,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Args {
+        Args::parse(s.split_whitespace().map(str::to_string))
+    }
+
+    #[test]
+    fn parses_values_and_switches() {
+        let a = args("--runs 5 --quick --scale 0.5");
+        assert_eq!(a.get_or("runs", 1usize), 5);
+        assert!(a.has("quick"));
+        assert_eq!(a.get_or("scale", 1.0f64), 0.5);
+        assert!(!a.has("verbose"));
+    }
+
+    #[test]
+    fn missing_values_use_defaults() {
+        let a = args("");
+        assert_eq!(a.get_or("runs", 3usize), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid value")]
+    fn bad_value_panics() {
+        let a = args("--runs abc");
+        let _ = a.get_or("runs", 1usize);
+    }
+}

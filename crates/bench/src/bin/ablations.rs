@@ -1,0 +1,149 @@
+//! Additional design-decision ablations beyond the paper's Figure 4 (the
+//! DESIGN.md checklist): CRF feature groups and context-window radius,
+//! weak-label occurrence policy, and BPE subword granularity.
+//!
+//! Usage:
+//!   cargo run --release -p gs-bench --bin ablations [--quick] [--json PATH]
+
+use gs_bench::Args;
+use gs_core::{OccurrencePolicy, WeakLabelConfig};
+use gs_eval::{fmt2, TextTable};
+use gs_models::transformer::{
+    pretrain_encoder_shared, ExtractorOptions, PretrainConfig, TrainConfig, TransformerConfig,
+    TransformerExtractor,
+};
+use gs_models::{CrfConfig, CrfExtractor, FeatureConfig};
+use gs_pipeline::evaluate_extractor;
+
+fn main() {
+    let args = Args::from_env();
+    let quick = args.has("quick");
+    let sg_size: usize =
+        args.get_or("sg-size", if quick { 400 } else { gs_data::sustaingoals::PAPER_SIZE });
+    let epochs: usize = args.get_or("epochs", if quick { 10 } else { 40 });
+    let pretrain_epochs: usize = args.get_or("pretrain-epochs", if quick { 4 } else { 12 });
+    let pretrain_n: usize = args.get_or("pretrain-size", if quick { 1200 } else { 4000 });
+
+    let dataset = gs_data::sustaingoals::generate(sg_size, 42);
+    let (train, test) = dataset.split(0.2, 1);
+    let mut json = serde_json::Map::new();
+
+    // --- CRF feature-set / window ablation.
+    println!("\n## CRF feature ablation (Sustainability Goals)\n");
+    let mut table = TextTable::new(&["Features", "P", "R", "F1", "#features"]);
+    let mut rows = Vec::new();
+    for (name, fc) in [
+        ("lexical only", FeatureConfig::lexical_only()),
+        ("lexical + orthographic", FeatureConfig::no_context()),
+        ("+ context (+-1, Table 4 setting)", FeatureConfig::default()),
+        ("+ context (+-2)", FeatureConfig::wide_context()),
+    ] {
+        let crf = CrfExtractor::train(
+            &train,
+            &dataset.labels,
+            CrfConfig { features: fc, ..Default::default() },
+            WeakLabelConfig::default(),
+        );
+        let result = evaluate_extractor(&crf, &test, &dataset.labels);
+        table.row(&[
+            name.to_string(),
+            fmt2(result.precision()),
+            fmt2(result.recall()),
+            fmt2(result.f1()),
+            crf.crf().num_features().to_string(),
+        ]);
+        rows.push(serde_json::json!({"features": name, "f1": result.f1()}));
+    }
+    print!("{}", table.render());
+    json.insert("crf_features".into(), rows.into());
+
+    // --- Weak-label occurrence policy (transformer).
+    println!("\n## Weak-label occurrence policy (first vs all matches)\n");
+    let corpus = gs_data::unlabeled::sustaingoals_corpus(pretrain_n, 777);
+    let texts: Vec<&str> = corpus.iter().map(String::as_str).collect();
+    let base = pretrain_encoder_shared(
+        &texts,
+        &TransformerConfig::roberta_sim(),
+        &PretrainConfig { epochs: pretrain_epochs, ..Default::default() },
+    );
+    let mut table = TextTable::new(&["Occurrence policy", "P", "R", "F1"]);
+    let mut rows = Vec::new();
+    for (name, occurrence) in [
+        ("First (Algorithm 1)", OccurrencePolicy::First),
+        ("All occurrences", OccurrencePolicy::All),
+    ] {
+        let ex = TransformerExtractor::train(
+            &train,
+            &dataset.labels,
+            ExtractorOptions {
+                train: TrainConfig { epochs, lr: 1e-3, ..Default::default() },
+                weak_label: WeakLabelConfig { occurrence, ..Default::default() },
+                base: Some(std::sync::Arc::clone(&base)),
+                ..Default::default()
+            },
+        );
+        let result = evaluate_extractor(&ex, &test, &dataset.labels);
+        table.row(&[
+            name.to_string(),
+            fmt2(result.precision()),
+            fmt2(result.recall()),
+            fmt2(result.f1()),
+        ]);
+        rows.push(serde_json::json!({"policy": name, "f1": result.f1()}));
+    }
+    print!("{}", table.render());
+    json.insert("occurrence_policy".into(), rows.into());
+
+    // --- BPE subword granularity.
+    println!("\n## BPE merge-budget ablation (subword granularity)\n");
+    let mut table = TextTable::new(&["BPE merges", "P", "R", "F1", "mean subwords/objective"]);
+    let mut rows = Vec::new();
+    let budgets: &[usize] = if quick { &[100, 1200] } else { &[100, 400, 1200, 3000] };
+    for &budget in budgets {
+        let model = TransformerConfig {
+            name: format!("RoBERTa-sim/bpe{budget}"),
+            subword_budget: budget,
+            ..TransformerConfig::roberta_sim()
+        };
+        let base = pretrain_encoder_shared(
+            &texts,
+            &model,
+            &PretrainConfig { epochs: pretrain_epochs, ..Default::default() },
+        );
+        let mean_len: f64 = {
+            let total: usize =
+                train.iter().map(|o| base.tokenizer.encode(&o.text).len()).sum();
+            total as f64 / train.len() as f64
+        };
+        let ex = TransformerExtractor::train(
+            &train,
+            &dataset.labels,
+            ExtractorOptions {
+                model,
+                train: TrainConfig { epochs, lr: 1e-3, ..Default::default() },
+                base: Some(base),
+                ..Default::default()
+            },
+        );
+        let result = evaluate_extractor(&ex, &test, &dataset.labels);
+        table.row(&[
+            budget.to_string(),
+            fmt2(result.precision()),
+            fmt2(result.recall()),
+            fmt2(result.f1()),
+            format!("{mean_len:.1}"),
+        ]);
+        rows.push(serde_json::json!({"budget": budget, "f1": result.f1(), "mean_subwords": mean_len}));
+    }
+    print!("{}", table.render());
+    json.insert("bpe_budget".into(), rows.into());
+
+    if let Some(path) = args.get("json") {
+        std::fs::write(
+            path,
+            serde_json::to_string_pretty(&serde_json::Value::Object(json)).expect("json"),
+        )
+        .expect("write json");
+        println!("\nwrote {path}");
+    }
+}

@@ -1,0 +1,165 @@
+//! Regenerates **Table 4**: effectiveness (P/R/F1) and efficiency (time) of
+//! Conditional Random Fields, Zero-Shot Prompting, Few-Shot Prompting, and
+//! GoalSpotter on the NetZeroFacts and Sustainability Goals datasets.
+//!
+//! Usage:
+//!   cargo run --release -p gs-bench --bin table4 [--quick] [--runs N]
+//!       [--epochs N] [--latency-ms MS] [--hmm] [--json PATH]
+//!
+//! `--quick` runs 1 seed with reduced epochs for a fast smoke pass; the
+//! full run uses 5 seeds (the paper's protocol).
+
+use gs_bench::{compare_approaches, ApproachKind, ApproachRow, Args, ComparisonOptions};
+use gs_data::Dataset;
+use gs_eval::{fmt2, fmt_duration, TextTable};
+use gs_models::transformer::TrainConfig;
+use gs_pipeline::evaluate_extractor;
+use std::time::Duration;
+
+/// Per-field diagnostic pass (single seed) for `--per-field`.
+fn per_field_diagnostics(dataset: &Dataset, options: &ComparisonOptions) {
+    use gs_models::{CrfConfig, CrfExtractor, FewShotExtractor, ZeroShotExtractor};
+    let (train, test) = dataset.split(options.test_fraction, options.seeds[0]);
+    println!("\n--- per-field F1 on {} (seed {}) ---", dataset.name, options.seeds[0]);
+    let mut table = TextTable::new(
+        &std::iter::once("Approach")
+            .chain(dataset.labels.kind_names())
+            .collect::<Vec<_>>(),
+    );
+    let mut add = |name: &str, eval: &gs_eval::FieldEval| {
+        let mut row = vec![name.to_string()];
+        row.extend(eval.per_field.iter().map(|c| fmt2(c.f1())));
+        table.row(&row);
+    };
+    let crf = CrfExtractor::train(&train, &dataset.labels, CrfConfig::default(), options.weak_label);
+    add("CRF", &evaluate_extractor(&crf, &test, &dataset.labels).eval);
+    let zs = ZeroShotExtractor::with_latency(&dataset.labels, Duration::ZERO);
+    add("Zero-Shot", &evaluate_extractor(&zs, &test, &dataset.labels).eval);
+    let examples: Vec<&gs_core::Objective> = train.iter().copied().take(3).collect();
+    let fs = FewShotExtractor::with_latency(&dataset.labels, &examples, Duration::ZERO);
+    add("Few-Shot", &evaluate_extractor(&fs, &test, &dataset.labels).eval);
+    let base = options.pretrain.as_ref().map(|pc| {
+        let texts: Vec<&str> = options.pretrain_corpus.iter().map(String::as_str).collect();
+        gs_models::transformer::pretrain_encoder_shared(&texts, &options.model, pc)
+    });
+    let gs = gs_models::transformer::TransformerExtractor::train(
+        &train,
+        &dataset.labels,
+        gs_models::transformer::ExtractorOptions {
+            model: options.model.clone(),
+            train: options.train.clone(),
+            weak_label: options.weak_label,
+            multi_span: Default::default(),
+            base,
+        },
+    );
+    add("GoalSpotter", &evaluate_extractor(&gs, &test, &dataset.labels).eval);
+    print!("{}", table.render());
+}
+
+fn render(dataset: &Dataset, rows: &[ApproachRow]) {
+    println!("\n### {} (test = 20%, mean of {} run(s))\n", dataset.name, rows[0].f1.n);
+    let mut table = TextTable::new(&["Approach", "P", "R", "F", "T(train)", "T(infer)"]);
+    for row in rows {
+        table.row(&[
+            row.name.clone(),
+            fmt2(row.precision.mean),
+            fmt2(row.recall.mean),
+            fmt2(row.f1.mean),
+            fmt_duration(row.train_seconds),
+            fmt_duration(row.inference_seconds_total),
+        ]);
+    }
+    print!("{}", table.render());
+    let max_stderr = rows
+        .iter()
+        .flat_map(|r| [r.precision.stderr, r.recall.stderr, r.f1.stderr])
+        .fold(0.0f64, f64::max);
+    println!("(max stderr over all cells: {:.4})", max_stderr);
+}
+
+fn to_json(dataset: &Dataset, rows: &[ApproachRow]) -> serde_json::Value {
+    serde_json::json!({
+        "dataset": dataset.name,
+        "rows": rows.iter().map(|r| serde_json::json!({
+            "approach": r.name,
+            "precision": r.precision.mean,
+            "recall": r.recall.mean,
+            "f1": r.f1.mean,
+            "f1_stderr": r.f1.stderr,
+            "train_seconds": r.train_seconds,
+            "inference_seconds_total": r.inference_seconds_total,
+            "inference_seconds_real": r.inference_seconds_real,
+        })).collect::<Vec<_>>(),
+    })
+}
+
+fn main() {
+    let args = Args::from_env();
+    let quick = args.has("quick");
+    let runs: usize = args.get_or("runs", if quick { 1 } else { 5 });
+    let epochs: usize = args.get_or("epochs", if quick { 8 } else { 40 });
+    let latency_ms: u64 = args.get_or("latency-ms", 3500);
+    let lr: f32 = args.get_or("lr", 1e-3);
+    let sg_size: usize = args.get_or("sg-size", gs_data::sustaingoals::PAPER_SIZE);
+    let nzf_size: usize = args.get_or("nzf-size", gs_data::netzerofacts::PAPER_SIZE);
+
+    let mut kinds = ApproachKind::table4();
+    if args.has("hmm") {
+        kinds.insert(1, ApproachKind::Hmm);
+    }
+    if args.has("keyword") {
+        kinds.insert(1, ApproachKind::KeywordSearch);
+    }
+
+    let pretrain_n: usize = args.get_or("pretrain-size", if quick { 1500 } else { 4000 });
+    let pretrain_epochs: usize = args.get_or("pretrain-epochs", if quick { 4 } else { 12 });
+    let base_options = ComparisonOptions {
+        seeds: (1..=runs as u64).collect(),
+        train: TrainConfig { epochs, lr, ..Default::default() },
+        llm_latency: Duration::from_millis(latency_ms),
+        pretrain: (!args.has("no-pretrain")).then(|| {
+            gs_models::transformer::PretrainConfig {
+                epochs: pretrain_epochs,
+                ..Default::default()
+            }
+        }),
+        ..Default::default()
+    };
+
+    println!("Table 4 reproduction — approaches: {:?}", kinds);
+    println!(
+        "(LLM prompting latency simulated at {latency_ms} ms/call; see DESIGN.md)"
+    );
+
+    let datasets = vec![
+        gs_data::netzerofacts::generate(nzf_size, 42),
+        gs_data::sustaingoals::generate(sg_size, 42),
+    ];
+
+    let mut json_out = Vec::new();
+    for dataset in &datasets {
+        let mut options = base_options.clone();
+        if options.pretrain.is_some() {
+            options.pretrain_corpus = if dataset.name == "NetZeroFacts" {
+                gs_data::unlabeled::netzerofacts_corpus(pretrain_n, 777)
+            } else {
+                gs_data::unlabeled::sustaingoals_corpus(pretrain_n, 777)
+            };
+        }
+        let options = &options;
+        if args.has("per-field") {
+            per_field_diagnostics(dataset, options);
+            continue;
+        }
+        let rows = compare_approaches(dataset, &kinds, options);
+        render(dataset, &rows);
+        json_out.push(to_json(dataset, &rows));
+    }
+
+    if let Some(path) = args.get("json") {
+        std::fs::write(path, serde_json::to_string_pretty(&json_out).expect("json"))
+            .expect("write json");
+        println!("\nwrote {path}");
+    }
+}

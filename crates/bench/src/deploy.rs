@@ -1,0 +1,128 @@
+//! Shared setup for the deployment harnesses (Tables 5-7): build — or load
+//! from a cache file — a fully trained GoalSpotter system.
+
+use gs_core::Objective;
+use gs_models::transformer::{
+    pretrain_encoder_shared, ExtractorOptions, PretrainConfig, TrainConfig, TransformerExtractor,
+};
+use gs_models::{LinearDetector, LinearDetectorConfig};
+use gs_pipeline::GoalSpotter;
+use std::path::Path;
+
+/// Training budget for the deployed system.
+#[derive(Clone, Copy, Debug)]
+pub struct DeployBudget {
+    /// Size of the historical annotated training set.
+    pub train_size: usize,
+    /// Unlabeled pretraining corpus size.
+    pub pretrain_size: usize,
+    /// MLM pretraining epochs.
+    pub pretrain_epochs: usize,
+    /// Fine-tuning epochs.
+    pub finetune_epochs: usize,
+}
+
+impl DeployBudget {
+    /// Full budget (matches the Table 4 configuration).
+    pub fn full() -> Self {
+        DeployBudget {
+            train_size: gs_data::sustaingoals::PAPER_SIZE,
+            pretrain_size: 4000,
+            pretrain_epochs: 12,
+            finetune_epochs: 40,
+        }
+    }
+
+    /// Reduced budget for smoke runs.
+    pub fn quick() -> Self {
+        DeployBudget {
+            train_size: 300,
+            pretrain_size: 1200,
+            pretrain_epochs: 4,
+            finetune_epochs: 10,
+        }
+    }
+}
+
+/// Builds the deployed GoalSpotter system, reusing a cached trained
+/// extractor when `cache` exists (the cache key includes the budget, so
+/// quick and full runs do not collide).
+pub fn build_goalspotter(budget: &DeployBudget, cache_dir: &Path) -> GoalSpotter {
+    let cache = cache_dir.join(format!(
+        "goalspotter_t{}_p{}x{}_f{}.json",
+        budget.train_size, budget.pretrain_size, budget.pretrain_epochs, budget.finetune_epochs
+    ));
+    let dataset = gs_data::sustaingoals::generate(budget.train_size, 42);
+    let objectives: Vec<&Objective> = dataset.objectives.iter().collect();
+    let noise: Vec<&str> = gs_data::banks::NOISE_BLOCKS.to_vec();
+
+    let extractor = match std::fs::read_to_string(&cache)
+        .ok()
+        .and_then(|json| TransformerExtractor::load_json(&json).ok())
+    {
+        Some(loaded) => {
+            eprintln!("loaded cached extractor from {}", cache.display());
+            loaded
+        }
+        None => {
+            eprintln!("training extractor ({budget:?})...");
+            let corpus =
+                gs_data::unlabeled::sustaingoals_corpus(budget.pretrain_size, 777);
+            let texts: Vec<&str> = corpus.iter().map(String::as_str).collect();
+            let base = pretrain_encoder_shared(
+                &texts,
+                &gs_models::transformer::TransformerConfig::roberta_sim(),
+                &PretrainConfig { epochs: budget.pretrain_epochs, ..Default::default() },
+            );
+            let trained = TransformerExtractor::train(
+                &objectives,
+                &dataset.labels,
+                ExtractorOptions {
+                    train: TrainConfig {
+                        epochs: budget.finetune_epochs,
+                        lr: 1e-3,
+                        ..Default::default()
+                    },
+                    base: Some(base),
+                    ..Default::default()
+                },
+            );
+            let _ = std::fs::create_dir_all(cache_dir);
+            if let Err(e) = std::fs::write(&cache, trained.save_json()) {
+                eprintln!("warning: could not cache extractor: {e}");
+            }
+            trained
+        }
+    };
+
+    let mut detection_data: Vec<(&str, bool)> =
+        objectives.iter().map(|o| (o.text.as_str(), true)).collect();
+    detection_data.extend(noise.iter().map(|b| (*b, false)));
+    let detector = LinearDetector::train(&detection_data, LinearDetectorConfig::default());
+
+    GoalSpotter::from_parts(detector, extractor, 0.5)
+}
+
+/// Renders an objective-record row for the Table 6/7 style outputs,
+/// truncating the objective text for column sanity.
+pub fn record_row(record: &gs_store::ObjectiveRecord, max_text: usize) -> Vec<String> {
+    let mut text = record.objective.clone();
+    if text.len() > max_text {
+        let mut cut = max_text;
+        while !text.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        text.truncate(cut);
+        text.push('…');
+    }
+    let opt = |o: &Option<String>| o.clone().unwrap_or_default();
+    vec![
+        record.company.clone(),
+        text,
+        opt(&record.action),
+        opt(&record.amount),
+        opt(&record.qualifier),
+        opt(&record.baseline),
+        opt(&record.deadline),
+    ]
+}

@@ -1,0 +1,15 @@
+//! # gs-bench
+//!
+//! Shared harness code for the table/figure reproduction binaries:
+//! approach construction, multi-seed comparison runs, and a tiny CLI-flag
+//! parser. Each binary in `src/bin/` regenerates one table or figure of the
+//! paper (see DESIGN.md's experiment index).
+
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod comparison;
+pub mod deploy;
+
+pub use args::Args;
+pub use comparison::{compare_approaches, ApproachKind, ApproachRow, ComparisonOptions};

@@ -1,0 +1,164 @@
+//! Production-phase decoding: turning predicted token tags back into the
+//! structured key-value details stored in the database (Figure 2, blue
+//! phase).
+
+use crate::types::ExtractedDetails;
+use gs_text::labels::{decode_spans, LabelSet, Tag, TagSpan};
+use gs_text::{PreToken, Span};
+use serde::{Deserialize, Serialize};
+
+/// How multiple predicted spans of the same kind are reduced to one field
+/// value.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MultiSpanPolicy {
+    /// Keep the first span (the paper's tables show one value per field).
+    #[default]
+    First,
+    /// Keep the longest span (most informative mention).
+    Longest,
+    /// Join all spans with `"; "`.
+    JoinAll,
+}
+
+/// Reconstructs the source text covered by a token-index span, using
+/// original offsets so inner punctuation/spacing is preserved exactly.
+pub fn span_text(text: &str, tokens: &[PreToken], span: &TagSpan) -> String {
+    if span.start >= span.end || span.end > tokens.len() {
+        return String::new();
+    }
+    let byte_span = Span::new(tokens[span.start].span.start, tokens[span.end - 1].span.end);
+    byte_span.slice(text).to_string()
+}
+
+/// Decodes predicted tags into [`ExtractedDetails`].
+///
+/// `text` and `tokens` must be the objective the tags were predicted for.
+pub fn decode_details(
+    text: &str,
+    tokens: &[PreToken],
+    tags: &[Tag],
+    labels: &LabelSet,
+    policy: MultiSpanPolicy,
+) -> ExtractedDetails {
+    assert_eq!(tokens.len(), tags.len(), "token/tag length mismatch");
+    let spans = decode_spans(tags);
+    let mut details = ExtractedDetails::new();
+    for kind in 0..labels.num_kinds() {
+        let kind_spans: Vec<&TagSpan> = spans.iter().filter(|s| s.kind == kind).collect();
+        if kind_spans.is_empty() {
+            continue;
+        }
+        let value = match policy {
+            MultiSpanPolicy::First => span_text(text, tokens, kind_spans[0]),
+            MultiSpanPolicy::Longest => {
+                let longest = kind_spans
+                    .iter()
+                    .max_by_key(|s| s.end - s.start)
+                    .expect("non-empty");
+                span_text(text, tokens, longest)
+            }
+            MultiSpanPolicy::JoinAll => kind_spans
+                .iter()
+                .map(|s| span_text(text, tokens, s))
+                .collect::<Vec<_>>()
+                .join("; "),
+        };
+        // Values with no alphanumeric content (a lone "%" or stray
+        // punctuation from a boundary slip) carry no information.
+        if value.chars().any(char::is_alphanumeric) {
+            details.set(labels.kind_name(kind), value);
+        }
+    }
+    details
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gs_text::pretokenize;
+
+    fn setup() -> (String, Vec<PreToken>, LabelSet) {
+        let text = "Reduce energy consumption by 20% by 2025.".to_string();
+        let tokens = pretokenize(&text);
+        (text, tokens, LabelSet::sustainability_goals())
+    }
+
+    #[test]
+    fn decodes_fields_with_original_spacing() {
+        let (text, tokens, ls) = setup();
+        let action = ls.kind_index("Action").expect("kind");
+        let amount = ls.kind_index("Amount").expect("kind");
+        let qualifier = ls.kind_index("Qualifier").expect("kind");
+        let deadline = ls.kind_index("Deadline").expect("kind");
+        // tokens: Reduce energy consumption by 20 % by 2025 .
+        let tags = vec![
+            Tag::B(action),
+            Tag::B(qualifier),
+            Tag::I(qualifier),
+            Tag::O,
+            Tag::B(amount),
+            Tag::I(amount),
+            Tag::O,
+            Tag::B(deadline),
+            Tag::O,
+        ];
+        let details = decode_details(&text, &tokens, &tags, &ls, MultiSpanPolicy::First);
+        assert_eq!(details.get("Action"), Some("Reduce"));
+        assert_eq!(details.get("Qualifier"), Some("energy consumption"));
+        assert_eq!(details.get("Amount"), Some("20%"), "no space before % — original text");
+        assert_eq!(details.get("Deadline"), Some("2025"));
+        assert_eq!(details.get("Baseline"), None);
+    }
+
+    #[test]
+    fn first_policy_takes_first_span() {
+        let (text, tokens, ls) = setup();
+        let deadline = ls.kind_index("Deadline").expect("kind");
+        let mut tags = vec![Tag::O; tokens.len()];
+        tags[4] = Tag::B(deadline); // "20"
+        tags[7] = Tag::B(deadline); // "2025"
+        let details = decode_details(&text, &tokens, &tags, &ls, MultiSpanPolicy::First);
+        assert_eq!(details.get("Deadline"), Some("20"));
+    }
+
+    #[test]
+    fn longest_policy_takes_longest_span() {
+        let (text, tokens, ls) = setup();
+        let q = ls.kind_index("Qualifier").expect("kind");
+        let mut tags = vec![Tag::O; tokens.len()];
+        tags[0] = Tag::B(q);
+        tags[1] = Tag::B(q);
+        tags[2] = Tag::I(q);
+        let details = decode_details(&text, &tokens, &tags, &ls, MultiSpanPolicy::Longest);
+        assert_eq!(details.get("Qualifier"), Some("energy consumption"));
+    }
+
+    #[test]
+    fn join_all_policy_concatenates() {
+        let (text, tokens, ls) = setup();
+        let d = ls.kind_index("Deadline").expect("kind");
+        let mut tags = vec![Tag::O; tokens.len()];
+        tags[4] = Tag::B(d);
+        tags[7] = Tag::B(d);
+        let details = decode_details(&text, &tokens, &tags, &ls, MultiSpanPolicy::JoinAll);
+        assert_eq!(details.get("Deadline"), Some("20; 2025"));
+    }
+
+    #[test]
+    fn punctuation_only_values_are_dropped() {
+        let (text, tokens, ls) = setup();
+        let amount = ls.kind_index("Amount").expect("kind");
+        let mut tags = vec![Tag::O; tokens.len()];
+        tags[5] = Tag::B(amount); // the lone "%" token
+        let details = decode_details(&text, &tokens, &tags, &ls, MultiSpanPolicy::First);
+        assert_eq!(details.get("Amount"), None, "a bare % carries no information");
+    }
+
+    #[test]
+    fn all_o_tags_extract_nothing() {
+        let (text, tokens, ls) = setup();
+        let tags = vec![Tag::O; tokens.len()];
+        let details = decode_details(&text, &tokens, &tags, &ls, MultiSpanPolicy::First);
+        assert!(details.is_empty());
+    }
+}

@@ -1,0 +1,32 @@
+//! # gs-core
+//!
+//! The paper's primary contribution: **weakly supervised token labeling**
+//! (Algorithm 1) that converts coarse, objective-level annotations into
+//! token-level IOB labels, plus the production-phase decoding that turns
+//! predicted tags back into structured key-value details.
+//!
+//! - [`weak_label`] / [`weak_label_tokens`]: Algorithm 1, with the paper's
+//!   exact matching plus the future-work `Normalized`/`Fuzzy` policies.
+//! - [`decode_details`]: predicted tags -> [`ExtractedDetails`].
+//! - [`project_to_subwords`] / [`collapse_to_words`]: moving labels between
+//!   Algorithm 1's word level and a transformer's subword level.
+//! - [`WeakLabelStats`]: supervision-quality accounting.
+
+#![warn(missing_docs)]
+
+mod decode;
+mod project;
+mod segment;
+mod stats;
+mod types;
+mod weak_label;
+
+pub use decode::{decode_details, span_text, MultiSpanPolicy};
+pub use project::{collapse_to_words, project_to_subwords};
+pub use segment::{is_multi_target, segment_objective, Segment};
+pub use stats::{KindStats, WeakLabelStats};
+pub use types::{Annotations, ExtractedDetails, Objective};
+pub use weak_label::{
+    levenshtein, weak_label, weak_label_tokens, MatchPolicy, OccurrencePolicy, WeakLabelConfig,
+    WeakLabeling,
+};

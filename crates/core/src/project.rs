@@ -1,0 +1,101 @@
+//! Projection of IOB tags between the word level (where Algorithm 1
+//! assigns them) and the subword level (where transformer encoders predict
+//! them).
+//!
+//! Standard fine-tuning convention: the first subword of a word carries the
+//! word's tag (a `B-` stays `B-`), remaining subwords of the same word get
+//! the `I-` continuation of the same kind (or `O` for `O` words). When
+//! collapsing predictions back, the first subword of each word decides.
+
+use gs_text::labels::Tag;
+
+/// Projects word-level tags onto subwords via the `word_index` alignment
+/// from an encoding (one entry per subword naming its source word).
+///
+/// # Panics
+/// Panics if `word_index` references a word without a tag.
+pub fn project_to_subwords(word_tags: &[Tag], word_index: &[usize]) -> Vec<Tag> {
+    let mut out = Vec::with_capacity(word_index.len());
+    let mut prev_word: Option<usize> = None;
+    for &w in word_index {
+        let tag = word_tags[w];
+        let first_subword = prev_word != Some(w);
+        let projected = if first_subword {
+            tag
+        } else {
+            match tag {
+                Tag::O => Tag::O,
+                Tag::B(k) | Tag::I(k) => Tag::I(k),
+            }
+        };
+        out.push(projected);
+        prev_word = Some(w);
+    }
+    out
+}
+
+/// Collapses subword-level predictions back to word level: the tag of each
+/// word is the tag predicted for its first subword.
+///
+/// `num_words` is the word count of the original token sequence (words that
+/// produced no subwords — impossible with our tokenizers, but tolerated —
+/// default to `O`).
+pub fn collapse_to_words(subword_tags: &[Tag], word_index: &[usize], num_words: usize) -> Vec<Tag> {
+    assert_eq!(subword_tags.len(), word_index.len(), "tag/alignment length mismatch");
+    let mut out = vec![Tag::O; num_words];
+    let mut seen = vec![false; num_words];
+    for (tag, &w) in subword_tags.iter().zip(word_index) {
+        if !seen[w] {
+            seen[w] = true;
+            out[w] = *tag;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn projection_continues_entities_over_subwords() {
+        // words:  reach  net-zero(as one word "netzero")  carbon
+        // tags:   B(0)   B(1)                              O
+        // subwords: reach -> [re, ach]; netzero -> [net, zero]; carbon -> [carbon]
+        let word_tags = vec![Tag::B(0), Tag::B(1), Tag::O];
+        let word_index = vec![0, 0, 1, 1, 2];
+        let sub = project_to_subwords(&word_tags, &word_index);
+        assert_eq!(sub, vec![Tag::B(0), Tag::I(0), Tag::B(1), Tag::I(1), Tag::O]);
+    }
+
+    #[test]
+    fn projection_keeps_i_tags_inside() {
+        let word_tags = vec![Tag::B(2), Tag::I(2)];
+        let word_index = vec![0, 1, 1];
+        let sub = project_to_subwords(&word_tags, &word_index);
+        assert_eq!(sub, vec![Tag::B(2), Tag::I(2), Tag::I(2)]);
+    }
+
+    #[test]
+    fn collapse_takes_first_subword_tag() {
+        let sub = vec![Tag::B(0), Tag::I(0), Tag::B(1), Tag::I(1), Tag::O];
+        let word_index = vec![0, 0, 1, 1, 2];
+        let words = collapse_to_words(&sub, &word_index, 3);
+        assert_eq!(words, vec![Tag::B(0), Tag::B(1), Tag::O]);
+    }
+
+    #[test]
+    fn roundtrip_preserves_word_tags() {
+        let word_tags = vec![Tag::O, Tag::B(3), Tag::I(3), Tag::O, Tag::B(1)];
+        let word_index = vec![0, 1, 1, 1, 2, 3, 3, 4];
+        let sub = project_to_subwords(&word_tags, &word_index);
+        let back = collapse_to_words(&sub, &word_index, word_tags.len());
+        assert_eq!(back, word_tags);
+    }
+
+    #[test]
+    fn missing_words_default_to_o() {
+        let words = collapse_to_words(&[Tag::B(0)], &[0], 3);
+        assert_eq!(words, vec![Tag::B(0), Tag::O, Tag::O]);
+    }
+}

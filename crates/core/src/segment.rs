@@ -1,0 +1,159 @@
+//! Objective segmentation — the first future-work direction the paper
+//! names (§5.3/§7): objectives "that contain multiple actions or targets
+//! within a single sentence may partially confuse the extraction model",
+//! so splitting a sentence into per-target segments before extraction can
+//! recover the fragments.
+//!
+//! The segmenter is rule-based and conservative: it only splits at
+//! coordinating connectives that are followed by target-like material (a
+//! percent, a year, or a quantity word), never inside parentheses, and it
+//! keeps the original character offsets so downstream decoding still maps
+//! into the source text.
+
+use gs_text::{pretokenize, Span};
+use serde::{Deserialize, Serialize};
+
+/// One segment of an objective: a candidate single-target clause.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Segment {
+    /// Byte span into the original text.
+    pub span: Span,
+    /// The segment text.
+    pub text: String,
+}
+
+/// Connectives that may introduce a second target.
+const SPLIT_CONNECTIVES: &[&str] = &["and", "while", "alongside", "plus"];
+
+/// Words that indicate the clause after a connective states its own target.
+fn is_targetish(token: &str) -> bool {
+    let lower = token.to_lowercase();
+    lower.chars().all(|c| c.is_ascii_digit())
+        || lower == "%"
+        || ["lowering", "reducing", "cutting", "a", "increasing", "raising"].contains(&lower.as_str())
+}
+
+/// Splits an objective into candidate single-target segments.
+///
+/// A split happens at a connective token when (a) some target-like token
+/// (digit/percent/gerund) appears within the next 6 tokens, and (b) at
+/// least one target-like token was already seen before the connective —
+/// otherwise the sentence has only one target and stays whole.
+pub fn segment_objective(text: &str) -> Vec<Segment> {
+    let tokens = pretokenize(text);
+    if tokens.is_empty() {
+        return Vec::new();
+    }
+    let mut depth = 0i32; // parenthesis nesting
+    let mut seen_target = false;
+    let mut cut_points: Vec<usize> = Vec::new(); // token indices where a new segment starts
+    for (i, tok) in tokens.iter().enumerate() {
+        match tok.text.as_str() {
+            "(" => depth += 1,
+            ")" => depth = (depth - 1).max(0),
+            _ => {}
+        }
+        if is_targetish(&tok.text) {
+            seen_target = true;
+        }
+        if depth == 0
+            && seen_target
+            && i > 0
+            && SPLIT_CONNECTIVES.contains(&tok.text.to_lowercase().as_str())
+        {
+            let lookahead = tokens.iter().skip(i + 1).take(6).any(|t| is_targetish(&t.text));
+            if lookahead {
+                cut_points.push(i);
+            }
+        }
+    }
+
+    let mut segments = Vec::with_capacity(cut_points.len() + 1);
+    let mut start_byte = tokens[0].span.start;
+    for &cut in &cut_points {
+        let end_byte = tokens[cut].span.start;
+        if end_byte > start_byte {
+            let span = Span::new(start_byte, end_byte);
+            segments.push(Segment { span, text: span.slice(text).trim().to_string() });
+        }
+        start_byte = tokens[cut].span.start;
+    }
+    let last = Span::new(start_byte, tokens.last().expect("non-empty").span.end);
+    segments.push(Segment { span: last, text: last.slice(text).trim().to_string() });
+    segments.retain(|s| !s.text.is_empty());
+    segments
+}
+
+/// Whether segmentation would split this objective (a cheap multi-target
+/// detector).
+pub fn is_multi_target(text: &str) -> bool {
+    segment_objective(text).len() > 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_target_objectives_stay_whole() {
+        let text = "Reduce energy consumption by 20% by 2025.";
+        let segments = segment_objective(text);
+        assert_eq!(segments.len(), 1);
+        assert_eq!(segments[0].text, text);
+        assert!(!is_multi_target(text));
+    }
+
+    #[test]
+    fn second_target_is_split_off() {
+        let text = "Reduce energy consumption by 20% and water use by 10% by 2030.";
+        let segments = segment_objective(text);
+        assert_eq!(segments.len(), 2, "{segments:?}");
+        assert!(segments[0].text.contains("20%"));
+        assert!(segments[1].text.starts_with("and water use"));
+        assert!(segments[1].text.contains("10%"));
+    }
+
+    #[test]
+    fn while_lowering_clause_is_split() {
+        let text = "Cut emissions by 40% by 2030 while lowering water use by 12%.";
+        let segments = segment_objective(text);
+        assert_eq!(segments.len(), 2, "{segments:?}");
+        assert!(segments[1].text.starts_with("while lowering"));
+    }
+
+    #[test]
+    fn coordinated_noun_phrases_without_second_target_stay_whole() {
+        // "energy, water and waste" is one qualifier, not two targets.
+        let text = "Commitments to double environmental efficiency with new energy, water and waste targets.";
+        let segments = segment_objective(text);
+        assert_eq!(segments.len(), 1, "{segments:?}");
+    }
+
+    #[test]
+    fn no_split_before_the_first_target() {
+        // The "and" precedes any target-like token.
+        let text = "Define sustainability strategies and goals in consultation with stakeholders.";
+        assert_eq!(segment_objective(text).len(), 1);
+    }
+
+    #[test]
+    fn parenthesized_connectives_do_not_split() {
+        let text = "Reduce waste by 10% (and audit results) by 2030.";
+        let segments = segment_objective(text);
+        assert_eq!(segments.len(), 1, "{segments:?}");
+    }
+
+    #[test]
+    fn segments_cover_offsets_into_source() {
+        let text = "Cut A by 5% and B by 9%.";
+        for s in segment_objective(text) {
+            assert_eq!(s.span.slice(text).trim(), s.text);
+        }
+    }
+
+    #[test]
+    fn empty_text_has_no_segments() {
+        assert!(segment_objective("").is_empty());
+        assert!(segment_objective("   ").is_empty());
+    }
+}

@@ -1,0 +1,129 @@
+//! Weak-label quality statistics: how much of the coarse supervision
+//! Algorithm 1 actually converts into token labels. The paper's §5.3
+//! discusses the exact-match limitation; these counters quantify it per
+//! field and per matching policy.
+
+use crate::weak_label::WeakLabeling;
+use gs_text::labels::{LabelSet, Tag};
+use serde::{Deserialize, Serialize};
+
+/// Per-kind match statistics.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KindStats {
+    /// Objectives where the field was annotated with a non-empty value.
+    pub annotated: usize,
+    /// Of those, how many values Algorithm 1 located in the text.
+    pub matched: usize,
+    /// Total tokens labeled `B-`/`I-` of this kind.
+    pub labeled_tokens: usize,
+}
+
+impl KindStats {
+    /// Fraction of annotated values that were located (1.0 when none were
+    /// annotated).
+    pub fn match_rate(&self) -> f64 {
+        if self.annotated == 0 {
+            1.0
+        } else {
+            self.matched as f64 / self.annotated as f64
+        }
+    }
+}
+
+/// Aggregated statistics over a weakly labeled dataset.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WeakLabelStats {
+    /// Per kind, in label-set order.
+    pub kinds: Vec<KindStats>,
+    /// Total objectives processed.
+    pub objectives: usize,
+    /// Total tokens processed.
+    pub tokens: usize,
+    /// Tokens labeled `O`.
+    pub outside_tokens: usize,
+}
+
+impl WeakLabelStats {
+    /// Creates empty statistics for a label set.
+    pub fn new(labels: &LabelSet) -> Self {
+        WeakLabelStats {
+            kinds: vec![KindStats::default(); labels.num_kinds()],
+            objectives: 0,
+            tokens: 0,
+            outside_tokens: 0,
+        }
+    }
+
+    /// Folds one labeling result in. `annotated_kinds` lists the kinds that
+    /// had non-empty annotation values for this objective.
+    pub fn record(&mut self, labeling: &WeakLabeling, annotated_kinds: &[usize]) {
+        self.objectives += 1;
+        self.tokens += labeling.tags.len();
+        for tag in &labeling.tags {
+            match tag {
+                Tag::O => self.outside_tokens += 1,
+                Tag::B(k) | Tag::I(k) => self.kinds[*k].labeled_tokens += 1,
+            }
+        }
+        for &k in annotated_kinds {
+            self.kinds[k].annotated += 1;
+            if !labeling.unmatched.contains(&k) {
+                self.kinds[k].matched += 1;
+            }
+        }
+    }
+
+    /// Overall fraction of annotated values located across kinds.
+    pub fn overall_match_rate(&self) -> f64 {
+        let annotated: usize = self.kinds.iter().map(|k| k.annotated).sum();
+        let matched: usize = self.kinds.iter().map(|k| k.matched).sum();
+        if annotated == 0 {
+            1.0
+        } else {
+            matched as f64 / annotated as f64
+        }
+    }
+
+    /// Fraction of tokens labeled `O` (class imbalance indicator).
+    pub fn outside_fraction(&self) -> f64 {
+        if self.tokens == 0 {
+            0.0
+        } else {
+            self.outside_tokens as f64 / self.tokens as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Annotations;
+    use crate::weak_label::{weak_label, WeakLabelConfig};
+
+    #[test]
+    fn records_matches_and_misses() {
+        let ls = LabelSet::sustainability_goals();
+        let mut stats = WeakLabelStats::new(&ls);
+
+        let ann = Annotations::new().with("Action", "Reduce").with("Deadline", "2030");
+        let labeling = weak_label("Reduce waste by 2025", &ann, &ls, WeakLabelConfig::default());
+        let kinds: Vec<usize> =
+            ann.present().filter_map(|(k, _)| ls.kind_index(k)).collect();
+        stats.record(&labeling, &kinds);
+
+        let action = ls.kind_index("Action").expect("kind");
+        let deadline = ls.kind_index("Deadline").expect("kind");
+        assert_eq!(stats.kinds[action].annotated, 1);
+        assert_eq!(stats.kinds[action].matched, 1);
+        assert_eq!(stats.kinds[deadline].annotated, 1);
+        assert_eq!(stats.kinds[deadline].matched, 0, "2030 does not occur");
+        assert_eq!(stats.overall_match_rate(), 0.5);
+        assert!(stats.outside_fraction() > 0.5);
+    }
+
+    #[test]
+    fn match_rate_defaults_to_one_when_unannotated() {
+        let stats = KindStats::default();
+        assert_eq!(stats.match_rate(), 1.0);
+    }
+}

@@ -1,0 +1,188 @@
+//! Core domain types: sustainability objectives and their coarse,
+//! objective-level annotations (paper §2.4).
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A coarse, objective-level annotation set: field name -> annotated value.
+///
+/// This is the only supervision the paper's pipeline needs (Figure 3):
+/// `{"Action": "reach", "Amount": "net-zero", "Qualifier": "carbon",
+/// "Baseline": "", "Deadline": "2040"}`. Empty values mean the field is not
+/// present in the objective.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Annotations {
+    fields: BTreeMap<String, String>,
+}
+
+impl Annotations {
+    /// Creates an empty annotation set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builder-style insertion. Empty values are stored (they carry the
+    /// signal "this field is absent") but skipped by the labeling algorithm.
+    pub fn with(mut self, key: &str, value: &str) -> Self {
+        self.fields.insert(key.to_string(), value.to_string());
+        self
+    }
+
+    /// Sets a field value.
+    pub fn set(&mut self, key: &str, value: &str) {
+        self.fields.insert(key.to_string(), value.to_string());
+    }
+
+    /// The value of a field, if annotated (may be empty).
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.fields.get(key).map(String::as_str)
+    }
+
+    /// Non-empty (key, value) pairs in deterministic key order.
+    pub fn present(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.fields
+            .iter()
+            .filter(|(_, v)| !v.is_empty())
+            .map(|(k, v)| (k.as_str(), v.as_str()))
+    }
+
+    /// All (key, value) pairs including empty values.
+    pub fn all(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.fields.iter().map(|(k, v)| (k.as_str(), v.as_str()))
+    }
+
+    /// Number of non-empty fields.
+    pub fn num_present(&self) -> usize {
+        self.fields.values().filter(|v| !v.is_empty()).count()
+    }
+
+    /// Whether no field has a value.
+    pub fn is_empty(&self) -> bool {
+        self.num_present() == 0
+    }
+}
+
+/// A sustainability objective, optionally annotated.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Objective {
+    /// Stable identifier within its dataset.
+    pub id: u64,
+    /// The objective text (one detected text block / sentence).
+    pub text: String,
+    /// Coarse annotations from domain experts; `None` for unlabeled
+    /// production data.
+    pub annotations: Option<Annotations>,
+    /// Originating company, when known (deployment scenarios).
+    pub company: Option<String>,
+    /// Originating document, when known.
+    pub document: Option<String>,
+}
+
+impl Objective {
+    /// Creates an unannotated objective.
+    pub fn new(id: u64, text: impl Into<String>) -> Self {
+        Objective { id, text: text.into(), annotations: None, company: None, document: None }
+    }
+
+    /// Creates an annotated training objective.
+    pub fn annotated(id: u64, text: impl Into<String>, annotations: Annotations) -> Self {
+        Objective {
+            id,
+            text: text.into(),
+            annotations: Some(annotations),
+            company: None,
+            document: None,
+        }
+    }
+
+    /// Attaches a company name.
+    pub fn with_company(mut self, company: &str) -> Self {
+        self.company = Some(company.to_string());
+        self
+    }
+
+    /// Attaches a document name.
+    pub fn with_document(mut self, document: &str) -> Self {
+        self.document = Some(document.to_string());
+        self
+    }
+}
+
+/// Details extracted from one objective in production: field name -> text.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExtractedDetails {
+    /// Extracted field values (absent fields are simply missing keys).
+    pub fields: BTreeMap<String, String>,
+}
+
+impl ExtractedDetails {
+    /// Creates an empty extraction result.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The extracted value for a field, if any.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.fields.get(key).map(String::as_str)
+    }
+
+    /// Inserts a field value.
+    pub fn set(&mut self, key: &str, value: impl Into<String>) {
+        self.fields.insert(key.to_string(), value.into());
+    }
+
+    /// Number of extracted fields.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// Whether nothing was extracted.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Renders as the JSON object format the paper's Figure 3 uses.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(&self.fields).expect("string map serializes")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn annotations_skip_empty_values_in_present() {
+        let a = Annotations::new()
+            .with("Action", "reach")
+            .with("Baseline", "")
+            .with("Deadline", "2040");
+        let present: Vec<(&str, &str)> = a.present().collect();
+        assert_eq!(present, vec![("Action", "reach"), ("Deadline", "2040")]);
+        assert_eq!(a.num_present(), 2);
+        assert_eq!(a.get("Baseline"), Some(""));
+    }
+
+    #[test]
+    fn present_iterates_in_key_order() {
+        let a = Annotations::new().with("Deadline", "2040").with("Action", "reach");
+        let keys: Vec<&str> = a.present().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec!["Action", "Deadline"]);
+    }
+
+    #[test]
+    fn objective_builders() {
+        let o = Objective::new(7, "Reduce waste").with_company("C3").with_document("report.pdf");
+        assert_eq!(o.company.as_deref(), Some("C3"));
+        assert_eq!(o.document.as_deref(), Some("report.pdf"));
+        assert!(o.annotations.is_none());
+    }
+
+    #[test]
+    fn extracted_details_json_shape() {
+        let mut d = ExtractedDetails::new();
+        d.set("Action", "reach");
+        d.set("Deadline", "2040");
+        assert_eq!(d.to_json(), r#"{"Action":"reach","Deadline":"2040"}"#);
+    }
+}

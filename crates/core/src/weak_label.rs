@@ -1,0 +1,398 @@
+//! Algorithm 1: `WeakSupervisionTokenLabeling(o, A)`.
+//!
+//! Converts coarse objective-level annotations into token-level IOB labels
+//! by locating each annotation value's token sequence inside the objective's
+//! token sequence (paper §3.2). The paper's default is exact token matching;
+//! the `Normalized` and `Fuzzy` policies implement the future-work
+//! extensions discussed in §5.3/§7 and are ablated in the benchmarks.
+
+use crate::types::Annotations;
+use gs_text::labels::{LabelSet, Tag};
+use gs_text::{pretokenize, PreToken};
+use serde::{Deserialize, Serialize};
+
+/// How annotation-value tokens are compared to objective tokens.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MatchPolicy {
+    /// Byte-exact token equality — the paper's implementation ("our current
+    /// implementation relies on exact token-level matching", §5.3).
+    Exact,
+    /// Case-insensitive comparison after punctuation-trimming.
+    Normalized,
+    /// Allows up to `max_edits` total character edits across the window
+    /// (Levenshtein), capturing lexically close but non-identical mentions.
+    Fuzzy {
+        /// Total edit budget over the whole matched window.
+        max_edits: usize,
+    },
+}
+
+/// What to do when a value occurs several times in the objective.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OccurrencePolicy {
+    /// Label only the first occurrence (Algorithm 1 line 5 finds one index).
+    #[default]
+    First,
+    /// Label every non-overlapping occurrence.
+    All,
+}
+
+/// Configuration of the weak labeling algorithm.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WeakLabelConfig {
+    /// Token comparison policy.
+    pub match_policy: MatchPolicy,
+    /// Multi-occurrence handling.
+    pub occurrence: OccurrencePolicy,
+}
+
+impl Default for WeakLabelConfig {
+    fn default() -> Self {
+        WeakLabelConfig { match_policy: MatchPolicy::Exact, occurrence: OccurrencePolicy::First }
+    }
+}
+
+/// Result of weakly labeling one objective.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct WeakLabeling {
+    /// The objective's word-level tokens.
+    pub tokens: Vec<PreToken>,
+    /// One IOB tag per token.
+    pub tags: Vec<Tag>,
+    /// Field kinds whose annotation value could not be located.
+    pub unmatched: Vec<usize>,
+}
+
+impl WeakLabeling {
+    /// Human-readable (token, tag) rows, as in the paper's Table 3.
+    pub fn rows(&self, labels: &LabelSet) -> Vec<(String, String)> {
+        self.tokens
+            .iter()
+            .zip(&self.tags)
+            .map(|(t, tag)| (t.text.clone(), labels.tag_string(*tag)))
+            .collect()
+    }
+}
+
+/// Runs Algorithm 1 over already pre-tokenized text.
+///
+/// `annotations` pairs a kind index (into `labels`) with the annotated value
+/// string. Values are tokenized with the same pre-tokenizer as the
+/// objective; the first token of a located window receives `B-k`, the rest
+/// `I-k` (Algorithm 1 lines 6-9). Later annotations overwrite earlier ones
+/// on overlap, mirroring the paper's in-place label writes.
+pub fn weak_label_tokens(
+    tokens: &[PreToken],
+    annotations: &[(usize, String)],
+    labels: &LabelSet,
+    config: WeakLabelConfig,
+) -> WeakLabeling {
+    let mut tags = vec![Tag::O; tokens.len()];
+    let mut unmatched = Vec::new();
+
+    for (kind, value) in annotations {
+        assert!(*kind < labels.num_kinds(), "kind {} out of label set", kind);
+        let value_tokens = pretokenize(value);
+        if value_tokens.is_empty() {
+            continue;
+        }
+        let matches = find_matches(tokens, &value_tokens, config.match_policy);
+        if matches.is_empty() {
+            unmatched.push(*kind);
+            continue;
+        }
+        let starts: &[usize] = match config.occurrence {
+            OccurrencePolicy::First => &matches[..1],
+            OccurrencePolicy::All => &matches,
+        };
+        for &s in starts {
+            tags[s] = Tag::B(*kind);
+            for t in tags.iter_mut().take(s + value_tokens.len()).skip(s + 1) {
+                *t = Tag::I(*kind);
+            }
+        }
+    }
+
+    WeakLabeling { tokens: tokens.to_vec(), tags, unmatched }
+}
+
+/// Runs Algorithm 1 on raw objective text and an [`Annotations`] set whose
+/// keys name kinds in `labels`. Unknown keys are ignored (heterogeneous
+/// real-world annotations may carry extra fields).
+pub fn weak_label(
+    text: &str,
+    annotations: &Annotations,
+    labels: &LabelSet,
+    config: WeakLabelConfig,
+) -> WeakLabeling {
+    let tokens = pretokenize(text);
+    let pairs: Vec<(usize, String)> = annotations
+        .present()
+        .filter_map(|(k, v)| labels.kind_index(k).map(|ki| (ki, v.to_string())))
+        .collect();
+    weak_label_tokens(&tokens, &pairs, labels, config)
+}
+
+/// Finds all non-overlapping window start indices where `needle` matches.
+fn find_matches(haystack: &[PreToken], needle: &[PreToken], policy: MatchPolicy) -> Vec<usize> {
+    let n = needle.len();
+    if n == 0 || haystack.len() < n {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i + n <= haystack.len() {
+        if window_matches(&haystack[i..i + n], needle, policy) {
+            out.push(i);
+            i += n; // non-overlapping
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+fn window_matches(window: &[PreToken], needle: &[PreToken], policy: MatchPolicy) -> bool {
+    match policy {
+        MatchPolicy::Exact => window.iter().zip(needle).all(|(a, b)| a.text == b.text),
+        MatchPolicy::Normalized => window
+            .iter()
+            .zip(needle)
+            .all(|(a, b)| gs_text::match_key(&a.text) == gs_text::match_key(&b.text)),
+        MatchPolicy::Fuzzy { max_edits } => {
+            let mut budget = max_edits;
+            for (a, b) in window.iter().zip(needle) {
+                let al = a.text.to_lowercase();
+                let bl = b.text.to_lowercase();
+                let d = levenshtein(&al, &bl);
+                if d > budget {
+                    return false;
+                }
+                budget -= d;
+            }
+            true
+        }
+    }
+}
+
+/// Levenshtein edit distance over characters.
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() {
+        return b.len();
+    }
+    if b.is_empty() {
+        return a.len();
+    }
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut curr = vec![0usize; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        curr[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let cost = usize::from(ca != cb);
+            curr[j + 1] = (prev[j] + cost).min(prev[j + 1] + 1).min(curr[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    prev[b.len()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn labels() -> LabelSet {
+        LabelSet::sustainability_goals()
+    }
+
+    fn climate_pledge_annotations() -> Annotations {
+        Annotations::new()
+            .with("Action", "reach")
+            .with("Amount", "net-zero")
+            .with("Qualifier", "carbon")
+            .with("Baseline", "")
+            .with("Deadline", "2040")
+    }
+
+    /// The paper's Table 3 golden example, end to end.
+    #[test]
+    fn table3_golden_output() {
+        let text =
+            "We co-founded The Climate Pledge, a commitment to reach net-zero carbon by 2040.";
+        let ls = labels();
+        let result = weak_label(text, &climate_pledge_annotations(), &ls, WeakLabelConfig::default());
+        let rows = result.rows(&ls);
+        let expected = [
+            ("We", "O"),
+            ("co", "O"),
+            ("-", "O"),
+            ("founded", "O"),
+            ("The", "O"),
+            ("Climate", "O"),
+            ("Pledge", "O"),
+            (",", "O"),
+            ("a", "O"),
+            ("commitment", "O"),
+            ("to", "O"),
+            ("reach", "B-Action"),
+            ("net", "B-Amount"),
+            ("-", "I-Amount"),
+            ("zero", "I-Amount"),
+            ("carbon", "B-Qualifier"),
+            ("by", "O"),
+            ("2040", "B-Deadline"),
+            (".", "O"),
+        ];
+        assert_eq!(rows.len(), expected.len());
+        for ((tok, tag), (etok, etag)) in rows.iter().zip(expected.iter()) {
+            assert_eq!(tok, etok);
+            assert_eq!(tag, etag, "token {tok}");
+        }
+        assert!(result.unmatched.is_empty());
+    }
+
+    #[test]
+    fn unmatched_values_are_reported() {
+        let ls = labels();
+        let ann = Annotations::new().with("Action", "eliminate");
+        let result = weak_label("Reduce all emissions.", &ann, &ls, WeakLabelConfig::default());
+        assert_eq!(result.unmatched, vec![ls.kind_index("Action").expect("kind")]);
+        assert!(result.tags.iter().all(|t| *t == Tag::O));
+    }
+
+    #[test]
+    fn exact_matching_is_case_sensitive() {
+        let ls = labels();
+        let ann = Annotations::new().with("Action", "reduce");
+        let exact = weak_label("Reduce emissions", &ann, &ls, WeakLabelConfig::default());
+        assert_eq!(exact.unmatched.len(), 1, "paper's exact matcher misses case variants");
+
+        let normalized = weak_label(
+            "Reduce emissions",
+            &ann,
+            &ls,
+            WeakLabelConfig { match_policy: MatchPolicy::Normalized, ..Default::default() },
+        );
+        assert!(normalized.unmatched.is_empty());
+        assert_eq!(normalized.tags[0], Tag::B(0));
+    }
+
+    #[test]
+    fn fuzzy_matching_tolerates_typos() {
+        let ls = labels();
+        let ann = Annotations::new().with("Qualifier", "energy consumptions");
+        let cfg = WeakLabelConfig {
+            match_policy: MatchPolicy::Fuzzy { max_edits: 2 },
+            ..Default::default()
+        };
+        let result = weak_label("Reduce energy consumption by 20%", &ann, &ls, cfg);
+        assert!(result.unmatched.is_empty());
+        let q = ls.kind_index("Qualifier").expect("kind");
+        assert_eq!(result.tags[1], Tag::B(q));
+        assert_eq!(result.tags[2], Tag::I(q));
+    }
+
+    #[test]
+    fn fuzzy_budget_is_shared_across_window() {
+        let ls = labels();
+        let ann = Annotations::new().with("Qualifier", "enerby consumptionX");
+        // 1 edit in first token + 1 in second = 2 total; budget 1 must fail.
+        let fail = weak_label(
+            "Reduce energy consumption now",
+            &ann,
+            &ls,
+            WeakLabelConfig {
+                match_policy: MatchPolicy::Fuzzy { max_edits: 1 },
+                ..Default::default()
+            },
+        );
+        assert_eq!(fail.unmatched.len(), 1);
+        let pass = weak_label(
+            "Reduce energy consumption now",
+            &ann,
+            &ls,
+            WeakLabelConfig {
+                match_policy: MatchPolicy::Fuzzy { max_edits: 2 },
+                ..Default::default()
+            },
+        );
+        assert!(pass.unmatched.is_empty());
+    }
+
+    #[test]
+    fn first_vs_all_occurrences() {
+        let ls = labels();
+        let ann = Annotations::new().with("Deadline", "2025");
+        let text = "By 2025 we act, and by 2025 we report.";
+        let first = weak_label(text, &ann, &ls, WeakLabelConfig::default());
+        let all = weak_label(
+            text,
+            &ann,
+            &ls,
+            WeakLabelConfig { occurrence: OccurrencePolicy::All, ..Default::default() },
+        );
+        let count = |w: &WeakLabeling| w.tags.iter().filter(|&&t| t != Tag::O).count();
+        assert_eq!(count(&first), 1);
+        assert_eq!(count(&all), 2);
+    }
+
+    #[test]
+    fn later_annotations_overwrite_overlaps() {
+        let ls = labels();
+        // "Qualifier" sorts after "Amount" in BTreeMap order; both cover
+        // the token "zero" — the later write wins, as in Algorithm 1.
+        let ann = Annotations::new().with("Amount", "zero waste").with("Qualifier", "waste");
+        let result = weak_label("Achieve zero waste by 2030", &ann, &ls, WeakLabelConfig::default());
+        let amount = ls.kind_index("Amount").expect("kind");
+        let qualifier = ls.kind_index("Qualifier").expect("kind");
+        assert_eq!(result.tags[1], Tag::B(amount));
+        assert_eq!(result.tags[2], Tag::B(qualifier), "overwritten by later annotation");
+    }
+
+    #[test]
+    fn empty_annotation_values_are_skipped() {
+        let ls = labels();
+        let ann = Annotations::new().with("Baseline", "");
+        let result = weak_label("Reduce by 2025", &ann, &ls, WeakLabelConfig::default());
+        assert!(result.unmatched.is_empty());
+        assert!(result.tags.iter().all(|t| *t == Tag::O));
+    }
+
+    #[test]
+    fn unknown_annotation_keys_are_ignored() {
+        let ls = labels();
+        let ann = Annotations::new().with("Sector", "transport");
+        let result = weak_label("Decarbonize transport", &ann, &ls, WeakLabelConfig::default());
+        assert!(result.unmatched.is_empty());
+        assert!(result.tags.iter().all(|t| *t == Tag::O));
+    }
+
+    #[test]
+    fn multiword_value_spans_punctuation_tokens() {
+        let ls = labels();
+        let ann = Annotations::new().with("Amount", "net-zero");
+        let result = weak_label("Commit to net-zero now", &ann, &ls, WeakLabelConfig::default());
+        let amount = ls.kind_index("Amount").expect("kind");
+        assert_eq!(result.tags[2], Tag::B(amount)); // net
+        assert_eq!(result.tags[3], Tag::I(amount)); // -
+        assert_eq!(result.tags[4], Tag::I(amount)); // zero
+    }
+
+    #[test]
+    fn levenshtein_basics() {
+        assert_eq!(levenshtein("", ""), 0);
+        assert_eq!(levenshtein("abc", ""), 3);
+        assert_eq!(levenshtein("", "xy"), 2);
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+        assert_eq!(levenshtein("carbon", "carbon"), 0);
+    }
+
+    #[test]
+    fn value_longer_than_text_never_matches() {
+        let ls = labels();
+        let ann = Annotations::new().with("Qualifier", "a very long qualifier phrase indeed");
+        let result = weak_label("short text", &ann, &ls, WeakLabelConfig::default());
+        assert_eq!(result.unmatched.len(), 1);
+    }
+}

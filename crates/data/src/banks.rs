@@ -1,0 +1,376 @@
+//! Phrase banks for the synthetic sustainability corpora.
+//!
+//! The banks are distilled from the surface forms visible in the paper's own
+//! examples (Tables 1, 6, 7) and from common ESG reporting language, so that
+//! generated objectives are heterogeneous in the same ways the paper
+//! describes: varied verb forms, relative and absolute amounts, noun-phrase
+//! qualifiers of different lengths, and several syntactic frames for
+//! baseline/deadline years.
+
+/// Action verbs in the exact surface form they appear with in templates.
+/// Multiple inflections of the same lemma create the heterogeneity the
+/// paper's §3.2 mentions.
+pub const ACTIONS: &[&str] = &[
+    "Reduce",
+    "reduce",
+    "Achieve",
+    "achieve",
+    "Reach",
+    "reach",
+    "Restore",
+    "Eliminate",
+    "Increase",
+    "increase",
+    "Cut",
+    "Expand",
+    "Implement",
+    "implement",
+    "Transition",
+    "Promote",
+    "Install",
+    "install",
+    "Substitute",
+    "Double",
+    "Decrease",
+    "Lower",
+    "Improve",
+    "Divert",
+    "Recycle",
+    "Source",
+    "Procure",
+    "Offset",
+    "Phase out",
+    "Scale up",
+    "will reduce",
+    "will install",
+    "will achieve",
+    "will be implemented",
+    "Integrate",
+    "Align",
+    "Empower",
+    "Join",
+    "Define",
+    "Perform",
+    "Explore",
+    "Demonstrate",
+    "Share",
+    "Make",
+    "Keep",
+    "Uses",
+];
+
+/// Relative and absolute amount expressions.
+pub const AMOUNTS: &[&str] = &[
+    "20%",
+    "30%",
+    "50%",
+    "100%",
+    "10%",
+    "5%",
+    "25%",
+    "40%",
+    "15%",
+    "75%",
+    "8.1%",
+    "net-zero",
+    "net zero",
+    "zero",
+    "Zero",
+    "double",
+    "half",
+    "1 million",
+    "100 million",
+    "250",
+    "10 million",
+    "25 percent",
+    "50 percent",
+    "100 percent",
+    "two-thirds",
+    "one third",
+    "90%",
+    "65%",
+    "one million tonnes",
+    "500,000",
+    "all",
+];
+
+/// Qualifier noun phrases (the "what is changing" of an objective).
+pub const QUALIFIERS: &[&str] = &[
+    "energy consumption",
+    "carbon emissions",
+    "greenhouse gas emissions",
+    "scope 1 and 2 emissions",
+    "scope 3 emissions",
+    "global water use",
+    "potable water intensity",
+    "water withdrawal",
+    "landfill waste",
+    "waste to landfill",
+    "single-use plastics",
+    "single-use beverages per seated headcount",
+    "renewable electricity",
+    "renewable energy sourcing",
+    "recyclable packaging",
+    "plastic packaging",
+    "F-gases",
+    "fleet fuel consumption",
+    "supply chain emissions",
+    "paper usage",
+    "food waste",
+    "women in leadership positions",
+    "representation of women in key leadership roles",
+    "employee volunteering hours",
+    "smallholder farmers",
+    "biodiversity protection measures",
+    "sustainable sourcing",
+    "environmental efficiency",
+    "air freight emissions",
+    "district heating coverage",
+    "electric vehicles in our fleet",
+    "energy- and money-saving thermostats",
+    "PCR content in bottles",
+    "water saving programs",
+    "green building certifications",
+    "community investment",
+    "training hours per employee",
+    "supplier audits",
+    "carbon intensity per product",
+    "packaging weight",
+    "methane leakage",
+];
+
+/// Baseline-year syntactic frames; `{}` is replaced by the year.
+pub const BASELINE_FRAMES: &[&str] = &[
+    "(baseline {})",
+    "against a {} baseline",
+    "compared to {}",
+    "from {} levels",
+    "relative to {}",
+    "versus our {} footprint",
+    "(vs. {})",
+];
+
+/// Deadline-year syntactic frames; `{}` is replaced by the year.
+pub const DEADLINE_FRAMES: &[&str] = &[
+    "by {}",
+    "by the end of {}",
+    "before {}",
+    "no later than {}",
+    "by FY{}",
+];
+
+/// Objective sentence prefixes that add heterogeneous context.
+pub const PREFIXES: &[&str] = &[
+    "We are committed to",
+    "We co-founded The Climate Pledge, a commitment to",
+    "As part of our climate strategy, we will",
+    "Our company pledges to",
+    "The Group aims to",
+    "We have set a target to",
+    "Our ambition is to",
+    "In line with the Paris Agreement, we intend to",
+    "Building on last year's progress, we plan to",
+    "Together with our suppliers, we commit to",
+];
+
+/// Trailing context clauses that do not change the gold fields but add the
+/// distractor numbers/years that make extraction non-trivial.
+pub const SUFFIX_DISTRACTORS: &[&str] = &[
+    "as stated in our {} annual report",
+    "as first announced in {}",
+    "following the roadmap published in {}",
+    "as audited by a third party in {}",
+    "consistent with the {} materiality assessment",
+];
+
+/// Distractor clauses carrying a percentage that is NOT the objective's
+/// amount; `{}` is replaced by the percent value. These create the
+/// role-ambiguity that separates contextual models from surface-pattern
+/// extractors.
+/// `{q}` is a qualifier-distribution noun phrase and `{p}` a percent drawn
+/// from the same distribution as gold amounts, so the clause is locally and
+/// lexically identical to a real target mention — only the subordinate
+/// clause structure reveals it is not the objective's target.
+pub const PCT_DISTRACTORS_PRE: &[&str] = &[
+    "Having already reduced {q} by {p} in recent years,",
+    "After trimming {q} by {p} last year,",
+    "Having improved {q} by {p} since the program began,",
+    "With {q} representing {p} of group revenue,",
+    "Building on the {p} improvement achieved so far,",
+];
+
+/// Percentage distractors appended after the core clause.
+pub const PCT_DISTRACTORS_POST: &[&str] = &[
+    "while sister programs cut {q} by {p}",
+    "after peers achieved reductions of {p}",
+    "which accounts for {p} of our footprint",
+    "representing {p} of total spend",
+    "currently at {p} completion",
+];
+
+/// Superseded-commitment lead clauses: a FULL earlier target (qualifier,
+/// "by {p}", "by {y}") that is no longer the objective. The token windows
+/// around `{p}` and `{y}` are identical to the live target's windows; only
+/// the clause-initial marker ("Having pledged...", "Moving beyond...") and
+/// trailing cue ("in an earlier plan") — both outside a +-2 feature window —
+/// reveal the role.
+pub const SUPERSEDED_LEADS: &[&str] = &[
+    "Having pledged to cut {q} by {p} by {y} in an earlier plan,",
+    "Moving beyond our previous target to reduce {q} by {p} by {y},",
+    "Replacing the earlier commitment to lower {q} by {p} by {y},",
+    "Updating the plan that aimed to cut {q} by {p} by {y},",
+    // Variants with a baseline-cue year, so baseline mentions are also
+    // role-ambiguous at the window level.
+    "Having pledged to cut {q} by {p} by {y} from {b} levels in an earlier plan,",
+    "Moving beyond our previous target to reduce {q} by {p} by {y} (baseline {b}),",
+];
+
+/// Verb-bearing distractor clauses: lexicon verbs in non-Action roles.
+pub const VERB_DISTRACTORS: &[&str] = &[
+    "designed to improve transparency",
+    "helping to increase stakeholder trust",
+    "while we continue to expand reporting coverage",
+    "intended to promote supplier engagement",
+    "as we keep working to align disclosures",
+];
+
+/// Second-target clauses (paper §5.3: objectives with multiple targets in
+/// one sentence partially confuse extraction). `{q}` and `{m}` are replaced
+/// by a second qualifier and amount; only the FIRST target is annotated.
+pub const SECOND_TARGETS: &[&str] = &[
+    "and {q} by {m}",
+    "alongside a {m} cut in {q}",
+    "while lowering {q} by {m}",
+];
+
+/// Second targets carrying their own (unannotated) deadline — "by {m} by
+/// {y}" windows locally identical to the primary target's.
+pub const SECOND_TARGETS_DATED: &[&str] = &[
+    "and {q} by {m} by {y}",
+    "while lowering {q} by {m} by {y}",
+    "with a further {m} cut in {q} planned by {y}",
+];
+
+/// Compositional qualifier modifiers (combined with heads and tails to
+/// create a large open vocabulary of qualifiers).
+pub const QUALIFIER_MODIFIERS: &[&str] = &[
+    "absolute", "relative", "total", "annual", "global", "regional", "operational",
+    "upstream", "downstream", "direct", "indirect", "net", "per-unit", "site-level",
+];
+
+/// Compositional qualifier heads.
+pub const QUALIFIER_HEADS: &[&str] = &[
+    "energy consumption", "carbon emissions", "water withdrawal", "waste generation",
+    "packaging weight", "fleet mileage", "electricity demand", "methane leakage",
+    "material usage", "freight emissions", "plastic content", "chemical discharge",
+    "land disturbance", "fuel intensity", "heat demand", "refrigerant losses",
+];
+
+/// Compositional qualifier prepositional tails.
+pub const QUALIFIER_TAILS: &[&str] = &[
+    "from manufacturing sites", "across distribution centers", "in company-owned stores",
+    "from our vehicle fleet", "within data operations", "from purchased goods",
+    "across office buildings", "in high-risk regions", "from packaging lines",
+    "within the supply base",
+];
+
+/// Plain suffixes with no year.
+pub const SUFFIXES: &[&str] = &[
+    "across all operations",
+    "across our global sites",
+    "for our data center operations",
+    "at our Bay Area headquarters",
+    "at key suppliers",
+    "in all markets where we operate",
+    "for all major product lines",
+    "throughout the value chain",
+];
+
+/// Non-objective noise blocks (report boilerplate), for detection training
+/// and document generation.
+pub const NOISE_BLOCKS: &[&str] = &[
+    "Climate change is one of the world's greatest crises, and to address it, the public and private sectors need to act together.",
+    "This report was prepared in accordance with the GRI Standards: Core option.",
+    "Reducing carbon emissions in transportation is a complex challenge for many companies.",
+    "Businesses also face the challenge of removing carbon emissions from new building construction.",
+    "The table below summarizes our governance structure and board committees.",
+    "Our materiality assessment engaged over 500 stakeholders across 12 countries.",
+    "Forward-looking statements in this document involve risks and uncertainties.",
+    "The audit committee reviewed the financial statements for the reporting period.",
+    "Figures have been restated to reflect the divestiture completed during the year.",
+    "For definitions of key terms, please refer to the glossary in the appendix.",
+    "Stakeholder dialogue remains central to how we prioritize sustainability topics.",
+    "Our products are sold in more than 90 countries through a network of distributors.",
+    "Management discussion and analysis of operational results follows in section four.",
+    "Employees completed mandatory compliance training during the onboarding process.",
+    "The photograph on the cover shows our apprentices at the Hamburg facility.",
+    "Revenue grew moderately while operating expenses remained broadly stable.",
+    "An overview of our certifications is provided at the end of this chapter.",
+    "We welcome feedback on this report via the contact form on our website.",
+];
+
+/// Company-name fragments for synthetic company generation.
+pub const COMPANY_HEADS: &[&str] = &[
+    "Nordic", "Alpine", "Pacific", "Atlas", "Vertex", "Solstice", "Meridian", "Cascade",
+    "Aurora", "Granite", "Harbor", "Summit", "Orchid", "Falcon", "Juniper", "Beacon",
+];
+
+/// Company-name suffixes.
+pub const COMPANY_TAILS: &[&str] = &[
+    "Industries", "Group", "Holdings", "Energy", "Foods", "Pharma", "Logistics",
+    "Materials", "Retail", "Technologies", "Chemicals", "Mobility",
+];
+
+/// Emission-goal subjects for the NetZeroFacts-style dataset.
+pub const EMISSION_SUBJECTS: &[&str] = &[
+    "CO2 emissions",
+    "carbon emissions",
+    "greenhouse gas emissions",
+    "absolute scope 1 emissions",
+    "scope 2 emissions",
+    "emission intensity",
+    "CO2e per tonne of product",
+    "fleet emissions",
+    "operational emissions",
+    "upstream emissions",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn banks_are_nonempty_and_distinct() {
+        for bank in [
+            ACTIONS,
+            AMOUNTS,
+            QUALIFIERS,
+            BASELINE_FRAMES,
+            DEADLINE_FRAMES,
+            PREFIXES,
+            SUFFIXES,
+            NOISE_BLOCKS,
+            EMISSION_SUBJECTS,
+            PCT_DISTRACTORS_PRE,
+            PCT_DISTRACTORS_POST,
+            VERB_DISTRACTORS,
+            SECOND_TARGETS,
+            SECOND_TARGETS_DATED,
+            SUPERSEDED_LEADS,
+            QUALIFIER_MODIFIERS,
+            QUALIFIER_HEADS,
+            QUALIFIER_TAILS,
+        ] {
+            assert!(!bank.is_empty());
+            let set: std::collections::HashSet<&&str> = bank.iter().collect();
+            assert_eq!(set.len(), bank.len(), "duplicate entries in a bank");
+        }
+    }
+
+    #[test]
+    fn frames_contain_placeholder() {
+        for f in BASELINE_FRAMES.iter().chain(DEADLINE_FRAMES).chain(SUFFIX_DISTRACTORS) {
+            assert!(f.contains("{}"), "frame {f:?} missing year placeholder");
+        }
+    }
+}

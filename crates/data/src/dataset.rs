@@ -1,0 +1,103 @@
+//! Dataset container and deterministic splits.
+
+use gs_core::Objective;
+use gs_text::labels::LabelSet;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// A named collection of (possibly annotated) objectives with a fixed label
+/// set.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Dataset {
+    /// Dataset name (for reports).
+    pub name: String,
+    /// The entity kinds this dataset is annotated with.
+    pub labels: LabelSet,
+    /// The objectives.
+    pub objectives: Vec<Objective>,
+}
+
+impl Dataset {
+    /// Number of objectives.
+    pub fn len(&self) -> usize {
+        self.objectives.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.objectives.is_empty()
+    }
+
+    /// Deterministic shuffled train/test split; `test_fraction` of the data
+    /// becomes the held-out test set (the paper uses 20%, §4.1).
+    pub fn split(&self, test_fraction: f64, seed: u64) -> (Vec<&Objective>, Vec<&Objective>) {
+        assert!((0.0..=1.0).contains(&test_fraction), "fraction out of range");
+        let mut indices: Vec<usize> = (0..self.objectives.len()).collect();
+        indices.shuffle(&mut StdRng::seed_from_u64(seed));
+        let test_len = ((self.objectives.len() as f64) * test_fraction).round() as usize;
+        let (test_idx, train_idx) = indices.split_at(test_len);
+        let pick = |idx: &[usize]| idx.iter().map(|&i| &self.objectives[i]).collect::<Vec<_>>();
+        (pick(train_idx), pick(test_idx))
+    }
+
+    /// All objective texts (for tokenizer training).
+    pub fn texts(&self) -> Vec<&str> {
+        self.objectives.iter().map(|o| o.text.as_str()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gs_core::Annotations;
+
+    fn tiny_dataset(n: usize) -> Dataset {
+        Dataset {
+            name: "tiny".into(),
+            labels: LabelSet::sustainability_goals(),
+            objectives: (0..n)
+                .map(|i| {
+                    Objective::annotated(i as u64, format!("objective {i}"), Annotations::new())
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn split_is_disjoint_and_complete() {
+        let d = tiny_dataset(100);
+        let (train, test) = d.split(0.2, 5);
+        assert_eq!(test.len(), 20);
+        assert_eq!(train.len(), 80);
+        let train_ids: std::collections::HashSet<u64> = train.iter().map(|o| o.id).collect();
+        for o in &test {
+            assert!(!train_ids.contains(&o.id));
+        }
+    }
+
+    #[test]
+    fn split_is_deterministic_per_seed() {
+        let d = tiny_dataset(50);
+        let (_, t1) = d.split(0.2, 9);
+        let (_, t2) = d.split(0.2, 9);
+        assert_eq!(
+            t1.iter().map(|o| o.id).collect::<Vec<_>>(),
+            t2.iter().map(|o| o.id).collect::<Vec<_>>()
+        );
+        let (_, t3) = d.split(0.2, 10);
+        assert_ne!(
+            t1.iter().map(|o| o.id).collect::<Vec<_>>(),
+            t3.iter().map(|o| o.id).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn zero_fraction_keeps_everything_in_train() {
+        let d = tiny_dataset(10);
+        let (train, test) = d.split(0.0, 1);
+        assert_eq!(train.len(), 10);
+        assert!(test.is_empty());
+    }
+}

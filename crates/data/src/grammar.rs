@@ -1,0 +1,486 @@
+//! Compositional generator for synthetic sustainability objectives.
+//!
+//! Each generated objective is assembled from phrase banks through one of
+//! several syntactic frames, while tracking exactly which component strings
+//! were placed into the text. The gold components then become the coarse,
+//! objective-level annotations — optionally with *annotation dropout*
+//! (a present component the expert did not annotate, producing the paper's
+//! per-field coverage imbalance) and *annotation noise* (the expert wrote a
+//! lexical variant that exact token matching cannot locate, the §5.3
+//! limitation).
+//!
+//! Difficulty comes from *role ambiguity*: percentages, years, and lexicon
+//! verbs also appear in distractor clauses where they are NOT the amount /
+//! deadline / action, and objectives may carry a second, unannotated target
+//! (paper §5.3). Resolving these requires sentence-level context, which is
+//! exactly the axis on which the paper's comparison separates the
+//! approaches.
+
+use crate::banks;
+use gs_core::{Annotations, Objective};
+use rand::rngs::StdRng;
+use rand::seq::IndexedRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Presence and annotation-coverage rates for one field.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct FieldRates {
+    /// Probability the component appears in the generated text.
+    pub presence: f64,
+    /// Probability a present component is annotated by the "expert".
+    pub coverage: f64,
+}
+
+/// Generator configuration.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct GrammarConfig {
+    /// Action field rates.
+    pub action: FieldRates,
+    /// Amount field rates.
+    pub amount: FieldRates,
+    /// Qualifier field rates.
+    pub qualifier: FieldRates,
+    /// Baseline field rates.
+    pub baseline: FieldRates,
+    /// Deadline field rates.
+    pub deadline: FieldRates,
+    /// Probability an annotated value is a lexical variant of the text
+    /// (case/inflection change), which exact matching may miss.
+    pub annotation_noise: f64,
+    /// Probability of a contextual prefix clause.
+    pub p_prefix: f64,
+    /// Probability of a trailing scope suffix.
+    pub p_suffix: f64,
+    /// Probability of a distractor clause containing an irrelevant year.
+    pub p_year_distractor: f64,
+    /// Probability of a leading clause containing an irrelevant percent.
+    pub p_pct_distractor_pre: f64,
+    /// Probability of a trailing clause containing an irrelevant percent.
+    pub p_pct_distractor_post: f64,
+    /// Probability of a clause containing lexicon verbs in non-Action roles.
+    pub p_verb_distractor: f64,
+    /// Probability of a second, unannotated target in the same sentence.
+    pub p_second_target: f64,
+    /// Probability of a superseded-commitment lead clause (a full earlier
+    /// target that is no longer the objective).
+    pub p_superseded_lead: f64,
+    /// Probability a qualifier is built compositionally
+    /// (modifier + head + tail) rather than drawn from the fixed bank.
+    pub p_compositional_qualifier: f64,
+}
+
+impl Default for GrammarConfig {
+    /// Rates tuned so annotated-field frequencies match the paper's
+    /// *Sustainability Goals* dataset: Action ~85%, Baseline ~14%,
+    /// Deadline ~34% (§4.3).
+    fn default() -> Self {
+        GrammarConfig {
+            action: FieldRates { presence: 0.90, coverage: 0.95 },
+            amount: FieldRates { presence: 0.65, coverage: 0.92 },
+            qualifier: FieldRates { presence: 0.88, coverage: 0.88 },
+            baseline: FieldRates { presence: 0.16, coverage: 0.88 },
+            deadline: FieldRates { presence: 0.38, coverage: 0.90 },
+            annotation_noise: 0.08,
+            p_prefix: 0.35,
+            p_suffix: 0.25,
+            p_year_distractor: 0.25,
+            p_pct_distractor_pre: 0.22,
+            p_pct_distractor_post: 0.18,
+            p_verb_distractor: 0.20,
+            p_second_target: 0.30,
+            p_superseded_lead: 0.25,
+            p_compositional_qualifier: 0.5,
+        }
+    }
+}
+
+/// A generated objective together with the components actually placed in
+/// its text (before annotation dropout/noise).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct GeneratedObjective {
+    /// The assembled objective.
+    pub objective: Objective,
+    /// Ground-truth components present in the text (field name -> exact
+    /// substring). This is what a perfect extractor should produce,
+    /// independent of what was annotated.
+    pub truth: Annotations,
+}
+
+/// Deterministic objective generator.
+pub struct ObjectiveGrammar {
+    config: GrammarConfig,
+}
+
+impl ObjectiveGrammar {
+    /// Creates a generator with the given configuration.
+    pub fn new(config: GrammarConfig) -> Self {
+        ObjectiveGrammar { config }
+    }
+
+    /// Generates one annotated objective.
+    pub fn generate(&self, id: u64, rng: &mut StdRng) -> GeneratedObjective {
+        let c = &self.config;
+        let has_action = rng.random_bool(c.action.presence);
+        let has_amount = rng.random_bool(c.amount.presence);
+        let has_qualifier = rng.random_bool(c.qualifier.presence) || (!has_action && !has_amount);
+        let has_deadline = rng.random_bool(c.deadline.presence);
+        // A baseline only makes sense next to a dated change.
+        let has_baseline =
+            has_deadline && rng.random_bool(c.baseline.presence / c.deadline.presence.max(1e-9));
+
+        let action = has_action.then(|| (*banks::ACTIONS.choose(rng).expect("bank")).to_string());
+        // 70% of amounts are percents drawn from the same distribution as
+        // distractor percents, so value identity carries no role signal.
+        let amount = has_amount.then(|| {
+            if rng.random_bool(0.7) {
+                format!("{}%", rng.random_range(2..=95))
+            } else {
+                (*banks::AMOUNTS.choose(rng).expect("bank")).to_string()
+            }
+        });
+        let qualifier = has_qualifier.then(|| self.make_qualifier(rng));
+        let deadline_year = rng.random_range(2024..=2055);
+        let baseline_year = rng.random_range(2010..=2022);
+        let deadline = has_deadline.then(|| deadline_year.to_string());
+        let baseline = has_baseline.then(|| baseline_year.to_string());
+
+        let text = self.assemble(
+            rng,
+            action.as_deref(),
+            amount.as_deref(),
+            qualifier.as_deref(),
+            baseline.as_deref(),
+            deadline.as_deref(),
+        );
+
+        let mut truth = Annotations::new();
+        let mut annotations = Annotations::new();
+        for (name, value, rates) in [
+            ("Action", &action, c.action),
+            ("Amount", &amount, c.amount),
+            ("Qualifier", &qualifier, c.qualifier),
+            ("Baseline", &baseline, c.baseline),
+            ("Deadline", &deadline, c.deadline),
+        ] {
+            let Some(v) = value else {
+                annotations.set(name, "");
+                continue;
+            };
+            truth.set(name, v);
+            if rng.random_bool(rates.coverage) {
+                let annotated = if rng.random_bool(c.annotation_noise) {
+                    noisy_variant(v, rng)
+                } else {
+                    v.clone()
+                };
+                annotations.set(name, &annotated);
+            } else {
+                annotations.set(name, "");
+            }
+        }
+
+        GeneratedObjective { objective: Objective::annotated(id, text, annotations), truth }
+    }
+
+    /// Draws a qualifier: either from the fixed bank or composed from a
+    /// large open vocabulary (modifier + head + optional tail).
+    fn make_qualifier(&self, rng: &mut StdRng) -> String {
+        if !rng.random_bool(self.config.p_compositional_qualifier) {
+            return (*banks::QUALIFIERS.choose(rng).expect("bank")).to_string();
+        }
+        let head = *banks::QUALIFIER_HEADS.choose(rng).expect("bank");
+        let mut out = String::new();
+        if rng.random_bool(0.6) {
+            out.push_str(banks::QUALIFIER_MODIFIERS.choose(rng).expect("bank"));
+            out.push(' ');
+        }
+        out.push_str(head);
+        if rng.random_bool(0.4) {
+            out.push(' ');
+            out.push_str(banks::QUALIFIER_TAILS.choose(rng).expect("bank"));
+        }
+        out
+    }
+
+    /// Assembles the objective text from the chosen components using one of
+    /// several syntactic frames, returning the final sentence. Components
+    /// are inserted verbatim so gold values are exact substrings.
+    fn assemble(
+        &self,
+        rng: &mut StdRng,
+        action: Option<&str>,
+        amount: Option<&str>,
+        qualifier: Option<&str>,
+        baseline: Option<&str>,
+        deadline: Option<&str>,
+    ) -> String {
+        let c = &self.config;
+        let deadline_phrase =
+            deadline.map(|y| fill(banks::DEADLINE_FRAMES.choose(rng).expect("bank"), y));
+        let baseline_phrase =
+            baseline.map(|y| fill(banks::BASELINE_FRAMES.choose(rng).expect("bank"), y));
+
+        // Core clause: arrange action/amount/qualifier.
+        let core = match (action, amount, qualifier) {
+            (Some(a), Some(m), Some(q)) => match rng.random_range(0..3) {
+                0 => format!("{a} {q} by {m}"),
+                1 => format!("{a} {m} of our {q}"),
+                _ => format!("{a} {m} {q}"),
+            },
+            (Some(a), Some(m), None) => format!("{a} {m}"),
+            (Some(a), None, Some(q)) => format!("{a} {q}"),
+            (None, Some(m), Some(q)) => format!("{m} {q}"),
+            (Some(a), None, None) => format!("{a} our sustainability performance"),
+            (None, Some(m), None) => format!("{m} improvement target"),
+            (None, None, Some(q)) => format!("Focus on {q}"),
+            (None, None, None) => "Strengthen our sustainability program".to_string(),
+        };
+
+        let mut parts: Vec<String> = Vec::new();
+
+        // Superseded-commitment lead: a full earlier target whose percent
+        // and year windows are locally identical to the live target's.
+        let has_superseded = rng.random_bool(c.p_superseded_lead);
+        if has_superseded {
+            let q = self.make_qualifier(rng);
+            let p = format!("{}%", rng.random_range(2..=95));
+            let y = rng.random_range(2024..=2045).to_string();
+            let b = rng.random_range(2010..=2022).to_string();
+            let frame = banks::SUPERSEDED_LEADS.choose(rng).expect("bank");
+            parts.push(
+                frame
+                    .replacen("{q}", &q, 1)
+                    .replacen("{p}", &p, 1)
+                    .replacen("{y}", &y, 1)
+                    .replacen("{b}", &b, 1),
+            );
+        }
+
+        // Leading percent distractor — a percent BEFORE the real amount,
+        // with a qualifier-distribution noun phrase next to it. Exclusive
+        // with the superseded lead so sentences carry at most one leading
+        // distractor clause.
+        if !has_superseded && rng.random_bool(c.p_pct_distractor_pre) {
+            let pct = format!("{}%", rng.random_range(2..=95));
+            let q = self.make_qualifier(rng);
+            let frame = banks::PCT_DISTRACTORS_PRE.choose(rng).expect("bank");
+            parts.push(frame.replacen("{q}", &q, 1).replacen("{p}", &pct, 1));
+        }
+
+        let deadline_fronted = deadline_phrase.is_some() && rng.random_bool(0.25);
+        if deadline_fronted {
+            let dp = deadline_phrase.clone().expect("deadline present");
+            let fronted = if parts.is_empty() { capitalize(&dp) } else { dp };
+            parts.push(format!("{fronted},"));
+        } else if rng.random_bool(c.p_prefix)
+            && !action.is_some_and(|a| a.starts_with("will "))
+        {
+            // Prefixes end in "to"/"we will"; skip them for "will ..."
+            // action forms to avoid ungrammatical "to will reduce".
+            let prefix = *banks::PREFIXES.choose(rng).expect("bank");
+            parts.push(prefix.to_string());
+        }
+
+        parts.push(core);
+
+        // Second, unannotated target (multi-target objectives, §5.3).
+        // Half of them carry their own deadline, producing "by {m} by {y}"
+        // windows locally identical to the primary target's.
+        if rng.random_bool(c.p_second_target) {
+            let q2 = self.make_qualifier(rng);
+            let m2 = format!("{}%", rng.random_range(2..=95));
+            if rng.random_bool(0.5) {
+                let y2 = rng.random_range(2024..=2055).to_string();
+                let frame = banks::SECOND_TARGETS_DATED.choose(rng).expect("bank");
+                parts.push(
+                    frame
+                        .replacen("{q}", &q2, 1)
+                        .replacen("{m}", &m2, 1)
+                        .replacen("{y}", &y2, 1),
+                );
+            } else {
+                let frame = banks::SECOND_TARGETS.choose(rng).expect("bank");
+                parts.push(frame.replacen("{q}", &q2, 1).replacen("{m}", &m2, 1));
+            }
+        }
+
+        if !deadline_fronted {
+            if let Some(dp) = &deadline_phrase {
+                parts.push(dp.clone());
+            }
+        }
+        if let Some(bp) = &baseline_phrase {
+            parts.push(bp.clone());
+        }
+        if rng.random_bool(c.p_verb_distractor) {
+            parts.push((*banks::VERB_DISTRACTORS.choose(rng).expect("bank")).to_string());
+        }
+        if rng.random_bool(c.p_suffix) {
+            parts.push((*banks::SUFFIXES.choose(rng).expect("bank")).to_string());
+        }
+        if rng.random_bool(c.p_pct_distractor_post) {
+            let pct = format!("{}%", rng.random_range(2..=95));
+            let q = self.make_qualifier(rng);
+            let frame = banks::PCT_DISTRACTORS_POST.choose(rng).expect("bank");
+            parts.push(frame.replacen("{q}", &q, 1).replacen("{p}", &pct, 1));
+        }
+        if rng.random_bool(c.p_year_distractor) {
+            let year = rng.random_range(2015..=2023).to_string();
+            parts.push(fill(banks::SUFFIX_DISTRACTORS.choose(rng).expect("bank"), &year));
+        }
+        let mut text = parts.join(" ");
+        text.push('.');
+        text
+    }
+}
+
+fn fill(frame: &str, value: &str) -> String {
+    frame.replacen("{}", value, 1)
+}
+
+fn capitalize(s: &str) -> String {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(f) => f.to_uppercase().collect::<String>() + chars.as_str(),
+        None => String::new(),
+    }
+}
+
+/// Produces a lexical variant of an annotation value: case flip on the first
+/// letter, or dropping a leading auxiliary ("will reduce" -> "reduce").
+/// These are the semantically-equivalent-but-lexically-different expressions
+/// the paper's exact matcher misses (§5.3).
+fn noisy_variant(value: &str, rng: &mut StdRng) -> String {
+    if let Some(stripped) = value.strip_prefix("will ") {
+        return stripped.to_string();
+    }
+    let mut chars = value.chars();
+    match chars.next() {
+        Some(f) if f.is_lowercase() && rng.random_bool(0.5) => {
+            f.to_uppercase().collect::<String>() + chars.as_str()
+        }
+        Some(f) => f.to_lowercase().collect::<String>() + chars.as_str(),
+        None => String::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn generate_many(n: usize, seed: u64) -> Vec<GeneratedObjective> {
+        let grammar = ObjectiveGrammar::new(GrammarConfig::default());
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|i| grammar.generate(i as u64, &mut rng)).collect()
+    }
+
+    #[test]
+    fn truth_components_are_exact_substrings() {
+        for g in generate_many(300, 1) {
+            for (_, v) in g.truth.present() {
+                assert!(
+                    g.objective.text.contains(v),
+                    "truth value {:?} not in text {:?}",
+                    v,
+                    g.objective.text
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate_many(50, 42);
+        let b = generate_many(50, 42);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.objective.text, y.objective.text);
+            assert_eq!(x.objective.annotations, y.objective.annotations);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate_many(20, 1);
+        let b = generate_many(20, 2);
+        assert!(a.iter().zip(&b).any(|(x, y)| x.objective.text != y.objective.text));
+    }
+
+    #[test]
+    fn coverage_rates_match_paper_profile() {
+        let n = 4000;
+        let gens = generate_many(n, 7);
+        let rate = |field: &str| {
+            gens.iter()
+                .filter(|g| {
+                    g.objective
+                        .annotations
+                        .as_ref()
+                        .and_then(|a| a.get(field))
+                        .is_some_and(|v| !v.is_empty())
+                })
+                .count() as f64
+                / n as f64
+        };
+        let action = rate("Action");
+        let baseline = rate("Baseline");
+        let deadline = rate("Deadline");
+        // Paper §4.3: Action 85%, Baseline 14%, Deadline 34%.
+        assert!((action - 0.85).abs() < 0.05, "action coverage {action}");
+        assert!((baseline - 0.14).abs() < 0.05, "baseline coverage {baseline}");
+        assert!((deadline - 0.34).abs() < 0.06, "deadline coverage {deadline}");
+    }
+
+    #[test]
+    fn annotation_noise_produces_nonsubstring_values() {
+        let gens = generate_many(1500, 11);
+        let mut noisy = 0;
+        let mut total = 0;
+        for g in &gens {
+            let ann = g.objective.annotations.as_ref().expect("annotated");
+            for (_, v) in ann.present() {
+                total += 1;
+                if !g.objective.text.contains(v) {
+                    noisy += 1;
+                }
+            }
+        }
+        let frac = noisy as f64 / total as f64;
+        assert!(frac > 0.02 && frac < 0.15, "noise fraction {frac}");
+    }
+
+    #[test]
+    fn distractors_inject_role_ambiguity() {
+        let gens = generate_many(1000, 13);
+        // Count objectives whose text has more percents than gold amounts.
+        let mut ambiguous = 0;
+        for g in &gens {
+            let pct_count = g.objective.text.matches('%').count();
+            let amount_is_pct = g.truth.get("Amount").is_some_and(|a| a.contains('%'));
+            if pct_count > usize::from(amount_is_pct) {
+                ambiguous += 1;
+            }
+        }
+        let frac = ambiguous as f64 / gens.len() as f64;
+        assert!(frac > 0.25, "too little ambiguity: {frac}");
+    }
+
+    #[test]
+    fn compositional_qualifiers_create_open_vocabulary() {
+        let gens = generate_many(800, 17);
+        let qualifiers: std::collections::HashSet<String> = gens
+            .iter()
+            .filter_map(|g| g.truth.get("Qualifier").map(str::to_string))
+            .collect();
+        assert!(qualifiers.len() > 150, "only {} distinct qualifiers", qualifiers.len());
+    }
+
+    #[test]
+    fn texts_end_with_period_and_are_nonempty() {
+        for g in generate_many(100, 3) {
+            assert!(g.objective.text.ends_with('.'));
+            assert!(g.objective.text.len() > 7, "text {:?}", g.objective.text);
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! # gs-data
+//!
+//! Synthetic corpora standing in for the paper's evaluation data (see
+//! DESIGN.md for the substitution rationale):
+//!
+//! - [`sustaingoals`]: the proprietary *Sustainability Goals* dataset
+//!   (1106 objectives, five fields, paper-matched coverage imbalance).
+//! - [`netzerofacts`]: the *NetZeroFacts* emission-goal benchmark
+//!   (599 annotated sentences, three fields).
+//! - [`documents`] / [`deployment`]: the report/page/block document model
+//!   and the 14-company post-deployment corpus of Table 5.
+//! - [`grammar`]: the compositional objective generator both datasets use.
+
+#![warn(missing_docs)]
+
+pub mod banks;
+pub mod dataset;
+pub mod deployment;
+pub mod documents;
+pub mod grammar;
+pub mod netzerofacts;
+pub mod sustaingoals;
+pub mod unlabeled;
+
+pub use dataset::Dataset;
+pub use grammar::{FieldRates, GeneratedObjective, GrammarConfig, ObjectiveGrammar};

@@ -1,0 +1,265 @@
+//! The *NetZeroFacts*-sim dataset.
+//!
+//! Stands in for the NetZeroFacts benchmark (Wrzalik et al. 2024): emission
+//! goal passages from climate-related business reports, of which the paper
+//! extracts 599 sentences annotated with labels such as *target value*,
+//! *reference year*, and *target year* (§4.1). Real NetZeroFacts passages
+//! are messier than curated objectives — multiple years per sentence
+//! (interim + final targets, reporting years), varied reference-year
+//! phrasing, and surrounding narrative — and the paper's scores on it are
+//! correspondingly lower. The generator reproduces that difficulty profile:
+//! the annotated target is the sentence's *primary* goal, while interim
+//! targets and reporting years act as distractors.
+
+use crate::banks;
+use crate::dataset::Dataset;
+use gs_core::{Annotations, Objective};
+use gs_text::labels::LabelSet;
+use rand::rngs::StdRng;
+use rand::seq::IndexedRandom;
+use rand::Rng;
+use rand::SeedableRng;
+
+/// Number of annotated sentences the paper extracts.
+pub const PAPER_SIZE: usize = 599;
+
+/// Generates `n` annotated emission-goal sentences.
+pub fn generate(n: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let objectives = (0..n).map(|i| generate_sentence(i as u64, &mut rng)).collect();
+    Dataset { name: "NetZeroFacts".into(), labels: LabelSet::netzerofacts(), objectives }
+}
+
+/// Generates the dataset at the paper's size.
+pub fn generate_paper_scale(seed: u64) -> Dataset {
+    generate(PAPER_SIZE, seed)
+}
+
+/// Generates the surrounding passage pool: `n_noise` non-goal passages, for
+/// detection-stage experiments.
+pub fn generate_noise_passages(n_noise: usize, seed: u64) -> Vec<String> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n_noise)
+        .map(|_| (*banks::NOISE_BLOCKS.choose(&mut rng).expect("bank")).to_string())
+        .collect()
+}
+
+fn generate_sentence(id: u64, rng: &mut StdRng) -> Objective {
+    let subject = *banks::EMISSION_SUBJECTS.choose(rng).expect("bank");
+    let target_year: u32 = rng.random_range(2028..=2055);
+    let reference_year: u32 = rng.random_range(2005..=2022);
+    let has_reference = rng.random_bool(0.55);
+
+    let mut clauses: Vec<String> = Vec::new();
+
+    // Leading narrative (with possible distractor year/percent).
+    if rng.random_bool(0.45) {
+        let lead = [
+            "As part of our climate transition plan,",
+            "Following the commitments made in {Y},",
+            "Having reduced {S2} by {P} since {Y},",
+            "After already cutting {S2} by {P} from {Y},",
+            "Moving beyond our earlier pledge to cut {S2} by {P} by {Y1},",
+            "Replacing the previous target to reduce {S2} by {P} by {Y1},",
+        ]
+        .choose(rng)
+        .expect("leads");
+        let y = rng.random_range(2015..=2023).to_string();
+        let y1 = rng.random_range(2024..=2045).to_string();
+        let p = format!("{}%", rng.random_range(5..=95));
+        let s2 = *banks::EMISSION_SUBJECTS.choose(rng).expect("bank");
+        clauses.push(
+            lead.replacen("{Y}", &y, 2)
+                .replacen("{Y1}", &y1, 1)
+                .replacen("{P}", &p, 1)
+                .replacen("{S2}", s2, 1),
+        );
+    }
+
+    // Primary goal: percentage reduction or net-zero commitment.
+    let (core, target_value): (String, String) = if rng.random_bool(0.65) {
+        let value = format!("{}%", rng.random_range(5..=95));
+        let verb = ["reduce", "cut", "lower", "decrease", "we aim to reduce", "we will reduce",
+            "the Group intends to reduce"]
+            .choose(rng)
+            .expect("verbs");
+        let frame = [
+            "{V} {S} by {VAL} by {TY}",
+            "{V} {S} {VAL} by {TY}",
+            "by {TY}, {V} {S} by {VAL}",
+        ]
+        .choose(rng)
+        .expect("frames");
+        let core = frame
+            .replacen("{V}", verb, 1)
+            .replacen("{S}", subject, 1)
+            .replacen("{VAL}", &value, 1)
+            .replacen("{TY}", &target_year.to_string(), 1);
+        (capitalize(&core), value)
+    } else {
+        let value = ["net zero", "net-zero", "carbon neutrality", "climate neutrality"]
+            .choose(rng)
+            .expect("values")
+            .to_string();
+        let frame = [
+            "We are committed to reaching {VAL} {S} by {TY}",
+            "Achieve {VAL} across {S} by {TY}",
+            "Our ambition is {VAL} {S} no later than {TY}",
+            "The company targets {VAL} for {S} by {TY}",
+        ]
+        .choose(rng)
+        .expect("frames");
+        let core = frame
+            .replacen("{VAL}", &value, 1)
+            .replacen("{S}", subject, 1)
+            .replacen("{TY}", &target_year.to_string(), 1);
+        (core, value)
+    };
+    clauses.push(core);
+
+    // Reference year in one of several phrasings.
+    let mut reference_in_text = false;
+    if has_reference {
+        let frame = [
+            "compared to {}",
+            "against a {} baseline",
+            "from {} levels",
+            "relative to {}",
+            "versus the {} base year",
+            "from a {} base year",
+        ]
+        .choose(rng)
+        .expect("frames");
+        clauses.push(frame.replacen("{}", &reference_year.to_string(), 1));
+        reference_in_text = true;
+    }
+
+    // Interim-target distractor: a second (value, year) pair that is NOT
+    // the annotated primary target. The "by {P} by {Y}" phrasings create
+    // windows locally identical to the primary goal's.
+    if rng.random_bool(0.45) {
+        let interim_pct = format!("{}%", rng.random_range(5..=95));
+        let interim_year = rng.random_range(2024..=target_year.saturating_sub(1).max(2024));
+        let frame = [
+            "with an interim milestone of {P} by {Y}",
+            "after first cutting emissions by {P} by {Y}",
+            "including an intermediate reduction by {P} by {Y}",
+            "after an initial {P} reduction planned for {Y}",
+        ]
+        .choose(rng)
+        .expect("frames");
+        clauses.push(
+            frame
+                .replacen("{P}", &interim_pct, 1)
+                .replacen("{Y}", &interim_year.to_string(), 1),
+        );
+    }
+
+    // Trailing narrative distractor.
+    if rng.random_bool(0.3) {
+        let frame = [
+            "as validated by the SBTi in {}",
+            "as disclosed in our {} CDP response",
+            "first announced at the {} capital markets day",
+        ]
+        .choose(rng)
+        .expect("frames");
+        let y = rng.random_range(2018..=2023).to_string();
+        clauses.push(frame.replacen("{}", &y, 1));
+    }
+
+    let mut text = clauses.join(" ");
+    text.push('.');
+
+    let mut ann = Annotations::new();
+    ann.set("TargetValue", &target_value);
+    ann.set("TargetYear", &target_year.to_string());
+    let reference_value =
+        if reference_in_text { reference_year.to_string() } else { String::new() };
+    ann.set("ReferenceYear", &reference_value);
+    Objective::annotated(id, text, ann)
+}
+
+fn capitalize(s: &str) -> String {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(f) => f.to_uppercase().collect::<String>() + chars.as_str(),
+        None => String::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_scale_has_599_sentences() {
+        let d = generate_paper_scale(1);
+        assert_eq!(d.len(), PAPER_SIZE);
+        assert_eq!(d.labels.num_kinds(), 3);
+    }
+
+    #[test]
+    fn every_sentence_has_a_target_value_and_year() {
+        let d = generate(150, 4);
+        for o in &d.objectives {
+            let ann = o.annotations.as_ref().expect("annotated");
+            let tv = ann.get("TargetValue").expect("value present");
+            let ty = ann.get("TargetYear").expect("year present");
+            assert!(!tv.is_empty());
+            assert!(!ty.is_empty());
+            assert!(o.text.contains(tv), "{tv:?} not in {:?}", o.text);
+            assert!(o.text.contains(ty), "{ty:?} not in {:?}", o.text);
+        }
+    }
+
+    #[test]
+    fn reference_year_annotation_matches_text() {
+        let d = generate(300, 5);
+        let mut with_ref = 0;
+        for o in &d.objectives {
+            let ann = o.annotations.as_ref().expect("annotated");
+            if let Some(ry) = ann.get("ReferenceYear") {
+                if !ry.is_empty() {
+                    with_ref += 1;
+                    assert!(o.text.contains(ry));
+                }
+            }
+        }
+        assert!(with_ref > 100 && with_ref < 220, "reference-year count {with_ref}");
+    }
+
+    #[test]
+    fn distractor_years_are_common() {
+        let d = generate(500, 9);
+        let year_count = |text: &str| {
+            gs_text::pretokenize(text)
+                .iter()
+                .filter(|t| {
+                    t.text.len() == 4
+                        && t.text.chars().all(|c| c.is_ascii_digit())
+                        && (t.text.starts_with("19") || t.text.starts_with("20"))
+                })
+                .count()
+        };
+        let multi_year = d
+            .objectives
+            .iter()
+            .filter(|o| {
+                let ann = o.annotations.as_ref().expect("annotated");
+                let annotated_years = usize::from(!ann.get("TargetYear").unwrap_or("").is_empty())
+                    + usize::from(!ann.get("ReferenceYear").unwrap_or("").is_empty());
+                year_count(&o.text) > annotated_years
+            })
+            .count();
+        let frac = multi_year as f64 / d.len() as f64;
+        assert!(frac > 0.3, "too few distractor years: {frac}");
+    }
+
+    #[test]
+    fn noise_passages_are_generated() {
+        let noise = generate_noise_passages(50, 1);
+        assert_eq!(noise.len(), 50);
+        assert!(noise.iter().all(|p| !p.is_empty()));
+    }
+}

@@ -1,0 +1,66 @@
+//! Unlabeled in-domain corpora for masked-language-model pretraining.
+//!
+//! These stand in for the large body of sustainability-report text the
+//! paper's pretrained encoders have absorbed. Texts are generated from the
+//! same grammars as the labeled datasets but with independent seeds, and no
+//! annotations are exposed — the pretraining stage never sees extraction
+//! labels.
+
+use crate::banks;
+use crate::grammar::{GrammarConfig, ObjectiveGrammar};
+use rand::rngs::StdRng;
+use rand::seq::IndexedRandom;
+use rand::SeedableRng;
+
+/// Unlabeled sustainability-objective + boilerplate corpus for the
+/// *Sustainability Goals* domain.
+pub fn sustaingoals_corpus(n: usize, seed: u64) -> Vec<String> {
+    let grammar = ObjectiveGrammar::new(GrammarConfig::default());
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        if i % 4 == 3 {
+            out.push((*banks::NOISE_BLOCKS.choose(&mut rng).expect("bank")).to_string());
+        } else {
+            out.push(grammar.generate(i as u64, &mut rng).objective.text);
+        }
+    }
+    out
+}
+
+/// Unlabeled emission-goal + boilerplate corpus for the *NetZeroFacts*
+/// domain.
+pub fn netzerofacts_corpus(n: usize, seed: u64) -> Vec<String> {
+    let goals = crate::netzerofacts::generate(n - n / 4, seed);
+    let mut out: Vec<String> = goals.objectives.into_iter().map(|o| o.text).collect();
+    out.extend(crate::netzerofacts::generate_noise_passages(n / 4, seed.wrapping_add(1)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpora_have_requested_sizes() {
+        assert_eq!(sustaingoals_corpus(100, 1).len(), 100);
+        assert_eq!(netzerofacts_corpus(100, 1).len(), 100);
+    }
+
+    #[test]
+    fn corpora_are_deterministic_and_seeded() {
+        assert_eq!(sustaingoals_corpus(20, 5), sustaingoals_corpus(20, 5));
+        assert_ne!(sustaingoals_corpus(20, 5), sustaingoals_corpus(20, 6));
+    }
+
+    #[test]
+    fn corpus_mixes_objectives_and_noise() {
+        let corpus = sustaingoals_corpus(40, 2);
+        let noise: Vec<&String> = corpus
+            .iter()
+            .filter(|t| banks::NOISE_BLOCKS.contains(&t.as_str()))
+            .collect();
+        assert!(!noise.is_empty());
+        assert!(noise.len() < corpus.len());
+    }
+}

@@ -1,0 +1,299 @@
+//! Precision / Recall / F1 as the paper defines them (§4.1):
+//!
+//! - TP: the approach correctly extracted information that was actually
+//!   present;
+//! - FP: the approach incorrectly extracted information (wrong value, or a
+//!   value where none was annotated);
+//! - FN: the approach failed to extract information that was present.
+//!
+//! Field-level scoring compares extracted details against the gold
+//! annotations per (objective, field); token-level and entity-level scoring
+//! operate on IOB tag sequences for model diagnostics.
+
+use gs_core::{Annotations, ExtractedDetails};
+use gs_text::labels::{decode_spans, LabelSet, Tag};
+use gs_text::match_key;
+use serde::{Deserialize, Serialize};
+
+/// Raw confusion counts.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Counts {
+    /// True positives.
+    pub tp: usize,
+    /// False positives.
+    pub fp: usize,
+    /// False negatives.
+    pub fn_: usize,
+}
+
+impl Counts {
+    /// Adds another count set.
+    pub fn merge(&mut self, other: &Counts) {
+        self.tp += other.tp;
+        self.fp += other.fp;
+        self.fn_ += other.fn_;
+    }
+
+    /// Precision = TP / (TP + FP); 0 when undefined.
+    pub fn precision(&self) -> f64 {
+        let denom = self.tp + self.fp;
+        if denom == 0 {
+            0.0
+        } else {
+            self.tp as f64 / denom as f64
+        }
+    }
+
+    /// Recall = TP / (TP + FN); 0 when undefined.
+    pub fn recall(&self) -> f64 {
+        let denom = self.tp + self.fn_;
+        if denom == 0 {
+            0.0
+        } else {
+            self.tp as f64 / denom as f64
+        }
+    }
+
+    /// F1 = harmonic mean of precision and recall; 0 when undefined.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+}
+
+/// Field-level evaluation result: per-field counts plus the micro average.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct FieldEval {
+    /// Field names in label-set order.
+    pub fields: Vec<String>,
+    /// Counts per field, parallel to `fields`.
+    pub per_field: Vec<Counts>,
+    /// Micro-averaged counts over all fields.
+    pub micro: Counts,
+}
+
+impl FieldEval {
+    /// Counts for a named field.
+    pub fn field(&self, name: &str) -> Option<&Counts> {
+        self.fields.iter().position(|f| f == name).map(|i| &self.per_field[i])
+    }
+}
+
+/// Whether an extracted value matches a gold value. The comparison is
+/// case-insensitive and punctuation-trimmed (`match_key`): extracting
+/// "Net-zero," for gold "net-zero" is correct information.
+pub fn values_match(extracted: &str, gold: &str) -> bool {
+    match_key(extracted) == match_key(gold)
+}
+
+/// Scores one objective's extraction against its gold annotations.
+pub fn score_extraction(gold: &Annotations, extracted: &ExtractedDetails, labels: &LabelSet) -> Vec<Counts> {
+    let mut out = vec![Counts::default(); labels.num_kinds()];
+    for (kind, counts) in out.iter_mut().enumerate() {
+        let name = labels.kind_name(kind);
+        let gold_value = gold.get(name).filter(|v| !v.is_empty());
+        let extracted_value = extracted.get(name).filter(|v| !v.is_empty());
+        match (gold_value, extracted_value) {
+            (Some(g), Some(e)) => {
+                if values_match(e, g) {
+                    counts.tp += 1;
+                } else {
+                    counts.fp += 1;
+                    counts.fn_ += 1;
+                }
+            }
+            (Some(_), None) => counts.fn_ += 1,
+            (None, Some(_)) => counts.fp += 1,
+            (None, None) => {}
+        }
+    }
+    out
+}
+
+/// Scores a whole test set of (gold, extracted) pairs.
+pub fn evaluate_extractions<'a>(
+    pairs: impl IntoIterator<Item = (&'a Annotations, &'a ExtractedDetails)>,
+    labels: &LabelSet,
+) -> FieldEval {
+    let mut per_field = vec![Counts::default(); labels.num_kinds()];
+    for (gold, extracted) in pairs {
+        for (kind, c) in score_extraction(gold, extracted, labels).into_iter().enumerate() {
+            per_field[kind].merge(&c);
+        }
+    }
+    let mut micro = Counts::default();
+    for c in &per_field {
+        micro.merge(c);
+    }
+    FieldEval {
+        fields: labels.kind_names().map(str::to_string).collect(),
+        per_field,
+        micro,
+    }
+}
+
+/// Token-level accuracy over tag sequences (diagnostic; dominated by `O`).
+pub fn token_accuracy(gold: &[Tag], predicted: &[Tag]) -> f64 {
+    assert_eq!(gold.len(), predicted.len());
+    if gold.is_empty() {
+        return 1.0;
+    }
+    let correct = gold.iter().zip(predicted).filter(|(g, p)| g == p).count();
+    correct as f64 / gold.len() as f64
+}
+
+/// Entity-level (CoNLL-style) counts per kind: a predicted span is TP only
+/// if an identical (kind, start, end) span exists in gold.
+pub fn entity_counts(gold: &[Tag], predicted: &[Tag], labels: &LabelSet) -> Vec<Counts> {
+    assert_eq!(gold.len(), predicted.len());
+    let gold_spans = decode_spans(gold);
+    let pred_spans = decode_spans(predicted);
+    let mut out = vec![Counts::default(); labels.num_kinds()];
+    for p in &pred_spans {
+        if gold_spans.contains(p) {
+            out[p.kind].tp += 1;
+        } else {
+            out[p.kind].fp += 1;
+        }
+    }
+    for g in &gold_spans {
+        if !pred_spans.contains(g) {
+            out[g.kind].fn_ += 1;
+        }
+    }
+    out
+}
+
+/// Mean and standard error over multiple runs (the paper reports means of 5
+/// runs and notes stderr < 1%).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct RunStats {
+    /// Mean value.
+    pub mean: f64,
+    /// Standard error of the mean.
+    pub stderr: f64,
+    /// Number of runs.
+    pub n: usize,
+}
+
+/// Aggregates independent run results.
+pub fn run_stats(values: &[f64]) -> RunStats {
+    let n = values.len();
+    if n == 0 {
+        return RunStats::default();
+    }
+    let mean = values.iter().sum::<f64>() / n as f64;
+    if n == 1 {
+        return RunStats { mean, stderr: 0.0, n };
+    }
+    let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / (n - 1) as f64;
+    RunStats { mean, stderr: (var / n as f64).sqrt(), n }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn labels() -> LabelSet {
+        LabelSet::sustainability_goals()
+    }
+
+    #[test]
+    fn counts_formulas() {
+        let c = Counts { tp: 8, fp: 2, fn_: 4 };
+        assert!((c.precision() - 0.8).abs() < 1e-12);
+        assert!((c.recall() - 8.0 / 12.0).abs() < 1e-12);
+        let f1 = 2.0 * 0.8 * (8.0 / 12.0) / (0.8 + 8.0 / 12.0);
+        assert!((c.f1() - f1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_counts_are_safe() {
+        let c = Counts::default();
+        assert_eq!(c.precision(), 0.0);
+        assert_eq!(c.recall(), 0.0);
+        assert_eq!(c.f1(), 0.0);
+    }
+
+    #[test]
+    fn exact_extraction_is_tp() {
+        let ls = labels();
+        let gold = Annotations::new().with("Action", "reach").with("Deadline", "2040");
+        let mut ext = ExtractedDetails::new();
+        ext.set("Action", "reach");
+        ext.set("Deadline", "2040");
+        let eval = evaluate_extractions([(&gold, &ext)], &ls);
+        assert_eq!(eval.micro, Counts { tp: 2, fp: 0, fn_: 0 });
+    }
+
+    #[test]
+    fn wrong_value_is_fp_and_fn() {
+        let ls = labels();
+        let gold = Annotations::new().with("Deadline", "2040");
+        let mut ext = ExtractedDetails::new();
+        ext.set("Deadline", "2025");
+        let eval = evaluate_extractions([(&gold, &ext)], &ls);
+        assert_eq!(eval.micro, Counts { tp: 0, fp: 1, fn_: 1 });
+    }
+
+    #[test]
+    fn spurious_extraction_is_fp() {
+        let ls = labels();
+        let gold = Annotations::new().with("Action", "Reduce");
+        let mut ext = ExtractedDetails::new();
+        ext.set("Action", "Reduce");
+        ext.set("Amount", "20%");
+        let eval = evaluate_extractions([(&gold, &ext)], &ls);
+        assert_eq!(eval.micro, Counts { tp: 1, fp: 1, fn_: 0 });
+    }
+
+    #[test]
+    fn missed_field_is_fn() {
+        let ls = labels();
+        let gold = Annotations::new().with("Qualifier", "carbon");
+        let ext = ExtractedDetails::new();
+        let eval = evaluate_extractions([(&gold, &ext)], &ls);
+        assert_eq!(eval.micro, Counts { tp: 0, fp: 0, fn_: 1 });
+        assert_eq!(eval.field("Qualifier").expect("field").fn_, 1);
+    }
+
+    #[test]
+    fn matching_is_case_and_punct_insensitive() {
+        assert!(values_match("Net-Zero,", "net-zero"));
+        assert!(values_match("100%", "100%"));
+        assert!(!values_match("2040", "2025"));
+    }
+
+    #[test]
+    fn token_accuracy_counts_matches() {
+        let gold = vec![Tag::O, Tag::B(0), Tag::I(0)];
+        let pred = vec![Tag::O, Tag::B(0), Tag::O];
+        assert!((token_accuracy(&gold, &pred) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn entity_counts_require_exact_span() {
+        let ls = labels();
+        let gold = vec![Tag::B(0), Tag::I(0), Tag::O, Tag::B(1)];
+        // Predicted Action span too short, Amount exact.
+        let pred = vec![Tag::B(0), Tag::O, Tag::O, Tag::B(1)];
+        let counts = entity_counts(&gold, &pred, &ls);
+        assert_eq!(counts[0], Counts { tp: 0, fp: 1, fn_: 1 });
+        assert_eq!(counts[1], Counts { tp: 1, fp: 0, fn_: 0 });
+    }
+
+    #[test]
+    fn run_stats_mean_and_stderr() {
+        let s = run_stats(&[0.9, 0.92, 0.91, 0.93, 0.89]);
+        assert!((s.mean - 0.91).abs() < 1e-9);
+        assert!(s.stderr > 0.0 && s.stderr < 0.01);
+        assert_eq!(s.n, 5);
+        assert_eq!(run_stats(&[]).n, 0);
+        assert_eq!(run_stats(&[0.5]).stderr, 0.0);
+    }
+}

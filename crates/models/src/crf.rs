@@ -1,0 +1,426 @@
+//! Linear-chain conditional random field — the traditional statistical
+//! baseline the paper compares against (§4.1, citing Peng & McCallum).
+//!
+//! Trained by maximizing the regularized conditional log-likelihood with
+//! forward-backward gradients and Adagrad updates; decoded with Viterbi.
+//! Like every approach in the paper's comparison, the CRF trains on the
+//! weak token labels produced by Algorithm 1.
+
+use crate::features::{sentence_features, FeatureConfig};
+use gs_text::labels::{LabelSet, Tag};
+use gs_text::PreToken;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// CRF training configuration.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CrfConfig {
+    /// Training epochs.
+    pub epochs: usize,
+    /// Adagrad base learning rate.
+    pub lr: f64,
+    /// L2 regularization strength.
+    pub l2: f64,
+    /// Feature groups.
+    pub features: FeatureConfig,
+    /// Shuffle seed.
+    pub seed: u64,
+}
+
+impl Default for CrfConfig {
+    fn default() -> Self {
+        CrfConfig { epochs: 12, lr: 0.2, l2: 1e-5, features: FeatureConfig::default(), seed: 0 }
+    }
+}
+
+/// A trained linear-chain CRF.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Crf {
+    feature_ids: HashMap<String, usize>,
+    /// Emission weights, `[num_features * num_labels]`, feature-major.
+    weights: Vec<f64>,
+    /// Transition weights, `[(num_labels + 1) * num_labels]`; row
+    /// `num_labels` holds start transitions.
+    trans: Vec<f64>,
+    num_labels: usize,
+    config: CrfConfig,
+}
+
+const NEG_INF: f64 = -1e30;
+
+impl Crf {
+    /// Trains on (tokens, gold tags) sentences with the given label set.
+    pub fn train(
+        sentences: &[(Vec<PreToken>, Vec<Tag>)],
+        labels: &LabelSet,
+        config: CrfConfig,
+    ) -> Crf {
+        let num_labels = labels.num_classes();
+        // Build the feature index from training data.
+        let mut feature_ids: HashMap<String, usize> = HashMap::new();
+        let mut featurized: Vec<(Vec<Vec<usize>>, Vec<usize>)> = Vec::with_capacity(sentences.len());
+        for (tokens, tags) in sentences {
+            assert_eq!(tokens.len(), tags.len(), "token/tag length mismatch");
+            let feats = sentence_features(tokens, &config.features);
+            let ids: Vec<Vec<usize>> = feats
+                .into_iter()
+                .map(|tf| {
+                    tf.into_iter()
+                        .map(|f| {
+                            let next = feature_ids.len();
+                            *feature_ids.entry(f).or_insert(next)
+                        })
+                        .collect()
+                })
+                .collect();
+            let gold: Vec<usize> = tags.iter().map(|t| labels.class_id(*t)).collect();
+            featurized.push((ids, gold));
+        }
+
+        let num_features = feature_ids.len();
+        let mut weights = vec![0.0f64; num_features * num_labels];
+        let mut trans = vec![0.0f64; (num_labels + 1) * num_labels];
+        let mut w_accum = vec![1e-8f64; weights.len()];
+        let mut t_accum = vec![1e-8f64; trans.len()];
+
+        let mut order: Vec<usize> = (0..featurized.len()).collect();
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        for _epoch in 0..config.epochs {
+            order.shuffle(&mut rng);
+            for &si in &order {
+                let (feats, gold) = &featurized[si];
+                if feats.is_empty() {
+                    continue;
+                }
+                sgd_step(
+                    feats,
+                    gold,
+                    num_labels,
+                    &mut weights,
+                    &mut trans,
+                    &mut w_accum,
+                    &mut t_accum,
+                    config.lr,
+                    config.l2,
+                );
+            }
+        }
+
+        Crf { feature_ids, weights, trans, num_labels, config }
+    }
+
+    /// Number of distinct features learned.
+    pub fn num_features(&self) -> usize {
+        self.feature_ids.len()
+    }
+
+    /// Predicts tags for a tokenized sentence via Viterbi decoding.
+    pub fn predict(&self, tokens: &[PreToken], labels: &LabelSet) -> Vec<Tag> {
+        if tokens.is_empty() {
+            return Vec::new();
+        }
+        let feats = sentence_features(tokens, &self.config.features);
+        let ids: Vec<Vec<usize>> = feats
+            .into_iter()
+            .map(|tf| tf.into_iter().filter_map(|f| self.feature_ids.get(&f).copied()).collect())
+            .collect();
+        let emissions = self.emissions(&ids);
+        let path = viterbi(&emissions, &self.trans, self.num_labels);
+        path.into_iter().map(|c| labels.tag_of(c)).collect()
+    }
+
+    fn emissions(&self, feats: &[Vec<usize>]) -> Vec<f64> {
+        let l = self.num_labels;
+        let mut em = vec![0.0f64; feats.len() * l];
+        for (i, tf) in feats.iter().enumerate() {
+            let row = &mut em[i * l..(i + 1) * l];
+            for &f in tf {
+                let wrow = &self.weights[f * l..(f + 1) * l];
+                for (r, &w) in row.iter_mut().zip(wrow) {
+                    *r += w;
+                }
+            }
+        }
+        em
+    }
+}
+
+/// One stochastic gradient step on a single sentence (negative
+/// log-likelihood with L2), using Adagrad per-coordinate learning rates.
+#[allow(clippy::too_many_arguments)]
+fn sgd_step(
+    feats: &[Vec<usize>],
+    gold: &[usize],
+    l: usize,
+    weights: &mut [f64],
+    trans: &mut [f64],
+    w_accum: &mut [f64],
+    t_accum: &mut [f64],
+    lr: f64,
+    l2: f64,
+) {
+    let n = feats.len();
+    // Emission scores under current weights.
+    let mut em = vec![0.0f64; n * l];
+    for (i, tf) in feats.iter().enumerate() {
+        let row = &mut em[i * l..(i + 1) * l];
+        for &f in tf {
+            let wrow = &weights[f * l..(f + 1) * l];
+            for (r, &w) in row.iter_mut().zip(wrow) {
+                *r += w;
+            }
+        }
+    }
+
+    // Forward-backward in log space.
+    let start_row = &trans[l * l..(l + 1) * l];
+    let mut alpha = vec![NEG_INF; n * l];
+    for y in 0..l {
+        alpha[y] = em[y] + start_row[y];
+    }
+    for i in 1..n {
+        for y in 0..l {
+            let mut acc = NEG_INF;
+            for prev in 0..l {
+                let v = alpha[(i - 1) * l + prev] + trans[prev * l + y];
+                acc = log_add(acc, v);
+            }
+            alpha[i * l + y] = acc + em[i * l + y];
+        }
+    }
+    let mut log_z = NEG_INF;
+    for y in 0..l {
+        log_z = log_add(log_z, alpha[(n - 1) * l + y]);
+    }
+
+    let mut beta = vec![NEG_INF; n * l];
+    for y in 0..l {
+        beta[(n - 1) * l + y] = 0.0;
+    }
+    for i in (0..n - 1).rev() {
+        for y in 0..l {
+            let mut acc = NEG_INF;
+            for next in 0..l {
+                let v = trans[y * l + next] + em[(i + 1) * l + next] + beta[(i + 1) * l + next];
+                acc = log_add(acc, v);
+            }
+            beta[i * l + y] = acc;
+        }
+    }
+
+    // Gradient = expected - observed. Apply updates directly (Adagrad).
+    let apply_w = |idx: usize, grad: f64, weights: &mut [f64], w_accum: &mut [f64]| {
+        let g = grad + l2 * weights[idx];
+        w_accum[idx] += g * g;
+        weights[idx] -= lr * g / w_accum[idx].sqrt();
+    };
+    let apply_t = |idx: usize, grad: f64, trans: &mut [f64], t_accum: &mut [f64]| {
+        let g = grad + l2 * trans[idx];
+        t_accum[idx] += g * g;
+        trans[idx] -= lr * g / t_accum[idx].sqrt();
+    };
+
+    // Unigram marginals -> emission gradients.
+    for i in 0..n {
+        for y in 0..l {
+            let marginal = (alpha[i * l + y] + beta[i * l + y] - log_z).exp();
+            let observed = f64::from(gold[i] == y);
+            let grad = marginal - observed;
+            if grad.abs() < 1e-12 {
+                continue;
+            }
+            for &f in &feats[i] {
+                apply_w(f * l + y, grad, weights, w_accum);
+            }
+        }
+    }
+
+    // Start-transition gradients.
+    for y in 0..l {
+        let marginal = (alpha[y] + beta[y] - log_z).exp();
+        let observed = f64::from(gold[0] == y);
+        apply_t(l * l + y, marginal - observed, trans, t_accum);
+    }
+
+    // Pairwise marginals -> transition gradients.
+    for i in 1..n {
+        for prev in 0..l {
+            for y in 0..l {
+                let logm = alpha[(i - 1) * l + prev]
+                    + trans[prev * l + y]
+                    + em[i * l + y]
+                    + beta[i * l + y]
+                    - log_z;
+                let marginal = logm.exp();
+                let observed = f64::from(gold[i - 1] == prev && gold[i] == y);
+                let grad = marginal - observed;
+                if grad.abs() < 1e-12 {
+                    continue;
+                }
+                apply_t(prev * l + y, grad, trans, t_accum);
+            }
+        }
+    }
+}
+
+fn log_add(a: f64, b: f64) -> f64 {
+    if a <= NEG_INF {
+        return b;
+    }
+    if b <= NEG_INF {
+        return a;
+    }
+    let (hi, lo) = if a > b { (a, b) } else { (b, a) };
+    hi + (lo - hi).exp().ln_1p()
+}
+
+/// Viterbi decoding over emission + transition scores.
+fn viterbi(em: &[f64], trans: &[f64], l: usize) -> Vec<usize> {
+    let n = em.len() / l;
+    let mut delta = vec![NEG_INF; n * l];
+    let mut back = vec![0usize; n * l];
+    let start_row = &trans[l * l..(l + 1) * l];
+    for y in 0..l {
+        delta[y] = em[y] + start_row[y];
+    }
+    for i in 1..n {
+        for y in 0..l {
+            let mut best = NEG_INF;
+            let mut arg = 0;
+            for prev in 0..l {
+                let v = delta[(i - 1) * l + prev] + trans[prev * l + y];
+                if v > best {
+                    best = v;
+                    arg = prev;
+                }
+            }
+            delta[i * l + y] = best + em[i * l + y];
+            back[i * l + y] = arg;
+        }
+    }
+    let mut path = vec![0usize; n];
+    let mut best = NEG_INF;
+    for y in 0..l {
+        if delta[(n - 1) * l + y] > best {
+            best = delta[(n - 1) * l + y];
+            path[n - 1] = y;
+        }
+    }
+    for i in (1..n).rev() {
+        path[i - 1] = back[i * l + path[i]];
+    }
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gs_text::pretokenize;
+
+    fn toy_labels() -> LabelSet {
+        LabelSet::new(&["Year"])
+    }
+
+    /// Builds (tokens, tags) where 4-digit year tokens after "by" are
+    /// labeled B-Year — a pattern the CRF must learn from context.
+    fn toy_sentences() -> Vec<(Vec<PreToken>, Vec<Tag>)> {
+        let texts = [
+            "we will finish by 2030 as planned",
+            "deliver results by 2025 in europe",
+            "founded in 1998 we grew fast",
+            "by 2040 everything changes",
+            "report published in 2019 and reviewed",
+            "complete rollout by 2027 across sites",
+            "expansion started in 2015 quietly",
+            "targets due by 2035 at latest",
+        ];
+        texts
+            .iter()
+            .map(|t| {
+                let tokens = pretokenize(t);
+                let tags: Vec<Tag> = tokens
+                    .iter()
+                    .enumerate()
+                    .map(|(i, tok)| {
+                        let prev_is_by = i > 0 && tokens[i - 1].text == "by";
+                        if prev_is_by && tok.text.len() == 4 {
+                            Tag::B(0)
+                        } else {
+                            Tag::O
+                        }
+                    })
+                    .collect();
+                (tokens, tags)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn learns_contextual_year_pattern() {
+        let labels = toy_labels();
+        let crf = Crf::train(&toy_sentences(), &labels, CrfConfig::default());
+        // "by 2033" -> year; "in 2012" -> not a target year.
+        let test = pretokenize("we act by 2033 not in 2012");
+        let tags = crf.predict(&test, &labels);
+        let year_positions: Vec<usize> = tags
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| **t != Tag::O)
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(year_positions, vec![3], "tags: {:?}", tags);
+    }
+
+    #[test]
+    fn empty_sentence_predicts_empty() {
+        let labels = toy_labels();
+        let crf = Crf::train(&toy_sentences(), &labels, CrfConfig::default());
+        assert!(crf.predict(&[], &labels).is_empty());
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let labels = toy_labels();
+        let a = Crf::train(&toy_sentences(), &labels, CrfConfig::default());
+        let b = Crf::train(&toy_sentences(), &labels, CrfConfig::default());
+        let test = pretokenize("done by 2031 maybe");
+        assert_eq!(a.predict(&test, &labels), b.predict(&test, &labels));
+    }
+
+    #[test]
+    fn unknown_features_are_ignored_at_test_time() {
+        let labels = toy_labels();
+        let crf = Crf::train(&toy_sentences(), &labels, CrfConfig::default());
+        // Entirely novel vocabulary; must not panic, predicts something.
+        let test = pretokenize("zyzzyva quokka by 2042");
+        let tags = crf.predict(&test, &labels);
+        assert_eq!(tags.len(), 4);
+    }
+
+    #[test]
+    fn log_add_is_stable() {
+        assert!((log_add(0.0, 0.0) - std::f64::consts::LN_2).abs() < 1e-12);
+        assert_eq!(log_add(NEG_INF, 5.0), 5.0);
+        assert_eq!(log_add(3.0, NEG_INF), 3.0);
+        let big = log_add(1000.0, 1000.0);
+        assert!((big - (1000.0 + std::f64::consts::LN_2)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fewer_feature_groups_learn_less_context() {
+        let labels = toy_labels();
+        let lexical = Crf::train(
+            &toy_sentences(),
+            &labels,
+            CrfConfig { features: FeatureConfig::lexical_only(), ..Default::default() },
+        );
+        // Without context features the "by YEAR" vs "in YEAR" distinction is
+        // invisible for unseen years; both get the same (majority) label.
+        let t1 = lexical.predict(&pretokenize("act by 2033"), &labels);
+        let t2 = lexical.predict(&pretokenize("act in 2033"), &labels);
+        assert_eq!(t1[2], t2[2], "lexical-only CRF cannot separate by context");
+    }
+}

@@ -1,0 +1,232 @@
+//! Supervised hidden Markov model — a second traditional baseline
+//! (paper §6.3 cites HMMs as the classic machine-learning approach to
+//! information extraction). Included for the extended baseline study.
+//!
+//! Emissions back off from word identity to word shape, so unseen tokens
+//! (most years, amounts) still receive informative scores.
+
+use crate::features::word_shape;
+use gs_text::labels::{LabelSet, Tag};
+use gs_text::PreToken;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// HMM smoothing configuration.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct HmmConfig {
+    /// Add-k smoothing constant for transitions and emissions.
+    pub smoothing: f64,
+    /// Interpolation weight of the word-identity emission vs the shape
+    /// back-off (0..1, higher trusts word identity more).
+    pub word_weight: f64,
+}
+
+impl Default for HmmConfig {
+    fn default() -> Self {
+        HmmConfig { smoothing: 0.1, word_weight: 0.7 }
+    }
+}
+
+/// A trained HMM tagger.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Hmm {
+    num_labels: usize,
+    /// log P(y0).
+    start: Vec<f64>,
+    /// log P(y_i | y_{i-1}), row-major `[l, l]`.
+    trans: Vec<f64>,
+    /// Per-label word log-probabilities.
+    word_emit: Vec<HashMap<String, f64>>,
+    /// Per-label shape log-probabilities (back-off).
+    shape_emit: Vec<HashMap<String, f64>>,
+    /// log probability assigned to unseen words / shapes per label.
+    word_unk: Vec<f64>,
+    shape_unk: Vec<f64>,
+    config: HmmConfig,
+}
+
+impl Hmm {
+    /// Trains from (tokens, tags) sentences.
+    pub fn train(
+        sentences: &[(Vec<PreToken>, Vec<Tag>)],
+        labels: &LabelSet,
+        config: HmmConfig,
+    ) -> Hmm {
+        let l = labels.num_classes();
+        let k = config.smoothing;
+        let mut start_counts = vec![k; l];
+        let mut trans_counts = vec![k; l * l];
+        let mut word_counts: Vec<HashMap<String, f64>> = vec![HashMap::new(); l];
+        let mut shape_counts: Vec<HashMap<String, f64>> = vec![HashMap::new(); l];
+
+        for (tokens, tags) in sentences {
+            assert_eq!(tokens.len(), tags.len());
+            for (i, (tok, tag)) in tokens.iter().zip(tags).enumerate() {
+                let y = labels.class_id(*tag);
+                if i == 0 {
+                    start_counts[y] += 1.0;
+                } else {
+                    let prev = labels.class_id(tags[i - 1]);
+                    trans_counts[prev * l + y] += 1.0;
+                }
+                *word_counts[y].entry(tok.text.to_lowercase()).or_insert(0.0) += 1.0;
+                *shape_counts[y].entry(word_shape(&tok.text)).or_insert(0.0) += 1.0;
+            }
+        }
+
+        let normalize = |counts: &[f64]| -> Vec<f64> {
+            let total: f64 = counts.iter().sum();
+            counts.iter().map(|c| (c / total).ln()).collect()
+        };
+        let start = normalize(&start_counts);
+        let mut trans = vec![0.0f64; l * l];
+        for prev in 0..l {
+            let row = normalize(&trans_counts[prev * l..(prev + 1) * l]);
+            trans[prev * l..(prev + 1) * l].copy_from_slice(&row);
+        }
+
+        let mut word_emit = Vec::with_capacity(l);
+        let mut shape_emit = Vec::with_capacity(l);
+        let mut word_unk = Vec::with_capacity(l);
+        let mut shape_unk = Vec::with_capacity(l);
+        for y in 0..l {
+            let (we, wu) = log_probs(&word_counts[y], k);
+            let (se, su) = log_probs(&shape_counts[y], k);
+            word_emit.push(we);
+            shape_emit.push(se);
+            word_unk.push(wu);
+            shape_unk.push(su);
+        }
+
+        Hmm { num_labels: l, start, trans, word_emit, shape_emit, word_unk, shape_unk, config }
+    }
+
+    fn emission(&self, y: usize, word: &str) -> f64 {
+        let lw = word.to_lowercase();
+        let shape = word_shape(word);
+        let w = *self.word_emit[y].get(&lw).unwrap_or(&self.word_unk[y]);
+        let s = *self.shape_emit[y].get(&shape).unwrap_or(&self.shape_unk[y]);
+        self.config.word_weight * w + (1.0 - self.config.word_weight) * s
+    }
+
+    /// Predicts tags via Viterbi decoding.
+    pub fn predict(&self, tokens: &[PreToken], labels: &LabelSet) -> Vec<Tag> {
+        let n = tokens.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let l = self.num_labels;
+        let mut delta = vec![f64::NEG_INFINITY; n * l];
+        let mut back = vec![0usize; n * l];
+        for (y, d) in delta.iter_mut().take(l).enumerate() {
+            *d = self.start[y] + self.emission(y, &tokens[0].text);
+        }
+        for i in 1..n {
+            for y in 0..l {
+                let mut best = f64::NEG_INFINITY;
+                let mut arg = 0;
+                for prev in 0..l {
+                    let v = delta[(i - 1) * l + prev] + self.trans[prev * l + y];
+                    if v > best {
+                        best = v;
+                        arg = prev;
+                    }
+                }
+                delta[i * l + y] = best + self.emission(y, &tokens[i].text);
+                back[i * l + y] = arg;
+            }
+        }
+        let mut path = vec![0usize; n];
+        let mut best = f64::NEG_INFINITY;
+        for y in 0..l {
+            if delta[(n - 1) * l + y] > best {
+                best = delta[(n - 1) * l + y];
+                path[n - 1] = y;
+            }
+        }
+        for i in (1..n).rev() {
+            path[i - 1] = back[i * l + path[i]];
+        }
+        path.into_iter().map(|c| labels.tag_of(c)).collect()
+    }
+}
+
+/// Converts counts into log probabilities with add-k smoothing, returning
+/// the map and the log probability reserved for unseen events.
+fn log_probs(counts: &HashMap<String, f64>, k: f64) -> (HashMap<String, f64>, f64) {
+    let vocab = counts.len() as f64 + 1.0; // +1 for the UNK event
+    let total: f64 = counts.values().sum::<f64>() + k * vocab;
+    let map = counts.iter().map(|(w, c)| (w.clone(), ((c + k) / total).ln())).collect();
+    let unk = (k / total).ln();
+    (map, unk)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gs_text::pretokenize;
+
+    fn labels() -> LabelSet {
+        LabelSet::new(&["Amount"])
+    }
+
+    fn sentences() -> Vec<(Vec<PreToken>, Vec<Tag>)> {
+        let data = [
+            ("cut waste by 20 %", vec![3usize, 4]),
+            ("reduce usage by 35 %", vec![3, 4]),
+            ("trim costs by 50 %", vec![3, 4]),
+            ("we report progress annually", vec![]),
+            ("lower intake by 15 %", vec![3, 4]),
+        ];
+        data.iter()
+            .map(|(text, amount_positions)| {
+                let tokens = pretokenize(text);
+                let tags: Vec<Tag> = (0..tokens.len())
+                    .map(|i| {
+                        if amount_positions.first() == Some(&i) {
+                            Tag::B(0)
+                        } else if amount_positions.contains(&i) {
+                            Tag::I(0)
+                        } else {
+                            Tag::O
+                        }
+                    })
+                    .collect();
+                (tokens, tags)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn learns_amount_shape_pattern() {
+        let ls = labels();
+        let hmm = Hmm::train(&sentences(), &ls, HmmConfig::default());
+        // Unseen number "42" must still be tagged via the shape back-off.
+        let test = pretokenize("shrink footprint by 42 %");
+        let tags = hmm.predict(&test, &ls);
+        assert_eq!(tags[3], Tag::B(0), "tags: {:?}", tags);
+        assert_eq!(tags[4], Tag::I(0));
+    }
+
+    #[test]
+    fn plain_words_stay_outside() {
+        let ls = labels();
+        let hmm = Hmm::train(&sentences(), &ls, HmmConfig::default());
+        let tags = hmm.predict(&pretokenize("we report progress annually"), &ls);
+        assert!(tags.iter().all(|t| *t == Tag::O));
+    }
+
+    #[test]
+    fn empty_input() {
+        let ls = labels();
+        let hmm = Hmm::train(&sentences(), &ls, HmmConfig::default());
+        assert!(hmm.predict(&[], &ls).is_empty());
+    }
+
+    #[test]
+    fn smoothing_keeps_probabilities_finite() {
+        let (map, unk) = log_probs(&HashMap::new(), 0.1);
+        assert!(map.is_empty());
+        assert!(unk.is_finite());
+    }
+}

@@ -1,0 +1,127 @@
+//! Keyword-based search baseline.
+//!
+//! The paper's related work (§6.2, citing Katz et al.) observes that
+//! zero-shot LLM extraction "can be inferior even compared to simple
+//! keyword-based search methods". This extractor is that simple method: a
+//! fixed keyword-window search with no learning and no linguistic
+//! heuristics — percents next to "by", years next to date cues — included
+//! as an extended baseline.
+
+use crate::traits::DetailExtractor;
+use gs_core::ExtractedDetails;
+use gs_text::labels::LabelSet;
+use gs_text::{pretokenize, Normalizer};
+
+/// The keyword-search detail extractor.
+pub struct KeywordSearchExtractor {
+    labels: LabelSet,
+    normalizer: Normalizer,
+}
+
+impl KeywordSearchExtractor {
+    /// Creates the extractor for a label set (works with both the
+    /// Sustainability Goals and NetZeroFacts schemas).
+    pub fn new(labels: &LabelSet) -> Self {
+        KeywordSearchExtractor { labels: labels.clone(), normalizer: Normalizer::default() }
+    }
+
+    fn field<'a>(&self, candidates: &[&'a str]) -> Option<&'a str> {
+        candidates.iter().copied().find(|c| self.labels.kind_index(c).is_some())
+    }
+}
+
+fn is_year(tok: &str) -> bool {
+    tok.len() == 4
+        && tok.chars().all(|c| c.is_ascii_digit())
+        && (tok.starts_with("19") || tok.starts_with("20"))
+}
+
+impl DetailExtractor for KeywordSearchExtractor {
+    fn name(&self) -> &str {
+        "Keyword Search"
+    }
+
+    fn extract(&self, text: &str) -> ExtractedDetails {
+        let text = self.normalizer.normalize(text);
+        let tokens = pretokenize(&text);
+        let lowers: Vec<String> = tokens.iter().map(|t| t.text.to_lowercase()).collect();
+        let mut out = ExtractedDetails::new();
+
+        // Amount: the first "<number> %" pair.
+        for i in 1..tokens.len() {
+            if lowers[i] == "%" && lowers[i - 1].chars().all(|c| c.is_ascii_digit()) {
+                if let Some(f) = self.field(&["Amount", "TargetValue"]) {
+                    out.set(f, format!("{}%", tokens[i - 1].text));
+                }
+                break;
+            }
+        }
+
+        // Deadline: the first "by <year>".
+        for i in 1..tokens.len() {
+            if lowers[i - 1] == "by" && is_year(&lowers[i]) {
+                if let Some(f) = self.field(&["Deadline", "TargetYear"]) {
+                    out.set(f, tokens[i].text.clone());
+                }
+                break;
+            }
+        }
+
+        // Baseline: "baseline <year>" or "<year> baseline".
+        for i in 0..tokens.len() {
+            let hit = (i > 0 && lowers[i - 1] == "baseline" && is_year(&lowers[i]))
+                || (i + 1 < tokens.len() && lowers[i + 1] == "baseline" && is_year(&lowers[i]));
+            if hit {
+                if let Some(f) = self.field(&["Baseline", "ReferenceYear"]) {
+                    out.set(f, tokens[i].text.clone());
+                }
+                break;
+            }
+        }
+
+        // Keyword search has no notion of actions or qualifier phrases.
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn extractor() -> KeywordSearchExtractor {
+        KeywordSearchExtractor::new(&LabelSet::sustainability_goals())
+    }
+
+    #[test]
+    fn finds_percent_and_by_year() {
+        let d = extractor().extract("Reduce energy consumption by 20% by 2025 (baseline 2017).");
+        assert_eq!(d.get("Amount"), Some("20%"));
+        assert_eq!(d.get("Deadline"), Some("2025"));
+        assert_eq!(d.get("Baseline"), Some("2017"));
+        assert_eq!(d.get("Action"), None, "keyword search cannot extract actions");
+    }
+
+    #[test]
+    fn misses_unkeyworded_patterns() {
+        // "no later than" is not in the keyword list; a learnable pattern
+        // the fixed search misses.
+        let d = extractor().extract("Achieve net-zero no later than 2045.");
+        assert_eq!(d.get("Deadline"), None);
+        assert_eq!(d.get("Amount"), None, "net-zero is not `<num> %`");
+    }
+
+    #[test]
+    fn maps_to_netzerofacts_schema() {
+        let nzf = LabelSet::netzerofacts();
+        let d = KeywordSearchExtractor::new(&nzf)
+            .extract("Cut CO2 emissions by 42% by 2035 against a 2019 baseline.");
+        assert_eq!(d.get("TargetValue"), Some("42%"));
+        assert_eq!(d.get("TargetYear"), Some("2035"));
+        assert_eq!(d.get("ReferenceYear"), Some("2019"));
+    }
+
+    #[test]
+    fn empty_text_extracts_nothing() {
+        assert!(extractor().extract("").is_empty());
+    }
+}

@@ -1,0 +1,39 @@
+//! # gs-models
+//!
+//! Every modeling approach the paper evaluates (§4.1), behind one
+//! [`DetailExtractor`] interface:
+//!
+//! - [`transformer`]: trainable transformer encoders (RoBERTa-/BERT-style,
+//!   original and distilled) fine-tuned on Algorithm 1's weak labels — the
+//!   paper's system.
+//! - [`CrfExtractor`] / [`HmmExtractor`]: traditional sequence models on
+//!   lexical/orthographic/contextual features, trained on the same weak
+//!   labels.
+//! - [`ZeroShotExtractor`] / [`FewShotExtractor`]: deterministic simulators
+//!   of LLM prompting baselines (see DESIGN.md for the substitution).
+//! - [`LinearDetector`]: the objective-vs-noise detection stage.
+
+#![warn(missing_docs)]
+
+mod baseline;
+mod crf;
+mod detector;
+mod features;
+mod hmm;
+mod keyword;
+mod prompting;
+mod traits;
+
+/// Transformer encoders and their training pipeline.
+pub mod transformer;
+
+pub use baseline::{weak_labeled_sentences, CrfExtractor, HmmExtractor};
+pub use crf::{Crf, CrfConfig};
+pub use detector::{LinearDetector, LinearDetectorConfig, ObjectiveDetector};
+pub use features::{is_numeric, looks_like_year, sentence_features, word_shape, FeatureConfig};
+pub use hmm::{Hmm, HmmConfig};
+pub use keyword::KeywordSearchExtractor;
+pub use prompting::{
+    canonical_examples, FewShotExtractor, ZeroShotExtractor, DEFAULT_CALL_LATENCY,
+};
+pub use traits::DetailExtractor;

@@ -1,0 +1,27 @@
+//! The common interface every detail-extraction approach implements, so the
+//! evaluation harness can compare them uniformly (paper Table 4).
+
+use gs_core::ExtractedDetails;
+use std::time::Duration;
+
+/// An approach that extracts structured details from one objective text.
+pub trait DetailExtractor {
+    /// Display name for result tables.
+    fn name(&self) -> &str;
+
+    /// Extracts the key details from a sustainability objective.
+    fn extract(&self, text: &str) -> ExtractedDetails;
+
+    /// Simulated latency to charge per `extract` call — nonzero only for
+    /// the LLM-prompting simulators, whose real counterparts pay a remote
+    /// inference round-trip (see DESIGN.md).
+    fn simulated_latency_per_call(&self) -> Duration {
+        Duration::ZERO
+    }
+
+    /// Simulated one-time setup latency (e.g. prompt engineering rounds);
+    /// zero for local models.
+    fn simulated_setup_latency(&self) -> Duration {
+        Duration::ZERO
+    }
+}

@@ -1,0 +1,168 @@
+//! Transformer encoder configurations mirroring the paper's model ablation
+//! (Figure 4): RoBERTa-style vs BERT-style, each in an original and a
+//! distilled variant.
+//!
+//! Substitution note (DESIGN.md): the paper fine-tunes pretrained
+//! HuggingFace checkpoints; we train architecture-faithful small encoders
+//! from scratch. "RoBERTa-style" here means BPE subwords, case-preserving
+//! normalization, and no segment embeddings; "BERT-style" means
+//! WordPiece subwords, lowercasing, and segment embeddings. "Distilled"
+//! halves the layer count, as DistilBERT/DistilRoBERTa do.
+
+use serde::{Deserialize, Serialize};
+
+/// Model family, deciding the tokenizer and embedding layout.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ModelFamily {
+    /// BPE subwords, case kept, no segment embeddings.
+    Roberta,
+    /// WordPiece subwords, lowercased, segment embeddings.
+    Bert,
+}
+
+/// Hyperparameters of an encoder.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TransformerConfig {
+    /// Human-readable variant name.
+    pub name: String,
+    /// Model family.
+    pub family: ModelFamily,
+    /// Hidden width.
+    pub d_model: usize,
+    /// Attention heads (`d_model % n_heads == 0`).
+    pub n_heads: usize,
+    /// Encoder layers.
+    pub n_layers: usize,
+    /// Feed-forward inner width.
+    pub d_ff: usize,
+    /// Maximum sequence length (subwords incl. specials).
+    pub max_len: usize,
+    /// Dropout probability during training.
+    pub dropout: f32,
+    /// Subword vocabulary budget: BPE merge count (RoBERTa family) or
+    /// WordPiece piece budget (BERT family).
+    pub subword_budget: usize,
+}
+
+impl TransformerConfig {
+    /// RoBERTa-style base encoder (the paper's default model).
+    pub fn roberta_sim() -> Self {
+        TransformerConfig {
+            name: "RoBERTa-sim".into(),
+            family: ModelFamily::Roberta,
+            d_model: 64,
+            n_heads: 4,
+            n_layers: 2,
+            d_ff: 128,
+            max_len: 96,
+            dropout: 0.1,
+            subword_budget: 1200,
+        }
+    }
+
+    /// Distilled RoBERTa-style encoder (half the layers).
+    pub fn distilroberta_sim() -> Self {
+        TransformerConfig { name: "DistilRoBERTa-sim".into(), n_layers: 1, ..Self::roberta_sim() }
+    }
+
+    /// BERT-style base encoder.
+    pub fn bert_sim() -> Self {
+        TransformerConfig {
+            name: "BERT-sim".into(),
+            family: ModelFamily::Bert,
+            subword_budget: 1600,
+            ..Self::roberta_sim()
+        }
+    }
+
+    /// Distilled BERT-style encoder.
+    pub fn distilbert_sim() -> Self {
+        TransformerConfig { name: "DistilBERT-sim".into(), n_layers: 1, ..Self::bert_sim() }
+    }
+
+    /// All four variants evaluated in Figure 4's model ablation.
+    pub fn figure4_variants() -> Vec<TransformerConfig> {
+        vec![
+            Self::roberta_sim(),
+            Self::distilroberta_sim(),
+            Self::bert_sim(),
+            Self::distilbert_sim(),
+        ]
+    }
+
+    /// Per-head width.
+    pub fn d_head(&self) -> usize {
+        assert_eq!(self.d_model % self.n_heads, 0, "d_model must divide into heads");
+        self.d_model / self.n_heads
+    }
+
+    /// Validates internal consistency.
+    pub fn validate(&self) {
+        assert!(self.d_model > 0 && self.n_heads > 0 && self.n_layers > 0);
+        assert_eq!(self.d_model % self.n_heads, 0, "d_model {} not divisible by heads {}", self.d_model, self.n_heads);
+        assert!(self.max_len >= 4, "max_len too small");
+        assert!((0.0..1.0).contains(&self.dropout));
+    }
+}
+
+/// Training hyperparameters (paper §3.3: Adam, lr 5e-5, batch 16, up to 10
+/// epochs — our from-scratch setting scales the learning rate up, see
+/// DESIGN.md).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TrainConfig {
+    /// Training epochs.
+    pub epochs: usize,
+    /// Peak learning rate.
+    pub lr: f32,
+    /// Sequences per optimizer step.
+    pub batch_size: usize,
+    /// Warmup fraction of total steps.
+    pub warmup_frac: f32,
+    /// Global gradient-norm clip.
+    pub clip_norm: f32,
+    /// Seed for init, shuffling, and dropout.
+    pub seed: u64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            epochs: 10,
+            lr: 2e-3,
+            batch_size: 16,
+            warmup_frac: 0.1,
+            clip_norm: 1.0,
+            seed: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variants_are_consistent() {
+        for cfg in TransformerConfig::figure4_variants() {
+            cfg.validate();
+            assert_eq!(cfg.d_head() * cfg.n_heads, cfg.d_model);
+        }
+    }
+
+    #[test]
+    fn distilled_variants_have_fewer_layers() {
+        assert!(
+            TransformerConfig::distilroberta_sim().n_layers
+                < TransformerConfig::roberta_sim().n_layers
+        );
+        assert!(
+            TransformerConfig::distilbert_sim().n_layers < TransformerConfig::bert_sim().n_layers
+        );
+    }
+
+    #[test]
+    fn families_differ_between_variants() {
+        assert_eq!(TransformerConfig::roberta_sim().family, ModelFamily::Roberta);
+        assert_eq!(TransformerConfig::bert_sim().family, ModelFamily::Bert);
+    }
+}

@@ -1,0 +1,472 @@
+//! The paper's full development + production pipeline around the
+//! transformer (Figure 2):
+//!
+//! - development: tokenize objectives, run Algorithm 1 on the word level,
+//!   project weak labels to subwords, fine-tune the encoder;
+//! - production: tokenize a new objective, predict token labels, collapse
+//!   to words, decode structured details.
+
+use super::config::{ModelFamily, TrainConfig, TransformerConfig};
+use super::model::TokenClassifier;
+use super::pretrain::PretrainedEncoder;
+use super::trainer::{train_token_classifier_cb, EpochStats, TrainExample};
+use std::sync::Arc;
+use crate::traits::DetailExtractor;
+use gs_core::{
+    collapse_to_words, decode_details, project_to_subwords, weak_label_tokens, ExtractedDetails,
+    MultiSpanPolicy, Objective, WeakLabelConfig, WeakLabelStats,
+};
+use gs_text::labels::{repair_iob, LabelSet, Tag};
+use gs_text::{pretokenize, Normalizer, NormalizerConfig, PreToken, Tokenizer};
+use serde::{Deserialize, Serialize};
+
+/// End-to-end options for training a [`TransformerExtractor`].
+#[derive(Clone)]
+pub struct ExtractorOptions {
+    /// Encoder architecture.
+    pub model: TransformerConfig,
+    /// Optimization hyperparameters.
+    pub train: TrainConfig,
+    /// Algorithm 1 configuration.
+    pub weak_label: WeakLabelConfig,
+    /// Multi-span reduction at decode time.
+    pub multi_span: MultiSpanPolicy,
+    /// A pretrained encoder to fine-tune from (paper setting). `None`
+    /// trains from random initialization.
+    pub base: Option<Arc<PretrainedEncoder>>,
+}
+
+impl Default for ExtractorOptions {
+    fn default() -> Self {
+        ExtractorOptions {
+            model: TransformerConfig::roberta_sim(),
+            train: TrainConfig::default(),
+            weak_label: WeakLabelConfig::default(),
+            multi_span: MultiSpanPolicy::default(),
+            base: None,
+        }
+    }
+}
+
+/// A trained transformer-based detail extractor (the GoalSpotter extraction
+/// service).
+pub struct TransformerExtractor {
+    name: String,
+    labels: LabelSet,
+    tokenizer: Tokenizer,
+    case_normalizer: Normalizer,
+    model: TokenClassifier,
+    options: ExtractorOptions,
+    /// Per-epoch training losses (Figure 4's convergence data).
+    pub train_stats: Vec<EpochStats>,
+    /// Weak-supervision quality over the training set.
+    pub weak_stats: WeakLabelStats,
+}
+
+impl TransformerExtractor {
+    /// Trains the extractor on annotated objectives.
+    ///
+    /// # Panics
+    /// Panics if no objective yields a usable training sequence.
+    pub fn train(objectives: &[&Objective], labels: &LabelSet, options: ExtractorOptions) -> Self {
+        Self::train_with_checkpoints(objectives, labels, options, &mut |_, _| {})
+    }
+
+    /// Trains while invoking `on_epoch(epoch_1based, view)` after each
+    /// epoch, so callers can measure convergence (paper Figure 4's
+    /// epochs/learning-rate study).
+    pub fn train_with_checkpoints(
+        objectives: &[&Objective],
+        labels: &LabelSet,
+        options: ExtractorOptions,
+        on_epoch: &mut dyn FnMut(usize, &ExtractorView<'_>),
+    ) -> Self {
+        options.model.validate();
+        if let Some(base) = &options.base {
+            assert_eq!(
+                base.model.config(),
+                &options.model,
+                "pretrained encoder config differs from the requested model"
+            );
+        }
+        let texts: Vec<&str> = objectives.iter().map(|o| o.text.as_str()).collect();
+        let tokenizer = match &options.base {
+            Some(base) => base.tokenizer.clone(),
+            None => build_tokenizer(&options.model, &texts),
+        };
+        let case_normalizer = Normalizer::new(NormalizerConfig::default());
+
+        let mut weak_stats = WeakLabelStats::new(labels);
+        let mut examples = Vec::with_capacity(objectives.len());
+        for o in objectives {
+            let Some((example, labeling, annotated_kinds)) = encode_example(
+                o,
+                labels,
+                &tokenizer,
+                &case_normalizer,
+                options.weak_label,
+                options.model.max_len,
+            ) else {
+                continue;
+            };
+            weak_stats.record(&labeling, &annotated_kinds);
+            examples.push(example);
+        }
+        assert!(!examples.is_empty(), "no trainable objectives");
+
+        let mut model = match &options.base {
+            Some(base) => base.fine_tune_model(labels.num_classes(), options.train.seed),
+            None => TokenClassifier::new(
+                options.model.clone(),
+                tokenizer.vocab().len(),
+                labels.num_classes(),
+                options.train.seed,
+            ),
+        };
+        let multi_span = options.multi_span;
+        let train_stats = train_token_classifier_cb(
+            &mut model,
+            &examples,
+            &options.train,
+            &mut |epoch, m| {
+                let view = ExtractorView {
+                    tokenizer: &tokenizer,
+                    case_normalizer: &case_normalizer,
+                    labels,
+                    model: m,
+                    multi_span,
+                };
+                on_epoch(epoch + 1, &view);
+            },
+        );
+
+        TransformerExtractor {
+            name: options.model.name.clone(),
+            labels: labels.clone(),
+            tokenizer,
+            case_normalizer,
+            model,
+            options,
+            train_stats,
+            weak_stats,
+        }
+    }
+
+    /// The label set this extractor predicts.
+    pub fn labels(&self) -> &LabelSet {
+        &self.labels
+    }
+
+    /// The trained encoder (for checkpointing / inspection).
+    pub fn model(&self) -> &TokenClassifier {
+        &self.model
+    }
+
+    /// Predicts word-level tags for a new objective, returning the
+    /// case-preserved normalized text, its word tokens, and one tag per
+    /// word.
+    pub fn predict_tags(&self, text: &str) -> (String, Vec<PreToken>, Vec<Tag>) {
+        predict_tags_impl(&self.tokenizer, &self.case_normalizer, &self.labels, &self.model, text)
+    }
+}
+
+/// Shared production-phase inference, usable both by the trained extractor
+/// and by mid-training checkpoint views.
+fn predict_tags_impl(
+    tokenizer: &Tokenizer,
+    case_normalizer: &Normalizer,
+    labels: &LabelSet,
+    model: &TokenClassifier,
+    text: &str,
+) -> (String, Vec<PreToken>, Vec<Tag>) {
+    let case_text = case_normalizer.normalize(text);
+    let case_tokens = pretokenize(&case_text);
+    let enc = tokenizer.encode(text);
+    if enc.is_empty() || case_tokens.is_empty() {
+        return (case_text, case_tokens, Vec::new());
+    }
+
+    // <s> ids </s>, truncated to max_len.
+    let vocab = tokenizer.vocab();
+    let mut ids: Vec<usize> = Vec::with_capacity(enc.ids.len() + 2);
+    ids.push(vocab.bos_id() as usize);
+    ids.extend(enc.ids.iter().map(|&i| i as usize));
+    ids.truncate(model.config().max_len - 1);
+    ids.push(vocab.eos_id() as usize);
+
+    let classes = model.predict_classes(&ids);
+    // Strip specials; positions beyond truncation default to O.
+    let content_len = enc.ids.len();
+    let mut subword_tags: Vec<Tag> = Vec::with_capacity(content_len);
+    for i in 0..content_len {
+        let class = classes.get(i + 1).copied().filter(|_| i + 1 < classes.len() - 1);
+        subword_tags.push(labels.tag_of(class.unwrap_or(0)));
+    }
+    let mut word_tags = collapse_to_words(&subword_tags, &enc.word_index, enc.pretokens.len());
+    repair_iob(&mut word_tags);
+
+    // The tokenizer's normalization (e.g. BERT lowercasing) must not
+    // change word boundaries; if it ever does, fall back to the
+    // tokenizer's own tokens for decoding.
+    if word_tags.len() == case_tokens.len() {
+        (case_text, case_tokens, word_tags)
+    } else {
+        (enc.text.clone(), enc.pretokens, word_tags)
+    }
+}
+
+/// A borrowed view over a model mid-training, letting checkpoint callbacks
+/// evaluate extraction quality without cloning the model.
+pub struct ExtractorView<'a> {
+    tokenizer: &'a Tokenizer,
+    case_normalizer: &'a Normalizer,
+    labels: &'a LabelSet,
+    model: &'a TokenClassifier,
+    multi_span: MultiSpanPolicy,
+}
+
+impl DetailExtractor for ExtractorView<'_> {
+    fn name(&self) -> &str {
+        "checkpoint"
+    }
+
+    fn extract(&self, text: &str) -> ExtractedDetails {
+        let (case_text, tokens, tags) =
+            predict_tags_impl(self.tokenizer, self.case_normalizer, self.labels, self.model, text);
+        if tags.is_empty() {
+            return ExtractedDetails::new();
+        }
+        decode_details(&case_text, &tokens, &tags, self.labels, self.multi_span)
+    }
+}
+
+/// Serializable snapshot of a trained extractor.
+#[derive(Serialize, Deserialize)]
+struct ExtractorSnapshot {
+    name: String,
+    labels: LabelSet,
+    tokenizer: Tokenizer,
+    model_config: TransformerConfig,
+    num_classes: usize,
+    params: gs_tensor::ParamStore,
+    weak_label: WeakLabelConfig,
+    multi_span: MultiSpanPolicy,
+}
+
+impl TransformerExtractor {
+    /// Serializes the trained extractor (tokenizer + weights + config) to a
+    /// JSON string.
+    pub fn save_json(&self) -> String {
+        let snapshot = ExtractorSnapshot {
+            name: self.name.clone(),
+            labels: self.labels.clone(),
+            tokenizer: self.tokenizer.clone(),
+            model_config: self.model.config().clone(),
+            num_classes: self.model.num_classes(),
+            params: self.model.store().clone(),
+            weak_label: self.options.weak_label,
+            multi_span: self.options.multi_span,
+        };
+        serde_json::to_string(&snapshot).expect("extractor serializes")
+    }
+
+    /// Restores an extractor from [`save_json`](Self::save_json) output.
+    pub fn load_json(json: &str) -> std::io::Result<Self> {
+        let mut snapshot: ExtractorSnapshot =
+            serde_json::from_str(json).map_err(std::io::Error::other)?;
+        snapshot.tokenizer.rebuild_index();
+        snapshot.params.rebuild_index();
+        let model = TokenClassifier::from_store(
+            snapshot.model_config.clone(),
+            snapshot.num_classes,
+            snapshot.params,
+        );
+        let mut weak_stats = WeakLabelStats::new(&snapshot.labels);
+        weak_stats.objectives = 0;
+        Ok(TransformerExtractor {
+            name: snapshot.name,
+            labels: snapshot.labels,
+            tokenizer: snapshot.tokenizer,
+            case_normalizer: Normalizer::new(NormalizerConfig::default()),
+            model,
+            options: ExtractorOptions {
+                model: snapshot.model_config,
+                train: TrainConfig::default(),
+                weak_label: snapshot.weak_label,
+                multi_span: snapshot.multi_span,
+                base: None,
+            },
+            train_stats: Vec::new(),
+            weak_stats,
+        })
+    }
+}
+
+impl DetailExtractor for TransformerExtractor {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn extract(&self, text: &str) -> ExtractedDetails {
+        let (case_text, tokens, tags) = self.predict_tags(text);
+        if tags.is_empty() {
+            return ExtractedDetails::new();
+        }
+        decode_details(&case_text, &tokens, &tags, &self.labels, self.options.multi_span)
+    }
+}
+
+/// Builds the family-appropriate tokenizer from training texts.
+fn build_tokenizer(config: &TransformerConfig, texts: &[&str]) -> Tokenizer {
+    match config.family {
+        ModelFamily::Roberta => {
+            Tokenizer::train_bpe(texts, Normalizer::default(), config.subword_budget)
+        }
+        ModelFamily::Bert => {
+            let lowercasing =
+                Normalizer::new(NormalizerConfig { lowercase: true, ..Default::default() });
+            Tokenizer::train_wordpiece(texts, lowercasing, config.subword_budget)
+        }
+    }
+}
+
+/// Converts one annotated objective into a training example:
+/// weak-label at the word level (case-preserved), project onto this
+/// tokenizer's subwords, and wrap with BOS/EOS carrying ignored targets.
+fn encode_example(
+    objective: &Objective,
+    labels: &LabelSet,
+    tokenizer: &Tokenizer,
+    case_normalizer: &Normalizer,
+    weak_config: WeakLabelConfig,
+    max_len: usize,
+) -> Option<(TrainExample, gs_core::WeakLabeling, Vec<usize>)> {
+    let annotations = objective.annotations.as_ref()?;
+    let enc = tokenizer.encode(&objective.text);
+    if enc.is_empty() {
+        return None;
+    }
+
+    // Weak-label on case-preserved tokens when boundaries agree with the
+    // tokenizer's pre-tokens (they do unless normalization changed token
+    // structure), otherwise on the tokenizer's own tokens.
+    let case_text = case_normalizer.normalize(&objective.text);
+    let case_tokens = pretokenize(&case_text);
+    let label_tokens =
+        if case_tokens.len() == enc.pretokens.len() { &case_tokens } else { &enc.pretokens };
+
+    let pairs: Vec<(usize, String)> = annotations
+        .present()
+        .filter_map(|(k, v)| labels.kind_index(k).map(|ki| (ki, v.to_string())))
+        .collect();
+    let annotated_kinds: Vec<usize> = pairs.iter().map(|(k, _)| *k).collect();
+    let labeling = weak_label_tokens(label_tokens, &pairs, labels, weak_config);
+    let subword_tags = project_to_subwords(&labeling.tags, &enc.word_index);
+
+    let vocab = tokenizer.vocab();
+    let mut ids: Vec<usize> = Vec::with_capacity(enc.ids.len() + 2);
+    let mut targets: Vec<i64> = Vec::with_capacity(enc.ids.len() + 2);
+    ids.push(vocab.bos_id() as usize);
+    targets.push(-1);
+    for (id, tag) in enc.ids.iter().zip(&subword_tags) {
+        ids.push(*id as usize);
+        targets.push(labels.class_id(*tag) as i64);
+    }
+    ids.truncate(max_len - 1);
+    targets.truncate(max_len - 1);
+    ids.push(vocab.eos_id() as usize);
+    targets.push(-1);
+
+    Some((TrainExample { ids, targets }, labeling, annotated_kinds))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gs_core::Annotations;
+
+    fn tiny_options(family: ModelFamily) -> ExtractorOptions {
+        ExtractorOptions {
+            model: TransformerConfig {
+                name: format!("tiny-{family:?}"),
+                family,
+                d_model: 32,
+                n_heads: 2,
+                n_layers: 1,
+                d_ff: 64,
+                max_len: 48,
+                dropout: 0.05,
+                subword_budget: 300,
+            },
+            train: TrainConfig { epochs: 30, lr: 3e-3, batch_size: 8, seed: 1, ..Default::default() },
+            weak_label: WeakLabelConfig::default(),
+            multi_span: MultiSpanPolicy::First,
+            base: None,
+        }
+    }
+
+    /// A small but learnable corpus: the deadline always follows "by", the
+    /// amount is always a percent.
+    fn corpus() -> Vec<Objective> {
+        let verbs = ["Reduce", "Cut", "Lower", "Decrease", "Trim", "Shrink"];
+        let things = ["emissions", "waste", "usage", "consumption", "footprint", "intake"];
+        let mut out = Vec::new();
+        let mut id = 0;
+        for (vi, v) in verbs.iter().enumerate() {
+            for (ti, t) in things.iter().enumerate() {
+                let pct = 5 + (vi * 7 + ti * 13) % 90;
+                let year = 2025 + (vi + ti) % 20;
+                let text = format!("{v} {t} by {pct}% by {year}.");
+                let ann = Annotations::new()
+                    .with("Action", v)
+                    .with("Qualifier", t)
+                    .with("Amount", &format!("{pct}%"))
+                    .with("Deadline", &year.to_string());
+                out.push(Objective::annotated(id, text, ann));
+                id += 1;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn trains_and_extracts_on_held_out_text() {
+        let data = corpus();
+        let refs: Vec<&Objective> = data.iter().take(30).collect();
+        let labels = LabelSet::sustainability_goals();
+        let ex = TransformerExtractor::train(&refs, &labels, tiny_options(ModelFamily::Roberta));
+
+        // Weak supervision on this clean corpus matches everything.
+        assert!(ex.weak_stats.overall_match_rate() > 0.99);
+        // Loss fell substantially.
+        let first = ex.train_stats.first().expect("stats").mean_loss;
+        let last = ex.train_stats.last().expect("stats").mean_loss;
+        assert!(last < first * 0.5, "loss {first} -> {last}");
+
+        // Held-out combination (verb, thing) pair not in the first 30.
+        let details = ex.extract("Shrink intake by 33% by 2031.");
+        assert_eq!(details.get("Deadline"), Some("2031"), "details: {:?}", details);
+        assert_eq!(details.get("Amount"), Some("33%"));
+    }
+
+    #[test]
+    fn bert_family_trains_too() {
+        let data = corpus();
+        let refs: Vec<&Objective> = data.iter().take(24).collect();
+        let labels = LabelSet::sustainability_goals();
+        let ex = TransformerExtractor::train(&refs, &labels, tiny_options(ModelFamily::Bert));
+        let details = ex.extract("Cut waste by 44% by 2033.");
+        // BERT-sim lowercases internally but decoding must preserve case.
+        assert_eq!(details.get("Deadline"), Some("2033"), "details: {:?}", details);
+    }
+
+    #[test]
+    fn empty_text_extracts_nothing() {
+        let data = corpus();
+        let refs: Vec<&Objective> = data.iter().take(12).collect();
+        let labels = LabelSet::sustainability_goals();
+        let ex = TransformerExtractor::train(&refs, &labels, tiny_options(ModelFamily::Roberta));
+        assert!(ex.extract("").is_empty());
+        assert!(ex.extract("   ").is_empty());
+    }
+}

@@ -1,0 +1,373 @@
+//! The transformer encoder with a token-classification head, built on the
+//! `gs-tensor` autograd tape.
+//!
+//! Architecture (post-LayerNorm, as in BERT/RoBERTa):
+//!
+//! ```text
+//! h0 = LN(tok_emb[ids] + pos_emb[0..n] (+ seg_emb))
+//! for each layer: h = LN(h + MHA(h)); h = LN(h + FFN(h))
+//! logits = h W_head + b_head            // [n, num_classes]
+//! ```
+
+use super::config::{ModelFamily, TransformerConfig};
+use gs_tensor::{normal, xavier_uniform, Binder, ParamId, ParamStore, Tape, Tensor, Var};
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+/// A transformer encoder plus linear token-classification head.
+#[derive(Clone)]
+pub struct TokenClassifier {
+    config: TransformerConfig,
+    num_classes: usize,
+    store: ParamStore,
+}
+
+impl TokenClassifier {
+    /// Creates a randomly initialized model for `vocab_size` tokens and
+    /// `num_classes` output classes.
+    pub fn new(config: TransformerConfig, vocab_size: usize, num_classes: usize, seed: u64) -> Self {
+        config.validate();
+        assert!(vocab_size > 0 && num_classes > 0);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut store = ParamStore::new();
+        let d = config.d_model;
+
+        store.register("emb.tok", normal(&mut rng, &[vocab_size, d], 0.02));
+        store.register("emb.pos", normal(&mut rng, &[config.max_len, d], 0.02));
+        if config.family == ModelFamily::Bert {
+            store.register("emb.seg", normal(&mut rng, &[2, d], 0.02));
+        }
+        store.register("emb.ln.g", Tensor::full(&[d], 1.0));
+        store.register("emb.ln.b", Tensor::zeros(&[d]));
+
+        for l in 0..config.n_layers {
+            for w in ["wq", "wk", "wv", "wo"] {
+                store.register(&format!("l{l}.attn.{w}"), xavier_uniform(&mut rng, d, d));
+                store.register(&format!("l{l}.attn.{}", w.replace('w', "b")), Tensor::zeros(&[d]));
+            }
+            store.register(&format!("l{l}.ln1.g"), Tensor::full(&[d], 1.0));
+            store.register(&format!("l{l}.ln1.b"), Tensor::zeros(&[d]));
+            store.register(&format!("l{l}.ffn.w1"), xavier_uniform(&mut rng, d, config.d_ff));
+            store.register(&format!("l{l}.ffn.b1"), Tensor::zeros(&[config.d_ff]));
+            store.register(&format!("l{l}.ffn.w2"), xavier_uniform(&mut rng, config.d_ff, d));
+            store.register(&format!("l{l}.ffn.b2"), Tensor::zeros(&[d]));
+            store.register(&format!("l{l}.ln2.g"), Tensor::full(&[d], 1.0));
+            store.register(&format!("l{l}.ln2.b"), Tensor::zeros(&[d]));
+        }
+        store.register("head.w", xavier_uniform(&mut rng, d, num_classes));
+        store.register("head.b", Tensor::zeros(&[num_classes]));
+
+        TokenClassifier { config, num_classes, store }
+    }
+
+    /// Rebuilds a model from persisted parts (see
+    /// [`TransformerExtractor::save_json`](super::TransformerExtractor::save_json)).
+    ///
+    /// # Panics
+    /// Panics if the store is missing expected parameters.
+    pub fn from_store(config: TransformerConfig, num_classes: usize, store: ParamStore) -> Self {
+        config.validate();
+        for required in ["emb.tok", "emb.pos", "head.w", "head.b"] {
+            assert!(store.id(required).is_some(), "missing parameter {required}");
+        }
+        TokenClassifier { config, num_classes, store }
+    }
+
+    /// The model configuration.
+    pub fn config(&self) -> &TransformerConfig {
+        &self.config
+    }
+
+    /// Number of output classes.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// Immutable parameter access (checkpointing).
+    pub fn store(&self) -> &ParamStore {
+        &self.store
+    }
+
+    /// Mutable parameter access (optimizers, loading).
+    pub fn store_mut(&mut self) -> &mut ParamStore {
+        &mut self.store
+    }
+
+    /// Total scalar parameter count.
+    pub fn num_weights(&self) -> usize {
+        self.store.num_weights()
+    }
+
+    fn id(&self, name: &str) -> ParamId {
+        self.store.id(name).unwrap_or_else(|| panic!("missing parameter {name}"))
+    }
+
+    /// Replaces the classification head with a freshly initialized one for
+    /// `num_classes` outputs, keeping the encoder and embeddings — the
+    /// standard pretrain-then-fine-tune weight surgery.
+    pub fn reset_head(&mut self, num_classes: usize, seed: u64) {
+        assert!(num_classes > 0);
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_add(0x9e3779b9));
+        let d = self.config.d_model;
+        let w_id = self.id("head.w");
+        let b_id = self.id("head.b");
+        self.store.replace(w_id, xavier_uniform(&mut rng, d, num_classes));
+        self.store.replace(b_id, Tensor::zeros(&[num_classes]));
+        self.num_classes = num_classes;
+    }
+
+    /// Runs the encoder over `ids` (already truncated to `max_len`),
+    /// returning the `[n, num_classes]` logits variable. When `dropout_rng`
+    /// is provided the model runs in training mode with inverted dropout.
+    pub fn forward(
+        &self,
+        tape: &Tape,
+        binder: &mut Binder<'_>,
+        ids: &[usize],
+        dropout_rng: Option<&mut StdRng>,
+    ) -> Var {
+        let n = ids.len();
+        assert!(n > 0, "empty input sequence");
+        assert!(n <= self.config.max_len, "sequence of {n} exceeds max_len");
+        let mut dropout_rng = dropout_rng;
+        let d = self.config.d_model;
+
+        // Embeddings.
+        let tok_table = binder.bind(&self.store, self.id("emb.tok"));
+        let pos_table = binder.bind(&self.store, self.id("emb.pos"));
+        let tok = tape.embed_gather(tok_table, ids);
+        let positions: Vec<usize> = (0..n).collect();
+        let pos = tape.embed_gather(pos_table, &positions);
+        let mut h = tape.add(tok, pos);
+        if self.config.family == ModelFamily::Bert {
+            let seg_table = binder.bind(&self.store, self.id("emb.seg"));
+            // Single-segment inputs: all segment ids are 0.
+            let seg = tape.embed_gather(seg_table, &vec![0; n]);
+            h = tape.add(h, seg);
+        }
+        let g = binder.bind(&self.store, self.id("emb.ln.g"));
+        let b = binder.bind(&self.store, self.id("emb.ln.b"));
+        h = tape.layer_norm(h, g, b);
+        h = self.maybe_dropout(tape, h, &mut dropout_rng, &[n, d]);
+
+        for l in 0..self.config.n_layers {
+            h = self.attention_block(tape, binder, h, l, n, &mut dropout_rng);
+            h = self.ffn_block(tape, binder, h, l, n, &mut dropout_rng);
+        }
+
+        let w = binder.bind(&self.store, self.id("head.w"));
+        let bh = binder.bind(&self.store, self.id("head.b"));
+        let logits = tape.matmul(h, w);
+        tape.add_bias(logits, bh)
+    }
+
+    fn attention_block(
+        &self,
+        tape: &Tape,
+        binder: &mut Binder<'_>,
+        h: Var,
+        layer: usize,
+        n: usize,
+        dropout_rng: &mut Option<&mut StdRng>,
+    ) -> Var {
+        let d = self.config.d_model;
+        let dh = self.config.d_head();
+        let bind = |binder: &mut Binder<'_>, name: String| binder.bind(&self.store, self.id(&name));
+
+        let wq = bind(binder, format!("l{layer}.attn.wq"));
+        let bq = bind(binder, format!("l{layer}.attn.bq"));
+        let wk = bind(binder, format!("l{layer}.attn.wk"));
+        let bk = bind(binder, format!("l{layer}.attn.bk"));
+        let wv = bind(binder, format!("l{layer}.attn.wv"));
+        let bv = bind(binder, format!("l{layer}.attn.bv"));
+        let wo = bind(binder, format!("l{layer}.attn.wo"));
+        let bo = bind(binder, format!("l{layer}.attn.bo"));
+
+        let q = tape.add_bias(tape.matmul(h, wq), bq);
+        let k = tape.add_bias(tape.matmul(h, wk), bk);
+        let v = tape.add_bias(tape.matmul(h, wv), bv);
+
+        let scale = 1.0 / (dh as f32).sqrt();
+        let mut heads = Vec::with_capacity(self.config.n_heads);
+        for head in 0..self.config.n_heads {
+            let (s, e) = (head * dh, (head + 1) * dh);
+            let qh = tape.slice_cols(q, s, e);
+            let kh = tape.slice_cols(k, s, e);
+            let vh = tape.slice_cols(v, s, e);
+            let scores = tape.scale(tape.matmul_transb(qh, kh), scale);
+            let attn = tape.softmax_last_dim(scores);
+            heads.push(tape.matmul(attn, vh));
+        }
+        let concat = tape.concat_cols(&heads);
+        let mut out = tape.add_bias(tape.matmul(concat, wo), bo);
+        out = self.maybe_dropout(tape, out, dropout_rng, &[n, d]);
+
+        let sum = tape.add(h, out);
+        let g = bind(binder, format!("l{layer}.ln1.g"));
+        let b = bind(binder, format!("l{layer}.ln1.b"));
+        tape.layer_norm(sum, g, b)
+    }
+
+    fn ffn_block(
+        &self,
+        tape: &Tape,
+        binder: &mut Binder<'_>,
+        h: Var,
+        layer: usize,
+        n: usize,
+        dropout_rng: &mut Option<&mut StdRng>,
+    ) -> Var {
+        let d = self.config.d_model;
+        let bind = |binder: &mut Binder<'_>, name: String| binder.bind(&self.store, self.id(&name));
+        let w1 = bind(binder, format!("l{layer}.ffn.w1"));
+        let b1 = bind(binder, format!("l{layer}.ffn.b1"));
+        let w2 = bind(binder, format!("l{layer}.ffn.w2"));
+        let b2 = bind(binder, format!("l{layer}.ffn.b2"));
+
+        let inner = tape.gelu(tape.add_bias(tape.matmul(h, w1), b1));
+        let mut out = tape.add_bias(tape.matmul(inner, w2), b2);
+        out = self.maybe_dropout(tape, out, dropout_rng, &[n, d]);
+
+        let sum = tape.add(h, out);
+        let g = bind(binder, format!("l{layer}.ln2.g"));
+        let b = bind(binder, format!("l{layer}.ln2.b"));
+        tape.layer_norm(sum, g, b)
+    }
+
+    fn maybe_dropout(
+        &self,
+        tape: &Tape,
+        x: Var,
+        dropout_rng: &mut Option<&mut StdRng>,
+        shape: &[usize],
+    ) -> Var {
+        let p = self.config.dropout;
+        let Some(rng) = dropout_rng.as_deref_mut() else { return x };
+        if p <= 0.0 {
+            return x;
+        }
+        let keep = 1.0 - p;
+        let volume: usize = shape.iter().product();
+        let mask: Vec<f32> = (0..volume)
+            .map(|_| if rng.random_bool(keep as f64) { 1.0 / keep } else { 0.0 })
+            .collect();
+        tape.dropout_with_mask(x, Tensor::from_vec(shape.to_vec(), mask))
+    }
+
+    /// Predicts class ids for a sequence (inference mode, no dropout).
+    pub fn predict_classes(&self, ids: &[usize]) -> Vec<usize> {
+        if ids.is_empty() {
+            return Vec::new();
+        }
+        let truncated = &ids[..ids.len().min(self.config.max_len)];
+        let tape = Tape::new();
+        let mut binder = Binder::new(&tape);
+        let logits = self.forward(&tape, &mut binder, truncated, None);
+        let mut classes = tape.value(logits).argmax_rows();
+        // Truncated tail: repeat the O class (0) so callers get one class
+        // per input id.
+        classes.resize(ids.len(), 0);
+        classes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gs_tensor::Optimizer;
+
+    fn tiny_config() -> TransformerConfig {
+        TransformerConfig {
+            name: "tiny".into(),
+            family: ModelFamily::Roberta,
+            d_model: 16,
+            n_heads: 2,
+            n_layers: 1,
+            d_ff: 32,
+            max_len: 16,
+            dropout: 0.1,
+            subword_budget: 50,
+        }
+    }
+
+    #[test]
+    fn forward_shapes_are_correct() {
+        let model = TokenClassifier::new(tiny_config(), 30, 5, 1);
+        let tape = Tape::new();
+        let mut binder = Binder::new(&tape);
+        let logits = model.forward(&tape, &mut binder, &[1, 5, 9, 2], None);
+        assert_eq!(tape.value(logits).shape(), &[4, 5]);
+        assert!(!tape.value(logits).has_non_finite());
+    }
+
+    #[test]
+    fn bert_family_adds_segment_embeddings() {
+        let mut cfg = tiny_config();
+        cfg.family = ModelFamily::Bert;
+        let model = TokenClassifier::new(cfg, 30, 5, 1);
+        assert!(model.store().id("emb.seg").is_some());
+        let tape = Tape::new();
+        let mut binder = Binder::new(&tape);
+        let logits = model.forward(&tape, &mut binder, &[3, 4], None);
+        assert_eq!(tape.value(logits).shape(), &[2, 5]);
+    }
+
+    #[test]
+    fn deterministic_init_per_seed() {
+        let a = TokenClassifier::new(tiny_config(), 30, 5, 7);
+        let b = TokenClassifier::new(tiny_config(), 30, 5, 7);
+        assert_eq!(a.predict_classes(&[1, 2, 3]), b.predict_classes(&[1, 2, 3]));
+    }
+
+    #[test]
+    fn overfits_single_sequence() {
+        // One gradient sanity check on the whole stack: a tiny model must be
+        // able to memorize one labeling.
+        let mut model = TokenClassifier::new(tiny_config(), 20, 3, 3);
+        let ids = [4usize, 7, 9, 11];
+        let targets = [0i64, 1, 2, 0];
+        let mut opt = Optimizer::adam(5e-3);
+        let mut dropout_rng = StdRng::seed_from_u64(9);
+        let mut last_loss = f32::INFINITY;
+        for step in 0..120 {
+            let tape = Tape::new();
+            let mut binder = Binder::new(&tape);
+            let logits = model.forward(&tape, &mut binder, &ids, Some(&mut dropout_rng));
+            let loss = tape.cross_entropy(logits, &targets);
+            let loss_val = tape.value(loss).item();
+            let mut grads = tape.backward(loss);
+            binder.accumulate(&mut grads, model.store_mut());
+            model.store_mut().clip_grad_norm(5.0);
+            opt.step(model.store_mut());
+            if step == 119 {
+                last_loss = loss_val;
+            }
+        }
+        assert!(last_loss < 0.5, "loss did not fall: {last_loss}");
+        assert_eq!(model.predict_classes(&ids), vec![0, 1, 2, 0]);
+    }
+
+    #[test]
+    fn predict_handles_truncation() {
+        let model = TokenClassifier::new(tiny_config(), 30, 5, 1);
+        let long_ids: Vec<usize> = (0..25).map(|i| i % 30).collect();
+        let classes = model.predict_classes(&long_ids);
+        assert_eq!(classes.len(), 25);
+    }
+
+    #[test]
+    fn empty_input_predicts_empty() {
+        let model = TokenClassifier::new(tiny_config(), 30, 5, 1);
+        assert!(model.predict_classes(&[]).is_empty());
+    }
+
+    #[test]
+    fn param_count_scales_with_layers() {
+        let base = TokenClassifier::new(tiny_config(), 30, 5, 1).num_weights();
+        let mut cfg = tiny_config();
+        cfg.n_layers = 2;
+        let deeper = TokenClassifier::new(cfg, 30, 5, 1).num_weights();
+        assert!(deeper > base);
+    }
+}

@@ -1,0 +1,247 @@
+//! Masked-language-model pretraining on unlabeled in-domain text.
+//!
+//! The paper fine-tunes *pretrained* RoBERTa/BERT checkpoints; pretraining
+//! is what gives the transformer its edge over feature-engineered CRFs.
+//! Since no pretrained Rust checkpoints exist at our scale, we reproduce the
+//! recipe: pretrain the encoder with a BERT-style masked-token objective on
+//! a large unlabeled sustainability corpus (no extraction labels are ever
+//! used), then swap the LM head for a token-classification head and
+//! fine-tune on the weakly labeled objectives.
+
+use super::config::{ModelFamily, TransformerConfig};
+use super::model::TokenClassifier;
+use gs_tensor::{Binder, Optimizer, Tape, WarmupLinearSchedule};
+use gs_text::{Normalizer, NormalizerConfig, Tokenizer};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+/// MLM pretraining hyperparameters.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PretrainConfig {
+    /// Pretraining epochs over the unlabeled corpus.
+    pub epochs: usize,
+    /// Peak learning rate.
+    pub lr: f32,
+    /// Sequences per optimizer step.
+    pub batch_size: usize,
+    /// Fraction of tokens masked per sequence.
+    pub mask_prob: f64,
+    /// Seed for init, masking, and shuffling.
+    pub seed: u64,
+}
+
+impl Default for PretrainConfig {
+    fn default() -> Self {
+        PretrainConfig { epochs: 6, lr: 2e-3, batch_size: 16, mask_prob: 0.15, seed: 0 }
+    }
+}
+
+/// A pretrained encoder: the tokenizer it was trained with and the model
+/// (still carrying its LM head). Wrapped in `Arc` by callers so several
+/// fine-tuning runs can share it.
+pub struct PretrainedEncoder {
+    /// The tokenizer (vocabulary is frozen by pretraining).
+    pub tokenizer: Tokenizer,
+    /// The pretrained model (head = LM head over the vocabulary).
+    pub model: TokenClassifier,
+    /// Mean MLM loss per epoch, for convergence reporting.
+    pub epoch_losses: Vec<f32>,
+}
+
+impl PretrainedEncoder {
+    /// A fine-tunable copy: encoder weights kept, LM head replaced by a
+    /// fresh `num_classes` head.
+    pub fn fine_tune_model(&self, num_classes: usize, seed: u64) -> TokenClassifier {
+        let mut model = self.model.clone();
+        model.reset_head(num_classes, seed);
+        model
+    }
+}
+
+/// Pretrains an encoder with the masked-token objective on `texts`.
+pub fn pretrain_encoder(
+    texts: &[&str],
+    model_config: &TransformerConfig,
+    config: &PretrainConfig,
+) -> PretrainedEncoder {
+    assert!(!texts.is_empty(), "no pretraining texts");
+    model_config.validate();
+    let tokenizer = match model_config.family {
+        ModelFamily::Roberta => {
+            Tokenizer::train_bpe(texts, Normalizer::default(), model_config.subword_budget)
+        }
+        ModelFamily::Bert => Tokenizer::train_wordpiece(
+            texts,
+            Normalizer::new(NormalizerConfig { lowercase: true, ..Default::default() }),
+            model_config.subword_budget,
+        ),
+    };
+    let vocab_size = tokenizer.vocab().len();
+    let mask_id = 4usize; // <mask>
+
+    // Encode the corpus once.
+    let sequences: Vec<Vec<usize>> = texts
+        .iter()
+        .filter_map(|t| {
+            let enc = tokenizer.encode(t);
+            if enc.is_empty() {
+                return None;
+            }
+            let mut ids: Vec<usize> = Vec::with_capacity(enc.ids.len() + 2);
+            ids.push(tokenizer.vocab().bos_id() as usize);
+            ids.extend(enc.ids.iter().map(|&i| i as usize));
+            ids.truncate(model_config.max_len - 1);
+            ids.push(tokenizer.vocab().eos_id() as usize);
+            Some(ids)
+        })
+        .collect();
+    assert!(!sequences.is_empty(), "pretraining corpus encoded to nothing");
+
+    let mut model =
+        TokenClassifier::new(model_config.clone(), vocab_size, vocab_size, config.seed);
+    let mut opt = Optimizer::adam(config.lr);
+    let steps_per_epoch = sequences.len().div_ceil(config.batch_size.max(1));
+    let total_steps = (steps_per_epoch * config.epochs) as u64;
+    let schedule = WarmupLinearSchedule {
+        base_lr: config.lr,
+        warmup_steps: total_steps / 10,
+        total_steps,
+    };
+    let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(17));
+    let mut dropout_rng = StdRng::seed_from_u64(config.seed.wrapping_add(23));
+
+    let mut order: Vec<usize> = (0..sequences.len()).collect();
+    let mut epoch_losses = Vec::with_capacity(config.epochs);
+    let mut step = 0u64;
+    for _epoch in 0..config.epochs {
+        order.shuffle(&mut rng);
+        let mut epoch_loss = 0.0f64;
+        let mut counted = 0usize;
+        for batch in order.chunks(config.batch_size.max(1)) {
+            let mut batch_used = 0usize;
+            for &si in batch {
+                let ids = &sequences[si];
+                // Fresh mask each epoch (standard dynamic masking).
+                let mut masked = ids.clone();
+                let mut targets = vec![-1i64; ids.len()];
+                let mut any = false;
+                for pos in 1..ids.len().saturating_sub(1) {
+                    if rng.random_bool(config.mask_prob) {
+                        targets[pos] = ids[pos] as i64;
+                        // 80/10/10: mask / random token / keep.
+                        let r: f64 = rng.random();
+                        if r < 0.8 {
+                            masked[pos] = mask_id;
+                        } else if r < 0.9 {
+                            masked[pos] = rng.random_range(5..vocab_size.max(6));
+                        }
+                        any = true;
+                    }
+                }
+                if !any {
+                    continue;
+                }
+                batch_used += 1;
+                let tape = Tape::new();
+                let mut binder = Binder::new(&tape);
+                let logits = model.forward(&tape, &mut binder, &masked, Some(&mut dropout_rng));
+                let loss = tape.cross_entropy(logits, &targets);
+                epoch_loss += f64::from(tape.value(loss).item());
+                counted += 1;
+                let mut grads = tape.backward(loss);
+                binder.accumulate(&mut grads, model.store_mut());
+            }
+            if batch_used > 0 {
+                model.store_mut().clip_grad_norm(batch_used as f32);
+                opt.set_lr(schedule.lr_at(step));
+                opt.step(model.store_mut());
+            }
+            step += 1;
+        }
+        epoch_losses.push((epoch_loss / counted.max(1) as f64) as f32);
+    }
+
+    PretrainedEncoder { tokenizer, model, epoch_losses }
+}
+
+/// Convenience: pretrain and wrap in an `Arc` for sharing across runs.
+pub fn pretrain_encoder_shared(
+    texts: &[&str],
+    model_config: &TransformerConfig,
+    config: &PretrainConfig,
+) -> Arc<PretrainedEncoder> {
+    Arc::new(pretrain_encoder(texts, model_config, config))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> TransformerConfig {
+        TransformerConfig {
+            name: "tiny".into(),
+            family: ModelFamily::Roberta,
+            d_model: 16,
+            n_heads: 2,
+            n_layers: 1,
+            d_ff: 32,
+            max_len: 32,
+            dropout: 0.05,
+            subword_budget: 120,
+        }
+    }
+
+    fn corpus() -> Vec<&'static str> {
+        vec![
+            "Reduce energy consumption by 20% by 2025.",
+            "Reach net-zero carbon emissions by 2040.",
+            "Cut waste to landfill by half by 2030.",
+            "Restore 100% of our global water use.",
+            "Lower fleet fuel consumption by 15%.",
+            "Achieve zero waste across all operations.",
+            "Install renewable electricity at all sites.",
+            "Double recyclable packaging by 2028.",
+        ]
+    }
+
+    #[test]
+    fn mlm_loss_decreases() {
+        let pc = PretrainConfig { epochs: 10, lr: 3e-3, batch_size: 4, ..Default::default() };
+        let pe = pretrain_encoder(&corpus(), &tiny_config(), &pc);
+        let first = pe.epoch_losses[0];
+        let last = *pe.epoch_losses.last().expect("losses");
+        assert!(last < first, "MLM loss {first} -> {last}");
+    }
+
+    #[test]
+    fn fine_tune_model_has_new_head() {
+        let pc = PretrainConfig { epochs: 1, ..Default::default() };
+        let pe = pretrain_encoder(&corpus(), &tiny_config(), &pc);
+        let ft = pe.fine_tune_model(11, 3);
+        assert_eq!(ft.num_classes(), 11);
+        // Encoder weights are inherited: embeddings identical.
+        let emb_pre = pe.model.store().id("emb.tok").expect("emb");
+        let emb_ft = ft.store().id("emb.tok").expect("emb");
+        assert_eq!(pe.model.store().value(emb_pre), ft.store().value(emb_ft));
+        // Predictions are well-formed.
+        let classes = ft.predict_classes(&[1, 2, 3]);
+        assert!(classes.iter().all(|&c| c < 11));
+    }
+
+    #[test]
+    fn pretraining_is_deterministic() {
+        let pc = PretrainConfig { epochs: 2, ..Default::default() };
+        let a = pretrain_encoder(&corpus(), &tiny_config(), &pc);
+        let b = pretrain_encoder(&corpus(), &tiny_config(), &pc);
+        assert_eq!(a.epoch_losses, b.epoch_losses);
+    }
+
+    #[test]
+    #[should_panic(expected = "no pretraining texts")]
+    fn empty_corpus_rejected() {
+        let _ = pretrain_encoder(&[], &tiny_config(), &PretrainConfig::default());
+    }
+}

@@ -1,0 +1,18 @@
+//! # gs-pipeline
+//!
+//! GoalSpotter end to end (paper Figure 2 and §5): the development phase
+//! trains the detection stage and the weakly supervised extraction service;
+//! the production phase sweeps reports, detects objective blocks, extracts
+//! their details, and fills the structured [`gs_store::ObjectiveStore`].
+//! [`evaluate_extractor`] is the shared driver behind every comparison in
+//! the benchmark harnesses.
+
+#![warn(missing_docs)]
+
+mod evaluate;
+mod produce;
+mod system;
+
+pub use evaluate::{evaluate_extractor, ApproachResult};
+pub use produce::{process_corpus, process_corpus_parallel, process_report, CompanyStats, ReportStats};
+pub use system::{GoalSpotter, GoalSpotterConfig};

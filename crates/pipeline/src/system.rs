@@ -1,0 +1,177 @@
+//! The GoalSpotter system with the integrated detail-extraction service
+//! (paper Figure 2): a detection stage classifying report blocks as
+//! objective vs noise, and the weakly supervised extraction stage that
+//! turns detected objectives into structured records.
+
+use gs_core::{ExtractedDetails, Objective};
+use gs_models::transformer::{ExtractorOptions, TransformerExtractor};
+use gs_models::{DetailExtractor, LinearDetector, LinearDetectorConfig, ObjectiveDetector};
+use gs_text::labels::LabelSet;
+
+/// Configuration of the full system.
+#[derive(Clone)]
+pub struct GoalSpotterConfig {
+    /// Extraction-service options (model, training, weak labeling).
+    pub extractor: ExtractorOptions,
+    /// Detection-stage options.
+    pub detector: LinearDetectorConfig,
+    /// Detection score threshold; blocks scoring at or above it are treated
+    /// as sustainability objectives.
+    pub detection_threshold: f32,
+}
+
+impl Default for GoalSpotterConfig {
+    fn default() -> Self {
+        GoalSpotterConfig {
+            extractor: ExtractorOptions::default(),
+            detector: LinearDetectorConfig::default(),
+            detection_threshold: 0.5,
+        }
+    }
+}
+
+/// The trained system.
+pub struct GoalSpotter {
+    detector: LinearDetector,
+    extractor: TransformerExtractor,
+    threshold: f32,
+}
+
+impl GoalSpotter {
+    /// Development phase (Figure 2, purple): trains the detector on
+    /// objective texts vs `noise_blocks`, and the extraction service on the
+    /// annotated objectives via Algorithm 1.
+    pub fn develop(
+        objectives: &[&Objective],
+        noise_blocks: &[&str],
+        labels: &LabelSet,
+        config: GoalSpotterConfig,
+    ) -> Self {
+        assert!(!objectives.is_empty(), "no training objectives");
+        assert!(!noise_blocks.is_empty(), "no noise blocks for detection training");
+        let mut detection_data: Vec<(&str, bool)> =
+            objectives.iter().map(|o| (o.text.as_str(), true)).collect();
+        detection_data.extend(noise_blocks.iter().map(|b| (*b, false)));
+        let detector = LinearDetector::train(&detection_data, config.detector.clone());
+        let extractor = TransformerExtractor::train(objectives, labels, config.extractor.clone());
+        GoalSpotter { detector, extractor, threshold: config.detection_threshold }
+    }
+
+    /// Builds a system from pre-trained parts (e.g. loaded checkpoints).
+    pub fn from_parts(
+        detector: LinearDetector,
+        extractor: TransformerExtractor,
+        threshold: f32,
+    ) -> Self {
+        GoalSpotter { detector, extractor, threshold }
+    }
+
+    /// Detection score of a text block.
+    pub fn detection_score(&self, text: &str) -> f32 {
+        self.detector.score(text)
+    }
+
+    /// Whether a block is detected as a sustainability objective.
+    pub fn detect(&self, text: &str) -> bool {
+        self.detection_score(text) >= self.threshold
+    }
+
+    /// Production phase (Figure 2, blue) for one objective: extract its key
+    /// details.
+    pub fn extract(&self, text: &str) -> ExtractedDetails {
+        self.extractor.extract(text)
+    }
+
+    /// The extraction service (for evaluation harnesses).
+    pub fn extractor(&self) -> &TransformerExtractor {
+        &self.extractor
+    }
+
+    /// The detection stage.
+    pub fn detector(&self) -> &LinearDetector {
+        &self.detector
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gs_core::Annotations;
+    use gs_models::transformer::{TrainConfig, TransformerConfig};
+
+    pub(crate) fn tiny_config() -> GoalSpotterConfig {
+        GoalSpotterConfig {
+            extractor: ExtractorOptions {
+                model: TransformerConfig {
+                    name: "tiny".into(),
+                    d_model: 32,
+                    n_heads: 2,
+                    n_layers: 1,
+                    d_ff: 64,
+                    max_len: 48,
+                    subword_budget: 250,
+                    ..TransformerConfig::roberta_sim()
+                },
+                train: TrainConfig { epochs: 18, lr: 3e-3, batch_size: 8, ..Default::default() },
+                ..Default::default()
+            },
+            ..Default::default()
+        }
+    }
+
+    fn corpus() -> Vec<Objective> {
+        let verbs = ["Reduce", "Cut", "Lower", "Decrease"];
+        let things = ["emissions", "waste", "usage", "consumption"];
+        let mut out = Vec::new();
+        let mut id = 0;
+        for v in verbs {
+            for t in things {
+                let pct = 10 + (id * 7) % 80;
+                let year = 2025 + (id as usize) % 15;
+                out.push(Objective::annotated(
+                    id,
+                    format!("{v} {t} by {pct}% by {year}."),
+                    Annotations::new()
+                        .with("Action", v)
+                        .with("Qualifier", t)
+                        .with("Amount", &format!("{pct}%"))
+                        .with("Deadline", &year.to_string()),
+                ));
+                id += 1;
+            }
+        }
+        out
+    }
+
+    fn noise() -> Vec<&'static str> {
+        vec![
+            "This report was prepared in accordance with GRI standards.",
+            "The audit committee reviewed the financial statements.",
+            "Forward-looking statements involve risks and uncertainties.",
+            "Our products are sold in more than 90 countries.",
+            "Management discussion and analysis follows in section four.",
+            "Revenue grew moderately while expenses remained stable.",
+        ]
+    }
+
+    #[test]
+    fn develop_then_detect_and_extract() {
+        let data = corpus();
+        let refs: Vec<&Objective> = data.iter().collect();
+        let labels = LabelSet::sustainability_goals();
+        let gs = GoalSpotter::develop(&refs, &noise(), &labels, tiny_config());
+
+        assert!(gs.detect("Cut consumption by 30% by 2030."));
+        assert!(!gs.detect("The audit committee met twice during the year."));
+
+        let details = gs.extract("Lower waste by 44% by 2032.");
+        assert_eq!(details.get("Amount"), Some("44%"), "details {:?}", details);
+    }
+
+    #[test]
+    #[should_panic(expected = "no training objectives")]
+    fn develop_requires_objectives() {
+        let labels = LabelSet::sustainability_goals();
+        let _ = GoalSpotter::develop(&[], &noise(), &labels, tiny_config());
+    }
+}

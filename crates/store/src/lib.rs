@@ -1,0 +1,19 @@
+//! # gs-store
+//!
+//! The structured database that extracted sustainability-objective details
+//! land in (paper §2.4, §5): a small columnar table engine with typed
+//! columns, hash and btree secondary indexes, predicate queries, and
+//! group-by counts — wrapped by a thread-safe, domain-level
+//! [`ObjectiveStore`] supporting the paper's monitoring queries (per-company
+//! views, deadline windows, top-k by detection score, specificity ranking)
+//! and JSON/CSV export.
+
+#![warn(missing_docs)]
+
+mod objective_store;
+mod table;
+mod value;
+
+pub use objective_store::{ObjectiveRecord, ObjectiveStore};
+pub use table::{Predicate, RowId, Schema, Table};
+pub use value::{ColumnType, Value};

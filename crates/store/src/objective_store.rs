@@ -1,0 +1,391 @@
+//! The domain-level objective database: one row per extracted sustainability
+//! objective with the five detail fields, company/document provenance, and a
+//! derived `deadline_year` column for temporal monitoring queries
+//! (paper §2.4: fields like Baseline and Deadline "allow tracking progress
+//! over time").
+//!
+//! Reads and writes go through a `parking_lot::RwLock`, so the production
+//! pipeline can ingest while analysts query.
+
+use crate::table::{Predicate, RowId, Schema, Table};
+use crate::value::{ColumnType, Value};
+use gs_core::ExtractedDetails;
+use parking_lot::RwLock;
+use serde::Serialize;
+
+/// One record as stored/exported.
+#[derive(Clone, Debug, PartialEq, Serialize, serde::Deserialize)]
+pub struct ObjectiveRecord {
+    /// Company the objective belongs to.
+    pub company: String,
+    /// Source document.
+    pub document: String,
+    /// The full objective text (always kept; §2.4 notes it is needed for
+    /// complete interpretation).
+    pub objective: String,
+    /// Extracted Action, if any.
+    pub action: Option<String>,
+    /// Extracted Amount, if any.
+    pub amount: Option<String>,
+    /// Extracted Qualifier, if any.
+    pub qualifier: Option<String>,
+    /// Extracted Baseline, if any.
+    pub baseline: Option<String>,
+    /// Extracted Deadline, if any.
+    pub deadline: Option<String>,
+    /// Detection confidence from GoalSpotter.
+    pub score: f64,
+}
+
+impl ObjectiveRecord {
+    /// Builds a record from extraction output.
+    pub fn from_details(
+        company: &str,
+        document: &str,
+        objective: &str,
+        details: &ExtractedDetails,
+        score: f64,
+    ) -> Self {
+        let field = |k: &str| details.get(k).map(str::to_string);
+        ObjectiveRecord {
+            company: company.to_string(),
+            document: document.to_string(),
+            objective: objective.to_string(),
+            action: field("Action"),
+            amount: field("Amount"),
+            qualifier: field("Qualifier"),
+            baseline: field("Baseline"),
+            deadline: field("Deadline"),
+            score,
+        }
+    }
+
+    /// Number of non-empty detail fields (specificity indicator; the
+    /// paper's §5.1 discussion ranks companies by it).
+    pub fn completeness(&self) -> usize {
+        [&self.action, &self.amount, &self.qualifier, &self.baseline, &self.deadline]
+            .iter()
+            .filter(|f| f.is_some())
+            .count()
+    }
+}
+
+/// Thread-safe objective database.
+pub struct ObjectiveStore {
+    inner: RwLock<Table>,
+}
+
+impl Default for ObjectiveStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ObjectiveStore {
+    /// Creates an empty store with indexes on company and deadline year.
+    pub fn new() -> Self {
+        let schema = Schema::new(&[
+            ("company", ColumnType::Text),
+            ("document", ColumnType::Text),
+            ("objective", ColumnType::Text),
+            ("action", ColumnType::Text),
+            ("amount", ColumnType::Text),
+            ("qualifier", ColumnType::Text),
+            ("baseline", ColumnType::Text),
+            ("deadline", ColumnType::Text),
+            ("deadline_year", ColumnType::Int),
+            ("score_milli", ColumnType::Int),
+        ]);
+        let mut table = Table::new(schema);
+        table.create_hash_index("company");
+        table.create_btree_index("deadline_year");
+        ObjectiveStore { inner: RwLock::new(table) }
+    }
+
+    /// Inserts a record, deriving the deadline-year column.
+    pub fn insert(&self, record: &ObjectiveRecord) -> RowId {
+        let opt = |o: &Option<String>| match o {
+            Some(s) => Value::text_or_null(s),
+            None => Value::Null,
+        };
+        let deadline_year = record
+            .deadline
+            .as_deref()
+            .and_then(Value::parse_year)
+            .map_or(Value::Null, Value::Int);
+        let row = vec![
+            Value::Text(record.company.clone()),
+            Value::Text(record.document.clone()),
+            Value::Text(record.objective.clone()),
+            opt(&record.action),
+            opt(&record.amount),
+            opt(&record.qualifier),
+            opt(&record.baseline),
+            opt(&record.deadline),
+            deadline_year,
+            Value::Int((record.score * 1000.0).round() as i64),
+        ];
+        self.inner.write().insert(row)
+    }
+
+    /// Total stored objectives.
+    pub fn len(&self) -> usize {
+        self.inner.read().len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn record_at(table: &Table, id: RowId) -> ObjectiveRecord {
+        let text = |col: &str| table.get(id, col).as_text().map(str::to_string);
+        ObjectiveRecord {
+            company: text("company").unwrap_or_default(),
+            document: text("document").unwrap_or_default(),
+            objective: text("objective").unwrap_or_default(),
+            action: text("action"),
+            amount: text("amount"),
+            qualifier: text("qualifier"),
+            baseline: text("baseline"),
+            deadline: text("deadline"),
+            score: table.get(id, "score_milli").as_int().unwrap_or(0) as f64 / 1000.0,
+        }
+    }
+
+    /// All records matching a predicate.
+    pub fn query(&self, predicate: &Predicate) -> Vec<ObjectiveRecord> {
+        let table = self.inner.read();
+        table.select(predicate).into_iter().map(|id| Self::record_at(&table, id)).collect()
+    }
+
+    /// All records of one company.
+    pub fn by_company(&self, company: &str) -> Vec<ObjectiveRecord> {
+        self.query(&Predicate::Eq("company".into(), Value::Text(company.to_string())))
+    }
+
+    /// Objectives with deadlines in `[from, to]` — the monitoring query.
+    pub fn deadlines_between(&self, from: i64, to: i64) -> Vec<ObjectiveRecord> {
+        self.query(&Predicate::IntRange("deadline_year".into(), from, to))
+    }
+
+    /// The top `k` objectives of a company by detection score (paper
+    /// Table 6 shows the top 2 per company).
+    pub fn top_objectives(&self, company: &str, k: usize) -> Vec<ObjectiveRecord> {
+        let mut records = self.by_company(company);
+        records.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| b.completeness().cmp(&a.completeness()))
+        });
+        records.truncate(k);
+        records
+    }
+
+    /// Objective counts per company.
+    pub fn counts_by_company(&self) -> Vec<(String, usize)> {
+        self.inner
+            .read()
+            .count_by("company")
+            .into_iter()
+            .filter_map(|(v, c)| v.as_text().map(|s| (s.to_string(), c)))
+            .collect()
+    }
+
+    /// Mean completeness (fields per record) per company — the paper's
+    /// specificity comparison in §5.1.
+    pub fn specificity_by_company(&self) -> Vec<(String, f64)> {
+        let mut out = Vec::new();
+        for (company, _) in self.counts_by_company() {
+            let records = self.by_company(&company);
+            let mean = records.iter().map(|r| r.completeness() as f64).sum::<f64>()
+                / records.len().max(1) as f64;
+            out.push((company, mean));
+        }
+        out
+    }
+
+    /// Exports all rows as a JSON array.
+    pub fn export_json(&self) -> String {
+        let table = self.inner.read();
+        let records: Vec<ObjectiveRecord> =
+            (0..table.len()).map(|r| Self::record_at(&table, RowId(r))).collect();
+        serde_json::to_string_pretty(&records).expect("records serialize")
+    }
+
+    /// Exports all rows as CSV (RFC-4180 quoting).
+    pub fn export_csv(&self) -> String {
+        let table = self.inner.read();
+        let mut out = String::new();
+        let names: Vec<&str> = table.schema().column_names().collect();
+        out.push_str(&names.join(","));
+        out.push('\n');
+        for r in 0..table.len() {
+            let cells: Vec<String> =
+                table.row(RowId(r)).iter().map(|v| csv_quote(&v.to_string())).collect();
+            out.push_str(&cells.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl ObjectiveStore {
+    /// Persists all records as JSON to a writer (see [`export_json`](Self::export_json)).
+    pub fn save<W: std::io::Write>(&self, mut writer: W) -> std::io::Result<()> {
+        writer.write_all(self.export_json().as_bytes())
+    }
+
+    /// Restores a store from [`save`](Self::save)/[`export_json`](Self::export_json)
+    /// output, rebuilding all indexes.
+    pub fn load<R: std::io::Read>(mut reader: R) -> std::io::Result<Self> {
+        let mut json = String::new();
+        reader.read_to_string(&mut json)?;
+        let records: Vec<ObjectiveRecord> =
+            serde_json::from_str(&json).map_err(std::io::Error::other)?;
+        let store = ObjectiveStore::new();
+        for r in &records {
+            store.insert(r);
+        }
+        Ok(store)
+    }
+}
+
+fn csv_quote(s: &str) -> String {
+    if s.contains([',', '"', '\n']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(company: &str, deadline: Option<&str>, score: f64) -> ObjectiveRecord {
+        let mut details = ExtractedDetails::new();
+        details.set("Action", "Reduce");
+        details.set("Amount", "20%");
+        if let Some(d) = deadline {
+            details.set("Deadline", d);
+        }
+        ObjectiveRecord::from_details(
+            company,
+            "report.pdf",
+            "Reduce emissions by 20%.",
+            &details,
+            score,
+        )
+    }
+
+    #[test]
+    fn insert_and_query_by_company() {
+        let store = ObjectiveStore::new();
+        store.insert(&record("C1", Some("2030"), 0.9));
+        store.insert(&record("C2", None, 0.8));
+        store.insert(&record("C1", Some("by 2040"), 0.7));
+        assert_eq!(store.len(), 3);
+        let c1 = store.by_company("C1");
+        assert_eq!(c1.len(), 2);
+        assert!(c1.iter().all(|r| r.company == "C1"));
+    }
+
+    #[test]
+    fn deadline_year_derivation_enables_monitoring() {
+        let store = ObjectiveStore::new();
+        store.insert(&record("C1", Some("2030"), 0.9));
+        store.insert(&record("C1", Some("the end of 2026"), 0.9));
+        store.insert(&record("C1", None, 0.9));
+        let soon = store.deadlines_between(2024, 2027);
+        assert_eq!(soon.len(), 1);
+        assert_eq!(soon[0].deadline.as_deref(), Some("the end of 2026"));
+    }
+
+    #[test]
+    fn top_objectives_sorted_by_score() {
+        let store = ObjectiveStore::new();
+        store.insert(&record("C1", Some("2030"), 0.5));
+        store.insert(&record("C1", Some("2031"), 0.95));
+        store.insert(&record("C1", Some("2032"), 0.7));
+        let top = store.top_objectives("C1", 2);
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0].score, 0.95);
+        assert_eq!(top[1].score, 0.7);
+    }
+
+    #[test]
+    fn completeness_counts_fields() {
+        let r = record("C1", Some("2030"), 1.0);
+        assert_eq!(r.completeness(), 3); // action, amount, deadline
+        let empty = ObjectiveRecord::from_details("C", "d", "o", &ExtractedDetails::new(), 0.0);
+        assert_eq!(empty.completeness(), 0);
+    }
+
+    #[test]
+    fn csv_export_quotes_commas() {
+        let store = ObjectiveStore::new();
+        let mut details = ExtractedDetails::new();
+        details.set("Qualifier", "energy, water and waste");
+        store.insert(&ObjectiveRecord::from_details("C1", "d", "obj", &details, 0.5));
+        let csv = store.export_csv();
+        assert!(csv.contains("\"energy, water and waste\""));
+        assert_eq!(csv.lines().count(), 2);
+    }
+
+    #[test]
+    fn json_export_roundtrips() {
+        let store = ObjectiveStore::new();
+        store.insert(&record("C1", Some("2030"), 0.9));
+        let json = store.export_json();
+        let parsed: serde_json::Value = serde_json::from_str(&json).expect("valid json");
+        assert_eq!(parsed.as_array().expect("array").len(), 1);
+        assert_eq!(parsed[0]["company"], "C1");
+    }
+
+    #[test]
+    fn concurrent_ingest_and_query() {
+        use std::sync::Arc;
+        let store = Arc::new(ObjectiveStore::new());
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let store = Arc::clone(&store);
+                scope.spawn(move || {
+                    for i in 0..50 {
+                        store.insert(&record(&format!("C{}", t % 2 + 1), Some("2030"), i as f64 / 50.0));
+                        let _ = store.counts_by_company();
+                    }
+                });
+            }
+        });
+        assert_eq!(store.len(), 200);
+        let counts = store.counts_by_company();
+        assert_eq!(counts.iter().map(|(_, c)| c).sum::<usize>(), 200);
+    }
+
+    #[test]
+    fn save_load_roundtrip_restores_records_and_indexes() {
+        let store = ObjectiveStore::new();
+        store.insert(&record("C1", Some("2030"), 0.9));
+        store.insert(&record("C2", None, 0.8));
+        let mut buf = Vec::new();
+        store.save(&mut buf).expect("save");
+        let loaded = ObjectiveStore::load(buf.as_slice()).expect("load");
+        assert_eq!(loaded.len(), 2);
+        assert_eq!(loaded.by_company("C1").len(), 1);
+        assert_eq!(loaded.deadlines_between(2029, 2031).len(), 1, "btree index rebuilt");
+        assert!(ObjectiveStore::load(&b"nonsense"[..]).is_err());
+    }
+
+    #[test]
+    fn specificity_by_company() {
+        let store = ObjectiveStore::new();
+        store.insert(&record("C1", Some("2030"), 0.9)); // completeness 3
+        store.insert(&ObjectiveRecord::from_details("C2", "d", "o", &ExtractedDetails::new(), 0.1)); // 0
+        let spec = store.specificity_by_company();
+        let c1 = spec.iter().find(|(c, _)| c == "C1").expect("C1").1;
+        let c2 = spec.iter().find(|(c, _)| c == "C2").expect("C2").1;
+        assert!(c1 > c2);
+    }
+}

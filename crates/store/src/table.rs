@@ -1,0 +1,357 @@
+//! A columnar table with typed columns, secondary indexes, and predicate
+//! queries — the "structured database with predefined fields" the paper's
+//! extracted details are stored in (§2.4).
+
+use crate::value::{ColumnType, Value};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashMap};
+
+/// A table schema: ordered, named, typed columns.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schema {
+    columns: Vec<(String, ColumnType)>,
+}
+
+impl Schema {
+    /// Creates a schema.
+    ///
+    /// # Panics
+    /// Panics on duplicate column names.
+    pub fn new(columns: &[(&str, ColumnType)]) -> Self {
+        let mut seen = std::collections::HashSet::new();
+        for (name, _) in columns {
+            assert!(seen.insert(*name), "duplicate column {name:?}");
+        }
+        Schema { columns: columns.iter().map(|(n, t)| (n.to_string(), *t)).collect() }
+    }
+
+    /// Number of columns.
+    pub fn num_columns(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Index of a column by name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|(n, _)| n == name)
+    }
+
+    /// Column names in order.
+    pub fn column_names(&self) -> impl Iterator<Item = &str> {
+        self.columns.iter().map(|(n, _)| n.as_str())
+    }
+
+    /// The type of column `i`.
+    pub fn column_type(&self, i: usize) -> ColumnType {
+        self.columns[i].1
+    }
+}
+
+/// Row identifier (insertion order).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct RowId(pub usize);
+
+/// Filter predicates over rows.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Predicate {
+    /// Column equals value.
+    Eq(String, Value),
+    /// Integer column within `[lo, hi]`.
+    IntRange(String, i64, i64),
+    /// Text column contains a (case-insensitive) substring.
+    Contains(String, String),
+    /// Column is not null.
+    NotNull(String),
+    /// Column is null.
+    IsNull(String),
+    /// Both sub-predicates hold.
+    And(Box<Predicate>, Box<Predicate>),
+    /// Either sub-predicate holds.
+    Or(Box<Predicate>, Box<Predicate>),
+}
+
+impl Predicate {
+    /// Conjunction helper.
+    pub fn and(self, other: Predicate) -> Predicate {
+        Predicate::And(Box::new(self), Box::new(other))
+    }
+
+    /// Disjunction helper.
+    pub fn or(self, other: Predicate) -> Predicate {
+        Predicate::Or(Box::new(self), Box::new(other))
+    }
+}
+
+/// A columnar table with optional hash (equality) and btree (range)
+/// indexes.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Table {
+    schema: Schema,
+    /// Column-major storage: `columns[c][r]`.
+    columns: Vec<Vec<Value>>,
+    /// Hash indexes: column -> value -> row ids.
+    hash_indexes: HashMap<usize, HashMap<Value, Vec<RowId>>>,
+    /// BTree indexes on Int columns: column -> sorted value -> row ids.
+    btree_indexes: HashMap<usize, BTreeMap<i64, Vec<RowId>>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(schema: Schema) -> Self {
+        let columns = vec![Vec::new(); schema.num_columns()];
+        Table { schema, columns, hash_indexes: HashMap::new(), btree_indexes: HashMap::new() }
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.columns.first().map_or(0, Vec::len)
+    }
+
+    /// Whether the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Builds a hash index on a column (retroactively covers existing rows).
+    pub fn create_hash_index(&mut self, column: &str) {
+        let c = self.must_column(column);
+        let mut index: HashMap<Value, Vec<RowId>> = HashMap::new();
+        for (r, v) in self.columns[c].iter().enumerate() {
+            index.entry(v.clone()).or_default().push(RowId(r));
+        }
+        self.hash_indexes.insert(c, index);
+    }
+
+    /// Builds a btree index on an Int column.
+    ///
+    /// # Panics
+    /// Panics if the column is not `Int`.
+    pub fn create_btree_index(&mut self, column: &str) {
+        let c = self.must_column(column);
+        assert_eq!(self.schema.column_type(c), ColumnType::Int, "btree index requires Int column");
+        let mut index: BTreeMap<i64, Vec<RowId>> = BTreeMap::new();
+        for (r, v) in self.columns[c].iter().enumerate() {
+            if let Value::Int(i) = v {
+                index.entry(*i).or_default().push(RowId(r));
+            }
+        }
+        self.btree_indexes.insert(c, index);
+    }
+
+    /// Inserts a row; values must match the schema types (or be null).
+    ///
+    /// # Panics
+    /// Panics on arity or type mismatch.
+    pub fn insert(&mut self, row: Vec<Value>) -> RowId {
+        assert_eq!(row.len(), self.schema.num_columns(), "row arity mismatch");
+        for (c, v) in row.iter().enumerate() {
+            if let Some(t) = v.column_type() {
+                assert_eq!(
+                    t,
+                    self.schema.column_type(c),
+                    "type mismatch in column {:?}",
+                    self.schema.columns[c].0
+                );
+            }
+        }
+        let id = RowId(self.len());
+        for (c, v) in row.into_iter().enumerate() {
+            if let Some(index) = self.hash_indexes.get_mut(&c) {
+                index.entry(v.clone()).or_default().push(id);
+            }
+            if let Some(index) = self.btree_indexes.get_mut(&c) {
+                if let Value::Int(i) = &v {
+                    index.entry(*i).or_default().push(id);
+                }
+            }
+            self.columns[c].push(v);
+        }
+        id
+    }
+
+    /// Reads a cell.
+    pub fn get(&self, row: RowId, column: &str) -> &Value {
+        let c = self.must_column(column);
+        &self.columns[c][row.0]
+    }
+
+    /// Reads a whole row.
+    pub fn row(&self, row: RowId) -> Vec<Value> {
+        (0..self.schema.num_columns()).map(|c| self.columns[c][row.0].clone()).collect()
+    }
+
+    /// Returns the row ids satisfying `predicate`, using indexes for
+    /// top-level equality and range predicates when available.
+    pub fn select(&self, predicate: &Predicate) -> Vec<RowId> {
+        // Index fast paths.
+        match predicate {
+            Predicate::Eq(col, v) => {
+                if let Some(c) = self.schema.column_index(col) {
+                    if let Some(index) = self.hash_indexes.get(&c) {
+                        return index.get(v).cloned().unwrap_or_default();
+                    }
+                }
+            }
+            Predicate::IntRange(col, lo, hi) => {
+                if let Some(c) = self.schema.column_index(col) {
+                    if let Some(index) = self.btree_indexes.get(&c) {
+                        let mut out: Vec<RowId> =
+                            index.range(*lo..=*hi).flat_map(|(_, ids)| ids.iter().copied()).collect();
+                        out.sort();
+                        return out;
+                    }
+                }
+            }
+            _ => {}
+        }
+        (0..self.len())
+            .map(RowId)
+            .filter(|&r| self.eval(predicate, r))
+            .collect()
+    }
+
+    /// Counts rows per distinct value of `column` (group-by count).
+    pub fn count_by(&self, column: &str) -> Vec<(Value, usize)> {
+        let c = self.must_column(column);
+        let mut counts: BTreeMap<Value, usize> = BTreeMap::new();
+        for v in &self.columns[c] {
+            *counts.entry(v.clone()).or_insert(0) += 1;
+        }
+        counts.into_iter().collect()
+    }
+
+    fn eval(&self, predicate: &Predicate, row: RowId) -> bool {
+        match predicate {
+            Predicate::Eq(col, v) => self.get(row, col) == v,
+            Predicate::IntRange(col, lo, hi) => {
+                self.get(row, col).as_int().is_some_and(|i| *lo <= i && i <= *hi)
+            }
+            Predicate::Contains(col, needle) => self
+                .get(row, col)
+                .as_text()
+                .is_some_and(|t| t.to_lowercase().contains(&needle.to_lowercase())),
+            Predicate::NotNull(col) => !self.get(row, col).is_null(),
+            Predicate::IsNull(col) => self.get(row, col).is_null(),
+            Predicate::And(a, b) => self.eval(a, row) && self.eval(b, row),
+            Predicate::Or(a, b) => self.eval(a, row) || self.eval(b, row),
+        }
+    }
+
+    fn must_column(&self, name: &str) -> usize {
+        self.schema
+            .column_index(name)
+            .unwrap_or_else(|| panic!("unknown column {name:?}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_table(with_indexes: bool) -> Table {
+        let schema = Schema::new(&[
+            ("company", ColumnType::Text),
+            ("action", ColumnType::Text),
+            ("deadline_year", ColumnType::Int),
+        ]);
+        let mut t = Table::new(schema);
+        if with_indexes {
+            t.create_hash_index("company");
+            t.create_btree_index("deadline_year");
+        }
+        t.insert(vec![Value::Text("C1".into()), Value::Text("Reduce".into()), Value::Int(2030)]);
+        t.insert(vec![Value::Text("C2".into()), Value::Text("Achieve".into()), Value::Int(2040)]);
+        t.insert(vec![Value::Text("C1".into()), Value::Text("Restore".into()), Value::Null]);
+        t.insert(vec![Value::Text("C3".into()), Value::Text("Reduce".into()), Value::Int(2025)]);
+        t
+    }
+
+    #[test]
+    fn insert_and_read_back() {
+        let t = sample_table(false);
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.get(RowId(1), "action"), &Value::Text("Achieve".into()));
+        assert_eq!(t.row(RowId(2))[2], Value::Null);
+    }
+
+    #[test]
+    fn eq_select_with_and_without_index_agree() {
+        let plain = sample_table(false);
+        let indexed = sample_table(true);
+        let p = Predicate::Eq("company".into(), Value::Text("C1".into()));
+        assert_eq!(plain.select(&p), indexed.select(&p));
+        assert_eq!(plain.select(&p), vec![RowId(0), RowId(2)]);
+    }
+
+    #[test]
+    fn range_select_uses_btree() {
+        let t = sample_table(true);
+        let p = Predicate::IntRange("deadline_year".into(), 2026, 2040);
+        assert_eq!(t.select(&p), vec![RowId(0), RowId(1)]);
+    }
+
+    #[test]
+    fn null_handling_in_range() {
+        let t = sample_table(false);
+        let p = Predicate::IntRange("deadline_year".into(), 1900, 2100);
+        assert_eq!(t.select(&p).len(), 3, "null deadline excluded");
+    }
+
+    #[test]
+    fn contains_is_case_insensitive() {
+        let t = sample_table(false);
+        let p = Predicate::Contains("action".into(), "redu".into());
+        assert_eq!(t.select(&p).len(), 2);
+    }
+
+    #[test]
+    fn compound_predicates() {
+        let t = sample_table(true);
+        let p = Predicate::Eq("company".into(), Value::Text("C1".into()))
+            .and(Predicate::NotNull("deadline_year".into()));
+        assert_eq!(t.select(&p), vec![RowId(0)]);
+        let q = Predicate::Eq("company".into(), Value::Text("C2".into()))
+            .or(Predicate::Eq("company".into(), Value::Text("C3".into())));
+        assert_eq!(t.select(&q).len(), 2);
+    }
+
+    #[test]
+    fn index_created_after_inserts_covers_them() {
+        let mut t = sample_table(false);
+        t.create_hash_index("action");
+        let p = Predicate::Eq("action".into(), Value::Text("Reduce".into()));
+        assert_eq!(t.select(&p).len(), 2);
+    }
+
+    #[test]
+    fn count_by_groups() {
+        let t = sample_table(false);
+        let counts = t.count_by("company");
+        assert_eq!(
+            counts,
+            vec![
+                (Value::Text("C1".into()), 2),
+                (Value::Text("C2".into()), 1),
+                (Value::Text("C3".into()), 1)
+            ]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "type mismatch")]
+    fn type_mismatch_rejected() {
+        let mut t = sample_table(false);
+        t.insert(vec![Value::Int(1), Value::Text("x".into()), Value::Int(2030)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn arity_mismatch_rejected() {
+        let mut t = sample_table(false);
+        t.insert(vec![Value::Null]);
+    }
+}

@@ -1,0 +1,132 @@
+//! Typed cell values for the structured objective database.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Column data types.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ColumnType {
+    /// UTF-8 text.
+    Text,
+    /// 64-bit signed integer (years, counts).
+    Int,
+}
+
+/// A single cell value. `Null` models absent fields (e.g. an objective
+/// without a deadline).
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Value {
+    /// Absent.
+    Null,
+    /// Text value.
+    Text(String),
+    /// Integer value.
+    Int(i64),
+}
+
+impl Value {
+    /// The type this value conforms to, if not null.
+    pub fn column_type(&self) -> Option<ColumnType> {
+        match self {
+            Value::Null => None,
+            Value::Text(_) => Some(ColumnType::Text),
+            Value::Int(_) => Some(ColumnType::Int),
+        }
+    }
+
+    /// Whether the value is null.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Text content, if this is a text value.
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            Value::Text(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Integer content, if this is an int value.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Creates a text value, mapping empty strings to `Null`.
+    pub fn text_or_null(s: &str) -> Value {
+        if s.is_empty() {
+            Value::Null
+        } else {
+            Value::Text(s.to_string())
+        }
+    }
+
+    /// Parses a 4-digit year out of a text value ("2040", "FY2030",
+    /// "the end of 2025"), if present.
+    pub fn parse_year(text: &str) -> Option<i64> {
+        let bytes = text.as_bytes();
+        for i in 0..bytes.len().saturating_sub(3) {
+            let window = &text[i..i + 4];
+            if window.chars().all(|c| c.is_ascii_digit())
+                && (window.starts_with("19") || window.starts_with("20"))
+            {
+                // Reject when embedded in a longer digit run.
+                let before_digit =
+                    i > 0 && bytes[i - 1].is_ascii_digit();
+                let after_digit = i + 4 < bytes.len() && bytes[i + 4].is_ascii_digit();
+                if !before_digit && !after_digit {
+                    return window.parse().ok();
+                }
+            }
+        }
+        None
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, ""),
+            Value::Text(s) => write!(f, "{s}"),
+            Value::Int(i) => write!(f, "{i}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_checks() {
+        assert_eq!(Value::Text("x".into()).column_type(), Some(ColumnType::Text));
+        assert_eq!(Value::Int(5).column_type(), Some(ColumnType::Int));
+        assert_eq!(Value::Null.column_type(), None);
+    }
+
+    #[test]
+    fn empty_text_becomes_null() {
+        assert!(Value::text_or_null("").is_null());
+        assert_eq!(Value::text_or_null("2040"), Value::Text("2040".into()));
+    }
+
+    #[test]
+    fn year_parsing() {
+        assert_eq!(Value::parse_year("2040"), Some(2040));
+        assert_eq!(Value::parse_year("by the end of 2025"), Some(2025));
+        assert_eq!(Value::parse_year("FY2030"), Some(2030));
+        assert_eq!(Value::parse_year("20400"), None, "embedded in longer run");
+        assert_eq!(Value::parse_year("no year here"), None);
+        assert_eq!(Value::parse_year("2140"), None, "implausible century");
+    }
+
+    #[test]
+    fn display_roundtrip() {
+        assert_eq!(Value::Text("net-zero".into()).to_string(), "net-zero");
+        assert_eq!(Value::Int(42).to_string(), "42");
+        assert_eq!(Value::Null.to_string(), "");
+    }
+}

@@ -1,0 +1,73 @@
+//! Weight initialization schemes.
+
+use crate::tensor::Tensor;
+use rand::Rng;
+
+/// Xavier/Glorot uniform initialization for a rank-2 weight of shape
+/// `[fan_in, fan_out]`: samples from `U(-limit, limit)` with
+/// `limit = sqrt(6 / (fan_in + fan_out))`.
+pub fn xavier_uniform(rng: &mut impl Rng, fan_in: usize, fan_out: usize) -> Tensor {
+    let limit = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    let data = (0..fan_in * fan_out).map(|_| rng.random_range(-limit..limit)).collect();
+    Tensor::from_vec(vec![fan_in, fan_out], data)
+}
+
+/// Normal initialization with the given standard deviation (Box-Muller).
+pub fn normal(rng: &mut impl Rng, shape: &[usize], std: f32) -> Tensor {
+    let volume: usize = shape.iter().product();
+    let mut data = Vec::with_capacity(volume);
+    while data.len() < volume {
+        let u1: f32 = rng.random_range(f32::EPSILON..1.0);
+        let u2: f32 = rng.random_range(0.0..1.0);
+        let mag = (-2.0 * u1.ln()).sqrt();
+        data.push(mag * (2.0 * std::f32::consts::PI * u2).cos() * std);
+        if data.len() < volume {
+            data.push(mag * (2.0 * std::f32::consts::PI * u2).sin() * std);
+        }
+    }
+    Tensor::from_vec(shape.to_vec(), data)
+}
+
+/// A zero-initialized tensor (for biases and LayerNorm betas).
+pub fn zeros(shape: &[usize]) -> Tensor {
+    Tensor::zeros(shape)
+}
+
+/// A one-initialized tensor (for LayerNorm gammas).
+pub fn ones(shape: &[usize]) -> Tensor {
+    Tensor::full(shape, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn xavier_respects_limit() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let w = xavier_uniform(&mut rng, 64, 64);
+        let limit = (6.0f32 / 128.0).sqrt();
+        assert!(w.data().iter().all(|&x| x.abs() <= limit));
+        assert_eq!(w.shape(), &[64, 64]);
+    }
+
+    #[test]
+    fn normal_has_roughly_requested_std() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let w = normal(&mut rng, &[200, 50], 0.02);
+        let mean = w.mean();
+        let var: f32 =
+            w.data().iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>() / w.len() as f32;
+        assert!(mean.abs() < 5e-4, "mean {}", mean);
+        assert!((var.sqrt() - 0.02).abs() < 2e-3, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn normal_is_deterministic_per_seed() {
+        let a = normal(&mut StdRng::seed_from_u64(3), &[4, 4], 1.0);
+        let b = normal(&mut StdRng::seed_from_u64(3), &[4, 4], 1.0);
+        assert_eq!(a.data(), b.data());
+    }
+}

@@ -1,0 +1,28 @@
+//! # gs-tensor
+//!
+//! A minimal dense-tensor and reverse-mode autodiff engine, built so the
+//! GoalSpotter reproduction can fine-tune transformer encoders on CPU
+//! without external ML frameworks.
+//!
+//! - [`Tensor`]: row-major `f32` tensors with the linear algebra a
+//!   transformer needs (matmul variants, softmax, layer-norm helpers).
+//! - [`Tape`] / [`Var`]: a flat autograd tape; every op's backward rule is
+//!   verified against finite differences in unit tests.
+//! - [`ParamStore`] / [`Optimizer`]: named parameters, gradient
+//!   accumulation/clipping, SGD and Adam, warmup-linear LR schedules.
+//! - [`serialize`]: JSON checkpoints.
+
+#![warn(missing_docs)]
+
+mod init;
+mod optim;
+mod tape;
+mod tensor;
+
+/// Checkpoint save/load for parameter stores.
+pub mod serialize;
+
+pub use init::{normal, ones, xavier_uniform, zeros};
+pub use optim::{Binder, Optimizer, ParamId, ParamStore, WarmupLinearSchedule};
+pub use tape::{Grads, Tape, Var};
+pub use tensor::{gelu, gelu_grad, Tensor};

@@ -1,0 +1,61 @@
+//! Checkpointing: save and load [`ParamStore`] contents as JSON.
+//!
+//! JSON keeps checkpoints human-inspectable; model sizes in this project are
+//! a few MB so the overhead is acceptable. Gradients and optimizer moments
+//! are deliberately not persisted — a checkpoint is a set of weights.
+
+use crate::optim::ParamStore;
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+/// Serializes all parameter names and values to a writer.
+pub fn save_params<W: Write>(store: &ParamStore, writer: W) -> io::Result<()> {
+    serde_json::to_writer(writer, store).map_err(io::Error::other)
+}
+
+/// Deserializes a [`ParamStore`] from a reader, rebuilding the name index.
+pub fn load_params<R: Read>(reader: R) -> io::Result<ParamStore> {
+    let mut store: ParamStore = serde_json::from_reader(reader).map_err(io::Error::other)?;
+    store.rebuild_index();
+    Ok(store)
+}
+
+/// Saves to a file path.
+pub fn save_params_file(store: &ParamStore, path: &Path) -> io::Result<()> {
+    let file = std::fs::File::create(path)?;
+    save_params(store, io::BufWriter::new(file))
+}
+
+/// Loads from a file path.
+pub fn load_params_file(path: &Path) -> io::Result<ParamStore> {
+    let file = std::fs::File::open(path)?;
+    load_params(io::BufReader::new(file))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tensor::Tensor;
+
+    #[test]
+    fn roundtrip_preserves_values_and_names() {
+        let mut store = ParamStore::new();
+        let a = store.register("layer.weight", Tensor::matrix(&[vec![1.5, -2.0], vec![0.0, 3.25]]));
+        let b = store.register("layer.bias", Tensor::vector(&[0.1, 0.2]));
+
+        let mut buf = Vec::new();
+        save_params(&store, &mut buf).expect("save");
+        let loaded = load_params(buf.as_slice()).expect("load");
+
+        assert_eq!(loaded.len(), 2);
+        let la = loaded.id("layer.weight").expect("weight id");
+        let lb = loaded.id("layer.bias").expect("bias id");
+        assert_eq!(loaded.value(la), store.value(a));
+        assert_eq!(loaded.value(lb), store.value(b));
+    }
+
+    #[test]
+    fn load_rejects_garbage() {
+        assert!(load_params(&b"not json"[..]).is_err());
+    }
+}

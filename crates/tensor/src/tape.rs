@@ -1,0 +1,851 @@
+//! Reverse-mode automatic differentiation on a flat tape.
+//!
+//! A [`Tape`] records every operation as a [`Node`] holding the forward
+//! value, the operation kind, and (where needed) auxiliary buffers for the
+//! backward pass. [`Var`] is a copyable handle into the tape. Calling
+//! [`Tape::backward`] walks the nodes in reverse topological order (which is
+//! simply reverse insertion order, since operands always precede results)
+//! and accumulates gradients.
+//!
+//! The op set is exactly what a transformer encoder with a token
+//! classification head needs; each op's backward rule is unit-tested against
+//! finite differences in this module's tests.
+
+use crate::tensor::{gelu, gelu_grad, Tensor};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Handle to a node on a [`Tape`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Var(usize);
+
+impl Var {
+    /// The node index within its tape.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Operation kinds recorded on the tape.
+#[derive(Debug)]
+enum Op {
+    /// Input with no parents. `requires_grad` distinguishes parameters from
+    /// constants so backward can skip constant subtrees.
+    Leaf { requires_grad: bool },
+    /// Elementwise `a + b` for equal shapes.
+    Add(usize, usize),
+    /// `[n, d] + [d]` broadcast (bias add).
+    AddBias(usize, usize),
+    /// Elementwise `a - b`.
+    Sub(usize, usize),
+    /// Elementwise `a * b`.
+    Mul(usize, usize),
+    /// `a * c` for a scalar constant `c`.
+    Scale(usize, f32),
+    /// `[m,k] x [k,n]`.
+    MatMul(usize, usize),
+    /// `[m,k] x [n,k]^T` (attention scores).
+    MatMulTransB(usize, usize),
+    /// Elementwise ReLU.
+    Relu(usize),
+    /// Elementwise GELU (tanh approximation).
+    Gelu(usize),
+    /// Elementwise tanh.
+    Tanh(usize),
+    /// Softmax over the last dimension.
+    SoftmaxLastDim(usize),
+    /// Layer normalization over the last dimension with learned gain/bias.
+    LayerNorm { x: usize, gamma: usize, beta: usize },
+    /// Row gather from an embedding table: output `[ids.len, d]`.
+    EmbedGather { table: usize, ids: Vec<usize> },
+    /// Inverted-dropout: multiply by a fixed 0/(1/(1-p)) mask.
+    Dropout { x: usize },
+    /// Column-wise concatenation of rank-2 tensors with equal row counts.
+    ConcatCols(Vec<usize>),
+    /// Column slice `[start, end)` of a rank-2 tensor.
+    SliceCols { x: usize, start: usize },
+    /// Mean over all elements -> scalar.
+    MeanAll(usize),
+    /// Sum over all elements -> scalar.
+    SumAll(usize),
+    /// Token-masked mean cross-entropy over `[n, classes]` logits.
+    /// `targets[i] < 0` marks an ignored position.
+    CrossEntropy { logits: usize, targets: Vec<i64> },
+}
+
+struct Node {
+    value: Rc<Tensor>,
+    op: Op,
+    /// Auxiliary forward buffers needed by backward:
+    /// - `SoftmaxLastDim`: none (value suffices)
+    /// - `LayerNorm`: normalized activations and per-row inverse stddev
+    /// - `Dropout`: the scaled mask
+    /// - `CrossEntropy`: softmax probabilities
+    aux: Option<Tensor>,
+    /// Second auxiliary buffer (LayerNorm inverse stddev per row).
+    aux2: Option<Tensor>,
+}
+
+/// Gradient results of a backward pass, indexed by [`Var`].
+pub struct Grads {
+    grads: Vec<Option<Tensor>>,
+}
+
+impl Grads {
+    /// The gradient of the loss with respect to `var`, if it was reached.
+    pub fn get(&self, var: Var) -> Option<&Tensor> {
+        self.grads.get(var.index()).and_then(Option::as_ref)
+    }
+
+    /// Takes ownership of a gradient, leaving `None` in its place.
+    pub fn take(&mut self, var: Var) -> Option<Tensor> {
+        self.grads.get_mut(var.index()).and_then(Option::take)
+    }
+}
+
+/// A flat autograd tape.
+///
+/// Tapes are cheap to create; training loops build one per step and drop it
+/// after applying gradients.
+#[derive(Default)]
+pub struct Tape {
+    nodes: RefCell<Vec<Node>>,
+}
+
+impl Tape {
+    /// Creates an empty tape.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of recorded nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.borrow().len()
+    }
+
+    /// Whether the tape holds no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.borrow().is_empty()
+    }
+
+    fn push(&self, value: Tensor, op: Op) -> Var {
+        self.push_with_aux(value, op, None, None)
+    }
+
+    fn push_with_aux(
+        &self,
+        value: Tensor,
+        op: Op,
+        aux: Option<Tensor>,
+        aux2: Option<Tensor>,
+    ) -> Var {
+        let mut nodes = self.nodes.borrow_mut();
+        nodes.push(Node { value: Rc::new(value), op, aux, aux2 });
+        Var(nodes.len() - 1)
+    }
+
+    fn value_rc(&self, var: Var) -> Rc<Tensor> {
+        Rc::clone(&self.nodes.borrow()[var.index()].value)
+    }
+
+    /// The forward value of a node (cheap `Rc` clone).
+    pub fn value(&self, var: Var) -> Rc<Tensor> {
+        self.value_rc(var)
+    }
+
+    /// Records a trainable leaf (parameter) on the tape.
+    pub fn leaf(&self, value: Tensor) -> Var {
+        self.push(value, Op::Leaf { requires_grad: true })
+    }
+
+    /// Records a constant leaf; backward will not propagate into it.
+    pub fn constant(&self, value: Tensor) -> Var {
+        self.push(value, Op::Leaf { requires_grad: false })
+    }
+
+    /// Elementwise addition of equal shapes.
+    pub fn add(&self, a: Var, b: Var) -> Var {
+        let (va, vb) = (self.value_rc(a), self.value_rc(b));
+        let out = va.zip_map(&vb, |x, y| x + y);
+        self.push(out, Op::Add(a.index(), b.index()))
+    }
+
+    /// Adds a `[d]` bias to every row of `[n, d]`.
+    pub fn add_bias(&self, x: Var, bias: Var) -> Var {
+        let (vx, vb) = (self.value_rc(x), self.value_rc(bias));
+        assert_eq!(vx.rank(), 2, "add_bias expects rank-2 input");
+        assert_eq!(vb.rank(), 1, "add_bias expects rank-1 bias");
+        assert_eq!(vx.cols(), vb.len(), "add_bias width mismatch");
+        let mut out = (*vx).clone();
+        let c = out.cols();
+        for i in 0..out.rows() {
+            for (o, &bv) in out.row_mut(i).iter_mut().zip(vb.data()) {
+                *o += bv;
+            }
+        }
+        let _ = c;
+        self.push(out, Op::AddBias(x.index(), bias.index()))
+    }
+
+    /// Elementwise subtraction of equal shapes.
+    pub fn sub(&self, a: Var, b: Var) -> Var {
+        let (va, vb) = (self.value_rc(a), self.value_rc(b));
+        let out = va.zip_map(&vb, |x, y| x - y);
+        self.push(out, Op::Sub(a.index(), b.index()))
+    }
+
+    /// Elementwise multiplication of equal shapes.
+    pub fn mul(&self, a: Var, b: Var) -> Var {
+        let (va, vb) = (self.value_rc(a), self.value_rc(b));
+        let out = va.zip_map(&vb, |x, y| x * y);
+        self.push(out, Op::Mul(a.index(), b.index()))
+    }
+
+    /// Multiplication by a scalar constant.
+    pub fn scale(&self, a: Var, c: f32) -> Var {
+        let va = self.value_rc(a);
+        let out = va.map(|x| x * c);
+        self.push(out, Op::Scale(a.index(), c))
+    }
+
+    /// Matrix product `[m,k] x [k,n]`.
+    pub fn matmul(&self, a: Var, b: Var) -> Var {
+        let (va, vb) = (self.value_rc(a), self.value_rc(b));
+        let out = va.matmul(&vb);
+        self.push(out, Op::MatMul(a.index(), b.index()))
+    }
+
+    /// Matrix product against a transposed right operand `[m,k] x [n,k]^T`.
+    pub fn matmul_transb(&self, a: Var, b: Var) -> Var {
+        let (va, vb) = (self.value_rc(a), self.value_rc(b));
+        let out = va.matmul_transb(&vb);
+        self.push(out, Op::MatMulTransB(a.index(), b.index()))
+    }
+
+    /// Elementwise ReLU.
+    pub fn relu(&self, a: Var) -> Var {
+        let out = self.value_rc(a).map(|x| x.max(0.0));
+        self.push(out, Op::Relu(a.index()))
+    }
+
+    /// Elementwise GELU.
+    pub fn gelu(&self, a: Var) -> Var {
+        let out = self.value_rc(a).map(gelu);
+        self.push(out, Op::Gelu(a.index()))
+    }
+
+    /// Elementwise tanh.
+    pub fn tanh(&self, a: Var) -> Var {
+        let out = self.value_rc(a).map(f32::tanh);
+        self.push(out, Op::Tanh(a.index()))
+    }
+
+    /// Softmax over the last dimension.
+    pub fn softmax_last_dim(&self, a: Var) -> Var {
+        let out = self.value_rc(a).softmax_last_dim();
+        self.push(out, Op::SoftmaxLastDim(a.index()))
+    }
+
+    /// Layer normalization over the last dimension with learned `gamma` and
+    /// `beta` (both rank-1 of the last-dimension width).
+    pub fn layer_norm(&self, x: Var, gamma: Var, beta: Var) -> Var {
+        const EPS: f32 = 1e-5;
+        let vx = self.value_rc(x);
+        let vg = self.value_rc(gamma);
+        let vb = self.value_rc(beta);
+        let d = *vx.shape().last().expect("layer_norm on rank-0");
+        assert_eq!(vg.len(), d, "layer_norm gamma width");
+        assert_eq!(vb.len(), d, "layer_norm beta width");
+        let n = vx.len() / d;
+        let mut xhat = vec![0.0f32; vx.len()];
+        let mut inv_std = vec![0.0f32; n];
+        let mut out = vec![0.0f32; vx.len()];
+        for r in 0..n {
+            let row = &vx.data()[r * d..(r + 1) * d];
+            let mean: f32 = row.iter().sum::<f32>() / d as f32;
+            let var: f32 = row.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / d as f32;
+            let istd = 1.0 / (var + EPS).sqrt();
+            inv_std[r] = istd;
+            for j in 0..d {
+                let xh = (row[j] - mean) * istd;
+                xhat[r * d + j] = xh;
+                out[r * d + j] = xh * vg.data()[j] + vb.data()[j];
+            }
+        }
+        self.push_with_aux(
+            Tensor::from_vec(vx.shape().to_vec(), out),
+            Op::LayerNorm { x: x.index(), gamma: gamma.index(), beta: beta.index() },
+            Some(Tensor::from_vec(vx.shape().to_vec(), xhat)),
+            Some(Tensor::from_vec(vec![n], inv_std)),
+        )
+    }
+
+    /// Gathers rows `ids` from an embedding `table` (rank-2), producing
+    /// `[ids.len(), d]`. Gradients scatter-add back into the table.
+    pub fn embed_gather(&self, table: Var, ids: &[usize]) -> Var {
+        let vt = self.value_rc(table);
+        let out = vt.gather_rows(ids);
+        self.push(out, Op::EmbedGather { table: table.index(), ids: ids.to_vec() })
+    }
+
+    /// Applies a precomputed inverted-dropout mask (entries are either `0` or
+    /// `1/(1-p)`), recorded so backward reuses the same mask.
+    pub fn dropout_with_mask(&self, x: Var, mask: Tensor) -> Var {
+        let vx = self.value_rc(x);
+        assert_eq!(vx.shape(), mask.shape(), "dropout mask shape mismatch");
+        let out = vx.zip_map(&mask, |a, m| a * m);
+        self.push_with_aux(out, Op::Dropout { x: x.index() }, Some(mask), None)
+    }
+
+    /// Column-wise concatenation of rank-2 tensors.
+    pub fn concat_cols(&self, parts: &[Var]) -> Var {
+        let values: Vec<Rc<Tensor>> = parts.iter().map(|&p| self.value_rc(p)).collect();
+        let refs: Vec<&Tensor> = values.iter().map(|v| v.as_ref()).collect();
+        let out = Tensor::concat_cols(&refs);
+        self.push(out, Op::ConcatCols(parts.iter().map(|p| p.index()).collect()))
+    }
+
+    /// Column slice `[start, end)` of a rank-2 tensor.
+    pub fn slice_cols(&self, x: Var, start: usize, end: usize) -> Var {
+        let out = self.value_rc(x).slice_cols(start, end);
+        self.push(out, Op::SliceCols { x: x.index(), start })
+    }
+
+    /// Mean over all elements.
+    pub fn mean_all(&self, x: Var) -> Var {
+        let out = Tensor::scalar(self.value_rc(x).mean());
+        self.push(out, Op::MeanAll(x.index()))
+    }
+
+    /// Sum over all elements.
+    pub fn sum_all(&self, x: Var) -> Var {
+        let out = Tensor::scalar(self.value_rc(x).sum());
+        self.push(out, Op::SumAll(x.index()))
+    }
+
+    /// Mean cross-entropy between `[n, classes]` logits and integer targets.
+    ///
+    /// Positions with `targets[i] < 0` are ignored (padding / special
+    /// tokens). The mean is taken over non-ignored positions.
+    pub fn cross_entropy(&self, logits: Var, targets: &[i64]) -> Var {
+        let vl = self.value_rc(logits);
+        assert_eq!(vl.rank(), 2, "cross_entropy expects rank-2 logits");
+        assert_eq!(vl.rows(), targets.len(), "cross_entropy target count");
+        let probs = vl.softmax_last_dim();
+        let classes = vl.cols();
+        let mut total = 0.0f64;
+        let mut count = 0usize;
+        for (i, &t) in targets.iter().enumerate() {
+            if t < 0 {
+                continue;
+            }
+            let t = t as usize;
+            assert!(t < classes, "target {} out of {} classes", t, classes);
+            let p = probs.at2(i, t).max(1e-12);
+            total -= (p as f64).ln();
+            count += 1;
+        }
+        let loss = if count == 0 { 0.0 } else { (total / count as f64) as f32 };
+        self.push_with_aux(
+            Tensor::scalar(loss),
+            Op::CrossEntropy { logits: logits.index(), targets: targets.to_vec() },
+            Some(probs),
+            None,
+        )
+    }
+
+    /// Runs reverse-mode differentiation from `loss` (which must be scalar)
+    /// and returns the gradient of every reached node.
+    pub fn backward(&self, loss: Var) -> Grads {
+        let nodes = self.nodes.borrow();
+        let n = nodes.len();
+        assert!(loss.index() < n, "loss var not on this tape");
+        assert_eq!(nodes[loss.index()].value.len(), 1, "backward requires a scalar loss");
+
+        let mut grads: Vec<Option<Tensor>> = (0..n).map(|_| None).collect();
+        grads[loss.index()] = Some(Tensor::from_vec(
+            nodes[loss.index()].value.shape().to_vec(),
+            vec![1.0],
+        ));
+
+        for idx in (0..n).rev() {
+            let Some(gout) = grads[idx].take() else { continue };
+            // Reinsert so callers can read intermediate grads too.
+            let node = &nodes[idx];
+            match &node.op {
+                Op::Leaf { requires_grad } => {
+                    // Keep gradients only for trainable leaves; constants
+                    // (position ids, masks) drop theirs to save memory.
+                    if *requires_grad {
+                        grads[idx] = Some(gout);
+                    }
+                    continue;
+                }
+                Op::Add(a, b) => {
+                    accumulate(&mut grads, *a, gout.clone());
+                    accumulate(&mut grads, *b, gout.clone());
+                }
+                Op::AddBias(x, bias) => {
+                    accumulate(&mut grads, *bias, gout.col_sum());
+                    accumulate(&mut grads, *x, gout.clone());
+                }
+                Op::Sub(a, b) => {
+                    accumulate(&mut grads, *a, gout.clone());
+                    accumulate(&mut grads, *b, gout.map(|g| -g));
+                }
+                Op::Mul(a, b) => {
+                    let (va, vb) = (&nodes[*a].value, &nodes[*b].value);
+                    accumulate(&mut grads, *a, gout.zip_map(vb, |g, y| g * y));
+                    accumulate(&mut grads, *b, gout.zip_map(va, |g, x| g * x));
+                }
+                Op::Scale(a, c) => {
+                    accumulate(&mut grads, *a, gout.map(|g| g * c));
+                }
+                Op::MatMul(a, b) => {
+                    let (va, vb) = (&nodes[*a].value, &nodes[*b].value);
+                    // dA = dY B^T ; dB = A^T dY
+                    accumulate(&mut grads, *a, gout.matmul_transb(vb));
+                    accumulate(&mut grads, *b, va.matmul_transa(&gout));
+                }
+                Op::MatMulTransB(a, b) => {
+                    let (va, vb) = (&nodes[*a].value, &nodes[*b].value);
+                    // Y = A B^T : dA = dY B ; dB = dY^T A
+                    accumulate(&mut grads, *a, gout.matmul(vb));
+                    accumulate(&mut grads, *b, gout.matmul_transa(va));
+                }
+                Op::Relu(a) => {
+                    let va = &nodes[*a].value;
+                    accumulate(&mut grads, *a, gout.zip_map(va, |g, x| if x > 0.0 { g } else { 0.0 }));
+                }
+                Op::Gelu(a) => {
+                    let va = &nodes[*a].value;
+                    accumulate(&mut grads, *a, gout.zip_map(va, |g, x| g * gelu_grad(x)));
+                }
+                Op::Tanh(a) => {
+                    // value is tanh(x); grad = (1 - value^2)
+                    accumulate(&mut grads, *a, gout.zip_map(&node.value, |g, y| g * (1.0 - y * y)));
+                }
+                Op::SoftmaxLastDim(a) => {
+                    let s = &node.value; // softmax output
+                    let d = *s.shape().last().expect("softmax shape");
+                    let mut gin = vec![0.0f32; s.len()];
+                    for r in 0..s.len() / d {
+                        let srow = &s.data()[r * d..(r + 1) * d];
+                        let grow = &gout.data()[r * d..(r + 1) * d];
+                        let dot: f32 = srow.iter().zip(grow).map(|(&sv, &gv)| sv * gv).sum();
+                        for j in 0..d {
+                            gin[r * d + j] = srow[j] * (grow[j] - dot);
+                        }
+                    }
+                    accumulate(&mut grads, *a, Tensor::from_vec(s.shape().to_vec(), gin));
+                }
+                Op::LayerNorm { x, gamma, beta } => {
+                    let xhat = node.aux.as_ref().expect("layer_norm aux");
+                    let inv_std = node.aux2.as_ref().expect("layer_norm aux2");
+                    let vg = &nodes[*gamma].value;
+                    let d = *xhat.shape().last().expect("ln shape");
+                    let rows = xhat.len() / d;
+                    let mut gx = vec![0.0f32; xhat.len()];
+                    let mut ggamma = vec![0.0f32; d];
+                    let mut gbeta = vec![0.0f32; d];
+                    for r in 0..rows {
+                        let xh = &xhat.data()[r * d..(r + 1) * d];
+                        let go = &gout.data()[r * d..(r + 1) * d];
+                        let istd = inv_std.data()[r];
+                        // dxhat = dY * gamma
+                        let mut sum_dxhat = 0.0f32;
+                        let mut sum_dxhat_xhat = 0.0f32;
+                        for j in 0..d {
+                            let dxh = go[j] * vg.data()[j];
+                            sum_dxhat += dxh;
+                            sum_dxhat_xhat += dxh * xh[j];
+                            ggamma[j] += go[j] * xh[j];
+                            gbeta[j] += go[j];
+                        }
+                        let inv_d = 1.0 / d as f32;
+                        for j in 0..d {
+                            let dxh = go[j] * vg.data()[j];
+                            gx[r * d + j] = istd
+                                * (dxh - inv_d * sum_dxhat - xh[j] * inv_d * sum_dxhat_xhat);
+                        }
+                    }
+                    accumulate(&mut grads, *x, Tensor::from_vec(xhat.shape().to_vec(), gx));
+                    accumulate(&mut grads, *gamma, Tensor::from_vec(vec![d], ggamma));
+                    accumulate(&mut grads, *beta, Tensor::from_vec(vec![d], gbeta));
+                }
+                Op::EmbedGather { table, ids } => {
+                    let vt = &nodes[*table].value;
+                    let (r, c) = (vt.rows(), vt.cols());
+                    let mut gt = Tensor::zeros(&[r, c]);
+                    for (pos, &id) in ids.iter().enumerate() {
+                        let src = &gout.data()[pos * c..(pos + 1) * c];
+                        let dst = gt.row_mut(id);
+                        for (d, &s) in dst.iter_mut().zip(src) {
+                            *d += s;
+                        }
+                    }
+                    accumulate(&mut grads, *table, gt);
+                }
+                Op::Dropout { x } => {
+                    let mask = node.aux.as_ref().expect("dropout mask");
+                    accumulate(&mut grads, *x, gout.zip_map(mask, |g, m| g * m));
+                }
+                Op::ConcatCols(parts) => {
+                    let mut start = 0usize;
+                    for &p in parts {
+                        let w = nodes[p].value.cols();
+                        accumulate(&mut grads, p, gout.slice_cols(start, start + w));
+                        start += w;
+                    }
+                }
+                Op::SliceCols { x, start } => {
+                    let vx = &nodes[*x].value;
+                    let (r, c) = (vx.rows(), vx.cols());
+                    let w = gout.cols();
+                    let mut gx = Tensor::zeros(&[r, c]);
+                    for i in 0..r {
+                        let dst = &mut gx.row_mut(i)[*start..*start + w];
+                        dst.copy_from_slice(gout.row(i));
+                    }
+                    accumulate(&mut grads, *x, gx);
+                }
+                Op::MeanAll(x) => {
+                    let vx = &nodes[*x].value;
+                    let g = gout.item() / vx.len() as f32;
+                    accumulate(&mut grads, *x, Tensor::full(vx.shape(), g));
+                }
+                Op::SumAll(x) => {
+                    let vx = &nodes[*x].value;
+                    accumulate(&mut grads, *x, Tensor::full(vx.shape(), gout.item()));
+                }
+                Op::CrossEntropy { logits, targets } => {
+                    let probs = node.aux.as_ref().expect("ce probs");
+                    let count = targets.iter().filter(|&&t| t >= 0).count().max(1) as f32;
+                    let scale = gout.item() / count;
+                    let classes = probs.cols();
+                    let mut gl = vec![0.0f32; probs.len()];
+                    for (i, &t) in targets.iter().enumerate() {
+                        if t < 0 {
+                            continue;
+                        }
+                        let prow = probs.row(i);
+                        let grow = &mut gl[i * classes..(i + 1) * classes];
+                        for j in 0..classes {
+                            grow[j] = scale * prow[j];
+                        }
+                        grow[t as usize] -= scale;
+                    }
+                    accumulate(&mut grads, *logits, Tensor::from_vec(probs.shape().to_vec(), gl));
+                }
+            }
+        }
+        Grads { grads }
+    }
+}
+
+fn accumulate(grads: &mut [Option<Tensor>], idx: usize, g: Tensor) {
+    match &mut grads[idx] {
+        Some(existing) => existing.add_assign(&g),
+        slot @ None => *slot = Some(g),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Numerically checks `d loss / d input` for a scalar-producing graph.
+    fn finite_diff_check(
+        input: Tensor,
+        build: impl Fn(&Tape, Var) -> Var,
+        tol: f32,
+    ) {
+        let tape = Tape::new();
+        let x = tape.leaf(input.clone());
+        let loss = build(&tape, x);
+        let grads = tape.backward(loss);
+        let analytic = grads.get(x).expect("input grad").clone();
+
+        let h = 1e-2f32;
+        for i in 0..input.len() {
+            let mut plus = input.clone();
+            plus.data_mut()[i] += h;
+            let mut minus = input.clone();
+            minus.data_mut()[i] -= h;
+            let tp = Tape::new();
+            let lp = build(&tp, tp.leaf(plus));
+            let tm = Tape::new();
+            let lm = build(&tm, tm.leaf(minus));
+            let fd = (tp.value(lp).item() - tm.value(lm).item()) / (2.0 * h);
+            let a = analytic.data()[i];
+            assert!(
+                (a - fd).abs() <= tol * (1.0 + fd.abs()),
+                "element {}: analytic {} vs finite-diff {}",
+                i,
+                a,
+                fd
+            );
+        }
+    }
+
+    fn sample_matrix() -> Tensor {
+        Tensor::matrix(&[vec![0.5, -1.2, 0.3], vec![1.1, 0.0, -0.7]])
+    }
+
+    #[test]
+    fn grad_add_mul_chain() {
+        finite_diff_check(
+            sample_matrix(),
+            |t, x| {
+                let y = t.mul(x, x); // x^2
+                let z = t.add(y, x); // x^2 + x
+                t.sum_all(z)
+            },
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_sub_scale() {
+        finite_diff_check(
+            sample_matrix(),
+            |t, x| {
+                let y = t.scale(x, 3.0);
+                let z = t.sub(y, x);
+                t.mean_all(z)
+            },
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_matmul() {
+        finite_diff_check(
+            sample_matrix(),
+            |t, x| {
+                let w = t.constant(Tensor::matrix(&[
+                    vec![0.2, -0.5],
+                    vec![1.0, 0.3],
+                    vec![-0.7, 0.8],
+                ]));
+                let y = t.matmul(x, w);
+                t.sum_all(y)
+            },
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_matmul_weight_side() {
+        // Check gradient flowing into the right operand of a matmul.
+        finite_diff_check(
+            Tensor::matrix(&[vec![0.1, -0.4], vec![0.9, 0.2], vec![-0.3, 0.6]]),
+            |t, w| {
+                let x = t.constant(Tensor::matrix(&[vec![1.0, 2.0, -1.0], vec![0.5, -0.5, 2.0]]));
+                let y = t.matmul(x, w);
+                let y2 = t.mul(y, y);
+                t.sum_all(y2)
+            },
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn grad_matmul_transb() {
+        finite_diff_check(
+            sample_matrix(),
+            |t, x| {
+                let b = t.constant(Tensor::matrix(&[vec![0.3, -0.2, 0.9], vec![1.5, 0.4, -0.6]]));
+                let y = t.matmul_transb(x, b);
+                let y2 = t.mul(y, y);
+                t.mean_all(y2)
+            },
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn grad_activations() {
+        for act in ["relu", "gelu", "tanh"] {
+            finite_diff_check(
+                Tensor::matrix(&[vec![0.5, -1.2, 0.3], vec![1.1, 0.25, -0.7]]),
+                |t, x| {
+                    let y = match act {
+                        "relu" => t.relu(x),
+                        "gelu" => t.gelu(x),
+                        _ => t.tanh(x),
+                    };
+                    let y2 = t.mul(y, y);
+                    t.sum_all(y2)
+                },
+                3e-2,
+            );
+        }
+    }
+
+    #[test]
+    fn grad_softmax() {
+        finite_diff_check(
+            sample_matrix(),
+            |t, x| {
+                let s = t.softmax_last_dim(x);
+                let w = t.constant(Tensor::matrix(&[
+                    vec![1.0, -2.0, 0.5],
+                    vec![0.3, 0.9, -1.1],
+                ]));
+                let p = t.mul(s, w);
+                t.sum_all(p)
+            },
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn grad_layer_norm_input() {
+        finite_diff_check(
+            sample_matrix(),
+            |t, x| {
+                let gamma = t.constant(Tensor::vector(&[1.2, 0.8, 1.0]));
+                let beta = t.constant(Tensor::vector(&[0.1, -0.2, 0.0]));
+                let y = t.layer_norm(x, gamma, beta);
+                let y2 = t.mul(y, y);
+                t.sum_all(y2)
+            },
+            5e-2,
+        );
+    }
+
+    #[test]
+    fn grad_layer_norm_gamma_beta() {
+        let tape = Tape::new();
+        let x = tape.constant(sample_matrix());
+        let gamma = tape.leaf(Tensor::vector(&[1.2, 0.8, 1.0]));
+        let beta = tape.leaf(Tensor::vector(&[0.1, -0.2, 0.0]));
+        let y = tape.layer_norm(x, gamma, beta);
+        let loss = tape.sum_all(y);
+        let grads = tape.backward(loss);
+        // d(sum)/d(beta_j) = number of rows (each row adds beta_j once)
+        let gb = grads.get(beta).expect("beta grad");
+        for &g in gb.data() {
+            assert!((g - 2.0).abs() < 1e-4, "beta grad {}", g);
+        }
+        // gamma grad = column sums of xhat, which are ~0 per row-normalized
+        // columns only when rows are symmetric; just check finiteness here.
+        let gg = grads.get(gamma).expect("gamma grad");
+        assert!(!gg.has_non_finite());
+    }
+
+    #[test]
+    fn grad_embed_gather_scatters() {
+        let tape = Tape::new();
+        let table = tape.leaf(Tensor::matrix(&[
+            vec![0.1, 0.2],
+            vec![0.3, 0.4],
+            vec![0.5, 0.6],
+        ]));
+        let e = tape.embed_gather(table, &[1, 1, 2]);
+        let loss = tape.sum_all(e);
+        let grads = tape.backward(loss);
+        let gt = grads.get(table).expect("table grad");
+        assert_eq!(gt.row(0), &[0.0, 0.0]);
+        assert_eq!(gt.row(1), &[2.0, 2.0]); // gathered twice
+        assert_eq!(gt.row(2), &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn grad_concat_slice_roundtrip() {
+        finite_diff_check(
+            sample_matrix(),
+            |t, x| {
+                let left = t.slice_cols(x, 0, 2);
+                let right = t.slice_cols(x, 2, 3);
+                let back = t.concat_cols(&[right, left]);
+                let sq = t.mul(back, back);
+                t.sum_all(sq)
+            },
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn grad_cross_entropy() {
+        finite_diff_check(
+            Tensor::matrix(&[vec![0.2, -0.3, 0.8], vec![1.5, 0.1, -0.9]]),
+            |t, x| t.cross_entropy(x, &[2, 0]),
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn cross_entropy_ignores_negative_targets() {
+        let tape = Tape::new();
+        let logits = tape.leaf(Tensor::matrix(&[
+            vec![10.0, 0.0],
+            vec![0.0, 10.0],
+            vec![-5.0, 5.0],
+        ]));
+        // Only the first row counts; it is confidently correct, so the loss
+        // should be near zero regardless of the other rows.
+        let loss = tape.cross_entropy(logits, &[0, -1, -1]);
+        assert!(tape.value(loss).item() < 1e-3);
+        let grads = tape.backward(loss);
+        let gl = grads.get(logits).expect("logit grad");
+        // Ignored rows must receive exactly zero gradient.
+        assert_eq!(gl.row(1), &[0.0, 0.0]);
+        assert_eq!(gl.row(2), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn cross_entropy_all_ignored_is_zero() {
+        let tape = Tape::new();
+        let logits = tape.leaf(Tensor::matrix(&[vec![1.0, 2.0]]));
+        let loss = tape.cross_entropy(logits, &[-1]);
+        assert_eq!(tape.value(loss).item(), 0.0);
+    }
+
+    #[test]
+    fn dropout_mask_applies_and_backprops() {
+        let tape = Tape::new();
+        let x = tape.leaf(Tensor::vector(&[1.0, 2.0, 3.0, 4.0]).reshaped(&[2, 2]));
+        let mask = Tensor::from_vec(vec![2, 2], vec![2.0, 0.0, 2.0, 0.0]);
+        let y = tape.dropout_with_mask(x, mask);
+        assert_eq!(tape.value(y).data(), &[2.0, 0.0, 6.0, 0.0]);
+        let loss = tape.sum_all(y);
+        let grads = tape.backward(loss);
+        assert_eq!(grads.get(x).expect("grad").data(), &[2.0, 0.0, 2.0, 0.0]);
+    }
+
+    #[test]
+    fn backward_requires_scalar_loss() {
+        let tape = Tape::new();
+        let x = tape.leaf(sample_matrix());
+        let y = tape.relu(x);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            tape.backward(y);
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn grad_accumulates_over_shared_subexpression() {
+        let tape = Tape::new();
+        let x = tape.leaf(Tensor::scalar(3.0));
+        let y = tape.add(x, x); // 2x -> dy/dx = 2
+        let loss = tape.sum_all(y);
+        let grads = tape.backward(loss);
+        assert_eq!(grads.get(x).expect("grad").item(), 2.0);
+    }
+
+    #[test]
+    fn add_bias_broadcasts_and_backprops() {
+        let tape = Tape::new();
+        let x = tape.leaf(Tensor::matrix(&[vec![1.0, 2.0], vec![3.0, 4.0]]));
+        let b = tape.leaf(Tensor::vector(&[10.0, 20.0]));
+        let y = tape.add_bias(x, b);
+        assert_eq!(tape.value(y).data(), &[11.0, 22.0, 13.0, 24.0]);
+        let loss = tape.sum_all(y);
+        let grads = tape.backward(loss);
+        assert_eq!(grads.get(b).expect("bias grad").data(), &[2.0, 2.0]);
+        assert_eq!(grads.get(x).expect("x grad").data(), &[1.0, 1.0, 1.0, 1.0]);
+    }
+}

@@ -1,0 +1,585 @@
+//! Dense, row-major `f32` tensors.
+//!
+//! The tensor type is deliberately small: a shape vector and a flat data
+//! buffer. All operations needed by the autograd layer (matrix products,
+//! broadcasts over the last dimension, reductions, and elementwise maps) are
+//! implemented here as plain functions so they can be unit-tested in
+//! isolation and reused by the backward passes.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A dense, row-major tensor of `f32` values.
+///
+/// Invariant: `data.len() == shape.iter().product()`. Rank-0 tensors are
+/// represented with an empty shape and a single element.
+#[derive(Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor {
+    shape: Vec<usize>,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Creates a tensor from a shape and a flat row-major buffer.
+    ///
+    /// # Panics
+    /// Panics if the buffer length does not match the shape volume.
+    pub fn from_vec(shape: Vec<usize>, data: Vec<f32>) -> Self {
+        let volume: usize = shape.iter().product();
+        assert_eq!(
+            volume,
+            data.len(),
+            "shape {:?} (volume {}) does not match buffer of length {}",
+            shape,
+            volume,
+            data.len()
+        );
+        Tensor { shape, data }
+    }
+
+    /// Creates a zero-filled tensor.
+    pub fn zeros(shape: &[usize]) -> Self {
+        let volume: usize = shape.iter().product();
+        Tensor { shape: shape.to_vec(), data: vec![0.0; volume] }
+    }
+
+    /// Creates a tensor filled with `value`.
+    pub fn full(shape: &[usize], value: f32) -> Self {
+        let volume: usize = shape.iter().product();
+        Tensor { shape: shape.to_vec(), data: vec![value; volume] }
+    }
+
+    /// Creates a rank-0 (scalar) tensor.
+    pub fn scalar(value: f32) -> Self {
+        Tensor { shape: vec![], data: vec![value] }
+    }
+
+    /// Creates a rank-1 tensor from a slice.
+    pub fn vector(values: &[f32]) -> Self {
+        Tensor { shape: vec![values.len()], data: values.to_vec() }
+    }
+
+    /// Creates a rank-2 tensor from rows.
+    ///
+    /// # Panics
+    /// Panics if the rows have inconsistent lengths.
+    pub fn matrix(rows: &[Vec<f32>]) -> Self {
+        let r = rows.len();
+        let c = rows.first().map_or(0, Vec::len);
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            assert_eq!(row.len(), c, "ragged rows in Tensor::matrix");
+            data.extend_from_slice(row);
+        }
+        Tensor { shape: vec![r, c], data }
+    }
+
+    /// The tensor shape.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// The number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.shape.len()
+    }
+
+    /// The total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The flat row-major data buffer.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable access to the flat buffer.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// The value of a rank-0 or single-element tensor.
+    ///
+    /// # Panics
+    /// Panics if the tensor has more than one element.
+    pub fn item(&self) -> f32 {
+        assert_eq!(self.data.len(), 1, "item() on tensor with {} elements", self.data.len());
+        self.data[0]
+    }
+
+    /// Number of rows of a rank-2 tensor.
+    pub fn rows(&self) -> usize {
+        assert_eq!(self.rank(), 2, "rows() requires rank 2, got shape {:?}", self.shape);
+        self.shape[0]
+    }
+
+    /// Number of columns of a rank-2 tensor.
+    pub fn cols(&self) -> usize {
+        assert_eq!(self.rank(), 2, "cols() requires rank 2, got shape {:?}", self.shape);
+        self.shape[1]
+    }
+
+    /// Element accessor for rank-2 tensors.
+    pub fn at2(&self, i: usize, j: usize) -> f32 {
+        debug_assert_eq!(self.rank(), 2);
+        self.data[i * self.shape[1] + j]
+    }
+
+    /// Mutable element accessor for rank-2 tensors.
+    pub fn at2_mut(&mut self, i: usize, j: usize) -> &mut f32 {
+        debug_assert_eq!(self.rank(), 2);
+        let c = self.shape[1];
+        &mut self.data[i * c + j]
+    }
+
+    /// Borrow row `i` of a rank-2 tensor.
+    pub fn row(&self, i: usize) -> &[f32] {
+        let c = self.cols();
+        &self.data[i * c..(i + 1) * c]
+    }
+
+    /// Mutably borrow row `i` of a rank-2 tensor.
+    pub fn row_mut(&mut self, i: usize) -> &mut [f32] {
+        let c = self.cols();
+        &mut self.data[i * c..(i + 1) * c]
+    }
+
+    /// Returns a copy with a new shape of identical volume.
+    ///
+    /// # Panics
+    /// Panics if the volumes differ.
+    pub fn reshaped(&self, shape: &[usize]) -> Tensor {
+        let volume: usize = shape.iter().product();
+        assert_eq!(volume, self.data.len(), "reshape {:?} -> {:?}", self.shape, shape);
+        Tensor { shape: shape.to_vec(), data: self.data.clone() }
+    }
+
+    /// Elementwise map into a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor { shape: self.shape.clone(), data: self.data.iter().map(|&x| f(x)).collect() }
+    }
+
+    /// Elementwise combination of two same-shape tensors.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn zip_map(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+        assert_eq!(self.shape, other.shape, "zip_map shape mismatch");
+        let data = self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)).collect();
+        Tensor { shape: self.shape.clone(), data }
+    }
+
+    /// In-place `self += other` for same-shape tensors.
+    pub fn add_assign(&mut self, other: &Tensor) {
+        assert_eq!(self.shape, other.shape, "add_assign shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += *b;
+        }
+    }
+
+    /// In-place `self += scale * other`.
+    pub fn add_scaled_assign(&mut self, other: &Tensor, scale: f32) {
+        assert_eq!(self.shape, other.shape, "add_scaled_assign shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += scale * *b;
+        }
+    }
+
+    /// In-place multiplication by a scalar.
+    pub fn scale_assign(&mut self, scale: f32) {
+        for a in &mut self.data {
+            *a *= scale;
+        }
+    }
+
+    /// Fills the tensor with zeros, keeping the shape.
+    pub fn zero_fill(&mut self) {
+        self.data.iter_mut().for_each(|x| *x = 0.0);
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements (0.0 for empty tensors).
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f32
+        }
+    }
+
+    /// Maximum element (negative infinity for empty tensors).
+    pub fn max(&self) -> f32 {
+        self.data.iter().copied().fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    /// The squared L2 norm of all elements.
+    pub fn sq_norm(&self) -> f32 {
+        self.data.iter().map(|x| x * x).sum()
+    }
+
+    /// Index of the maximum value in each row of a rank-2 tensor.
+    pub fn argmax_rows(&self) -> Vec<usize> {
+        let (r, c) = (self.rows(), self.cols());
+        (0..r)
+            .map(|i| {
+                let row = &self.data[i * c..(i + 1) * c];
+                row.iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+                    .map(|(j, _)| j)
+                    .unwrap_or(0)
+            })
+            .collect()
+    }
+
+    /// Matrix product `self [m,k] x other [k,n] -> [m,n]`.
+    ///
+    /// Uses an `ikj` loop order so the inner loop runs over contiguous rows of
+    /// both the output and the right operand, which lets the compiler
+    /// autovectorize.
+    ///
+    /// # Panics
+    /// Panics on rank or inner-dimension mismatch.
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.rank(), 2, "matmul lhs must be rank 2");
+        assert_eq!(other.rank(), 2, "matmul rhs must be rank 2");
+        let (m, k) = (self.shape[0], self.shape[1]);
+        let (k2, n) = (other.shape[0], other.shape[1]);
+        assert_eq!(k, k2, "matmul inner dims: [{},{}] x [{},{}]", m, k, k2, n);
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            let a_row = &self.data[i * k..(i + 1) * k];
+            let out_row = &mut out[i * n..(i + 1) * n];
+            for (p, &av) in a_row.iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                let b_row = &other.data[p * n..(p + 1) * n];
+                for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                    *o += av * bv;
+                }
+            }
+        }
+        Tensor { shape: vec![m, n], data: out }
+    }
+
+    /// Matrix product with a transposed right operand:
+    /// `self [m,k] x other [n,k]^T -> [m,n]`.
+    ///
+    /// This is the cache-friendly form for attention scores, where both
+    /// operands are stored row-major over the shared `k` dimension.
+    pub fn matmul_transb(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.rank(), 2, "matmul_transb lhs must be rank 2");
+        assert_eq!(other.rank(), 2, "matmul_transb rhs must be rank 2");
+        let (m, k) = (self.shape[0], self.shape[1]);
+        let (n, k2) = (other.shape[0], other.shape[1]);
+        assert_eq!(k, k2, "matmul_transb inner dims: [{},{}] x [{},{}]^T", m, k, n, k2);
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            let a_row = &self.data[i * k..(i + 1) * k];
+            let out_row = &mut out[i * n..(i + 1) * n];
+            for (j, o) in out_row.iter_mut().enumerate() {
+                let b_row = &other.data[j * k..(j + 1) * k];
+                let mut acc = 0.0f32;
+                for (&a, &b) in a_row.iter().zip(b_row) {
+                    acc += a * b;
+                }
+                *o = acc;
+            }
+        }
+        Tensor { shape: vec![m, n], data: out }
+    }
+
+    /// Matrix product with a transposed left operand:
+    /// `self [k,m]^T x other [k,n] -> [m,n]`.
+    ///
+    /// Used by backward passes (`dW = X^T dY`) without materializing the
+    /// transpose.
+    pub fn matmul_transa(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.rank(), 2, "matmul_transa lhs must be rank 2");
+        assert_eq!(other.rank(), 2, "matmul_transa rhs must be rank 2");
+        let (k, m) = (self.shape[0], self.shape[1]);
+        let (k2, n) = (other.shape[0], other.shape[1]);
+        assert_eq!(k, k2, "matmul_transa inner dims: [{},{}]^T x [{},{}]", k, m, k2, n);
+        let mut out = vec![0.0f32; m * n];
+        for p in 0..k {
+            let a_row = &self.data[p * m..(p + 1) * m];
+            let b_row = &other.data[p * n..(p + 1) * n];
+            for (i, &av) in a_row.iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out[i * n..(i + 1) * n];
+                for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                    *o += av * bv;
+                }
+            }
+        }
+        Tensor { shape: vec![m, n], data: out }
+    }
+
+    /// Transpose of a rank-2 tensor.
+    pub fn transposed2(&self) -> Tensor {
+        let (r, c) = (self.rows(), self.cols());
+        let mut out = vec![0.0f32; r * c];
+        for i in 0..r {
+            for j in 0..c {
+                out[j * r + i] = self.data[i * c + j];
+            }
+        }
+        Tensor { shape: vec![c, r], data: out }
+    }
+
+    /// Softmax over the last dimension, numerically stabilized.
+    pub fn softmax_last_dim(&self) -> Tensor {
+        assert!(self.rank() >= 1, "softmax on rank-0 tensor");
+        let d = *self.shape.last().expect("non-empty shape");
+        assert!(d > 0, "softmax over empty last dimension");
+        let mut out = self.data.clone();
+        for chunk in out.chunks_mut(d) {
+            let max = chunk.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let mut total = 0.0f32;
+            for x in chunk.iter_mut() {
+                *x = (*x - max).exp();
+                total += *x;
+            }
+            let inv = 1.0 / total;
+            for x in chunk.iter_mut() {
+                *x *= inv;
+            }
+        }
+        Tensor { shape: self.shape.clone(), data: out }
+    }
+
+    /// Sum over rows of a rank-2 tensor, producing a rank-1 tensor of length
+    /// `cols` (i.e. a column-wise sum). Used for bias gradients.
+    pub fn col_sum(&self) -> Tensor {
+        let (r, c) = (self.rows(), self.cols());
+        let mut out = vec![0.0f32; c];
+        for i in 0..r {
+            for (o, &v) in out.iter_mut().zip(&self.data[i * c..(i + 1) * c]) {
+                *o += v;
+            }
+        }
+        Tensor { shape: vec![c], data: out }
+    }
+
+    /// Concatenates rank-2 tensors along columns. All inputs must share the
+    /// same row count.
+    pub fn concat_cols(parts: &[&Tensor]) -> Tensor {
+        assert!(!parts.is_empty(), "concat_cols of zero tensors");
+        let r = parts[0].rows();
+        let total_c: usize = parts.iter().map(|t| t.cols()).sum();
+        let mut out = Vec::with_capacity(r * total_c);
+        for i in 0..r {
+            for t in parts {
+                assert_eq!(t.rows(), r, "concat_cols row mismatch");
+                out.extend_from_slice(t.row(i));
+            }
+        }
+        Tensor { shape: vec![r, total_c], data: out }
+    }
+
+    /// Extracts the column range `[start, end)` of a rank-2 tensor.
+    pub fn slice_cols(&self, start: usize, end: usize) -> Tensor {
+        let (r, c) = (self.rows(), self.cols());
+        assert!(start <= end && end <= c, "slice_cols {}..{} of {} cols", start, end, c);
+        let w = end - start;
+        let mut out = Vec::with_capacity(r * w);
+        for i in 0..r {
+            out.extend_from_slice(&self.data[i * c + start..i * c + end]);
+        }
+        Tensor { shape: vec![r, w], data: out }
+    }
+
+    /// Extracts the row range `[start, end)` of a rank-2 tensor.
+    pub fn slice_rows(&self, start: usize, end: usize) -> Tensor {
+        let (r, c) = (self.rows(), self.cols());
+        assert!(start <= end && end <= r, "slice_rows {}..{} of {} rows", start, end, r);
+        Tensor { shape: vec![end - start, c], data: self.data[start * c..end * c].to_vec() }
+    }
+
+    /// Gathers rows of a rank-2 table by index, producing `[ids.len(), cols]`.
+    ///
+    /// # Panics
+    /// Panics if any index is out of bounds.
+    pub fn gather_rows(&self, ids: &[usize]) -> Tensor {
+        let (r, c) = (self.rows(), self.cols());
+        let mut out = Vec::with_capacity(ids.len() * c);
+        for &id in ids {
+            assert!(id < r, "gather_rows index {} out of {} rows", id, r);
+            out.extend_from_slice(&self.data[id * c..(id + 1) * c]);
+        }
+        Tensor { shape: vec![ids.len(), c], data: out }
+    }
+
+    /// Returns true if any element is NaN or infinite.
+    pub fn has_non_finite(&self) -> bool {
+        self.data.iter().any(|x| !x.is_finite())
+    }
+
+    /// Approximate equality within `tol`, element by element.
+    pub fn approx_eq(&self, other: &Tensor, tol: f32) -> bool {
+        self.shape == other.shape
+            && self.data.iter().zip(&other.data).all(|(a, b)| (a - b).abs() <= tol)
+    }
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.data.len() <= 16 {
+            write!(f, "Tensor{:?} {:?}", self.shape, self.data)
+        } else {
+            write!(
+                f,
+                "Tensor{:?} [{} elements, first={:?}...]",
+                self.shape,
+                self.data.len(),
+                &self.data[..8]
+            )
+        }
+    }
+}
+
+/// The exact GELU activation used by BERT-style encoders.
+pub fn gelu(x: f32) -> f32 {
+    // tanh approximation, matching common transformer implementations
+    const SQRT_2_OVER_PI: f32 = 0.797_884_6;
+    0.5 * x * (1.0 + (SQRT_2_OVER_PI * (x + 0.044715 * x * x * x)).tanh())
+}
+
+/// Derivative of [`gelu`].
+pub fn gelu_grad(x: f32) -> f32 {
+    const SQRT_2_OVER_PI: f32 = 0.797_884_6;
+    let x3 = x * x * x;
+    let inner = SQRT_2_OVER_PI * (x + 0.044715 * x3);
+    let t = inner.tanh();
+    let sech2 = 1.0 - t * t;
+    0.5 * (1.0 + t) + 0.5 * x * sech2 * SQRT_2_OVER_PI * (1.0 + 3.0 * 0.044715 * x * x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_vec_roundtrip() {
+        let t = Tensor::from_vec(vec![2, 3], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(t.shape(), &[2, 3]);
+        assert_eq!(t.at2(1, 2), 6.0);
+        assert_eq!(t.row(0), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match buffer")]
+    fn from_vec_rejects_bad_volume() {
+        let _ = Tensor::from_vec(vec![2, 2], vec![1.0]);
+    }
+
+    #[test]
+    fn matmul_known_values() {
+        let a = Tensor::matrix(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let b = Tensor::matrix(&[vec![5.0, 6.0], vec![7.0, 8.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c.data(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_transb_matches_explicit_transpose() {
+        let a = Tensor::matrix(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
+        let b = Tensor::matrix(&[vec![1.0, 0.0, 2.0], vec![-1.0, 3.0, 1.0]]);
+        let via_t = a.matmul(&b.transposed2());
+        let direct = a.matmul_transb(&b);
+        assert!(via_t.approx_eq(&direct, 1e-6));
+    }
+
+    #[test]
+    fn matmul_transa_matches_explicit_transpose() {
+        let a = Tensor::matrix(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]);
+        let b = Tensor::matrix(&[vec![1.0], vec![2.0], vec![3.0]]);
+        let via_t = a.transposed2().matmul(&b);
+        let direct = a.matmul_transa(&b);
+        assert!(via_t.approx_eq(&direct, 1e-6));
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let t = Tensor::matrix(&[vec![1.0, 2.0, 3.0], vec![-5.0, 0.0, 5.0]]);
+        let s = t.softmax_last_dim();
+        for i in 0..2 {
+            let sum: f32 = s.row(i).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5);
+        }
+        // larger logits get larger probabilities
+        assert!(s.at2(0, 2) > s.at2(0, 1));
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let a = Tensor::vector(&[100.0, 101.0, 102.0]);
+        let b = Tensor::vector(&[0.0, 1.0, 2.0]);
+        assert!(a.softmax_last_dim().approx_eq(&b.softmax_last_dim(), 1e-6));
+    }
+
+    #[test]
+    fn concat_and_slice_cols_roundtrip() {
+        let a = Tensor::matrix(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let b = Tensor::matrix(&[vec![5.0], vec![6.0]]);
+        let c = Tensor::concat_cols(&[&a, &b]);
+        assert_eq!(c.shape(), &[2, 3]);
+        assert!(c.slice_cols(0, 2).approx_eq(&a, 0.0));
+        assert!(c.slice_cols(2, 3).approx_eq(&b, 0.0));
+    }
+
+    #[test]
+    fn gather_rows_picks_rows() {
+        let table = Tensor::matrix(&[vec![0.0, 0.0], vec![1.0, 1.0], vec![2.0, 2.0]]);
+        let g = table.gather_rows(&[2, 0, 2]);
+        assert_eq!(g.data(), &[2.0, 2.0, 0.0, 0.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn col_sum_sums_over_rows() {
+        let t = Tensor::matrix(&[vec![1.0, 2.0], vec![10.0, 20.0]]);
+        assert_eq!(t.col_sum().data(), &[11.0, 22.0]);
+    }
+
+    #[test]
+    fn argmax_rows_basic() {
+        let t = Tensor::matrix(&[vec![0.1, 0.9], vec![3.0, -1.0]]);
+        assert_eq!(t.argmax_rows(), vec![1, 0]);
+    }
+
+    #[test]
+    fn gelu_matches_reference_points() {
+        // Reference values from the tanh-approximation formula.
+        assert!((gelu(0.0)).abs() < 1e-6);
+        assert!((gelu(1.0) - 0.8412).abs() < 1e-3);
+        assert!((gelu(-1.0) + 0.1588).abs() < 1e-3);
+    }
+
+    #[test]
+    fn gelu_grad_matches_finite_difference() {
+        for &x in &[-2.0f32, -0.5, 0.0, 0.3, 1.7] {
+            let h = 1e-3;
+            let fd = (gelu(x + h) - gelu(x - h)) / (2.0 * h);
+            assert!(
+                (gelu_grad(x) - fd).abs() < 1e-3,
+                "x={} analytic={} fd={}",
+                x,
+                gelu_grad(x),
+                fd
+            );
+        }
+    }
+}

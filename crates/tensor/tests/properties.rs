@@ -1,0 +1,112 @@
+//! Property-based tests for the tensor algebra and autograd engine.
+
+use gs_tensor::{Tape, Tensor};
+use proptest::prelude::*;
+
+/// A small matrix with bounded values (keeps float error manageable).
+fn matrix_strategy(rows: usize, cols: usize) -> impl Strategy<Value = Tensor> {
+    proptest::collection::vec(-2.0f32..2.0, rows * cols)
+        .prop_map(move |data| Tensor::from_vec(vec![rows, cols], data))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Matrix multiplication is associative: (AB)C == A(BC).
+    #[test]
+    fn matmul_is_associative(a in matrix_strategy(3, 4), b in matrix_strategy(4, 2), c in matrix_strategy(2, 5)) {
+        let left = a.matmul(&b).matmul(&c);
+        let right = a.matmul(&b.matmul(&c));
+        prop_assert!(left.approx_eq(&right, 1e-3), "{left:?} vs {right:?}");
+    }
+
+    /// The transposed-operand product variants agree with explicit
+    /// transposition.
+    #[test]
+    fn matmul_variants_agree(a in matrix_strategy(3, 4), b in matrix_strategy(5, 4)) {
+        let explicit = a.matmul(&b.transposed2());
+        let fused = a.matmul_transb(&b);
+        prop_assert!(explicit.approx_eq(&fused, 1e-4));
+
+        let a_t = a.transposed2(); // [4,3]
+        let explicit2 = a_t.transposed2().matmul(&b.transposed2());
+        let fused2 = a_t.matmul_transa(&b.transposed2());
+        prop_assert!(explicit2.approx_eq(&fused2, 1e-4));
+    }
+
+    /// Softmax rows are probability distributions and preserve ordering.
+    #[test]
+    fn softmax_rows_are_distributions(m in matrix_strategy(4, 6)) {
+        let s = m.softmax_last_dim();
+        for i in 0..4 {
+            let row = s.row(i);
+            let sum: f32 = row.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+            prop_assert!(row.iter().all(|&p| (0.0..=1.0).contains(&p)));
+            // argmax is preserved
+            let src = m.row(i);
+            let arg_src = src.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).map(|(j, _)| j);
+            let arg_out = row.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).map(|(j, _)| j);
+            prop_assert_eq!(arg_src, arg_out);
+        }
+    }
+
+    /// Autograd linearity: grad of sum(a * x) w.r.t. x equals a.
+    #[test]
+    fn gradient_of_linear_form_is_the_coefficient(a in matrix_strategy(3, 3), x in matrix_strategy(3, 3)) {
+        let tape = Tape::new();
+        let xv = tape.leaf(x);
+        let av = tape.constant(a.clone());
+        let prod = tape.mul(av, xv);
+        let loss = tape.sum_all(prod);
+        let grads = tape.backward(loss);
+        let gx = grads.get(xv).expect("grad");
+        prop_assert!(gx.approx_eq(&a, 1e-5));
+    }
+
+    /// Backward through matmul satisfies the shape contract and produces
+    /// finite gradients for bounded inputs.
+    #[test]
+    fn matmul_gradients_are_finite(a in matrix_strategy(3, 4), b in matrix_strategy(4, 2)) {
+        let tape = Tape::new();
+        let av = tape.leaf(a);
+        let bv = tape.leaf(b);
+        let y = tape.matmul(av, bv);
+        let sq = tape.mul(y, y);
+        let loss = tape.mean_all(sq);
+        let grads = tape.backward(loss);
+        let ga = grads.get(av).expect("grad a");
+        let gb = grads.get(bv).expect("grad b");
+        prop_assert_eq!(ga.shape(), &[3, 4]);
+        prop_assert_eq!(gb.shape(), &[4, 2]);
+        prop_assert!(!ga.has_non_finite());
+        prop_assert!(!gb.has_non_finite());
+    }
+
+    /// Layer norm output has (approximately) zero mean and unit variance
+    /// per row when gamma=1, beta=0.
+    #[test]
+    fn layer_norm_standardizes_rows(m in matrix_strategy(3, 8)) {
+        // Degenerate (near-constant) rows normalize to ~0 variance by
+        // design of the epsilon; skip them.
+        for i in 0..3 {
+            let row = m.row(i);
+            let mean: f32 = row.iter().sum::<f32>() / 8.0;
+            let var: f32 = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 8.0;
+            prop_assume!(var > 1e-2);
+        }
+        let tape = Tape::new();
+        let x = tape.leaf(m);
+        let gamma = tape.constant(Tensor::full(&[8], 1.0));
+        let beta = tape.constant(Tensor::zeros(&[8]));
+        let y = tape.layer_norm(x, gamma, beta);
+        let out = tape.value(y);
+        for i in 0..3 {
+            let row = out.row(i);
+            let mean: f32 = row.iter().sum::<f32>() / 8.0;
+            let var: f32 = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 8.0;
+            prop_assert!(mean.abs() < 1e-3, "mean {mean}");
+            prop_assert!((var - 1.0).abs() < 0.05, "var {var}");
+        }
+    }
+}

@@ -1,0 +1,232 @@
+//! Trainable byte-pair encoding (Sennrich et al. 2016), the subword scheme
+//! RoBERTa-style encoders use (paper §3.2 cites BPE as the robust subword
+//! mechanism for rare words and domain terminology).
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// End-of-word marker appended to the last symbol of every word so merges
+/// can distinguish word-final pieces (`est</w>` vs `est`).
+const EOW: &str = "</w>";
+
+/// A trained BPE model: an ordered list of merges plus the symbol set.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Bpe {
+    merges: Vec<(String, String)>,
+    #[serde(skip)]
+    ranks: HashMap<(String, String), usize>,
+}
+
+impl Bpe {
+    /// Learns `num_merges` merges from an iterator of (word, count) pairs.
+    ///
+    /// Words should be pre-tokenized units (no whitespace). Training stops
+    /// early if no pair occurs at least twice.
+    pub fn train<'a>(word_counts: impl IntoIterator<Item = (&'a str, u64)>, num_merges: usize) -> Self {
+        // Represent each distinct word as its current symbol sequence.
+        let mut words: Vec<(Vec<String>, u64)> = word_counts
+            .into_iter()
+            .filter(|(w, _)| !w.is_empty())
+            .map(|(w, c)| (word_symbols(w), c))
+            .collect();
+
+        let mut merges = Vec::with_capacity(num_merges);
+        for _ in 0..num_merges {
+            let mut pair_counts: HashMap<(&str, &str), u64> = HashMap::new();
+            for (syms, count) in &words {
+                for pair in syms.windows(2) {
+                    *pair_counts.entry((pair[0].as_str(), pair[1].as_str())).or_insert(0) += count;
+                }
+            }
+            // Deterministic tie-break: highest count, then lexicographic.
+            let best = pair_counts
+                .iter()
+                .max_by(|a, b| a.1.cmp(b.1).then_with(|| b.0.cmp(a.0)))
+                .map(|(&(a, b), &c)| ((a.to_string(), b.to_string()), c));
+            let Some(((left, right), count)) = best else { break };
+            if count < 2 {
+                break;
+            }
+            let merged = format!("{left}{right}");
+            for (syms, _) in &mut words {
+                apply_merge(syms, &left, &right, &merged);
+            }
+            merges.push((left, right));
+        }
+
+        let mut bpe = Bpe { merges, ranks: HashMap::new() };
+        bpe.rebuild_ranks();
+        bpe
+    }
+
+    /// Number of learned merges.
+    pub fn num_merges(&self) -> usize {
+        self.merges.len()
+    }
+
+    /// Rebuilds the rank map after deserialization.
+    pub fn rebuild_ranks(&mut self) {
+        self.ranks = self
+            .merges
+            .iter()
+            .enumerate()
+            .map(|(i, (a, b))| ((a.clone(), b.clone()), i))
+            .collect();
+    }
+
+    /// Encodes a single word into subword symbols. The final symbol carries
+    /// the `</w>` marker.
+    pub fn encode_word(&self, word: &str) -> Vec<String> {
+        if word.is_empty() {
+            return Vec::new();
+        }
+        let mut syms = word_symbols(word);
+        // Repeatedly apply the lowest-rank applicable merge, as in the
+        // original BPE encoder.
+        loop {
+            let mut best: Option<(usize, usize)> = None; // (rank, position)
+            for (i, pair) in syms.windows(2).enumerate() {
+                if let Some(&rank) = self.ranks.get(&(pair[0].clone(), pair[1].clone())) {
+                    if best.is_none_or(|(r, _)| rank < r) {
+                        best = Some((rank, i));
+                    }
+                }
+            }
+            let Some((_, pos)) = best else { break };
+            let merged = format!("{}{}", syms[pos], syms[pos + 1]);
+            syms[pos] = merged;
+            syms.remove(pos + 1);
+        }
+        syms
+    }
+
+    /// All symbols the encoder can emit over the given training words —
+    /// used to build a closed vocabulary.
+    pub fn symbol_set<'a>(&self, words: impl IntoIterator<Item = &'a str>) -> Vec<String> {
+        let mut set = std::collections::BTreeSet::new();
+        for w in words {
+            for s in self.encode_word(w) {
+                set.insert(s);
+            }
+        }
+        set.into_iter().collect()
+    }
+}
+
+fn word_symbols(word: &str) -> Vec<String> {
+    let chars: Vec<char> = word.chars().collect();
+    let n = chars.len();
+    chars
+        .iter()
+        .enumerate()
+        .map(|(i, c)| {
+            if i + 1 == n {
+                format!("{c}{EOW}")
+            } else {
+                c.to_string()
+            }
+        })
+        .collect()
+}
+
+fn apply_merge(syms: &mut Vec<String>, left: &str, right: &str, merged: &str) {
+    let mut i = 0;
+    while i + 1 < syms.len() {
+        if syms[i] == left && syms[i + 1] == right {
+            syms[i] = merged.to_string();
+            syms.remove(i + 1);
+        } else {
+            i += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_corpus() -> Vec<(&'static str, u64)> {
+        vec![
+            ("low", 5),
+            ("lower", 2),
+            ("newest", 6),
+            ("widest", 3),
+            ("emission", 8),
+            ("emissions", 7),
+        ]
+    }
+
+    #[test]
+    fn training_learns_frequent_pairs() {
+        let bpe = Bpe::train(sample_corpus(), 50);
+        assert!(bpe.num_merges() > 0);
+        // "emission" occurs 15 times in total (with plural); after enough
+        // merges it should encode to very few symbols.
+        let pieces = bpe.encode_word("emission");
+        assert!(pieces.len() <= 3, "pieces: {:?}", pieces);
+    }
+
+    #[test]
+    fn encode_unseen_word_falls_back_to_pieces() {
+        let bpe = Bpe::train(sample_corpus(), 30);
+        let pieces = bpe.encode_word("lowest");
+        // Must reconstruct the word when markers are stripped.
+        let joined: String =
+            pieces.iter().map(|p| p.trim_end_matches(EOW)).collect::<Vec<_>>().join("");
+        assert_eq!(joined, "lowest");
+        assert!(pieces.last().expect("non-empty").ends_with(EOW));
+    }
+
+    #[test]
+    fn encode_is_deterministic() {
+        let bpe = Bpe::train(sample_corpus(), 30);
+        assert_eq!(bpe.encode_word("emissions"), bpe.encode_word("emissions"));
+    }
+
+    #[test]
+    fn zero_merges_yields_characters() {
+        let bpe = Bpe::train(sample_corpus(), 0);
+        let pieces = bpe.encode_word("net");
+        assert_eq!(pieces, vec!["n".to_string(), "e".to_string(), format!("t{EOW}")]);
+    }
+
+    #[test]
+    fn empty_word_encodes_to_nothing() {
+        let bpe = Bpe::train(sample_corpus(), 10);
+        assert!(bpe.encode_word("").is_empty());
+    }
+
+    #[test]
+    fn single_char_word_has_eow() {
+        let bpe = Bpe::train(sample_corpus(), 10);
+        assert_eq!(bpe.encode_word("a"), vec![format!("a{EOW}")]);
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let a = Bpe::train(sample_corpus(), 40);
+        let b = Bpe::train(sample_corpus(), 40);
+        assert_eq!(a.merges, b.merges);
+    }
+
+    #[test]
+    fn symbol_set_covers_training_words() {
+        let bpe = Bpe::train(sample_corpus(), 20);
+        let symbols = bpe.symbol_set(sample_corpus().iter().map(|(w, _)| *w));
+        assert!(!symbols.is_empty());
+        for (w, _) in sample_corpus() {
+            for piece in bpe.encode_word(w) {
+                assert!(symbols.contains(&piece), "missing {piece}");
+            }
+        }
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let bpe = Bpe::train(sample_corpus(), 25);
+        let json = serde_json::to_string(&bpe).expect("serialize");
+        let mut back: Bpe = serde_json::from_str(&json).expect("deserialize");
+        back.rebuild_ranks();
+        assert_eq!(back.encode_word("newest"), bpe.encode_word("newest"));
+    }
+}

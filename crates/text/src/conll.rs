@@ -1,0 +1,180 @@
+//! CoNLL-2003-style interchange (paper §3.2, Table 2): reading and writing
+//! token-per-line files with IOB tags, plus conversion to the BIOES scheme
+//! some sequence labelers prefer.
+
+use crate::labels::{LabelSet, Tag};
+use serde::{Deserialize, Serialize};
+
+/// A BIOES tag (Begin / Inside / Outside / End / Single).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BioesTag {
+    /// Outside any entity.
+    O,
+    /// First token of a multi-token entity.
+    B(usize),
+    /// Middle token of a multi-token entity.
+    I(usize),
+    /// Last token of a multi-token entity.
+    E(usize),
+    /// Single-token entity.
+    S(usize),
+}
+
+/// Converts an IOB sequence to BIOES.
+pub fn iob_to_bioes(tags: &[Tag]) -> Vec<BioesTag> {
+    let n = tags.len();
+    (0..n)
+        .map(|i| {
+            let same_kind_continues =
+                |j: usize, k: usize| matches!(tags.get(j), Some(Tag::I(p)) if *p == k);
+            match tags[i] {
+                Tag::O => BioesTag::O,
+                Tag::B(k) => {
+                    if same_kind_continues(i + 1, k) {
+                        BioesTag::B(k)
+                    } else {
+                        BioesTag::S(k)
+                    }
+                }
+                Tag::I(k) => {
+                    if same_kind_continues(i + 1, k) {
+                        BioesTag::I(k)
+                    } else {
+                        BioesTag::E(k)
+                    }
+                }
+            }
+        })
+        .collect()
+}
+
+/// Converts a BIOES sequence back to IOB.
+pub fn bioes_to_iob(tags: &[BioesTag]) -> Vec<Tag> {
+    tags.iter()
+        .map(|t| match t {
+            BioesTag::O => Tag::O,
+            BioesTag::B(k) | BioesTag::S(k) => Tag::B(*k),
+            BioesTag::I(k) | BioesTag::E(k) => Tag::I(*k),
+        })
+        .collect()
+}
+
+/// Writes sentences as CoNLL lines: one `token<TAB>tag` pair per line,
+/// blank line between sentences.
+pub fn to_conll(sentences: &[(Vec<String>, Vec<Tag>)], labels: &LabelSet) -> String {
+    let mut out = String::new();
+    for (tokens, tags) in sentences {
+        assert_eq!(tokens.len(), tags.len(), "token/tag mismatch");
+        for (tok, tag) in tokens.iter().zip(tags) {
+            out.push_str(tok);
+            out.push('\t');
+            out.push_str(&labels.tag_string(*tag));
+            out.push('\n');
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// A parsed CoNLL sentence: tokens and their tags.
+pub type ConllSentence = (Vec<String>, Vec<Tag>);
+
+/// Parses CoNLL lines back into sentences. Unknown tags become `O`;
+/// malformed lines are reported as errors.
+pub fn from_conll(input: &str, labels: &LabelSet) -> Result<Vec<ConllSentence>, String> {
+    let mut sentences = Vec::new();
+    let mut tokens: Vec<String> = Vec::new();
+    let mut tags: Vec<Tag> = Vec::new();
+    for (lineno, line) in input.lines().enumerate() {
+        let line = line.trim_end();
+        if line.is_empty() {
+            if !tokens.is_empty() {
+                sentences.push((std::mem::take(&mut tokens), std::mem::take(&mut tags)));
+            }
+            continue;
+        }
+        let (tok, tag_str) = line
+            .rsplit_once(['\t', ' '])
+            .ok_or_else(|| format!("line {}: expected `token<sep>tag`: {line:?}", lineno + 1))?;
+        let tag = labels
+            .parse_tag(tag_str.trim())
+            .ok_or_else(|| format!("line {}: unknown tag {tag_str:?}", lineno + 1))?;
+        tokens.push(tok.trim().to_string());
+        tags.push(tag);
+    }
+    if !tokens.is_empty() {
+        sentences.push((tokens, tags));
+    }
+    Ok(sentences)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn labels() -> LabelSet {
+        LabelSet::new(&["PER", "LOC"])
+    }
+
+    #[test]
+    fn bioes_roundtrip_on_table2_example() {
+        // Albert/B-PER Einstein/I-PER was/O born/O in/O Germany/B-LOC ./O
+        let iob = vec![Tag::B(0), Tag::I(0), Tag::O, Tag::O, Tag::O, Tag::B(1), Tag::O];
+        let bioes = iob_to_bioes(&iob);
+        assert_eq!(
+            bioes,
+            vec![
+                BioesTag::B(0),
+                BioesTag::E(0),
+                BioesTag::O,
+                BioesTag::O,
+                BioesTag::O,
+                BioesTag::S(1),
+                BioesTag::O
+            ]
+        );
+        assert_eq!(bioes_to_iob(&bioes), iob);
+    }
+
+    #[test]
+    fn bioes_middle_tokens() {
+        let iob = vec![Tag::B(0), Tag::I(0), Tag::I(0)];
+        assert_eq!(iob_to_bioes(&iob), vec![BioesTag::B(0), BioesTag::I(0), BioesTag::E(0)]);
+    }
+
+    #[test]
+    fn conll_roundtrip() {
+        let ls = labels();
+        let sentences = vec![
+            (
+                vec!["Albert".into(), "Einstein".into(), "was".into()],
+                vec![Tag::B(0), Tag::I(0), Tag::O],
+            ),
+            (vec!["Germany".into()], vec![Tag::B(1)]),
+        ];
+        let text = to_conll(&sentences, &ls);
+        assert!(text.contains("Albert\tB-PER"));
+        let back = from_conll(&text, &ls).expect("parse");
+        assert_eq!(back, sentences);
+    }
+
+    #[test]
+    fn from_conll_rejects_malformed_lines() {
+        let ls = labels();
+        assert!(from_conll("just_a_token_no_tag", &ls).is_err());
+        assert!(from_conll("token\tB-NOPE", &ls).is_err());
+    }
+
+    #[test]
+    fn from_conll_accepts_space_separator() {
+        let ls = labels();
+        let back = from_conll("Albert B-PER\n\n", &ls).expect("parse");
+        assert_eq!(back.len(), 1);
+        assert_eq!(back[0].1, vec![Tag::B(0)]);
+    }
+
+    #[test]
+    fn empty_input_is_empty() {
+        assert!(from_conll("", &labels()).expect("parse").is_empty());
+    }
+}

@@ -1,0 +1,319 @@
+//! IOB sequence-labeling schemes (paper §3.2, Table 2).
+//!
+//! A [`LabelSet`] fixes the entity kinds for a task (e.g. `Action`, `Amount`,
+//! `Qualifier`, `Baseline`, `Deadline`) and maps IOB tags to dense class ids
+//! for model heads: id 0 is `O`, then `B-k`/`I-k` pairs in kind order.
+
+use serde::{Deserialize, Serialize};
+
+/// A token-level IOB tag. The `usize` is an index into a [`LabelSet`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Tag {
+    /// Outside any entity.
+    O,
+    /// Beginning of an entity of the given kind.
+    B(usize),
+    /// Inside (continuation) of an entity of the given kind.
+    I(usize),
+}
+
+impl Tag {
+    /// The entity kind index, if any.
+    pub fn kind(&self) -> Option<usize> {
+        match self {
+            Tag::O => None,
+            Tag::B(k) | Tag::I(k) => Some(*k),
+        }
+    }
+}
+
+/// A decoded entity: a contiguous run of tokens sharing one kind.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TagSpan {
+    /// Entity kind index into the [`LabelSet`].
+    pub kind: usize,
+    /// First token index (inclusive).
+    pub start: usize,
+    /// Last token index (exclusive).
+    pub end: usize,
+}
+
+/// The set of entity kinds for a labeling task.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LabelSet {
+    kinds: Vec<String>,
+}
+
+impl LabelSet {
+    /// Creates a label set from kind names (order defines ids).
+    ///
+    /// # Panics
+    /// Panics on duplicate kind names.
+    pub fn new(kinds: &[&str]) -> Self {
+        let mut seen = std::collections::HashSet::new();
+        for k in kinds {
+            assert!(seen.insert(*k), "duplicate label kind {k:?}");
+        }
+        LabelSet { kinds: kinds.iter().map(|s| s.to_string()).collect() }
+    }
+
+    /// The paper's five sustainability detail fields (Table 1).
+    pub fn sustainability_goals() -> Self {
+        LabelSet::new(&["Action", "Amount", "Qualifier", "Baseline", "Deadline"])
+    }
+
+    /// The NetZeroFacts-style emission goal fields (paper §4.1).
+    pub fn netzerofacts() -> Self {
+        LabelSet::new(&["TargetValue", "ReferenceYear", "TargetYear"])
+    }
+
+    /// Number of entity kinds.
+    pub fn num_kinds(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// Number of dense class ids (`O` + `B-`/`I-` per kind).
+    pub fn num_classes(&self) -> usize {
+        1 + 2 * self.kinds.len()
+    }
+
+    /// Kind name by index.
+    pub fn kind_name(&self, kind: usize) -> &str {
+        &self.kinds[kind]
+    }
+
+    /// Kind index by name.
+    pub fn kind_index(&self, name: &str) -> Option<usize> {
+        self.kinds.iter().position(|k| k == name)
+    }
+
+    /// All kind names in id order.
+    pub fn kind_names(&self) -> impl Iterator<Item = &str> {
+        self.kinds.iter().map(String::as_str)
+    }
+
+    /// Dense class id of a tag.
+    pub fn class_id(&self, tag: Tag) -> usize {
+        match tag {
+            Tag::O => 0,
+            Tag::B(k) => {
+                assert!(k < self.kinds.len());
+                1 + 2 * k
+            }
+            Tag::I(k) => {
+                assert!(k < self.kinds.len());
+                2 + 2 * k
+            }
+        }
+    }
+
+    /// Tag from a dense class id.
+    ///
+    /// # Panics
+    /// Panics if the id is out of range.
+    pub fn tag_of(&self, class_id: usize) -> Tag {
+        assert!(class_id < self.num_classes(), "class id {} out of range", class_id);
+        if class_id == 0 {
+            Tag::O
+        } else if class_id % 2 == 1 {
+            Tag::B((class_id - 1) / 2)
+        } else {
+            Tag::I((class_id - 2) / 2)
+        }
+    }
+
+    /// Human-readable tag string (`O`, `B-Action`, `I-Deadline`, ...).
+    pub fn tag_string(&self, tag: Tag) -> String {
+        match tag {
+            Tag::O => "O".to_string(),
+            Tag::B(k) => format!("B-{}", self.kinds[k]),
+            Tag::I(k) => format!("I-{}", self.kinds[k]),
+        }
+    }
+
+    /// Parses a tag string.
+    pub fn parse_tag(&self, s: &str) -> Option<Tag> {
+        if s == "O" {
+            return Some(Tag::O);
+        }
+        let (prefix, name) = s.split_once('-')?;
+        let kind = self.kind_index(name)?;
+        match prefix {
+            "B" => Some(Tag::B(kind)),
+            "I" => Some(Tag::I(kind)),
+            _ => None,
+        }
+    }
+}
+
+/// Decodes a tag sequence into entity spans.
+///
+/// Follows CoNLL conventions: a span starts at `B-k` (or at an `I-k` that
+/// does not continue a span of kind `k` — the common "lenient" repair for
+/// model output) and extends over following `I-k` tags.
+pub fn decode_spans(tags: &[Tag]) -> Vec<TagSpan> {
+    let mut spans = Vec::new();
+    let mut open: Option<TagSpan> = None;
+    for (i, tag) in tags.iter().enumerate() {
+        match tag {
+            Tag::O => {
+                if let Some(s) = open.take() {
+                    spans.push(s);
+                }
+            }
+            Tag::B(k) => {
+                if let Some(s) = open.take() {
+                    spans.push(s);
+                }
+                open = Some(TagSpan { kind: *k, start: i, end: i + 1 });
+            }
+            Tag::I(k) => match &mut open {
+                Some(s) if s.kind == *k => s.end = i + 1,
+                _ => {
+                    if let Some(s) = open.take() {
+                        spans.push(s);
+                    }
+                    open = Some(TagSpan { kind: *k, start: i, end: i + 1 });
+                }
+            },
+        }
+    }
+    if let Some(s) = open {
+        spans.push(s);
+    }
+    spans
+}
+
+/// Encodes entity spans into a tag sequence of the given length.
+///
+/// Later spans overwrite earlier ones on overlap; spans must lie within
+/// `len`.
+pub fn encode_spans(len: usize, spans: &[TagSpan]) -> Vec<Tag> {
+    let mut tags = vec![Tag::O; len];
+    for span in spans {
+        assert!(span.start < span.end && span.end <= len, "span {:?} out of {}", span, len);
+        tags[span.start] = Tag::B(span.kind);
+        for t in tags.iter_mut().take(span.end).skip(span.start + 1) {
+            *t = Tag::I(span.kind);
+        }
+    }
+    tags
+}
+
+/// Repairs an invalid IOB sequence in place: any `I-k` not preceded by a
+/// `B-k`/`I-k` of the same kind becomes `B-k`.
+pub fn repair_iob(tags: &mut [Tag]) {
+    for i in 0..tags.len() {
+        if let Tag::I(k) = tags[i] {
+            let valid = i > 0
+                && match tags[i - 1] {
+                    Tag::B(p) | Tag::I(p) => p == k,
+                    Tag::O => false,
+                };
+            if !valid {
+                tags[i] = Tag::B(k);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn labels() -> LabelSet {
+        LabelSet::sustainability_goals()
+    }
+
+    #[test]
+    fn class_ids_roundtrip() {
+        let ls = labels();
+        assert_eq!(ls.num_classes(), 11);
+        for id in 0..ls.num_classes() {
+            assert_eq!(ls.class_id(ls.tag_of(id)), id);
+        }
+    }
+
+    #[test]
+    fn tag_strings_match_conll_format() {
+        let ls = labels();
+        assert_eq!(ls.tag_string(Tag::O), "O");
+        assert_eq!(ls.tag_string(Tag::B(0)), "B-Action");
+        assert_eq!(ls.tag_string(Tag::I(4)), "I-Deadline");
+        assert_eq!(ls.parse_tag("B-Amount"), Some(Tag::B(1)));
+        assert_eq!(ls.parse_tag("I-Qualifier"), Some(Tag::I(2)));
+        assert_eq!(ls.parse_tag("X-Nope"), None);
+        assert_eq!(ls.parse_tag("B-Nope"), None);
+    }
+
+    #[test]
+    fn decode_simple_spans() {
+        // Mirrors Table 2: "Albert Einstein was born in Germany ."
+        let per = 0;
+        let loc = 1;
+        let tags = vec![Tag::B(per), Tag::I(per), Tag::O, Tag::O, Tag::O, Tag::B(loc), Tag::O];
+        let spans = decode_spans(&tags);
+        assert_eq!(
+            spans,
+            vec![
+                TagSpan { kind: per, start: 0, end: 2 },
+                TagSpan { kind: loc, start: 5, end: 6 }
+            ]
+        );
+    }
+
+    #[test]
+    fn decode_adjacent_b_tags_split_entities() {
+        let tags = vec![Tag::B(0), Tag::B(0), Tag::I(0)];
+        let spans = decode_spans(&tags);
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0], TagSpan { kind: 0, start: 0, end: 1 });
+        assert_eq!(spans[1], TagSpan { kind: 0, start: 1, end: 3 });
+    }
+
+    #[test]
+    fn decode_is_lenient_about_orphan_i() {
+        let tags = vec![Tag::O, Tag::I(2), Tag::I(2), Tag::O];
+        let spans = decode_spans(&tags);
+        assert_eq!(spans, vec![TagSpan { kind: 2, start: 1, end: 3 }]);
+    }
+
+    #[test]
+    fn kind_change_without_b_starts_new_span() {
+        let tags = vec![Tag::B(0), Tag::I(1)];
+        let spans = decode_spans(&tags);
+        assert_eq!(spans.len(), 2);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let spans = vec![
+            TagSpan { kind: 1, start: 2, end: 4 },
+            TagSpan { kind: 3, start: 6, end: 7 },
+        ];
+        let tags = encode_spans(8, &spans);
+        assert_eq!(decode_spans(&tags), spans);
+    }
+
+    #[test]
+    fn repair_fixes_orphan_i() {
+        let mut tags = vec![Tag::O, Tag::I(0), Tag::I(0), Tag::B(1), Tag::I(0)];
+        repair_iob(&mut tags);
+        assert_eq!(tags[1], Tag::B(0));
+        assert_eq!(tags[2], Tag::I(0));
+        assert_eq!(tags[4], Tag::B(0));
+    }
+
+    #[test]
+    fn netzerofacts_label_set() {
+        let ls = LabelSet::netzerofacts();
+        assert_eq!(ls.num_kinds(), 3);
+        assert_eq!(ls.kind_index("TargetYear"), Some(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate label kind")]
+    fn duplicate_kinds_rejected() {
+        let _ = LabelSet::new(&["A", "A"]);
+    }
+}

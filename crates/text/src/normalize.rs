@@ -1,0 +1,160 @@
+//! Text normalization following GoalSpotter's preprocessing strategy:
+//! normalize input texts and remove unnecessary characters to reduce
+//! superficial noise (paper §3.2).
+
+use serde::{Deserialize, Serialize};
+
+/// Configuration for [`Normalizer`].
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct NormalizerConfig {
+    /// Lowercase the text (BERT-uncased style). RoBERTa-style pipelines keep
+    /// case; the default therefore preserves it.
+    pub lowercase: bool,
+    /// Collapse runs of whitespace (including newlines/tabs) to one space.
+    pub collapse_whitespace: bool,
+    /// Drop control characters and other non-printing code points.
+    pub strip_control: bool,
+    /// Map typographic quotes/dashes/ellipses to ASCII equivalents.
+    pub ascii_punctuation: bool,
+    /// Trim leading/trailing whitespace.
+    pub trim: bool,
+}
+
+impl Default for NormalizerConfig {
+    fn default() -> Self {
+        NormalizerConfig {
+            lowercase: false,
+            collapse_whitespace: true,
+            strip_control: true,
+            ascii_punctuation: true,
+            trim: true,
+        }
+    }
+}
+
+/// Deterministic text normalizer.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Normalizer {
+    config: NormalizerConfig,
+}
+
+impl Normalizer {
+    /// Creates a normalizer with the given configuration.
+    pub fn new(config: NormalizerConfig) -> Self {
+        Normalizer { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &NormalizerConfig {
+        &self.config
+    }
+
+    /// Normalizes `text` into a fresh string.
+    pub fn normalize(&self, text: &str) -> String {
+        let mut out = String::with_capacity(text.len());
+        let mut last_was_space = false;
+        for ch in text.chars() {
+            let mapped: Option<char> = if self.config.ascii_punctuation {
+                match ch {
+                    '\u{2018}' | '\u{2019}' | '\u{201A}' | '\u{2032}' => Some('\''),
+                    '\u{201C}' | '\u{201D}' | '\u{201E}' | '\u{2033}' => Some('"'),
+                    '\u{2010}'..='\u{2015}' | '\u{2212}' => Some('-'),
+                    '\u{2026}' => {
+                        out.push_str("...");
+                        last_was_space = false;
+                        continue;
+                    }
+                    '\u{00A0}' | '\u{2007}' | '\u{202F}' => Some(' '),
+                    _ => Some(ch),
+                }
+            } else {
+                Some(ch)
+            };
+            let Some(mut ch) = mapped else { continue };
+            if self.config.strip_control && ch.is_control() && ch != '\n' && ch != '\t' {
+                continue;
+            }
+            if self.config.collapse_whitespace && ch.is_whitespace() {
+                if last_was_space {
+                    continue;
+                }
+                ch = ' ';
+                last_was_space = true;
+            } else {
+                last_was_space = false;
+            }
+            if self.config.lowercase {
+                for lc in ch.to_lowercase() {
+                    out.push(lc);
+                }
+            } else {
+                out.push(ch);
+            }
+        }
+        if self.config.trim {
+            out.trim().to_string()
+        } else {
+            out
+        }
+    }
+}
+
+/// Normalization used when comparing annotation values to objective text
+/// under the "normalized" matching policy: lowercase, collapse whitespace,
+/// strip surrounding punctuation.
+pub fn match_key(text: &str) -> String {
+    let n = Normalizer::new(NormalizerConfig { lowercase: true, ..Default::default() });
+    n.normalize(text)
+        .trim_matches(|c: char| c.is_ascii_punctuation() && c != '%')
+        .trim()
+        .to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collapses_whitespace_and_trims() {
+        let n = Normalizer::default();
+        assert_eq!(n.normalize("  Reduce \t\n energy   use  "), "Reduce energy use");
+    }
+
+    #[test]
+    fn maps_typographic_punctuation() {
+        let n = Normalizer::default();
+        assert_eq!(n.normalize("\u{201C}net\u{2013}zero\u{201D}"), "\"net-zero\"");
+        assert_eq!(n.normalize("wait\u{2026}"), "wait...");
+    }
+
+    #[test]
+    fn strips_control_characters() {
+        let n = Normalizer::default();
+        assert_eq!(n.normalize("a\u{0000}b\u{0007}c"), "abc");
+    }
+
+    #[test]
+    fn lowercase_option() {
+        let n = Normalizer::new(NormalizerConfig { lowercase: true, ..Default::default() });
+        assert_eq!(n.normalize("Reduce CO2 Emissions"), "reduce co2 emissions");
+    }
+
+    #[test]
+    fn preserves_case_by_default() {
+        let n = Normalizer::default();
+        assert_eq!(n.normalize("The Climate Pledge"), "The Climate Pledge");
+    }
+
+    #[test]
+    fn match_key_ignores_case_and_outer_punct() {
+        assert_eq!(match_key("Net-Zero,"), "net-zero");
+        assert_eq!(match_key("  100%  "), "100%");
+        assert_eq!(match_key("\u{201C}carbon\u{201D}"), "carbon");
+    }
+
+    #[test]
+    fn empty_input_stays_empty() {
+        assert_eq!(Normalizer::default().normalize(""), "");
+        assert_eq!(match_key(""), "");
+    }
+}

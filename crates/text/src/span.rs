@@ -1,0 +1,91 @@
+//! Character-offset spans over an original text.
+
+use serde::{Deserialize, Serialize};
+
+/// A half-open byte range `[start, end)` into the text a token or entity was
+/// extracted from. Offsets always lie on UTF-8 character boundaries.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Span {
+    /// Inclusive start byte offset.
+    pub start: usize,
+    /// Exclusive end byte offset.
+    pub end: usize,
+}
+
+impl Span {
+    /// Creates a span; `start` must not exceed `end`.
+    pub fn new(start: usize, end: usize) -> Self {
+        assert!(start <= end, "span start {} > end {}", start, end);
+        Span { start, end }
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the span covers no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Whether two spans share at least one byte. Empty spans overlap
+    /// nothing.
+    pub fn overlaps(&self, other: &Span) -> bool {
+        !self.is_empty() && !other.is_empty() && self.start < other.end && other.start < self.end
+    }
+
+    /// Whether `self` fully contains `other`.
+    pub fn contains(&self, other: &Span) -> bool {
+        self.start <= other.start && other.end <= self.end
+    }
+
+    /// The smallest span covering both inputs.
+    pub fn cover(&self, other: &Span) -> Span {
+        Span { start: self.start.min(other.start), end: self.end.max(other.end) }
+    }
+
+    /// Slices the span out of `text`.
+    ///
+    /// # Panics
+    /// Panics if offsets are out of bounds or off char boundaries.
+    pub fn slice<'a>(&self, text: &'a str) -> &'a str {
+        &text[self.start..self.end]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overlap_semantics() {
+        let a = Span::new(0, 5);
+        let b = Span::new(4, 8);
+        let c = Span::new(5, 8);
+        assert!(a.overlaps(&b));
+        assert!(!a.overlaps(&c), "touching spans do not overlap");
+        assert!(!a.overlaps(&Span::new(3, 3)), "empty spans overlap nothing");
+    }
+
+    #[test]
+    fn contains_and_cover() {
+        let outer = Span::new(2, 10);
+        let inner = Span::new(4, 6);
+        assert!(outer.contains(&inner));
+        assert!(!inner.contains(&outer));
+        assert_eq!(inner.cover(&Span::new(8, 12)), Span::new(4, 12));
+    }
+
+    #[test]
+    fn slice_extracts_text() {
+        let text = "reach net-zero carbon";
+        assert_eq!(Span::new(6, 14).slice(text), "net-zero");
+    }
+
+    #[test]
+    #[should_panic(expected = "span start")]
+    fn rejects_inverted_span() {
+        let _ = Span::new(5, 2);
+    }
+}

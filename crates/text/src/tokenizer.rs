@@ -1,0 +1,246 @@
+//! The full tokenization pipeline: normalize, pre-tokenize, subword-encode,
+//! and map to vocabulary ids — while remembering which word each subword
+//! came from, so token-level labels can be projected between the word level
+//! (where Algorithm 1 operates) and the subword level (where the transformer
+//! operates).
+
+use crate::bpe::Bpe;
+use crate::normalize::Normalizer;
+use crate::pretokenize::{pretokenize, PreToken};
+use crate::vocab::{Vocab, UNK};
+use crate::wordpiece::WordPiece;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Subword segmentation backends.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub enum SubwordModel {
+    /// Byte-pair encoding (RoBERTa-style).
+    Bpe(Bpe),
+    /// WordPiece (BERT-style).
+    WordPiece(WordPiece),
+    /// No subword splitting: each word is one token (CRF/HMM feature level).
+    Word,
+}
+
+/// The result of encoding one text.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Encoding {
+    /// The normalized text all offsets refer to.
+    pub text: String,
+    /// Word-level tokens with offsets into `text`.
+    pub pretokens: Vec<PreToken>,
+    /// Subword piece strings, in order.
+    pub pieces: Vec<String>,
+    /// Vocabulary ids, parallel to `pieces`.
+    pub ids: Vec<u32>,
+    /// For each piece, the index of the pre-token it came from.
+    pub word_index: Vec<usize>,
+}
+
+impl Encoding {
+    /// Number of subword tokens.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Whether the encoding contains no tokens.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// The piece indices belonging to word `w`.
+    pub fn pieces_of_word(&self, w: usize) -> impl Iterator<Item = usize> + '_ {
+        self.word_index
+            .iter()
+            .enumerate()
+            .filter(move |(_, &wi)| wi == w)
+            .map(|(i, _)| i)
+    }
+}
+
+/// A trained tokenizer: normalizer + subword model + closed vocabulary.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Tokenizer {
+    normalizer: Normalizer,
+    model: SubwordModel,
+    vocab: Vocab,
+}
+
+impl Tokenizer {
+    /// Trains a BPE tokenizer on a corpus of raw texts.
+    pub fn train_bpe(corpus: &[&str], normalizer: Normalizer, num_merges: usize) -> Self {
+        let counts = word_counts(corpus, &normalizer);
+        let pairs: Vec<(&str, u64)> = counts.iter().map(|(w, c)| (w.as_str(), *c)).collect();
+        let bpe = Bpe::train(pairs.iter().copied(), num_merges);
+        let mut vocab = Vocab::with_specials();
+        for symbol in bpe.symbol_set(counts.keys().map(String::as_str)) {
+            vocab.add(&symbol);
+        }
+        Tokenizer { normalizer, model: SubwordModel::Bpe(bpe), vocab }
+    }
+
+    /// Trains a WordPiece tokenizer on a corpus of raw texts.
+    pub fn train_wordpiece(corpus: &[&str], normalizer: Normalizer, vocab_budget: usize) -> Self {
+        let counts = word_counts(corpus, &normalizer);
+        let pairs: Vec<(&str, u64)> = counts.iter().map(|(w, c)| (w.as_str(), *c)).collect();
+        let wp = WordPiece::train(pairs.iter().copied(), vocab_budget);
+        let mut vocab = Vocab::with_specials();
+        for piece in wp.pieces() {
+            vocab.add(&piece);
+        }
+        Tokenizer { normalizer, model: SubwordModel::WordPiece(wp), vocab }
+    }
+
+    /// Builds a word-level tokenizer whose vocabulary is every word seen at
+    /// least `min_count` times in the corpus.
+    pub fn train_word_level(corpus: &[&str], normalizer: Normalizer, min_count: u64) -> Self {
+        let counts = word_counts(corpus, &normalizer);
+        let mut vocab = Vocab::with_specials();
+        let mut words: Vec<(&String, &u64)> = counts.iter().collect();
+        words.sort_by(|a, b| b.1.cmp(a.1).then_with(|| a.0.cmp(b.0)));
+        for (w, c) in words {
+            if *c >= min_count {
+                vocab.add(w);
+            }
+        }
+        Tokenizer { normalizer, model: SubwordModel::Word, vocab }
+    }
+
+    /// The vocabulary.
+    pub fn vocab(&self) -> &Vocab {
+        &self.vocab
+    }
+
+    /// The normalizer.
+    pub fn normalizer(&self) -> &Normalizer {
+        &self.normalizer
+    }
+
+    /// Encodes a raw text into subword ids with word alignment.
+    pub fn encode(&self, raw: &str) -> Encoding {
+        let text = self.normalizer.normalize(raw);
+        let pretokens = pretokenize(&text);
+        let mut pieces = Vec::new();
+        let mut ids = Vec::new();
+        let mut word_index = Vec::new();
+        for (w, tok) in pretokens.iter().enumerate() {
+            let word_pieces: Vec<String> = match &self.model {
+                SubwordModel::Bpe(bpe) => bpe.encode_word(&tok.text),
+                SubwordModel::WordPiece(wp) => {
+                    wp.encode_word(&tok.text).unwrap_or_else(|| vec![UNK.to_string()])
+                }
+                SubwordModel::Word => vec![tok.text.clone()],
+            };
+            for piece in word_pieces {
+                ids.push(self.vocab.id_or_unk(&piece));
+                pieces.push(piece);
+                word_index.push(w);
+            }
+        }
+        Encoding { text, pretokens, pieces, ids, word_index }
+    }
+
+    /// Restores internal lookup tables after deserialization.
+    pub fn rebuild_index(&mut self) {
+        self.vocab.rebuild_index();
+        if let SubwordModel::Bpe(bpe) = &mut self.model {
+            bpe.rebuild_ranks();
+        }
+    }
+}
+
+fn word_counts(corpus: &[&str], normalizer: &Normalizer) -> HashMap<String, u64> {
+    let mut counts: HashMap<String, u64> = HashMap::new();
+    for line in corpus {
+        let text = normalizer.normalize(line);
+        for tok in pretokenize(&text) {
+            *counts.entry(tok.text).or_insert(0) += 1;
+        }
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corpus() -> Vec<&'static str> {
+        vec![
+            "Reduce energy consumption by 20% by 2025.",
+            "Reach net-zero carbon emissions by 2040.",
+            "Restore 100% of our global water use by 2025.",
+            "Reduce carbon emissions across all operations.",
+        ]
+    }
+
+    #[test]
+    fn bpe_encoding_aligns_words() {
+        let tok = Tokenizer::train_bpe(&corpus(), Normalizer::default(), 100);
+        let enc = tok.encode("Reduce carbon emissions by 2040.");
+        assert!(!enc.is_empty());
+        assert_eq!(enc.ids.len(), enc.pieces.len());
+        assert_eq!(enc.ids.len(), enc.word_index.len());
+        // word_index must be non-decreasing and cover all pretokens
+        for w in enc.word_index.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+        assert_eq!(*enc.word_index.last().expect("tokens"), enc.pretokens.len() - 1);
+    }
+
+    #[test]
+    fn wordpiece_encoding_handles_unseen_chars() {
+        let tok = Tokenizer::train_wordpiece(&corpus(), Normalizer::default(), 300);
+        let enc = tok.encode("Reduce 东京 emissions");
+        // The unseen word maps to a single UNK piece.
+        let unk_count = enc.ids.iter().filter(|&&id| id == tok.vocab().unk_id()).count();
+        assert_eq!(unk_count, 1);
+    }
+
+    #[test]
+    fn word_level_is_one_piece_per_word() {
+        let tok = Tokenizer::train_word_level(&corpus(), Normalizer::default(), 1);
+        let enc = tok.encode("Reduce energy consumption");
+        assert_eq!(enc.pieces.len(), enc.pretokens.len());
+        assert_eq!(enc.word_index, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn rare_words_fall_out_of_word_level_vocab() {
+        let tok = Tokenizer::train_word_level(&corpus(), Normalizer::default(), 2);
+        let enc = tok.encode("Restore water");
+        // "Restore" occurs once -> UNK; "water" occurs once -> UNK too.
+        assert!(enc.ids.iter().any(|&id| id == tok.vocab().unk_id()));
+    }
+
+    #[test]
+    fn pieces_of_word_selects_alignment() {
+        let tok = Tokenizer::train_bpe(&corpus(), Normalizer::default(), 30);
+        let enc = tok.encode("consumption");
+        let indices: Vec<usize> = enc.pieces_of_word(0).collect();
+        assert_eq!(indices.len(), enc.pieces.len());
+    }
+
+    #[test]
+    fn encoding_known_ids_are_not_unk() {
+        let tok = Tokenizer::train_bpe(&corpus(), Normalizer::default(), 200);
+        let enc = tok.encode("Reduce carbon emissions by 2040.");
+        let unk = tok.vocab().unk_id();
+        assert!(
+            enc.ids.iter().all(|&id| id != unk),
+            "training-corpus words must be encodable without UNK: {:?}",
+            enc.pieces
+        );
+    }
+
+    #[test]
+    fn serde_roundtrip_encodes_identically() {
+        let tok = Tokenizer::train_bpe(&corpus(), Normalizer::default(), 100);
+        let json = serde_json::to_string(&tok).expect("serialize");
+        let mut back: Tokenizer = serde_json::from_str(&json).expect("deserialize");
+        back.rebuild_index();
+        let a = tok.encode("Restore 100% of our global water use by 2025.");
+        let b = back.encode("Restore 100% of our global water use by 2025.");
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,204 @@
+//! WordPiece-style subword tokenization (BERT's scheme): greedy
+//! longest-match-first segmentation with `##` continuation pieces.
+//!
+//! The trainer here is a frequency-based approximation of the original
+//! likelihood-driven WordPiece learner: it scores every substring of the
+//! training words by `frequency * (length - 1)` and keeps the top pieces.
+//! That preserves the property the experiments depend on — frequent domain
+//! terms become single pieces, rare words decompose — without reproducing
+//! Google's exact training code.
+
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+
+/// Continuation prefix for non-initial pieces.
+pub const CONT: &str = "##";
+
+/// A trained WordPiece model.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct WordPiece {
+    /// Word-initial pieces (no `##`).
+    initial: HashSet<String>,
+    /// Continuation pieces (stored without the `##` prefix).
+    continuation: HashSet<String>,
+    /// Longest piece length, bounding the greedy search.
+    max_piece_len: usize,
+}
+
+impl WordPiece {
+    /// Learns a vocabulary of roughly `vocab_budget` pieces from
+    /// (word, count) pairs. All single characters seen in training are always
+    /// included so segmentation cannot fail on training data.
+    pub fn train<'a>(
+        word_counts: impl IntoIterator<Item = (&'a str, u64)>,
+        vocab_budget: usize,
+    ) -> Self {
+        let words: Vec<(String, u64)> = word_counts
+            .into_iter()
+            .filter(|(w, _)| !w.is_empty())
+            .map(|(w, c)| (w.to_string(), c))
+            .collect();
+
+        // Score substrings. Key: (is_initial, piece).
+        let mut scores: HashMap<(bool, String), u64> = HashMap::new();
+        let mut initial = HashSet::new();
+        let mut continuation = HashSet::new();
+        for (word, count) in &words {
+            let chars: Vec<char> = word.chars().collect();
+            // Guarantee coverage: every character seen in training is a
+            // valid piece in both positions, so any word over the training
+            // alphabet segments successfully.
+            for c in &chars {
+                initial.insert(c.to_string());
+                continuation.insert(c.to_string());
+            }
+            let max_len = chars.len().min(16);
+            for start in 0..chars.len() {
+                for len in 2..=max_len.min(chars.len() - start) {
+                    let piece: String = chars[start..start + len].iter().collect();
+                    let weight = *count * (len as u64 - 1);
+                    *scores.entry((start == 0, piece)).or_insert(0) += weight;
+                }
+            }
+        }
+
+        let mut ranked: Vec<((bool, String), u64)> = scores.into_iter().collect();
+        ranked.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0 .1.cmp(&b.0 .1)));
+        for ((is_initial, piece), _) in ranked.into_iter().take(vocab_budget) {
+            if is_initial {
+                initial.insert(piece);
+            } else {
+                continuation.insert(piece);
+            }
+        }
+
+        let max_piece_len = initial
+            .iter()
+            .chain(continuation.iter())
+            .map(|p| p.chars().count())
+            .max()
+            .unwrap_or(1);
+        WordPiece { initial, continuation, max_piece_len }
+    }
+
+    /// Segments a word greedily into pieces; non-initial pieces carry the
+    /// `##` prefix. Returns `None` when a character has no piece (only
+    /// possible for characters never seen in training).
+    pub fn encode_word(&self, word: &str) -> Option<Vec<String>> {
+        if word.is_empty() {
+            return Some(Vec::new());
+        }
+        let chars: Vec<char> = word.chars().collect();
+        let mut pieces = Vec::new();
+        let mut pos = 0;
+        while pos < chars.len() {
+            let table = if pos == 0 { &self.initial } else { &self.continuation };
+            let mut matched = None;
+            let longest = self.max_piece_len.min(chars.len() - pos);
+            for len in (1..=longest).rev() {
+                let cand: String = chars[pos..pos + len].iter().collect();
+                if table.contains(&cand) {
+                    matched = Some((cand, len));
+                    break;
+                }
+            }
+            let (piece, len) = matched?;
+            if pos == 0 {
+                pieces.push(piece);
+            } else {
+                pieces.push(format!("{CONT}{piece}"));
+            }
+            pos += len;
+        }
+        Some(pieces)
+    }
+
+    /// Approximate vocabulary size (initial + continuation pieces).
+    pub fn vocab_size(&self) -> usize {
+        self.initial.len() + self.continuation.len()
+    }
+
+    /// All pieces (with `##` prefixes on continuations), sorted, for building
+    /// a closed vocabulary.
+    pub fn pieces(&self) -> Vec<String> {
+        let mut all: Vec<String> = self
+            .initial
+            .iter()
+            .cloned()
+            .chain(self.continuation.iter().map(|p| format!("{CONT}{p}")))
+            .collect();
+        all.sort();
+        all
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corpus() -> Vec<(&'static str, u64)> {
+        vec![
+            ("emission", 20),
+            ("emissions", 15),
+            ("reduce", 25),
+            ("reduction", 10),
+            ("carbon", 30),
+            ("net", 12),
+            ("zero", 12),
+        ]
+    }
+
+    #[test]
+    fn frequent_words_become_single_pieces() {
+        let wp = WordPiece::train(corpus(), 200);
+        assert_eq!(wp.encode_word("carbon"), Some(vec!["carbon".to_string()]));
+    }
+
+    #[test]
+    fn continuation_pieces_are_marked() {
+        let wp = WordPiece::train(corpus(), 50);
+        let pieces = wp.encode_word("emissions").expect("encodable");
+        assert!(!pieces[0].starts_with(CONT));
+        for p in &pieces[1..] {
+            assert!(p.starts_with(CONT), "piece {p} missing ##");
+        }
+        let rebuilt: String = pieces
+            .iter()
+            .map(|p| p.trim_start_matches(CONT))
+            .collect();
+        assert_eq!(rebuilt, "emissions");
+    }
+
+    #[test]
+    fn unseen_characters_fail_gracefully() {
+        let wp = WordPiece::train(corpus(), 50);
+        assert_eq!(wp.encode_word("日本"), None);
+    }
+
+    #[test]
+    fn seen_characters_always_segment() {
+        let wp = WordPiece::train(corpus(), 10);
+        // "nozder" uses only characters present in training words.
+        assert!(wp.encode_word("nozder").is_some());
+    }
+
+    #[test]
+    fn empty_word_is_empty() {
+        let wp = WordPiece::train(corpus(), 10);
+        assert_eq!(wp.encode_word(""), Some(vec![]));
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let a = WordPiece::train(corpus(), 80);
+        let b = WordPiece::train(corpus(), 80);
+        assert_eq!(a.pieces(), b.pieces());
+    }
+
+    #[test]
+    fn budget_bounds_vocab_growth() {
+        let small = WordPiece::train(corpus(), 10);
+        let large = WordPiece::train(corpus(), 500);
+        assert!(small.vocab_size() < large.vocab_size());
+    }
+}

@@ -1,0 +1,114 @@
+//! A close look at the paper's core contribution: the weak supervision
+//! token-labeling algorithm (Algorithm 1) and its matching-policy
+//! extensions (§5.3 limitation, §7 future work).
+//!
+//! Run with: `cargo run --example weak_labeling`
+
+use goalspotter::core::{
+    weak_label, Annotations, MatchPolicy, OccurrencePolicy, WeakLabelConfig, WeakLabelStats,
+};
+use goalspotter::text::labels::LabelSet;
+
+fn show(title: &str, text: &str, ann: &Annotations, config: WeakLabelConfig, labels: &LabelSet) {
+    println!("\n--- {title}");
+    println!("objective:   {text}");
+    let pairs: Vec<String> = ann.present().map(|(k, v)| format!("{k}={v:?}")).collect();
+    println!("annotations: {}", pairs.join(", "));
+    let labeling = weak_label(text, ann, labels, config);
+    let tagged: Vec<String> = labeling
+        .rows(labels)
+        .into_iter()
+        .filter(|(_, tag)| tag != "O")
+        .map(|(tok, tag)| format!("{tok}/{tag}"))
+        .collect();
+    println!("labels:      {}", if tagged.is_empty() { "(none)".into() } else { tagged.join(" ") });
+    if !labeling.unmatched.is_empty() {
+        let names: Vec<&str> =
+            labeling.unmatched.iter().map(|&k| labels.kind_name(k)).collect();
+        println!("UNMATCHED:   {}", names.join(", "));
+    }
+}
+
+fn main() {
+    let labels = LabelSet::sustainability_goals();
+
+    // The paper's running example (Figure 3 -> Table 3).
+    let pledge = "We co-founded The Climate Pledge, a commitment to reach net-zero carbon by 2040.";
+    let pledge_ann = Annotations::new()
+        .with("Action", "reach")
+        .with("Amount", "net-zero")
+        .with("Qualifier", "carbon")
+        .with("Deadline", "2040");
+    show("exact matching (paper default)", pledge, &pledge_ann, WeakLabelConfig::default(), &labels);
+
+    // §5.3: exact matching misses lexical variants...
+    let variant_ann = Annotations::new().with("Action", "Reach"); // expert capitalized it
+    show(
+        "exact matching misses a case variant",
+        pledge,
+        &variant_ann,
+        WeakLabelConfig::default(),
+        &labels,
+    );
+    // ...which the Normalized policy recovers (§7 future work).
+    show(
+        "normalized matching recovers it",
+        pledge,
+        &variant_ann,
+        WeakLabelConfig { match_policy: MatchPolicy::Normalized, ..Default::default() },
+        &labels,
+    );
+    // Fuzzy matching tolerates small edits.
+    let typo_ann = Annotations::new().with("Qualifier", "carbonn");
+    show(
+        "fuzzy matching tolerates a typo",
+        pledge,
+        &typo_ann,
+        WeakLabelConfig { match_policy: MatchPolicy::Fuzzy { max_edits: 1 }, ..Default::default() },
+        &labels,
+    );
+
+    // Multi-occurrence values.
+    let repeat = "By 2025 we act, and by 2025 we report.";
+    let repeat_ann = Annotations::new().with("Deadline", "2025");
+    show(
+        "first occurrence only (Algorithm 1)",
+        repeat,
+        &repeat_ann,
+        WeakLabelConfig::default(),
+        &labels,
+    );
+    show(
+        "all occurrences",
+        repeat,
+        &repeat_ann,
+        WeakLabelConfig { occurrence: OccurrencePolicy::All, ..Default::default() },
+        &labels,
+    );
+
+    // Supervision-quality accounting over a whole dataset.
+    let dataset = goalspotter::data::sustaingoals::generate(500, 3);
+    let mut stats = WeakLabelStats::new(&labels);
+    for o in &dataset.objectives {
+        let ann = o.annotations.as_ref().expect("annotated");
+        let labeling = weak_label(&o.text, ann, &labels, WeakLabelConfig::default());
+        let kinds: Vec<usize> =
+            ann.present().filter_map(|(k, _)| labels.kind_index(k)).collect();
+        stats.record(&labeling, &kinds);
+    }
+    println!("\n--- weak-label quality over {} objectives (exact matching)", stats.objectives);
+    for (kind, ks) in stats.kinds.iter().enumerate() {
+        println!(
+            "  {:<10} annotated {:>4}  matched {:>4}  ({:.1}%)",
+            labels.kind_name(kind),
+            ks.annotated,
+            ks.matched,
+            ks.match_rate() * 100.0
+        );
+    }
+    println!(
+        "  overall match rate {:.1}%; {:.1}% of tokens are O",
+        stats.overall_match_rate() * 100.0,
+        stats.outside_fraction() * 100.0
+    );
+}

@@ -1,0 +1,31 @@
+//! # goalspotter
+//!
+//! A Rust reproduction of *"Automatic Detail Extraction from Sustainability
+//! Objectives Using Weak Supervision"* (Mahdavi & Debus, EDBT 2026).
+//!
+//! The umbrella crate re-exports every subsystem:
+//!
+//! - [`core`]: Algorithm 1 (weak supervision token labeling) and decoding.
+//! - [`text`]: normalization, tokenizers (BPE/WordPiece), IOB labels.
+//! - [`tensor`]: the autograd engine the transformers train on.
+//! - [`models`]: transformer encoders, CRF/HMM baselines, prompting
+//!   simulators, detection.
+//! - [`data`]: synthetic Sustainability Goals / NetZeroFacts / deployment
+//!   corpora.
+//! - [`eval`]: the paper's P/R/F1 protocol, timing, table rendering.
+//! - [`store`]: the structured objective database.
+//! - [`pipeline`]: the end-to-end GoalSpotter system.
+//!
+//! See `examples/quickstart.rs` for a five-minute tour and DESIGN.md for
+//! the experiment-by-experiment reproduction map.
+
+#![warn(missing_docs)]
+
+pub use gs_core as core;
+pub use gs_data as data;
+pub use gs_eval as eval;
+pub use gs_models as models;
+pub use gs_pipeline as pipeline;
+pub use gs_store as store;
+pub use gs_tensor as tensor;
+pub use gs_text as text;

@@ -1,0 +1,132 @@
+//! Cross-crate integration of the baselines with the evaluation protocol:
+//! every approach runs on the same synthetic datasets through the same
+//! driver, and the metric definitions behave per the paper.
+
+use goalspotter::core::{Objective, WeakLabelConfig};
+use goalspotter::eval::{run_stats, values_match, Counts};
+use goalspotter::models::{
+    canonical_examples, CrfConfig, CrfExtractor, DetailExtractor, FewShotExtractor, HmmConfig,
+    HmmExtractor, ZeroShotExtractor,
+};
+use goalspotter::pipeline::evaluate_extractor;
+use proptest::prelude::*;
+use std::time::Duration;
+
+#[test]
+fn all_baselines_run_on_both_datasets() {
+    for dataset in [
+        goalspotter::data::sustaingoals::generate(120, 3),
+        goalspotter::data::netzerofacts::generate(120, 3),
+    ] {
+        let (train, test) = dataset.split(0.2, 1);
+        let labels = &dataset.labels;
+
+        let crf = CrfExtractor::train(&train, labels, CrfConfig::default(), WeakLabelConfig::default());
+        let hmm = HmmExtractor::train(&train, labels, HmmConfig::default(), WeakLabelConfig::default());
+        let zero = ZeroShotExtractor::with_latency(labels, Duration::ZERO);
+        let examples: Vec<&Objective> = train.iter().copied().take(3).collect();
+        let few = FewShotExtractor::with_latency(labels, &examples, Duration::ZERO);
+
+        // The HMM may legitimately collapse to all-O on tiny, hard data; it
+        // only has to produce well-formed output.
+        let hmm_result = evaluate_extractor(&hmm, &test, labels);
+        assert!(hmm_result.precision() <= 1.0 && hmm_result.recall() <= 1.0);
+
+        let extractors: Vec<&dyn DetailExtractor> = vec![&crf, &zero, &few];
+        for ex in extractors {
+            let result = evaluate_extractor(ex, &test, labels);
+            assert!(
+                result.f1() > 0.05,
+                "{} scored implausibly low ({}) on {}",
+                ex.name(),
+                result.f1(),
+                dataset.name
+            );
+            assert!(result.precision() <= 1.0 && result.recall() <= 1.0);
+        }
+    }
+}
+
+#[test]
+fn crf_beats_hmm_on_the_extraction_task() {
+    // The CRF's discriminative features should dominate the generative HMM
+    // (why the paper's baseline is a CRF, not an HMM).
+    let dataset = goalspotter::data::sustaingoals::generate(400, 13);
+    let (train, test) = dataset.split(0.2, 2);
+    let crf = CrfExtractor::train(&train, &dataset.labels, CrfConfig::default(), WeakLabelConfig::default());
+    let hmm = HmmExtractor::train(&train, &dataset.labels, HmmConfig::default(), WeakLabelConfig::default());
+    let crf_f1 = evaluate_extractor(&crf, &test, &dataset.labels).f1();
+    let hmm_f1 = evaluate_extractor(&hmm, &test, &dataset.labels).f1();
+    assert!(crf_f1 > hmm_f1, "CRF {crf_f1} vs HMM {hmm_f1}");
+}
+
+#[test]
+fn few_shot_beats_zero_shot() {
+    // Paper Table 4: in-context examples help on both datasets.
+    let dataset = goalspotter::data::sustaingoals::generate(300, 17);
+    let (train, test) = dataset.split(0.2, 3);
+    let zero = ZeroShotExtractor::with_latency(&dataset.labels, Duration::ZERO);
+    let examples: Vec<&Objective> = train.iter().copied().take(3).collect();
+    let few = FewShotExtractor::with_latency(&dataset.labels, &examples, Duration::ZERO);
+    let zero_f1 = evaluate_extractor(&zero, &test, &dataset.labels).f1();
+    let few_f1 = evaluate_extractor(&few, &test, &dataset.labels).f1();
+    assert!(few_f1 > zero_f1, "few-shot {few_f1} vs zero-shot {zero_f1}");
+}
+
+#[test]
+fn prompting_simulators_charge_latency_through_the_driver() {
+    let dataset = goalspotter::data::sustaingoals::generate(30, 23);
+    let (_, test) = dataset.split(0.5, 1);
+    let zero = ZeroShotExtractor::with_latency(&dataset.labels, Duration::from_millis(100));
+    let result = evaluate_extractor(&zero, &test, &dataset.labels);
+    let expected = Duration::from_millis(100) * test.len() as u32;
+    assert!(result.inference_total >= expected);
+    assert!(result.inference_real < expected, "real time must exclude simulated latency");
+}
+
+#[test]
+fn canonical_examples_extract_perfectly_with_few_shot() {
+    // The few-shot simulator must at least handle the paper's own Table 1
+    // examples, which it saw in context.
+    let examples = canonical_examples();
+    let refs: Vec<&Objective> = examples.iter().collect();
+    let labels = goalspotter::text::labels::LabelSet::sustainability_goals();
+    let few = FewShotExtractor::with_latency(&labels, &refs, Duration::ZERO);
+    let result = evaluate_extractor(&few, &refs, &labels);
+    assert!(result.f1() >= 0.9, "f1 {} on in-context examples", result.f1());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// P/R/F1 are always within [0,1] and F1 is between min and max of P,R.
+    #[test]
+    fn prf_bounds(tp in 0usize..500, fp in 0usize..500, fn_ in 0usize..500) {
+        let c = Counts { tp, fp, fn_ };
+        let (p, r, f) = (c.precision(), c.recall(), c.f1());
+        prop_assert!((0.0..=1.0).contains(&p));
+        prop_assert!((0.0..=1.0).contains(&r));
+        prop_assert!((0.0..=1.0).contains(&f));
+        if p > 0.0 && r > 0.0 {
+            prop_assert!(f <= p.max(r) + 1e-12);
+            prop_assert!(f >= p.min(r) - 1e-12);
+        }
+    }
+
+    /// values_match is reflexive and symmetric.
+    #[test]
+    fn values_match_is_an_equivalence_on_inputs(a in "[a-zA-Z0-9 %-]{0,12}", b in "[a-zA-Z0-9 %-]{0,12}") {
+        prop_assert!(values_match(&a, &a));
+        prop_assert_eq!(values_match(&a, &b), values_match(&b, &a));
+    }
+
+    /// run_stats mean is within the observed range.
+    #[test]
+    fn run_stats_mean_in_range(values in proptest::collection::vec(0.0f64..1.0, 1..10)) {
+        let s = run_stats(&values);
+        let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(s.mean >= lo - 1e-12 && s.mean <= hi + 1e-12);
+        prop_assert!(s.stderr >= 0.0);
+    }
+}

@@ -1,0 +1,81 @@
+//! Property-based tests for the text substrate: tokenizers must be
+//! lossless where promised, offsets must always be valid, and the
+//! normalizer must be idempotent.
+
+use goalspotter::text::{pretokenize, Normalizer, NormalizerConfig, Tokenizer};
+use proptest::prelude::*;
+
+fn text_strategy() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[a-zA-Z0-9 .,%()-]{0,80}").expect("regex")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Pre-token offsets always slice back to the token text, tokens are
+    /// in order, and no token is empty.
+    #[test]
+    fn pretokenize_offsets_are_valid(text in text_strategy()) {
+        let tokens = pretokenize(&text);
+        let mut last_end = 0usize;
+        for t in &tokens {
+            prop_assert!(!t.text.is_empty());
+            prop_assert!(t.span.start >= last_end);
+            prop_assert_eq!(t.span.slice(&text), t.text.as_str());
+            last_end = t.span.end;
+        }
+    }
+
+    /// Normalization is idempotent.
+    #[test]
+    fn normalizer_is_idempotent(text in "\\PC{0,60}") {
+        let n = Normalizer::default();
+        let once = n.normalize(&text);
+        prop_assert_eq!(n.normalize(&once), once.clone());
+        let lower = Normalizer::new(NormalizerConfig { lowercase: true, ..Default::default() });
+        let lonce = lower.normalize(&text);
+        prop_assert_eq!(lower.normalize(&lonce), lonce);
+    }
+
+    /// BPE subword pieces always concatenate back to the source words
+    /// (modulo the end-of-word marker), even for unseen words.
+    #[test]
+    fn bpe_is_lossless(corpus_extra in text_strategy(), probe in "[a-zA-Z]{1,12}") {
+        let corpus = vec![
+            "Reduce energy consumption by 20% by 2025.",
+            "Reach net-zero carbon emissions by 2040.",
+            corpus_extra.as_str(),
+        ];
+        let tok = Tokenizer::train_bpe(&corpus, Normalizer::default(), 80);
+        let enc = tok.encode(&probe);
+        let rebuilt: String = enc
+            .pieces
+            .iter()
+            .map(|p| p.trim_end_matches("</w>"))
+            .collect();
+        let normalized = tok.normalizer().normalize(&probe);
+        let expected: String = pretokenize(&normalized).iter().map(|t| t.text.clone()).collect();
+        prop_assert_eq!(rebuilt, expected);
+    }
+
+    /// Every encoding keeps ids/pieces/word-index parallel and word indices
+    /// non-decreasing and in range.
+    #[test]
+    fn encodings_are_internally_consistent(text in text_strategy()) {
+        let corpus = vec!["Reduce energy consumption by 20% by 2025."];
+        let tok = Tokenizer::train_bpe(&corpus, Normalizer::default(), 50);
+        let enc = tok.encode(&text);
+        prop_assert_eq!(enc.ids.len(), enc.pieces.len());
+        prop_assert_eq!(enc.ids.len(), enc.word_index.len());
+        let mut prev = 0usize;
+        for &w in &enc.word_index {
+            prop_assert!(w < enc.pretokens.len());
+            prop_assert!(w >= prev);
+            prop_assert!(w <= prev + 1, "word indices may only step by one");
+            prev = w;
+        }
+        if !enc.pretokens.is_empty() && !enc.word_index.is_empty() {
+            prop_assert_eq!(*enc.word_index.last().expect("nonempty"), enc.pretokens.len() - 1);
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! Property-based tests for the weak supervision core: Algorithm 1's
+//! invariants, IOB span algebra, and the word/subword label projection.
+
+use goalspotter::core::{
+    collapse_to_words, levenshtein, project_to_subwords, weak_label_tokens, MatchPolicy,
+    OccurrencePolicy, WeakLabelConfig,
+};
+use goalspotter::text::labels::{decode_spans, encode_spans, repair_iob, LabelSet, Tag, TagSpan};
+use goalspotter::text::pretokenize;
+use proptest::prelude::*;
+
+fn labels() -> LabelSet {
+    LabelSet::sustainability_goals()
+}
+
+/// Arbitrary word-ish token text.
+fn word_strategy() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[a-zA-Z0-9]{1,8}").expect("regex")
+}
+
+/// A sentence of 1..20 words.
+fn sentence_strategy() -> impl Strategy<Value = Vec<String>> {
+    proptest::collection::vec(word_strategy(), 1..20)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Algorithm 1 always emits exactly one tag per token, and every value
+    /// window it locates carries a `B-` followed only by `I-` of the same
+    /// kind.
+    #[test]
+    fn weak_label_output_is_well_formed(words in sentence_strategy(), start in 0usize..15, len in 1usize..4) {
+        let text = words.join(" ");
+        let tokens = pretokenize(&text);
+        prop_assume!(!tokens.is_empty());
+        let start = start % tokens.len();
+        let end = (start + len).min(tokens.len());
+        let value: String = tokens[start..end]
+            .iter()
+            .map(|t| t.text.clone())
+            .collect::<Vec<_>>()
+            .join(" ");
+
+        let ls = labels();
+        let result = weak_label_tokens(
+            &tokens,
+            &[(0, value)],
+            &ls,
+            WeakLabelConfig::default(),
+        );
+        prop_assert_eq!(result.tags.len(), tokens.len());
+
+        // Well-formed IOB: I-k only ever follows B-k or I-k.
+        for i in 0..result.tags.len() {
+            if let Tag::I(k) = result.tags[i] {
+                prop_assert!(i > 0);
+                match result.tags[i - 1] {
+                    Tag::B(p) | Tag::I(p) => prop_assert_eq!(p, k),
+                    Tag::O => prop_assert!(false, "orphan I tag"),
+                }
+            }
+        }
+        // The value was constructed from the text, so exact matching must
+        // find it.
+        prop_assert!(result.unmatched.is_empty());
+    }
+
+    /// First-occurrence policy labels at most one span per annotation;
+    /// All-occurrences labels at least as many tokens.
+    #[test]
+    fn occurrence_policies_are_ordered(word in word_strategy(), reps in 1usize..5) {
+        let text = vec![word.clone(); reps].join(" and ");
+        let tokens = pretokenize(&text);
+        let ls = labels();
+        let first = weak_label_tokens(
+            &tokens,
+            &[(1, word.clone())],
+            &ls,
+            WeakLabelConfig { occurrence: OccurrencePolicy::First, ..Default::default() },
+        );
+        let all = weak_label_tokens(
+            &tokens,
+            &[(1, word.clone())],
+            &ls,
+            WeakLabelConfig { occurrence: OccurrencePolicy::All, ..Default::default() },
+        );
+        let count = |tags: &[Tag]| tags.iter().filter(|&&t| t != Tag::O).count();
+        prop_assert!(count(&first.tags) <= count(&all.tags));
+        prop_assert!(count(&first.tags) >= 1);
+    }
+
+    /// Fuzzy matching with budget 0 agrees with... exact matching on
+    /// case-identical inputs, and a larger budget never matches less.
+    #[test]
+    fn fuzzy_budget_is_monotone(words in sentence_strategy()) {
+        let text = words.join(" ");
+        let tokens = pretokenize(&text);
+        prop_assume!(!tokens.is_empty());
+        let value = tokens[0].text.clone();
+        let ls = labels();
+        let matched = |max_edits: usize| {
+            weak_label_tokens(
+                &tokens,
+                &[(2, value.clone())],
+                &ls,
+                WeakLabelConfig {
+                    match_policy: MatchPolicy::Fuzzy { max_edits },
+                    ..Default::default()
+                },
+            )
+            .unmatched
+            .is_empty()
+        };
+        if matched(0) {
+            prop_assert!(matched(2), "a larger budget lost a match");
+        }
+    }
+
+    /// Levenshtein is a metric: identity, symmetry, triangle inequality.
+    #[test]
+    fn levenshtein_is_a_metric(a in word_strategy(), b in word_strategy(), c in word_strategy()) {
+        prop_assert_eq!(levenshtein(&a, &a), 0);
+        prop_assert_eq!(levenshtein(&a, &b), levenshtein(&b, &a));
+        prop_assert!(levenshtein(&a, &c) <= levenshtein(&a, &b) + levenshtein(&b, &c));
+    }
+
+    /// encode_spans -> decode_spans is the identity on non-overlapping,
+    /// sorted span sets.
+    #[test]
+    fn span_roundtrip(len in 1usize..30, seed in 0u64..1000) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut spans: Vec<TagSpan> = Vec::new();
+        let mut pos = 0usize;
+        while pos + 1 < len && spans.len() < 4 {
+            let start = pos + rng.random_range(0..3);
+            if start >= len { break; }
+            let end = (start + 1 + rng.random_range(0..3)).min(len);
+            spans.push(TagSpan { kind: rng.random_range(0..5), start, end });
+            pos = end + 1; // gap so adjacent same-kind spans cannot merge
+        }
+        let tags = encode_spans(len, &spans);
+        prop_assert_eq!(decode_spans(&tags), spans);
+    }
+
+    /// repair_iob produces sequences that decode without orphan-I repair.
+    #[test]
+    fn repair_makes_sequences_valid(raw in proptest::collection::vec(0usize..11, 1..40)) {
+        let ls = labels();
+        let mut tags: Vec<Tag> = raw.iter().map(|&c| ls.tag_of(c)).collect();
+        repair_iob(&mut tags);
+        for i in 0..tags.len() {
+            if let Tag::I(k) = tags[i] {
+                prop_assert!(i > 0);
+                match tags[i - 1] {
+                    Tag::B(p) | Tag::I(p) => prop_assert_eq!(p, k),
+                    Tag::O => prop_assert!(false, "repair left an orphan I"),
+                }
+            }
+        }
+    }
+
+    /// Word -> subword projection and collapse are inverse for any
+    /// alignment in which each word has at least one subword.
+    #[test]
+    fn projection_roundtrip(word_classes in proptest::collection::vec(0usize..11, 1..25), fanout in proptest::collection::vec(1usize..4, 1..25)) {
+        let ls = labels();
+        let n = word_classes.len().min(fanout.len());
+        let mut word_tags: Vec<Tag> = word_classes[..n].iter().map(|&c| ls.tag_of(c)).collect();
+        repair_iob(&mut word_tags);
+        let mut word_index = Vec::new();
+        for (w, &f) in fanout[..n].iter().enumerate() {
+            for _ in 0..f {
+                word_index.push(w);
+            }
+        }
+        let sub = project_to_subwords(&word_tags, &word_index);
+        let back = collapse_to_words(&sub, &word_index, n);
+        prop_assert_eq!(back, word_tags);
+    }
+}
