@@ -55,16 +55,16 @@ fn bench_store(c: &mut Criterion) {
         b.iter(|| black_box(store.deadlines_between(black_box(2026), black_box(2032))))
     });
     c.bench_function("store/query_full_scan_contains", |b| {
-        b.iter(|| {
-            black_box(store.query(&Predicate::Contains("objective".into(), "energy".into())))
-        })
+        b.iter(|| black_box(store.query(&Predicate::Contains("objective".into(), "energy".into()))))
     });
     c.bench_function("store/query_compound", |b| {
         b.iter(|| {
-            black_box(store.query(
-                &Predicate::Eq("company".into(), Value::Text("C3".into()))
-                    .and(Predicate::NotNull("deadline_year".into())),
-            ))
+            black_box(
+                store.query(
+                    &Predicate::Eq("company".into(), Value::Text("C3".into()))
+                        .and(Predicate::NotNull("deadline_year".into())),
+                ),
+            )
         })
     });
     c.bench_function("store/top_objectives", |b| {

@@ -5,11 +5,7 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughpu
 use gs_text::{pretokenize, Normalizer, NormalizerConfig, Tokenizer};
 
 fn corpus() -> Vec<String> {
-    gs_data::sustaingoals::generate(300, 1)
-        .objectives
-        .into_iter()
-        .map(|o| o.text)
-        .collect()
+    gs_data::sustaingoals::generate(300, 1).objectives.into_iter().map(|o| o.text).collect()
 }
 
 fn bench_tokenize(c: &mut Criterion) {

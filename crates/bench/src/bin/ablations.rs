@@ -17,6 +17,7 @@ use gs_pipeline::evaluate_extractor;
 
 fn main() {
     let args = Args::from_env();
+    gs_bench::obs::init(&args);
     let quick = args.has("quick");
     let sg_size: usize =
         args.get_or("sg-size", if quick { 400 } else { gs_data::sustaingoals::PAPER_SIZE });
@@ -111,8 +112,7 @@ fn main() {
             &PretrainConfig { epochs: pretrain_epochs, ..Default::default() },
         );
         let mean_len: f64 = {
-            let total: usize =
-                train.iter().map(|o| base.tokenizer.encode(&o.text).len()).sum();
+            let total: usize = train.iter().map(|o| base.tokenizer.encode(&o.text).len()).sum();
             total as f64 / train.len() as f64
         };
         let ex = TransformerExtractor::train(
@@ -133,7 +133,9 @@ fn main() {
             fmt2(result.f1()),
             format!("{mean_len:.1}"),
         ]);
-        rows.push(serde_json::json!({"budget": budget, "f1": result.f1(), "mean_subwords": mean_len}));
+        rows.push(
+            serde_json::json!({"budget": budget, "f1": result.f1(), "mean_subwords": mean_len}),
+        );
     }
     print!("{}", table.render());
     json.insert("bpe_budget".into(), rows.into());
@@ -146,4 +148,6 @@ fn main() {
         .expect("write json");
         println!("\nwrote {path}");
     }
+
+    gs_bench::obs::finish(&args);
 }

@@ -12,6 +12,7 @@
 //!       [--sg-size N] [--pretrain-size N] [--pretrain-epochs N]
 
 use gs_bench::Args;
+use gs_core::Objective;
 use gs_data::Dataset;
 use gs_eval::{fmt2, fmt_duration, TextTable};
 use gs_models::transformer::{
@@ -19,7 +20,6 @@ use gs_models::transformer::{
     TransformerConfig, TransformerExtractor,
 };
 use gs_pipeline::evaluate_extractor;
-use gs_core::Objective;
 use std::sync::Arc;
 
 struct Harness {
@@ -48,11 +48,7 @@ impl Harness {
         let ex = TransformerExtractor::train(
             &train,
             &self.dataset.labels,
-            ExtractorOptions {
-                train: self.train.clone(),
-                base: Some(base),
-                ..Default::default()
-            },
+            ExtractorOptions { train: self.train.clone(), base: Some(base), ..Default::default() },
         );
         let result = evaluate_extractor(&ex, &test, &self.dataset.labels);
 
@@ -66,10 +62,7 @@ impl Harness {
                 .objectives
                 .iter()
                 .filter(|o| {
-                    o.annotations
-                        .as_ref()
-                        .and_then(|a| a.get(name))
-                        .is_some_and(|v| !v.is_empty())
+                    o.annotations.as_ref().and_then(|a| a.get(name)).is_some_and(|v| !v.is_empty())
                 })
                 .count() as f64
                 / self.dataset.len() as f64;
@@ -244,6 +237,7 @@ impl Harness {
 
 fn main() {
     let args = Args::from_env();
+    gs_bench::obs::init(&args);
     let quick = args.has("quick");
     let sg_size: usize =
         args.get_or("sg-size", if quick { 400 } else { gs_data::sustaingoals::PAPER_SIZE });
@@ -284,4 +278,6 @@ fn main() {
         .expect("write json");
         println!("\nwrote {path}");
     }
+
+    gs_bench::obs::finish(&args);
 }

@@ -1,0 +1,111 @@
+//! Observability micro-benchmark: exercises the instrumented hot paths on a
+//! small corpus and writes a machine-readable run summary built from the
+//! `gs-obs` metrics registry.
+//!
+//! Usage:
+//!   cargo run --release -p gs-bench --bin obsbench
+//!       [--size N] [--extracts N] [--epochs N] [--out PATH]
+//!       [--obs-jsonl PATH] [--no-obs-report]
+//!
+//! Writes `results/BENCH_obs.json` (override with `--out`) containing
+//! tokenization throughput, training steps/sec, and extraction-latency
+//! percentiles, all pulled from the registry rather than ad-hoc timers.
+
+use gs_bench::Args;
+use gs_core::Objective;
+use gs_models::transformer::{ExtractorOptions, TrainConfig, TransformerConfig};
+use gs_pipeline::{GoalSpotter, GoalSpotterConfig};
+use gs_text::{Normalizer, Tokenizer};
+use std::time::Instant;
+
+fn tiny_options(epochs: usize) -> GoalSpotterConfig {
+    GoalSpotterConfig {
+        extractor: ExtractorOptions {
+            model: TransformerConfig {
+                name: "obsbench-tiny".into(),
+                d_model: 32,
+                n_heads: 2,
+                n_layers: 1,
+                d_ff: 64,
+                max_len: 48,
+                subword_budget: 250,
+                ..TransformerConfig::roberta_sim()
+            },
+            train: TrainConfig { epochs, lr: 3e-3, batch_size: 8, ..Default::default() },
+            ..Default::default()
+        },
+        ..Default::default()
+    }
+}
+
+fn main() {
+    let args = Args::from_env();
+    gs_bench::obs::init(&args);
+    let size: usize = args.get_or("size", 64);
+    let extracts: usize = args.get_or("extracts", 200);
+    let epochs: usize = args.get_or("epochs", 10);
+    let out = args.get("out").unwrap_or("results/BENCH_obs.json").to_string();
+
+    let dataset = gs_data::sustaingoals::generate(size, 42);
+    let texts = dataset.texts();
+
+    // Phase 1: tokenization throughput over the corpus.
+    let tokenizer = Tokenizer::train_bpe(&texts, Normalizer::default(), 250);
+    let tok_start = Instant::now();
+    for text in &texts {
+        let _ = tokenizer.encode(text);
+    }
+    let tok_seconds = tok_start.elapsed().as_secs_f64();
+
+    // Phase 2: a small develop run (weak labeling + detector + extractor
+    // training) to exercise the training telemetry.
+    let objectives: Vec<&Objective> = dataset.objectives.iter().collect();
+    let noise: Vec<&str> = gs_data::banks::NOISE_BLOCKS.to_vec();
+    let train_start = Instant::now();
+    let system = GoalSpotter::develop(&objectives, &noise, &dataset.labels, tiny_options(epochs));
+    let train_seconds = train_start.elapsed().as_secs_f64();
+
+    // Phase 3: repeated extraction for the latency histogram.
+    for i in 0..extracts {
+        let text = texts[i % texts.len()];
+        let _ = system.extract(text);
+    }
+
+    let snapshot = gs_obs::snapshot().expect("collector installed");
+    let tokens = snapshot.counter("text.tokenize.pieces");
+    let steps = snapshot.counter("train.steps") + snapshot.counter("pretrain.steps");
+    let extract_hist = snapshot.histogram("span.pipeline.extract");
+    let summary = serde_json::json!({
+        "bench": "obsbench",
+        "corpus_size": size,
+        "tokenize": {
+            "tokens": tokens,
+            "seconds": tok_seconds,
+            "tokens_per_sec": tokens as f64 / tok_seconds.max(1e-9),
+        },
+        "train": {
+            "steps": steps,
+            "seconds": train_seconds,
+            "steps_per_sec": steps as f64 / train_seconds.max(1e-9),
+            "clip_events": snapshot.counter("train.clip_events"),
+        },
+        "extract_latency_seconds": extract_hist.map(|h| serde_json::json!({
+            "n": h.total,
+            "mean": h.mean(),
+            "p50": h.quantile(0.50),
+            "p95": h.quantile(0.95),
+            "p99": h.quantile(0.99),
+            "max": h.max,
+        })),
+        "weak_label_objectives": snapshot.counter("core.weak_label.objectives"),
+    });
+
+    if let Some(dir) = std::path::Path::new(&out).parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    std::fs::write(&out, serde_json::to_string_pretty(&summary).expect("json"))
+        .expect("write summary");
+    println!("wrote {out}");
+
+    gs_bench::obs::finish(&args);
+}

@@ -5,6 +5,7 @@
 //! Usage:
 //!   cargo run --release -p gs-bench --bin table4 [--quick] [--runs N]
 //!       [--epochs N] [--latency-ms MS] [--hmm] [--json PATH]
+//!       [--obs-jsonl PATH] [--no-obs] [--no-obs-report]
 //!
 //! `--quick` runs 1 seed with reduced epochs for a fast smoke pass; the
 //! full run uses 5 seeds (the paper's protocol).
@@ -22,16 +23,15 @@ fn per_field_diagnostics(dataset: &Dataset, options: &ComparisonOptions) {
     let (train, test) = dataset.split(options.test_fraction, options.seeds[0]);
     println!("\n--- per-field F1 on {} (seed {}) ---", dataset.name, options.seeds[0]);
     let mut table = TextTable::new(
-        &std::iter::once("Approach")
-            .chain(dataset.labels.kind_names())
-            .collect::<Vec<_>>(),
+        &std::iter::once("Approach").chain(dataset.labels.kind_names()).collect::<Vec<_>>(),
     );
     let mut add = |name: &str, eval: &gs_eval::FieldEval| {
         let mut row = vec![name.to_string()];
         row.extend(eval.per_field.iter().map(|c| fmt2(c.f1())));
         table.row(&row);
     };
-    let crf = CrfExtractor::train(&train, &dataset.labels, CrfConfig::default(), options.weak_label);
+    let crf =
+        CrfExtractor::train(&train, &dataset.labels, CrfConfig::default(), options.weak_label);
     add("CRF", &evaluate_extractor(&crf, &test, &dataset.labels).eval);
     let zs = ZeroShotExtractor::with_latency(&dataset.labels, Duration::ZERO);
     add("Zero-Shot", &evaluate_extractor(&zs, &test, &dataset.labels).eval);
@@ -96,6 +96,7 @@ fn to_json(dataset: &Dataset, rows: &[ApproachRow]) -> serde_json::Value {
 
 fn main() {
     let args = Args::from_env();
+    gs_bench::obs::init(&args);
     let quick = args.has("quick");
     let runs: usize = args.get_or("runs", if quick { 1 } else { 5 });
     let epochs: usize = args.get_or("epochs", if quick { 8 } else { 40 });
@@ -118,19 +119,15 @@ fn main() {
         seeds: (1..=runs as u64).collect(),
         train: TrainConfig { epochs, lr, ..Default::default() },
         llm_latency: Duration::from_millis(latency_ms),
-        pretrain: (!args.has("no-pretrain")).then(|| {
-            gs_models::transformer::PretrainConfig {
-                epochs: pretrain_epochs,
-                ..Default::default()
-            }
+        pretrain: (!args.has("no-pretrain")).then(|| gs_models::transformer::PretrainConfig {
+            epochs: pretrain_epochs,
+            ..Default::default()
         }),
         ..Default::default()
     };
 
     println!("Table 4 reproduction — approaches: {:?}", kinds);
-    println!(
-        "(LLM prompting latency simulated at {latency_ms} ms/call; see DESIGN.md)"
-    );
+    println!("(LLM prompting latency simulated at {latency_ms} ms/call; see DESIGN.md)");
 
     let datasets = vec![
         gs_data::netzerofacts::generate(nzf_size, 42),
@@ -162,4 +159,6 @@ fn main() {
             .expect("write json");
         println!("\nwrote {path}");
     }
+
+    gs_bench::obs::finish(&args);
 }

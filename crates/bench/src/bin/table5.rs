@@ -15,6 +15,7 @@ use std::path::Path;
 
 fn main() {
     let args = Args::from_env();
+    gs_bench::obs::init(&args);
     let quick = args.has("quick");
     let scale: f64 = args.get_or("scale", if quick { 0.05 } else { 1.0 });
     let budget = if quick { DeployBudget::quick() } else { DeployBudget::full() };
@@ -22,11 +23,7 @@ fn main() {
     let gs = build_goalspotter(&budget, Path::new("results"));
     eprintln!("generating deployment corpus at scale {scale}...");
     let corpus = gs_data::deployment::generate_corpus(scale, 20240511);
-    eprintln!(
-        "processing {} reports / {} pages...",
-        corpus.reports.len(),
-        corpus.num_pages()
-    );
+    eprintln!("processing {} reports / {} pages...", corpus.reports.len(), corpus.num_pages());
     let store = ObjectiveStore::new();
     let (stats, secs) = gs_eval::time_it(|| process_corpus(&gs, &corpus, &store));
 
@@ -43,10 +40,8 @@ fn main() {
     let mut total_obj = 0;
     let mut json_rows = Vec::new();
     for s in &stats {
-        let paper = gs_data::deployment::TABLE5
-            .iter()
-            .find(|p| p.name == s.company)
-            .expect("paper row");
+        let paper =
+            gs_data::deployment::TABLE5.iter().find(|p| p.name == s.company).expect("paper row");
         table.row(&[
             s.company.clone(),
             s.documents.to_string(),
@@ -76,15 +71,13 @@ fn main() {
         format!("{}/{}/{}", t.documents, t.pages, t.objectives),
     ]);
     print!("{}", table.render());
-    println!(
-        "\nprocessed in {:.1}s; store now holds {} structured records",
-        secs,
-        store.len()
-    );
+    println!("\nprocessed in {:.1}s; store now holds {} structured records", secs, store.len());
 
     if let Some(path) = args.get("json") {
         std::fs::write(path, serde_json::to_string_pretty(&json_rows).expect("json"))
             .expect("write json");
         println!("wrote {path}");
     }
+
+    gs_bench::obs::finish(&args);
 }

@@ -16,6 +16,7 @@ use std::path::Path;
 
 fn main() {
     let args = Args::from_env();
+    gs_bench::obs::init(&args);
     let quick = args.has("quick");
     // Table 6 only needs enough corpus for top-2 per company.
     let scale: f64 = args.get_or("scale", if quick { 0.05 } else { 0.2 });
@@ -26,7 +27,9 @@ fn main() {
     let store = ObjectiveStore::new();
     let _ = process_corpus(&gs, &corpus, &store);
 
-    println!("\n## Table 6 — extracted details for the top 2 objectives per company (scale {scale})\n");
+    println!(
+        "\n## Table 6 — extracted details for the top 2 objectives per company (scale {scale})\n"
+    );
     let mut table = TextTable::new(&[
         "Company",
         "Sustainability Objective",
@@ -59,4 +62,6 @@ fn main() {
             .expect("write json");
         println!("wrote {path}");
     }
+
+    gs_bench::obs::finish(&args);
 }

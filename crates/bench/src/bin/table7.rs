@@ -17,6 +17,7 @@ use std::path::Path;
 
 fn main() {
     let args = Args::from_env();
+    gs_bench::obs::init(&args);
     let quick = args.has("quick");
     let pages: usize = args.get_or("pages", 30);
     let objectives: usize = args.get_or("objectives", 12);
@@ -72,4 +73,6 @@ fn main() {
             .expect("write json");
         println!("wrote {path}");
     }
+
+    gs_bench::obs::finish(&args);
 }

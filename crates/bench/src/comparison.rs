@@ -2,18 +2,18 @@
 //! the engine behind the Table 4 harness.
 
 use gs_core::Objective;
+use gs_core::WeakLabelConfig;
 use gs_data::Dataset;
 use gs_eval::{run_stats, RunStats};
 use gs_models::transformer::{
     pretrain_encoder_shared, ExtractorOptions, PretrainConfig, PretrainedEncoder, TrainConfig,
     TransformerConfig, TransformerExtractor,
 };
-use std::sync::Arc;
 use gs_models::{
     CrfConfig, CrfExtractor, FewShotExtractor, HmmConfig, HmmExtractor, ZeroShotExtractor,
 };
-use gs_core::WeakLabelConfig;
 use gs_pipeline::evaluate_extractor;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Which approach to build.
@@ -37,7 +37,12 @@ pub enum ApproachKind {
 impl ApproachKind {
     /// The paper's Table 4 lineup, in row order.
     pub fn table4() -> Vec<ApproachKind> {
-        vec![ApproachKind::Crf, ApproachKind::ZeroShot, ApproachKind::FewShot, ApproachKind::GoalSpotter]
+        vec![
+            ApproachKind::Crf,
+            ApproachKind::ZeroShot,
+            ApproachKind::FewShot,
+            ApproachKind::GoalSpotter,
+        ]
     }
 }
 
@@ -174,8 +179,7 @@ pub fn compare_approaches(
                 !options.pretrain_corpus.is_empty(),
                 "pretraining requested but no unlabeled corpus supplied"
             );
-            let texts: Vec<&str> =
-                options.pretrain_corpus.iter().map(String::as_str).collect();
+            let texts: Vec<&str> = options.pretrain_corpus.iter().map(String::as_str).collect();
             let (encoder, secs) =
                 gs_eval::time_it(|| pretrain_encoder_shared(&texts, &options.model, pc));
             pretrain_seconds = secs;
@@ -259,11 +263,8 @@ mod tests {
             llm_latency: Duration::ZERO,
             ..Default::default()
         };
-        let rows = compare_approaches(
-            &dataset,
-            &[ApproachKind::ZeroShot, ApproachKind::Crf],
-            &options,
-        );
+        let rows =
+            compare_approaches(&dataset, &[ApproachKind::ZeroShot, ApproachKind::Crf], &options);
         assert_eq!(rows.len(), 2);
         for row in &rows {
             assert!(row.f1.mean >= 0.0 && row.f1.mean <= 1.0);

@@ -66,8 +66,7 @@ pub fn build_goalspotter(budget: &DeployBudget, cache_dir: &Path) -> GoalSpotter
         }
         None => {
             eprintln!("training extractor ({budget:?})...");
-            let corpus =
-                gs_data::unlabeled::sustaingoals_corpus(budget.pretrain_size, 777);
+            let corpus = gs_data::unlabeled::sustaingoals_corpus(budget.pretrain_size, 777);
             let texts: Vec<&str> = corpus.iter().map(String::as_str).collect();
             let base = pretrain_encoder_shared(
                 &texts,

@@ -10,6 +10,7 @@
 pub mod args;
 pub mod comparison;
 pub mod deploy;
+pub mod obs;
 
 pub use args::Args;
 pub use comparison::{compare_approaches, ApproachKind, ApproachRow, ComparisonOptions};

@@ -51,17 +51,12 @@ pub fn decode_details(
         let value = match policy {
             MultiSpanPolicy::First => span_text(text, tokens, kind_spans[0]),
             MultiSpanPolicy::Longest => {
-                let longest = kind_spans
-                    .iter()
-                    .max_by_key(|s| s.end - s.start)
-                    .expect("non-empty");
+                let longest = kind_spans.iter().max_by_key(|s| s.end - s.start).expect("non-empty");
                 span_text(text, tokens, longest)
             }
-            MultiSpanPolicy::JoinAll => kind_spans
-                .iter()
-                .map(|s| span_text(text, tokens, s))
-                .collect::<Vec<_>>()
-                .join("; "),
+            MultiSpanPolicy::JoinAll => {
+                kind_spans.iter().map(|s| span_text(text, tokens, s)).collect::<Vec<_>>().join("; ")
+            }
         };
         // Values with no alphanumeric content (a lone "%" or stray
         // punctuation from a boundary slip) carry no information.

@@ -30,7 +30,8 @@ fn is_targetish(token: &str) -> bool {
     let lower = token.to_lowercase();
     lower.chars().all(|c| c.is_ascii_digit())
         || lower == "%"
-        || ["lowering", "reducing", "cutting", "a", "increasing", "raising"].contains(&lower.as_str())
+        || ["lowering", "reducing", "cutting", "a", "increasing", "raising"]
+            .contains(&lower.as_str())
 }
 
 /// Splits an objective into candidate single-target segments.

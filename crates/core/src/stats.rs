@@ -107,8 +107,7 @@ mod tests {
 
         let ann = Annotations::new().with("Action", "Reduce").with("Deadline", "2030");
         let labeling = weak_label("Reduce waste by 2025", &ann, &ls, WeakLabelConfig::default());
-        let kinds: Vec<usize> =
-            ann.present().filter_map(|(k, _)| ls.kind_index(k)).collect();
+        let kinds: Vec<usize> = ann.present().filter_map(|(k, _)| ls.kind_index(k)).collect();
         stats.record(&labeling, &kinds);
 
         let action = ls.kind_index("Action").expect("kind");

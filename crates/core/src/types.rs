@@ -40,10 +40,7 @@ impl Annotations {
 
     /// Non-empty (key, value) pairs in deterministic key order.
     pub fn present(&self) -> impl Iterator<Item = (&str, &str)> {
-        self.fields
-            .iter()
-            .filter(|(_, v)| !v.is_empty())
-            .map(|(k, v)| (k.as_str(), v.as_str()))
+        self.fields.iter().filter(|(_, v)| !v.is_empty()).map(|(k, v)| (k.as_str(), v.as_str()))
     }
 
     /// All (key, value) pairs including empty values.

@@ -89,6 +89,7 @@ pub fn weak_label_tokens(
 ) -> WeakLabeling {
     let mut tags = vec![Tag::O; tokens.len()];
     let mut unmatched = Vec::new();
+    let telemetry = gs_obs::enabled();
 
     for (kind, value) in annotations {
         assert!(*kind < labels.num_kinds(), "kind {} out of label set", kind);
@@ -97,6 +98,10 @@ pub fn weak_label_tokens(
             continue;
         }
         let matches = find_matches(tokens, &value_tokens, config.match_policy);
+        if telemetry {
+            let outcome = if matches.is_empty() { "miss" } else { "match" };
+            gs_obs::counter(&format!("core.weak_label.{outcome}.{}", labels.kind_name(*kind)), 1);
+        }
         if matches.is_empty() {
             unmatched.push(*kind);
             continue;
@@ -111,6 +116,20 @@ pub fn weak_label_tokens(
                 *t = Tag::I(*kind);
             }
         }
+    }
+
+    if telemetry {
+        gs_obs::counter("core.weak_label.objectives", 1);
+        gs_obs::emit(
+            "weak_label",
+            "core.weak_label",
+            vec![
+                ("tokens", tokens.len().into()),
+                ("annotations", annotations.len().into()),
+                ("missed", unmatched.len().into()),
+                ("labeled", tags.iter().filter(|t| **t != Tag::O).count().into()),
+            ],
+        );
     }
 
     WeakLabeling { tokens: tokens.to_vec(), tags, unmatched }
@@ -221,7 +240,8 @@ mod tests {
         let text =
             "We co-founded The Climate Pledge, a commitment to reach net-zero carbon by 2040.";
         let ls = labels();
-        let result = weak_label(text, &climate_pledge_annotations(), &ls, WeakLabelConfig::default());
+        let result =
+            weak_label(text, &climate_pledge_annotations(), &ls, WeakLabelConfig::default());
         let rows = result.rows(&ls);
         let expected = [
             ("We", "O"),
@@ -343,7 +363,8 @@ mod tests {
         // "Qualifier" sorts after "Amount" in BTreeMap order; both cover
         // the token "zero" — the later write wins, as in Algorithm 1.
         let ann = Annotations::new().with("Amount", "zero waste").with("Qualifier", "waste");
-        let result = weak_label("Achieve zero waste by 2030", &ann, &ls, WeakLabelConfig::default());
+        let result =
+            weak_label("Achieve zero waste by 2030", &ann, &ls, WeakLabelConfig::default());
         let amount = ls.kind_index("Amount").expect("kind");
         let qualifier = ls.kind_index("Qualifier").expect("kind");
         assert_eq!(result.tags[1], Tag::B(amount));

@@ -151,13 +151,8 @@ pub const BASELINE_FRAMES: &[&str] = &[
 ];
 
 /// Deadline-year syntactic frames; `{}` is replaced by the year.
-pub const DEADLINE_FRAMES: &[&str] = &[
-    "by {}",
-    "by the end of {}",
-    "before {}",
-    "no later than {}",
-    "by FY{}",
-];
+pub const DEADLINE_FRAMES: &[&str] =
+    &["by {}", "by the end of {}", "before {}", "no later than {}", "by FY{}"];
 
 /// Objective sentence prefixes that add heterogeneous context.
 pub const PREFIXES: &[&str] = &[
@@ -237,11 +232,8 @@ pub const VERB_DISTRACTORS: &[&str] = &[
 /// Second-target clauses (paper §5.3: objectives with multiple targets in
 /// one sentence partially confuse extraction). `{q}` and `{m}` are replaced
 /// by a second qualifier and amount; only the FIRST target is annotated.
-pub const SECOND_TARGETS: &[&str] = &[
-    "and {q} by {m}",
-    "alongside a {m} cut in {q}",
-    "while lowering {q} by {m}",
-];
+pub const SECOND_TARGETS: &[&str] =
+    &["and {q} by {m}", "alongside a {m} cut in {q}", "while lowering {q} by {m}"];
 
 /// Second targets carrying their own (unannotated) deadline — "by {m} by
 /// {y}" windows locally identical to the primary target's.
@@ -254,23 +246,53 @@ pub const SECOND_TARGETS_DATED: &[&str] = &[
 /// Compositional qualifier modifiers (combined with heads and tails to
 /// create a large open vocabulary of qualifiers).
 pub const QUALIFIER_MODIFIERS: &[&str] = &[
-    "absolute", "relative", "total", "annual", "global", "regional", "operational",
-    "upstream", "downstream", "direct", "indirect", "net", "per-unit", "site-level",
+    "absolute",
+    "relative",
+    "total",
+    "annual",
+    "global",
+    "regional",
+    "operational",
+    "upstream",
+    "downstream",
+    "direct",
+    "indirect",
+    "net",
+    "per-unit",
+    "site-level",
 ];
 
 /// Compositional qualifier heads.
 pub const QUALIFIER_HEADS: &[&str] = &[
-    "energy consumption", "carbon emissions", "water withdrawal", "waste generation",
-    "packaging weight", "fleet mileage", "electricity demand", "methane leakage",
-    "material usage", "freight emissions", "plastic content", "chemical discharge",
-    "land disturbance", "fuel intensity", "heat demand", "refrigerant losses",
+    "energy consumption",
+    "carbon emissions",
+    "water withdrawal",
+    "waste generation",
+    "packaging weight",
+    "fleet mileage",
+    "electricity demand",
+    "methane leakage",
+    "material usage",
+    "freight emissions",
+    "plastic content",
+    "chemical discharge",
+    "land disturbance",
+    "fuel intensity",
+    "heat demand",
+    "refrigerant losses",
 ];
 
 /// Compositional qualifier prepositional tails.
 pub const QUALIFIER_TAILS: &[&str] = &[
-    "from manufacturing sites", "across distribution centers", "in company-owned stores",
-    "from our vehicle fleet", "within data operations", "from purchased goods",
-    "across office buildings", "in high-risk regions", "from packaging lines",
+    "from manufacturing sites",
+    "across distribution centers",
+    "in company-owned stores",
+    "from our vehicle fleet",
+    "within data operations",
+    "from purchased goods",
+    "across office buildings",
+    "in high-risk regions",
+    "from packaging lines",
     "within the supply base",
 ];
 
@@ -311,14 +333,24 @@ pub const NOISE_BLOCKS: &[&str] = &[
 
 /// Company-name fragments for synthetic company generation.
 pub const COMPANY_HEADS: &[&str] = &[
-    "Nordic", "Alpine", "Pacific", "Atlas", "Vertex", "Solstice", "Meridian", "Cascade",
-    "Aurora", "Granite", "Harbor", "Summit", "Orchid", "Falcon", "Juniper", "Beacon",
+    "Nordic", "Alpine", "Pacific", "Atlas", "Vertex", "Solstice", "Meridian", "Cascade", "Aurora",
+    "Granite", "Harbor", "Summit", "Orchid", "Falcon", "Juniper", "Beacon",
 ];
 
 /// Company-name suffixes.
 pub const COMPANY_TAILS: &[&str] = &[
-    "Industries", "Group", "Holdings", "Energy", "Foods", "Pharma", "Logistics",
-    "Materials", "Retail", "Technologies", "Chemicals", "Mobility",
+    "Industries",
+    "Group",
+    "Holdings",
+    "Energy",
+    "Foods",
+    "Pharma",
+    "Logistics",
+    "Materials",
+    "Retail",
+    "Technologies",
+    "Chemicals",
+    "Mobility",
 ];
 
 /// Emission-goal subjects for the NetZeroFacts-style dataset.

@@ -129,7 +129,12 @@ mod tests {
     fn small_scale_corpus_matches_profile_shape() {
         let corpus = generate_corpus(0.02, 7);
         assert_eq!(
-            corpus.reports.iter().map(|r| r.company.clone()).collect::<std::collections::HashSet<_>>().len(),
+            corpus
+                .reports
+                .iter()
+                .map(|r| r.company.clone())
+                .collect::<std::collections::HashSet<_>>()
+                .len(),
             14
         );
         assert!(corpus.num_objectives() >= 14, "every company contributes");

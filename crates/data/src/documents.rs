@@ -49,11 +49,7 @@ impl Report {
 
     /// Number of ground-truth objective blocks.
     pub fn num_objectives(&self) -> usize {
-        self.pages
-            .iter()
-            .flat_map(|p| &p.blocks)
-            .filter(|b| b.is_objective)
-            .count()
+        self.pages.iter().flat_map(|p| &p.blocks).filter(|b| b.is_objective).count()
     }
 
     /// Iterates over all blocks with their (page, block) position.
@@ -171,9 +167,7 @@ mod tests {
         };
         let a = gen(9);
         let b = gen(9);
-        let texts = |r: &Report| {
-            r.blocks().map(|(_, _, b)| b.text.clone()).collect::<Vec<_>>()
-        };
+        let texts = |r: &Report| r.blocks().map(|(_, _, b)| b.text.clone()).collect::<Vec<_>>();
         assert_eq!(texts(&a), texts(&b));
     }
 }

@@ -273,9 +273,7 @@ impl ObjectiveGrammar {
             let dp = deadline_phrase.clone().expect("deadline present");
             let fronted = if parts.is_empty() { capitalize(&dp) } else { dp };
             parts.push(format!("{fronted},"));
-        } else if rng.random_bool(c.p_prefix)
-            && !action.is_some_and(|a| a.starts_with("will "))
-        {
+        } else if rng.random_bool(c.p_prefix) && !action.is_some_and(|a| a.starts_with("will ")) {
             // Prefixes end in "to"/"we will"; skip them for "will ..."
             // action forms to avoid ungrammatical "to will reduce".
             let prefix = *banks::PREFIXES.choose(rng).expect("bank");
@@ -294,10 +292,7 @@ impl ObjectiveGrammar {
                 let y2 = rng.random_range(2024..=2055).to_string();
                 let frame = banks::SECOND_TARGETS_DATED.choose(rng).expect("bank");
                 parts.push(
-                    frame
-                        .replacen("{q}", &q2, 1)
-                        .replacen("{m}", &m2, 1)
-                        .replacen("{y}", &y2, 1),
+                    frame.replacen("{q}", &q2, 1).replacen("{m}", &m2, 1).replacen("{y}", &y2, 1),
                 );
             } else {
                 let frame = banks::SECOND_TARGETS.choose(rng).expect("bank");
@@ -469,10 +464,8 @@ mod tests {
     #[test]
     fn compositional_qualifiers_create_open_vocabulary() {
         let gens = generate_many(800, 17);
-        let qualifiers: std::collections::HashSet<String> = gens
-            .iter()
-            .filter_map(|g| g.truth.get("Qualifier").map(str::to_string))
-            .collect();
+        let qualifiers: std::collections::HashSet<String> =
+            gens.iter().filter_map(|g| g.truth.get("Qualifier").map(str::to_string)).collect();
         assert!(qualifiers.len() > 150, "only {} distinct qualifiers", qualifiers.len());
     }
 

@@ -79,17 +79,21 @@ fn generate_sentence(id: u64, rng: &mut StdRng) -> Objective {
     // Primary goal: percentage reduction or net-zero commitment.
     let (core, target_value): (String, String) = if rng.random_bool(0.65) {
         let value = format!("{}%", rng.random_range(5..=95));
-        let verb = ["reduce", "cut", "lower", "decrease", "we aim to reduce", "we will reduce",
-            "the Group intends to reduce"]
-            .choose(rng)
-            .expect("verbs");
-        let frame = [
-            "{V} {S} by {VAL} by {TY}",
-            "{V} {S} {VAL} by {TY}",
-            "by {TY}, {V} {S} by {VAL}",
+        let verb = [
+            "reduce",
+            "cut",
+            "lower",
+            "decrease",
+            "we aim to reduce",
+            "we will reduce",
+            "the Group intends to reduce",
         ]
         .choose(rng)
-        .expect("frames");
+        .expect("verbs");
+        let frame =
+            ["{V} {S} by {VAL} by {TY}", "{V} {S} {VAL} by {TY}", "by {TY}, {V} {S} by {VAL}"]
+                .choose(rng)
+                .expect("frames");
         let core = frame
             .replacen("{V}", verb, 1)
             .replacen("{S}", subject, 1)
@@ -109,10 +113,11 @@ fn generate_sentence(id: u64, rng: &mut StdRng) -> Objective {
         ]
         .choose(rng)
         .expect("frames");
-        let core = frame
-            .replacen("{VAL}", &value, 1)
-            .replacen("{S}", subject, 1)
-            .replacen("{TY}", &target_year.to_string(), 1);
+        let core = frame.replacen("{VAL}", &value, 1).replacen("{S}", subject, 1).replacen(
+            "{TY}",
+            &target_year.to_string(),
+            1,
+        );
         (core, value)
     };
     clauses.push(core);
@@ -148,11 +153,11 @@ fn generate_sentence(id: u64, rng: &mut StdRng) -> Objective {
         ]
         .choose(rng)
         .expect("frames");
-        clauses.push(
-            frame
-                .replacen("{P}", &interim_pct, 1)
-                .replacen("{Y}", &interim_year.to_string(), 1),
-        );
+        clauses.push(frame.replacen("{P}", &interim_pct, 1).replacen(
+            "{Y}",
+            &interim_year.to_string(),
+            1,
+        ));
     }
 
     // Trailing narrative distractor.

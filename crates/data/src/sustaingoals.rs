@@ -26,7 +26,11 @@ pub fn generate_with_config(n: usize, seed: u64, config: GrammarConfig) -> Datas
     let grammar = ObjectiveGrammar::new(config);
     let mut rng = StdRng::seed_from_u64(seed);
     let objectives = (0..n).map(|i| grammar.generate(i as u64, &mut rng).objective).collect();
-    Dataset { name: "Sustainability Goals".into(), labels: LabelSet::sustainability_goals(), objectives }
+    Dataset {
+        name: "Sustainability Goals".into(),
+        labels: LabelSet::sustainability_goals(),
+        objectives,
+    }
 }
 
 /// Generates the dataset at the paper's size.

@@ -56,10 +56,8 @@ mod tests {
     #[test]
     fn corpus_mixes_objectives_and_noise() {
         let corpus = sustaingoals_corpus(40, 2);
-        let noise: Vec<&String> = corpus
-            .iter()
-            .filter(|t| banks::NOISE_BLOCKS.contains(&t.as_str()))
-            .collect();
+        let noise: Vec<&String> =
+            corpus.iter().filter(|t| banks::NOISE_BLOCKS.contains(&t.as_str())).collect();
         assert!(!noise.is_empty());
         assert!(noise.len() < corpus.len());
     }

@@ -13,8 +13,8 @@ mod report;
 mod timing;
 
 pub use metrics::{
-    entity_counts, evaluate_extractions, run_stats, score_extraction, token_accuracy,
-    values_match, Counts, FieldEval, RunStats,
+    entity_counts, evaluate_extractions, run_stats, score_extraction, token_accuracy, values_match,
+    Counts, FieldEval, RunStats,
 };
 pub use report::{fmt2, fmt_duration, TextTable};
 pub use timing::{time_it, Stopwatch};

@@ -92,7 +92,11 @@ pub fn values_match(extracted: &str, gold: &str) -> bool {
 }
 
 /// Scores one objective's extraction against its gold annotations.
-pub fn score_extraction(gold: &Annotations, extracted: &ExtractedDetails, labels: &LabelSet) -> Vec<Counts> {
+pub fn score_extraction(
+    gold: &Annotations,
+    extracted: &ExtractedDetails,
+    labels: &LabelSet,
+) -> Vec<Counts> {
     let mut out = vec![Counts::default(); labels.num_kinds()];
     for (kind, counts) in out.iter_mut().enumerate() {
         let name = labels.kind_name(kind);
@@ -130,11 +134,7 @@ pub fn evaluate_extractions<'a>(
     for c in &per_field {
         micro.merge(c);
     }
-    FieldEval {
-        fields: labels.kind_names().map(str::to_string).collect(),
-        per_field,
-        micro,
-    }
+    FieldEval { fields: labels.kind_names().map(str::to_string).collect(), per_field, micro }
 }
 
 /// Token-level accuracy over tag sequences (diagnostic; dominated by `O`).

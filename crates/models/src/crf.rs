@@ -61,7 +61,8 @@ impl Crf {
         let num_labels = labels.num_classes();
         // Build the feature index from training data.
         let mut feature_ids: HashMap<String, usize> = HashMap::new();
-        let mut featurized: Vec<(Vec<Vec<usize>>, Vec<usize>)> = Vec::with_capacity(sentences.len());
+        let mut featurized: Vec<(Vec<Vec<usize>>, Vec<usize>)> =
+            Vec::with_capacity(sentences.len());
         for (tokens, tags) in sentences {
             assert_eq!(tokens.len(), tags.len(), "token/tag length mismatch");
             let feats = sentence_features(tokens, &config.features);
@@ -365,12 +366,8 @@ mod tests {
         // "by 2033" -> year; "in 2012" -> not a target year.
         let test = pretokenize("we act by 2033 not in 2012");
         let tags = crf.predict(&test, &labels);
-        let year_positions: Vec<usize> = tags
-            .iter()
-            .enumerate()
-            .filter(|(_, t)| **t != Tag::O)
-            .map(|(i, _)| i)
-            .collect();
+        let year_positions: Vec<usize> =
+            tags.iter().enumerate().filter(|(_, t)| **t != Tag::O).map(|(i, _)| i).collect();
         assert_eq!(year_positions, vec![3], "tags: {:?}", tags);
     }
 

@@ -93,9 +93,7 @@ pub fn is_numeric(word: &str) -> bool {
 pub fn sentence_features(tokens: &[PreToken], config: &FeatureConfig) -> Vec<Vec<String>> {
     let lowers: Vec<String> = tokens.iter().map(|t| t.text.to_lowercase()).collect();
     let shapes: Vec<String> = tokens.iter().map(|t| word_shape(&t.text)).collect();
-    (0..tokens.len())
-        .map(|i| token_features(tokens, &lowers, &shapes, i, config))
-        .collect()
+    (0..tokens.len()).map(|i| token_features(tokens, &lowers, &shapes, i, config)).collect()
 }
 
 fn token_features(

@@ -52,7 +52,8 @@ fn is_year(tok: &str) -> bool {
 }
 
 fn is_number(tok: &str) -> bool {
-    !tok.is_empty() && tok.chars().all(|c| c.is_ascii_digit() || c == '.' || c == ',')
+    !tok.is_empty()
+        && tok.chars().all(|c| c.is_ascii_digit() || c == '.' || c == ',')
         && tok.chars().any(|c| c.is_ascii_digit())
 }
 
@@ -63,13 +64,34 @@ const STOPWORDS: &[&str] = &[
 
 /// Boundary tokens that end a qualifier phrase.
 const QUALIFIER_STOPS: &[&str] = &[
-    "by", "in", "at", "for", "across", "against", "compared", "relative", "versus", "vs",
-    "before", "until", "no", "throughout", "(", ")", ".", ",", ";", "as", "following",
-    "consistent", "and",
+    "by",
+    "in",
+    "at",
+    "for",
+    "across",
+    "against",
+    "compared",
+    "relative",
+    "versus",
+    "vs",
+    "before",
+    "until",
+    "no",
+    "throughout",
+    "(",
+    ")",
+    ".",
+    ",",
+    ";",
+    "as",
+    "following",
+    "consistent",
+    "and",
 ];
 
 /// Cues that mark the year *after* them as a baseline/reference year.
-const BASELINE_PRE_CUES: &[&str] = &["baseline", "to", "against", "relative", "versus", "vs", "from"];
+const BASELINE_PRE_CUES: &[&str] =
+    &["baseline", "to", "against", "relative", "versus", "vs", "from"];
 /// Cues that mark the year *before* them as a baseline/reference year.
 const BASELINE_POST_CUES: &[&str] = &["baseline", "levels", "footprint"];
 /// Cues that mark the year after them as a deadline/target year.
@@ -77,11 +99,40 @@ const DEADLINE_CUES: &[&str] = &["by", "before", "until", "than", "fy"];
 
 /// Common sustainability action verbs an instruction-following model knows.
 const GENERIC_VERBS: &[&str] = &[
-    "reduce", "achieve", "reach", "restore", "eliminate", "increase", "cut", "expand",
-    "implement", "transition", "promote", "install", "substitute", "double", "decrease",
-    "lower", "improve", "divert", "recycle", "source", "procure", "offset", "integrate",
-    "align", "empower", "join", "define", "perform", "explore", "demonstrate", "share",
-    "make", "keep", "commit",
+    "reduce",
+    "achieve",
+    "reach",
+    "restore",
+    "eliminate",
+    "increase",
+    "cut",
+    "expand",
+    "implement",
+    "transition",
+    "promote",
+    "install",
+    "substitute",
+    "double",
+    "decrease",
+    "lower",
+    "improve",
+    "divert",
+    "recycle",
+    "source",
+    "procure",
+    "offset",
+    "integrate",
+    "align",
+    "empower",
+    "join",
+    "define",
+    "perform",
+    "explore",
+    "demonstrate",
+    "share",
+    "make",
+    "keep",
+    "commit",
 ];
 
 /// Shared extraction engine; the zero-/few-shot extractors differ only in
@@ -104,8 +155,17 @@ struct PromptEngine {
 }
 
 /// Sentence-initial subordinate markers ("Having reduced ... ,").
-const SUBORDINATE_STARTS: &[&str] =
-    &["having", "after", "with", "building", "following", "together", "moving", "replacing", "updating"];
+const SUBORDINATE_STARTS: &[&str] = &[
+    "having",
+    "after",
+    "with",
+    "building",
+    "following",
+    "together",
+    "moving",
+    "replacing",
+    "updating",
+];
 
 impl PromptEngine {
     fn extract(&self, text: &str) -> ExtractedDetails {
@@ -123,10 +183,7 @@ impl PromptEngine {
         if self.main_clause_aware {
             // Skip any chain of leading subordinate clauses, each ending at
             // a comma ("Having pledged ..., After trimming ..., <main>").
-            while lowers
-                .get(main_start)
-                .is_some_and(|l| SUBORDINATE_STARTS.contains(&l.as_str()))
-            {
+            while lowers.get(main_start).is_some_and(|l| SUBORDINATE_STARTS.contains(&l.as_str())) {
                 match lowers[main_start..].iter().position(|l| l == ",") {
                     Some(offset) => main_start += offset + 1,
                     None => {
@@ -210,11 +267,7 @@ impl PromptEngine {
         }
         if amount.is_none() && self.rich_amounts {
             for (i, low) in lowers.iter().enumerate() {
-                if is_number(low)
-                    && Some(i) != deadline
-                    && Some(i) != baseline
-                    && !is_year(low)
-                {
+                if is_number(low) && Some(i) != deadline && Some(i) != baseline && !is_year(low) {
                     let (end, last) = if lowers.get(i + 1).map(String::as_str) == Some("million")
                         || lowers.get(i + 1).map(String::as_str) == Some("percent")
                     {
@@ -266,13 +319,13 @@ impl PromptEngine {
 
         // --- Qualifier.
         let mut qualifier: Option<Span> = None;
-        let action_end_idx =
-            action.and_then(|a| tokens.iter().position(|t| t.span.end == a.end));
+        let action_end_idx = action.and_then(|a| tokens.iter().position(|t| t.span.end == a.end));
         // Order (ii), main-clause-aware only: "<action> <qualifier> by
         // <amount>" — the noun phrase sits between the action and the "by"
         // preceding the amount.
         if self.main_clause_aware {
-            if let (Some(action_idx), Some((amount_start, _))) = (action_end_idx, amount_token_range)
+            if let (Some(action_idx), Some((amount_start, _))) =
+                (action_end_idx, amount_token_range)
             {
                 if amount_start >= 2
                     && lowers[amount_start - 1] == "by"
@@ -299,8 +352,7 @@ impl PromptEngine {
         if let Some(anchor) = anchor {
             let mut i = anchor + 1;
             // Skip connective "of our" / "of the" / "our".
-            while i < lowers.len()
-                && ["of", "our", "the", "in", "to"].contains(&lowers[i].as_str())
+            while i < lowers.len() && ["of", "our", "the", "in", "to"].contains(&lowers[i].as_str())
             {
                 i += 1;
             }
@@ -358,8 +410,7 @@ impl ZeroShotExtractor {
     pub fn with_latency(labels: &LabelSet, latency: Duration) -> Self {
         // The zero-shot model only "knows" a small generic verb list and
         // uses loose phrase boundaries.
-        let verbs: HashSet<String> =
-            GENERIC_VERBS.iter().take(12).map(|v| v.to_string()).collect();
+        let verbs: HashSet<String> = GENERIC_VERBS.iter().take(12).map(|v| v.to_string()).collect();
         ZeroShotExtractor {
             engine: PromptEngine {
                 labels: labels.clone(),
@@ -524,7 +575,9 @@ mod tests {
     #[test]
     fn net_zero_amount_detected() {
         let f = few_shot();
-        let d = f.extract("We co-founded The Climate Pledge, a commitment to reach net-zero carbon by 2040.");
+        let d = f.extract(
+            "We co-founded The Climate Pledge, a commitment to reach net-zero carbon by 2040.",
+        );
         assert_eq!(d.get("Amount"), Some("net-zero"));
         assert_eq!(d.get("Deadline"), Some("2040"));
         assert_eq!(d.get("Action"), Some("reach"));

@@ -99,7 +99,13 @@ impl TransformerConfig {
     /// Validates internal consistency.
     pub fn validate(&self) {
         assert!(self.d_model > 0 && self.n_heads > 0 && self.n_layers > 0);
-        assert_eq!(self.d_model % self.n_heads, 0, "d_model {} not divisible by heads {}", self.d_model, self.n_heads);
+        assert_eq!(
+            self.d_model % self.n_heads,
+            0,
+            "d_model {} not divisible by heads {}",
+            self.d_model,
+            self.n_heads
+        );
         assert!(self.max_len >= 4, "max_len too small");
         assert!((0.0..1.0).contains(&self.dropout));
     }

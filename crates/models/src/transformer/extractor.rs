@@ -10,7 +10,6 @@ use super::config::{ModelFamily, TrainConfig, TransformerConfig};
 use super::model::TokenClassifier;
 use super::pretrain::PretrainedEncoder;
 use super::trainer::{train_token_classifier_cb, EpochStats, TrainExample};
-use std::sync::Arc;
 use crate::traits::DetailExtractor;
 use gs_core::{
     collapse_to_words, decode_details, project_to_subwords, weak_label_tokens, ExtractedDetails,
@@ -19,6 +18,7 @@ use gs_core::{
 use gs_text::labels::{repair_iob, LabelSet, Tag};
 use gs_text::{pretokenize, Normalizer, NormalizerConfig, PreToken, Tokenizer};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// End-to-end options for training a [`TransformerExtractor`].
 #[derive(Clone)]
@@ -124,11 +124,8 @@ impl TransformerExtractor {
             ),
         };
         let multi_span = options.multi_span;
-        let train_stats = train_token_classifier_cb(
-            &mut model,
-            &examples,
-            &options.train,
-            &mut |epoch, m| {
+        let train_stats =
+            train_token_classifier_cb(&mut model, &examples, &options.train, &mut |epoch, m| {
                 let view = ExtractorView {
                     tokenizer: &tokenizer,
                     case_normalizer: &case_normalizer,
@@ -137,8 +134,7 @@ impl TransformerExtractor {
                     multi_span,
                 };
                 on_epoch(epoch + 1, &view);
-            },
-        );
+            });
 
         TransformerExtractor {
             name: options.model.name.clone(),
@@ -398,7 +394,13 @@ mod tests {
                 dropout: 0.05,
                 subword_budget: 300,
             },
-            train: TrainConfig { epochs: 30, lr: 3e-3, batch_size: 8, seed: 1, ..Default::default() },
+            train: TrainConfig {
+                epochs: 30,
+                lr: 3e-3,
+                batch_size: 8,
+                seed: 1,
+                ..Default::default()
+            },
             weak_label: WeakLabelConfig::default(),
             multi_span: MultiSpanPolicy::First,
             base: None,

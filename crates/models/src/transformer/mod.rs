@@ -9,7 +9,5 @@ mod trainer;
 pub use config::{ModelFamily, TrainConfig, TransformerConfig};
 pub use extractor::{ExtractorOptions, ExtractorView, TransformerExtractor};
 pub use model::TokenClassifier;
-pub use pretrain::{
-    pretrain_encoder, pretrain_encoder_shared, PretrainConfig, PretrainedEncoder,
-};
+pub use pretrain::{pretrain_encoder, pretrain_encoder_shared, PretrainConfig, PretrainedEncoder};
 pub use trainer::{train_token_classifier, train_token_classifier_cb, EpochStats, TrainExample};

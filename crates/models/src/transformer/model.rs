@@ -26,7 +26,12 @@ pub struct TokenClassifier {
 impl TokenClassifier {
     /// Creates a randomly initialized model for `vocab_size` tokens and
     /// `num_classes` output classes.
-    pub fn new(config: TransformerConfig, vocab_size: usize, num_classes: usize, seed: u64) -> Self {
+    pub fn new(
+        config: TransformerConfig,
+        vocab_size: usize,
+        num_classes: usize,
+        seed: u64,
+    ) -> Self {
         config.validate();
         assert!(vocab_size > 0 && num_classes > 0);
         let mut rng = StdRng::seed_from_u64(seed);

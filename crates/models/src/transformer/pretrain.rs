@@ -100,28 +100,28 @@ pub fn pretrain_encoder(
         .collect();
     assert!(!sequences.is_empty(), "pretraining corpus encoded to nothing");
 
-    let mut model =
-        TokenClassifier::new(model_config.clone(), vocab_size, vocab_size, config.seed);
+    let mut model = TokenClassifier::new(model_config.clone(), vocab_size, vocab_size, config.seed);
     let mut opt = Optimizer::adam(config.lr);
     let steps_per_epoch = sequences.len().div_ceil(config.batch_size.max(1));
     let total_steps = (steps_per_epoch * config.epochs) as u64;
-    let schedule = WarmupLinearSchedule {
-        base_lr: config.lr,
-        warmup_steps: total_steps / 10,
-        total_steps,
-    };
+    let schedule =
+        WarmupLinearSchedule { base_lr: config.lr, warmup_steps: total_steps / 10, total_steps };
     let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(17));
     let mut dropout_rng = StdRng::seed_from_u64(config.seed.wrapping_add(23));
 
+    let mut run_span = gs_obs::span("train.pretrain");
+    run_span.add("sequences", sequences.len() as u64);
     let mut order: Vec<usize> = (0..sequences.len()).collect();
     let mut epoch_losses = Vec::with_capacity(config.epochs);
     let mut step = 0u64;
-    for _epoch in 0..config.epochs {
+    for epoch in 0..config.epochs {
         order.shuffle(&mut rng);
+        let epoch_start = gs_obs::enabled().then(std::time::Instant::now);
         let mut epoch_loss = 0.0f64;
         let mut counted = 0usize;
         for batch in order.chunks(config.batch_size.max(1)) {
             let mut batch_used = 0usize;
+            let mut batch_loss = 0.0f64;
             for &si in batch {
                 let ids = &sequences[si];
                 // Fresh mask each epoch (standard dynamic masking).
@@ -149,20 +149,59 @@ pub fn pretrain_encoder(
                 let mut binder = Binder::new(&tape);
                 let logits = model.forward(&tape, &mut binder, &masked, Some(&mut dropout_rng));
                 let loss = tape.cross_entropy(logits, &targets);
-                epoch_loss += f64::from(tape.value(loss).item());
+                batch_loss += f64::from(tape.value(loss).item());
                 counted += 1;
                 let mut grads = tape.backward(loss);
                 binder.accumulate(&mut grads, model.store_mut());
             }
+            epoch_loss += batch_loss;
             if batch_used > 0 {
-                model.store_mut().clip_grad_norm(batch_used as f32);
-                opt.set_lr(schedule.lr_at(step));
+                let max_norm = batch_used as f32;
+                let grad_norm = model.store_mut().clip_grad_norm(max_norm);
+                let lr = schedule.lr_at(step);
+                opt.set_lr(lr);
                 opt.step(model.store_mut());
+                if gs_obs::enabled() {
+                    let clipped = grad_norm > max_norm;
+                    gs_obs::counter("pretrain.steps", 1);
+                    gs_obs::counter("pretrain.sequences", batch_used as u64);
+                    if clipped {
+                        gs_obs::counter("pretrain.clip_events", 1);
+                    }
+                    gs_obs::emit(
+                        "train_step",
+                        "pretrain",
+                        vec![
+                            ("step", (step + 1).into()),
+                            ("epoch", epoch.into()),
+                            ("loss", (batch_loss / batch_used as f64).into()),
+                            ("lr", lr.into()),
+                            ("grad_norm", grad_norm.into()),
+                            ("clipped", clipped.into()),
+                            ("sequences", batch_used.into()),
+                        ],
+                    );
+                }
             }
             step += 1;
         }
-        epoch_losses.push((epoch_loss / counted.max(1) as f64) as f32);
+        let mean_loss = (epoch_loss / counted.max(1) as f64) as f32;
+        epoch_losses.push(mean_loss);
+        if let Some(start) = epoch_start {
+            let seconds = start.elapsed().as_secs_f64();
+            gs_obs::observe("pretrain.epoch_seconds", seconds);
+            gs_obs::emit(
+                "train_epoch",
+                "pretrain",
+                vec![
+                    ("epoch", epoch.into()),
+                    ("mean_loss", mean_loss.into()),
+                    ("seconds", seconds.into()),
+                ],
+            );
+        }
     }
+    drop(run_span);
 
     PretrainedEncoder { tokenizer, model, epoch_losses }
 }

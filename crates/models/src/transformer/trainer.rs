@@ -64,31 +64,75 @@ pub fn train_token_classifier_cb(
     let mut shuffle_rng = StdRng::seed_from_u64(config.seed.wrapping_add(1));
     let mut dropout_rng = StdRng::seed_from_u64(config.seed.wrapping_add(2));
 
+    let mut run_span = gs_obs::span("train.finetune");
+    run_span.add("examples", examples.len() as u64);
     let mut stats = Vec::with_capacity(config.epochs);
     let mut order: Vec<usize> = (0..examples.len()).collect();
     let mut step: u64 = 0;
     for epoch in 0..config.epochs {
         order.shuffle(&mut shuffle_rng);
+        let epoch_start = gs_obs::enabled().then(std::time::Instant::now);
         let mut epoch_loss = 0.0f64;
         for batch in order.chunks(config.batch_size.max(1)) {
+            let mut batch_loss = 0.0f64;
             for &i in batch {
                 let ex = &examples[i];
                 let tape = Tape::new();
                 let mut binder = Binder::new(&tape);
                 let logits = model.forward(&tape, &mut binder, &ex.ids, Some(&mut dropout_rng));
                 let loss = tape.cross_entropy(logits, &ex.targets);
-                epoch_loss += f64::from(tape.value(loss).item());
+                batch_loss += f64::from(tape.value(loss).item());
                 let mut grads = tape.backward(loss);
                 binder.accumulate(&mut grads, model.store_mut());
             }
-            model.store_mut().clip_grad_norm(config.clip_norm * batch.len() as f32);
-            opt.set_lr(schedule.lr_at(step));
+            epoch_loss += batch_loss;
+            let max_norm = config.clip_norm * batch.len() as f32;
+            let grad_norm = model.store_mut().clip_grad_norm(max_norm);
+            let lr = schedule.lr_at(step);
+            opt.set_lr(lr);
             opt.step(model.store_mut());
             step += 1;
+            if gs_obs::enabled() {
+                let clipped = grad_norm > max_norm;
+                gs_obs::counter("train.steps", 1);
+                gs_obs::counter("train.sequences", batch.len() as u64);
+                if clipped {
+                    gs_obs::counter("train.clip_events", 1);
+                }
+                gs_obs::emit(
+                    "train_step",
+                    "finetune",
+                    vec![
+                        ("step", step.into()),
+                        ("epoch", epoch.into()),
+                        ("loss", (batch_loss / batch.len() as f64).into()),
+                        ("lr", lr.into()),
+                        ("grad_norm", grad_norm.into()),
+                        ("clipped", clipped.into()),
+                        ("sequences", batch.len().into()),
+                    ],
+                );
+            }
         }
-        stats.push(EpochStats { epoch, mean_loss: (epoch_loss / examples.len() as f64) as f32 });
+        let mean_loss = (epoch_loss / examples.len() as f64) as f32;
+        stats.push(EpochStats { epoch, mean_loss });
+        if let Some(start) = epoch_start {
+            let seconds = start.elapsed().as_secs_f64();
+            gs_obs::observe("train.epoch_seconds", seconds);
+            gs_obs::emit(
+                "train_epoch",
+                "finetune",
+                vec![
+                    ("epoch", epoch.into()),
+                    ("mean_loss", mean_loss.into()),
+                    ("seconds", seconds.into()),
+                    ("sequences_per_sec", (examples.len() as f64 / seconds.max(1e-9)).into()),
+                ],
+            );
+        }
         on_epoch(epoch, model);
     }
+    drop(run_span);
     stats
 }
 
@@ -149,12 +193,7 @@ mod tests {
         // Evaluate on a fresh sequence.
         let ids = vec![2usize, 3, 4, 5, 6, 7];
         let classes = model.predict_classes(&ids);
-        let correct = ids
-            .iter()
-            .zip(&classes)
-            .skip(1)
-            .filter(|(&id, &c)| c == 1 + id % 2)
-            .count();
+        let correct = ids.iter().zip(&classes).skip(1).filter(|(&id, &c)| c == 1 + id % 2).count();
         assert!(correct >= 4, "classes {:?}", classes);
     }
 

@@ -1,0 +1,220 @@
+//! Telemetry events: the unit of data handed to [`crate::Sink`]s.
+//!
+//! Every event serializes to one line of JSON (JSONL). The reserved keys
+//! `kind`, `name`, and `at_us` identify the event; all other keys come from
+//! the event's fields. The writer is hand-rolled (gs-obs is dependency-free)
+//! but emits strict JSON — consumers parse it with `serde_json`.
+
+use std::fmt::Write as _;
+
+/// A typed field value attached to an [`Event`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum FieldValue {
+    /// A floating-point measurement (loss, learning rate, seconds, ...).
+    F64(f64),
+    /// An unsigned count (steps, tokens, rows, ...).
+    U64(u64),
+    /// A signed integer.
+    I64(i64),
+    /// A boolean flag (e.g. whether a gradient step was clipped).
+    Bool(bool),
+    /// A short string label.
+    Str(String),
+}
+
+impl FieldValue {
+    /// The value as `f64`, when numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            FieldValue::F64(v) => Some(*v),
+            FieldValue::U64(v) => Some(*v as f64),
+            FieldValue::I64(v) => Some(*v as f64),
+            FieldValue::Bool(_) | FieldValue::Str(_) => None,
+        }
+    }
+}
+
+impl From<f64> for FieldValue {
+    fn from(v: f64) -> Self {
+        FieldValue::F64(v)
+    }
+}
+
+impl From<f32> for FieldValue {
+    fn from(v: f32) -> Self {
+        FieldValue::F64(f64::from(v))
+    }
+}
+
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> Self {
+        FieldValue::U64(v)
+    }
+}
+
+impl From<usize> for FieldValue {
+    fn from(v: usize) -> Self {
+        FieldValue::U64(v as u64)
+    }
+}
+
+impl From<i64> for FieldValue {
+    fn from(v: i64) -> Self {
+        FieldValue::I64(v)
+    }
+}
+
+impl From<bool> for FieldValue {
+    fn from(v: bool) -> Self {
+        FieldValue::Bool(v)
+    }
+}
+
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> Self {
+        FieldValue::Str(v.to_string())
+    }
+}
+
+impl From<String> for FieldValue {
+    fn from(v: String) -> Self {
+        FieldValue::Str(v)
+    }
+}
+
+/// One telemetry event.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Event {
+    /// Event category: `"span"`, `"tokenize"`, `"train_step"`, ...
+    pub kind: String,
+    /// What the event is about — a span path or an instrumentation-site
+    /// name like `"core.weak_label"`.
+    pub name: String,
+    /// Microseconds since the collector was created.
+    pub at_us: u64,
+    /// Event payload, in insertion order.
+    pub fields: Vec<(String, FieldValue)>,
+}
+
+impl Event {
+    /// Builds an event (timestamp filled in by the collector).
+    pub fn new(kind: &str, name: &str, at_us: u64) -> Self {
+        Event { kind: kind.to_string(), name: name.to_string(), at_us, fields: Vec::new() }
+    }
+
+    /// Adds a field (builder style).
+    pub fn with(mut self, key: &str, value: impl Into<FieldValue>) -> Self {
+        self.fields.push((key.to_string(), value.into()));
+        self
+    }
+
+    /// Looks up a field by key.
+    pub fn field(&self, key: &str) -> Option<&FieldValue> {
+        self.fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Serializes the event as one line of strict JSON (no trailing
+    /// newline). Non-finite floats become `null`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(64 + 24 * self.fields.len());
+        out.push_str("{\"kind\":");
+        json_string(&mut out, &self.kind);
+        out.push_str(",\"name\":");
+        json_string(&mut out, &self.name);
+        let _ = write!(out, ",\"at_us\":{}", self.at_us);
+        for (key, value) in &self.fields {
+            out.push(',');
+            json_string(&mut out, key);
+            out.push(':');
+            match value {
+                FieldValue::F64(v) => json_f64(&mut out, *v),
+                FieldValue::U64(v) => {
+                    let _ = write!(out, "{v}");
+                }
+                FieldValue::I64(v) => {
+                    let _ = write!(out, "{v}");
+                }
+                FieldValue::Bool(v) => out.push_str(if *v { "true" } else { "false" }),
+                FieldValue::Str(s) => json_string(&mut out, s),
+            }
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// Appends a JSON string literal with escaping.
+fn json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Appends an f64 as a JSON number (`null` when non-finite).
+fn json_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        // Rust's shortest-roundtrip Display for floats is valid JSON.
+        let _ = write!(out, "{v}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_has_reserved_keys_and_fields() {
+        let e = Event::new("train_step", "finetune", 1234)
+            .with("loss", 0.5f64)
+            .with("step", 7usize)
+            .with("clipped", true)
+            .with("phase", "warmup");
+        let json = e.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"kind\":\"train_step\""));
+        assert!(json.contains("\"name\":\"finetune\""));
+        assert!(json.contains("\"at_us\":1234"));
+        assert!(json.contains("\"loss\":0.5"));
+        assert!(json.contains("\"step\":7"));
+        assert!(json.contains("\"clipped\":true"));
+        assert!(json.contains("\"phase\":\"warmup\""));
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let e = Event::new("x", "a\"b\\c\nd", 0).with("s", "tab\there");
+        let json = e.to_json();
+        assert!(json.contains("a\\\"b\\\\c\\nd"));
+        assert!(json.contains("tab\\there"));
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let e = Event::new("x", "y", 0).with("bad", f64::NAN).with("inf", f64::INFINITY);
+        let json = e.to_json();
+        assert!(json.contains("\"bad\":null"));
+        assert!(json.contains("\"inf\":null"));
+    }
+
+    #[test]
+    fn field_lookup_and_as_f64() {
+        let e = Event::new("x", "y", 0).with("n", 3usize).with("s", "str");
+        assert_eq!(e.field("n").and_then(FieldValue::as_f64), Some(3.0));
+        assert_eq!(e.field("s").and_then(FieldValue::as_f64), None);
+        assert!(e.field("missing").is_none());
+    }
+}

@@ -1,0 +1,457 @@
+//! The metrics registry: lock-free counters and gauges, fixed-bucket
+//! histograms with percentile summaries, and mergeable snapshots.
+//!
+//! All hot-path operations are a single atomic RMW (plus one read-locked
+//! hash lookup to resolve a name to its handle); snapshotting and merging
+//! are cold-path operations for reports and cross-run aggregation.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Adds `n` to the counter.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-value-wins gauge.
+#[derive(Debug)]
+pub struct Gauge {
+    bits: AtomicU64,
+}
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Gauge { bits: AtomicU64::new(0f64.to_bits()) }
+    }
+}
+
+impl Gauge {
+    /// Sets the gauge.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// Atomically applies `op` to an f64 stored as bits in `cell`.
+fn atomic_f64_update(cell: &AtomicU64, op: impl Fn(f64) -> f64) {
+    let mut current = cell.load(Ordering::Relaxed);
+    loop {
+        let next = op(f64::from_bits(current)).to_bits();
+        match cell.compare_exchange_weak(current, next, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(actual) => current = actual,
+        }
+    }
+}
+
+/// A fixed-bucket histogram: bucket `i` counts samples `v <= bounds[i]`
+/// (with `bounds` ascending); one overflow bucket counts the rest. Also
+/// tracks exact count, sum, min, and max.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    counts: Vec<AtomicU64>,
+    total: AtomicU64,
+    sum_bits: AtomicU64,
+    min_bits: AtomicU64,
+    max_bits: AtomicU64,
+}
+
+impl Histogram {
+    /// Creates a histogram with the given ascending, finite upper bounds.
+    ///
+    /// # Panics
+    /// Panics if `bounds` is empty, unsorted, or contains non-finite values.
+    pub fn new(bounds: Vec<f64>) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bucket bound");
+        assert!(bounds.iter().all(|b| b.is_finite()), "bounds must be finite");
+        assert!(bounds.windows(2).all(|w| w[0] < w[1]), "bounds must be strictly ascending");
+        let counts = (0..bounds.len() + 1).map(|_| AtomicU64::new(0)).collect();
+        Histogram {
+            bounds,
+            counts,
+            total: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+            min_bits: AtomicU64::new(f64::INFINITY.to_bits()),
+            max_bits: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
+        }
+    }
+
+    /// Exponential bounds: `start, start*factor, ...` (`count` bounds).
+    pub fn exponential(start: f64, factor: f64, count: usize) -> Self {
+        assert!(start > 0.0 && factor > 1.0 && count > 0);
+        let mut bounds = Vec::with_capacity(count);
+        let mut b = start;
+        for _ in 0..count {
+            bounds.push(b);
+            b *= factor;
+        }
+        Self::new(bounds)
+    }
+
+    /// The default duration histogram: 1 µs to ~134 s in powers of two.
+    /// Samples are in **seconds**.
+    pub fn default_durations() -> Self {
+        Self::exponential(1e-6, 2.0, 28)
+    }
+
+    /// Records one sample.
+    pub fn record(&self, v: f64) {
+        if !v.is_finite() {
+            return;
+        }
+        let idx = self.bounds.partition_point(|b| *b < v);
+        self.counts[idx].fetch_add(1, Ordering::Relaxed);
+        self.total.fetch_add(1, Ordering::Relaxed);
+        atomic_f64_update(&self.sum_bits, |s| s + v);
+        atomic_f64_update(&self.min_bits, |m| m.min(v));
+        atomic_f64_update(&self.max_bits, |m| m.max(v));
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.total.load(Ordering::Relaxed)
+    }
+
+    /// A consistent-enough point-in-time copy (individual atomics are read
+    /// independently; concurrent writers may skew totals by a few samples).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            bounds: self.bounds.clone(),
+            counts: self.counts.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
+            total: self.total.load(Ordering::Relaxed),
+            sum: f64::from_bits(self.sum_bits.load(Ordering::Relaxed)),
+            min: f64::from_bits(self.min_bits.load(Ordering::Relaxed)),
+            max: f64::from_bits(self.max_bits.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// Plain-data copy of a [`Histogram`], supporting quantile estimation and
+/// merging (e.g. aggregating per-shard histograms into a run total).
+#[derive(Clone, Debug, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Ascending finite bucket upper bounds.
+    pub bounds: Vec<f64>,
+    /// Per-bucket sample counts; `counts[bounds.len()]` is the overflow
+    /// bucket.
+    pub counts: Vec<u64>,
+    /// Total recorded samples.
+    pub total: u64,
+    /// Sum of all samples.
+    pub sum: f64,
+    /// Smallest sample (`+inf` when empty).
+    pub min: f64,
+    /// Largest sample (`-inf` when empty).
+    pub max: f64,
+}
+
+impl HistogramSnapshot {
+    /// Mean sample value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum / self.total as f64
+        }
+    }
+
+    /// Estimates the `q`-quantile (`q` in `[0, 1]`) from bucket counts:
+    /// the upper bound of the bucket containing the rank, clamped to the
+    /// observed `[min, max]`. Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * self.total as f64).ceil() as u64).max(1);
+        let mut cumulative = 0u64;
+        for (i, c) in self.counts.iter().enumerate() {
+            cumulative += c;
+            if cumulative >= target {
+                let upper = if i < self.bounds.len() { self.bounds[i] } else { self.max };
+                return upper.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Merges two snapshots of histograms with identical bucket bounds.
+    ///
+    /// # Panics
+    /// Panics if the bucket bounds differ.
+    pub fn merge(&self, other: &Self) -> Self {
+        assert_eq!(self.bounds, other.bounds, "cannot merge histograms with different buckets");
+        HistogramSnapshot {
+            bounds: self.bounds.clone(),
+            counts: self.counts.iter().zip(&other.counts).map(|(a, b)| a + b).collect(),
+            total: self.total + other.total,
+            sum: self.sum + other.sum,
+            min: self.min.min(other.min),
+            max: self.max.max(other.max),
+        }
+    }
+}
+
+/// Reads a lock, recovering from poisoning (telemetry must not amplify an
+/// unrelated panic).
+fn read_lock<T>(lock: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    lock.read().unwrap_or_else(|e| e.into_inner())
+}
+
+fn write_lock<T>(lock: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    lock.write().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Name-addressed registry of counters, gauges, and histograms.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: RwLock<HashMap<String, Arc<Counter>>>,
+    gauges: RwLock<HashMap<String, Arc<Gauge>>>,
+    histograms: RwLock<HashMap<String, Arc<Histogram>>>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The counter registered under `name`, creating it on first use.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        if let Some(c) = read_lock(&self.counters).get(name) {
+            return Arc::clone(c);
+        }
+        Arc::clone(write_lock(&self.counters).entry(name.to_string()).or_default())
+    }
+
+    /// The gauge registered under `name`, creating it on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        if let Some(g) = read_lock(&self.gauges).get(name) {
+            return Arc::clone(g);
+        }
+        Arc::clone(write_lock(&self.gauges).entry(name.to_string()).or_default())
+    }
+
+    /// The histogram registered under `name`, creating it with the default
+    /// duration buckets on first use.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        if let Some(h) = read_lock(&self.histograms).get(name) {
+            return Arc::clone(h);
+        }
+        Arc::clone(
+            write_lock(&self.histograms)
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(Histogram::default_durations())),
+        )
+    }
+
+    /// Like [`histogram`](Self::histogram) but with explicit bucket bounds
+    /// (only honored on first registration).
+    pub fn histogram_with(&self, name: &str, bounds: &[f64]) -> Arc<Histogram> {
+        if let Some(h) = read_lock(&self.histograms).get(name) {
+            return Arc::clone(h);
+        }
+        Arc::clone(
+            write_lock(&self.histograms)
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(Histogram::new(bounds.to_vec()))),
+        )
+    }
+
+    /// A point-in-time copy of every metric, sorted by name.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: read_lock(&self.counters).iter().map(|(k, v)| (k.clone(), v.get())).collect(),
+            gauges: read_lock(&self.gauges).iter().map(|(k, v)| (k.clone(), v.get())).collect(),
+            histograms: read_lock(&self.histograms)
+                .iter()
+                .map(|(k, v)| (k.clone(), v.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+/// A point-in-time copy of a [`Registry`], with deterministic ordering.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histogram snapshots by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// A counter's value (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// A histogram snapshot by name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.get(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_roundtrip() {
+        let r = Registry::new();
+        r.counter("a").add(2);
+        r.counter("a").add(3);
+        r.gauge("g").set(1.5);
+        assert_eq!(r.counter("a").get(), 5);
+        assert_eq!(r.gauge("g").get(), 1.5);
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("a"), 5);
+        assert_eq!(snap.counter("missing"), 0);
+        assert_eq!(snap.gauges["g"], 1.5);
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries_are_upper_inclusive() {
+        let h = Histogram::new(vec![1.0, 2.0, 4.0]);
+        for v in [0.5, 1.0, 1.5, 2.0, 4.0, 5.0, 100.0] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        // 0.5 and 1.0 -> bucket 0; 1.5 and 2.0 -> bucket 1; 4.0 -> bucket 2;
+        // 5.0 and 100.0 -> overflow.
+        assert_eq!(s.counts, vec![2, 2, 1, 2]);
+        assert_eq!(s.total, 7);
+        assert_eq!(s.min, 0.5);
+        assert_eq!(s.max, 100.0);
+        assert!((s.sum - 114.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_ignores_non_finite_samples() {
+        let h = Histogram::new(vec![1.0]);
+        h.record(f64::NAN);
+        h.record(f64::INFINITY);
+        h.record(0.5);
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn quantiles_walk_buckets_and_clamp_to_observed_range() {
+        let h = Histogram::new(vec![1.0, 2.0, 4.0, 8.0]);
+        // 90 samples at 0.5 (bucket 0), 10 at 7.0 (bucket 3).
+        for _ in 0..90 {
+            h.record(0.5);
+        }
+        for _ in 0..10 {
+            h.record(7.0);
+        }
+        let s = h.snapshot();
+        // p50 falls in bucket 0 whose upper bound 1.0 clamps to min..max.
+        assert_eq!(s.quantile(0.5), 1.0);
+        // p95 falls in bucket 3: upper bound 8.0 clamps to max 7.0.
+        assert_eq!(s.quantile(0.95), 7.0);
+        assert_eq!(s.quantile(0.0), 1.0);
+        assert_eq!(s.quantile(1.0), 7.0);
+    }
+
+    #[test]
+    fn empty_histogram_quantile_and_mean_are_zero() {
+        let s = Histogram::new(vec![1.0]).snapshot();
+        assert_eq!(s.quantile(0.5), 0.0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.total, 0);
+    }
+
+    #[test]
+    fn quantile_of_overflow_bucket_uses_observed_max() {
+        let h = Histogram::new(vec![1.0]);
+        h.record(50.0);
+        h.record(90.0);
+        let s = h.snapshot();
+        assert_eq!(s.quantile(0.99), 90.0);
+    }
+
+    #[test]
+    fn merge_adds_counts_and_widens_extrema() {
+        let a = {
+            let h = Histogram::new(vec![1.0, 10.0]);
+            h.record(0.5);
+            h.record(5.0);
+            h.snapshot()
+        };
+        let b = {
+            let h = Histogram::new(vec![1.0, 10.0]);
+            h.record(20.0);
+            h.snapshot()
+        };
+        let m = a.merge(&b);
+        assert_eq!(m.total, 3);
+        assert_eq!(m.counts, vec![1, 1, 1]);
+        assert_eq!(m.min, 0.5);
+        assert_eq!(m.max, 20.0);
+        assert!((m.sum - 25.5).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "different buckets")]
+    fn merge_rejects_mismatched_buckets() {
+        let a = Histogram::new(vec![1.0]).snapshot();
+        let b = Histogram::new(vec![2.0]).snapshot();
+        let _ = a.merge(&b);
+    }
+
+    #[test]
+    fn exponential_bounds_grow_geometrically() {
+        let h = Histogram::exponential(1e-6, 2.0, 4);
+        let s = h.snapshot();
+        assert_eq!(s.bounds.len(), 4);
+        assert!((s.bounds[3] / s.bounds[0] - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn concurrent_recording_is_consistent() {
+        let h = Arc::new(Histogram::default_durations());
+        let r = Arc::new(Registry::new());
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let h = Arc::clone(&h);
+                let r = Arc::clone(&r);
+                scope.spawn(move || {
+                    for i in 0..1000 {
+                        h.record(1e-6 * (i + 1) as f64);
+                        r.counter("hits").add(1);
+                    }
+                });
+            }
+        });
+        assert_eq!(h.count(), 4000);
+        assert_eq!(r.counter("hits").get(), 4000);
+        let s = h.snapshot();
+        assert_eq!(s.counts.iter().sum::<u64>(), 4000);
+        assert_eq!(s.min, 1e-6);
+        assert_eq!(s.max, 1e-3);
+    }
+}

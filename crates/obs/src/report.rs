@@ -1,0 +1,94 @@
+//! Human-readable end-of-run report over a [`MetricsSnapshot`].
+
+use crate::metrics::MetricsSnapshot;
+use std::fmt::Write as _;
+
+/// Formats a metric value compactly: integers plainly, small values in
+/// scientific notation, everything else with limited precision.
+fn fmt_value(v: f64) -> String {
+    if !v.is_finite() {
+        return "-".to_string();
+    }
+    let a = v.abs();
+    if v == v.trunc() && a < 1e12 {
+        format!("{}", v as i64)
+    } else if a > 0.0 && a < 1e-3 {
+        format!("{v:.3e}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+/// Renders the snapshot as an aligned plain-text report: counters, gauges,
+/// and histogram summaries (count/mean/p50/p95/p99/min/max).
+pub fn render_report(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== observability report ==");
+    if !snapshot.counters.is_empty() {
+        let _ = writeln!(out, "-- counters --");
+        let width = snapshot.counters.keys().map(String::len).max().unwrap_or(0);
+        for (name, value) in &snapshot.counters {
+            let _ = writeln!(out, "  {name:<width$}  {value}");
+        }
+    }
+    if !snapshot.gauges.is_empty() {
+        let _ = writeln!(out, "-- gauges --");
+        let width = snapshot.gauges.keys().map(String::len).max().unwrap_or(0);
+        for (name, value) in &snapshot.gauges {
+            let _ = writeln!(out, "  {name:<width$}  {}", fmt_value(*value));
+        }
+    }
+    if !snapshot.histograms.is_empty() {
+        let _ = writeln!(out, "-- histograms --");
+        let width = snapshot.histograms.keys().map(String::len).max().unwrap_or(0);
+        for (name, h) in &snapshot.histograms {
+            let _ = writeln!(
+                out,
+                "  {name:<width$}  n={} mean={} p50={} p95={} p99={} min={} max={}",
+                h.total,
+                fmt_value(h.mean()),
+                fmt_value(h.quantile(0.5)),
+                fmt_value(h.quantile(0.95)),
+                fmt_value(h.quantile(0.99)),
+                fmt_value(if h.total == 0 { 0.0 } else { h.min }),
+                fmt_value(if h.total == 0 { 0.0 } else { h.max }),
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Registry;
+
+    #[test]
+    fn report_lists_all_metric_families() {
+        let r = Registry::new();
+        r.counter("text.tokenize.pieces").add(42);
+        r.gauge("train.lr").set(1e-4);
+        r.histogram("span.extract").record(0.002);
+        let report = render_report(&r.snapshot());
+        assert!(report.contains("text.tokenize.pieces"));
+        assert!(report.contains("42"));
+        assert!(report.contains("train.lr"));
+        assert!(report.contains("span.extract"));
+        assert!(report.contains("p95="));
+    }
+
+    #[test]
+    fn empty_snapshot_renders_header_only() {
+        let report = render_report(&MetricsSnapshot::default());
+        assert!(report.contains("observability report"));
+        assert!(!report.contains("counters"));
+    }
+
+    #[test]
+    fn value_formatting_is_compact() {
+        assert_eq!(fmt_value(5.0), "5");
+        assert_eq!(fmt_value(0.25), "0.2500");
+        assert!(fmt_value(2.5e-6).contains('e'));
+        assert_eq!(fmt_value(f64::NAN), "-");
+    }
+}

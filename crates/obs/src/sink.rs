@@ -1,0 +1,150 @@
+//! Pluggable event sinks: where telemetry events go.
+//!
+//! - [`MemorySink`]: collects events in memory (tests, programmatic
+//!   inspection). Cloning shares the underlying buffer, so keep a clone
+//!   before handing the sink to a collector.
+//! - [`JsonlSink`]: writes one JSON object per line, suitable for feeding
+//!   `results/BENCH_*.json` post-processing or external tooling.
+
+use crate::event::Event;
+use std::collections::BTreeMap;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// A destination for telemetry events. Implementations must be cheap and
+/// must never panic: telemetry failure must not take the pipeline down.
+pub trait Sink: Send + Sync {
+    /// Consumes one event.
+    fn record(&self, event: &Event);
+
+    /// Flushes buffered output (end of run).
+    fn flush(&self) {}
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// In-memory event collector for tests.
+#[derive(Clone, Default)]
+pub struct MemorySink {
+    events: Arc<Mutex<Vec<Event>>>,
+}
+
+impl MemorySink {
+    /// Creates an empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A copy of all events recorded so far.
+    pub fn events(&self) -> Vec<Event> {
+        lock(&self.events).clone()
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        lock(&self.events).len()
+    }
+
+    /// Whether no events were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events of one kind.
+    pub fn of_kind(&self, kind: &str) -> Vec<Event> {
+        lock(&self.events).iter().filter(|e| e.kind == kind).cloned().collect()
+    }
+
+    /// Event counts per kind.
+    pub fn kind_counts(&self) -> BTreeMap<String, usize> {
+        let mut out = BTreeMap::new();
+        for e in lock(&self.events).iter() {
+            *out.entry(e.kind.clone()).or_insert(0) += 1;
+        }
+        out
+    }
+}
+
+impl Sink for MemorySink {
+    fn record(&self, event: &Event) {
+        lock(&self.events).push(event.clone());
+    }
+}
+
+/// Writes events as JSON Lines to any `Write` destination. I/O errors are
+/// swallowed (telemetry must never fail the run).
+pub struct JsonlSink {
+    out: Mutex<Box<dyn Write + Send>>,
+}
+
+impl JsonlSink {
+    /// Wraps an arbitrary writer.
+    pub fn new(writer: impl Write + Send + 'static) -> Self {
+        JsonlSink { out: Mutex::new(Box::new(writer)) }
+    }
+
+    /// Creates (truncates) a file and writes buffered JSONL to it.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        Ok(Self::new(BufWriter::new(File::create(path)?)))
+    }
+}
+
+impl Sink for JsonlSink {
+    fn record(&self, event: &Event) {
+        let mut out = lock(&self.out);
+        let _ = writeln!(out, "{}", event.to_json());
+    }
+
+    fn flush(&self) {
+        let _ = lock(&self.out).flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_sink_collects_and_filters() {
+        let sink = MemorySink::new();
+        sink.record(&Event::new("a", "x", 0));
+        sink.record(&Event::new("b", "y", 1));
+        sink.record(&Event::new("a", "z", 2));
+        assert_eq!(sink.len(), 3);
+        assert_eq!(sink.of_kind("a").len(), 2);
+        assert_eq!(sink.kind_counts()["a"], 2);
+        assert_eq!(sink.kind_counts()["b"], 1);
+        // Clones share the buffer.
+        let clone = sink.clone();
+        clone.record(&Event::new("c", "w", 3));
+        assert_eq!(sink.len(), 4);
+    }
+
+    #[test]
+    fn jsonl_sink_writes_one_line_per_event() {
+        let buffer: Arc<Mutex<Vec<u8>>> = Arc::new(Mutex::new(Vec::new()));
+        struct Shared(Arc<Mutex<Vec<u8>>>);
+        impl Write for Shared {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().expect("buffer").extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let sink = JsonlSink::new(Shared(Arc::clone(&buffer)));
+        sink.record(&Event::new("a", "x", 0).with("v", 1usize));
+        sink.record(&Event::new("b", "y", 1));
+        sink.flush();
+        let text = String::from_utf8(buffer.lock().expect("buffer").clone()).expect("utf8");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"kind\":\"a\""));
+        assert!(lines[1].contains("\"kind\":\"b\""));
+    }
+}

@@ -1,0 +1,33 @@
+//! Disabled-path overhead guard: with no collector installed, instrumented
+//! call sites must cost no more than a relaxed atomic load each.
+//!
+//! This runs in its own integration-test process, so no other test can have
+//! installed a global collector. The bound is deliberately generous (the
+//! real cost is ~1-2 ns/op; we allow 250 ns/op) so the assertion stays
+//! meaningful without being flaky on loaded CI machines.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+#[test]
+fn disabled_instrumentation_is_effectively_free() {
+    assert!(!gs_obs::enabled());
+
+    const ITERS: u64 = 1_000_000;
+    let start = Instant::now();
+    for i in 0..ITERS {
+        gs_obs::counter(black_box("text.tokenize.pieces"), black_box(i));
+        gs_obs::observe(black_box("span.extract"), black_box(i as f64));
+        let span = gs_obs::span(black_box("pipeline.extract"));
+        black_box(&span);
+    }
+    let elapsed = start.elapsed();
+
+    let per_op_ns = elapsed.as_nanos() as f64 / (3 * ITERS) as f64;
+    assert!(
+        per_op_ns < 250.0,
+        "disabled telemetry costs {per_op_ns:.1} ns/op ({}ms total for {} ops)",
+        elapsed.as_millis(),
+        3 * ITERS
+    );
+}

@@ -1,0 +1,75 @@
+//! Property tests for histogram math: merging two histograms built from
+//! the same bucket layout must preserve total counts and min/max bounds,
+//! and must equal the histogram of the concatenated sample stream.
+
+use gs_obs::{Histogram, HistogramSnapshot};
+use proptest::prelude::*;
+
+fn bounds() -> Vec<f64> {
+    // Powers of two from 1/64 to 64.
+    (0..13).map(|i| 2f64.powi(i - 6)).collect()
+}
+
+fn build(samples: &[f64]) -> HistogramSnapshot {
+    let h = Histogram::new(bounds());
+    for &s in samples {
+        h.record(s);
+    }
+    h.snapshot()
+}
+
+proptest! {
+    #[test]
+    fn merge_preserves_count_and_extrema(
+        a in prop::collection::vec(1e-3..1e3f64, 0..64),
+        b in prop::collection::vec(1e-3..1e3f64, 0..64),
+    ) {
+        let sa = build(&a);
+        let sb = build(&b);
+        let merged = sa.merge(&sb);
+
+        // Total count is preserved.
+        prop_assert_eq!(merged.total, (a.len() + b.len()) as u64);
+        prop_assert_eq!(merged.counts.iter().sum::<u64>(), merged.total);
+
+        // Min/max are the combined extrema.
+        prop_assert_eq!(merged.min, sa.min.min(sb.min));
+        prop_assert_eq!(merged.max, sa.max.max(sb.max));
+
+        // The sum is additive (floating-point associativity holds here
+        // because both operands were accumulated the same way).
+        prop_assert!((merged.sum - (sa.sum + sb.sum)).abs() <= 1e-9 * (1.0 + merged.sum.abs()));
+
+        // Merging is equivalent to observing the concatenated stream,
+        // bucket by bucket.
+        let mut all = a.clone();
+        all.extend_from_slice(&b);
+        let direct = build(&all);
+        prop_assert_eq!(&merged.counts, &direct.counts);
+        prop_assert_eq!(merged.total, direct.total);
+        if !all.is_empty() {
+            prop_assert_eq!(merged.min, direct.min);
+            prop_assert_eq!(merged.max, direct.max);
+        }
+    }
+
+    #[test]
+    fn quantiles_stay_within_observed_range(
+        samples in prop::collection::vec(1e-4..1e4f64, 1..128),
+        q in 0.0..1.0f64,
+    ) {
+        let s = build(&samples);
+        let v = s.quantile(q);
+        prop_assert!(v >= s.min && v <= s.max, "q{q} -> {v} outside [{}, {}]", s.min, s.max);
+    }
+
+    #[test]
+    fn merge_is_commutative(
+        a in prop::collection::vec(1e-3..1e3f64, 0..32),
+        b in prop::collection::vec(1e-3..1e3f64, 0..32),
+    ) {
+        let sa = build(&a);
+        let sb = build(&b);
+        prop_assert_eq!(sa.merge(&sb), sb.merge(&sa));
+    }
+}

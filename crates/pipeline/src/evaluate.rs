@@ -96,16 +96,14 @@ mod tests {
     #[test]
     fn oracle_scores_perfectly_and_charges_latency() {
         let labels = gs_text::labels::LabelSet::sustainability_goals();
-        let objectives = [Objective::annotated(
+        let objectives = [
+            Objective::annotated(
                 0,
                 "Action=Reduce;Deadline=2030",
                 Annotations::new().with("Action", "Reduce").with("Deadline", "2030"),
             ),
-            Objective::annotated(
-                1,
-                "Action=Cut",
-                Annotations::new().with("Action", "Cut"),
-            )];
+            Objective::annotated(1, "Action=Cut", Annotations::new().with("Action", "Cut")),
+        ];
         let refs: Vec<&Objective> = objectives.iter().collect();
         let result = evaluate_extractor(&Oracle, &refs, &labels);
         assert_eq!(result.f1(), 1.0);

@@ -14,5 +14,7 @@ mod produce;
 mod system;
 
 pub use evaluate::{evaluate_extractor, ApproachResult};
-pub use produce::{process_corpus, process_corpus_parallel, process_report, CompanyStats, ReportStats};
+pub use produce::{
+    process_corpus, process_corpus_parallel, process_report, CompanyStats, ReportStats,
+};
 pub use system::{GoalSpotter, GoalSpotterConfig};

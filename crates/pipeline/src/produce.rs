@@ -108,7 +108,8 @@ pub fn process_corpus_parallel(
     all.sort_by_key(|(i, _, _)| *i);
 
     let mut order: Vec<String> = Vec::new();
-    let mut stats: std::collections::HashMap<String, CompanyStats> = std::collections::HashMap::new();
+    let mut stats: std::collections::HashMap<String, CompanyStats> =
+        std::collections::HashMap::new();
     for (_, company, rs) in all {
         let entry = stats.entry(company.clone()).or_insert_with(|| {
             order.push(company.clone());
@@ -129,7 +130,8 @@ pub fn process_corpus(
     store: &ObjectiveStore,
 ) -> Vec<CompanyStats> {
     let mut order: Vec<String> = Vec::new();
-    let mut stats: std::collections::HashMap<String, CompanyStats> = std::collections::HashMap::new();
+    let mut stats: std::collections::HashMap<String, CompanyStats> =
+        std::collections::HashMap::new();
     for report in &corpus.reports {
         let entry = stats.entry(report.company.clone()).or_insert_with(|| {
             order.push(report.company.clone());
@@ -204,9 +206,7 @@ mod tests {
         let par_store = ObjectiveStore::new();
         let par = process_corpus_parallel(&gs, &corpus, &par_store, 4);
         assert_eq!(seq_store.len(), par_store.len());
-        let total = |s: &[CompanyStats]| {
-            s.iter().map(|c| c.extracted_objectives).sum::<usize>()
-        };
+        let total = |s: &[CompanyStats]| s.iter().map(|c| c.extracted_objectives).sum::<usize>();
         assert_eq!(total(&seq), total(&par));
         // Per-company aggregates identical.
         for s in &seq {

@@ -49,11 +49,20 @@ impl GoalSpotter {
     ) -> Self {
         assert!(!objectives.is_empty(), "no training objectives");
         assert!(!noise_blocks.is_empty(), "no noise blocks for detection training");
+        let mut develop_span = gs_obs::span("pipeline.develop");
+        develop_span.add("objectives", objectives.len() as u64);
+        develop_span.add("noise_blocks", noise_blocks.len() as u64);
         let mut detection_data: Vec<(&str, bool)> =
             objectives.iter().map(|o| (o.text.as_str(), true)).collect();
         detection_data.extend(noise_blocks.iter().map(|b| (*b, false)));
-        let detector = LinearDetector::train(&detection_data, config.detector.clone());
-        let extractor = TransformerExtractor::train(objectives, labels, config.extractor.clone());
+        let detector = {
+            let _span = gs_obs::span("pipeline.train_detector");
+            LinearDetector::train(&detection_data, config.detector.clone())
+        };
+        let extractor = {
+            let _span = gs_obs::span("pipeline.train_extractor");
+            TransformerExtractor::train(objectives, labels, config.extractor.clone())
+        };
         GoalSpotter { detector, extractor, threshold: config.detection_threshold }
     }
 
@@ -68,6 +77,7 @@ impl GoalSpotter {
 
     /// Detection score of a text block.
     pub fn detection_score(&self, text: &str) -> f32 {
+        let _span = gs_obs::span("pipeline.detect");
         self.detector.score(text)
     }
 
@@ -79,7 +89,10 @@ impl GoalSpotter {
     /// Production phase (Figure 2, blue) for one objective: extract its key
     /// details.
     pub fn extract(&self, text: &str) -> ExtractedDetails {
-        self.extractor.extract(text)
+        let mut span = gs_obs::span("pipeline.extract");
+        let details = self.extractor.extract(text);
+        span.add("fields", details.len() as u64);
+        details
     }
 
     /// The extraction service (for evaluation harnesses).

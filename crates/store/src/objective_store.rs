@@ -108,11 +108,8 @@ impl ObjectiveStore {
             Some(s) => Value::text_or_null(s),
             None => Value::Null,
         };
-        let deadline_year = record
-            .deadline
-            .as_deref()
-            .and_then(Value::parse_year)
-            .map_or(Value::Null, Value::Int);
+        let deadline_year =
+            record.deadline.as_deref().and_then(Value::parse_year).map_or(Value::Null, Value::Int);
         let row = vec![
             Value::Text(record.company.clone()),
             Value::Text(record.document.clone()),
@@ -125,7 +122,16 @@ impl ObjectiveStore {
             deadline_year,
             Value::Int((record.score * 1000.0).round() as i64),
         ];
-        self.inner.write().insert(row)
+        let id = self.inner.write().insert(row);
+        if gs_obs::enabled() {
+            gs_obs::counter("store.writes", 1);
+            gs_obs::emit(
+                "store_write",
+                "store.objectives",
+                vec![("row", id.0.into()), ("completeness", record.completeness().into())],
+            );
+        }
+        id
     }
 
     /// Total stored objectives.
@@ -353,7 +359,11 @@ mod tests {
                 let store = Arc::clone(&store);
                 scope.spawn(move || {
                     for i in 0..50 {
-                        store.insert(&record(&format!("C{}", t % 2 + 1), Some("2030"), i as f64 / 50.0));
+                        store.insert(&record(
+                            &format!("C{}", t % 2 + 1),
+                            Some("2030"),
+                            i as f64 / 50.0,
+                        ));
                         let _ = store.counts_by_company();
                     }
                 });

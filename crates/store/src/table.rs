@@ -199,8 +199,10 @@ impl Table {
             Predicate::IntRange(col, lo, hi) => {
                 if let Some(c) = self.schema.column_index(col) {
                     if let Some(index) = self.btree_indexes.get(&c) {
-                        let mut out: Vec<RowId> =
-                            index.range(*lo..=*hi).flat_map(|(_, ids)| ids.iter().copied()).collect();
+                        let mut out: Vec<RowId> = index
+                            .range(*lo..=*hi)
+                            .flat_map(|(_, ids)| ids.iter().copied())
+                            .collect();
                         out.sort();
                         return out;
                     }
@@ -208,10 +210,7 @@ impl Table {
             }
             _ => {}
         }
-        (0..self.len())
-            .map(RowId)
-            .filter(|&r| self.eval(predicate, r))
-            .collect()
+        (0..self.len()).map(RowId).filter(|&r| self.eval(predicate, r)).collect()
     }
 
     /// Counts rows per distinct value of `column` (group-by count).
@@ -242,9 +241,7 @@ impl Table {
     }
 
     fn must_column(&self, name: &str) -> usize {
-        self.schema
-            .column_index(name)
-            .unwrap_or_else(|| panic!("unknown column {name:?}"))
+        self.schema.column_index(name).unwrap_or_else(|| panic!("unknown column {name:?}"))
     }
 }
 

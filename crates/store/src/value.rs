@@ -74,8 +74,7 @@ impl Value {
                 && (window.starts_with("19") || window.starts_with("20"))
             {
                 // Reject when embedded in a longer digit run.
-                let before_digit =
-                    i > 0 && bytes[i - 1].is_ascii_digit();
+                let before_digit = i > 0 && bytes[i - 1].is_ascii_digit();
                 let after_digit = i + 4 < bytes.len() && bytes[i + 4].is_ascii_digit();
                 if !before_digit && !after_digit {
                     return window.parse().ok();

@@ -125,12 +125,7 @@ impl ParamStore {
 
     /// Global L2 norm of all accumulated gradients.
     pub fn grad_norm(&self) -> f32 {
-        self.entries
-            .iter()
-            .filter_map(|e| e.grad.as_ref())
-            .map(Tensor::sq_norm)
-            .sum::<f32>()
-            .sqrt()
+        self.entries.iter().filter_map(|e| e.grad.as_ref()).map(Tensor::sq_norm).sum::<f32>().sqrt()
     }
 
     /// Scales all gradients so that the global norm is at most `max_norm`.
@@ -161,12 +156,8 @@ impl ParamStore {
 
     /// Rebuilds the name index after deserialization.
     pub fn rebuild_index(&mut self) {
-        self.index = self
-            .entries
-            .iter()
-            .enumerate()
-            .map(|(i, e)| (e.name.clone(), ParamId(i)))
-            .collect();
+        self.index =
+            self.entries.iter().enumerate().map(|(i, e)| (e.name.clone(), ParamId(i))).collect();
     }
 }
 

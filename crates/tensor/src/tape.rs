@@ -363,10 +363,8 @@ impl Tape {
         assert_eq!(nodes[loss.index()].value.len(), 1, "backward requires a scalar loss");
 
         let mut grads: Vec<Option<Tensor>> = (0..n).map(|_| None).collect();
-        grads[loss.index()] = Some(Tensor::from_vec(
-            nodes[loss.index()].value.shape().to_vec(),
-            vec![1.0],
-        ));
+        grads[loss.index()] =
+            Some(Tensor::from_vec(nodes[loss.index()].value.shape().to_vec(), vec![1.0]));
 
         for idx in (0..n).rev() {
             let Some(gout) = grads[idx].take() else { continue };
@@ -415,7 +413,11 @@ impl Tape {
                 }
                 Op::Relu(a) => {
                     let va = &nodes[*a].value;
-                    accumulate(&mut grads, *a, gout.zip_map(va, |g, x| if x > 0.0 { g } else { 0.0 }));
+                    accumulate(
+                        &mut grads,
+                        *a,
+                        gout.zip_map(va, |g, x| if x > 0.0 { g } else { 0.0 }),
+                    );
                 }
                 Op::Gelu(a) => {
                     let va = &nodes[*a].value;
@@ -465,8 +467,8 @@ impl Tape {
                         let inv_d = 1.0 / d as f32;
                         for j in 0..d {
                             let dxh = go[j] * vg.data()[j];
-                            gx[r * d + j] = istd
-                                * (dxh - inv_d * sum_dxhat - xh[j] * inv_d * sum_dxhat_xhat);
+                            gx[r * d + j] =
+                                istd * (dxh - inv_d * sum_dxhat - xh[j] * inv_d * sum_dxhat_xhat);
                         }
                     }
                     accumulate(&mut grads, *x, Tensor::from_vec(xhat.shape().to_vec(), gx));
@@ -555,11 +557,7 @@ mod tests {
     use super::*;
 
     /// Numerically checks `d loss / d input` for a scalar-producing graph.
-    fn finite_diff_check(
-        input: Tensor,
-        build: impl Fn(&Tape, Var) -> Var,
-        tol: f32,
-    ) {
+    fn finite_diff_check(input: Tensor, build: impl Fn(&Tape, Var) -> Var, tol: f32) {
         let tape = Tape::new();
         let x = tape.leaf(input.clone());
         let loss = build(&tape, x);
@@ -623,11 +621,8 @@ mod tests {
         finite_diff_check(
             sample_matrix(),
             |t, x| {
-                let w = t.constant(Tensor::matrix(&[
-                    vec![0.2, -0.5],
-                    vec![1.0, 0.3],
-                    vec![-0.7, 0.8],
-                ]));
+                let w =
+                    t.constant(Tensor::matrix(&[vec![0.2, -0.5], vec![1.0, 0.3], vec![-0.7, 0.8]]));
                 let y = t.matmul(x, w);
                 t.sum_all(y)
             },
@@ -689,10 +684,7 @@ mod tests {
             sample_matrix(),
             |t, x| {
                 let s = t.softmax_last_dim(x);
-                let w = t.constant(Tensor::matrix(&[
-                    vec![1.0, -2.0, 0.5],
-                    vec![0.3, 0.9, -1.1],
-                ]));
+                let w = t.constant(Tensor::matrix(&[vec![1.0, -2.0, 0.5], vec![0.3, 0.9, -1.1]]));
                 let p = t.mul(s, w);
                 t.sum_all(p)
             },
@@ -738,11 +730,7 @@ mod tests {
     #[test]
     fn grad_embed_gather_scatters() {
         let tape = Tape::new();
-        let table = tape.leaf(Tensor::matrix(&[
-            vec![0.1, 0.2],
-            vec![0.3, 0.4],
-            vec![0.5, 0.6],
-        ]));
+        let table = tape.leaf(Tensor::matrix(&[vec![0.1, 0.2], vec![0.3, 0.4], vec![0.5, 0.6]]));
         let e = tape.embed_gather(table, &[1, 1, 2]);
         let loss = tape.sum_all(e);
         let grads = tape.backward(loss);
@@ -779,11 +767,8 @@ mod tests {
     #[test]
     fn cross_entropy_ignores_negative_targets() {
         let tape = Tape::new();
-        let logits = tape.leaf(Tensor::matrix(&[
-            vec![10.0, 0.0],
-            vec![0.0, 10.0],
-            vec![-5.0, 5.0],
-        ]));
+        let logits =
+            tape.leaf(Tensor::matrix(&[vec![10.0, 0.0], vec![0.0, 10.0], vec![-5.0, 5.0]]));
         // Only the first row counts; it is confidently correct, so the loss
         // should be near zero regardless of the other rows.
         let loss = tape.cross_entropy(logits, &[0, -1, -1]);

@@ -22,7 +22,10 @@ impl Bpe {
     ///
     /// Words should be pre-tokenized units (no whitespace). Training stops
     /// early if no pair occurs at least twice.
-    pub fn train<'a>(word_counts: impl IntoIterator<Item = (&'a str, u64)>, num_merges: usize) -> Self {
+    pub fn train<'a>(
+        word_counts: impl IntoIterator<Item = (&'a str, u64)>,
+        num_merges: usize,
+    ) -> Self {
         // Represent each distinct word as its current symbol sequence.
         let mut words: Vec<(Vec<String>, u64)> = word_counts
             .into_iter()
@@ -66,12 +69,8 @@ impl Bpe {
 
     /// Rebuilds the rank map after deserialization.
     pub fn rebuild_ranks(&mut self) {
-        self.ranks = self
-            .merges
-            .iter()
-            .enumerate()
-            .map(|(i, (a, b))| ((a.clone(), b.clone()), i))
-            .collect();
+        self.ranks =
+            self.merges.iter().enumerate().map(|(i, (a, b))| ((a.clone(), b.clone()), i)).collect();
     }
 
     /// Encodes a single word into subword symbols. The final symbol carries
@@ -119,13 +118,7 @@ fn word_symbols(word: &str) -> Vec<String> {
     chars
         .iter()
         .enumerate()
-        .map(|(i, c)| {
-            if i + 1 == n {
-                format!("{c}{EOW}")
-            } else {
-                c.to_string()
-            }
-        })
+        .map(|(i, c)| if i + 1 == n { format!("{c}{EOW}") } else { c.to_string() })
         .collect()
 }
 

@@ -255,10 +255,7 @@ mod tests {
         let spans = decode_spans(&tags);
         assert_eq!(
             spans,
-            vec![
-                TagSpan { kind: per, start: 0, end: 2 },
-                TagSpan { kind: loc, start: 5, end: 6 }
-            ]
+            vec![TagSpan { kind: per, start: 0, end: 2 }, TagSpan { kind: loc, start: 5, end: 6 }]
         );
     }
 
@@ -287,10 +284,8 @@ mod tests {
 
     #[test]
     fn encode_decode_roundtrip() {
-        let spans = vec![
-            TagSpan { kind: 1, start: 2, end: 4 },
-            TagSpan { kind: 3, start: 6, end: 7 },
-        ];
+        let spans =
+            vec![TagSpan { kind: 1, start: 2, end: 4 }, TagSpan { kind: 3, start: 6, end: 7 }];
         let tags = encode_spans(8, &spans);
         assert_eq!(decode_spans(&tags), spans);
     }

@@ -91,12 +91,31 @@ mod tests {
 
     #[test]
     fn splits_paper_example_like_table3() {
-        let toks = pretokenize("We co-founded The Climate Pledge, a commitment to reach net-zero carbon by 2040.");
+        let toks = pretokenize(
+            "We co-founded The Climate Pledge, a commitment to reach net-zero carbon by 2040.",
+        );
         assert_eq!(
             texts(&toks),
             vec![
-                "We", "co", "-", "founded", "The", "Climate", "Pledge", ",", "a", "commitment",
-                "to", "reach", "net", "-", "zero", "carbon", "by", "2040", "."
+                "We",
+                "co",
+                "-",
+                "founded",
+                "The",
+                "Climate",
+                "Pledge",
+                ",",
+                "a",
+                "commitment",
+                "to",
+                "reach",
+                "net",
+                "-",
+                "zero",
+                "carbon",
+                "by",
+                "2040",
+                "."
             ]
         );
     }

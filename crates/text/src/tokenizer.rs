@@ -51,11 +51,7 @@ impl Encoding {
 
     /// The piece indices belonging to word `w`.
     pub fn pieces_of_word(&self, w: usize) -> impl Iterator<Item = usize> + '_ {
-        self.word_index
-            .iter()
-            .enumerate()
-            .filter(move |(_, &wi)| wi == w)
-            .map(|(i, _)| i)
+        self.word_index.iter().enumerate().filter(move |(_, &wi)| wi == w).map(|(i, _)| i)
     }
 }
 
@@ -137,6 +133,16 @@ impl Tokenizer {
                 pieces.push(piece);
                 word_index.push(w);
             }
+        }
+        if gs_obs::enabled() {
+            gs_obs::counter("text.tokenize.calls", 1);
+            gs_obs::counter("text.tokenize.pieces", pieces.len() as u64);
+            gs_obs::counter("text.tokenize.words", pretokens.len() as u64);
+            gs_obs::emit(
+                "tokenize",
+                "text.tokenize",
+                vec![("pieces", pieces.len().into()), ("words", pretokens.len().into())],
+            );
         }
         Encoding { text, pretokens, pieces, ids, word_index }
     }

@@ -91,12 +91,7 @@ impl Vocab {
 
     /// Rebuilds the token->id map after deserialization.
     pub fn rebuild_index(&mut self) {
-        self.ids = self
-            .tokens
-            .iter()
-            .enumerate()
-            .map(|(i, t)| (t.clone(), i as u32))
-            .collect();
+        self.ids = self.tokens.iter().enumerate().map(|(i, t)| (t.clone(), i as u32)).collect();
     }
 }
 

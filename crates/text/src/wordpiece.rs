@@ -72,12 +72,8 @@ impl WordPiece {
             }
         }
 
-        let max_piece_len = initial
-            .iter()
-            .chain(continuation.iter())
-            .map(|p| p.chars().count())
-            .max()
-            .unwrap_or(1);
+        let max_piece_len =
+            initial.iter().chain(continuation.iter()).map(|p| p.chars().count()).max().unwrap_or(1);
         WordPiece { initial, continuation, max_piece_len }
     }
 
@@ -162,10 +158,7 @@ mod tests {
         for p in &pieces[1..] {
             assert!(p.starts_with(CONT), "piece {p} missing ##");
         }
-        let rebuilt: String = pieces
-            .iter()
-            .map(|p| p.trim_start_matches(CONT))
-            .collect();
+        let rebuilt: String = pieces.iter().map(|p| p.trim_start_matches(CONT)).collect();
         assert_eq!(rebuilt, "emissions");
     }
 

@@ -39,11 +39,7 @@ fn main() {
 
     // Production: a 2%-scale version of the paper's 14-company corpus.
     let corpus = goalspotter::data::deployment::generate_corpus(0.02, 11);
-    println!(
-        "processing {} reports / {} pages...",
-        corpus.reports.len(),
-        corpus.num_pages()
-    );
+    println!("processing {} reports / {} pages...", corpus.reports.len(), corpus.num_pages());
     let store = ObjectiveStore::new();
     let stats = process_corpus(&gs, &corpus, &store);
 

@@ -7,12 +7,7 @@
 use goalspotter::core::ExtractedDetails;
 use goalspotter::store::{ObjectiveRecord, ObjectiveStore, Predicate, Value};
 
-fn record(
-    company: &str,
-    objective: &str,
-    fields: &[(&str, &str)],
-    score: f64,
-) -> ObjectiveRecord {
+fn record(company: &str, objective: &str, fields: &[(&str, &str)], score: f64) -> ObjectiveRecord {
     let mut details = ExtractedDetails::new();
     for (k, v) in fields {
         details.set(k, *v);
@@ -27,7 +22,11 @@ fn main() {
     store.insert(&record(
         "C12",
         "30% increase in the representation of women in key leadership roles",
-        &[("Action", "increase"), ("Amount", "30%"), ("Qualifier", "representation of women in key leadership roles")],
+        &[
+            ("Action", "increase"),
+            ("Amount", "30%"),
+            ("Qualifier", "representation of women in key leadership roles"),
+        ],
         0.97,
     ));
     store.insert(&record(
@@ -39,13 +38,24 @@ fn main() {
     store.insert(&record(
         "C13",
         "Reduce energy consumption by 20% by 2025 (baseline 2017)",
-        &[("Action", "Reduce"), ("Amount", "20%"), ("Qualifier", "energy consumption"), ("Baseline", "2017"), ("Deadline", "2025")],
+        &[
+            ("Action", "Reduce"),
+            ("Amount", "20%"),
+            ("Qualifier", "energy consumption"),
+            ("Baseline", "2017"),
+            ("Deadline", "2025"),
+        ],
         0.99,
     ));
     store.insert(&record(
         "C13",
         "Reach net-zero carbon by 2040",
-        &[("Action", "Reach"), ("Amount", "net-zero"), ("Qualifier", "carbon"), ("Deadline", "2040")],
+        &[
+            ("Action", "Reach"),
+            ("Amount", "net-zero"),
+            ("Qualifier", "carbon"),
+            ("Deadline", "2040"),
+        ],
         0.98,
     ));
     store.insert(&record(
@@ -72,13 +82,9 @@ fn main() {
     }
 
     // Ad-hoc predicate queries on the underlying table.
-    let with_amount_no_deadline = store.query(
-        &Predicate::NotNull("amount".into()).and(Predicate::IsNull("deadline_year".into())),
-    );
-    println!(
-        "\nobjectives stating an amount but no deadline: {}",
-        with_amount_no_deadline.len()
-    );
+    let with_amount_no_deadline = store
+        .query(&Predicate::NotNull("amount".into()).and(Predicate::IsNull("deadline_year".into())));
+    println!("\nobjectives stating an amount but no deadline: {}", with_amount_no_deadline.len());
     let c13 = store.query(&Predicate::Eq("company".into(), Value::Text("C13".into())));
     println!("C13 objectives: {}", c13.len());
 

@@ -19,7 +19,8 @@ fn main() {
     let labels = LabelSet::sustainability_goals();
 
     // --- 1. Coarse, objective-level annotations (paper Table 1).
-    let table1 = [Objective::annotated(
+    let table1 = [
+        Objective::annotated(
             0,
             "We co-founded The Climate Pledge, a commitment to reach net-zero carbon by 2040.",
             Annotations::new()
@@ -46,7 +47,8 @@ fn main() {
                 .with("Qualifier", "energy consumption")
                 .with("Baseline", "2017")
                 .with("Deadline", "2025"),
-        )];
+        ),
+    ];
 
     // --- 2. Algorithm 1: objective-level annotations -> token-level labels.
     println!("Algorithm 1 output for the first objective (paper Table 3):\n");

@@ -23,8 +23,7 @@ fn show(title: &str, text: &str, ann: &Annotations, config: WeakLabelConfig, lab
         .collect();
     println!("labels:      {}", if tagged.is_empty() { "(none)".into() } else { tagged.join(" ") });
     if !labeling.unmatched.is_empty() {
-        let names: Vec<&str> =
-            labeling.unmatched.iter().map(|&k| labels.kind_name(k)).collect();
+        let names: Vec<&str> = labeling.unmatched.iter().map(|&k| labels.kind_name(k)).collect();
         println!("UNMATCHED:   {}", names.join(", "));
     }
 }
@@ -39,7 +38,13 @@ fn main() {
         .with("Amount", "net-zero")
         .with("Qualifier", "carbon")
         .with("Deadline", "2040");
-    show("exact matching (paper default)", pledge, &pledge_ann, WeakLabelConfig::default(), &labels);
+    show(
+        "exact matching (paper default)",
+        pledge,
+        &pledge_ann,
+        WeakLabelConfig::default(),
+        &labels,
+    );
 
     // §5.3: exact matching misses lexical variants...
     let variant_ann = Annotations::new().with("Action", "Reach"); // expert capitalized it
@@ -92,8 +97,7 @@ fn main() {
     for o in &dataset.objectives {
         let ann = o.annotations.as_ref().expect("annotated");
         let labeling = weak_label(&o.text, ann, &labels, WeakLabelConfig::default());
-        let kinds: Vec<usize> =
-            ann.present().filter_map(|(k, _)| labels.kind_index(k)).collect();
+        let kinds: Vec<usize> = ann.present().filter_map(|(k, _)| labels.kind_index(k)).collect();
         stats.record(&labeling, &kinds);
     }
     println!("\n--- weak-label quality over {} objectives (exact matching)", stats.objectives);

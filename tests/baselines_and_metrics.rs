@@ -21,8 +21,10 @@ fn all_baselines_run_on_both_datasets() {
         let (train, test) = dataset.split(0.2, 1);
         let labels = &dataset.labels;
 
-        let crf = CrfExtractor::train(&train, labels, CrfConfig::default(), WeakLabelConfig::default());
-        let hmm = HmmExtractor::train(&train, labels, HmmConfig::default(), WeakLabelConfig::default());
+        let crf =
+            CrfExtractor::train(&train, labels, CrfConfig::default(), WeakLabelConfig::default());
+        let hmm =
+            HmmExtractor::train(&train, labels, HmmConfig::default(), WeakLabelConfig::default());
         let zero = ZeroShotExtractor::with_latency(labels, Duration::ZERO);
         let examples: Vec<&Objective> = train.iter().copied().take(3).collect();
         let few = FewShotExtractor::with_latency(labels, &examples, Duration::ZERO);
@@ -53,8 +55,18 @@ fn crf_beats_hmm_on_the_extraction_task() {
     // (why the paper's baseline is a CRF, not an HMM).
     let dataset = goalspotter::data::sustaingoals::generate(400, 13);
     let (train, test) = dataset.split(0.2, 2);
-    let crf = CrfExtractor::train(&train, &dataset.labels, CrfConfig::default(), WeakLabelConfig::default());
-    let hmm = HmmExtractor::train(&train, &dataset.labels, HmmConfig::default(), WeakLabelConfig::default());
+    let crf = CrfExtractor::train(
+        &train,
+        &dataset.labels,
+        CrfConfig::default(),
+        WeakLabelConfig::default(),
+    );
+    let hmm = HmmExtractor::train(
+        &train,
+        &dataset.labels,
+        HmmConfig::default(),
+        WeakLabelConfig::default(),
+    );
     let crf_f1 = evaluate_extractor(&crf, &test, &dataset.labels).f1();
     let hmm_f1 = evaluate_extractor(&hmm, &test, &dataset.labels).f1();
     assert!(crf_f1 > hmm_f1, "CRF {crf_f1} vs HMM {hmm_f1}");

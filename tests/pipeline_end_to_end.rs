@@ -135,10 +135,9 @@ fn checkpoint_callback_sees_improving_model() {
 #[test]
 fn detection_scores_are_calibrated_probabilities() {
     let gs = tiny_system();
-    for text in [
-        "Reduce water use by 30% by 2030.",
-        "The glossary defines key terms used in this report.",
-    ] {
+    for text in
+        ["Reduce water use by 30% by 2030.", "The glossary defines key terms used in this report."]
+    {
         let score = gs.detection_score(text);
         assert!((0.0..=1.0).contains(&score), "score {score} for {text:?}");
     }
