@@ -1,0 +1,99 @@
+//! The GoalSpotter extraction server: loads (or trains) a transformer
+//! extractor and serves it over HTTP with dynamic micro-batching (see
+//! `gs-serve`).
+//!
+//! Usage:
+//!   cargo run --release -p gs-bench --bin gs_served --
+//!       [--model PATH | --train-tiny] [--save-model PATH]
+//!       [--addr HOST:PORT] [--max-batch N] [--max-delay-us N]
+//!       [--queue-cap N] [--workers N] [--deadline-ms N]
+//!       [--size N] [--epochs N]
+//!
+//! With `--model PATH` the extractor is restored from a
+//! `TransformerExtractor::save_json` checkpoint; with `--train-tiny` (the
+//! default when no model is given) a small extractor is trained on the
+//! synthetic Sustainability Goals corpus first — handy for smoke tests.
+//!
+//! The server prints `listening on http://ADDR` once ready and serves until
+//! the process is killed. Try:
+//!   curl -s localhost:8462/healthz
+//!   curl -s localhost:8462/v1/extract -d '{"text": "Reduce emissions by 20% by 2030."}'
+
+use gs_bench::Args;
+use gs_core::Objective;
+use gs_models::transformer::{
+    ExtractorOptions, TrainConfig, TransformerConfig, TransformerExtractor,
+};
+use gs_pipeline::ExtractorEngine;
+use gs_serve::{BatchConfig, Server, ServerConfig};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn tiny_extractor(size: usize, epochs: usize) -> TransformerExtractor {
+    let dataset = gs_data::sustaingoals::generate(size, 42);
+    let refs: Vec<&Objective> = dataset.objectives.iter().collect();
+    let options = ExtractorOptions {
+        model: TransformerConfig {
+            name: "served-tiny".into(),
+            d_model: 32,
+            n_heads: 2,
+            n_layers: 1,
+            d_ff: 64,
+            max_len: 48,
+            subword_budget: 250,
+            ..TransformerConfig::roberta_sim()
+        },
+        train: TrainConfig { epochs, lr: 3e-3, batch_size: 8, ..Default::default() },
+        ..Default::default()
+    };
+    TransformerExtractor::train(&refs, &dataset.labels, options)
+}
+
+fn main() {
+    let args = Args::from_env();
+    gs_bench::obs::init(&args);
+
+    let extractor = match args.get("model") {
+        Some(path) => {
+            let json = std::fs::read_to_string(path)
+                .unwrap_or_else(|e| panic!("cannot read --model {path:?}: {e}"));
+            TransformerExtractor::load_json(&json)
+                .unwrap_or_else(|e| panic!("cannot load --model {path:?}: {e}"))
+        }
+        None => {
+            let size: usize = args.get_or("size", 64);
+            let epochs: usize = args.get_or("epochs", 10);
+            eprintln!(
+                "no --model given: training a tiny extractor ({size} objectives, {epochs} epochs)"
+            );
+            tiny_extractor(size, epochs)
+        }
+    };
+    if let Some(path) = args.get("save-model") {
+        if let Some(dir) = std::path::Path::new(path).parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        std::fs::write(path, extractor.save_json()).expect("save model");
+        eprintln!("saved model to {path}");
+    }
+
+    let config = ServerConfig {
+        addr: args.get("addr").unwrap_or("127.0.0.1:8462").to_string(),
+        batch: BatchConfig {
+            max_batch: args.get_or("max-batch", 8),
+            max_delay: Duration::from_micros(args.get_or("max-delay-us", 2_000)),
+            queue_capacity: args.get_or("queue-cap", 256),
+            workers: args.get_or("workers", 1),
+        },
+        default_deadline: Duration::from_millis(args.get_or("deadline-ms", 5_000)),
+        ..Default::default()
+    };
+    let server = Server::start(Arc::new(ExtractorEngine(extractor)), config)
+        .unwrap_or_else(|e| panic!("cannot start server: {e}"));
+    println!("listening on http://{}", server.addr());
+
+    // Serve until killed; shutdown-on-drop drains in-flight batches.
+    loop {
+        std::thread::park();
+    }
+}

@@ -16,7 +16,7 @@ use gs_core::{
     MultiSpanPolicy, Objective, WeakLabelConfig, WeakLabelStats,
 };
 use gs_text::labels::{repair_iob, LabelSet, Tag};
-use gs_text::{pretokenize, Normalizer, NormalizerConfig, PreToken, Tokenizer};
+use gs_text::{pretokenize, Encoding, Normalizer, NormalizerConfig, PreToken, Tokenizer};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
@@ -164,33 +164,97 @@ impl TransformerExtractor {
     pub fn predict_tags(&self, text: &str) -> (String, Vec<PreToken>, Vec<Tag>) {
         predict_tags_impl(&self.tokenizer, &self.case_normalizer, &self.labels, &self.model, text)
     }
+
+    /// Batched [`predict_tags`](Self::predict_tags): encodes every text,
+    /// runs one packed encoder forward over all sequences (see
+    /// [`TokenClassifier::predict_classes_batch`]), and decodes each
+    /// result. Output is positionally identical to calling `predict_tags`
+    /// per text; this is the path the serving layer's micro-batcher uses
+    /// to amortize the forward across concurrent requests.
+    pub fn predict_tags_batch(&self, texts: &[&str]) -> Vec<(String, Vec<PreToken>, Vec<Tag>)> {
+        let inputs: Vec<InferenceInput> = texts
+            .iter()
+            .map(|t| encode_for_inference(&self.tokenizer, &self.case_normalizer, &self.model, t))
+            .collect();
+        let seqs: Vec<&[usize]> = inputs.iter().map(|i| i.ids.as_slice()).collect();
+        let classes = self.model.predict_classes_batch(&seqs);
+        inputs
+            .into_iter()
+            .zip(classes)
+            .map(|(input, classes)| decode_predictions(&self.labels, input, &classes))
+            .collect()
+    }
+
+    /// Batched [`DetailExtractor::extract`]: one packed forward for all
+    /// texts, then per-text decoding. Positionally identical to calling
+    /// `extract` per text.
+    pub fn extract_batch(&self, texts: &[&str]) -> Vec<ExtractedDetails> {
+        self.predict_tags_batch(texts)
+            .into_iter()
+            .map(|(case_text, tokens, tags)| {
+                if tags.is_empty() {
+                    ExtractedDetails::new()
+                } else {
+                    decode_details(
+                        &case_text,
+                        &tokens,
+                        &tags,
+                        &self.labels,
+                        self.options.multi_span,
+                    )
+                }
+            })
+            .collect()
+    }
 }
 
-/// Shared production-phase inference, usable both by the trained extractor
-/// and by mid-training checkpoint views.
-fn predict_tags_impl(
+/// Everything the production phase computes before the model forward:
+/// case-preserved tokens for decoding plus the BOS/EOS-wrapped id
+/// sequence. `ids` is empty when the text has no usable tokens, in which
+/// case decoding yields no tags.
+struct InferenceInput {
+    case_text: String,
+    case_tokens: Vec<PreToken>,
+    enc: Encoding,
+    ids: Vec<usize>,
+}
+
+/// Tokenizes `text` for inference: `<s> ids </s>`, truncated to the
+/// model's `max_len`.
+fn encode_for_inference(
     tokenizer: &Tokenizer,
     case_normalizer: &Normalizer,
-    labels: &LabelSet,
     model: &TokenClassifier,
     text: &str,
-) -> (String, Vec<PreToken>, Vec<Tag>) {
+) -> InferenceInput {
     let case_text = case_normalizer.normalize(text);
     let case_tokens = pretokenize(&case_text);
     let enc = tokenizer.encode(text);
     if enc.is_empty() || case_tokens.is_empty() {
-        return (case_text, case_tokens, Vec::new());
+        return InferenceInput { case_text, case_tokens, enc, ids: Vec::new() };
     }
 
-    // <s> ids </s>, truncated to max_len.
     let vocab = tokenizer.vocab();
     let mut ids: Vec<usize> = Vec::with_capacity(enc.ids.len() + 2);
     ids.push(vocab.bos_id() as usize);
     ids.extend(enc.ids.iter().map(|&i| i as usize));
     ids.truncate(model.config().max_len - 1);
     ids.push(vocab.eos_id() as usize);
+    InferenceInput { case_text, case_tokens, enc, ids }
+}
 
-    let classes = model.predict_classes(&ids);
+/// Turns predicted subword classes back into word-level tags over the
+/// case-preserved tokens.
+fn decode_predictions(
+    labels: &LabelSet,
+    input: InferenceInput,
+    classes: &[usize],
+) -> (String, Vec<PreToken>, Vec<Tag>) {
+    let InferenceInput { case_text, case_tokens, enc, ids } = input;
+    if ids.is_empty() {
+        return (case_text, case_tokens, Vec::new());
+    }
+
     // Strip specials; positions beyond truncation default to O.
     let content_len = enc.ids.len();
     let mut subword_tags: Vec<Tag> = Vec::with_capacity(content_len);
@@ -209,6 +273,20 @@ fn predict_tags_impl(
     } else {
         (enc.text.clone(), enc.pretokens, word_tags)
     }
+}
+
+/// Shared production-phase inference, usable both by the trained extractor
+/// and by mid-training checkpoint views.
+fn predict_tags_impl(
+    tokenizer: &Tokenizer,
+    case_normalizer: &Normalizer,
+    labels: &LabelSet,
+    model: &TokenClassifier,
+    text: &str,
+) -> (String, Vec<PreToken>, Vec<Tag>) {
+    let input = encode_for_inference(tokenizer, case_normalizer, model, text);
+    let classes = model.predict_classes(&input.ids);
+    decode_predictions(labels, input, &classes)
 }
 
 /// A borrowed view over a model mid-training, letting checkpoint callbacks
@@ -460,6 +538,46 @@ mod tests {
         let details = ex.extract("Cut waste by 44% by 2033.");
         // BERT-sim lowercases internally but decoding must preserve case.
         assert_eq!(details.get("Deadline"), Some("2033"), "details: {:?}", details);
+    }
+
+    #[test]
+    fn batch_prediction_matches_single_exactly() {
+        let data = corpus();
+        let refs: Vec<&Objective> = data.iter().take(20).collect();
+        let labels = LabelSet::sustainability_goals();
+        for family in [ModelFamily::Roberta, ModelFamily::Bert] {
+            let ex = TransformerExtractor::train(&refs, &labels, tiny_options(family));
+            let texts = [
+                "Shrink intake by 33% by 2031.",
+                "",
+                "Cut waste by 44% by 2033.",
+                "   ",
+                "Reduce emissions by 9% by 2040.",
+            ];
+            let batched = ex.predict_tags_batch(&texts);
+            assert_eq!(batched.len(), texts.len());
+            for (text, got) in texts.iter().zip(&batched) {
+                assert_eq!(got, &ex.predict_tags(text), "family {family:?}, text {text:?}");
+            }
+            let details = ex.extract_batch(&texts);
+            for (text, got) in texts.iter().zip(&details) {
+                assert_eq!(
+                    format!("{got:?}"),
+                    format!("{:?}", ex.extract(text)),
+                    "family {family:?}, text {text:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_batch_predicts_empty() {
+        let data = corpus();
+        let refs: Vec<&Objective> = data.iter().take(12).collect();
+        let labels = LabelSet::sustainability_goals();
+        let ex = TransformerExtractor::train(&refs, &labels, tiny_options(ModelFamily::Roberta));
+        assert!(ex.predict_tags_batch(&[]).is_empty());
+        assert!(ex.extract_batch(&[]).is_empty());
     }
 
     #[test]

@@ -275,6 +275,161 @@ impl TokenClassifier {
         classes.resize(ids.len(), 0);
         classes
     }
+
+    /// Batched [`predict_classes`](Self::predict_classes): packs every
+    /// sequence into one `[total_tokens, d]` activation matrix so the
+    /// row-wise layers (embeddings, QKV/FFN projections, layer norms, and
+    /// the classification head) run as a handful of large matrix products
+    /// instead of one small product per request, while attention is
+    /// evaluated per sequence — tokens never attend across sequence
+    /// boundaries, so results are identical to the one-at-a-time path.
+    ///
+    /// This is the serving hot path: it skips the autograd tape entirely
+    /// (no gradients at inference), which also removes the per-op value
+    /// cloning the taped forward pays.
+    pub fn predict_classes_batch(&self, seqs: &[&[usize]]) -> Vec<Vec<usize>> {
+        // Pack non-empty sequences, truncated to max_len; remember where
+        // each one landed.
+        let mut flat_ids: Vec<usize> = Vec::new();
+        let mut positions: Vec<usize> = Vec::new();
+        let mut ranges: Vec<Option<(usize, usize)>> = Vec::with_capacity(seqs.len());
+        for seq in seqs {
+            if seq.is_empty() {
+                ranges.push(None);
+                continue;
+            }
+            let n = seq.len().min(self.config.max_len);
+            let start = flat_ids.len();
+            flat_ids.extend_from_slice(&seq[..n]);
+            positions.extend(0..n);
+            ranges.push(Some((start, n)));
+        }
+        if flat_ids.is_empty() {
+            return seqs.iter().map(|_| Vec::new()).collect();
+        }
+
+        let h = self.forward_packed(&flat_ids, &positions, &ranges);
+        let classes = h.argmax_rows();
+        seqs.iter()
+            .zip(&ranges)
+            .map(|(seq, range)| match range {
+                None => Vec::new(),
+                Some((start, n)) => {
+                    let mut out = classes[*start..*start + *n].to_vec();
+                    out.resize(seq.len(), 0);
+                    out
+                }
+            })
+            .collect()
+    }
+
+    /// The packed inference forward shared by
+    /// [`predict_classes_batch`](Self::predict_classes_batch): returns the
+    /// `[total_tokens, num_classes]` logits. Every operation replicates
+    /// the taped forward's math exactly (same kernels, same evaluation
+    /// order per row), which the batch-equivalence tests pin down.
+    fn forward_packed(
+        &self,
+        flat_ids: &[usize],
+        positions: &[usize],
+        ranges: &[Option<(usize, usize)>],
+    ) -> Tensor {
+        let p = |name: &str| self.store.value(self.id(name));
+        let d = self.config.d_model;
+        let dh = self.config.d_head();
+
+        // Embeddings: token + position (+ segment 0 for BERT), layer norm.
+        let tok = p("emb.tok").gather_rows(flat_ids);
+        let pos = p("emb.pos").gather_rows(positions);
+        let mut h = tok.zip_map(&pos, |x, y| x + y);
+        if self.config.family == ModelFamily::Bert {
+            let seg = p("emb.seg").gather_rows(&vec![0; flat_ids.len()]);
+            h = h.zip_map(&seg, |x, y| x + y);
+        }
+        h = layer_norm_rows(&h, p("emb.ln.g"), p("emb.ln.b"));
+
+        for l in 0..self.config.n_layers {
+            // Attention block: projections are batched; score/softmax/mix
+            // run per sequence so attention stays within each request.
+            let q =
+                add_bias_rows(h.matmul(p(&format!("l{l}.attn.wq"))), p(&format!("l{l}.attn.bq")));
+            let k =
+                add_bias_rows(h.matmul(p(&format!("l{l}.attn.wk"))), p(&format!("l{l}.attn.bk")));
+            let v =
+                add_bias_rows(h.matmul(p(&format!("l{l}.attn.wv"))), p(&format!("l{l}.attn.bv")));
+            let scale = 1.0 / (dh as f32).sqrt();
+            let mut mixed = Vec::with_capacity(h.len());
+            for &(start, n) in ranges.iter().flatten() {
+                let (qs, ks, vs) = (
+                    q.slice_rows(start, start + n),
+                    k.slice_rows(start, start + n),
+                    v.slice_rows(start, start + n),
+                );
+                let mut heads = Vec::with_capacity(self.config.n_heads);
+                for head in 0..self.config.n_heads {
+                    let (s, e) = (head * dh, (head + 1) * dh);
+                    let qh = qs.slice_cols(s, e);
+                    let kh = ks.slice_cols(s, e);
+                    let vh = vs.slice_cols(s, e);
+                    let scores = qh.matmul_transb(&kh).map(|x| x * scale);
+                    heads.push(scores.softmax_last_dim().matmul(&vh));
+                }
+                let head_refs: Vec<&Tensor> = heads.iter().collect();
+                mixed.extend_from_slice(Tensor::concat_cols(&head_refs).data());
+            }
+            let concat = Tensor::from_vec(vec![flat_ids.len(), d], mixed);
+            let out = add_bias_rows(
+                concat.matmul(p(&format!("l{l}.attn.wo"))),
+                p(&format!("l{l}.attn.bo")),
+            );
+            let sum = h.zip_map(&out, |x, y| x + y);
+            h = layer_norm_rows(&sum, p(&format!("l{l}.ln1.g")), p(&format!("l{l}.ln1.b")));
+
+            // FFN block, fully batched.
+            let inner =
+                add_bias_rows(h.matmul(p(&format!("l{l}.ffn.w1"))), p(&format!("l{l}.ffn.b1")))
+                    .map(gs_tensor::gelu);
+            let out =
+                add_bias_rows(inner.matmul(p(&format!("l{l}.ffn.w2"))), p(&format!("l{l}.ffn.b2")));
+            let sum = h.zip_map(&out, |x, y| x + y);
+            h = layer_norm_rows(&sum, p(&format!("l{l}.ln2.g")), p(&format!("l{l}.ln2.b")));
+        }
+
+        add_bias_rows(h.matmul(p("head.w")), p("head.b"))
+    }
+}
+
+/// Adds a `[d]` bias to every row of `[n, d]` — the inference twin of
+/// `Tape::add_bias` (same accumulation order for bitwise-equal results).
+fn add_bias_rows(mut x: Tensor, bias: &Tensor) -> Tensor {
+    assert_eq!(x.cols(), bias.len(), "add_bias width mismatch");
+    for i in 0..x.rows() {
+        for (o, &bv) in x.row_mut(i).iter_mut().zip(bias.data()) {
+            *o += bv;
+        }
+    }
+    x
+}
+
+/// Row-wise layer norm — the inference twin of `Tape::layer_norm` (same
+/// epsilon and evaluation order).
+fn layer_norm_rows(x: &Tensor, gamma: &Tensor, beta: &Tensor) -> Tensor {
+    const EPS: f32 = 1e-5;
+    let d = x.cols();
+    assert_eq!(gamma.len(), d, "layer_norm gamma width");
+    assert_eq!(beta.len(), d, "layer_norm beta width");
+    let n = x.rows();
+    let mut out = vec![0.0f32; x.len()];
+    for r in 0..n {
+        let row = x.row(r);
+        let mean: f32 = row.iter().sum::<f32>() / d as f32;
+        let var: f32 = row.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / d as f32;
+        let istd = 1.0 / (var + EPS).sqrt();
+        for j in 0..d {
+            out[r * d + j] = (row[j] - mean) * istd * gamma.data()[j] + beta.data()[j];
+        }
+    }
+    Tensor::from_vec(vec![n, d], out)
 }
 
 #[cfg(test)]
@@ -365,6 +520,47 @@ mod tests {
     fn empty_input_predicts_empty() {
         let model = TokenClassifier::new(tiny_config(), 30, 5, 1);
         assert!(model.predict_classes(&[]).is_empty());
+    }
+
+    #[test]
+    fn batched_prediction_matches_single_roberta() {
+        let model = TokenClassifier::new(tiny_config(), 30, 5, 11);
+        let seqs: Vec<Vec<usize>> = vec![
+            vec![1, 5, 9, 2],
+            vec![3],
+            vec![7, 7, 7, 7, 7, 7],
+            (0..25).map(|i| i % 30).collect(), // exceeds max_len: truncated
+        ];
+        let refs: Vec<&[usize]> = seqs.iter().map(Vec::as_slice).collect();
+        let batched = model.predict_classes_batch(&refs);
+        for (seq, batch_out) in seqs.iter().zip(&batched) {
+            assert_eq!(batch_out, &model.predict_classes(seq));
+        }
+    }
+
+    #[test]
+    fn batched_prediction_matches_single_bert() {
+        let mut cfg = tiny_config();
+        cfg.family = ModelFamily::Bert;
+        let model = TokenClassifier::new(cfg, 30, 5, 13);
+        let seqs: Vec<Vec<usize>> = vec![vec![2, 4, 6], vec![1, 1], vec![9, 8, 7, 6, 5]];
+        let refs: Vec<&[usize]> = seqs.iter().map(Vec::as_slice).collect();
+        let batched = model.predict_classes_batch(&refs);
+        for (seq, batch_out) in seqs.iter().zip(&batched) {
+            assert_eq!(batch_out, &model.predict_classes(seq));
+        }
+    }
+
+    #[test]
+    fn batched_prediction_handles_empty_and_all_empty() {
+        let model = TokenClassifier::new(tiny_config(), 30, 5, 11);
+        let out = model.predict_classes_batch(&[&[][..], &[1, 2][..], &[][..]]);
+        assert_eq!(out.len(), 3);
+        assert!(out[0].is_empty());
+        assert_eq!(out[1], model.predict_classes(&[1, 2]));
+        assert!(out[2].is_empty());
+        assert_eq!(model.predict_classes_batch(&[]), Vec::<Vec<usize>>::new());
+        assert_eq!(model.predict_classes_batch(&[&[][..]]), vec![Vec::<usize>::new()]);
     }
 
     #[test]

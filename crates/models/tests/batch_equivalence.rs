@@ -1,0 +1,80 @@
+//! Property: batched inference is a pure throughput optimization. For any
+//! list of input texts — clean objectives, noise, empty strings, arbitrary
+//! unicode — `predict_tags_batch` must agree exactly with per-text
+//! `predict_tags`, and `extract_batch` with per-text `extract`.
+
+use gs_core::Objective;
+use gs_models::transformer::{
+    ExtractorOptions, TrainConfig, TransformerConfig, TransformerExtractor,
+};
+use gs_models::DetailExtractor;
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+/// One tiny trained extractor for every property case (training once keeps
+/// the property affordable; the property itself only runs inference).
+fn extractor() -> &'static TransformerExtractor {
+    static EXTRACTOR: OnceLock<TransformerExtractor> = OnceLock::new();
+    EXTRACTOR.get_or_init(|| {
+        let dataset = gs_data::sustaingoals::generate(48, 7);
+        let refs: Vec<&Objective> = dataset.objectives.iter().collect();
+        let options = ExtractorOptions {
+            model: TransformerConfig {
+                d_model: 32,
+                n_heads: 2,
+                n_layers: 1,
+                d_ff: 64,
+                max_len: 48,
+                subword_budget: 250,
+                ..TransformerConfig::roberta_sim()
+            },
+            train: TrainConfig { epochs: 6, lr: 3e-3, batch_size: 8, ..Default::default() },
+            ..Default::default()
+        };
+        TransformerExtractor::train(&refs, &dataset.labels, options)
+    })
+}
+
+/// Mixes in-distribution objectives with degenerate and adversarial inputs.
+fn any_text() -> impl Strategy<Value = String> {
+    let corpus: Vec<String> =
+        gs_data::sustaingoals::generate(48, 7).texts().into_iter().map(str::to_string).collect();
+    prop_oneof![
+        4 => proptest::sample::select(corpus),
+        2 => proptest::string::string_regex("[a-zA-Z0-9 .,%-]{0,80}").expect("regex"),
+        1 => Just(String::new()),
+        1 => Just("   \t  ".to_string()),
+        1 => proptest::string::string_regex("\\PC{0,24}").expect("regex"),
+    ]
+}
+
+proptest! {
+    // Inference per case is cheap but the model trains on first use; keep
+    // the case count modest so the whole property stays in test budget.
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn batched_inference_matches_per_text_inference(texts in proptest::collection::vec(any_text(), 0..6)) {
+        let extractor = extractor();
+        let refs: Vec<&str> = texts.iter().map(String::as_str).collect();
+
+        let batched_tags = extractor.predict_tags_batch(&refs);
+        prop_assert_eq!(batched_tags.len(), refs.len());
+        for (text, batched) in refs.iter().zip(&batched_tags) {
+            let single = extractor.predict_tags(text);
+            prop_assert_eq!(batched, &single, "predict_tags diverged for {:?}", text);
+        }
+
+        let batched_details = extractor.extract_batch(&refs);
+        prop_assert_eq!(batched_details.len(), refs.len());
+        for (text, batched) in refs.iter().zip(&batched_details) {
+            let single = extractor.extract(text);
+            prop_assert_eq!(
+                format!("{batched:?}"),
+                format!("{single:?}"),
+                "extract diverged for {:?}",
+                text
+            );
+        }
+    }
+}

@@ -183,6 +183,14 @@ pub fn observe(name: &str, value: f64) {
     with_collector(|c| c.registry().histogram(name).record(value));
 }
 
+/// Records `value` into the histogram `name`, creating it with the given
+/// bucket `bounds` on first use (bounds are ignored once the histogram
+/// exists, matching [`Registry::histogram_with`]).
+#[inline]
+pub fn observe_with(name: &str, value: f64, bounds: &[f64]) {
+    with_collector(|c| c.registry().histogram_with(name, bounds).record(value));
+}
+
 /// Emits a structured event to every installed sink.
 #[inline]
 pub fn emit(kind: &str, name: &str, fields: Vec<(&str, FieldValue)>) {

@@ -11,10 +11,12 @@
 
 mod evaluate;
 mod produce;
+mod serving;
 mod system;
 
 pub use evaluate::{evaluate_extractor, ApproachResult};
 pub use produce::{
     process_corpus, process_corpus_parallel, process_report, CompanyStats, ReportStats,
 };
+pub use serving::ExtractorEngine;
 pub use system::{GoalSpotter, GoalSpotterConfig};

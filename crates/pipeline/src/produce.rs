@@ -39,30 +39,43 @@ pub struct CompanyStats {
 
 /// Runs detection + extraction over one report, inserting every detected
 /// objective into `store`.
+///
+/// Extraction is two-phase: detection sweeps all blocks first, then one
+/// [`GoalSpotter::extract_batch`] call runs a packed encoder forward over
+/// every detected block — the same amortization the serving layer's
+/// micro-batcher applies, here per report.
 pub fn process_report(gs: &GoalSpotter, report: &Report, store: &ObjectiveStore) -> ReportStats {
     let mut stats = ReportStats { pages: report.pages.len(), ..Default::default() };
+    let mut detected: Vec<(&str, f32)> = Vec::new();
     for page in &report.pages {
         for block in &page.blocks {
             stats.blocks += 1;
             let score = gs.detection_score(&block.text);
-            let detected = score >= 0.5;
-            match (detected, block.is_objective) {
+            let is_detected = score >= 0.5;
+            match (is_detected, block.is_objective) {
                 (true, false) => stats.false_positives += 1,
                 (false, true) => stats.false_negatives += 1,
                 _ => {}
             }
-            if detected {
+            if is_detected {
                 stats.detected += 1;
-                let details = gs.extract(&block.text);
-                store.insert(&ObjectiveRecord::from_details(
-                    &report.company,
-                    &report.title,
-                    &block.text,
-                    &details,
-                    f64::from(score),
-                ));
+                detected.push((&block.text, score));
             }
         }
+    }
+    if detected.is_empty() {
+        return stats;
+    }
+    let texts: Vec<&str> = detected.iter().map(|(t, _)| *t).collect();
+    let all_details = gs.extract_batch(&texts);
+    for ((text, score), details) in detected.iter().zip(&all_details) {
+        store.insert(&ObjectiveRecord::from_details(
+            &report.company,
+            &report.title,
+            text,
+            details,
+            f64::from(*score),
+        ));
     }
     stats
 }

@@ -1,0 +1,77 @@
+//! Adapters wiring the trained system into the `gs-serve` HTTP service:
+//! [`gs_serve::ExtractEngine`] implementations whose batched entry points
+//! run one packed encoder forward per micro-batch.
+
+use crate::system::GoalSpotter;
+use gs_core::ExtractedDetails;
+use gs_models::transformer::TransformerExtractor;
+use gs_serve::{ExtractEngine, Extraction};
+
+fn to_extraction(details: ExtractedDetails) -> Extraction {
+    Extraction { fields: details.fields.into_iter().filter(|(_, v)| !v.is_empty()).collect() }
+}
+
+impl ExtractEngine for GoalSpotter {
+    fn extract_batch(&self, texts: &[String]) -> Vec<Extraction> {
+        let refs: Vec<&str> = texts.iter().map(String::as_str).collect();
+        GoalSpotter::extract_batch(self, &refs).into_iter().map(to_extraction).collect()
+    }
+}
+
+/// A serving engine around a bare [`TransformerExtractor`] (no detection
+/// stage), for deployments that only expose the extraction service.
+pub struct ExtractorEngine(pub TransformerExtractor);
+
+impl ExtractEngine for ExtractorEngine {
+    fn extract_batch(&self, texts: &[String]) -> Vec<Extraction> {
+        let refs: Vec<&str> = texts.iter().map(String::as_str).collect();
+        self.0.extract_batch(&refs).into_iter().map(to_extraction).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::tests::tiny_config;
+    use gs_core::{Annotations, Objective};
+    use gs_text::labels::LabelSet;
+
+    #[test]
+    fn goalspotter_engine_matches_direct_extraction() {
+        let mut data = Vec::new();
+        for (i, (v, t)) in
+            [("Reduce", "emissions"), ("Cut", "waste"), ("Lower", "usage"), ("Trim", "intake")]
+                .iter()
+                .enumerate()
+        {
+            let pct = 10 + i * 17;
+            let year = 2026 + i;
+            data.push(Objective::annotated(
+                i as u64,
+                format!("{v} {t} by {pct}% by {year}."),
+                Annotations::new()
+                    .with("Action", v)
+                    .with("Qualifier", t)
+                    .with("Amount", &format!("{pct}%"))
+                    .with("Deadline", &year.to_string()),
+            ));
+        }
+        let refs: Vec<&Objective> = data.iter().collect();
+        let noise = ["The audit committee reviewed the statements.", "Revenue grew moderately."];
+        let labels = LabelSet::sustainability_goals();
+        let gs = GoalSpotter::develop(&refs, &noise, &labels, tiny_config());
+
+        let texts = vec!["Cut waste by 27% by 2029.".to_string(), String::new()];
+        let via_engine = ExtractEngine::extract_batch(&gs, &texts);
+        assert_eq!(via_engine.len(), 2);
+        let direct = gs.extract("Cut waste by 27% by 2029.");
+        for (key, value) in &via_engine[0].fields {
+            assert_eq!(direct.get(key), Some(value.as_str()));
+        }
+        assert_eq!(
+            via_engine[0].fields.len(),
+            direct.fields.values().filter(|v| !v.is_empty()).count()
+        );
+        assert!(via_engine[1].fields.is_empty());
+    }
+}

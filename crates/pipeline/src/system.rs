@@ -95,6 +95,19 @@ impl GoalSpotter {
         details
     }
 
+    /// Production phase over many objectives at once: one packed encoder
+    /// forward for all texts (see
+    /// [`TransformerExtractor::extract_batch`]), positionally identical
+    /// to calling [`extract`](Self::extract) per text. This is the path
+    /// the serving layer's micro-batcher and the corpus processors use.
+    pub fn extract_batch(&self, texts: &[&str]) -> Vec<ExtractedDetails> {
+        let mut span = gs_obs::span("pipeline.extract_batch");
+        span.add("texts", texts.len() as u64);
+        let details = self.extractor.extract_batch(texts);
+        span.add("fields", details.iter().map(|d| d.len() as u64).sum());
+        details
+    }
+
     /// The extraction service (for evaluation harnesses).
     pub fn extractor(&self) -> &TransformerExtractor {
         &self.extractor
@@ -107,7 +120,7 @@ impl GoalSpotter {
 }
 
 #[cfg(test)]
-mod tests {
+pub(crate) mod tests {
     use super::*;
     use gs_core::Annotations;
     use gs_models::transformer::{TrainConfig, TransformerConfig};

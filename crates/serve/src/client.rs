@@ -1,0 +1,109 @@
+//! A minimal blocking HTTP/1.1 client speaking just enough of the
+//! protocol for the service's own tests and load generators: keep-alive
+//! connection reuse, content-length bodies, no redirects, no TLS.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// One HTTP response as seen by the client.
+#[derive(Clone, Debug)]
+pub struct ClientResponse {
+    /// Status code.
+    pub status: u16,
+    /// Lowercased header name/value pairs.
+    pub headers: Vec<(String, String)>,
+    /// Response body.
+    pub body: String,
+}
+
+impl ClientResponse {
+    /// First value of a header, by lowercase name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.iter().find(|(k, _)| k == name).map(|(_, v)| v.as_str())
+    }
+}
+
+/// A keep-alive connection to one server.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    addr: SocketAddr,
+}
+
+impl Client {
+    /// Connects with a read/write timeout.
+    pub fn connect(addr: SocketAddr, timeout: Duration) -> io::Result<Client> {
+        let stream = TcpStream::connect_timeout(&addr, timeout)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(Client { reader: BufReader::new(stream), writer, addr })
+    }
+
+    /// The server address this client talks to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Sends a GET and reads the response.
+    pub fn get(&mut self, path: &str) -> io::Result<ClientResponse> {
+        let head = format!("GET {path} HTTP/1.1\r\nhost: gs-serve\r\n\r\n");
+        self.writer.write_all(head.as_bytes())?;
+        self.writer.flush()?;
+        self.read_response()
+    }
+
+    /// Sends a POST with a JSON body and reads the response.
+    pub fn post_json(&mut self, path: &str, body: &str) -> io::Result<ClientResponse> {
+        let head = format!(
+            "POST {path} HTTP/1.1\r\nhost: gs-serve\r\ncontent-type: application/json\r\ncontent-length: {}\r\n\r\n",
+            body.len()
+        );
+        self.writer.write_all(head.as_bytes())?;
+        self.writer.write_all(body.as_bytes())?;
+        self.writer.flush()?;
+        self.read_response()
+    }
+
+    fn read_response(&mut self) -> io::Result<ClientResponse> {
+        let mut status_line = String::new();
+        if self.reader.read_line(&mut status_line)? == 0 {
+            return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "connection closed"));
+        }
+        let status: u16 = status_line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad status line"))?;
+
+        let mut headers = Vec::new();
+        let mut content_length = 0usize;
+        loop {
+            let mut line = String::new();
+            if self.reader.read_line(&mut line)? == 0 {
+                return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "truncated headers"));
+            }
+            let line = line.trim_end();
+            if line.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = line.split_once(':') {
+                let name = name.trim().to_ascii_lowercase();
+                let value = value.trim().to_string();
+                if name == "content-length" {
+                    content_length = value
+                        .parse()
+                        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "bad length"))?;
+                }
+                headers.push((name, value));
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        self.reader.read_exact(&mut body)?;
+        let body = String::from_utf8(body)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 body"))?;
+        Ok(ClientResponse { status, headers, body })
+    }
+}

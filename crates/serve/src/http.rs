@@ -1,0 +1,431 @@
+//! A deliberately small HTTP/1.1 implementation: enough to parse the
+//! service's requests off a `TcpStream` and write conforming responses,
+//! with hard limits on header and body sizes so a misbehaving client
+//! cannot balloon memory.
+
+use std::io::{self, BufRead, Write};
+
+/// Upper bound on the request line plus all headers.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// One parsed request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Request {
+    /// Request method (uppercased by the client per RFC; matched exactly).
+    pub method: String,
+    /// Request target path (query string retained, not interpreted).
+    pub path: String,
+    /// Lowercased header name/value pairs in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// Request body (empty unless `Content-Length` was present).
+    pub body: Vec<u8>,
+    /// Whether the connection should close after this exchange.
+    pub close: bool,
+}
+
+impl Request {
+    /// First value of a header, by lowercase name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.iter().find(|(k, _)| k == name).map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8, if valid.
+    pub fn body_utf8(&self) -> Option<&str> {
+        std::str::from_utf8(&self.body).ok()
+    }
+}
+
+/// Why a request could not be parsed.
+#[derive(Debug)]
+pub enum ParseOutcome {
+    /// A complete request was read.
+    Ok(Request),
+    /// The peer closed the connection before sending anything (normal for
+    /// keep-alive connections going away).
+    Closed,
+    /// The read timed out waiting for (more of) a request.
+    TimedOut,
+    /// The bytes on the wire were not valid HTTP; the caller should send
+    /// the given status and close.
+    Malformed(Status),
+    /// Transport error; close without a response.
+    Io(io::Error),
+}
+
+/// Reads one request from `reader` (a buffered stream), honoring
+/// `max_body_bytes`.
+pub fn read_request<R: BufRead>(reader: &mut R, max_body_bytes: usize) -> ParseOutcome {
+    let mut head = Vec::with_capacity(256);
+    // Read until CRLFCRLF (tolerating bare LF separators).
+    loop {
+        let mut line = Vec::with_capacity(64);
+        match read_line(reader, &mut line, MAX_HEAD_BYTES) {
+            Ok(0) if head.is_empty() && line.is_empty() => return ParseOutcome::Closed,
+            Ok(0) => return ParseOutcome::Malformed(Status::BadRequest),
+            Ok(_) => {}
+            Err(e) => return classify_io(head.is_empty(), e),
+        }
+        if line.is_empty() {
+            if head.is_empty() {
+                // Tolerate leading blank lines between keep-alive requests.
+                continue;
+            }
+            break;
+        }
+        head.extend_from_slice(&line);
+        head.push(b'\n');
+        if head.len() > MAX_HEAD_BYTES {
+            return ParseOutcome::Malformed(Status::HeaderFieldsTooLarge);
+        }
+    }
+
+    let head = match std::str::from_utf8(&head) {
+        Ok(h) => h,
+        Err(_) => return ParseOutcome::Malformed(Status::BadRequest),
+    };
+    let mut lines = head.lines();
+    let request_line = match lines.next() {
+        Some(l) => l,
+        None => return ParseOutcome::Malformed(Status::BadRequest),
+    };
+    let mut parts = request_line.split_whitespace();
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v), None) => (m, p, v),
+        _ => return ParseOutcome::Malformed(Status::BadRequest),
+    };
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return ParseOutcome::Malformed(Status::VersionNotSupported);
+    }
+
+    let mut headers = Vec::new();
+    for line in lines {
+        let Some((name, value)) = line.split_once(':') else {
+            return ParseOutcome::Malformed(Status::BadRequest);
+        };
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let connection = headers
+        .iter()
+        .find(|(k, _)| k == "connection")
+        .map(|(_, v)| v.to_ascii_lowercase())
+        .unwrap_or_default();
+    let close =
+        connection.contains("close") || (version == "HTTP/1.0" && connection != "keep-alive");
+
+    if headers.iter().any(|(k, v)| k == "transfer-encoding" && !v.eq_ignore_ascii_case("identity"))
+    {
+        // Chunked bodies are out of scope for this service.
+        return ParseOutcome::Malformed(Status::NotImplemented);
+    }
+
+    let mut body = Vec::new();
+    if let Some((_, v)) = headers.iter().find(|(k, _)| k == "content-length") {
+        let len: usize = match v.parse() {
+            Ok(n) => n,
+            Err(_) => return ParseOutcome::Malformed(Status::BadRequest),
+        };
+        if len > max_body_bytes {
+            return ParseOutcome::Malformed(Status::PayloadTooLarge);
+        }
+        body.resize(len, 0);
+        if let Err(e) = reader.read_exact(&mut body) {
+            return classify_io(false, e);
+        }
+    }
+
+    ParseOutcome::Ok(Request {
+        method: method.to_string(),
+        path: path.to_string(),
+        headers,
+        body,
+        close,
+    })
+}
+
+/// Reads one CRLF- (or LF-) terminated line into `out` (terminator
+/// stripped), returning bytes consumed. `Ok(0)` means clean EOF.
+fn read_line<R: BufRead>(reader: &mut R, out: &mut Vec<u8>, limit: usize) -> io::Result<usize> {
+    let mut consumed = 0usize;
+    loop {
+        let available = reader.fill_buf()?;
+        if available.is_empty() {
+            return Ok(consumed); // EOF
+        }
+        match available.iter().position(|&b| b == b'\n') {
+            Some(nl) => {
+                out.extend_from_slice(&available[..nl]);
+                reader.consume(nl + 1);
+                consumed += nl + 1;
+                if out.last() == Some(&b'\r') {
+                    out.pop();
+                }
+                return Ok(consumed);
+            }
+            None => {
+                let n = available.len();
+                out.extend_from_slice(available);
+                reader.consume(n);
+                consumed += n;
+                if out.len() > limit {
+                    return Err(io::Error::new(io::ErrorKind::InvalidData, "line too long"));
+                }
+            }
+        }
+    }
+}
+
+fn classify_io(at_start: bool, e: io::Error) -> ParseOutcome {
+    match e.kind() {
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => ParseOutcome::TimedOut,
+        io::ErrorKind::UnexpectedEof if at_start => ParseOutcome::Closed,
+        _ => ParseOutcome::Io(e),
+    }
+}
+
+/// Response status codes used by the service.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Status {
+    /// 200
+    Ok,
+    /// 400
+    BadRequest,
+    /// 404
+    NotFound,
+    /// 405
+    MethodNotAllowed,
+    /// 413
+    PayloadTooLarge,
+    /// 431
+    HeaderFieldsTooLarge,
+    /// 500
+    InternalError,
+    /// 501
+    NotImplemented,
+    /// 503
+    ServiceUnavailable,
+    /// 504
+    GatewayTimeout,
+    /// 505
+    VersionNotSupported,
+}
+
+impl Status {
+    /// Numeric code.
+    pub fn code(self) -> u16 {
+        match self {
+            Status::Ok => 200,
+            Status::BadRequest => 400,
+            Status::NotFound => 404,
+            Status::MethodNotAllowed => 405,
+            Status::PayloadTooLarge => 413,
+            Status::HeaderFieldsTooLarge => 431,
+            Status::InternalError => 500,
+            Status::NotImplemented => 501,
+            Status::ServiceUnavailable => 503,
+            Status::GatewayTimeout => 504,
+            Status::VersionNotSupported => 505,
+        }
+    }
+
+    /// Reason phrase.
+    pub fn reason(self) -> &'static str {
+        match self {
+            Status::Ok => "OK",
+            Status::BadRequest => "Bad Request",
+            Status::NotFound => "Not Found",
+            Status::MethodNotAllowed => "Method Not Allowed",
+            Status::PayloadTooLarge => "Payload Too Large",
+            Status::HeaderFieldsTooLarge => "Request Header Fields Too Large",
+            Status::InternalError => "Internal Server Error",
+            Status::NotImplemented => "Not Implemented",
+            Status::ServiceUnavailable => "Service Unavailable",
+            Status::GatewayTimeout => "Gateway Timeout",
+            Status::VersionNotSupported => "HTTP Version Not Supported",
+        }
+    }
+}
+
+/// A response ready to serialize.
+#[derive(Clone, Debug)]
+pub struct Response {
+    /// Status line code.
+    pub status: Status,
+    /// Extra headers (Content-Type/Length and Connection are handled by
+    /// [`write_response`]).
+    pub headers: Vec<(&'static str, String)>,
+    /// Response body.
+    pub body: Vec<u8>,
+    /// Content type of the body.
+    pub content_type: &'static str,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: Status, body: String) -> Response {
+        Response {
+            status,
+            headers: Vec::new(),
+            body: body.into_bytes(),
+            content_type: "application/json",
+        }
+    }
+
+    /// A plain-text response.
+    pub fn text(status: Status, body: String) -> Response {
+        Response {
+            status,
+            headers: Vec::new(),
+            body: body.into_bytes(),
+            content_type: "text/plain; charset=utf-8",
+        }
+    }
+
+    /// Adds a header.
+    pub fn with_header(mut self, name: &'static str, value: String) -> Response {
+        self.headers.push((name, value));
+        self
+    }
+}
+
+/// Serializes and writes a response; `close` controls the Connection
+/// header.
+pub fn write_response<W: Write>(
+    writer: &mut W,
+    response: &Response,
+    close: bool,
+) -> io::Result<()> {
+    let mut head = String::with_capacity(128);
+    head.push_str("HTTP/1.1 ");
+    head.push_str(&response.status.code().to_string());
+    head.push(' ');
+    head.push_str(response.status.reason());
+    head.push_str("\r\n");
+    head.push_str("content-type: ");
+    head.push_str(response.content_type);
+    head.push_str("\r\n");
+    head.push_str("content-length: ");
+    head.push_str(&response.body.len().to_string());
+    head.push_str("\r\n");
+    for (name, value) in &response.headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str(if close { "connection: close\r\n" } else { "connection: keep-alive\r\n" });
+    head.push_str("\r\n");
+    writer.write_all(head.as_bytes())?;
+    writer.write_all(&response.body)?;
+    writer.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(bytes: &[u8]) -> ParseOutcome {
+        read_request(&mut BufReader::new(bytes), 1024)
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let raw = b"POST /v1/extract HTTP/1.1\r\nHost: x\r\nContent-Length: 11\r\n\r\nhello world";
+        let ParseOutcome::Ok(req) = parse(raw) else { panic!("expected Ok") };
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1/extract");
+        assert_eq!(req.header("host"), Some("x"));
+        assert_eq!(req.body_utf8(), Some("hello world"));
+        assert!(!req.close);
+    }
+
+    #[test]
+    fn parses_get_without_body_and_lf_only_lines() {
+        let raw = b"GET /healthz HTTP/1.1\nHost: x\n\n";
+        let ParseOutcome::Ok(req) = parse(raw) else { panic!("expected Ok") };
+        assert_eq!(req.method, "GET");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn connection_close_and_http10_semantics() {
+        let raw = b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n";
+        let ParseOutcome::Ok(req) = parse(raw) else { panic!() };
+        assert!(req.close);
+        let raw = b"GET / HTTP/1.0\r\n\r\n";
+        let ParseOutcome::Ok(req) = parse(raw) else { panic!() };
+        assert!(req.close);
+        let raw = b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n";
+        let ParseOutcome::Ok(req) = parse(raw) else { panic!() };
+        assert!(!req.close);
+    }
+
+    #[test]
+    fn oversized_body_is_rejected() {
+        let raw = b"POST / HTTP/1.1\r\nContent-Length: 9999\r\n\r\n";
+        let ParseOutcome::Malformed(s) = parse(raw) else { panic!("expected Malformed") };
+        assert_eq!(s, Status::PayloadTooLarge);
+    }
+
+    #[test]
+    fn garbage_and_eof_are_classified() {
+        assert!(matches!(parse(b""), ParseOutcome::Closed));
+        assert!(matches!(parse(b"NONSENSE\r\n\r\n"), ParseOutcome::Malformed(Status::BadRequest)));
+        assert!(matches!(
+            parse(b"GET / HTTP/2.0\r\n\r\n"),
+            ParseOutcome::Malformed(Status::VersionNotSupported)
+        ));
+        assert!(matches!(
+            parse(b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"),
+            ParseOutcome::Malformed(Status::NotImplemented)
+        ));
+        assert!(matches!(
+            parse(b"POST / HTTP/1.1\r\nContent-Length: ten\r\n\r\n"),
+            ParseOutcome::Malformed(Status::BadRequest)
+        ));
+    }
+
+    #[test]
+    fn truncated_body_is_io_error() {
+        let raw = b"POST / HTTP/1.1\r\nContent-Length: 50\r\n\r\nshort";
+        assert!(matches!(parse(raw), ParseOutcome::Io(_)));
+    }
+
+    #[test]
+    fn response_serializes_with_headers() {
+        let mut out = Vec::new();
+        let resp = Response::json(Status::ServiceUnavailable, "{\"error\":\"queue full\"}".into())
+            .with_header("retry-after", "1".to_string());
+        write_response(&mut out, &resp, true).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"));
+        assert!(text.contains("retry-after: 1\r\n"));
+        assert!(text.contains("connection: close\r\n"));
+        assert!(text.contains("content-length: 22\r\n"));
+        assert!(text.ends_with("{\"error\":\"queue full\"}"));
+    }
+
+    #[test]
+    fn keep_alive_connection_header() {
+        let mut out = Vec::new();
+        write_response(&mut out, &Response::text(Status::Ok, "hi".into()), false).unwrap();
+        assert!(String::from_utf8(out).unwrap().contains("connection: keep-alive\r\n"));
+    }
+
+    #[test]
+    fn two_requests_on_one_stream() {
+        let raw: Vec<u8> = [
+            &b"POST /a HTTP/1.1\r\nContent-Length: 2\r\n\r\nab"[..],
+            &b"GET /b HTTP/1.1\r\n\r\n"[..],
+        ]
+        .concat();
+        let mut reader = BufReader::new(&raw[..]);
+        let ParseOutcome::Ok(first) = read_request(&mut reader, 1024) else { panic!() };
+        assert_eq!(first.path, "/a");
+        assert_eq!(first.body, b"ab");
+        let ParseOutcome::Ok(second) = read_request(&mut reader, 1024) else { panic!() };
+        assert_eq!(second.path, "/b");
+        assert!(matches!(read_request(&mut reader, 1024), ParseOutcome::Closed));
+    }
+}

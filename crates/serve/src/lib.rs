@@ -1,0 +1,69 @@
+//! # gs-serve
+//!
+//! The request-serving surface of GoalSpotter: a dependency-free (std +
+//! gs-obs) HTTP/1.1 extraction service with **dynamic micro-batching**,
+//! **backpressure**, and **admission control**.
+//!
+//! The paper deploys the weakly supervised extractor inside a live system
+//! that fills a structured database on demand; this crate is that serving
+//! layer. Requests to `POST /v1/extract` land in a bounded queue, a
+//! scheduler coalesces them into micro-batches (up to `max_batch` items,
+//! waiting at most `max_delay` once the first item arrives), and a worker
+//! pool runs one batched model forward per batch — amortizing encoder
+//! costs across concurrent callers.
+//!
+//! ## Endpoints
+//!
+//! | Route | Method | Purpose |
+//! |---|---|---|
+//! | `/v1/extract` | POST | `{"text": "...", "deadline_ms"?: n}` → extracted fields |
+//! | `/v1/extract_batch` | POST | `{"texts": [...]}` → one result per text |
+//! | `/healthz` | GET | liveness + queue depth |
+//! | `/metrics` | GET | Prometheus text rendered from the gs-obs registry |
+//!
+//! ## Robustness semantics
+//!
+//! - **Load shedding:** when the bounded queue is full, requests get HTTP
+//!   503 with `Retry-After` instead of unbounded queueing latency.
+//! - **Deadlines:** every request carries a budget (`deadline_ms` or the
+//!   server default); items whose deadline passes while queued are
+//!   dropped at dispatch and answered with 504.
+//! - **Admission control:** beyond `max_connections` concurrent
+//!   connections, new connections are turned away with 503.
+//! - **Graceful shutdown:** the server stops accepting, answers requests
+//!   already on open connections, and drains every queued item through
+//!   the workers before [`Server::shutdown`] returns.
+//!
+//! ```no_run
+//! use gs_serve::{ExtractEngine, Extraction, Server, ServerConfig};
+//! use std::sync::Arc;
+//!
+//! struct Upper;
+//! impl ExtractEngine for Upper {
+//!     fn extract_batch(&self, texts: &[String]) -> Vec<Extraction> {
+//!         texts
+//!             .iter()
+//!             .map(|t| Extraction { fields: vec![("Upper".into(), t.to_uppercase())] })
+//!             .collect()
+//!     }
+//! }
+//!
+//! let server = Server::start(Arc::new(Upper), ServerConfig::default()).unwrap();
+//! println!("listening on http://{}", server.addr());
+//! server.shutdown();
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod batcher;
+pub mod client;
+pub mod http;
+pub mod json;
+pub mod metrics_text;
+pub mod server;
+
+pub use batcher::{BatchConfig, Batcher, ExtractEngine, Extraction, ItemResult, ShedReason};
+pub use client::{Client, ClientResponse};
+pub use http::{Request, Response, Status};
+pub use json::Json;
+pub use server::{Server, ServerConfig};

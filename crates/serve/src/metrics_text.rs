@@ -1,0 +1,99 @@
+//! Renders a gs-obs [`MetricsSnapshot`] in the Prometheus text exposition
+//! format, so the `/metrics` endpoint can be scraped by standard tooling.
+//!
+//! Metric names are sanitized (`serve.queue.depth` becomes
+//! `serve_queue_depth`); histograms are exported as `_count`, `_sum`, and
+//! estimated `{quantile="..."}` series.
+
+use gs_obs::MetricsSnapshot;
+use std::fmt::Write as _;
+
+/// Quantiles exported per histogram.
+const QUANTILES: [(f64, &str); 3] = [(0.5, "0.5"), (0.95, "0.95"), (0.99, "0.99")];
+
+/// Renders the snapshot as Prometheus text.
+pub fn render(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::with_capacity(1024);
+    for (name, value) in &snapshot.counters {
+        let name = sanitize(name);
+        let _ = writeln!(out, "# TYPE {name} counter");
+        let _ = writeln!(out, "{name} {value}");
+    }
+    for (name, value) in &snapshot.gauges {
+        let name = sanitize(name);
+        let _ = writeln!(out, "# TYPE {name} gauge");
+        let _ = writeln!(out, "{name} {}", num(*value));
+    }
+    for (name, hist) in &snapshot.histograms {
+        let name = sanitize(name);
+        let _ = writeln!(out, "# TYPE {name} summary");
+        for (q, label) in QUANTILES {
+            let _ = writeln!(out, "{name}{{quantile=\"{label}\"}} {}", num(hist.quantile(q)));
+        }
+        let _ = writeln!(out, "{name}_sum {}", num(hist.sum));
+        let _ = writeln!(out, "{name}_count {}", hist.total);
+    }
+    out
+}
+
+/// Maps a gs-obs metric name onto the Prometheus name charset.
+fn sanitize(name: &str) -> String {
+    let mut out: String =
+        name.chars().map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' }).collect();
+    if out.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        out.insert(0, '_');
+    }
+    out
+}
+
+/// Prometheus floats: plain decimal, `NaN`/`+Inf`/`-Inf` spelled out.
+fn num(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gs_obs::Registry;
+
+    #[test]
+    fn renders_all_metric_kinds() {
+        let registry = Registry::new();
+        registry.counter("serve.requests.extract").add(3);
+        registry.gauge("serve.queue.depth").set(2.0);
+        let hist = registry.histogram_with("serve.latency.extract", &[0.001, 0.01, 0.1]);
+        hist.record(0.004);
+        hist.record(0.05);
+        let text = render(&registry.snapshot());
+        assert!(text.contains("# TYPE serve_requests_extract counter"));
+        assert!(text.contains("serve_requests_extract 3"));
+        assert!(text.contains("serve_queue_depth 2"));
+        assert!(text.contains("serve_latency_extract{quantile=\"0.5\"}"));
+        assert!(text.contains("serve_latency_extract_count 2"));
+        assert!(text.contains("serve_latency_extract_sum 0.054"));
+    }
+
+    #[test]
+    fn sanitizes_awkward_names() {
+        assert_eq!(sanitize("a.b-c/d"), "a_b_c_d");
+        assert_eq!(sanitize("9lives"), "_9lives");
+    }
+
+    #[test]
+    fn empty_histograms_render_infinities_spelled_out() {
+        let registry = Registry::new();
+        let _ = registry.histogram("empty.hist");
+        let text = render(&registry.snapshot());
+        // min/max start at +/-inf but quantile of empty is 0; sum is 0.
+        assert!(text.contains("empty_hist_count 0"));
+        assert!(!text.contains("inf"), "lowercase inf leaked: {text}");
+    }
+}

@@ -1,0 +1,382 @@
+//! The HTTP front: a `std::net::TcpListener` accept loop, per-connection
+//! handler threads with keep-alive, connection-count admission control,
+//! request routing, and graceful shutdown that drains the batcher.
+
+use crate::batcher::{BatchConfig, Batcher, ExtractEngine, ItemResult, ShedReason};
+use crate::http::{self, ParseOutcome, Request, Response, Status};
+use crate::json::{self, Json};
+use crate::metrics_text;
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::RecvTimeoutError;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Server knobs.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Micro-batching configuration.
+    pub batch: BatchConfig,
+    /// Socket read timeout (idle keep-alive connections are closed after
+    /// this long without a request).
+    pub read_timeout: Duration,
+    /// Deadline budget applied to requests that do not set `deadline_ms`.
+    pub default_deadline: Duration,
+    /// Largest accepted request body.
+    pub max_body_bytes: usize,
+    /// Connection-level admission control: beyond this many concurrent
+    /// connections, new ones get an immediate 503.
+    pub max_connections: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            batch: BatchConfig::default(),
+            read_timeout: Duration::from_secs(10),
+            default_deadline: Duration::from_secs(5),
+            max_body_bytes: 1024 * 1024,
+            max_connections: 256,
+        }
+    }
+}
+
+struct ServerShared {
+    batcher: Batcher,
+    config: ServerConfig,
+    shutting_down: AtomicBool,
+    active_connections: AtomicUsize,
+}
+
+/// A running extraction server. Dropping it without calling
+/// [`shutdown`](Server::shutdown) also shuts down, but `shutdown` should
+/// be preferred for a deterministic drain.
+pub struct Server {
+    shared: Arc<ServerShared>,
+    addr: SocketAddr,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds, starts the batcher, and begins accepting connections.
+    pub fn start(engine: Arc<dyn ExtractEngine>, config: ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(ServerShared {
+            batcher: Batcher::start(engine, config.batch.clone()),
+            config,
+            shutting_down: AtomicBool::new(false),
+            active_connections: AtomicUsize::new(0),
+        });
+        let accept_thread = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("gs-serve-accept".to_string())
+                .spawn(move || accept_loop(&listener, &shared))?
+        };
+        Ok(Server { shared, addr, accept_thread: Some(accept_thread) })
+    }
+
+    /// The bound address (useful with ephemeral ports).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting connections, drains queued and in-flight batches,
+    /// and joins the server threads.
+    pub fn shutdown(mut self) {
+        self.shared.shutting_down.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+        // Wait briefly for in-flight handlers to finish writing responses.
+        let patience = Instant::now() + self.shared.config.read_timeout + Duration::from_secs(1);
+        while self.shared.active_connections.load(Ordering::SeqCst) > 0 && Instant::now() < patience
+        {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        // Batcher::drop drains the queue through the workers and joins.
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shared.shutting_down.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<ServerShared>) {
+    // Handler threads detach; active_connections tracks them for shutdown.
+    loop {
+        let (stream, _) = match listener.accept() {
+            Ok(pair) => pair,
+            Err(_) => {
+                if shared.shutting_down.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if shared.shutting_down.load(Ordering::SeqCst) {
+            return;
+        }
+        let active = shared.active_connections.fetch_add(1, Ordering::SeqCst) + 1;
+        gs_obs::gauge("serve.connections.active", active as f64);
+        if active > shared.config.max_connections {
+            gs_obs::counter("serve.shed.connections", 1);
+            let mut stream = stream;
+            let response = Response::json(
+                Status::ServiceUnavailable,
+                Json::obj(vec![("error", "too many connections".into())]).to_string(),
+            )
+            .with_header("retry-after", "1".to_string());
+            let _ = http::write_response(&mut stream, &response, true);
+            release_connection(shared);
+            continue;
+        }
+        let conn_shared = Arc::clone(shared);
+        let spawned =
+            std::thread::Builder::new().name("gs-serve-conn".to_string()).spawn(move || {
+                handle_connection(stream, &conn_shared);
+                release_connection(&conn_shared);
+            });
+        if spawned.is_err() {
+            release_connection(shared);
+        }
+    }
+}
+
+fn release_connection(shared: &ServerShared) {
+    let now = shared.active_connections.fetch_sub(1, Ordering::SeqCst) - 1;
+    gs_obs::gauge("serve.connections.active", now as f64);
+}
+
+/// Serves requests on one connection until close, error, idle timeout, or
+/// server shutdown.
+fn handle_connection(stream: TcpStream, shared: &ServerShared) {
+    let _ = stream.set_read_timeout(Some(shared.config.read_timeout));
+    let _ = stream.set_nodelay(true);
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    loop {
+        let request = match http::read_request(&mut reader, shared.config.max_body_bytes) {
+            ParseOutcome::Ok(request) => request,
+            ParseOutcome::Closed | ParseOutcome::TimedOut | ParseOutcome::Io(_) => return,
+            ParseOutcome::Malformed(status) => {
+                let body = Json::obj(vec![("error", status.reason().into())]).to_string();
+                let _ = http::write_response(&mut writer, &Response::json(status, body), true);
+                return;
+            }
+        };
+        // During shutdown, answer this request and then close.
+        let close = request.close || shared.shutting_down.load(Ordering::SeqCst);
+        let started = Instant::now();
+        let response = route(&request, shared);
+        observe_request(&request.path, &response, started.elapsed());
+        if http::write_response(&mut writer, &response, close).is_err() || close {
+            return;
+        }
+    }
+}
+
+fn observe_request(path: &str, response: &Response, elapsed: Duration) {
+    let endpoint = match path {
+        "/v1/extract" => "extract",
+        "/v1/extract_batch" => "extract_batch",
+        "/healthz" => "healthz",
+        "/metrics" => "metrics",
+        _ => "other",
+    };
+    gs_obs::counter(&format!("serve.requests.{endpoint}"), 1);
+    gs_obs::counter(&format!("serve.responses.{}", response.status.code()), 1);
+    gs_obs::observe(&format!("serve.latency.{endpoint}"), elapsed.as_secs_f64());
+}
+
+fn route(request: &Request, shared: &ServerShared) -> Response {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => healthz(shared),
+        ("GET", "/metrics") => metrics(),
+        ("POST", "/v1/extract") => extract_single(request, shared),
+        ("POST", "/v1/extract_batch") => extract_batch(request, shared),
+        ("GET" | "HEAD", "/v1/extract" | "/v1/extract_batch") => {
+            error_response(Status::MethodNotAllowed, "use POST with a JSON body")
+        }
+        _ => error_response(Status::NotFound, "unknown endpoint"),
+    }
+}
+
+fn error_response(status: Status, message: &str) -> Response {
+    Response::json(status, Json::obj(vec![("error", message.into())]).to_string())
+}
+
+fn shed_response(reason: ShedReason) -> Response {
+    match reason {
+        ShedReason::QueueFull => error_response(Status::ServiceUnavailable, "queue full")
+            .with_header("retry-after", "1".to_string()),
+        ShedReason::ShuttingDown => error_response(Status::ServiceUnavailable, "shutting down")
+            .with_header("retry-after", "2".to_string()),
+        ShedReason::DeadlineExceeded => error_response(Status::GatewayTimeout, "deadline exceeded"),
+    }
+}
+
+fn healthz(shared: &ServerShared) -> Response {
+    Response::json(
+        Status::Ok,
+        Json::obj(vec![
+            ("status", "ok".into()),
+            ("queue_depth", shared.batcher.queue_depth().into()),
+            ("max_batch", shared.batcher.config().max_batch.into()),
+        ])
+        .to_string(),
+    )
+}
+
+fn metrics() -> Response {
+    let snapshot = gs_obs::snapshot().unwrap_or_default();
+    Response::text(Status::Ok, metrics_text::render(&snapshot))
+}
+
+/// Parses the request body and the optional `deadline_ms` budget.
+fn parse_body(request: &Request) -> Result<(Json, Option<Duration>), Response> {
+    let Some(text) = request.body_utf8() else {
+        return Err(error_response(Status::BadRequest, "body is not UTF-8"));
+    };
+    let value = json::parse(text)
+        .map_err(|_| error_response(Status::BadRequest, "body is not valid JSON"))?;
+    let deadline = match value.get("deadline_ms") {
+        None => None,
+        Some(v) => match v.as_u64() {
+            Some(ms) => Some(Duration::from_millis(ms)),
+            None => {
+                return Err(error_response(
+                    Status::BadRequest,
+                    "deadline_ms must be a non-negative integer",
+                ))
+            }
+        },
+    };
+    Ok((value, deadline))
+}
+
+fn extraction_json(fields: &[(String, String)]) -> Json {
+    Json::Obj(fields.iter().map(|(k, v)| (k.clone(), Json::Str(v.clone()))).collect())
+}
+
+fn extract_single(request: &Request, shared: &ServerShared) -> Response {
+    let (body, deadline_budget) = match parse_body(request) {
+        Ok(parsed) => parsed,
+        Err(response) => return response,
+    };
+    let Some(text) = body.get("text").and_then(Json::as_str) else {
+        return error_response(Status::BadRequest, "missing string field \"text\"");
+    };
+    let budget = deadline_budget.unwrap_or(shared.config.default_deadline);
+    let deadline = Instant::now() + budget;
+    let receiver = match shared.batcher.submit(vec![text.to_string()], deadline) {
+        Ok(receiver) => receiver,
+        Err(reason) => return shed_response(reason),
+    };
+    match await_result(&receiver, deadline) {
+        Ok(result) => match result.outcome {
+            Ok(extraction) => Response::json(
+                Status::Ok,
+                Json::obj(vec![
+                    ("fields", extraction_json(&extraction.fields)),
+                    ("batch_size", result.batch_size.into()),
+                    ("queue_us", (result.queue_wait.as_micros() as u64).into()),
+                ])
+                .to_string(),
+            ),
+            Err(reason) => shed_response(reason),
+        },
+        Err(response) => response,
+    }
+}
+
+fn extract_batch(request: &Request, shared: &ServerShared) -> Response {
+    let (body, deadline_budget) = match parse_body(request) {
+        Ok(parsed) => parsed,
+        Err(response) => return response,
+    };
+    let Some(items) = body.get("texts").and_then(Json::as_arr) else {
+        return error_response(Status::BadRequest, "missing array field \"texts\"");
+    };
+    let mut texts = Vec::with_capacity(items.len());
+    for item in items {
+        match item.as_str() {
+            Some(s) => texts.push(s.to_string()),
+            None => return error_response(Status::BadRequest, "\"texts\" must contain strings"),
+        }
+    }
+    if texts.is_empty() {
+        return Response::json(
+            Status::Ok,
+            Json::obj(vec![("results", Json::Arr(Vec::new()))]).to_string(),
+        );
+    }
+    let n = texts.len();
+    let budget = deadline_budget.unwrap_or(shared.config.default_deadline);
+    let deadline = Instant::now() + budget;
+    let receiver = match shared.batcher.submit(texts, deadline) {
+        Ok(receiver) => receiver,
+        Err(reason) => return shed_response(reason),
+    };
+    let mut results: Vec<Option<ItemResult>> = (0..n).map(|_| None).collect();
+    for _ in 0..n {
+        match await_result(&receiver, deadline) {
+            Ok(result) => {
+                let slot = result.index;
+                results[slot] = Some(result);
+            }
+            Err(response) => return response,
+        }
+    }
+    // Whole-request semantics: if any item timed out, the request did.
+    let mut rendered = Vec::with_capacity(n);
+    for result in results.into_iter().flatten() {
+        match result.outcome {
+            Ok(extraction) => {
+                rendered.push(Json::obj(vec![("fields", extraction_json(&extraction.fields))]))
+            }
+            Err(reason) => return shed_response(reason),
+        }
+    }
+    Response::json(Status::Ok, Json::obj(vec![("results", Json::Arr(rendered))]).to_string())
+}
+
+/// Waits for one batcher result, translating channel loss/timeouts into
+/// error responses.
+fn await_result(
+    receiver: &std::sync::mpsc::Receiver<ItemResult>,
+    deadline: Instant,
+) -> Result<ItemResult, Response> {
+    // Small grace period: the worker checks the deadline at dispatch; a
+    // batch admitted just in time may complete just after it.
+    let wait_until = deadline + Duration::from_secs(2);
+    let now = Instant::now();
+    let timeout = wait_until.saturating_duration_since(now);
+    match receiver.recv_timeout(timeout) {
+        Ok(result) => Ok(result),
+        Err(RecvTimeoutError::Timeout) => {
+            gs_obs::counter("serve.shed.deadline", 1);
+            Err(shed_response(ShedReason::DeadlineExceeded))
+        }
+        Err(RecvTimeoutError::Disconnected) => {
+            Err(error_response(Status::InternalError, "worker dropped request"))
+        }
+    }
+}

@@ -4,14 +4,16 @@
 //! (paper §2.4: fields like Baseline and Deadline "allow tracking progress
 //! over time").
 //!
-//! Reads and writes go through a `parking_lot::RwLock`, so the production
-//! pipeline can ingest while analysts query.
+//! Reads and writes go through a `std::sync::RwLock`, so the production
+//! pipeline can ingest while analysts query. Poisoned locks are recovered
+//! rather than propagated: every mutation is a whole-row insert, so a
+//! writer that panicked mid-call cannot leave a partially updated table.
 
 use crate::table::{Predicate, RowId, Schema, Table};
 use crate::value::{ColumnType, Value};
 use gs_core::ExtractedDetails;
-use parking_lot::RwLock;
 use serde::Serialize;
+use std::sync::{RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 /// One record as stored/exported.
 #[derive(Clone, Debug, PartialEq, Serialize, serde::Deserialize)]
@@ -82,6 +84,14 @@ impl Default for ObjectiveStore {
 }
 
 impl ObjectiveStore {
+    fn read(&self) -> RwLockReadGuard<'_, Table> {
+        self.inner.read().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    fn write(&self) -> RwLockWriteGuard<'_, Table> {
+        self.inner.write().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
     /// Creates an empty store with indexes on company and deadline year.
     pub fn new() -> Self {
         let schema = Schema::new(&[
@@ -122,7 +132,7 @@ impl ObjectiveStore {
             deadline_year,
             Value::Int((record.score * 1000.0).round() as i64),
         ];
-        let id = self.inner.write().insert(row);
+        let id = self.write().insert(row);
         if gs_obs::enabled() {
             gs_obs::counter("store.writes", 1);
             gs_obs::emit(
@@ -136,7 +146,7 @@ impl ObjectiveStore {
 
     /// Total stored objectives.
     pub fn len(&self) -> usize {
-        self.inner.read().len()
+        self.read().len()
     }
 
     /// Whether the store is empty.
@@ -161,7 +171,7 @@ impl ObjectiveStore {
 
     /// All records matching a predicate.
     pub fn query(&self, predicate: &Predicate) -> Vec<ObjectiveRecord> {
-        let table = self.inner.read();
+        let table = self.read();
         table.select(predicate).into_iter().map(|id| Self::record_at(&table, id)).collect()
     }
 
@@ -191,8 +201,7 @@ impl ObjectiveStore {
 
     /// Objective counts per company.
     pub fn counts_by_company(&self) -> Vec<(String, usize)> {
-        self.inner
-            .read()
+        self.read()
             .count_by("company")
             .into_iter()
             .filter_map(|(v, c)| v.as_text().map(|s| (s.to_string(), c)))
@@ -214,7 +223,7 @@ impl ObjectiveStore {
 
     /// Exports all rows as a JSON array.
     pub fn export_json(&self) -> String {
-        let table = self.inner.read();
+        let table = self.read();
         let records: Vec<ObjectiveRecord> =
             (0..table.len()).map(|r| Self::record_at(&table, RowId(r))).collect();
         serde_json::to_string_pretty(&records).expect("records serialize")
@@ -222,7 +231,7 @@ impl ObjectiveStore {
 
     /// Exports all rows as CSV (RFC-4180 quoting).
     pub fn export_csv(&self) -> String {
-        let table = self.inner.read();
+        let table = self.read();
         let mut out = String::new();
         let names: Vec<&str> = table.schema().column_names().collect();
         out.push_str(&names.join(","));

@@ -15,6 +15,7 @@
 //! - [`eval`]: the paper's P/R/F1 protocol, timing, table rendering.
 //! - [`store`]: the structured objective database.
 //! - [`pipeline`]: the end-to-end GoalSpotter system.
+//! - [`serve`]: the std-only HTTP extraction service with micro-batching.
 //! - [`obs`]: structured tracing, metrics, and training telemetry.
 //!
 //! See `examples/quickstart.rs` for a five-minute tour and DESIGN.md for
@@ -28,6 +29,7 @@ pub use gs_eval as eval;
 pub use gs_models as models;
 pub use gs_obs as obs;
 pub use gs_pipeline as pipeline;
+pub use gs_serve as serve;
 pub use gs_store as store;
 pub use gs_tensor as tensor;
 pub use gs_text as text;

@@ -1,0 +1,196 @@
+//! End-to-end service integration: a trained extractor served over HTTP
+//! with micro-batching must return exactly the same extractions as calling
+//! the model directly, shed load under a tiny queue instead of queueing
+//! without bound, and keep serving after the overload drains.
+
+use goalspotter::core::Objective;
+use goalspotter::models::transformer::{
+    ExtractorOptions, TrainConfig, TransformerConfig, TransformerExtractor,
+};
+use goalspotter::models::DetailExtractor;
+use goalspotter::pipeline::ExtractorEngine;
+use goalspotter::serve::{json, BatchConfig, Client, Json, Server, ServerConfig};
+use std::collections::BTreeMap;
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+
+/// One tiny trained extractor shared by every test in this file (training
+/// dominates test runtime; serving itself is cheap).
+fn engine() -> Arc<ExtractorEngine> {
+    static ENGINE: OnceLock<Arc<ExtractorEngine>> = OnceLock::new();
+    ENGINE
+        .get_or_init(|| {
+            let dataset = goalspotter::data::sustaingoals::generate(64, 42);
+            let refs: Vec<&Objective> = dataset.objectives.iter().collect();
+            let options = ExtractorOptions {
+                model: TransformerConfig {
+                    d_model: 32,
+                    n_heads: 2,
+                    n_layers: 1,
+                    d_ff: 64,
+                    max_len: 48,
+                    subword_budget: 250,
+                    ..TransformerConfig::roberta_sim()
+                },
+                train: TrainConfig { epochs: 8, lr: 3e-3, batch_size: 8, ..Default::default() },
+                ..Default::default()
+            };
+            Arc::new(ExtractorEngine(TransformerExtractor::train(&refs, &dataset.labels, options)))
+        })
+        .clone()
+}
+
+fn sample_texts(n: usize) -> Vec<String> {
+    let dataset = goalspotter::data::sustaingoals::generate(64, 42);
+    dataset.texts().into_iter().take(n).map(str::to_string).collect()
+}
+
+/// What the service should answer for `text`: the direct model extraction,
+/// minus empty fields (the service omits them).
+fn expected_fields(extractor: &TransformerExtractor, text: &str) -> BTreeMap<String, String> {
+    extractor.extract(text).fields.into_iter().filter(|(_, v)| !v.is_empty()).collect()
+}
+
+fn fields_of(value: &Json) -> BTreeMap<String, String> {
+    let Some(Json::Obj(map)) = value.get("fields") else {
+        panic!("no fields object in {value:?}");
+    };
+    map.iter().map(|(k, v)| (k.clone(), v.as_str().expect("string field").to_string())).collect()
+}
+
+fn single_body(text: &str) -> String {
+    Json::obj(vec![("text", Json::from(text))]).to_string()
+}
+
+#[test]
+fn concurrent_clients_receive_exact_model_outputs() {
+    let engine = engine();
+    let server = Server::start(
+        engine.clone(),
+        ServerConfig {
+            batch: BatchConfig {
+                max_batch: 8,
+                max_delay: Duration::from_millis(2),
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    )
+    .expect("start server");
+    let addr = server.addr();
+    let texts = sample_texts(24);
+
+    // Six concurrent clients hammer /v1/extract; micro-batched inference
+    // must be bitwise-faithful to the direct single-text path.
+    std::thread::scope(|scope| {
+        for chunk in texts.chunks(4) {
+            let engine = &engine;
+            scope.spawn(move || {
+                let mut client = Client::connect(addr, Duration::from_secs(10)).expect("connect");
+                for text in chunk {
+                    let resp =
+                        client.post_json("/v1/extract", &single_body(text)).expect("request");
+                    assert_eq!(resp.status, 200, "body: {}", resp.body);
+                    let value = json::parse(&resp.body).expect("response json");
+                    assert_eq!(fields_of(&value), expected_fields(&engine.0, text), "for {text:?}");
+                    let batch_size = value.get("batch_size").and_then(Json::as_u64);
+                    assert!(batch_size >= Some(1), "bad batch_size in {}", resp.body);
+                }
+            });
+        }
+    });
+
+    // The batch endpoint returns per-text results in order, each equal to
+    // the direct prediction.
+    let mut client = Client::connect(addr, Duration::from_secs(10)).expect("connect");
+    let array = Json::Arr(texts.iter().take(8).map(|t| Json::from(t.as_str())).collect());
+    let body = Json::obj(vec![("texts", array)]).to_string();
+    let resp = client.post_json("/v1/extract_batch", &body).expect("batch request");
+    assert_eq!(resp.status, 200, "body: {}", resp.body);
+    let value = json::parse(&resp.body).expect("response json");
+    let results = value.get("results").and_then(Json::as_arr).expect("results array");
+    assert_eq!(results.len(), 8);
+    for (result, text) in results.iter().zip(&texts) {
+        assert_eq!(fields_of(result), expected_fields(&engine.0, text), "for {text:?}");
+    }
+
+    let health = client.get("/healthz").expect("healthz");
+    assert_eq!(health.status, 200);
+    server.shutdown();
+}
+
+#[test]
+fn tiny_queue_sheds_excess_load_and_recovers() {
+    let engine = engine();
+    let server = Server::start(
+        engine.clone(),
+        ServerConfig {
+            batch: BatchConfig {
+                max_batch: 1,
+                max_delay: Duration::ZERO,
+                queue_capacity: 2,
+                workers: 1,
+            },
+            ..Default::default()
+        },
+    )
+    .expect("start server");
+    let addr = server.addr();
+    let texts = sample_texts(4);
+
+    // Admission is all-or-none: a batch larger than the whole queue can
+    // never be admitted and must be shed immediately with Retry-After.
+    let mut client = Client::connect(addr, Duration::from_secs(10)).expect("connect");
+    let array = Json::Arr(texts.iter().map(|t| Json::from(t.as_str())).collect());
+    let body = Json::obj(vec![("texts", array)]).to_string();
+    let resp = client.post_json("/v1/extract_batch", &body).expect("oversized batch");
+    assert_eq!(resp.status, 503, "body: {}", resp.body);
+    assert_eq!(resp.header("retry-after"), Some("1"));
+
+    // A concurrent flood gets a mix of successes and fast 503s — never
+    // hangs, never errors at the transport level.
+    let per_client = 10usize;
+    let mut ok = 0usize;
+    let mut shed = 0usize;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..6)
+            .map(|c| {
+                let texts = &texts;
+                scope.spawn(move || {
+                    let mut client =
+                        Client::connect(addr, Duration::from_secs(10)).expect("connect");
+                    let (mut ok, mut shed) = (0usize, 0usize);
+                    for i in 0..per_client {
+                        let text = &texts[(c + i) % texts.len()];
+                        let resp =
+                            client.post_json("/v1/extract", &single_body(text)).expect("request");
+                        match resp.status {
+                            200 => ok += 1,
+                            503 => shed += 1,
+                            other => panic!("unexpected status {other}: {}", resp.body),
+                        }
+                    }
+                    (ok, shed)
+                })
+            })
+            .collect();
+        for handle in handles {
+            let (o, s) = handle.join().expect("client thread");
+            ok += o;
+            shed += s;
+        }
+    });
+    assert_eq!(ok + shed, 6 * per_client);
+    assert!(ok > 0, "flood starved every request");
+
+    // Once the flood drains, the same server keeps serving correct answers.
+    let resp = client.post_json("/v1/extract", &single_body(&texts[0])).expect("post-flood");
+    assert_eq!(resp.status, 200, "body: {}", resp.body);
+    let value = json::parse(&resp.body).expect("response json");
+    assert_eq!(fields_of(&value), expected_fields(&engine.0, &texts[0]));
+
+    server.shutdown();
+    let after =
+        Client::connect(addr, Duration::from_millis(250)).and_then(|mut c| c.get("/healthz"));
+    assert!(after.is_err(), "server accepted connections after shutdown");
+}
