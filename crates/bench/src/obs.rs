@@ -17,7 +17,14 @@ use crate::Args;
 /// Recognised flags:
 /// - `--obs-jsonl PATH`: stream all events to `PATH` as JSON Lines.
 /// - `--no-obs`: leave telemetry disabled entirely (near-zero overhead).
+/// - `--sanitize`: enable the gs-tensor numeric sanitizer — every tape
+///   created after this point scans op outputs (and gradients during
+///   backward) for NaN/Inf and the trainers abort on the first issue with
+///   full provenance. Off by default: disabled cost is one branch per op.
 pub fn init(args: &Args) -> Option<Arc<Collector>> {
+    if args.has("sanitize") {
+        gs_tensor::set_sanitize(true);
+    }
     if args.has("no-obs") {
         return None;
     }

@@ -1,0 +1,135 @@
+//! Tape-growth detection across training steps.
+//!
+//! A training loop that accidentally threads one tape through multiple steps
+//! (or caches `Var`s across steps) shows up as a node count that keeps
+//! climbing. With a fresh tape per step the count is a function of the batch
+//! shape and stays flat, or fluctuates with sequence length without trending
+//! up. [`GrowthMonitor`] watches the per-step node count and trips after
+//! `patience` consecutive strict increases.
+
+use std::fmt;
+
+/// Sliding detector for monotone tape growth.
+#[derive(Debug, Clone)]
+pub struct GrowthMonitor {
+    patience: usize,
+    run: usize,
+    run_start: usize,
+    last: Option<usize>,
+    steps: usize,
+}
+
+/// Evidence of a leak: the node count rose on every one of `steps`
+/// consecutive observations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GrowthReport {
+    /// Consecutive strictly-increasing observations.
+    pub steps: usize,
+    /// Node count at the start of the run.
+    pub from_nodes: usize,
+    /// Node count at the latest observation.
+    pub to_nodes: usize,
+    /// Index (0-based) of the observation that tripped the monitor.
+    pub at_step: usize,
+}
+
+impl fmt::Display for GrowthReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "tape grew for {} consecutive steps ({} -> {} nodes, step {}); \
+             a tape or Vars are likely retained across steps",
+            self.steps, self.from_nodes, self.to_nodes, self.at_step
+        )
+    }
+}
+
+impl GrowthMonitor {
+    /// Creates a monitor that trips after `patience` consecutive strict
+    /// increases (clamped to at least 1).
+    pub fn new(patience: usize) -> GrowthMonitor {
+        GrowthMonitor {
+            patience: patience.max(1),
+            run: 0,
+            run_start: 0,
+            last: None,
+            steps: 0,
+        }
+    }
+
+    /// Records the node count of the tape used for one training step.
+    /// Returns a report when the count has strictly increased `patience`
+    /// times in a row.
+    pub fn observe(&mut self, nodes: usize) -> Option<GrowthReport> {
+        let step = self.steps;
+        self.steps += 1;
+        match self.last {
+            Some(prev) if nodes > prev => {
+                if self.run == 0 {
+                    self.run_start = prev;
+                }
+                self.run += 1;
+            }
+            _ => self.run = 0,
+        }
+        self.last = Some(nodes);
+        if self.run >= self.patience {
+            let report = GrowthReport {
+                steps: self.run,
+                from_nodes: self.run_start,
+                to_nodes: nodes,
+                at_step: step,
+            };
+            self.run = 0;
+            Some(report)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_counts_never_trip() {
+        let mut m = GrowthMonitor::new(3);
+        for _ in 0..100 {
+            assert_eq!(m.observe(500), None);
+        }
+    }
+
+    #[test]
+    fn fluctuating_counts_never_trip() {
+        let mut m = GrowthMonitor::new(3);
+        for step in 0..100 {
+            let nodes = 500 + (step % 3) * 40;
+            assert_eq!(m.observe(nodes), None, "step {step}");
+        }
+    }
+
+    #[test]
+    fn monotone_growth_trips_after_patience() {
+        let mut m = GrowthMonitor::new(3);
+        assert_eq!(m.observe(100), None);
+        assert_eq!(m.observe(110), None);
+        assert_eq!(m.observe(120), None);
+        let report = m.observe(130).expect("tripped");
+        assert_eq!(report.steps, 3);
+        assert_eq!(report.from_nodes, 100);
+        assert_eq!(report.to_nodes, 130);
+        assert_eq!(report.at_step, 3);
+        assert!(report.to_string().contains("3 consecutive steps"));
+    }
+
+    #[test]
+    fn run_resets_after_a_drop() {
+        let mut m = GrowthMonitor::new(2);
+        assert_eq!(m.observe(100), None);
+        assert_eq!(m.observe(110), None);
+        assert_eq!(m.observe(90), None); // reset
+        assert_eq!(m.observe(95), None);
+        assert!(m.observe(99).is_some());
+    }
+}

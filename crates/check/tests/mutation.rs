@@ -1,0 +1,312 @@
+//! Mutation self-test: a miniature encoder trace with one deliberately
+//! injected bug per case. Each mutation must be flagged by gs-check with
+//! the correct finding kind and provenance (node, op, scope, label) —
+//! before any forward pass could run — and the unmutated trace must be
+//! completely clean. This is the test that keeps the analyzer honest: a
+//! lint that stops firing breaks one of these cases.
+
+use gs_check::{check_traced, Analysis, FindingKind, SymTape};
+use gs_tensor::{TapeOps, Tensor, Var};
+
+/// Which single bug to inject into the trace. `None` of them = clean.
+#[derive(Default, Clone, Copy)]
+struct Mutation {
+    /// FFN `w1` stored transposed (`[d_ff, d]` instead of `[d, d_ff]`).
+    transposed_ffn_w1: bool,
+    /// Embedding layer-norm gamma has length `d + 1`.
+    wrong_gamma_shape: bool,
+    /// Classifier head recorded but never wired to the loss.
+    detached_head: bool,
+    /// Head weight bound as a labeled constant (frozen parameter).
+    frozen_head: bool,
+    /// One NaN inside the token-embedding table.
+    nan_in_embedding: bool,
+    /// A token id one past the vocabulary size.
+    out_of_vocab_id: bool,
+    /// Column slice past the hidden width.
+    bad_slice: bool,
+    /// A class target `>= num_classes`.
+    bad_target: bool,
+    /// Column-concat of parts with mismatched row counts.
+    concat_row_mismatch: bool,
+    /// An activation computed and then dropped on the floor.
+    unused_intermediate: bool,
+    /// The raw logits used as the loss instead of the reduced scalar.
+    non_scalar_loss: bool,
+    /// Dropout mask recorded with the wrong shape.
+    wrong_dropout_mask: bool,
+    /// Extra residual-path depth: exercise a second block when clean.
+    two_blocks: bool,
+}
+
+const VOCAB: usize = 8;
+const D: usize = 4;
+const D_FF: usize = 6;
+const SEQ: usize = 3;
+const CLASSES: usize = 5;
+
+/// Records one FFN block (`h @ w1 + b1 -> gelu -> @ w2 + b2`, residual).
+fn ffn_block(sym: &SymTape, h: Var, layer: usize, m: Mutation) -> Var {
+    sym.push_scope(&format!("l{layer}.ffn"));
+    let w1_shape: &[usize] =
+        if m.transposed_ffn_w1 && layer == 0 { &[D_FF, D] } else { &[D, D_FF] };
+    let w1 = sym.leaf_labeled(&Tensor::zeros(w1_shape), &format!("l{layer}.ffn.w1"));
+    let b1 = sym.leaf_labeled(&Tensor::zeros(&[D_FF]), &format!("l{layer}.ffn.b1"));
+    let w2 = sym.leaf_labeled(&Tensor::zeros(&[D_FF, D]), &format!("l{layer}.ffn.w2"));
+    let b2 = sym.leaf_labeled(&Tensor::zeros(&[D]), &format!("l{layer}.ffn.b2"));
+    let a = sym.gelu(sym.add_bias(sym.matmul(h, w1), b1));
+    let f = sym.add_bias(sym.matmul(a, w2), b2);
+    let out = sym.add(h, f);
+    sym.pop_scope();
+    out
+}
+
+/// Traces the miniature encoder with `m`'s bug injected, returning the
+/// merged static analysis.
+fn trace(m: Mutation) -> Analysis {
+    let sym = SymTape::new();
+
+    sym.push_scope("emb");
+    let mut table = Tensor::zeros(&[VOCAB, D]);
+    if m.nan_in_embedding {
+        table.data_mut()[2 * D + 1] = f32::NAN;
+    }
+    let tok = sym.leaf_labeled(&table, "emb.tok");
+    let ids: Vec<usize> =
+        (0..SEQ).map(|i| if m.out_of_vocab_id && i == 1 { VOCAB } else { i % VOCAB }).collect();
+    let gathered = sym.embed_gather(tok, &ids);
+    let gamma_len = if m.wrong_gamma_shape { D + 1 } else { D };
+    let g = sym.leaf_labeled(&Tensor::zeros(&[gamma_len]), "emb.ln.g");
+    let b = sym.leaf_labeled(&Tensor::zeros(&[D]), "emb.ln.b");
+    let mut h = sym.layer_norm(gathered, g, b);
+    sym.pop_scope();
+
+    h = ffn_block(&sym, h, 0, m);
+    if m.two_blocks {
+        h = ffn_block(&sym, h, 1, m);
+    }
+
+    if m.bad_slice {
+        h = sym.slice_cols(h, 0, D + 2);
+    }
+    if m.concat_row_mismatch {
+        let stray = sym.constant(Tensor::zeros(&[SEQ + 1, 2]));
+        h = sym.concat_cols(&[sym.slice_cols(h, 0, D), stray]);
+        h = sym.slice_cols(h, 0, D);
+    }
+    if m.wrong_dropout_mask {
+        h = sym.dropout_with_mask(h, Tensor::zeros(&[SEQ, D + 1]));
+    }
+    if m.unused_intermediate {
+        let _dropped = sym.relu(h);
+    }
+
+    sym.push_scope("head");
+    let hw = Tensor::zeros(&[D, CLASSES]);
+    let w = if m.frozen_head {
+        sym.constant_labeled(&hw, "head.w")
+    } else {
+        sym.leaf_labeled(&hw, "head.w")
+    };
+    let wb = sym.leaf_labeled(&Tensor::zeros(&[CLASSES]), "head.b");
+    let logits = sym.add_bias(sym.matmul(h, w), wb);
+    sym.pop_scope();
+
+    let targets: Vec<i64> =
+        (0..SEQ).map(|i| if m.bad_target && i == 0 { CLASSES as i64 } else { i as i64 % 3 }).collect();
+    let loss = if m.detached_head {
+        // "Forgot the head": reduce the hidden state directly.
+        sym.mean_all(h)
+    } else {
+        sym.cross_entropy(logits, &targets)
+    };
+    let designated = if m.non_scalar_loss { logits } else { loss };
+    check_traced(sym, Some(designated))
+}
+
+/// The single finding of `kind`, asserting it is the only one.
+fn only_finding(analysis: &Analysis, kind: FindingKind) -> gs_check::Finding {
+    assert_eq!(
+        analysis.findings.len(),
+        1,
+        "expected exactly one {kind:?}, got: {:#?}",
+        analysis.findings
+    );
+    let f = analysis.findings[0].clone();
+    assert_eq!(f.kind, kind, "wrong kind: {f}");
+    f
+}
+
+#[test]
+fn clean_traces_have_zero_findings() {
+    for two_blocks in [false, true] {
+        let analysis = trace(Mutation { two_blocks, ..Mutation::default() });
+        assert!(
+            analysis.is_clean(),
+            "clean trace (two_blocks={two_blocks}) flagged: {:#?}",
+            analysis.findings
+        );
+        // 4 FFN params per block + emb.tok + 2 ln + head.w + head.b.
+        let expected = if two_blocks { 13 } else { 9 };
+        assert_eq!(analysis.params, expected);
+    }
+}
+
+#[test]
+fn transposed_matmul_operand_is_flagged_in_its_layer() {
+    let analysis = trace(Mutation { transposed_ffn_w1: true, ..Mutation::default() });
+    let f = only_finding(&analysis, FindingKind::ShapeViolation);
+    assert_eq!(f.op, "matmul");
+    assert_eq!(f.scope, "l0.ffn");
+    // Identical to what the eager tape would have panicked with.
+    assert_eq!(
+        f.message,
+        gs_tensor::shape::matmul(&[SEQ, D], &[D_FF, D]).unwrap_err().to_string()
+    );
+}
+
+#[test]
+fn wrong_gamma_shape_is_flagged_at_the_layer_norm() {
+    let analysis = trace(Mutation { wrong_gamma_shape: true, ..Mutation::default() });
+    let f = only_finding(&analysis, FindingKind::ShapeViolation);
+    assert_eq!(f.op, "layer_norm");
+    assert_eq!(f.scope, "emb");
+    assert_eq!(
+        f.message,
+        gs_tensor::shape::layer_norm(&[SEQ, D], &[D + 1], &[D]).unwrap_err().to_string()
+    );
+}
+
+#[test]
+fn detached_head_reports_both_dead_params() {
+    let analysis = trace(Mutation { detached_head: true, ..Mutation::default() });
+    // head.w and head.b never reach the loss; the logits chain is also
+    // unconsumed dead compute.
+    let dead: Vec<_> = analysis
+        .findings
+        .iter()
+        .filter(|f| f.kind == FindingKind::DeadParam)
+        .map(|f| f.label.clone().unwrap())
+        .collect();
+    assert_eq!(dead, vec!["head.w".to_string(), "head.b".to_string()]);
+    assert!(
+        analysis.findings.iter().all(|f| matches!(
+            f.kind,
+            FindingKind::DeadParam | FindingKind::UnusedValue
+        )),
+        "unexpected kinds: {:#?}",
+        analysis.findings
+    );
+    let dead_scopes: Vec<_> = analysis
+        .findings
+        .iter()
+        .filter(|f| f.kind == FindingKind::DeadParam)
+        .map(|f| f.scope.as_str())
+        .collect();
+    assert_eq!(dead_scopes, vec!["head", "head"]);
+}
+
+#[test]
+fn frozen_head_weight_is_flagged_as_constant_on_grad_path() {
+    let analysis = trace(Mutation { frozen_head: true, ..Mutation::default() });
+    let f = only_finding(&analysis, FindingKind::ConstantOnGradPath);
+    assert_eq!(f.label.as_deref(), Some("head.w"));
+    assert_eq!(f.scope, "head");
+    assert_eq!(f.op, "leaf");
+}
+
+#[test]
+fn nan_in_embedding_table_is_flagged_before_any_math() {
+    let analysis = trace(Mutation { nan_in_embedding: true, ..Mutation::default() });
+    let f = only_finding(&analysis, FindingKind::NonFiniteParam);
+    assert_eq!(f.label.as_deref(), Some("emb.tok"));
+    assert_eq!(f.scope, "emb");
+    assert_eq!(f.node, 0, "the table is the very first node");
+    assert!(f.message.contains("NaN"), "message: {}", f.message);
+}
+
+#[test]
+fn out_of_vocab_id_is_flagged_at_the_gather() {
+    let analysis = trace(Mutation { out_of_vocab_id: true, ..Mutation::default() });
+    let f = only_finding(&analysis, FindingKind::ShapeViolation);
+    assert_eq!(f.op, "embed_gather");
+    assert_eq!(f.scope, "emb");
+    assert_eq!(
+        f.message,
+        gs_tensor::shape::embed_gather(&[VOCAB, D], SEQ, Some(VOCAB))
+            .unwrap_err()
+            .to_string()
+    );
+}
+
+#[test]
+fn slice_past_hidden_width_is_flagged() {
+    let analysis = trace(Mutation { bad_slice: true, ..Mutation::default() });
+    let f = only_finding(&analysis, FindingKind::ShapeViolation);
+    assert_eq!(f.op, "slice_cols");
+    assert_eq!(
+        f.message,
+        gs_tensor::shape::slice_cols(&[SEQ, D], 0, D + 2).unwrap_err().to_string()
+    );
+}
+
+#[test]
+fn target_out_of_class_range_is_flagged() {
+    let analysis = trace(Mutation { bad_target: true, ..Mutation::default() });
+    let f = only_finding(&analysis, FindingKind::ShapeViolation);
+    assert_eq!(f.op, "cross_entropy");
+    assert_eq!(
+        f.message,
+        gs_tensor::shape::cross_entropy(&[SEQ, CLASSES], SEQ, Some(CLASSES as i64))
+            .unwrap_err()
+            .to_string()
+    );
+}
+
+#[test]
+fn concat_with_mismatched_rows_is_flagged() {
+    let analysis = trace(Mutation { concat_row_mismatch: true, ..Mutation::default() });
+    let f = only_finding(&analysis, FindingKind::ShapeViolation);
+    assert_eq!(f.op, "concat_cols");
+    assert_eq!(
+        f.message,
+        gs_tensor::shape::concat_cols(&[&[SEQ, D], &[SEQ + 1, 2]])
+            .unwrap_err()
+            .to_string()
+    );
+}
+
+#[test]
+fn wrong_dropout_mask_shape_is_flagged() {
+    let analysis = trace(Mutation { wrong_dropout_mask: true, ..Mutation::default() });
+    let f = only_finding(&analysis, FindingKind::ShapeViolation);
+    assert_eq!(f.op, "dropout");
+    assert_eq!(
+        f.message,
+        gs_tensor::shape::dropout(&[SEQ, D], &[SEQ, D + 1]).unwrap_err().to_string()
+    );
+}
+
+#[test]
+fn unused_intermediate_is_flagged_as_dead_compute() {
+    let analysis = trace(Mutation { unused_intermediate: true, ..Mutation::default() });
+    let f = only_finding(&analysis, FindingKind::UnusedValue);
+    assert_eq!(f.op, "relu");
+}
+
+#[test]
+fn non_scalar_loss_is_flagged_before_backward_would_panic() {
+    let analysis = trace(Mutation { non_scalar_loss: true, ..Mutation::default() });
+    let kinds: Vec<_> = analysis.findings.iter().map(|f| f.kind).collect();
+    assert!(kinds.contains(&FindingKind::NonScalarLoss), "findings: {:#?}", analysis.findings);
+    let f = analysis
+        .findings
+        .iter()
+        .find(|f| f.kind == FindingKind::NonScalarLoss)
+        .unwrap();
+    assert!(
+        f.message.contains(&format!("{:?}", [SEQ, CLASSES])),
+        "message should name the offending shape: {}",
+        f.message
+    );
+}

@@ -1,0 +1,227 @@
+//! Property test: on randomly generated valid-by-construction programs,
+//! the shapes gs-check infers statically are exactly the shapes the eager
+//! tape produces by running the forward pass. Any divergence means a
+//! shape rule and the runtime kernel disagree about an op's contract.
+
+use gs_check::SymTape;
+use gs_tensor::{Tape, TapeOps, Tensor, Var};
+use proptest::prelude::*;
+
+/// Records the same program on an eager tape and a symbolic tape.
+struct Twin {
+    tape: Tape,
+    sym: SymTape,
+    /// Same-index pairs of handles; node indices agree on both tapes
+    /// because every step records exactly one node on each.
+    vars: Vec<(Var, Var)>,
+}
+
+impl Twin {
+    fn new() -> Twin {
+        Twin { tape: Tape::new(), sym: SymTape::new(), vars: Vec::new() }
+    }
+
+    fn push(&mut self, pair: (Var, Var)) -> (Var, Var) {
+        self.vars.push(pair);
+        pair
+    }
+
+    fn leaf(&mut self, t: Tensor) -> (Var, Var) {
+        let pair = (self.tape.leaf(t.clone()), self.sym.leaf(t));
+        self.push(pair)
+    }
+
+    fn shape_of(&self, pair: (Var, Var)) -> Vec<usize> {
+        self.tape.value(pair.0).shape().to_vec()
+    }
+
+    /// An existing variable chosen by `pick`, filtered by `keep` on its
+    /// eager shape. `None` when nothing qualifies.
+    fn pick_var(&self, pick: usize, keep: impl Fn(&[usize]) -> bool) -> Option<(Var, Var)> {
+        let matching: Vec<(Var, Var)> = self
+            .vars
+            .iter()
+            .copied()
+            .filter(|&pair| keep(&self.shape_of(pair)))
+            .collect();
+        if matching.is_empty() {
+            None
+        } else {
+            Some(matching[pick % matching.len()])
+        }
+    }
+}
+
+fn rank2(shape: &[usize]) -> bool {
+    shape.len() == 2
+}
+
+/// One interpreted step. `(rows, cols)` are 1-based free dimensions and
+/// `pick` selects among the existing candidate variables.
+fn step(twin: &mut Twin, opcode: u8, rows: usize, cols: usize, pick: usize) {
+    // Fallback used whenever the op has no valid operand yet.
+    macro_rules! operand {
+        ($keep:expr) => {
+            match twin.pick_var(pick, $keep) {
+                Some(pair) => pair,
+                None => twin.leaf(Tensor::full(&[rows, cols], 0.5)),
+            }
+        };
+    }
+    match opcode {
+        0 => {
+            twin.leaf(Tensor::full(&[rows, cols], 0.25));
+        }
+        1 => {
+            // Elementwise pair: partner is a fresh leaf of the same shape.
+            let a = operand!(|_| true);
+            let b = twin.leaf(Tensor::full(&twin.shape_of(a), 1.5));
+            let pair = (twin.tape.add(a.0, b.0), twin.sym.add(a.1, b.1));
+            twin.push(pair);
+        }
+        2 => {
+            let a = operand!(|_| true);
+            let b = twin.leaf(Tensor::full(&twin.shape_of(a), 0.5));
+            let pair = (twin.tape.mul(a.0, b.0), twin.sym.mul(a.1, b.1));
+            twin.push(pair);
+        }
+        3 => {
+            let a = operand!(|_| true);
+            let pair = (twin.tape.scale(a.0, 2.0), twin.sym.scale(a.1, 2.0));
+            twin.push(pair);
+        }
+        4 => {
+            let a = operand!(rank2);
+            let k = twin.shape_of(a)[1];
+            let b = twin.leaf(Tensor::full(&[k, cols], 0.1));
+            let pair = (twin.tape.matmul(a.0, b.0), twin.sym.matmul(a.1, b.1));
+            twin.push(pair);
+        }
+        5 => {
+            let a = operand!(rank2);
+            let k = twin.shape_of(a)[1];
+            let b = twin.leaf(Tensor::full(&[rows, k], 0.1));
+            let pair =
+                (twin.tape.matmul_transb(a.0, b.0), twin.sym.matmul_transb(a.1, b.1));
+            twin.push(pair);
+        }
+        6 => {
+            let a = operand!(|_| true);
+            let pair = (twin.tape.relu(a.0), twin.sym.relu(a.1));
+            twin.push(pair);
+        }
+        7 => {
+            let a = operand!(|_| true);
+            let pair = (twin.tape.gelu(a.0), twin.sym.gelu(a.1));
+            twin.push(pair);
+        }
+        8 => {
+            let a = operand!(rank2);
+            let pair =
+                (twin.tape.softmax_last_dim(a.0), twin.sym.softmax_last_dim(a.1));
+            twin.push(pair);
+        }
+        9 => {
+            let a = operand!(rank2);
+            let d = twin.shape_of(a)[1];
+            let bias = twin.leaf(Tensor::full(&[d], 0.01));
+            let pair = (twin.tape.add_bias(a.0, bias.0), twin.sym.add_bias(a.1, bias.1));
+            twin.push(pair);
+        }
+        10 => {
+            let a = operand!(rank2);
+            let d = twin.shape_of(a)[1];
+            let gamma = twin.leaf(Tensor::full(&[d], 1.0));
+            let beta = twin.leaf(Tensor::full(&[d], 0.0));
+            let pair = (
+                twin.tape.layer_norm(a.0, gamma.0, beta.0),
+                twin.sym.layer_norm(a.1, gamma.1, beta.1),
+            );
+            twin.push(pair);
+        }
+        11 => {
+            let table = operand!(rank2);
+            let n = twin.shape_of(table)[0];
+            let ids: Vec<usize> = (0..rows).map(|i| (pick + i) % n).collect();
+            let pair = (
+                twin.tape.embed_gather(table.0, &ids),
+                twin.sym.embed_gather(table.1, &ids),
+            );
+            twin.push(pair);
+        }
+        12 => {
+            let a = operand!(rank2);
+            let shape = twin.shape_of(a);
+            let right = twin.leaf(Tensor::full(&[shape[0], cols], 0.2));
+            let pair = (
+                twin.tape.concat_cols(&[a.0, right.0]),
+                twin.sym.concat_cols(&[a.1, right.1]),
+            );
+            twin.push(pair);
+        }
+        13 => {
+            let a = operand!(rank2);
+            let c = twin.shape_of(a)[1];
+            let start = pick % c;
+            let end = start + 1 + (cols - 1).min(c - start - 1);
+            let pair = (
+                twin.tape.slice_cols(a.0, start, end),
+                twin.sym.slice_cols(a.1, start, end),
+            );
+            twin.push(pair);
+        }
+        14 => {
+            let a = operand!(|_| true);
+            let pair = (twin.tape.mean_all(a.0), twin.sym.mean_all(a.1));
+            twin.push(pair);
+        }
+        15 => {
+            let a = operand!(|_| true);
+            let mask = Tensor::full(&twin.shape_of(a), 1.0);
+            let pair = (
+                twin.tape.dropout_with_mask(a.0, mask.clone()),
+                twin.sym.dropout_with_mask(a.1, mask),
+            );
+            twin.push(pair);
+        }
+        _ => {
+            let logits = operand!(rank2);
+            let [n, c] = twin.shape_of(logits)[..] else { unreachable!() };
+            let targets: Vec<i64> = (0..n).map(|i| ((pick + i) % c) as i64).collect();
+            let pair = (
+                twin.tape.cross_entropy(logits.0, &targets),
+                twin.sym.cross_entropy(logits.1, &targets),
+            );
+            twin.push(pair);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn static_shapes_match_eager_execution(
+        ops in prop::collection::vec((0u8..17, 1usize..5, 1usize..5, 0usize..64), 1..24)
+    ) {
+        let mut twin = Twin::new();
+        for (opcode, rows, cols, pick) in ops {
+            step(&mut twin, opcode, rows, cols, pick);
+        }
+        // Valid-by-construction programs must analyze clean...
+        prop_assert!(twin.sym.findings().is_empty(), "{:#?}", twin.sym.findings());
+        // ...and every inferred shape must equal the executed shape.
+        for &(eager, symbolic) in &twin.vars {
+            let ran = twin.tape.value(eager).shape().to_vec();
+            let inferred = twin.sym.shape(symbolic);
+            prop_assert_eq!(
+                inferred.clone(),
+                Some(ran.clone()),
+                "node {}: static {:?} vs eager {:?}",
+                symbolic.index(),
+                inferred,
+                ran
+            );
+        }
+    }
+}

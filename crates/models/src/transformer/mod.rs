@@ -1,11 +1,13 @@
 //! Trainable transformer encoders for sequence labeling (paper §3.3).
 
+mod check;
 mod config;
 mod extractor;
 mod model;
 mod pretrain;
 mod trainer;
 
+pub use check::{assert_classifier_valid, validate_classifier};
 pub use config::{ModelFamily, TrainConfig, TransformerConfig};
 pub use extractor::{ExtractorOptions, ExtractorView, TransformerExtractor};
 pub use model::TokenClassifier;

@@ -10,7 +10,9 @@
 //! ```
 
 use super::config::{ModelFamily, TransformerConfig};
-use gs_tensor::{normal, xavier_uniform, Binder, ParamId, ParamStore, Tape, Tensor, Var};
+use gs_tensor::{
+    normal, xavier_uniform, Binder, ParamId, ParamStore, Tape, TapeOps, Tensor, Var,
+};
 use rand::rngs::StdRng;
 use rand::Rng;
 use rand::SeedableRng;
@@ -125,10 +127,14 @@ impl TokenClassifier {
     /// Runs the encoder over `ids` (already truncated to `max_len`),
     /// returning the `[n, num_classes]` logits variable. When `dropout_rng`
     /// is provided the model runs in training mode with inverted dropout.
-    pub fn forward(
+    ///
+    /// Generic over [`TapeOps`], so the same code path drives both the eager
+    /// autograd [`Tape`] and the gs-check symbolic tape (shape-only tracing
+    /// with no value computation).
+    pub fn forward<T: TapeOps>(
         &self,
-        tape: &Tape,
-        binder: &mut Binder<'_>,
+        tape: &T,
+        binder: &mut Binder<'_, T>,
         ids: &[usize],
         dropout_rng: Option<&mut StdRng>,
     ) -> Var {
@@ -139,6 +145,7 @@ impl TokenClassifier {
         let d = self.config.d_model;
 
         // Embeddings.
+        tape.push_scope("emb");
         let tok_table = binder.bind(&self.store, self.id("emb.tok"));
         let pos_table = binder.bind(&self.store, self.id("emb.pos"));
         let tok = tape.embed_gather(tok_table, ids);
@@ -155,22 +162,26 @@ impl TokenClassifier {
         let b = binder.bind(&self.store, self.id("emb.ln.b"));
         h = tape.layer_norm(h, g, b);
         h = self.maybe_dropout(tape, h, &mut dropout_rng, &[n, d]);
+        tape.pop_scope();
 
         for l in 0..self.config.n_layers {
             h = self.attention_block(tape, binder, h, l, n, &mut dropout_rng);
             h = self.ffn_block(tape, binder, h, l, n, &mut dropout_rng);
         }
 
+        tape.push_scope("head");
         let w = binder.bind(&self.store, self.id("head.w"));
         let bh = binder.bind(&self.store, self.id("head.b"));
         let logits = tape.matmul(h, w);
-        tape.add_bias(logits, bh)
+        let out = tape.add_bias(logits, bh);
+        tape.pop_scope();
+        out
     }
 
-    fn attention_block(
+    fn attention_block<T: TapeOps>(
         &self,
-        tape: &Tape,
-        binder: &mut Binder<'_>,
+        tape: &T,
+        binder: &mut Binder<'_, T>,
         h: Var,
         layer: usize,
         n: usize,
@@ -178,7 +189,9 @@ impl TokenClassifier {
     ) -> Var {
         let d = self.config.d_model;
         let dh = self.config.d_head();
-        let bind = |binder: &mut Binder<'_>, name: String| binder.bind(&self.store, self.id(&name));
+        let bind =
+            |binder: &mut Binder<'_, T>, name: String| binder.bind(&self.store, self.id(&name));
+        tape.push_scope(&format!("l{layer}.attn"));
 
         let wq = bind(binder, format!("l{layer}.attn.wq"));
         let bq = bind(binder, format!("l{layer}.attn.bq"));
@@ -211,20 +224,24 @@ impl TokenClassifier {
         let sum = tape.add(h, out);
         let g = bind(binder, format!("l{layer}.ln1.g"));
         let b = bind(binder, format!("l{layer}.ln1.b"));
-        tape.layer_norm(sum, g, b)
+        let normed = tape.layer_norm(sum, g, b);
+        tape.pop_scope();
+        normed
     }
 
-    fn ffn_block(
+    fn ffn_block<T: TapeOps>(
         &self,
-        tape: &Tape,
-        binder: &mut Binder<'_>,
+        tape: &T,
+        binder: &mut Binder<'_, T>,
         h: Var,
         layer: usize,
         n: usize,
         dropout_rng: &mut Option<&mut StdRng>,
     ) -> Var {
         let d = self.config.d_model;
-        let bind = |binder: &mut Binder<'_>, name: String| binder.bind(&self.store, self.id(&name));
+        let bind =
+            |binder: &mut Binder<'_, T>, name: String| binder.bind(&self.store, self.id(&name));
+        tape.push_scope(&format!("l{layer}.ffn"));
         let w1 = bind(binder, format!("l{layer}.ffn.w1"));
         let b1 = bind(binder, format!("l{layer}.ffn.b1"));
         let w2 = bind(binder, format!("l{layer}.ffn.w2"));
@@ -237,12 +254,14 @@ impl TokenClassifier {
         let sum = tape.add(h, out);
         let g = bind(binder, format!("l{layer}.ln2.g"));
         let b = bind(binder, format!("l{layer}.ln2.b"));
-        tape.layer_norm(sum, g, b)
+        let normed = tape.layer_norm(sum, g, b);
+        tape.pop_scope();
+        normed
     }
 
-    fn maybe_dropout(
+    fn maybe_dropout<T: TapeOps>(
         &self,
-        tape: &Tape,
+        tape: &T,
         x: Var,
         dropout_rng: &mut Option<&mut StdRng>,
         shape: &[usize],

@@ -8,8 +8,10 @@
 //! used), then swap the LM head for a token-classification head and
 //! fine-tune on the weakly labeled objectives.
 
+use super::check::assert_classifier_valid;
 use super::config::{ModelFamily, TransformerConfig};
 use super::model::TokenClassifier;
+use gs_check::GrowthMonitor;
 use gs_tensor::{Binder, Optimizer, Tape, WarmupLinearSchedule};
 use gs_text::{Normalizer, NormalizerConfig, Tokenizer};
 use rand::rngs::StdRng;
@@ -101,6 +103,8 @@ pub fn pretrain_encoder(
     assert!(!sequences.is_empty(), "pretraining corpus encoded to nothing");
 
     let mut model = TokenClassifier::new(model_config.clone(), vocab_size, vocab_size, config.seed);
+    // Fail fast, before any forward: symbolic shape check + graph lints.
+    assert_classifier_valid(&model, "pretraining");
     let mut opt = Optimizer::adam(config.lr);
     let steps_per_epoch = sequences.len().div_ceil(config.batch_size.max(1));
     let total_steps = (steps_per_epoch * config.epochs) as u64;
@@ -114,6 +118,7 @@ pub fn pretrain_encoder(
     let mut order: Vec<usize> = (0..sequences.len()).collect();
     let mut epoch_losses = Vec::with_capacity(config.epochs);
     let mut step = 0u64;
+    let mut growth = GrowthMonitor::new(64);
     for epoch in 0..config.epochs {
         order.shuffle(&mut rng);
         let epoch_start = gs_obs::enabled().then(std::time::Instant::now);
@@ -153,6 +158,22 @@ pub fn pretrain_encoder(
                 counted += 1;
                 let mut grads = tape.backward(loss);
                 binder.accumulate(&mut grads, model.store_mut());
+                if let Some(issue) = tape.first_numeric_issue() {
+                    gs_obs::counter("pretrain.sanitizer_trips", 1);
+                    panic!("numeric sanitizer tripped at step {step} (epoch {epoch}): {issue}");
+                }
+                if let Some(report) = growth.observe(tape.len()) {
+                    gs_obs::counter("pretrain.tape_growth_alerts", 1);
+                    gs_obs::emit(
+                        "tape_growth",
+                        "pretrain",
+                        vec![
+                            ("step", step.into()),
+                            ("epoch", epoch.into()),
+                            ("detail", report.to_string().into()),
+                        ],
+                    );
+                }
             }
             epoch_loss += batch_loss;
             if batch_used > 0 {

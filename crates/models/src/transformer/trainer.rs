@@ -2,8 +2,10 @@
 //! accumulation over a mini-batch (paper batch size 16), Adam with linear
 //! warmup/decay, and global-norm clipping.
 
+use super::check::assert_classifier_valid;
 use super::config::TrainConfig;
 use super::model::TokenClassifier;
+use gs_check::GrowthMonitor;
 use gs_tensor::{Binder, Optimizer, Tape, WarmupLinearSchedule};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -53,6 +55,9 @@ pub fn train_token_classifier_cb(
         assert!(!ex.ids.is_empty(), "empty example");
     }
 
+    // Fail fast, before any forward: symbolic shape check + graph lints.
+    assert_classifier_valid(model, "fine-tuning");
+
     let steps_per_epoch = examples.len().div_ceil(config.batch_size.max(1));
     let total_steps = (steps_per_epoch * config.epochs) as u64;
     let schedule = WarmupLinearSchedule {
@@ -69,6 +74,9 @@ pub fn train_token_classifier_cb(
     let mut stats = Vec::with_capacity(config.epochs);
     let mut order: Vec<usize> = (0..examples.len()).collect();
     let mut step: u64 = 0;
+    // Sequence lengths vary, so a long monotone run of growing tapes is a
+    // leak signal, not data noise.
+    let mut growth = GrowthMonitor::new(64);
     for epoch in 0..config.epochs {
         order.shuffle(&mut shuffle_rng);
         let epoch_start = gs_obs::enabled().then(std::time::Instant::now);
@@ -84,6 +92,22 @@ pub fn train_token_classifier_cb(
                 batch_loss += f64::from(tape.value(loss).item());
                 let mut grads = tape.backward(loss);
                 binder.accumulate(&mut grads, model.store_mut());
+                if let Some(issue) = tape.first_numeric_issue() {
+                    gs_obs::counter("train.sanitizer_trips", 1);
+                    panic!("numeric sanitizer tripped at step {step} (epoch {epoch}): {issue}");
+                }
+                if let Some(report) = growth.observe(tape.len()) {
+                    gs_obs::counter("train.tape_growth_alerts", 1);
+                    gs_obs::emit(
+                        "tape_growth",
+                        "finetune",
+                        vec![
+                            ("step", step.into()),
+                            ("epoch", epoch.into()),
+                            ("detail", report.to_string().into()),
+                        ],
+                    );
+                }
             }
             epoch_loss += batch_loss;
             let max_norm = config.clip_norm * batch.len() as f32;

@@ -121,6 +121,11 @@ pub fn read_request<R: BufRead>(reader: &mut R, max_body_bytes: usize) -> ParseO
 
     let mut body = Vec::new();
     if let Some((_, v)) = headers.iter().find(|(k, _)| k == "content-length") {
+        // RFC 9110 Content-Length is 1*DIGIT; `usize::from_str` alone would
+        // also accept a leading "+".
+        if v.is_empty() || !v.bytes().all(|b| b.is_ascii_digit()) {
+            return ParseOutcome::Malformed(Status::BadRequest);
+        }
         let len: usize = match v.parse() {
             Ok(n) => n,
             Err(_) => return ParseOutcome::Malformed(Status::BadRequest),

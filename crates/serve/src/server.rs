@@ -250,6 +250,11 @@ fn metrics() -> Response {
     Response::text(Status::Ok, metrics_text::render(&snapshot))
 }
 
+/// Largest accepted `deadline_ms` (one hour). Anything bigger is a client
+/// error; unbounded values would overflow `Instant::now() + budget` and
+/// panic the connection handler instead of producing a 400.
+const MAX_DEADLINE_MS: u64 = 3_600_000;
+
 /// Parses the request body and the optional `deadline_ms` budget.
 fn parse_body(request: &Request) -> Result<(Json, Option<Duration>), Response> {
     let Some(text) = request.body_utf8() else {
@@ -260,7 +265,13 @@ fn parse_body(request: &Request) -> Result<(Json, Option<Duration>), Response> {
     let deadline = match value.get("deadline_ms") {
         None => None,
         Some(v) => match v.as_u64() {
-            Some(ms) => Some(Duration::from_millis(ms)),
+            Some(ms) if ms <= MAX_DEADLINE_MS => Some(Duration::from_millis(ms)),
+            Some(_) => {
+                return Err(error_response(
+                    Status::BadRequest,
+                    "deadline_ms exceeds the one-hour maximum",
+                ))
+            }
             None => {
                 return Err(error_response(
                     Status::BadRequest,

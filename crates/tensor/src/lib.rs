@@ -10,6 +10,11 @@
 //!   verified against finite differences in unit tests.
 //! - [`ParamStore`] / [`Optimizer`]: named parameters, gradient
 //!   accumulation/clipping, SGD and Adam, warmup-linear LR schedules.
+//! - [`shape`] / [`graph`]: shape rules and an exportable graph mirror,
+//!   shared with the gs-check static analyzer so runtime panics and static
+//!   findings report identically.
+//! - [`sanitize`]: opt-in NaN/Inf guards over op outputs and gradients with
+//!   first-occurrence provenance.
 //! - [`serialize`]: JSON checkpoints.
 
 #![warn(missing_docs)]
@@ -19,10 +24,21 @@ mod optim;
 mod tape;
 mod tensor;
 
+/// Exportable graph mirror of recorded tapes.
+pub mod graph;
+/// Numeric sanitizer plumbing (global flag, issue types).
+pub mod sanitize;
 /// Checkpoint save/load for parameter stores.
 pub mod serialize;
+/// Shape rules shared by runtime checks and static analysis.
+pub mod shape;
 
+pub use graph::{infer_shape, Graph, GraphNode, OpKind};
 pub use init::{normal, ones, xavier_uniform, zeros};
 pub use optim::{Binder, Optimizer, ParamId, ParamStore, WarmupLinearSchedule};
-pub use tape::{Grads, Tape, Var};
+pub use sanitize::{
+    sanitize_enabled, set_sanitize, NumericIssue, NumericKind, SanitizePhase,
+};
+pub use shape::{ShapeError, ShapeResult};
+pub use tape::{Grads, Tape, TapeOps, Var};
 pub use tensor::{gelu, gelu_grad, Tensor};

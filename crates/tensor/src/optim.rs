@@ -8,7 +8,7 @@
 //! 3. [`Binder::accumulate`] copies leaf gradients into the store;
 //! 4. an [`Optimizer`] applies the update and clears gradients.
 
-use crate::tape::{Grads, Tape, Var};
+use crate::tape::{Grads, Tape, TapeOps, Var};
 use crate::tensor::Tensor;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -162,20 +162,25 @@ impl ParamStore {
 }
 
 /// Binds store parameters to tape leaves for one forward/backward pass.
-pub struct Binder<'t> {
-    tape: &'t Tape,
+///
+/// Generic over [`TapeOps`] so the same model code can bind onto the eager
+/// [`Tape`] (the default) or a symbolic shape-only recorder; leaves carry
+/// the parameter name as a label for provenance in analysis output.
+pub struct Binder<'t, T: TapeOps = Tape> {
+    tape: &'t T,
     bindings: Vec<(ParamId, Var)>,
 }
 
-impl<'t> Binder<'t> {
+impl<'t, T: TapeOps> Binder<'t, T> {
     /// Creates a binder recording onto `tape`.
-    pub fn new(tape: &'t Tape) -> Self {
+    pub fn new(tape: &'t T) -> Self {
         Binder { tape, bindings: Vec::new() }
     }
 
-    /// Places the current value of `id` on the tape as a trainable leaf.
+    /// Places the current value of `id` on the tape as a trainable leaf
+    /// labeled with the parameter's name.
     pub fn bind(&mut self, store: &ParamStore, id: ParamId) -> Var {
-        let var = self.tape.leaf(store.value(id).clone());
+        let var = self.tape.leaf_labeled(store.value(id), store.name(id));
         self.bindings.push((id, var));
         var
     }

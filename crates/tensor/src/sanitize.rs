@@ -1,0 +1,154 @@
+//! Opt-in numeric sanitizer for tape execution.
+//!
+//! When enabled, every tape op scans its freshly computed output (and, during
+//! [`Tape::backward`](crate::Tape::backward), every gradient) for NaN or
+//! infinite values — float overflow saturates to infinity, so the Inf class
+//! also covers overflow. Only the *first* occurrence is recorded, with full
+//! provenance: node index, op name, scope, and the parameter label for
+//! leaves. Training loops read it via
+//! [`Tape::first_numeric_issue`](crate::Tape::first_numeric_issue) and can
+//! attach step/epoch context before aborting.
+//!
+//! The mode is process-global ([`set_sanitize`]) and latched per tape at
+//! construction, so the disabled cost inside the op hot path is a single
+//! branch on a plain `bool` field.
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static SANITIZE: AtomicBool = AtomicBool::new(false);
+
+/// Enables or disables numeric sanitizing for tapes created afterwards.
+pub fn set_sanitize(enabled: bool) {
+    SANITIZE.store(enabled, Ordering::Relaxed);
+}
+
+/// Whether new tapes will sanitize.
+pub fn sanitize_enabled() -> bool {
+    SANITIZE.load(Ordering::Relaxed)
+}
+
+/// Class of non-finite value found.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NumericKind {
+    /// A NaN element.
+    NaN,
+    /// An infinite element (including overflowed arithmetic).
+    Inf,
+}
+
+impl fmt::Display for NumericKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NumericKind::NaN => write!(f, "NaN"),
+            NumericKind::Inf => write!(f, "Inf"),
+        }
+    }
+}
+
+/// Whether the issue appeared in a forward value or a backward gradient.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SanitizePhase {
+    /// Found in an op's forward output.
+    Forward,
+    /// Found in a gradient during backward.
+    Backward,
+}
+
+impl fmt::Display for SanitizePhase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SanitizePhase::Forward => write!(f, "forward"),
+            SanitizePhase::Backward => write!(f, "backward"),
+        }
+    }
+}
+
+/// First non-finite value found by a sanitizing tape.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NumericIssue {
+    /// Tape node index of the offending value.
+    pub node: usize,
+    /// Name of the op that produced it.
+    pub op: &'static str,
+    /// Dotted scope path active when the node was recorded.
+    pub scope: String,
+    /// Parameter label for labeled leaves.
+    pub label: Option<String>,
+    /// NaN or Inf.
+    pub kind: NumericKind,
+    /// Forward value or backward gradient.
+    pub phase: SanitizePhase,
+}
+
+impl fmt::Display for NumericIssue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "numeric sanitizer: {} in {} of {} (node {}", self.kind, self.phase_noun(), self.op, self.node)?;
+        if !self.scope.is_empty() {
+            write!(f, ", scope {}", self.scope)?;
+        }
+        if let Some(label) = &self.label {
+            write!(f, ", param \"{label}\"")?;
+        }
+        write!(f, ") during {}", self.phase)
+    }
+}
+
+impl NumericIssue {
+    fn phase_noun(&self) -> &'static str {
+        match self.phase {
+            SanitizePhase::Forward => "output",
+            SanitizePhase::Backward => "gradient",
+        }
+    }
+}
+
+/// Classifies the first non-finite element of `data`, if any.
+pub(crate) fn scan(data: &[f32]) -> Option<NumericKind> {
+    for &x in data {
+        if !x.is_finite() {
+            return Some(if x.is_nan() { NumericKind::NaN } else { NumericKind::Inf });
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scan_classifies_first_hit() {
+        assert_eq!(scan(&[1.0, 2.0]), None);
+        assert_eq!(scan(&[1.0, f32::NAN, f32::INFINITY]), Some(NumericKind::NaN));
+        assert_eq!(scan(&[f32::NEG_INFINITY, f32::NAN]), Some(NumericKind::Inf));
+    }
+
+    #[test]
+    fn issue_display_has_full_provenance() {
+        let issue = NumericIssue {
+            node: 7,
+            op: "layer_norm",
+            scope: "l0.attn".into(),
+            label: None,
+            kind: NumericKind::NaN,
+            phase: SanitizePhase::Forward,
+        };
+        assert_eq!(
+            issue.to_string(),
+            "numeric sanitizer: NaN in output of layer_norm (node 7, scope l0.attn) during forward"
+        );
+        let leaf = NumericIssue {
+            node: 0,
+            op: "leaf",
+            scope: String::new(),
+            label: Some("emb.tok".into()),
+            kind: NumericKind::Inf,
+            phase: SanitizePhase::Backward,
+        };
+        assert_eq!(
+            leaf.to_string(),
+            "numeric sanitizer: Inf in gradient of leaf (node 0, param \"emb.tok\") during backward"
+        );
+    }
+}

@@ -11,6 +11,9 @@
 //! classification head needs; each op's backward rule is unit-tested against
 //! finite differences in this module's tests.
 
+use crate::graph::{Graph, GraphNode, OpKind};
+use crate::sanitize::{self, NumericIssue, SanitizePhase};
+use crate::shape::{self, ShapeError};
 use crate::tensor::{gelu, gelu_grad, Tensor};
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -23,6 +26,13 @@ impl Var {
     /// The node index within its tape.
     pub fn index(self) -> usize {
         self.0
+    }
+
+    /// Builds a handle from a raw node index. Used by alternative
+    /// [`TapeOps`] implementations (e.g. the gs-check symbolic tape);
+    /// a handle is only meaningful on the tape that issued the index.
+    pub fn from_index(index: usize) -> Var {
+        Var(index)
     }
 }
 
@@ -84,6 +94,45 @@ struct Node {
     aux: Option<Tensor>,
     /// Second auxiliary buffer (LayerNorm inverse stddev per row).
     aux2: Option<Tensor>,
+    /// Interned scope id active when the node was recorded.
+    scope: u32,
+    /// Parameter name for labeled leaves (provenance in analysis output).
+    label: Option<String>,
+}
+
+/// Stable op name used by [`ShapeError`], exported graphs, and the
+/// sanitizer, so every reporting path names ops identically.
+fn op_name(op: &Op) -> &'static str {
+    match op {
+        Op::Leaf { .. } => "leaf",
+        Op::Add(..) => "add",
+        Op::AddBias(..) => "add_bias",
+        Op::Sub(..) => "sub",
+        Op::Mul(..) => "mul",
+        Op::Scale(..) => "scale",
+        Op::MatMul(..) => "matmul",
+        Op::MatMulTransB(..) => "matmul_transb",
+        Op::Relu(..) => "relu",
+        Op::Gelu(..) => "gelu",
+        Op::Tanh(..) => "tanh",
+        Op::SoftmaxLastDim(..) => "softmax_last_dim",
+        Op::LayerNorm { .. } => "layer_norm",
+        Op::EmbedGather { .. } => "embed_gather",
+        Op::Dropout { .. } => "dropout",
+        Op::ConcatCols(..) => "concat_cols",
+        Op::SliceCols { .. } => "slice_cols",
+        Op::MeanAll(..) => "mean_all",
+        Op::SumAll(..) => "sum_all",
+        Op::CrossEntropy { .. } => "cross_entropy",
+    }
+}
+
+/// Panics with the rule's error text on a shape violation — the eager
+/// counterpart of a gs-check finding, with an identical message.
+fn enforce(result: Result<Vec<usize>, ShapeError>) {
+    if let Err(e) = result {
+        panic!("{e}");
+    }
 }
 
 /// Gradient results of a backward pass, indexed by [`Var`].
@@ -107,15 +156,58 @@ impl Grads {
 ///
 /// Tapes are cheap to create; training loops build one per step and drop it
 /// after applying gradients.
-#[derive(Default)]
+///
+/// Tapes also record *provenance*: a stack of named scopes
+/// ([`push_scope`](Tape::push_scope)) and per-leaf parameter labels, which
+/// exported graphs ([`export_graph`](Tape::export_graph)) and the numeric
+/// sanitizer use to point findings at a layer and parameter by name.
 pub struct Tape {
     nodes: RefCell<Vec<Node>>,
+    /// Interned dotted scope paths; index 0 is the root scope `""`.
+    scopes: RefCell<Vec<String>>,
+    /// Stack of active scope ids; empty means the root scope.
+    scope_stack: RefCell<Vec<u32>>,
+    /// Latched from the process-global flag at construction, so the hot-path
+    /// cost when disabled is one branch on a plain bool.
+    sanitize: bool,
+    first_issue: RefCell<Option<NumericIssue>>,
+}
+
+impl Default for Tape {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl Tape {
-    /// Creates an empty tape.
+    /// Creates an empty tape. Numeric sanitizing follows the process-global
+    /// flag ([`crate::set_sanitize`]) at this moment.
     pub fn new() -> Self {
-        Self::default()
+        Tape {
+            nodes: RefCell::new(Vec::new()),
+            scopes: RefCell::new(vec![String::new()]),
+            scope_stack: RefCell::new(Vec::new()),
+            sanitize: sanitize::sanitize_enabled(),
+            first_issue: RefCell::new(None),
+        }
+    }
+
+    /// Creates an empty tape with numeric sanitizing forced on, regardless
+    /// of the global flag.
+    pub fn sanitized() -> Self {
+        let mut tape = Self::new();
+        tape.sanitize = true;
+        tape
+    }
+
+    /// Whether this tape scans op outputs and gradients for NaN/Inf.
+    pub fn is_sanitizing(&self) -> bool {
+        self.sanitize
+    }
+
+    /// The first NaN/Inf found by a sanitizing tape, if any.
+    pub fn first_numeric_issue(&self) -> Option<NumericIssue> {
+        self.first_issue.borrow().clone()
     }
 
     /// Number of recorded nodes.
@@ -128,8 +220,43 @@ impl Tape {
         self.nodes.borrow().is_empty()
     }
 
+    /// Enters a named provenance scope; nested scopes join with dots
+    /// (`push_scope("l0")` then `push_scope("attn")` yields `l0.attn`).
+    pub fn push_scope(&self, name: &str) {
+        let parent = self.current_scope();
+        let full = {
+            let scopes = self.scopes.borrow();
+            let parent_name = &scopes[parent as usize];
+            if parent_name.is_empty() {
+                name.to_string()
+            } else {
+                format!("{parent_name}.{name}")
+            }
+        };
+        let id = {
+            let mut scopes = self.scopes.borrow_mut();
+            match scopes.iter().position(|s| *s == full) {
+                Some(i) => i as u32,
+                None => {
+                    scopes.push(full);
+                    (scopes.len() - 1) as u32
+                }
+            }
+        };
+        self.scope_stack.borrow_mut().push(id);
+    }
+
+    /// Leaves the innermost scope (no-op at the root).
+    pub fn pop_scope(&self) {
+        self.scope_stack.borrow_mut().pop();
+    }
+
+    fn current_scope(&self) -> u32 {
+        self.scope_stack.borrow().last().copied().unwrap_or(0)
+    }
+
     fn push(&self, value: Tensor, op: Op) -> Var {
-        self.push_with_aux(value, op, None, None)
+        self.push_node(value, op, None, None, None)
     }
 
     fn push_with_aux(
@@ -139,9 +266,41 @@ impl Tape {
         aux: Option<Tensor>,
         aux2: Option<Tensor>,
     ) -> Var {
+        self.push_node(value, op, aux, aux2, None)
+    }
+
+    fn push_node(
+        &self,
+        value: Tensor,
+        op: Op,
+        aux: Option<Tensor>,
+        aux2: Option<Tensor>,
+        label: Option<String>,
+    ) -> Var {
+        let scope = self.current_scope();
+        if self.sanitize {
+            self.scan_forward(&value, &op, scope, label.as_deref());
+        }
         let mut nodes = self.nodes.borrow_mut();
-        nodes.push(Node { value: Rc::new(value), op, aux, aux2 });
+        nodes.push(Node { value: Rc::new(value), op, aux, aux2, scope, label });
         Var(nodes.len() - 1)
+    }
+
+    /// Records the first non-finite forward value with full provenance.
+    fn scan_forward(&self, value: &Tensor, op: &Op, scope: u32, label: Option<&str>) {
+        if self.first_issue.borrow().is_some() {
+            return;
+        }
+        if let Some(kind) = sanitize::scan(value.data()) {
+            *self.first_issue.borrow_mut() = Some(NumericIssue {
+                node: self.nodes.borrow().len(),
+                op: op_name(op),
+                scope: self.scopes.borrow()[scope as usize].clone(),
+                label: label.map(str::to_string),
+                kind,
+                phase: SanitizePhase::Forward,
+            });
+        }
     }
 
     fn value_rc(&self, var: Var) -> Rc<Tensor> {
@@ -163,9 +322,32 @@ impl Tape {
         self.push(value, Op::Leaf { requires_grad: false })
     }
 
+    /// Records a trainable leaf carrying a parameter label for provenance.
+    pub fn leaf_labeled(&self, value: &Tensor, label: &str) -> Var {
+        self.push_node(
+            value.clone(),
+            Op::Leaf { requires_grad: true },
+            None,
+            None,
+            Some(label.to_string()),
+        )
+    }
+
+    /// Records a labeled constant leaf.
+    pub fn constant_labeled(&self, value: &Tensor, label: &str) -> Var {
+        self.push_node(
+            value.clone(),
+            Op::Leaf { requires_grad: false },
+            None,
+            None,
+            Some(label.to_string()),
+        )
+    }
+
     /// Elementwise addition of equal shapes.
     pub fn add(&self, a: Var, b: Var) -> Var {
         let (va, vb) = (self.value_rc(a), self.value_rc(b));
+        enforce(shape::same_shape("add", va.shape(), vb.shape()));
         let out = va.zip_map(&vb, |x, y| x + y);
         self.push(out, Op::Add(a.index(), b.index()))
     }
@@ -173,23 +355,20 @@ impl Tape {
     /// Adds a `[d]` bias to every row of `[n, d]`.
     pub fn add_bias(&self, x: Var, bias: Var) -> Var {
         let (vx, vb) = (self.value_rc(x), self.value_rc(bias));
-        assert_eq!(vx.rank(), 2, "add_bias expects rank-2 input");
-        assert_eq!(vb.rank(), 1, "add_bias expects rank-1 bias");
-        assert_eq!(vx.cols(), vb.len(), "add_bias width mismatch");
+        enforce(shape::add_bias(vx.shape(), vb.shape()));
         let mut out = (*vx).clone();
-        let c = out.cols();
         for i in 0..out.rows() {
             for (o, &bv) in out.row_mut(i).iter_mut().zip(vb.data()) {
                 *o += bv;
             }
         }
-        let _ = c;
         self.push(out, Op::AddBias(x.index(), bias.index()))
     }
 
     /// Elementwise subtraction of equal shapes.
     pub fn sub(&self, a: Var, b: Var) -> Var {
         let (va, vb) = (self.value_rc(a), self.value_rc(b));
+        enforce(shape::same_shape("sub", va.shape(), vb.shape()));
         let out = va.zip_map(&vb, |x, y| x - y);
         self.push(out, Op::Sub(a.index(), b.index()))
     }
@@ -197,6 +376,7 @@ impl Tape {
     /// Elementwise multiplication of equal shapes.
     pub fn mul(&self, a: Var, b: Var) -> Var {
         let (va, vb) = (self.value_rc(a), self.value_rc(b));
+        enforce(shape::same_shape("mul", va.shape(), vb.shape()));
         let out = va.zip_map(&vb, |x, y| x * y);
         self.push(out, Op::Mul(a.index(), b.index()))
     }
@@ -211,6 +391,7 @@ impl Tape {
     /// Matrix product `[m,k] x [k,n]`.
     pub fn matmul(&self, a: Var, b: Var) -> Var {
         let (va, vb) = (self.value_rc(a), self.value_rc(b));
+        enforce(shape::matmul(va.shape(), vb.shape()));
         let out = va.matmul(&vb);
         self.push(out, Op::MatMul(a.index(), b.index()))
     }
@@ -218,6 +399,7 @@ impl Tape {
     /// Matrix product against a transposed right operand `[m,k] x [n,k]^T`.
     pub fn matmul_transb(&self, a: Var, b: Var) -> Var {
         let (va, vb) = (self.value_rc(a), self.value_rc(b));
+        enforce(shape::matmul_transb(va.shape(), vb.shape()));
         let out = va.matmul_transb(&vb);
         self.push(out, Op::MatMulTransB(a.index(), b.index()))
     }
@@ -242,7 +424,9 @@ impl Tape {
 
     /// Softmax over the last dimension.
     pub fn softmax_last_dim(&self, a: Var) -> Var {
-        let out = self.value_rc(a).softmax_last_dim();
+        let va = self.value_rc(a);
+        enforce(shape::softmax_last_dim(va.shape()));
+        let out = va.softmax_last_dim();
         self.push(out, Op::SoftmaxLastDim(a.index()))
     }
 
@@ -253,9 +437,8 @@ impl Tape {
         let vx = self.value_rc(x);
         let vg = self.value_rc(gamma);
         let vb = self.value_rc(beta);
+        enforce(shape::layer_norm(vx.shape(), vg.shape(), vb.shape()));
         let d = *vx.shape().last().expect("layer_norm on rank-0");
-        assert_eq!(vg.len(), d, "layer_norm gamma width");
-        assert_eq!(vb.len(), d, "layer_norm beta width");
         let n = vx.len() / d;
         let mut xhat = vec![0.0f32; vx.len()];
         let mut inv_std = vec![0.0f32; n];
@@ -284,6 +467,7 @@ impl Tape {
     /// `[ids.len(), d]`. Gradients scatter-add back into the table.
     pub fn embed_gather(&self, table: Var, ids: &[usize]) -> Var {
         let vt = self.value_rc(table);
+        enforce(shape::embed_gather(vt.shape(), ids.len(), ids.iter().copied().max()));
         let out = vt.gather_rows(ids);
         self.push(out, Op::EmbedGather { table: table.index(), ids: ids.to_vec() })
     }
@@ -292,7 +476,7 @@ impl Tape {
     /// `1/(1-p)`), recorded so backward reuses the same mask.
     pub fn dropout_with_mask(&self, x: Var, mask: Tensor) -> Var {
         let vx = self.value_rc(x);
-        assert_eq!(vx.shape(), mask.shape(), "dropout mask shape mismatch");
+        enforce(shape::dropout(vx.shape(), mask.shape()));
         let out = vx.zip_map(&mask, |a, m| a * m);
         self.push_with_aux(out, Op::Dropout { x: x.index() }, Some(mask), None)
     }
@@ -300,6 +484,8 @@ impl Tape {
     /// Column-wise concatenation of rank-2 tensors.
     pub fn concat_cols(&self, parts: &[Var]) -> Var {
         let values: Vec<Rc<Tensor>> = parts.iter().map(|&p| self.value_rc(p)).collect();
+        let shapes: Vec<&[usize]> = values.iter().map(|v| v.shape()).collect();
+        enforce(shape::concat_cols(&shapes));
         let refs: Vec<&Tensor> = values.iter().map(|v| v.as_ref()).collect();
         let out = Tensor::concat_cols(&refs);
         self.push(out, Op::ConcatCols(parts.iter().map(|p| p.index()).collect()))
@@ -307,7 +493,9 @@ impl Tape {
 
     /// Column slice `[start, end)` of a rank-2 tensor.
     pub fn slice_cols(&self, x: Var, start: usize, end: usize) -> Var {
-        let out = self.value_rc(x).slice_cols(start, end);
+        let vx = self.value_rc(x);
+        enforce(shape::slice_cols(vx.shape(), start, end));
+        let out = vx.slice_cols(start, end);
         self.push(out, Op::SliceCols { x: x.index(), start })
     }
 
@@ -329,10 +517,9 @@ impl Tape {
     /// tokens). The mean is taken over non-ignored positions.
     pub fn cross_entropy(&self, logits: Var, targets: &[i64]) -> Var {
         let vl = self.value_rc(logits);
-        assert_eq!(vl.rank(), 2, "cross_entropy expects rank-2 logits");
-        assert_eq!(vl.rows(), targets.len(), "cross_entropy target count");
+        let max_target = targets.iter().copied().filter(|&t| t >= 0).max();
+        enforce(shape::cross_entropy(vl.shape(), targets.len(), max_target));
         let probs = vl.softmax_last_dim();
-        let classes = vl.cols();
         let mut total = 0.0f64;
         let mut count = 0usize;
         for (i, &t) in targets.iter().enumerate() {
@@ -340,7 +527,6 @@ impl Tape {
                 continue;
             }
             let t = t as usize;
-            assert!(t < classes, "target {} out of {} classes", t, classes);
             let p = probs.at2(i, t).max(1e-12);
             total -= (p as f64).ln();
             count += 1;
@@ -370,6 +556,18 @@ impl Tape {
             let Some(gout) = grads[idx].take() else { continue };
             // Reinsert so callers can read intermediate grads too.
             let node = &nodes[idx];
+            if self.sanitize && self.first_issue.borrow().is_none() {
+                if let Some(kind) = sanitize::scan(gout.data()) {
+                    *self.first_issue.borrow_mut() = Some(NumericIssue {
+                        node: idx,
+                        op: op_name(&node.op),
+                        scope: self.scopes.borrow()[node.scope as usize].clone(),
+                        label: node.label.clone(),
+                        kind,
+                        phase: SanitizePhase::Backward,
+                    });
+                }
+            }
             match &node.op {
                 Op::Leaf { requires_grad } => {
                     // Keep gradients only for trainable leaves; constants
@@ -542,6 +740,201 @@ impl Tape {
             }
         }
         Grads { grads }
+    }
+
+    /// Exports the recorded program as a [`Graph`] for static analysis.
+    ///
+    /// Data-carrying ops are summarized by what their shape rules need;
+    /// every node keeps its concrete shape, scope, and label.
+    pub fn export_graph(&self) -> Graph {
+        let nodes = self.nodes.borrow();
+        let graph_nodes = nodes
+            .iter()
+            .map(|node| GraphNode {
+                kind: export_kind(node),
+                shape: Some(node.value.shape().to_vec()),
+                scope: node.scope,
+                label: node.label.clone(),
+            })
+            .collect();
+        Graph { nodes: graph_nodes, scopes: self.scopes.borrow().clone() }
+    }
+}
+
+fn export_kind(node: &Node) -> OpKind {
+    match &node.op {
+        Op::Leaf { requires_grad } => OpKind::Leaf { requires_grad: *requires_grad },
+        Op::Add(a, b) => OpKind::Add { a: *a, b: *b },
+        Op::AddBias(x, bias) => OpKind::AddBias { x: *x, bias: *bias },
+        Op::Sub(a, b) => OpKind::Sub { a: *a, b: *b },
+        Op::Mul(a, b) => OpKind::Mul { a: *a, b: *b },
+        Op::Scale(x, factor) => OpKind::Scale { x: *x, factor: *factor },
+        Op::MatMul(a, b) => OpKind::MatMul { a: *a, b: *b },
+        Op::MatMulTransB(a, b) => OpKind::MatMulTransB { a: *a, b: *b },
+        Op::Relu(x) => OpKind::Relu { x: *x },
+        Op::Gelu(x) => OpKind::Gelu { x: *x },
+        Op::Tanh(x) => OpKind::Tanh { x: *x },
+        Op::SoftmaxLastDim(x) => OpKind::SoftmaxLastDim { x: *x },
+        Op::LayerNorm { x, gamma, beta } => {
+            OpKind::LayerNorm { x: *x, gamma: *gamma, beta: *beta }
+        }
+        Op::EmbedGather { table, ids } => OpKind::EmbedGather {
+            table: *table,
+            num_ids: ids.len(),
+            max_id: ids.iter().copied().max(),
+        },
+        Op::Dropout { x } => OpKind::Dropout {
+            x: *x,
+            mask_shape: node.aux.as_ref().expect("dropout mask").shape().to_vec(),
+        },
+        Op::ConcatCols(parts) => OpKind::ConcatCols { parts: parts.clone() },
+        Op::SliceCols { x, start } => {
+            OpKind::SliceCols { x: *x, start: *start, end: *start + node.value.cols() }
+        }
+        Op::MeanAll(x) => OpKind::MeanAll { x: *x },
+        Op::SumAll(x) => OpKind::SumAll { x: *x },
+        Op::CrossEntropy { logits, targets } => OpKind::CrossEntropy {
+            logits: *logits,
+            num_targets: targets.len(),
+            max_target: targets.iter().copied().filter(|&t| t >= 0).max(),
+        },
+    }
+}
+
+/// The op surface shared by the eager [`Tape`] and shape-only recorders.
+///
+/// Model code written against this trait (e.g. `TokenClassifier::forward`)
+/// can run eagerly for training *and* be traced symbolically by gs-check's
+/// `SymTape` to validate every shape in milliseconds without touching tensor
+/// data. Methods mirror the inherent `Tape` API one-to-one.
+pub trait TapeOps {
+    /// Records a trainable leaf.
+    fn leaf(&self, value: Tensor) -> Var;
+    /// Records a constant leaf.
+    fn constant(&self, value: Tensor) -> Var;
+    /// Records a trainable leaf with a parameter label.
+    fn leaf_labeled(&self, value: &Tensor, label: &str) -> Var;
+    /// Records a labeled constant leaf.
+    fn constant_labeled(&self, value: &Tensor, label: &str) -> Var;
+    /// Elementwise `a + b`.
+    fn add(&self, a: Var, b: Var) -> Var;
+    /// `[n, d] + [d]` broadcast.
+    fn add_bias(&self, x: Var, bias: Var) -> Var;
+    /// Elementwise `a - b`.
+    fn sub(&self, a: Var, b: Var) -> Var;
+    /// Elementwise `a * b`.
+    fn mul(&self, a: Var, b: Var) -> Var;
+    /// Multiplication by a scalar constant.
+    fn scale(&self, a: Var, c: f32) -> Var;
+    /// `[m, k] x [k, n]`.
+    fn matmul(&self, a: Var, b: Var) -> Var;
+    /// `[m, k] x [n, k]^T`.
+    fn matmul_transb(&self, a: Var, b: Var) -> Var;
+    /// Elementwise ReLU.
+    fn relu(&self, a: Var) -> Var;
+    /// Elementwise GELU.
+    fn gelu(&self, a: Var) -> Var;
+    /// Elementwise tanh.
+    fn tanh(&self, a: Var) -> Var;
+    /// Softmax over the last dimension.
+    fn softmax_last_dim(&self, a: Var) -> Var;
+    /// Layer normalization with learned gain/bias.
+    fn layer_norm(&self, x: Var, gamma: Var, beta: Var) -> Var;
+    /// Row gather from an embedding table.
+    fn embed_gather(&self, table: Var, ids: &[usize]) -> Var;
+    /// Inverted dropout with a precomputed mask.
+    fn dropout_with_mask(&self, x: Var, mask: Tensor) -> Var;
+    /// Column-wise concatenation.
+    fn concat_cols(&self, parts: &[Var]) -> Var;
+    /// Column slice `[start, end)`.
+    fn slice_cols(&self, x: Var, start: usize, end: usize) -> Var;
+    /// Mean over all elements.
+    fn mean_all(&self, x: Var) -> Var;
+    /// Sum over all elements.
+    fn sum_all(&self, x: Var) -> Var;
+    /// Token-masked mean cross-entropy.
+    fn cross_entropy(&self, logits: Var, targets: &[i64]) -> Var;
+    /// Enters a named provenance scope.
+    fn push_scope(&self, name: &str);
+    /// Leaves the innermost scope.
+    fn pop_scope(&self);
+}
+
+impl TapeOps for Tape {
+    fn leaf(&self, value: Tensor) -> Var {
+        Tape::leaf(self, value)
+    }
+    fn constant(&self, value: Tensor) -> Var {
+        Tape::constant(self, value)
+    }
+    fn leaf_labeled(&self, value: &Tensor, label: &str) -> Var {
+        Tape::leaf_labeled(self, value, label)
+    }
+    fn constant_labeled(&self, value: &Tensor, label: &str) -> Var {
+        Tape::constant_labeled(self, value, label)
+    }
+    fn add(&self, a: Var, b: Var) -> Var {
+        Tape::add(self, a, b)
+    }
+    fn add_bias(&self, x: Var, bias: Var) -> Var {
+        Tape::add_bias(self, x, bias)
+    }
+    fn sub(&self, a: Var, b: Var) -> Var {
+        Tape::sub(self, a, b)
+    }
+    fn mul(&self, a: Var, b: Var) -> Var {
+        Tape::mul(self, a, b)
+    }
+    fn scale(&self, a: Var, c: f32) -> Var {
+        Tape::scale(self, a, c)
+    }
+    fn matmul(&self, a: Var, b: Var) -> Var {
+        Tape::matmul(self, a, b)
+    }
+    fn matmul_transb(&self, a: Var, b: Var) -> Var {
+        Tape::matmul_transb(self, a, b)
+    }
+    fn relu(&self, a: Var) -> Var {
+        Tape::relu(self, a)
+    }
+    fn gelu(&self, a: Var) -> Var {
+        Tape::gelu(self, a)
+    }
+    fn tanh(&self, a: Var) -> Var {
+        Tape::tanh(self, a)
+    }
+    fn softmax_last_dim(&self, a: Var) -> Var {
+        Tape::softmax_last_dim(self, a)
+    }
+    fn layer_norm(&self, x: Var, gamma: Var, beta: Var) -> Var {
+        Tape::layer_norm(self, x, gamma, beta)
+    }
+    fn embed_gather(&self, table: Var, ids: &[usize]) -> Var {
+        Tape::embed_gather(self, table, ids)
+    }
+    fn dropout_with_mask(&self, x: Var, mask: Tensor) -> Var {
+        Tape::dropout_with_mask(self, x, mask)
+    }
+    fn concat_cols(&self, parts: &[Var]) -> Var {
+        Tape::concat_cols(self, parts)
+    }
+    fn slice_cols(&self, x: Var, start: usize, end: usize) -> Var {
+        Tape::slice_cols(self, x, start, end)
+    }
+    fn mean_all(&self, x: Var) -> Var {
+        Tape::mean_all(self, x)
+    }
+    fn sum_all(&self, x: Var) -> Var {
+        Tape::sum_all(self, x)
+    }
+    fn cross_entropy(&self, logits: Var, targets: &[i64]) -> Var {
+        Tape::cross_entropy(self, logits, targets)
+    }
+    fn push_scope(&self, name: &str) {
+        Tape::push_scope(self, name)
+    }
+    fn pop_scope(&self) {
+        Tape::pop_scope(self)
     }
 }
 
@@ -832,5 +1225,109 @@ mod tests {
         let grads = tape.backward(loss);
         assert_eq!(grads.get(b).expect("bias grad").data(), &[2.0, 2.0]);
         assert_eq!(grads.get(x).expect("x grad").data(), &[1.0, 1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn shape_violation_panics_with_rule_message() {
+        let tape = Tape::new();
+        let a = tape.leaf(Tensor::matrix(&[vec![1.0, 2.0], vec![3.0, 4.0]]));
+        let b = tape.leaf(Tensor::matrix(&[vec![1.0, 2.0, 3.0]]));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            tape.matmul(a, b);
+        }));
+        let payload = *result.unwrap_err().downcast::<String>().expect("panic message");
+        assert_eq!(
+            payload,
+            crate::shape::matmul(&[2, 2], &[1, 3]).unwrap_err().to_string(),
+            "runtime panic must carry the shared rule's message"
+        );
+    }
+
+    #[test]
+    fn scopes_nest_and_intern() {
+        let tape = Tape::new();
+        tape.push_scope("l0");
+        tape.push_scope("attn");
+        let x = tape.leaf(Tensor::scalar(1.0));
+        tape.pop_scope();
+        tape.pop_scope();
+        tape.push_scope("l0");
+        tape.push_scope("attn");
+        let y = tape.leaf(Tensor::scalar(2.0));
+        tape.pop_scope();
+        tape.pop_scope();
+        let graph = tape.export_graph();
+        assert_eq!(graph.scope_name(graph.nodes[x.index()].scope), "l0.attn");
+        // Re-entering the same path reuses the interned id.
+        assert_eq!(graph.nodes[x.index()].scope, graph.nodes[y.index()].scope);
+    }
+
+    #[test]
+    fn export_graph_mirrors_ops_shapes_and_labels() {
+        let tape = Tape::new();
+        let table = tape.leaf_labeled(
+            &Tensor::matrix(&[vec![0.1, 0.2], vec![0.3, 0.4], vec![0.5, 0.6]]),
+            "emb.tok",
+        );
+        let e = tape.embed_gather(table, &[2, 0, 2]);
+        let loss = tape.cross_entropy(e, &[1, -1, 0]);
+        let graph = tape.export_graph();
+        assert_eq!(graph.len(), 3);
+        assert_eq!(graph.nodes[table.index()].label.as_deref(), Some("emb.tok"));
+        assert!(graph.nodes[table.index()].kind.is_param());
+        assert_eq!(
+            graph.nodes[e.index()].kind,
+            OpKind::EmbedGather { table: table.index(), num_ids: 3, max_id: Some(2) }
+        );
+        assert_eq!(graph.nodes[e.index()].shape.as_deref(), Some(&[3, 2][..]));
+        assert_eq!(
+            graph.nodes[loss.index()].kind,
+            OpKind::CrossEntropy { logits: e.index(), num_targets: 3, max_target: Some(1) }
+        );
+        assert_eq!(graph.nodes[loss.index()].shape.as_deref(), Some(&[][..]));
+    }
+
+    #[test]
+    fn sanitizer_reports_first_forward_issue_with_provenance() {
+        let tape = Tape::sanitized();
+        assert!(tape.is_sanitizing());
+        tape.push_scope("emb");
+        let mut bad = Tensor::matrix(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        bad.data_mut()[1] = f32::NAN;
+        let x = tape.leaf_labeled(&bad, "emb.tok");
+        tape.pop_scope();
+        // A later Inf must not displace the first NaN report.
+        let _ = tape.scale(x, f32::INFINITY);
+        let issue = tape.first_numeric_issue().expect("issue");
+        assert_eq!(issue.node, x.index());
+        assert_eq!(issue.op, "leaf");
+        assert_eq!(issue.scope, "emb");
+        assert_eq!(issue.label.as_deref(), Some("emb.tok"));
+        assert_eq!(issue.kind, crate::sanitize::NumericKind::NaN);
+        assert_eq!(issue.phase, SanitizePhase::Forward);
+    }
+
+    #[test]
+    fn sanitizer_catches_backward_issue() {
+        let tape = Tape::sanitized();
+        let x = tape.leaf(Tensor::vector(&[1.0e-35]));
+        // Forward stays finite (1e-35 -> 1e-5 -> 1e25), but the backward
+        // chain multiplies the two scale factors: 1e30 * 1e30 overflows.
+        let y = tape.scale(tape.scale(x, 1.0e30), 1.0e30);
+        let loss = tape.sum_all(y);
+        assert!(tape.first_numeric_issue().is_none(), "forward was clean");
+        let _ = tape.backward(loss);
+        let issue = tape.first_numeric_issue().expect("backward overflow");
+        assert_eq!(issue.phase, SanitizePhase::Backward);
+        assert_eq!(issue.kind, crate::sanitize::NumericKind::Inf);
+    }
+
+    #[test]
+    fn sanitizer_off_reports_nothing() {
+        let tape = Tape::new();
+        let x = tape.leaf(Tensor::vector(&[f32::NAN]));
+        let _ = tape.scale(x, 2.0);
+        assert!(!tape.is_sanitizing());
+        assert!(tape.first_numeric_issue().is_none());
     }
 }

@@ -1,0 +1,46 @@
+//! Disabled-path guard for the numeric sanitizer, mirroring
+//! `crates/obs/tests/overhead.rs`: when sanitizing is off (the default),
+//! each op must pay exactly one latched-bool branch — no scanning, no
+//! reporting. This runs in its own integration-test process so nothing
+//! else can have flipped the global flag.
+
+use gs_tensor::{Tape, Tensor};
+use std::hint::black_box;
+use std::time::Instant;
+
+#[test]
+fn disabled_sanitizer_neither_scans_nor_reports() {
+    assert!(!gs_tensor::sanitize_enabled(), "flag must be off in a fresh process");
+
+    // Behavioral half: NaN flows through a non-sanitizing tape untouched.
+    let tape = Tape::new();
+    assert!(!tape.is_sanitizing());
+    let x = tape.leaf(Tensor::vector(&[f32::NAN, 1.0]));
+    let y = tape.relu(tape.scale(x, 2.0));
+    let loss = tape.sum_all(y);
+    let _ = tape.backward(loss);
+    assert!(
+        tape.first_numeric_issue().is_none(),
+        "disabled sanitizer must not scan or report"
+    );
+
+    // Timing half: per-op cost with the sanitizer disabled stays within a
+    // deliberately generous bound (the op itself costs well under 10 us;
+    // an accidental always-on scan of larger tensors would not).
+    // Each op appends a [64, 64] node to the tape, so the count also keeps
+    // peak memory modest.
+    const ITERS: u32 = 2_000;
+    let tape = Tape::new();
+    let big = tape.leaf(Tensor::full(&[64, 64], 0.5));
+    let start = Instant::now();
+    for _ in 0..ITERS {
+        black_box(tape.scale(black_box(big), 1.0001));
+    }
+    let elapsed = start.elapsed();
+    let per_op_us = elapsed.as_micros() as f64 / f64::from(ITERS);
+    assert!(
+        per_op_us < 200.0,
+        "disabled-sanitizer op costs {per_op_us:.1} us ({} ms for {ITERS} ops)",
+        elapsed.as_millis()
+    );
+}

@@ -17,12 +17,15 @@
 //! - [`pipeline`]: the end-to-end GoalSpotter system.
 //! - [`serve`]: the std-only HTTP extraction service with micro-batching.
 //! - [`obs`]: structured tracing, metrics, and training telemetry.
+//! - [`check`]: static graph analysis — symbolic shape inference, autograd
+//!   lints, and tape-growth monitoring, all before a forward pass runs.
 //!
 //! See `examples/quickstart.rs` for a five-minute tour and DESIGN.md for
 //! the experiment-by-experiment reproduction map.
 
 #![warn(missing_docs)]
 
+pub use gs_check as check;
 pub use gs_core as core;
 pub use gs_data as data;
 pub use gs_eval as eval;

@@ -1,0 +1,102 @@
+//! End-to-end static analysis through the umbrella crate: every paper
+//! configuration validates clean in milliseconds, store corruption is
+//! caught with full provenance before any forward pass, the numeric
+//! sanitizer pinpoints the first bad value at runtime, and the growth
+//! monitor flags tapes retained across steps.
+
+use goalspotter::check::{FindingKind, GrowthMonitor};
+use goalspotter::models::transformer::{
+    validate_classifier, TokenClassifier, TransformerConfig,
+};
+use goalspotter::tensor::{Binder, Tape, Tensor};
+use goalspotter::text::labels::LabelSet;
+use std::time::Instant;
+
+const SEED: u64 = 7;
+
+fn small(config: &TransformerConfig) -> TransformerConfig {
+    // The paper geometry with a reduced budget so four models instantiate
+    // quickly in a test.
+    TransformerConfig { max_len: 24, ..config.clone() }
+}
+
+#[test]
+fn every_paper_configuration_validates_clean_in_milliseconds() {
+    let num_classes = LabelSet::sustainability_goals().num_classes();
+    for config in TransformerConfig::figure4_variants() {
+        let model = TokenClassifier::new(small(&config), 200, num_classes, SEED);
+        let start = Instant::now();
+        let analysis = validate_classifier(&model);
+        let elapsed = start.elapsed();
+        assert!(analysis.is_clean(), "{}: {:#?}", config.name, analysis.findings);
+        assert!(analysis.params > 0 && analysis.nodes > analysis.params);
+        assert!(
+            elapsed.as_millis() < 1_000,
+            "{} static check took {elapsed:?}; it must never approach forward-pass cost",
+            config.name
+        );
+    }
+}
+
+#[test]
+fn corrupted_store_is_caught_before_any_forward_pass() {
+    let mut model =
+        TokenClassifier::new(small(&TransformerConfig::figure4_variants()[0]), 200, 11, SEED);
+    let id = model.store().id("l0.ffn.w1").expect("ffn weight");
+    let shape = model.store().value(id).shape().to_vec();
+    // Transpose the first FFN weight, the classic checkpoint-surgery slip.
+    model.store_mut().replace(id, Tensor::zeros(&[shape[1], shape[0]]));
+    let analysis = validate_classifier(&model);
+    let f = analysis
+        .findings
+        .iter()
+        .find(|f| f.kind == FindingKind::ShapeViolation)
+        .expect("transposed weight must be flagged");
+    assert_eq!(f.op, "matmul");
+    assert_eq!(f.scope, "l0.ffn");
+}
+
+#[test]
+fn sanitizer_pinpoints_first_bad_value_with_provenance() {
+    let mut model =
+        TokenClassifier::new(small(&TransformerConfig::figure4_variants()[1]), 200, 11, SEED);
+    let id = model.store().id("emb.tok").expect("emb.tok");
+    let shape = model.store().value(id).shape().to_vec();
+    let mut data = model.store().value(id).data().to_vec();
+    data[3] = f32::NAN;
+    model.store_mut().replace(id, Tensor::from_vec(shape, data));
+
+    // `Tape::sanitized` forces scanning on without touching the global flag.
+    let tape = Tape::sanitized();
+    let mut binder = Binder::new(&tape);
+    let ids: Vec<usize> = (0..8).collect();
+    let _logits = model.forward(&tape, &mut binder, &ids, None);
+    let issue = tape.first_numeric_issue().expect("NaN must be caught in the forward");
+    assert_eq!(issue.label.as_deref(), Some("emb.tok"));
+    assert_eq!(issue.scope, "emb");
+}
+
+#[test]
+fn growth_monitor_flags_a_tape_retained_across_steps() {
+    let mut monitor = GrowthMonitor::new(4);
+    // Correct usage — a fresh tape per step — never alerts.
+    for _ in 0..16 {
+        let tape = Tape::new();
+        let x = tape.leaf(Tensor::vector(&[1.0, 2.0]));
+        let _ = tape.sum_all(tape.scale(x, 0.5));
+        assert!(monitor.observe(tape.len()).is_none());
+    }
+    // The leak: one tape reused across steps grows monotonically.
+    let leaked = Tape::new();
+    let mut report = None;
+    for _ in 0..16 {
+        let x = leaked.leaf(Tensor::vector(&[1.0, 2.0]));
+        let _ = leaked.sum_all(leaked.scale(x, 0.5));
+        if let Some(r) = monitor.observe(leaked.len()) {
+            report = Some(r);
+            break;
+        }
+    }
+    let report = report.expect("retained tape must trip the monitor");
+    assert!(report.to_string().contains("retained"), "{report}");
+}
