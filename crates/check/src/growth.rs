@@ -17,6 +17,9 @@ pub struct GrowthMonitor {
     run_start: usize,
     last: Option<usize>,
     steps: usize,
+    first: Option<usize>,
+    peak: usize,
+    flat: bool,
 }
 
 /// Evidence of a leak: the node count rose on every one of `steps`
@@ -54,7 +57,28 @@ impl GrowthMonitor {
             run_start: 0,
             last: None,
             steps: 0,
+            first: None,
+            peak: 0,
+            flat: true,
         }
+    }
+
+    /// Number of observations recorded so far.
+    pub fn observations(&self) -> usize {
+        self.steps
+    }
+
+    /// Highest node count observed so far (0 before any observation).
+    pub fn peak(&self) -> usize {
+        self.peak
+    }
+
+    /// Whether every observation so far equals the first one. Workloads
+    /// that replay an identical step — such as pool-reuse soak tests
+    /// re-running one forward/backward under a persistent thread pool —
+    /// must stay flat; any deviation means state leaked across steps.
+    pub fn is_flat(&self) -> bool {
+        self.flat
     }
 
     /// Records the node count of the tape used for one training step.
@@ -63,6 +87,12 @@ impl GrowthMonitor {
     pub fn observe(&mut self, nodes: usize) -> Option<GrowthReport> {
         let step = self.steps;
         self.steps += 1;
+        self.peak = self.peak.max(nodes);
+        match self.first {
+            None => self.first = Some(nodes),
+            Some(first) if nodes != first => self.flat = false,
+            Some(_) => {}
+        }
         match self.last {
             Some(prev) if nodes > prev => {
                 if self.run == 0 {
@@ -121,6 +151,23 @@ mod tests {
         assert_eq!(report.to_nodes, 130);
         assert_eq!(report.at_step, 3);
         assert!(report.to_string().contains("3 consecutive steps"));
+    }
+
+    #[test]
+    fn flatness_and_peak_track_observations() {
+        let mut m = GrowthMonitor::new(3);
+        assert!(m.is_flat());
+        assert_eq!(m.peak(), 0);
+        m.observe(500);
+        m.observe(500);
+        assert!(m.is_flat());
+        assert_eq!(m.peak(), 500);
+        assert_eq!(m.observations(), 2);
+        m.observe(510);
+        assert!(!m.is_flat());
+        assert_eq!(m.peak(), 510);
+        m.observe(500);
+        assert!(!m.is_flat(), "flatness does not recover after a deviation");
     }
 
     #[test]

@@ -172,10 +172,13 @@ impl TransformerExtractor {
     /// per text; this is the path the serving layer's micro-batcher uses
     /// to amortize the forward across concurrent requests.
     pub fn predict_tags_batch(&self, texts: &[&str]) -> Vec<(String, Vec<PreToken>, Vec<Tag>)> {
-        let inputs: Vec<InferenceInput> = texts
-            .iter()
-            .map(|t| encode_for_inference(&self.tokenizer, &self.case_normalizer, &self.model, t))
-            .collect();
+        // Per-text tokenization is independent and dominates the
+        // non-forward cost of a batch, so it fans out across the gs-par
+        // pool; map_collect preserves index order, keeping the output
+        // positionally identical to the serial loop.
+        let inputs: Vec<InferenceInput> = gs_par::map_collect(texts.len(), |i| {
+            encode_for_inference(&self.tokenizer, &self.case_normalizer, &self.model, texts[i])
+        });
         let seqs: Vec<&[usize]> = inputs.iter().map(|i| i.ids.as_slice()).collect();
         let classes = self.model.predict_classes_batch(&seqs);
         inputs
@@ -373,6 +376,44 @@ impl TransformerExtractor {
             train_stats: Vec::new(),
             weak_stats,
         })
+    }
+
+    /// Assembles an extractor from independently persisted pieces: a label
+    /// set, a tokenizer, the encoder config, and a parameter store whose
+    /// entries match what [`TokenClassifier`] registers for that config.
+    ///
+    /// This is the serde-free restore path used by golden-fixture tests:
+    /// the tokenizer is rebuilt deterministically from the training corpus
+    /// and the weights come from a plain-text checkpoint
+    /// (`gs_tensor::serialize::load_params_text`), so extraction behavior
+    /// is fully pinned by the fixture files alone.
+    pub fn from_parts(
+        labels: LabelSet,
+        tokenizer: Tokenizer,
+        model_config: TransformerConfig,
+        num_classes: usize,
+        params: gs_tensor::ParamStore,
+        multi_span: MultiSpanPolicy,
+    ) -> Self {
+        let model = TokenClassifier::from_store(model_config.clone(), num_classes, params);
+        let mut weak_stats = WeakLabelStats::new(&labels);
+        weak_stats.objectives = 0;
+        TransformerExtractor {
+            name: model_config.name.clone(),
+            labels,
+            tokenizer,
+            case_normalizer: Normalizer::new(NormalizerConfig::default()),
+            model,
+            options: ExtractorOptions {
+                model: model_config,
+                train: TrainConfig::default(),
+                weak_label: WeakLabelConfig::default(),
+                multi_span,
+                base: None,
+            },
+            train_stats: Vec::new(),
+            weak_stats,
+        }
     }
 }
 

@@ -10,9 +10,7 @@
 //! ```
 
 use super::config::{ModelFamily, TransformerConfig};
-use gs_tensor::{
-    normal, xavier_uniform, Binder, ParamId, ParamStore, Tape, TapeOps, Tensor, Var,
-};
+use gs_tensor::{normal, xavier_uniform, Binder, ParamId, ParamStore, Tape, TapeOps, Tensor, Var};
 use rand::rngs::StdRng;
 use rand::Rng;
 use rand::SeedableRng;
@@ -23,6 +21,23 @@ pub struct TokenClassifier {
     config: TransformerConfig,
     num_classes: usize,
     store: ParamStore,
+}
+
+/// Where dropout masks come from during a forward pass.
+///
+/// Training normally draws masks from an RNG inline ([`Rng`](Self::Rng)),
+/// but data-parallel training pre-draws every mask on the coordinating
+/// thread in serial order ([`Masks`](Self::Masks)) so worker threads never
+/// touch the RNG — the stream, and therefore the run, stays bit-identical
+/// to single-threaded training.
+enum DropoutSource<'a> {
+    /// Inference: no dropout.
+    Off,
+    /// Training: draw a fresh mask per dropout site from this RNG.
+    Rng(&'a mut StdRng),
+    /// Training with masks pre-drawn by
+    /// [`TokenClassifier::draw_dropout_masks`], consumed in site order.
+    Masks(std::slice::Iter<'a, Tensor>),
 }
 
 impl TokenClassifier {
@@ -138,10 +153,68 @@ impl TokenClassifier {
         ids: &[usize],
         dropout_rng: Option<&mut StdRng>,
     ) -> Var {
+        let mut source = match dropout_rng {
+            Some(rng) => DropoutSource::Rng(rng),
+            None => DropoutSource::Off,
+        };
+        self.forward_impl(tape, binder, ids, &mut source)
+    }
+
+    /// [`forward`](Self::forward) with dropout masks pre-drawn by
+    /// [`draw_dropout_masks`](Self::draw_dropout_masks), consumed in site
+    /// order. This is the worker-thread entry point for data-parallel
+    /// training: the coordinating thread draws every batch's masks from the
+    /// shared RNG in serial order, then shards the forwards across threads
+    /// without any RNG access. Passing an empty slice runs without dropout.
+    ///
+    /// # Panics
+    /// Panics if `masks` is non-empty but shorter than the number of
+    /// dropout sites (`1 + 2 * n_layers` when `dropout > 0`).
+    pub fn forward_with_masks<T: TapeOps>(
+        &self,
+        tape: &T,
+        binder: &mut Binder<'_, T>,
+        ids: &[usize],
+        masks: &[Tensor],
+    ) -> Var {
+        let mut source =
+            if masks.is_empty() { DropoutSource::Off } else { DropoutSource::Masks(masks.iter()) };
+        self.forward_impl(tape, binder, ids, &mut source)
+    }
+
+    /// Draws the dropout masks one [`forward`](Self::forward) over an
+    /// `n`-token sequence would draw, in the exact site order the forward
+    /// consumes them (embedding output, then per layer: attention output,
+    /// FFN output). Returns an empty vector — without touching `rng` —
+    /// when the configured dropout probability is zero, mirroring
+    /// `forward`'s behavior of not advancing the RNG in that case.
+    pub fn draw_dropout_masks(&self, n: usize, rng: &mut StdRng) -> Vec<Tensor> {
+        let p = self.config.dropout;
+        if p <= 0.0 {
+            return Vec::new();
+        }
+        let keep = 1.0 - p;
+        let d = self.config.d_model;
+        (0..1 + 2 * self.config.n_layers)
+            .map(|_| {
+                let mask: Vec<f32> = (0..n * d)
+                    .map(|_| if rng.random_bool(keep as f64) { 1.0 / keep } else { 0.0 })
+                    .collect();
+                Tensor::from_vec(vec![n, d], mask)
+            })
+            .collect()
+    }
+
+    fn forward_impl<T: TapeOps>(
+        &self,
+        tape: &T,
+        binder: &mut Binder<'_, T>,
+        ids: &[usize],
+        dropout: &mut DropoutSource<'_>,
+    ) -> Var {
         let n = ids.len();
         assert!(n > 0, "empty input sequence");
         assert!(n <= self.config.max_len, "sequence of {n} exceeds max_len");
-        let mut dropout_rng = dropout_rng;
         let d = self.config.d_model;
 
         // Embeddings.
@@ -161,12 +234,12 @@ impl TokenClassifier {
         let g = binder.bind(&self.store, self.id("emb.ln.g"));
         let b = binder.bind(&self.store, self.id("emb.ln.b"));
         h = tape.layer_norm(h, g, b);
-        h = self.maybe_dropout(tape, h, &mut dropout_rng, &[n, d]);
+        h = self.maybe_dropout(tape, h, dropout, &[n, d]);
         tape.pop_scope();
 
         for l in 0..self.config.n_layers {
-            h = self.attention_block(tape, binder, h, l, n, &mut dropout_rng);
-            h = self.ffn_block(tape, binder, h, l, n, &mut dropout_rng);
+            h = self.attention_block(tape, binder, h, l, n, dropout);
+            h = self.ffn_block(tape, binder, h, l, n, dropout);
         }
 
         tape.push_scope("head");
@@ -185,7 +258,7 @@ impl TokenClassifier {
         h: Var,
         layer: usize,
         n: usize,
-        dropout_rng: &mut Option<&mut StdRng>,
+        dropout: &mut DropoutSource<'_>,
     ) -> Var {
         let d = self.config.d_model;
         let dh = self.config.d_head();
@@ -219,7 +292,7 @@ impl TokenClassifier {
         }
         let concat = tape.concat_cols(&heads);
         let mut out = tape.add_bias(tape.matmul(concat, wo), bo);
-        out = self.maybe_dropout(tape, out, dropout_rng, &[n, d]);
+        out = self.maybe_dropout(tape, out, dropout, &[n, d]);
 
         let sum = tape.add(h, out);
         let g = bind(binder, format!("l{layer}.ln1.g"));
@@ -236,7 +309,7 @@ impl TokenClassifier {
         h: Var,
         layer: usize,
         n: usize,
-        dropout_rng: &mut Option<&mut StdRng>,
+        dropout: &mut DropoutSource<'_>,
     ) -> Var {
         let d = self.config.d_model;
         let bind =
@@ -249,7 +322,7 @@ impl TokenClassifier {
 
         let inner = tape.gelu(tape.add_bias(tape.matmul(h, w1), b1));
         let mut out = tape.add_bias(tape.matmul(inner, w2), b2);
-        out = self.maybe_dropout(tape, out, dropout_rng, &[n, d]);
+        out = self.maybe_dropout(tape, out, dropout, &[n, d]);
 
         let sum = tape.add(h, out);
         let g = bind(binder, format!("l{layer}.ln2.g"));
@@ -263,20 +336,29 @@ impl TokenClassifier {
         &self,
         tape: &T,
         x: Var,
-        dropout_rng: &mut Option<&mut StdRng>,
+        dropout: &mut DropoutSource<'_>,
         shape: &[usize],
     ) -> Var {
         let p = self.config.dropout;
-        let Some(rng) = dropout_rng.as_deref_mut() else { return x };
         if p <= 0.0 {
             return x;
         }
-        let keep = 1.0 - p;
-        let volume: usize = shape.iter().product();
-        let mask: Vec<f32> = (0..volume)
-            .map(|_| if rng.random_bool(keep as f64) { 1.0 / keep } else { 0.0 })
-            .collect();
-        tape.dropout_with_mask(x, Tensor::from_vec(shape.to_vec(), mask))
+        match dropout {
+            DropoutSource::Off => x,
+            DropoutSource::Rng(rng) => {
+                let keep = 1.0 - p;
+                let volume: usize = shape.iter().product();
+                let mask: Vec<f32> = (0..volume)
+                    .map(|_| if rng.random_bool(keep as f64) { 1.0 / keep } else { 0.0 })
+                    .collect();
+                tape.dropout_with_mask(x, Tensor::from_vec(shape.to_vec(), mask))
+            }
+            DropoutSource::Masks(iter) => {
+                let mask = iter.next().expect("ran out of pre-drawn dropout masks").clone();
+                assert_eq!(mask.shape(), shape, "pre-drawn dropout mask shape");
+                tape.dropout_with_mask(x, mask)
+            }
+        }
     }
 
     /// Predicts class ids for a sequence (inference mode, no dropout).
@@ -356,6 +438,7 @@ impl TokenClassifier {
         let p = |name: &str| self.store.value(self.id(name));
         let d = self.config.d_model;
         let dh = self.config.d_head();
+        let seq_ranges: Vec<(usize, usize)> = ranges.iter().flatten().copied().collect();
 
         // Embeddings: token + position (+ segment 0 for BERT), layer norm.
         let tok = p("emb.tok").gather_rows(flat_ids);
@@ -377,8 +460,12 @@ impl TokenClassifier {
             let v =
                 add_bias_rows(h.matmul(p(&format!("l{l}.attn.wv"))), p(&format!("l{l}.attn.bv")));
             let scale = 1.0 / (dh as f32).sqrt();
-            let mut mixed = Vec::with_capacity(h.len());
-            for &(start, n) in ranges.iter().flatten() {
+            // Each sequence's attention is independent of every other's, so
+            // the per-sequence mixes fan out across the gs-par pool; results
+            // are concatenated in sequence order, making the output (and
+            // thus serving responses) bit-identical to the serial loop.
+            let per_seq: Vec<Vec<f32>> = gs_par::map_collect(seq_ranges.len(), |si| {
+                let (start, n) = seq_ranges[si];
                 let (qs, ks, vs) = (
                     q.slice_rows(start, start + n),
                     k.slice_rows(start, start + n),
@@ -394,7 +481,11 @@ impl TokenClassifier {
                     heads.push(scores.softmax_last_dim().matmul(&vh));
                 }
                 let head_refs: Vec<&Tensor> = heads.iter().collect();
-                mixed.extend_from_slice(Tensor::concat_cols(&head_refs).data());
+                Tensor::concat_cols(&head_refs).into_data()
+            });
+            let mut mixed = Vec::with_capacity(h.len());
+            for seq in &per_seq {
+                mixed.extend_from_slice(seq);
             }
             let concat = Tensor::from_vec(vec![flat_ids.len(), d], mixed);
             let out = add_bias_rows(

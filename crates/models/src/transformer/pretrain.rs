@@ -12,7 +12,7 @@ use super::check::assert_classifier_valid;
 use super::config::{ModelFamily, TransformerConfig};
 use super::model::TokenClassifier;
 use gs_check::GrowthMonitor;
-use gs_tensor::{Binder, Optimizer, Tape, WarmupLinearSchedule};
+use gs_tensor::{Binder, Optimizer, Tape, Tensor, WarmupLinearSchedule};
 use gs_text::{Normalizer, NormalizerConfig, Tokenizer};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -115,6 +115,7 @@ pub fn pretrain_encoder(
 
     let mut run_span = gs_obs::span("train.pretrain");
     run_span.add("sequences", sequences.len() as u64);
+    run_span.add("par_threads", gs_par::max_threads() as u64);
     let mut order: Vec<usize> = (0..sequences.len()).collect();
     let mut epoch_losses = Vec::with_capacity(config.epochs);
     let mut step = 0u64;
@@ -125,8 +126,11 @@ pub fn pretrain_encoder(
         let mut epoch_loss = 0.0f64;
         let mut counted = 0usize;
         for batch in order.chunks(config.batch_size.max(1)) {
-            let mut batch_used = 0usize;
-            let mut batch_loss = 0.0f64;
+            // Draw masking decisions and dropout masks serially, in batch
+            // order, so both RNG streams match single-threaded runs exactly
+            // regardless of pool size.
+            let mut shard_inputs: Vec<(Vec<usize>, Vec<i64>, Vec<Tensor>)> =
+                Vec::with_capacity(batch.len());
             for &si in batch {
                 let ids = &sequences[si];
                 // Fresh mask each epoch (standard dynamic masking).
@@ -149,20 +153,38 @@ pub fn pretrain_encoder(
                 if !any {
                     continue;
                 }
-                batch_used += 1;
+                let dropout_masks = model.draw_dropout_masks(masked.len(), &mut dropout_rng);
+                shard_inputs.push((masked, targets, dropout_masks));
+            }
+            let batch_used = shard_inputs.len();
+            // Data-parallel shard over the usable sequences; the fold below
+            // runs in batch order, keeping gradient sums bit-identical to
+            // single-threaded pretraining.
+            let shard_model: &TokenClassifier = &model;
+            let shards = gs_par::map_collect(shard_inputs.len(), |j| {
+                let (masked, targets, dropout_masks) = &shard_inputs[j];
                 let tape = Tape::new();
                 let mut binder = Binder::new(&tape);
-                let logits = model.forward(&tape, &mut binder, &masked, Some(&mut dropout_rng));
-                let loss = tape.cross_entropy(logits, &targets);
-                batch_loss += f64::from(tape.value(loss).item());
-                counted += 1;
+                let logits =
+                    shard_model.forward_with_masks(&tape, &mut binder, masked, dropout_masks);
+                let loss = tape.cross_entropy(logits, targets);
+                let loss_val = f64::from(tape.value(loss).item());
                 let mut grads = tape.backward(loss);
-                binder.accumulate(&mut grads, model.store_mut());
-                if let Some(issue) = tape.first_numeric_issue() {
+                let pairs = binder.take_param_grads(&mut grads);
+                (loss_val, pairs, tape.first_numeric_issue(), tape.len())
+            });
+            let mut batch_loss = 0.0f64;
+            for (loss_val, pairs, issue, tape_len) in shards {
+                batch_loss += loss_val;
+                counted += 1;
+                for (id, g) in &pairs {
+                    model.store_mut().accumulate_grad(*id, g);
+                }
+                if let Some(issue) = issue {
                     gs_obs::counter("pretrain.sanitizer_trips", 1);
                     panic!("numeric sanitizer tripped at step {step} (epoch {epoch}): {issue}");
                 }
-                if let Some(report) = growth.observe(tape.len()) {
+                if let Some(report) = growth.observe(tape_len) {
                     gs_obs::counter("pretrain.tape_growth_alerts", 1);
                     gs_obs::emit(
                         "tape_growth",

@@ -6,7 +6,7 @@ use super::check::assert_classifier_valid;
 use super::config::TrainConfig;
 use super::model::TokenClassifier;
 use gs_check::GrowthMonitor;
-use gs_tensor::{Binder, Optimizer, Tape, WarmupLinearSchedule};
+use gs_tensor::{Binder, Optimizer, Tape, Tensor, WarmupLinearSchedule};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -71,6 +71,8 @@ pub fn train_token_classifier_cb(
 
     let mut run_span = gs_obs::span("train.finetune");
     run_span.add("examples", examples.len() as u64);
+    run_span.add("par_threads", gs_par::max_threads() as u64);
+    gs_obs::gauge("train.par_threads", gs_par::max_threads() as f64);
     let mut stats = Vec::with_capacity(config.epochs);
     let mut order: Vec<usize> = (0..examples.len()).collect();
     let mut step: u64 = 0;
@@ -82,21 +84,43 @@ pub fn train_token_classifier_cb(
         let epoch_start = gs_obs::enabled().then(std::time::Instant::now);
         let mut epoch_loss = 0.0f64;
         for batch in order.chunks(config.batch_size.max(1)) {
-            let mut batch_loss = 0.0f64;
-            for &i in batch {
-                let ex = &examples[i];
+            // Pre-draw every sequence's dropout masks on this thread, in
+            // batch order, so the RNG stream is identical to serial
+            // training regardless of pool size.
+            let batch_masks: Vec<Vec<Tensor>> = batch
+                .iter()
+                .map(|&i| model.draw_dropout_masks(examples[i].ids.len(), &mut dropout_rng))
+                .collect();
+            // Data-parallel shard: each sequence's forward/backward runs on
+            // its own tape, possibly on a pool worker, and hands back its
+            // loss and gradient pairs.
+            let shard_model: &TokenClassifier = model;
+            let shards = gs_par::map_collect(batch.len(), |j| {
+                let ex = &examples[batch[j]];
                 let tape = Tape::new();
                 let mut binder = Binder::new(&tape);
-                let logits = model.forward(&tape, &mut binder, &ex.ids, Some(&mut dropout_rng));
+                let logits =
+                    shard_model.forward_with_masks(&tape, &mut binder, &ex.ids, &batch_masks[j]);
                 let loss = tape.cross_entropy(logits, &ex.targets);
-                batch_loss += f64::from(tape.value(loss).item());
+                let loss_val = f64::from(tape.value(loss).item());
                 let mut grads = tape.backward(loss);
-                binder.accumulate(&mut grads, model.store_mut());
-                if let Some(issue) = tape.first_numeric_issue() {
+                let pairs = binder.take_param_grads(&mut grads);
+                (loss_val, pairs, tape.first_numeric_issue(), tape.len())
+            });
+            // Fold shards in batch order: loss totals and gradient sums see
+            // contributions in exactly the serial order, so every float is
+            // bit-identical to single-threaded training.
+            let mut batch_loss = 0.0f64;
+            for (loss_val, pairs, issue, tape_len) in shards {
+                batch_loss += loss_val;
+                for (id, g) in &pairs {
+                    model.store_mut().accumulate_grad(*id, g);
+                }
+                if let Some(issue) = issue {
                     gs_obs::counter("train.sanitizer_trips", 1);
                     panic!("numeric sanitizer tripped at step {step} (epoch {epoch}): {issue}");
                 }
-                if let Some(report) = growth.observe(tape.len()) {
+                if let Some(report) = growth.observe(tape_len) {
                     gs_obs::counter("train.tape_growth_alerts", 1);
                     gs_obs::emit(
                         "tape_growth",

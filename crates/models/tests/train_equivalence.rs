@@ -1,0 +1,104 @@
+//! Data-parallel training must be bit-identical to serial training: the
+//! dropout-mask pre-draw keeps the RNG stream unchanged and the in-order
+//! gradient fold keeps every float addition in the serial order, so a
+//! fixed-seed run produces the same loss sequence and the same final
+//! parameters at every pool size.
+
+use gs_models::transformer::{
+    pretrain_encoder, train_token_classifier, ModelFamily, PretrainConfig, TokenClassifier,
+    TrainConfig, TransformerConfig,
+};
+
+fn tiny_config() -> TransformerConfig {
+    TransformerConfig {
+        name: "tiny".into(),
+        family: ModelFamily::Roberta,
+        d_model: 16,
+        n_heads: 2,
+        n_layers: 2,
+        d_ff: 32,
+        max_len: 16,
+        dropout: 0.1,
+        subword_budget: 80,
+    }
+}
+
+fn examples(n: usize) -> Vec<gs_models::transformer::TrainExample> {
+    (0..n)
+        .map(|s| {
+            let ids: Vec<usize> = (0..10).map(|i| ((s * 5 + i * 3) % 22) + 2).collect();
+            let targets: Vec<i64> = ids
+                .iter()
+                .enumerate()
+                .map(|(pos, &id)| if pos == 0 { -1 } else { (1 + id % 2) as i64 })
+                .collect();
+            gs_models::transformer::TrainExample { ids, targets }
+        })
+        .collect()
+}
+
+/// Runs a fixed-seed 3-epoch fine-tune and returns (loss sequence, every
+/// parameter's bits in registration order).
+fn train_run() -> (Vec<f32>, Vec<Vec<u32>>) {
+    let mut model = TokenClassifier::new(tiny_config(), 30, 3, 11);
+    let config = TrainConfig { epochs: 3, lr: 2e-3, batch_size: 4, seed: 7, ..Default::default() };
+    let stats = train_token_classifier(&mut model, &examples(12), &config);
+    let losses = stats.iter().map(|s| s.mean_loss).collect();
+    let store = model.store();
+    let params = store
+        .ids()
+        .map(|id| store.value(id).data().iter().map(|v| v.to_bits()).collect())
+        .collect();
+    (losses, params)
+}
+
+#[test]
+fn training_is_bit_identical_across_pool_sizes() {
+    let baseline = gs_par::with_threads(1, train_run);
+    for threads in [2usize, 4] {
+        let run = gs_par::with_threads(threads, train_run);
+        assert_eq!(baseline.0, run.0, "loss sequence diverged at {threads} threads");
+        assert_eq!(baseline.1, run.1, "final parameters diverged at {threads} threads");
+    }
+}
+
+#[test]
+fn pretraining_is_bit_identical_across_pool_sizes() {
+    let corpus = [
+        "Reduce energy consumption by 20% by 2025.",
+        "Reach net-zero carbon emissions by 2040.",
+        "Cut waste to landfill by half by 2030.",
+        "Restore 100% of our global water use.",
+        "Lower fleet fuel consumption by 15%.",
+        "Double recyclable packaging by 2028.",
+    ];
+    let run = || {
+        let pc = PretrainConfig { epochs: 2, lr: 1e-3, batch_size: 3, ..Default::default() };
+        let pe = pretrain_encoder(&corpus, &tiny_config(), &pc);
+        let store = pe.model.store();
+        let params: Vec<Vec<u32>> = store
+            .ids()
+            .map(|id| store.value(id).data().iter().map(|v| v.to_bits()).collect())
+            .collect();
+        (pe.epoch_losses.clone(), params)
+    };
+    let baseline = gs_par::with_threads(1, run);
+    for threads in [2usize, 4] {
+        let parallel = gs_par::with_threads(threads, run);
+        assert_eq!(baseline.0, parallel.0, "MLM loss sequence diverged at {threads} threads");
+        assert_eq!(baseline.1, parallel.1, "pretrained parameters diverged at {threads} threads");
+    }
+}
+
+#[test]
+fn batched_inference_is_bit_identical_across_pool_sizes() {
+    let model = TokenClassifier::new(tiny_config(), 30, 5, 3);
+    let seqs: Vec<Vec<usize>> =
+        vec![vec![1, 5, 9, 2], vec![3], vec![7, 7, 7, 7, 7, 7], (0..14).map(|i| i % 30).collect()];
+    let refs: Vec<&[usize]> = seqs.iter().map(Vec::as_slice).collect();
+    let baseline = gs_par::with_threads(1, || model.predict_classes_batch(&refs));
+    for threads in [2usize, 4] {
+        let parallel = gs_par::with_threads(threads, || model.predict_classes_batch(&refs));
+        assert_eq!(baseline, parallel, "batched predictions diverged at {threads} threads");
+    }
+}

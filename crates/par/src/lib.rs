@@ -1,0 +1,473 @@
+//! # gs-par
+//!
+//! A dependency-free, std-only persistent thread pool with scoped fork-join
+//! over index ranges — the parallel substrate under `gs-tensor`'s hot
+//! kernels, `gs-models`' data-parallel training, and `gs-serve`'s
+//! micro-batch encoding.
+//!
+//! ## Determinism contract
+//!
+//! Parallel execution here never changes results, only wall-clock time:
+//!
+//! - work is split over *index ranges*; every index writes a disjoint slice
+//!   of the output, so there is no cross-thread accumulation;
+//! - floating-point reductions are never performed atomically or in thread
+//!   arrival order — callers that need a reduction collect per-index
+//!   results (see [`map_collect`]) and fold them on the calling thread in
+//!   index order;
+//! - therefore every computation is bit-identical at 1, 2, 4, … threads,
+//!   which the equivalence suites in `gs-tensor` and `gs-models` pin down.
+//!
+//! ## Sizing
+//!
+//! The pool size defaults to [`std::thread::available_parallelism`] and can
+//! be fixed with the `GS_NUM_THREADS` environment variable (read once, at
+//! first use). Tests and benchmarks override it in-process with a
+//! [`ParScope`] guard (or the [`with_threads`] closure form), which takes
+//! precedence over the environment. Workers are spawned lazily up to the
+//! requested degree and park on a condition variable when idle, so an
+//! oversized pool costs nothing while serial code runs.
+//!
+//! ## Panics
+//!
+//! A panicking task never deadlocks or poisons the pool: the panic payload
+//! is captured, remaining indices are abandoned, helpers drain, and the
+//! payload is re-thrown on the calling thread once the scope has fully
+//! quiesced. Subsequent scopes reuse the pool normally.
+//!
+//! Nested scopes (a task that itself calls into gs-par) run inline on the
+//! worker executing them rather than re-entering the queue, which keeps
+//! fork-join free of worker-starvation deadlocks.
+
+#![warn(missing_docs)]
+
+use std::any::Any;
+use std::collections::VecDeque;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, MutexGuard, OnceLock};
+
+/// A queued unit of pool work.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Cumulative pool counters since process start (monotonic).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Fork-join scopes dispatched to the pool (serial-inline runs not
+    /// counted).
+    pub dispatches: u64,
+    /// Helper jobs pushed onto the pool queue.
+    pub jobs: u64,
+    /// Indices executed by pool workers rather than the scope's caller
+    /// (work "stolen" from the calling thread).
+    pub steals: u64,
+    /// Times a worker parked on the idle condition variable.
+    pub parks: u64,
+    /// High-water mark of the job queue length.
+    pub peak_queue: u64,
+}
+
+static DISPATCHES: AtomicU64 = AtomicU64::new(0);
+static JOBS: AtomicU64 = AtomicU64::new(0);
+static STEALS: AtomicU64 = AtomicU64::new(0);
+static PARKS: AtomicU64 = AtomicU64::new(0);
+static PEAK_QUEUE: AtomicU64 = AtomicU64::new(0);
+
+/// A snapshot of the global pool counters.
+pub fn stats() -> PoolStats {
+    PoolStats {
+        dispatches: DISPATCHES.load(Ordering::Relaxed),
+        jobs: JOBS.load(Ordering::Relaxed),
+        steals: STEALS.load(Ordering::Relaxed),
+        parks: PARKS.load(Ordering::Relaxed),
+        peak_queue: PEAK_QUEUE.load(Ordering::Relaxed),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Degree selection: ParScope override > GS_NUM_THREADS > available cores.
+// ---------------------------------------------------------------------------
+
+/// Process-wide degree override installed by [`ParScope`]; 0 means "none".
+static OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+fn configured_threads() -> usize {
+    static CONFIGURED: OnceLock<usize> = OnceLock::new();
+    *CONFIGURED.get_or_init(|| {
+        match std::env::var("GS_NUM_THREADS").ok().and_then(|v| v.trim().parse::<usize>().ok()) {
+            Some(n) if n > 0 => n,
+            // Unset, unparsable, or 0: use what the machine offers.
+            _ => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        }
+    })
+}
+
+/// The effective parallelism degree: the innermost [`ParScope`] override if
+/// one is active, else `GS_NUM_THREADS`, else the machine's core count.
+/// Always at least 1.
+pub fn max_threads() -> usize {
+    match OVERRIDE.load(Ordering::Relaxed) {
+        0 => configured_threads(),
+        n => n,
+    }
+}
+
+/// RAII guard fixing the parallelism degree for the duration of its scope
+/// (process-wide, so the degree also applies to pool workers and to other
+/// threads such as a serving worker). Intended for tests and benchmarks;
+/// the override only changes how work is scheduled, never its result, so a
+/// race between overlapping scopes in concurrent tests can at worst change
+/// timing.
+pub struct ParScope {
+    prev: usize,
+}
+
+impl ParScope {
+    /// Installs a degree override of `threads` (clamped to at least 1),
+    /// restored to the previous value on drop.
+    pub fn new(threads: usize) -> ParScope {
+        let prev = OVERRIDE.swap(threads.max(1), Ordering::Relaxed);
+        ParScope { prev }
+    }
+}
+
+impl Drop for ParScope {
+    fn drop(&mut self) {
+        OVERRIDE.store(self.prev, Ordering::Relaxed);
+    }
+}
+
+/// Runs `f` under a [`ParScope`] of `threads`.
+pub fn with_threads<R>(threads: usize, f: impl FnOnce() -> R) -> R {
+    let _scope = ParScope::new(threads);
+    f()
+}
+
+// ---------------------------------------------------------------------------
+// The pool: lazily spawned parked workers pulling from one queue.
+// ---------------------------------------------------------------------------
+
+struct PoolShared {
+    queue: Mutex<VecDeque<Job>>,
+    available: Condvar,
+}
+
+struct Pool {
+    shared: &'static PoolShared,
+    spawned: Mutex<usize>,
+}
+
+fn lock_ignore_poison<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
+    // Jobs run under catch_unwind, so poisoning is unreachable in practice;
+    // recover anyway so one bad scope can never wedge the process.
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn pool() -> &'static Pool {
+    static POOL: OnceLock<Pool> = OnceLock::new();
+    POOL.get_or_init(|| {
+        let shared: &'static PoolShared = Box::leak(Box::new(PoolShared {
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+        }));
+        Pool { shared, spawned: Mutex::new(0) }
+    })
+}
+
+fn worker_loop(shared: &'static PoolShared) {
+    loop {
+        let job = {
+            let mut queue = lock_ignore_poison(&shared.queue);
+            loop {
+                if let Some(job) = queue.pop_front() {
+                    break job;
+                }
+                PARKS.fetch_add(1, Ordering::Relaxed);
+                queue = shared.available.wait(queue).unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        job();
+    }
+}
+
+/// Ensures at least `want` workers exist, spawning parked ones as needed.
+fn ensure_workers(want: usize) {
+    let p = pool();
+    let mut spawned = lock_ignore_poison(&p.spawned);
+    while *spawned < want {
+        let shared = p.shared;
+        std::thread::Builder::new()
+            .name(format!("gs-par-{}", *spawned))
+            .spawn(move || worker_loop(shared))
+            .expect("spawn gs-par worker");
+        *spawned += 1;
+    }
+}
+
+fn push_jobs(jobs: Vec<Job>) {
+    let p = pool();
+    let mut queue = lock_ignore_poison(&p.shared.queue);
+    JOBS.fetch_add(jobs.len() as u64, Ordering::Relaxed);
+    for job in jobs {
+        queue.push_back(job);
+    }
+    let depth = queue.len() as u64;
+    PEAK_QUEUE.fetch_max(depth, Ordering::Relaxed);
+    drop(queue);
+    p.shared.available.notify_all();
+}
+
+// ---------------------------------------------------------------------------
+// Fork-join scopes.
+// ---------------------------------------------------------------------------
+
+thread_local! {
+    /// Set while this thread executes inside a fork-join scope; nested
+    /// scopes run inline to avoid worker-starvation deadlocks.
+    static IN_SCOPE: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Shared state of one fork-join scope. Lives on the caller's stack; the
+/// caller blocks until every helper has signed off, which is what makes
+/// handing borrowed references to pool threads sound.
+struct Scope<'a> {
+    f: &'a (dyn Fn(usize) + Sync),
+    n: usize,
+    next: AtomicUsize,
+    abandoned: AtomicBool,
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+    pending: Mutex<usize>,
+    done: Condvar,
+}
+
+impl Scope<'_> {
+    /// Claims and runs indices until the range is exhausted or the scope is
+    /// abandoned by a panic elsewhere.
+    fn run_claims(&self, helper: bool) {
+        IN_SCOPE.with(|flag| {
+            let was = flag.replace(true);
+            while !self.abandoned.load(Ordering::Relaxed) {
+                let i = self.next.fetch_add(1, Ordering::Relaxed);
+                if i >= self.n {
+                    break;
+                }
+                if helper {
+                    STEALS.fetch_add(1, Ordering::Relaxed);
+                }
+                if let Err(payload) = panic::catch_unwind(AssertUnwindSafe(|| (self.f)(i))) {
+                    self.abandoned.store(true, Ordering::Relaxed);
+                    let mut slot = lock_ignore_poison(&self.panic);
+                    if slot.is_none() {
+                        *slot = Some(payload);
+                    }
+                }
+            }
+            flag.set(was);
+        });
+    }
+
+    fn helper_done(&self) {
+        let mut pending = lock_ignore_poison(&self.pending);
+        *pending -= 1;
+        if *pending == 0 {
+            self.done.notify_all();
+        }
+    }
+
+    fn wait_helpers(&self) {
+        let mut pending = lock_ignore_poison(&self.pending);
+        while *pending > 0 {
+            pending = self.done.wait(pending).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+/// Runs `f(i)` for every `i in 0..n`, splitting the range across the pool.
+///
+/// Each index must only write state disjoint from every other index; under
+/// that contract results are identical at any thread count. The calling
+/// thread participates, so the scope makes progress even when all workers
+/// are busy. Serial fallback (degree 1, `n <= 1`, or a nested scope) runs
+/// `f` inline in ascending index order.
+///
+/// # Panics
+/// Re-throws the first panic raised by any `f(i)` after the scope drains.
+pub fn for_each_index(n: usize, f: impl Fn(usize) + Sync) {
+    let threads = max_threads();
+    if n <= 1 || threads <= 1 || IN_SCOPE.with(|flag| flag.get()) {
+        for i in 0..n {
+            f(i);
+        }
+        return;
+    }
+
+    let helpers = threads.min(n) - 1;
+    let scope = Scope {
+        f: &f,
+        n,
+        next: AtomicUsize::new(0),
+        abandoned: AtomicBool::new(false),
+        panic: Mutex::new(None),
+        pending: Mutex::new(helpers),
+        done: Condvar::new(),
+    };
+    DISPATCHES.fetch_add(1, Ordering::Relaxed);
+    if gs_obs::enabled() {
+        gs_obs::counter("par.dispatches", 1);
+        gs_obs::counter("par.indices", n as u64);
+    }
+
+    if helpers > 0 {
+        ensure_workers(helpers);
+        // SAFETY: `scope` (and the closure it borrows) outlives every
+        // helper job because `wait_helpers` below blocks until each job has
+        // called `helper_done`, even when a task panics.
+        let scope_ref: &'static Scope<'static> =
+            unsafe { std::mem::transmute::<&Scope<'_>, &'static Scope<'static>>(&scope) };
+        let jobs: Vec<Job> = (0..helpers)
+            .map(|_| {
+                Box::new(move || {
+                    scope_ref.run_claims(true);
+                    scope_ref.helper_done();
+                }) as Job
+            })
+            .collect();
+        push_jobs(jobs);
+    }
+
+    scope.run_claims(false);
+    scope.wait_helpers();
+
+    let payload = lock_ignore_poison(&scope.panic).take();
+    if let Some(payload) = payload {
+        panic::resume_unwind(payload);
+    }
+}
+
+/// Runs `f(chunk_index, chunk)` over `data` split into contiguous chunks of
+/// `chunk_len` elements (the last chunk may be shorter), in parallel.
+///
+/// This is the disjoint-write workhorse for row-blocked kernels: callers
+/// pick `chunk_len` as a multiple of their row stride and compute absolute
+/// offsets from `chunk_index * chunk_len`.
+pub fn for_each_chunk_mut<T: Send>(
+    data: &mut [T],
+    chunk_len: usize,
+    f: impl Fn(usize, &mut [T]) + Sync,
+) {
+    assert!(chunk_len > 0, "chunk_len must be positive");
+    let len = data.len();
+    let chunks = len.div_ceil(chunk_len);
+    let base = data.as_mut_ptr() as usize;
+    for_each_index(chunks, |ci| {
+        let start = ci * chunk_len;
+        let end = (start + chunk_len).min(len);
+        // SAFETY: chunks `[start, end)` are pairwise disjoint subranges of
+        // `data`, which outlives the scope (for_each_index joins before
+        // returning), so each task gets exclusive access to its slice.
+        let chunk =
+            unsafe { std::slice::from_raw_parts_mut((base as *mut T).add(start), end - start) };
+        f(ci, chunk);
+    });
+}
+
+/// Computes `f(i)` for `i in 0..n` in parallel and returns the results in
+/// index order — the deterministic-reduction building block: fold the
+/// returned vector on the calling thread instead of accumulating across
+/// threads.
+pub fn map_collect<T: Send>(n: usize, f: impl Fn(usize) -> T + Sync) -> Vec<T> {
+    struct Slots<T>(*mut Option<T>);
+    impl<T> Clone for Slots<T> {
+        fn clone(&self) -> Self {
+            *self
+        }
+    }
+    impl<T> Copy for Slots<T> {}
+    // SAFETY: each index writes only its own slot, and for_each_index joins
+    // before `slots` is read or dropped.
+    unsafe impl<T: Send> Send for Slots<T> {}
+    unsafe impl<T: Send> Sync for Slots<T> {}
+    impl<T> Slots<T> {
+        /// # Safety
+        /// Slot `i` must be in bounds and owned exclusively by the caller.
+        unsafe fn set(self, i: usize, value: T) {
+            *self.0.add(i) = Some(value);
+        }
+    }
+
+    let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    let base = Slots(slots.as_mut_ptr());
+    for_each_index(n, |i| {
+        let value = f(i);
+        // SAFETY: slot `i` is in bounds and owned exclusively by this task.
+        unsafe { base.set(i, value) };
+    });
+    slots.into_iter().map(|slot| slot.expect("every index sets its slot")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    #[test]
+    fn for_each_index_covers_every_index_once() {
+        let hits: Vec<AtomicU32> = (0..257).map(|_| AtomicU32::new(0)).collect();
+        with_threads(4, || {
+            for_each_index(hits.len(), |i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn chunk_mut_partitions_exactly() {
+        let mut data = vec![0u32; 1000];
+        with_threads(4, || {
+            for_each_chunk_mut(&mut data, 64, |ci, chunk| {
+                for (j, x) in chunk.iter_mut().enumerate() {
+                    *x = (ci * 64 + j) as u32;
+                }
+            });
+        });
+        assert!(data.iter().enumerate().all(|(i, &x)| x == i as u32));
+    }
+
+    #[test]
+    fn map_collect_preserves_index_order() {
+        let out = with_threads(4, || map_collect(100, |i| i * i));
+        assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn degree_override_nests_and_restores() {
+        let outer = max_threads();
+        with_threads(3, || {
+            assert_eq!(max_threads(), 3);
+            with_threads(1, || assert_eq!(max_threads(), 1));
+            assert_eq!(max_threads(), 3);
+        });
+        assert_eq!(max_threads(), outer);
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_one() {
+        with_threads(0, || assert_eq!(max_threads(), 1));
+    }
+
+    #[test]
+    fn empty_and_single_ranges_run_inline() {
+        let count = AtomicU32::new(0);
+        with_threads(4, || {
+            for_each_index(0, |_| {
+                count.fetch_add(1, Ordering::Relaxed);
+            });
+            for_each_index(1, |i| {
+                assert_eq!(i, 0);
+                count.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 1);
+    }
+}

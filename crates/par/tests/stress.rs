@@ -1,0 +1,130 @@
+//! Concurrency stress tests for the gs-par pool: panic propagation out of
+//! (nested) scopes without deadlock or poisoning, oversubscription, and
+//! repeated reuse. CI runs this suite at `GS_NUM_THREADS={1,4}` and under
+//! `--test-threads` variation, so every test must be correct no matter how
+//! many sibling tests share the pool.
+
+use gs_par::{for_each_chunk_mut, for_each_index, map_collect, with_threads};
+use std::panic;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A panicking task surfaces its payload on the caller and leaves the pool
+/// usable: the very next scope on the same pool must run to completion.
+#[test]
+fn panic_propagates_and_pool_survives() {
+    for round in 0..3 {
+        let result = panic::catch_unwind(|| {
+            with_threads(4, || {
+                for_each_index(64, |i| {
+                    if i == 13 {
+                        panic!("task failure in round {round}");
+                    }
+                });
+            });
+        });
+        let payload = result.expect_err("panic must propagate to the caller");
+        let msg = payload.downcast_ref::<String>().expect("string payload");
+        assert!(msg.contains("task failure"), "unexpected payload {msg}");
+
+        // Pool not poisoned: a full scope still completes.
+        let done = AtomicUsize::new(0);
+        with_threads(4, || {
+            for_each_index(64, |_| {
+                done.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(done.load(Ordering::Relaxed), 64);
+    }
+}
+
+/// Panics raised inside a *nested* scope unwind through the outer scope
+/// without deadlocking (nested scopes run inline on their worker).
+#[test]
+fn nested_scope_panic_does_not_deadlock() {
+    let result = panic::catch_unwind(|| {
+        with_threads(4, || {
+            for_each_index(8, |outer| {
+                for_each_index(8, |inner| {
+                    if outer == 3 && inner == 5 {
+                        panic!("nested failure");
+                    }
+                });
+            });
+        });
+    });
+    assert!(result.is_err(), "nested panic must reach the caller");
+
+    // And the pool still works.
+    assert_eq!(with_threads(4, || map_collect(32, |i| i + 1)).len(), 32);
+}
+
+/// Nested scopes compute the same thing as flat iteration.
+#[test]
+fn nested_scopes_cover_the_product_range() {
+    let cells: Vec<AtomicUsize> = (0..144).map(|_| AtomicUsize::new(0)).collect();
+    with_threads(4, || {
+        for_each_index(12, |i| {
+            for_each_index(12, |j| {
+                cells[i * 12 + j].fetch_add(1, Ordering::Relaxed);
+            });
+        });
+    });
+    assert!(cells.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+}
+
+/// Far more tasks than workers: everything still runs exactly once, and
+/// with a degree far above the physical core count nothing wedges.
+#[test]
+fn oversubscription_completes() {
+    let n = 10_000;
+    let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+    with_threads(16, || {
+        for_each_index(n, |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+    });
+    assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+}
+
+/// Repeated reuse: many small scopes back to back, interleaving thread
+/// counts, with results checked every round. Guards against leaked scope
+/// state (stuck claims, stale panics, lost wakeups) across reuse.
+#[test]
+fn repeated_reuse_is_stable() {
+    for round in 0..200 {
+        let threads = [1, 2, 4][round % 3];
+        let out = with_threads(threads, || map_collect(33, move |i| i * round));
+        assert_eq!(out, (0..33).map(|i| i * round).collect::<Vec<_>>());
+    }
+}
+
+/// Disjoint chunk writes race-free under load: every element written by
+/// exactly the task owning its chunk.
+#[test]
+fn chunked_writes_are_disjoint_under_load() {
+    let mut data = vec![0usize; 4096];
+    with_threads(8, || {
+        for_each_chunk_mut(&mut data, 100, |ci, chunk| {
+            for (j, x) in chunk.iter_mut().enumerate() {
+                *x = ci * 100 + j + 1;
+            }
+        });
+    });
+    assert!(data.iter().enumerate().all(|(i, &x)| x == i + 1));
+}
+
+/// Concurrent callers from independent OS threads share the pool safely.
+#[test]
+fn concurrent_external_callers() {
+    let handles: Vec<_> = (0..4)
+        .map(|t| {
+            std::thread::spawn(move || {
+                let out = map_collect(257, move |i| i + t);
+                assert_eq!(out, (0..257).map(|i| i + t).collect::<Vec<_>>());
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("caller thread");
+    }
+}

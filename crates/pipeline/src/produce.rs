@@ -46,21 +46,23 @@ pub struct CompanyStats {
 /// micro-batcher applies, here per report.
 pub fn process_report(gs: &GoalSpotter, report: &Report, store: &ObjectiveStore) -> ReportStats {
     let mut stats = ReportStats { pages: report.pages.len(), ..Default::default() };
+    let blocks: Vec<_> = report.pages.iter().flat_map(|p| p.blocks.iter()).collect();
+    stats.blocks = blocks.len();
+    // Per-block detection is independent, so it fans out across the gs-par
+    // pool; scores come back in block order and the accounting below folds
+    // serially, keeping stats identical at any pool size.
+    let scores = gs_par::map_collect(blocks.len(), |i| gs.detection_score(&blocks[i].text));
     let mut detected: Vec<(&str, f32)> = Vec::new();
-    for page in &report.pages {
-        for block in &page.blocks {
-            stats.blocks += 1;
-            let score = gs.detection_score(&block.text);
-            let is_detected = score >= 0.5;
-            match (is_detected, block.is_objective) {
-                (true, false) => stats.false_positives += 1,
-                (false, true) => stats.false_negatives += 1,
-                _ => {}
-            }
-            if is_detected {
-                stats.detected += 1;
-                detected.push((&block.text, score));
-            }
+    for (block, score) in blocks.iter().zip(scores) {
+        let is_detected = score >= 0.5;
+        match (is_detected, block.is_objective) {
+            (true, false) => stats.false_positives += 1,
+            (false, true) => stats.false_negatives += 1,
+            _ => {}
+        }
+        if is_detected {
+            stats.detected += 1;
+            detected.push((&block.text, score));
         }
     }
     if detected.is_empty() {

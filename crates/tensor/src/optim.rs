@@ -193,6 +193,22 @@ impl<'t, T: TapeOps> Binder<'t, T> {
             }
         }
     }
+
+    /// Takes leaf gradients out of a backward pass, paired with their
+    /// parameter ids in binding order — the shard-local half of
+    /// [`accumulate`](Self::accumulate). Data-parallel training computes
+    /// gradients on worker threads, then the coordinating thread folds each
+    /// shard's pairs into the store in a fixed order, so the accumulated
+    /// sums are bit-identical to serial training.
+    pub fn take_param_grads(&self, grads: &mut Grads) -> Vec<(ParamId, Tensor)> {
+        let mut out = Vec::with_capacity(self.bindings.len());
+        for &(id, var) in &self.bindings {
+            if let Some(g) = grads.take(var) {
+                out.push((id, g));
+            }
+        }
+        out
+    }
 }
 
 /// Gradient-descent optimizers over a [`ParamStore`].

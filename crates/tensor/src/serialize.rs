@@ -32,6 +32,90 @@ pub fn load_params_file(path: &Path) -> io::Result<ParamStore> {
     load_params(io::BufReader::new(file))
 }
 
+/// Magic line identifying the plain-text checkpoint format.
+const TEXT_MAGIC: &str = "gs-params v1";
+
+/// Serializes a [`ParamStore`] to a plain-text, bit-exact format.
+///
+/// Values are written as the hex of each `f32`'s bit pattern, so a
+/// round-trip is lossless for every value including NaNs and signed
+/// zeros, and the file is stable across platforms and serializer
+/// versions. Layout: a magic line, the parameter count, then per
+/// parameter one header line (`name ndim d0 d1 ...`) and one line of
+/// space-separated hex words. Used for golden-test fixtures that must
+/// load without any serde machinery.
+pub fn save_params_text<W: Write>(store: &ParamStore, mut writer: W) -> io::Result<()> {
+    writeln!(writer, "{TEXT_MAGIC}")?;
+    writeln!(writer, "{}", store.len())?;
+    for id in store.ids() {
+        let value = store.value(id);
+        write!(writer, "{} {}", store.name(id), value.shape().len())?;
+        for &d in value.shape() {
+            write!(writer, " {d}")?;
+        }
+        writeln!(writer)?;
+        let mut line = String::with_capacity(value.len() * 9);
+        for (i, v) in value.data().iter().enumerate() {
+            if i > 0 {
+                line.push(' ');
+            }
+            line.push_str(&format!("{:08x}", v.to_bits()));
+        }
+        writeln!(writer, "{line}")?;
+    }
+    Ok(())
+}
+
+/// Deserializes a [`ParamStore`] from [`save_params_text`] output,
+/// preserving registration order (and therefore [`ParamStore::ids`]
+/// order) exactly.
+pub fn load_params_text<R: Read>(mut reader: R) -> io::Result<ParamStore> {
+    let mut text = String::new();
+    reader.read_to_string(&mut text)?;
+    let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
+    let mut lines = text.lines();
+    if lines.next() != Some(TEXT_MAGIC) {
+        return Err(bad("missing gs-params magic line"));
+    }
+    let count: usize =
+        lines.next().and_then(|l| l.trim().parse().ok()).ok_or_else(|| bad("bad count line"))?;
+    let mut store = ParamStore::new();
+    for _ in 0..count {
+        let header = lines.next().ok_or_else(|| bad("truncated header"))?;
+        let mut parts = header.split_whitespace();
+        let name = parts.next().ok_or_else(|| bad("missing name"))?;
+        let ndim: usize =
+            parts.next().and_then(|p| p.parse().ok()).ok_or_else(|| bad("bad ndim"))?;
+        let shape: Vec<usize> =
+            parts.map(|p| p.parse().map_err(|_| bad("bad dim"))).collect::<Result<_, _>>()?;
+        if shape.len() != ndim {
+            return Err(bad("dim count mismatch"));
+        }
+        let data_line = lines.next().ok_or_else(|| bad("truncated data"))?;
+        let data: Vec<f32> = data_line
+            .split_whitespace()
+            .map(|w| u32::from_str_radix(w, 16).map(f32::from_bits).map_err(|_| bad("bad hex")))
+            .collect::<Result<_, _>>()?;
+        if data.len() != shape.iter().product::<usize>() {
+            return Err(bad("value count does not match shape"));
+        }
+        store.register(name, crate::tensor::Tensor::from_vec(shape, data));
+    }
+    Ok(store)
+}
+
+/// [`save_params_text`] to a file path.
+pub fn save_params_text_file(store: &ParamStore, path: &Path) -> io::Result<()> {
+    let file = std::fs::File::create(path)?;
+    save_params_text(store, io::BufWriter::new(file))
+}
+
+/// [`load_params_text`] from a file path.
+pub fn load_params_text_file(path: &Path) -> io::Result<ParamStore> {
+    let file = std::fs::File::open(path)?;
+    load_params_text(io::BufReader::new(file))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -57,5 +141,43 @@ mod tests {
     #[test]
     fn load_rejects_garbage() {
         assert!(load_params(&b"not json"[..]).is_err());
+    }
+
+    #[test]
+    fn text_roundtrip_is_bit_exact_and_order_preserving() {
+        let mut store = ParamStore::new();
+        store.register(
+            "enc.weight",
+            Tensor::from_vec(vec![2, 3], vec![1.5, -0.0, f32::MIN_POSITIVE, 3.25e-12, -7.0, 0.125]),
+        );
+        store.register("enc.bias", Tensor::vector(&[0.1, -0.2, 42.0]));
+        store.register("head", Tensor::from_vec(vec![1, 1], vec![f32::NAN]));
+
+        let mut buf = Vec::new();
+        save_params_text(&store, &mut buf).expect("save");
+        let loaded = load_params_text(buf.as_slice()).expect("load");
+
+        assert_eq!(loaded.len(), store.len());
+        for (orig, back) in store.ids().zip(loaded.ids()) {
+            assert_eq!(store.name(orig), loaded.name(back), "registration order changed");
+            let (a, b) = (store.value(orig), loaded.value(back));
+            assert_eq!(a.shape(), b.shape());
+            let bits = |t: &Tensor| t.data().iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(a), bits(b), "bits diverged for {}", store.name(orig));
+        }
+    }
+
+    #[test]
+    fn text_load_rejects_malformed_input() {
+        for bad in [
+            "",
+            "wrong magic\n1\n",
+            "gs-params v1\nnot-a-count\n",
+            "gs-params v1\n1\nw 1 2\n00000000\n",
+            "gs-params v1\n1\nw 1 2\nzz zz\n",
+            "gs-params v1\n2\nw 1 1\n00000000\n",
+        ] {
+            assert!(load_params_text(bad.as_bytes()).is_err(), "accepted {bad:?}");
+        }
     }
 }

@@ -14,9 +14,34 @@
 use crate::graph::{Graph, GraphNode, OpKind};
 use crate::sanitize::{self, NumericIssue, SanitizePhase};
 use crate::shape::{self, ShapeError};
-use crate::tensor::{gelu, gelu_grad, Tensor};
+use crate::tensor::{gelu, gelu_grad, Tensor, ELEMWISE_PAR_CUTOFF};
 use std::cell::RefCell;
 use std::rc::Rc;
+
+/// Raw `f32` base pointer that may cross threads. Used by row-parallel
+/// kernels that fill several output buffers at once: each task writes only
+/// the rows it owns, and the fork-join scope joins before the buffers are
+/// read, so the aliasing is benign.
+#[derive(Clone, Copy)]
+struct SendPtr(*mut f32);
+unsafe impl Send for SendPtr {}
+unsafe impl Sync for SendPtr {}
+
+impl SendPtr {
+    /// # Safety
+    /// The caller must guarantee `[offset, offset + len)` is in bounds and
+    /// not written by any other task in the same scope.
+    unsafe fn slice_mut<'a>(self, offset: usize, len: usize) -> &'a mut [f32] {
+        std::slice::from_raw_parts_mut(self.0.add(offset), len)
+    }
+}
+
+/// Whether a row-wise tape kernel over `rows` rows of `total` elements
+/// should dispatch to the gs-par pool.
+#[inline]
+fn rows_par_worthwhile(rows: usize, total: usize) -> bool {
+    rows > 1 && total >= ELEMWISE_PAR_CUTOFF && gs_par::max_threads() > 1
+}
 
 /// Handle to a node on a [`Tape`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -443,16 +468,44 @@ impl Tape {
         let mut xhat = vec![0.0f32; vx.len()];
         let mut inv_std = vec![0.0f32; n];
         let mut out = vec![0.0f32; vx.len()];
-        for r in 0..n {
-            let row = &vx.data()[r * d..(r + 1) * d];
+        let (x_data, g_data, b_data) = (vx.data(), vg.data(), vb.data());
+        let ln_row = |r: usize, xhat_row: &mut [f32], out_row: &mut [f32], istd_out: &mut f32| {
+            let row = &x_data[r * d..(r + 1) * d];
             let mean: f32 = row.iter().sum::<f32>() / d as f32;
             let var: f32 = row.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / d as f32;
             let istd = 1.0 / (var + EPS).sqrt();
-            inv_std[r] = istd;
+            *istd_out = istd;
             for j in 0..d {
                 let xh = (row[j] - mean) * istd;
-                xhat[r * d + j] = xh;
-                out[r * d + j] = xh * vg.data()[j] + vb.data()[j];
+                xhat_row[j] = xh;
+                out_row[j] = xh * g_data[j] + b_data[j];
+            }
+        };
+        if rows_par_worthwhile(n, vx.len()) {
+            // Rows normalize independently; each task owns disjoint rows of
+            // all three outputs, with per-row math identical to the serial
+            // loop.
+            let (xhat_p, istd_p, out_p) = (
+                SendPtr(xhat.as_mut_ptr()),
+                SendPtr(inv_std.as_mut_ptr()),
+                SendPtr(out.as_mut_ptr()),
+            );
+            gs_par::for_each_index(n, |r| unsafe {
+                ln_row(
+                    r,
+                    xhat_p.slice_mut(r * d, d),
+                    out_p.slice_mut(r * d, d),
+                    &mut istd_p.slice_mut(r, 1)[0],
+                );
+            });
+        } else {
+            for r in 0..n {
+                ln_row(
+                    r,
+                    &mut xhat[r * d..(r + 1) * d],
+                    &mut out[r * d..(r + 1) * d],
+                    &mut inv_std[r],
+                );
             }
         }
         self.push_with_aux(
@@ -628,13 +681,25 @@ impl Tape {
                 Op::SoftmaxLastDim(a) => {
                     let s = &node.value; // softmax output
                     let d = *s.shape().last().expect("softmax shape");
+                    let rows = s.len() / d;
                     let mut gin = vec![0.0f32; s.len()];
-                    for r in 0..s.len() / d {
-                        let srow = &s.data()[r * d..(r + 1) * d];
-                        let grow = &gout.data()[r * d..(r + 1) * d];
+                    let (s_data, g_all) = (s.data(), gout.data());
+                    let bw_row = |r: usize, gin_row: &mut [f32]| {
+                        let srow = &s_data[r * d..(r + 1) * d];
+                        let grow = &g_all[r * d..(r + 1) * d];
                         let dot: f32 = srow.iter().zip(grow).map(|(&sv, &gv)| sv * gv).sum();
                         for j in 0..d {
-                            gin[r * d + j] = srow[j] * (grow[j] - dot);
+                            gin_row[j] = srow[j] * (grow[j] - dot);
+                        }
+                    };
+                    if rows_par_worthwhile(rows, s.len()) {
+                        let gin_p = SendPtr(gin.as_mut_ptr());
+                        gs_par::for_each_index(rows, |r| unsafe {
+                            bw_row(r, gin_p.slice_mut(r * d, d));
+                        });
+                    } else {
+                        for r in 0..rows {
+                            bw_row(r, &mut gin[r * d..(r + 1) * d]);
                         }
                     }
                     accumulate(&mut grads, *a, Tensor::from_vec(s.shape().to_vec(), gin));
@@ -648,25 +713,48 @@ impl Tape {
                     let mut gx = vec![0.0f32; xhat.len()];
                     let mut ggamma = vec![0.0f32; d];
                     let mut gbeta = vec![0.0f32; d];
-                    for r in 0..rows {
-                        let xh = &xhat.data()[r * d..(r + 1) * d];
-                        let go = &gout.data()[r * d..(r + 1) * d];
-                        let istd = inv_std.data()[r];
+                    // `gx` rows are independent; `ggamma`/`gbeta` reduce
+                    // *across* rows, so they stay on this thread, summed in
+                    // ascending row order regardless of thread count (the
+                    // determinism contract forbids accumulating floats in
+                    // thread arrival order).
+                    let (xh_data, go_data, istd_data, vg_data) =
+                        (xhat.data(), gout.data(), inv_std.data(), vg.data());
+                    let gx_row = |r: usize, gx_row: &mut [f32]| {
+                        let xh = &xh_data[r * d..(r + 1) * d];
+                        let go = &go_data[r * d..(r + 1) * d];
+                        let istd = istd_data[r];
                         // dxhat = dY * gamma
                         let mut sum_dxhat = 0.0f32;
                         let mut sum_dxhat_xhat = 0.0f32;
                         for j in 0..d {
-                            let dxh = go[j] * vg.data()[j];
+                            let dxh = go[j] * vg_data[j];
                             sum_dxhat += dxh;
                             sum_dxhat_xhat += dxh * xh[j];
-                            ggamma[j] += go[j] * xh[j];
-                            gbeta[j] += go[j];
                         }
                         let inv_d = 1.0 / d as f32;
                         for j in 0..d {
-                            let dxh = go[j] * vg.data()[j];
-                            gx[r * d + j] =
+                            let dxh = go[j] * vg_data[j];
+                            gx_row[j] =
                                 istd * (dxh - inv_d * sum_dxhat - xh[j] * inv_d * sum_dxhat_xhat);
+                        }
+                    };
+                    if rows_par_worthwhile(rows, xhat.len()) {
+                        let gx_p = SendPtr(gx.as_mut_ptr());
+                        gs_par::for_each_index(rows, |r| unsafe {
+                            gx_row(r, gx_p.slice_mut(r * d, d));
+                        });
+                    } else {
+                        for r in 0..rows {
+                            gx_row(r, &mut gx[r * d..(r + 1) * d]);
+                        }
+                    }
+                    for r in 0..rows {
+                        let xh = &xhat.data()[r * d..(r + 1) * d];
+                        let go = &gout.data()[r * d..(r + 1) * d];
+                        for j in 0..d {
+                            ggamma[j] += go[j] * xh[j];
+                            gbeta[j] += go[j];
                         }
                     }
                     accumulate(&mut grads, *x, Tensor::from_vec(xhat.shape().to_vec(), gx));
@@ -724,16 +812,26 @@ impl Tape {
                     let scale = gout.item() / count;
                     let classes = probs.cols();
                     let mut gl = vec![0.0f32; probs.len()];
-                    for (i, &t) in targets.iter().enumerate() {
+                    let ce_row = |i: usize, grow: &mut [f32]| {
+                        let t = targets[i];
                         if t < 0 {
-                            continue;
+                            return;
                         }
                         let prow = probs.row(i);
-                        let grow = &mut gl[i * classes..(i + 1) * classes];
                         for j in 0..classes {
                             grow[j] = scale * prow[j];
                         }
                         grow[t as usize] -= scale;
+                    };
+                    if rows_par_worthwhile(targets.len(), probs.len()) {
+                        let gl_p = SendPtr(gl.as_mut_ptr());
+                        gs_par::for_each_index(targets.len(), |i| unsafe {
+                            ce_row(i, gl_p.slice_mut(i * classes, classes));
+                        });
+                    } else {
+                        for i in 0..targets.len() {
+                            ce_row(i, &mut gl[i * classes..(i + 1) * classes]);
+                        }
                     }
                     accumulate(&mut grads, *logits, Tensor::from_vec(probs.shape().to_vec(), gl));
                 }
@@ -775,9 +873,7 @@ fn export_kind(node: &Node) -> OpKind {
         Op::Gelu(x) => OpKind::Gelu { x: *x },
         Op::Tanh(x) => OpKind::Tanh { x: *x },
         Op::SoftmaxLastDim(x) => OpKind::SoftmaxLastDim { x: *x },
-        Op::LayerNorm { x, gamma, beta } => {
-            OpKind::LayerNorm { x: *x, gamma: *gamma, beta: *beta }
-        }
+        Op::LayerNorm { x, gamma, beta } => OpKind::LayerNorm { x: *x, gamma: *gamma, beta: *beta },
         Op::EmbedGather { table, ids } => OpKind::EmbedGather {
             table: *table,
             num_ids: ids.len(),

@@ -9,6 +9,37 @@
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
+/// Minimum multiply-add count before a matrix product is worth splitting
+/// across the gs-par pool; below it, dispatch overhead dominates.
+pub(crate) const PAR_FLOPS_CUTOFF: usize = 64 * 1024;
+
+/// Minimum element count before elementwise / row-wise kernels go parallel.
+pub(crate) const ELEMWISE_PAR_CUTOFF: usize = 16 * 1024;
+
+/// Elements per task for chunked elementwise kernels.
+const ELEMWISE_CHUNK: usize = 4 * 1024;
+
+/// Whether a row-blocked kernel of `rows x cols` output and `flops`
+/// multiply-adds should dispatch to the pool.
+#[inline]
+fn par_worthwhile(rows: usize, cols: usize, flops: usize) -> bool {
+    rows > 1 && cols > 0 && flops >= PAR_FLOPS_CUTOFF && gs_par::max_threads() > 1
+}
+
+/// Splits `out` (row-major `[rows, cols]`) into contiguous row blocks and
+/// runs `per_row(row_index, out_row)` for every row, in parallel. Each row
+/// is produced by exactly one task with the same per-row arithmetic as the
+/// serial loop, so results are bit-identical at any thread count.
+fn par_rows(out: &mut [f32], rows: usize, cols: usize, per_row: impl Fn(usize, &mut [f32]) + Sync) {
+    let rows_per_block = rows.div_ceil(gs_par::max_threads() * 4).max(1);
+    gs_par::for_each_chunk_mut(out, rows_per_block * cols, |ci, block| {
+        let row0 = ci * rows_per_block;
+        for (r, out_row) in block.chunks_mut(cols).enumerate() {
+            per_row(row0 + r, out_row);
+        }
+    });
+}
+
 /// A dense, row-major tensor of `f32` values.
 ///
 /// Invariant: `data.len() == shape.iter().product()`. Rank-0 tensors are
@@ -104,6 +135,11 @@ impl Tensor {
         &mut self.data
     }
 
+    /// Consumes the tensor, returning its flat row-major buffer.
+    pub fn into_data(self) -> Vec<f32> {
+        self.data
+    }
+
     /// The value of a rank-0 or single-element tensor.
     ///
     /// # Panics
@@ -160,18 +196,45 @@ impl Tensor {
         Tensor { shape: shape.to_vec(), data: self.data.clone() }
     }
 
-    /// Elementwise map into a new tensor.
-    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
-        Tensor { shape: self.shape.clone(), data: self.data.iter().map(|&x| f(x)).collect() }
+    /// Elementwise map into a new tensor. Large tensors are mapped in
+    /// chunks across the gs-par pool; elementwise kernels are trivially
+    /// order-independent, so the result is identical at any thread count.
+    pub fn map(&self, f: impl Fn(f32) -> f32 + Sync) -> Tensor {
+        let src = &self.data;
+        if src.len() < ELEMWISE_PAR_CUTOFF || gs_par::max_threads() <= 1 {
+            return Tensor { shape: self.shape.clone(), data: src.iter().map(|&x| f(x)).collect() };
+        }
+        let mut data = vec![0.0f32; src.len()];
+        gs_par::for_each_chunk_mut(&mut data, ELEMWISE_CHUNK, |ci, chunk| {
+            let start = ci * ELEMWISE_CHUNK;
+            let len = chunk.len();
+            for (o, &x) in chunk.iter_mut().zip(&src[start..start + len]) {
+                *o = f(x);
+            }
+        });
+        Tensor { shape: self.shape.clone(), data }
     }
 
-    /// Elementwise combination of two same-shape tensors.
+    /// Elementwise combination of two same-shape tensors (chunked across
+    /// the pool above the elementwise cutoff, like [`map`](Self::map)).
     ///
     /// # Panics
     /// Panics on shape mismatch.
-    pub fn zip_map(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+    pub fn zip_map(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32 + Sync) -> Tensor {
         assert_eq!(self.shape, other.shape, "zip_map shape mismatch");
-        let data = self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)).collect();
+        let (lhs, rhs) = (&self.data, &other.data);
+        if lhs.len() < ELEMWISE_PAR_CUTOFF || gs_par::max_threads() <= 1 {
+            let data = lhs.iter().zip(rhs).map(|(&a, &b)| f(a, b)).collect();
+            return Tensor { shape: self.shape.clone(), data };
+        }
+        let mut data = vec![0.0f32; lhs.len()];
+        gs_par::for_each_chunk_mut(&mut data, ELEMWISE_CHUNK, |ci, chunk| {
+            let start = ci * ELEMWISE_CHUNK;
+            let end = start + chunk.len();
+            for ((o, &a), &b) in chunk.iter_mut().zip(&lhs[start..end]).zip(&rhs[start..end]) {
+                *o = f(a, b);
+            }
+        });
         Tensor { shape: self.shape.clone(), data }
     }
 
@@ -257,9 +320,8 @@ impl Tensor {
         let (k2, n) = (other.shape[0], other.shape[1]);
         assert_eq!(k, k2, "matmul inner dims: [{},{}] x [{},{}]", m, k, k2, n);
         let mut out = vec![0.0f32; m * n];
-        for i in 0..m {
+        let per_row = |i: usize, out_row: &mut [f32]| {
             let a_row = &self.data[i * k..(i + 1) * k];
-            let out_row = &mut out[i * n..(i + 1) * n];
             for (p, &av) in a_row.iter().enumerate() {
                 if av == 0.0 {
                     continue;
@@ -268,6 +330,16 @@ impl Tensor {
                 for (o, &bv) in out_row.iter_mut().zip(b_row) {
                     *o += av * bv;
                 }
+            }
+        };
+        if par_worthwhile(m, n, m * k * n) {
+            // Output rows are independent, so row-blocking across the pool
+            // keeps each row's accumulation order — and thus every bit of
+            // the result — identical to the serial loop.
+            par_rows(&mut out, m, n, per_row);
+        } else {
+            for (i, out_row) in out.chunks_mut(n.max(1)).enumerate() {
+                per_row(i, out_row);
             }
         }
         Tensor { shape: vec![m, n], data: out }
@@ -285,9 +357,8 @@ impl Tensor {
         let (n, k2) = (other.shape[0], other.shape[1]);
         assert_eq!(k, k2, "matmul_transb inner dims: [{},{}] x [{},{}]^T", m, k, n, k2);
         let mut out = vec![0.0f32; m * n];
-        for i in 0..m {
+        let per_row = |i: usize, out_row: &mut [f32]| {
             let a_row = &self.data[i * k..(i + 1) * k];
-            let out_row = &mut out[i * n..(i + 1) * n];
             for (j, o) in out_row.iter_mut().enumerate() {
                 let b_row = &other.data[j * k..(j + 1) * k];
                 let mut acc = 0.0f32;
@@ -295,6 +366,13 @@ impl Tensor {
                     acc += a * b;
                 }
                 *o = acc;
+            }
+        };
+        if par_worthwhile(m, n, m * k * n) {
+            par_rows(&mut out, m, n, per_row);
+        } else {
+            for (i, out_row) in out.chunks_mut(n.max(1)).enumerate() {
+                per_row(i, out_row);
             }
         }
         Tensor { shape: vec![m, n], data: out }
@@ -312,16 +390,35 @@ impl Tensor {
         let (k2, n) = (other.shape[0], other.shape[1]);
         assert_eq!(k, k2, "matmul_transa inner dims: [{},{}]^T x [{},{}]", k, m, k2, n);
         let mut out = vec![0.0f32; m * n];
-        for p in 0..k {
-            let a_row = &self.data[p * m..(p + 1) * m];
-            let b_row = &other.data[p * n..(p + 1) * n];
-            for (i, &av) in a_row.iter().enumerate() {
-                if av == 0.0 {
-                    continue;
+        if par_worthwhile(m, n, m * k * n) {
+            // Row-parallel form: each task owns output rows, scanning `p`
+            // ascending. Every output element sees the same sequence of
+            // adds (ascending `p`, identical zero-skips) as the serial
+            // p-outer loop below, so the two paths are bit-identical.
+            par_rows(&mut out, m, n, |i, out_row| {
+                for p in 0..k {
+                    let av = self.data[p * m + i];
+                    if av == 0.0 {
+                        continue;
+                    }
+                    let b_row = &other.data[p * n..(p + 1) * n];
+                    for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                        *o += av * bv;
+                    }
                 }
-                let out_row = &mut out[i * n..(i + 1) * n];
-                for (o, &bv) in out_row.iter_mut().zip(b_row) {
-                    *o += av * bv;
+            });
+        } else {
+            for p in 0..k {
+                let a_row = &self.data[p * m..(p + 1) * m];
+                let b_row = &other.data[p * n..(p + 1) * n];
+                for (i, &av) in a_row.iter().enumerate() {
+                    if av == 0.0 {
+                        continue;
+                    }
+                    let out_row = &mut out[i * n..(i + 1) * n];
+                    for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                        *o += av * bv;
+                    }
                 }
             }
         }
@@ -346,16 +443,19 @@ impl Tensor {
         let d = *self.shape.last().expect("non-empty shape");
         assert!(d > 0, "softmax over empty last dimension");
         let mut out = self.data.clone();
-        for chunk in out.chunks_mut(d) {
-            let max = chunk.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-            let mut total = 0.0f32;
-            for x in chunk.iter_mut() {
-                *x = (*x - max).exp();
-                total += *x;
-            }
-            let inv = 1.0 / total;
-            for x in chunk.iter_mut() {
-                *x *= inv;
+        let rows = out.len() / d;
+        if rows > 1 && out.len() >= ELEMWISE_PAR_CUTOFF && gs_par::max_threads() > 1 {
+            // Rows are independent; each row's max/exp/normalize sequence
+            // is untouched, so the parallel split is bit-exact.
+            let rows_per_block = rows.div_ceil(gs_par::max_threads() * 4).max(1);
+            gs_par::for_each_chunk_mut(&mut out, rows_per_block * d, |_ci, block| {
+                for chunk in block.chunks_mut(d) {
+                    softmax_row(chunk);
+                }
+            });
+        } else {
+            for chunk in out.chunks_mut(d) {
+                softmax_row(chunk);
             }
         }
         Tensor { shape: self.shape.clone(), data: out }
@@ -448,6 +548,20 @@ impl fmt::Debug for Tensor {
                 &self.data[..8]
             )
         }
+    }
+}
+
+/// One numerically stabilized softmax row, in place.
+fn softmax_row(chunk: &mut [f32]) {
+    let max = chunk.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let mut total = 0.0f32;
+    for x in chunk.iter_mut() {
+        *x = (*x - max).exp();
+        total += *x;
+    }
+    let inv = 1.0 / total;
+    for x in chunk.iter_mut() {
+        *x *= inv;
     }
 }
 

@@ -1,0 +1,120 @@
+//! Property tests pinning parallel == serial bit-identically for every
+//! parallelized kernel, over random shapes straddling the dispatch
+//! cutoffs and random data. Complements `par_determinism.rs` (fixed
+//! shapes) with randomized coverage.
+
+use gs_tensor::{Tape, Tensor};
+use proptest::prelude::*;
+
+fn bits(t: &Tensor) -> Vec<u32> {
+    t.data().iter().map(|v| v.to_bits()).collect()
+}
+
+fn finite_f32() -> impl Strategy<Value = f32> {
+    (-4.0f32..4.0).prop_map(|v| (v * 64.0).round() / 64.0)
+}
+
+fn tensor_strategy(rows: usize, cols: usize) -> impl Strategy<Value = Tensor> {
+    proptest::collection::vec(finite_f32(), rows * cols)
+        .prop_map(move |data| Tensor::from_vec(vec![rows, cols], data))
+}
+
+/// Dimensions that land on both sides of the matmul flops cutoff
+/// (64 * 1024 multiply-adds) and the elementwise cutoff (16 * 1024).
+fn dim() -> impl Strategy<Value = usize> {
+    prop_oneof![1usize..6, 30usize..34, 90usize..100]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn matmul_parallel_matches_serial(
+        (m, k, n) in (dim(), dim(), dim()),
+        seed in any::<u64>(),
+    ) {
+        let a_data: Vec<f32> = (0..m * k)
+            .map(|i| ((seed.wrapping_add(i as u64).wrapping_mul(0x2545F4914F6CDD1D) >> 40) as i32 % 512) as f32 / 256.0)
+            .collect();
+        let b_data: Vec<f32> = (0..k * n)
+            .map(|i| ((seed.wrapping_add(i as u64 + 7).wrapping_mul(0x9E3779B97F4A7C15) >> 40) as i32 % 512) as f32 / 256.0)
+            .collect();
+        let a = Tensor::from_vec(vec![m, k], a_data);
+        let b = Tensor::from_vec(vec![k, n], b_data);
+        let serial = gs_par::with_threads(1, || a.matmul(&b));
+        let parallel = gs_par::with_threads(4, || a.matmul(&b));
+        prop_assert_eq!(bits(&serial), bits(&parallel));
+    }
+
+    #[test]
+    fn matmul_transb_parallel_matches_serial(
+        a in tensor_strategy(70, 80),
+        b in tensor_strategy(90, 80),
+    ) {
+        let serial = gs_par::with_threads(1, || a.matmul_transb(&b));
+        let parallel = gs_par::with_threads(4, || a.matmul_transb(&b));
+        prop_assert_eq!(bits(&serial), bits(&parallel));
+    }
+
+    #[test]
+    fn matmul_transa_parallel_matches_serial(
+        a in tensor_strategy(80, 70),
+        b in tensor_strategy(80, 90),
+    ) {
+        let serial = gs_par::with_threads(1, || a.matmul_transa(&b));
+        let parallel = gs_par::with_threads(4, || a.matmul_transa(&b));
+        prop_assert_eq!(bits(&serial), bits(&parallel));
+    }
+
+    #[test]
+    fn elementwise_parallel_matches_serial(
+        rows in prop_oneof![2usize..4, 200usize..260],
+        a in tensor_strategy(1, 96).prop_map(|t| t.data().to_vec()),
+    ) {
+        let data: Vec<f32> = (0..rows * 96).map(|i| a[i % a.len()] + i as f32 * 1e-4).collect();
+        let x = Tensor::from_vec(vec![rows, 96], data.clone());
+        let y = Tensor::from_vec(vec![rows, 96], data.iter().rev().copied().collect());
+        let serial_map = gs_par::with_threads(1, || x.map(|v| v * 0.5 + 1.0));
+        let parallel_map = gs_par::with_threads(4, || x.map(|v| v * 0.5 + 1.0));
+        prop_assert_eq!(bits(&serial_map), bits(&parallel_map));
+        let serial_zip = gs_par::with_threads(1, || x.zip_map(&y, |p, q| p * q - p));
+        let parallel_zip = gs_par::with_threads(4, || x.zip_map(&y, |p, q| p * q - p));
+        prop_assert_eq!(bits(&serial_zip), bits(&parallel_zip));
+        let serial_soft = gs_par::with_threads(1, || x.softmax_last_dim());
+        let parallel_soft = gs_par::with_threads(4, || x.softmax_last_dim());
+        prop_assert_eq!(bits(&serial_soft), bits(&parallel_soft));
+    }
+
+    #[test]
+    fn taped_gradients_parallel_match_serial(
+        rows in prop_oneof![2usize..5, 180usize..200],
+        x in tensor_strategy(1, 96).prop_map(|t| t.data().to_vec()),
+        target_salt in 0usize..96,
+    ) {
+        let d = 96;
+        let run = || {
+            let tape = Tape::new();
+            let data: Vec<f32> = (0..rows * d).map(|i| x[i % x.len()] * 0.5).collect();
+            let vx = tape.leaf(Tensor::from_vec(vec![rows, d], data));
+            let gamma = tape.leaf(Tensor::from_vec(vec![d], (0..d).map(|j| 1.0 + j as f32 * 1e-3).collect()));
+            let beta = tape.leaf(Tensor::from_vec(vec![d], (0..d).map(|j| j as f32 * 1e-3).collect()));
+            let normed = tape.layer_norm(vx, gamma, beta);
+            let soft = tape.softmax_last_dim(normed);
+            let targets: Vec<i64> = (0..rows)
+                .map(|r| if r % 4 == 0 { -1 } else { ((r + target_salt) % d) as i64 })
+                .collect();
+            let loss = tape.cross_entropy(soft, &targets);
+            let mut grads = tape.backward(loss);
+            let mut out = vec![(*tape.value(loss)).clone()];
+            for var in [vx, gamma, beta] {
+                out.push(grads.take(var).expect("gradient"));
+            }
+            out
+        };
+        let serial = gs_par::with_threads(1, run);
+        let parallel = gs_par::with_threads(4, run);
+        for (s, p) in serial.iter().zip(&parallel) {
+            prop_assert_eq!(bits(s), bits(p));
+        }
+    }
+}

@@ -19,6 +19,9 @@
 //! - [`obs`]: structured tracing, metrics, and training telemetry.
 //! - [`check`]: static graph analysis — symbolic shape inference, autograd
 //!   lints, and tape-growth monitoring, all before a forward pass runs.
+//! - [`par`]: the std-only fork-join thread pool behind the parallel
+//!   tensor kernels, data-parallel training, and batched serving
+//!   (`GS_NUM_THREADS` selects the pool size).
 //!
 //! See `examples/quickstart.rs` for a five-minute tour and DESIGN.md for
 //! the experiment-by-experiment reproduction map.
@@ -31,6 +34,7 @@ pub use gs_data as data;
 pub use gs_eval as eval;
 pub use gs_models as models;
 pub use gs_obs as obs;
+pub use gs_par as par;
 pub use gs_pipeline as pipeline;
 pub use gs_serve as serve;
 pub use gs_store as store;

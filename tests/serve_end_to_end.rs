@@ -194,3 +194,54 @@ fn tiny_queue_sheds_excess_load_and_recovers() {
         Client::connect(addr, Duration::from_millis(250)).and_then(|mut c| c.get("/healthz"));
     assert!(after.is_err(), "server accepted connections after shutdown");
 }
+
+#[test]
+fn threaded_pool_serving_matches_the_serial_path_exactly() {
+    let engine = engine();
+    let texts = sample_texts(12);
+
+    // Ground truth computed with the pool pinned to one thread: the
+    // serial per-text extraction path.
+    let serial: Vec<BTreeMap<String, String>> =
+        gs_par::with_threads(1, || texts.iter().map(|t| expected_fields(&engine.0, t)).collect());
+
+    // Serve the same texts with a 4-thread pool active. The batch worker
+    // thread fans per-sequence encoding out across gs-par workers
+    // (`predict_tags_batch`), so this exercises the threaded service path
+    // end to end; responses must stay bitwise-faithful to the serial run.
+    let _scope = gs_par::ParScope::new(4);
+    let server = Server::start(
+        engine.clone(),
+        ServerConfig {
+            batch: BatchConfig {
+                max_batch: 6,
+                max_delay: Duration::from_millis(2),
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    )
+    .expect("start server");
+    let addr = server.addr();
+
+    let mut client = Client::connect(addr, Duration::from_secs(10)).expect("connect");
+    let array = Json::Arr(texts.iter().map(|t| Json::from(t.as_str())).collect());
+    let body = Json::obj(vec![("texts", array)]).to_string();
+    let resp = client.post_json("/v1/extract_batch", &body).expect("batch request");
+    assert_eq!(resp.status, 200, "body: {}", resp.body);
+    let value = json::parse(&resp.body).expect("response json");
+    let results = value.get("results").and_then(Json::as_arr).expect("results array");
+    assert_eq!(results.len(), texts.len());
+    for ((result, text), want) in results.iter().zip(&texts).zip(&serial) {
+        assert_eq!(&fields_of(result), want, "threaded serving diverged for {text:?}");
+    }
+
+    // Single-text requests through the micro-batcher agree too.
+    for (text, want) in texts.iter().take(4).zip(&serial) {
+        let resp = client.post_json("/v1/extract", &single_body(text)).expect("request");
+        assert_eq!(resp.status, 200, "body: {}", resp.body);
+        let value = json::parse(&resp.body).expect("response json");
+        assert_eq!(&fields_of(&value), want, "threaded serving diverged for {text:?}");
+    }
+    server.shutdown();
+}
