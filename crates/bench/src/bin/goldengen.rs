@@ -18,7 +18,8 @@
 //! live in this file and are mirrored in the test.
 //!
 //! Usage:
-//!   cargo run --release -p gs-bench --bin goldengen -- [--out DIR]
+//!   cargo run --release -p gs-bench --bin goldengen --
+//!       [--out DIR] [--obs-jsonl PATH] [--no-obs] [--no-obs-report]
 
 use gs_bench::Args;
 use gs_core::{Annotations, MultiSpanPolicy, Objective};
@@ -82,6 +83,7 @@ const EVAL_TEXTS: &[&str] = &[
 
 fn main() {
     let args = Args::from_env();
+    gs_bench::obs::init(&args);
     let out_dir = args.get("out").unwrap_or("tests/golden").to_string();
     std::fs::create_dir_all(&out_dir).expect("create fixture directory");
     let out = Path::new(&out_dir);
@@ -126,4 +128,6 @@ fn main() {
         out_dir,
         extractor.model().store().num_weights()
     );
+
+    gs_bench::obs::finish(&args);
 }

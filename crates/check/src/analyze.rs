@@ -173,9 +173,7 @@ pub fn analyze(graph: &Graph, loss: Option<Var>) -> Analysis {
                     op: node.kind.name(),
                     scope: graph.scope_name(node.scope).to_string(),
                     label: node.label.clone(),
-                    message: format!(
-                        "loss has shape {shape:?}; backward requires a scalar"
-                    ),
+                    message: format!("loss has shape {shape:?}; backward requires a scalar"),
                 });
             }
         }

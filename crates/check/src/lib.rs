@@ -61,8 +61,7 @@ mod tests {
         let loss = sym.mean_all(y);
         let bad_matmul = y.index();
         let analysis = check_traced(sym, Some(loss));
-        let kinds: Vec<_> =
-            analysis.findings.iter().map(|f| (f.kind, f.node)).collect();
+        let kinds: Vec<_> = analysis.findings.iter().map(|f| (f.kind, f.node)).collect();
         assert!(kinds.contains(&(FindingKind::ShapeViolation, bad_matmul)));
         assert!(kinds.contains(&(FindingKind::DeadParam, orphan.index())));
         // Sorted by node index.

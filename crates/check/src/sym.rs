@@ -63,12 +63,7 @@ impl SymTape {
         self.scope_stack.borrow().last().copied().unwrap_or(0)
     }
 
-    fn record_leaf(
-        &self,
-        value: &Tensor,
-        requires_grad: bool,
-        label: Option<&str>,
-    ) -> Var {
+    fn record_leaf(&self, value: &Tensor, requires_grad: bool, label: Option<&str>) -> Var {
         let scope = self.current_scope();
         let mut graph = self.graph.borrow_mut();
         let idx = graph.nodes.len();
@@ -162,11 +157,7 @@ impl TapeOps for SymTape {
         self.record(OpKind::SoftmaxLastDim { x: a.index() })
     }
     fn layer_norm(&self, x: Var, gamma: Var, beta: Var) -> Var {
-        self.record(OpKind::LayerNorm {
-            x: x.index(),
-            gamma: gamma.index(),
-            beta: beta.index(),
-        })
+        self.record(OpKind::LayerNorm { x: x.index(), gamma: gamma.index(), beta: beta.index() })
     }
     fn embed_gather(&self, table: Var, ids: &[usize]) -> Var {
         self.record(OpKind::EmbedGather {
@@ -176,15 +167,10 @@ impl TapeOps for SymTape {
         })
     }
     fn dropout_with_mask(&self, x: Var, mask: Tensor) -> Var {
-        self.record(OpKind::Dropout {
-            x: x.index(),
-            mask_shape: mask.shape().to_vec(),
-        })
+        self.record(OpKind::Dropout { x: x.index(), mask_shape: mask.shape().to_vec() })
     }
     fn concat_cols(&self, parts: &[Var]) -> Var {
-        self.record(OpKind::ConcatCols {
-            parts: parts.iter().map(|v| v.index()).collect(),
-        })
+        self.record(OpKind::ConcatCols { parts: parts.iter().map(|v| v.index()).collect() })
     }
     fn slice_cols(&self, x: Var, start: usize, end: usize) -> Var {
         self.record(OpKind::SliceCols { x: x.index(), start, end })

@@ -112,8 +112,9 @@ fn trace(m: Mutation) -> Analysis {
     let logits = sym.add_bias(sym.matmul(h, w), wb);
     sym.pop_scope();
 
-    let targets: Vec<i64> =
-        (0..SEQ).map(|i| if m.bad_target && i == 0 { CLASSES as i64 } else { i as i64 % 3 }).collect();
+    let targets: Vec<i64> = (0..SEQ)
+        .map(|i| if m.bad_target && i == 0 { CLASSES as i64 } else { i as i64 % 3 })
+        .collect();
     let loss = if m.detached_head {
         // "Forgot the head": reduce the hidden state directly.
         sym.mean_all(h)
@@ -159,10 +160,7 @@ fn transposed_matmul_operand_is_flagged_in_its_layer() {
     assert_eq!(f.op, "matmul");
     assert_eq!(f.scope, "l0.ffn");
     // Identical to what the eager tape would have panicked with.
-    assert_eq!(
-        f.message,
-        gs_tensor::shape::matmul(&[SEQ, D], &[D_FF, D]).unwrap_err().to_string()
-    );
+    assert_eq!(f.message, gs_tensor::shape::matmul(&[SEQ, D], &[D_FF, D]).unwrap_err().to_string());
 }
 
 #[test]
@@ -190,10 +188,10 @@ fn detached_head_reports_both_dead_params() {
         .collect();
     assert_eq!(dead, vec!["head.w".to_string(), "head.b".to_string()]);
     assert!(
-        analysis.findings.iter().all(|f| matches!(
-            f.kind,
-            FindingKind::DeadParam | FindingKind::UnusedValue
-        )),
+        analysis
+            .findings
+            .iter()
+            .all(|f| matches!(f.kind, FindingKind::DeadParam | FindingKind::UnusedValue)),
         "unexpected kinds: {:#?}",
         analysis.findings
     );
@@ -233,9 +231,7 @@ fn out_of_vocab_id_is_flagged_at_the_gather() {
     assert_eq!(f.scope, "emb");
     assert_eq!(
         f.message,
-        gs_tensor::shape::embed_gather(&[VOCAB, D], SEQ, Some(VOCAB))
-            .unwrap_err()
-            .to_string()
+        gs_tensor::shape::embed_gather(&[VOCAB, D], SEQ, Some(VOCAB)).unwrap_err().to_string()
     );
 }
 
@@ -270,9 +266,7 @@ fn concat_with_mismatched_rows_is_flagged() {
     assert_eq!(f.op, "concat_cols");
     assert_eq!(
         f.message,
-        gs_tensor::shape::concat_cols(&[&[SEQ, D], &[SEQ + 1, 2]])
-            .unwrap_err()
-            .to_string()
+        gs_tensor::shape::concat_cols(&[&[SEQ, D], &[SEQ + 1, 2]]).unwrap_err().to_string()
     );
 }
 
@@ -299,11 +293,7 @@ fn non_scalar_loss_is_flagged_before_backward_would_panic() {
     let analysis = trace(Mutation { non_scalar_loss: true, ..Mutation::default() });
     let kinds: Vec<_> = analysis.findings.iter().map(|f| f.kind).collect();
     assert!(kinds.contains(&FindingKind::NonScalarLoss), "findings: {:#?}", analysis.findings);
-    let f = analysis
-        .findings
-        .iter()
-        .find(|f| f.kind == FindingKind::NonScalarLoss)
-        .unwrap();
+    let f = analysis.findings.iter().find(|f| f.kind == FindingKind::NonScalarLoss).unwrap();
     assert!(
         f.message.contains(&format!("{:?}", [SEQ, CLASSES])),
         "message should name the offending shape: {}",

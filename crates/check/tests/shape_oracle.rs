@@ -38,12 +38,8 @@ impl Twin {
     /// An existing variable chosen by `pick`, filtered by `keep` on its
     /// eager shape. `None` when nothing qualifies.
     fn pick_var(&self, pick: usize, keep: impl Fn(&[usize]) -> bool) -> Option<(Var, Var)> {
-        let matching: Vec<(Var, Var)> = self
-            .vars
-            .iter()
-            .copied()
-            .filter(|&pair| keep(&self.shape_of(pair)))
-            .collect();
+        let matching: Vec<(Var, Var)> =
+            self.vars.iter().copied().filter(|&pair| keep(&self.shape_of(pair))).collect();
         if matching.is_empty() {
             None
         } else {
@@ -101,8 +97,7 @@ fn step(twin: &mut Twin, opcode: u8, rows: usize, cols: usize, pick: usize) {
             let a = operand!(rank2);
             let k = twin.shape_of(a)[1];
             let b = twin.leaf(Tensor::full(&[rows, k], 0.1));
-            let pair =
-                (twin.tape.matmul_transb(a.0, b.0), twin.sym.matmul_transb(a.1, b.1));
+            let pair = (twin.tape.matmul_transb(a.0, b.0), twin.sym.matmul_transb(a.1, b.1));
             twin.push(pair);
         }
         6 => {
@@ -117,8 +112,7 @@ fn step(twin: &mut Twin, opcode: u8, rows: usize, cols: usize, pick: usize) {
         }
         8 => {
             let a = operand!(rank2);
-            let pair =
-                (twin.tape.softmax_last_dim(a.0), twin.sym.softmax_last_dim(a.1));
+            let pair = (twin.tape.softmax_last_dim(a.0), twin.sym.softmax_last_dim(a.1));
             twin.push(pair);
         }
         9 => {
@@ -143,20 +137,16 @@ fn step(twin: &mut Twin, opcode: u8, rows: usize, cols: usize, pick: usize) {
             let table = operand!(rank2);
             let n = twin.shape_of(table)[0];
             let ids: Vec<usize> = (0..rows).map(|i| (pick + i) % n).collect();
-            let pair = (
-                twin.tape.embed_gather(table.0, &ids),
-                twin.sym.embed_gather(table.1, &ids),
-            );
+            let pair =
+                (twin.tape.embed_gather(table.0, &ids), twin.sym.embed_gather(table.1, &ids));
             twin.push(pair);
         }
         12 => {
             let a = operand!(rank2);
             let shape = twin.shape_of(a);
             let right = twin.leaf(Tensor::full(&[shape[0], cols], 0.2));
-            let pair = (
-                twin.tape.concat_cols(&[a.0, right.0]),
-                twin.sym.concat_cols(&[a.1, right.1]),
-            );
+            let pair =
+                (twin.tape.concat_cols(&[a.0, right.0]), twin.sym.concat_cols(&[a.1, right.1]));
             twin.push(pair);
         }
         13 => {
@@ -164,10 +154,8 @@ fn step(twin: &mut Twin, opcode: u8, rows: usize, cols: usize, pick: usize) {
             let c = twin.shape_of(a)[1];
             let start = pick % c;
             let end = start + 1 + (cols - 1).min(c - start - 1);
-            let pair = (
-                twin.tape.slice_cols(a.0, start, end),
-                twin.sym.slice_cols(a.1, start, end),
-            );
+            let pair =
+                (twin.tape.slice_cols(a.0, start, end), twin.sym.slice_cols(a.1, start, end));
             twin.push(pair);
         }
         14 => {

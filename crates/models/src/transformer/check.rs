@@ -18,10 +18,8 @@ use gs_tensor::{Binder, TapeOps};
 ///-position path.
 pub fn validate_classifier(model: &TokenClassifier) -> Analysis {
     let store = model.store();
-    let vocab = store
-        .id("emb.tok")
-        .map(|id| store.value(id).rows())
-        .expect("model has no emb.tok table");
+    let vocab =
+        store.id("emb.tok").map(|id| store.value(id).rows()).expect("model has no emb.tok table");
     let n = model.config().max_len;
     let num_classes = model.num_classes();
 
@@ -41,8 +39,7 @@ pub fn validate_classifier(model: &TokenClassifier) -> Analysis {
 pub fn assert_classifier_valid(model: &TokenClassifier, context: &str) {
     let analysis = validate_classifier(model);
     if !analysis.is_clean() {
-        let report: Vec<String> =
-            analysis.findings.iter().map(ToString::to_string).collect();
+        let report: Vec<String> = analysis.findings.iter().map(ToString::to_string).collect();
         panic!(
             "static graph check failed for {context} ({} finding(s)):\n{}",
             analysis.findings.len(),

@@ -7,7 +7,7 @@
 //!   to words, decode structured details.
 
 use super::config::{ModelFamily, TrainConfig, TransformerConfig};
-use super::model::TokenClassifier;
+use super::model::{timed, TokenClassifier};
 use super::pretrain::PretrainedEncoder;
 use super::trainer::{train_token_classifier_cb, EpochStats, TrainExample};
 use crate::traits::DetailExtractor;
@@ -15,6 +15,7 @@ use gs_core::{
     collapse_to_words, decode_details, project_to_subwords, weak_label_tokens, ExtractedDetails,
     MultiSpanPolicy, Objective, WeakLabelConfig, WeakLabelStats,
 };
+use gs_obs::prof;
 use gs_text::labels::{repair_iob, LabelSet, Tag};
 use gs_text::{pretokenize, Encoding, Normalizer, NormalizerConfig, PreToken, Tokenizer};
 use serde::{Deserialize, Serialize};
@@ -176,15 +177,22 @@ impl TransformerExtractor {
         // non-forward cost of a batch, so it fans out across the gs-par
         // pool; map_collect preserves index order, keeping the output
         // positionally identical to the serial loop.
+        let prof_on = prof::enabled();
         let inputs: Vec<InferenceInput> = gs_par::map_collect(texts.len(), |i| {
-            encode_for_inference(&self.tokenizer, &self.case_normalizer, &self.model, texts[i])
+            timed(prof_on, "tokenize", "encode", prof::Cost::zero(), || {
+                encode_for_inference(&self.tokenizer, &self.case_normalizer, &self.model, texts[i])
+            })
         });
         let seqs: Vec<&[usize]> = inputs.iter().map(|i| i.ids.as_slice()).collect();
         let classes = self.model.predict_classes_batch(&seqs);
         inputs
             .into_iter()
             .zip(classes)
-            .map(|(input, classes)| decode_predictions(&self.labels, input, &classes))
+            .map(|(input, classes)| {
+                timed(prof_on, "decode", "collapse", prof::Cost::zero(), || {
+                    decode_predictions(&self.labels, input, &classes)
+                })
+            })
             .collect()
     }
 
@@ -287,9 +295,14 @@ fn predict_tags_impl(
     model: &TokenClassifier,
     text: &str,
 ) -> (String, Vec<PreToken>, Vec<Tag>) {
-    let input = encode_for_inference(tokenizer, case_normalizer, model, text);
+    let prof_on = prof::enabled();
+    let input = timed(prof_on, "tokenize", "encode", prof::Cost::zero(), || {
+        encode_for_inference(tokenizer, case_normalizer, model, text)
+    });
     let classes = model.predict_classes(&input.ids);
-    decode_predictions(labels, input, &classes)
+    timed(prof_on, "decode", "collapse", prof::Cost::zero(), || {
+        decode_predictions(labels, input, &classes)
+    })
 }
 
 /// A borrowed view over a model mid-training, letting checkpoint callbacks

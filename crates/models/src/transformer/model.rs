@@ -10,10 +10,36 @@
 //! ```
 
 use super::config::{ModelFamily, TransformerConfig};
-use gs_tensor::{normal, xavier_uniform, Binder, ParamId, ParamStore, Tape, TapeOps, Tensor, Var};
+use gs_obs::prof;
+use gs_tensor::{
+    cost, normal, xavier_uniform, Binder, ParamId, ParamStore, Tape, TapeOps, Tensor, Var,
+};
 use rand::rngs::StdRng;
 use rand::Rng;
 use rand::SeedableRng;
+use std::time::Instant;
+
+/// Runs `f` as profiler op `op` under the explicit `path` when `on` is set.
+///
+/// The packed forward keys ops by explicit paths instead of the thread-local
+/// scope stack because its attention inner loop fans out across gs-par
+/// workers, which never see scopes opened on the coordinating thread.
+#[inline]
+pub(crate) fn timed<R>(
+    on: bool,
+    path: &str,
+    op: &'static str,
+    cost: prof::Cost,
+    f: impl FnOnce() -> R,
+) -> R {
+    if !on {
+        return f();
+    }
+    let start = Instant::now();
+    let out = f();
+    prof::record_at(path, op, start.elapsed().as_nanos() as u64, cost);
+    out
+}
 
 /// A transformer encoder plus linear token-classification head.
 #[derive(Clone)]
@@ -410,7 +436,8 @@ impl TokenClassifier {
         }
 
         let h = self.forward_packed(&flat_ids, &positions, &ranges);
-        let classes = h.argmax_rows();
+        let classes =
+            timed(prof::enabled(), "head", "argmax", cost::map(h.len(), 1), || h.argmax_rows());
         seqs.iter()
             .zip(&ranges)
             .map(|(seq, range)| match range {
@@ -439,73 +466,136 @@ impl TokenClassifier {
         let d = self.config.d_model;
         let dh = self.config.d_head();
         let seq_ranges: Vec<(usize, usize)> = ranges.iter().flatten().copied().collect();
+        let rows = flat_ids.len();
+        // Latched once: keeps the disabled path to one atomic load per
+        // forward and makes enable/disable races mid-forward harmless.
+        let prof = prof::enabled();
 
         // Embeddings: token + position (+ segment 0 for BERT), layer norm.
-        let tok = p("emb.tok").gather_rows(flat_ids);
-        let pos = p("emb.pos").gather_rows(positions);
-        let mut h = tok.zip_map(&pos, |x, y| x + y);
+        let tok = timed(prof, "emb", "embed_gather", cost::gather(rows, d), || {
+            p("emb.tok").gather_rows(flat_ids)
+        });
+        let pos = timed(prof, "emb", "embed_gather", cost::gather(rows, d), || {
+            p("emb.pos").gather_rows(positions)
+        });
+        let mut h =
+            timed(prof, "emb", "add", cost::zip(rows * d, 1), || tok.zip_map(&pos, |x, y| x + y));
         if self.config.family == ModelFamily::Bert {
-            let seg = p("emb.seg").gather_rows(&vec![0; flat_ids.len()]);
-            h = h.zip_map(&seg, |x, y| x + y);
+            let seg = timed(prof, "emb", "embed_gather", cost::gather(rows, d), || {
+                p("emb.seg").gather_rows(&vec![0; rows])
+            });
+            h = timed(prof, "emb", "add", cost::zip(rows * d, 1), || h.zip_map(&seg, |x, y| x + y));
         }
-        h = layer_norm_rows(&h, p("emb.ln.g"), p("emb.ln.b"));
+        h = timed(prof, "emb", "layer_norm", cost::layer_norm(rows, d), || {
+            layer_norm_rows(&h, p("emb.ln.g"), p("emb.ln.b"))
+        });
 
         for l in 0..self.config.n_layers {
+            let attn = format!("l{l}.attn");
             // Attention block: projections are batched; score/softmax/mix
             // run per sequence so attention stays within each request.
-            let q =
-                add_bias_rows(h.matmul(p(&format!("l{l}.attn.wq"))), p(&format!("l{l}.attn.bq")));
-            let k =
-                add_bias_rows(h.matmul(p(&format!("l{l}.attn.wk"))), p(&format!("l{l}.attn.bk")));
-            let v =
-                add_bias_rows(h.matmul(p(&format!("l{l}.attn.wv"))), p(&format!("l{l}.attn.bv")));
+            let project = |w: &str, b: &str| {
+                let mm = timed(prof, &attn, "matmul", cost::matmul(rows, d, d), || {
+                    h.matmul(p(&format!("l{l}.attn.{w}")))
+                });
+                timed(prof, &attn, "add_bias", cost::zip(rows * d, 1), || {
+                    add_bias_rows(mm, p(&format!("l{l}.attn.{b}")))
+                })
+            };
+            let q = project("wq", "bq");
+            let k = project("wk", "bk");
+            let v = project("wv", "bv");
             let scale = 1.0 / (dh as f32).sqrt();
             // Each sequence's attention is independent of every other's, so
             // the per-sequence mixes fan out across the gs-par pool; results
             // are concatenated in sequence order, making the output (and
             // thus serving responses) bit-identical to the serial loop.
+            // Worker threads record through explicit paths (`timed`), so the
+            // profile merges per-sequence work under this layer's key.
             let per_seq: Vec<Vec<f32>> = gs_par::map_collect(seq_ranges.len(), |si| {
                 let (start, n) = seq_ranges[si];
-                let (qs, ks, vs) = (
-                    q.slice_rows(start, start + n),
-                    k.slice_rows(start, start + n),
-                    v.slice_rows(start, start + n),
-                );
+                let (qs, ks, vs) = timed(prof, &attn, "slice_rows", cost::copy(3 * n * d), || {
+                    (
+                        q.slice_rows(start, start + n),
+                        k.slice_rows(start, start + n),
+                        v.slice_rows(start, start + n),
+                    )
+                });
                 let mut heads = Vec::with_capacity(self.config.n_heads);
                 for head in 0..self.config.n_heads {
                     let (s, e) = (head * dh, (head + 1) * dh);
-                    let qh = qs.slice_cols(s, e);
-                    let kh = ks.slice_cols(s, e);
-                    let vh = vs.slice_cols(s, e);
-                    let scores = qh.matmul_transb(&kh).map(|x| x * scale);
-                    heads.push(scores.softmax_last_dim().matmul(&vh));
+                    let (qh, kh, vh) =
+                        timed(prof, &attn, "slice_cols", cost::copy(3 * n * dh), || {
+                            (qs.slice_cols(s, e), ks.slice_cols(s, e), vs.slice_cols(s, e))
+                        });
+                    let scores =
+                        timed(prof, &attn, "matmul_transb", cost::matmul(n, dh, n), || {
+                            qh.matmul_transb(&kh)
+                        });
+                    let scores = timed(prof, &attn, "scale", cost::map(n * n, 1), || {
+                        scores.map(|x| x * scale)
+                    });
+                    let weights = timed(prof, &attn, "softmax", cost::softmax(n, n), || {
+                        scores.softmax_last_dim()
+                    });
+                    heads.push(timed(prof, &attn, "matmul", cost::matmul(n, n, dh), || {
+                        weights.matmul(&vh)
+                    }));
                 }
                 let head_refs: Vec<&Tensor> = heads.iter().collect();
-                Tensor::concat_cols(&head_refs).into_data()
+                timed(prof, &attn, "concat_cols", cost::copy(n * d), || {
+                    Tensor::concat_cols(&head_refs).into_data()
+                })
             });
-            let mut mixed = Vec::with_capacity(h.len());
-            for seq in &per_seq {
-                mixed.extend_from_slice(seq);
-            }
-            let concat = Tensor::from_vec(vec![flat_ids.len(), d], mixed);
-            let out = add_bias_rows(
-                concat.matmul(p(&format!("l{l}.attn.wo"))),
-                p(&format!("l{l}.attn.bo")),
-            );
-            let sum = h.zip_map(&out, |x, y| x + y);
-            h = layer_norm_rows(&sum, p(&format!("l{l}.ln1.g")), p(&format!("l{l}.ln1.b")));
+            let concat = timed(prof, &attn, "concat_cols", cost::copy(rows * d), || {
+                let mut mixed = Vec::with_capacity(h.len());
+                for seq in &per_seq {
+                    mixed.extend_from_slice(seq);
+                }
+                Tensor::from_vec(vec![rows, d], mixed)
+            });
+            let mm = timed(prof, &attn, "matmul", cost::matmul(rows, d, d), || {
+                concat.matmul(p(&format!("l{l}.attn.wo")))
+            });
+            let out = timed(prof, &attn, "add_bias", cost::zip(rows * d, 1), || {
+                add_bias_rows(mm, p(&format!("l{l}.attn.bo")))
+            });
+            let sum =
+                timed(prof, &attn, "add", cost::zip(rows * d, 1), || h.zip_map(&out, |x, y| x + y));
+            h = timed(prof, &attn, "layer_norm", cost::layer_norm(rows, d), || {
+                layer_norm_rows(&sum, p(&format!("l{l}.ln1.g")), p(&format!("l{l}.ln1.b")))
+            });
 
             // FFN block, fully batched.
+            let ffn = format!("l{l}.ffn");
+            let d_ff = self.config.d_ff;
+            let mm = timed(prof, &ffn, "matmul", cost::matmul(rows, d, d_ff), || {
+                h.matmul(p(&format!("l{l}.ffn.w1")))
+            });
+            let pre = timed(prof, &ffn, "add_bias", cost::zip(rows * d_ff, 1), || {
+                add_bias_rows(mm, p(&format!("l{l}.ffn.b1")))
+            });
             let inner =
-                add_bias_rows(h.matmul(p(&format!("l{l}.ffn.w1"))), p(&format!("l{l}.ffn.b1")))
-                    .map(gs_tensor::gelu);
-            let out =
-                add_bias_rows(inner.matmul(p(&format!("l{l}.ffn.w2"))), p(&format!("l{l}.ffn.b2")));
-            let sum = h.zip_map(&out, |x, y| x + y);
-            h = layer_norm_rows(&sum, p(&format!("l{l}.ln2.g")), p(&format!("l{l}.ln2.b")));
+                timed(prof, &ffn, "gelu", cost::map(rows * d_ff, 10), || pre.map(gs_tensor::gelu));
+            let mm = timed(prof, &ffn, "matmul", cost::matmul(rows, d_ff, d), || {
+                inner.matmul(p(&format!("l{l}.ffn.w2")))
+            });
+            let out = timed(prof, &ffn, "add_bias", cost::zip(rows * d, 1), || {
+                add_bias_rows(mm, p(&format!("l{l}.ffn.b2")))
+            });
+            let sum =
+                timed(prof, &ffn, "add", cost::zip(rows * d, 1), || h.zip_map(&out, |x, y| x + y));
+            h = timed(prof, &ffn, "layer_norm", cost::layer_norm(rows, d), || {
+                layer_norm_rows(&sum, p(&format!("l{l}.ln2.g")), p(&format!("l{l}.ln2.b")))
+            });
         }
 
-        add_bias_rows(h.matmul(p("head.w")), p("head.b"))
+        let mm = timed(prof, "head", "matmul", cost::matmul(rows, d, self.num_classes), || {
+            h.matmul(p("head.w"))
+        });
+        timed(prof, "head", "add_bias", cost::zip(rows * self.num_classes, 1), || {
+            add_bias_rows(mm, p("head.b"))
+        })
     }
 }
 
@@ -671,6 +761,36 @@ mod tests {
         assert!(out[2].is_empty());
         assert_eq!(model.predict_classes_batch(&[]), Vec::<Vec<usize>>::new());
         assert_eq!(model.predict_classes_batch(&[&[][..]]), vec![Vec::<usize>::new()]);
+    }
+
+    #[test]
+    fn packed_forward_records_profile() {
+        let model = TokenClassifier::new(tiny_config(), 30, 5, 1);
+        prof::reset();
+        prof::set_enabled(true);
+        let out = model.predict_classes_batch(&[&[1, 2, 3][..], &[4, 5][..]]);
+        prof::set_enabled(false);
+        assert_eq!(out.len(), 2);
+        let snap = prof::snapshot();
+        // Presence only: the profiler is process-global, so concurrent tests
+        // may add rows; exact counts are pinned by gs-obs's own tests.
+        for (path, op) in [
+            ("emb", "embed_gather"),
+            ("emb", "layer_norm"),
+            ("l0.attn", "matmul"),
+            ("l0.attn", "softmax"),
+            ("l0.ffn", "gelu"),
+            ("head", "matmul"),
+            ("head", "argmax"),
+        ] {
+            assert!(
+                snap.rows.iter().any(|r| r.path == path && r.op == op),
+                "missing profiled op {path}/{op}"
+            );
+        }
+        let mm = snap.rows.iter().find(|r| r.path == "l0.ffn" && r.op == "matmul").unwrap();
+        assert!(mm.flops > 0 && mm.bytes > 0);
+        prof::reset();
     }
 
     #[test]

@@ -4,9 +4,10 @@
 
 use super::check::assert_classifier_valid;
 use super::config::TrainConfig;
-use super::model::TokenClassifier;
+use super::model::{timed, TokenClassifier};
 use gs_check::GrowthMonitor;
-use gs_tensor::{Binder, Optimizer, Tape, Tensor, WarmupLinearSchedule};
+use gs_obs::prof;
+use gs_tensor::{cost, Binder, Optimizer, Tape, Tensor, WarmupLinearSchedule};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -56,7 +57,10 @@ pub fn train_token_classifier_cb(
     }
 
     // Fail fast, before any forward: symbolic shape check + graph lints.
-    assert_classifier_valid(model, "fine-tuning");
+    let prof_on = prof::enabled();
+    timed(prof_on, "train", "graph_check", prof::Cost::zero(), || {
+        assert_classifier_valid(model, "fine-tuning");
+    });
 
     let steps_per_epoch = examples.len().div_ceil(config.batch_size.max(1));
     let total_steps = (steps_per_epoch * config.epochs) as u64;
@@ -87,10 +91,13 @@ pub fn train_token_classifier_cb(
             // Pre-draw every sequence's dropout masks on this thread, in
             // batch order, so the RNG stream is identical to serial
             // training regardless of pool size.
-            let batch_masks: Vec<Vec<Tensor>> = batch
-                .iter()
-                .map(|&i| model.draw_dropout_masks(examples[i].ids.len(), &mut dropout_rng))
-                .collect();
+            let batch_masks: Vec<Vec<Tensor>> =
+                timed(prof_on, "train", "draw_dropout", prof::Cost::zero(), || {
+                    batch
+                        .iter()
+                        .map(|&i| model.draw_dropout_masks(examples[i].ids.len(), &mut dropout_rng))
+                        .collect()
+                });
             // Data-parallel shard: each sequence's forward/backward runs on
             // its own tape, possibly on a pool worker, and hands back its
             // loss and gradient pairs.
@@ -113,9 +120,12 @@ pub fn train_token_classifier_cb(
             let mut batch_loss = 0.0f64;
             for (loss_val, pairs, issue, tape_len) in shards {
                 batch_loss += loss_val;
-                for (id, g) in &pairs {
-                    model.store_mut().accumulate_grad(*id, g);
-                }
+                let accum_len: usize = pairs.iter().map(|(_, g)| g.len()).sum();
+                timed(prof_on, "train", "accum_grad", cost::zip(accum_len, 1), || {
+                    for (id, g) in &pairs {
+                        model.store_mut().accumulate_grad(*id, g);
+                    }
+                });
                 if let Some(issue) = issue {
                     gs_obs::counter("train.sanitizer_trips", 1);
                     panic!("numeric sanitizer tripped at step {step} (epoch {epoch}): {issue}");

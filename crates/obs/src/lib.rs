@@ -31,6 +31,7 @@
 pub mod clock;
 pub mod event;
 pub mod metrics;
+pub mod prof;
 pub mod report;
 pub mod sink;
 pub mod span;

@@ -31,3 +31,32 @@ fn disabled_instrumentation_is_effectively_free() {
         3 * ITERS
     );
 }
+
+/// Same bound for the op profiler: with profiling off, an instrumented
+/// kernel pays one relaxed atomic load per timer/scope and must not read
+/// the clock, allocate, or touch the global store.
+#[test]
+fn disabled_profiler_is_effectively_free() {
+    assert!(!gs_obs::prof::enabled());
+
+    const ITERS: u64 = 1_000_000;
+    let start = Instant::now();
+    for i in 0..ITERS {
+        let mut timer = gs_obs::prof::op(black_box("matmul"));
+        timer.set_cost(gs_obs::prof::Cost::new(black_box(i), black_box(i)));
+        black_box(&timer);
+        let scope = gs_obs::prof::scope(black_box("l0.attn"));
+        black_box(&scope);
+        gs_obs::prof::record_at(black_box("l0.attn"), "matmul.bwd", i, gs_obs::prof::Cost::zero());
+    }
+    let elapsed = start.elapsed();
+
+    let per_op_ns = elapsed.as_nanos() as f64 / (3 * ITERS) as f64;
+    assert!(
+        per_op_ns < 250.0,
+        "disabled profiler costs {per_op_ns:.1} ns/op ({}ms total for {} ops)",
+        elapsed.as_millis(),
+        3 * ITERS
+    );
+    assert!(gs_obs::prof::snapshot().rows.is_empty(), "disabled profiler recorded ops");
+}

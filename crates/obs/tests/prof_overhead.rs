@@ -1,0 +1,81 @@
+//! Bounds the profiler's disabled-path cost. Every tape op, packed-forward
+//! kernel, and optimizer step consults `prof::enabled()` before doing any
+//! profiler work; when profiling is off that must stay in the
+//! "one relaxed atomic load and a branch" regime, not "allocate a path
+//! string and take a global lock". The bounds here are two orders of
+//! magnitude above the expected cost, so they hold on slow shared CI
+//! boxes while still catching an accidental lock or allocation (which
+//! costs microseconds, not nanoseconds).
+
+use gs_obs::prof;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// The profiler state is process-global; tests that touch it serialize.
+static PROF_LOCK: Mutex<()> = Mutex::new(());
+
+const CALLS: u32 = 1_000_000;
+/// Generous per-call budget for the disabled path, in nanoseconds.
+const DISABLED_NS_PER_CALL: f64 = 250.0;
+
+fn per_call_ns(f: impl Fn(u32)) -> f64 {
+    // One warmup pass, then the timed pass.
+    for i in 0..1000 {
+        f(i);
+    }
+    let start = Instant::now();
+    for i in 0..CALLS {
+        f(i);
+    }
+    start.elapsed().as_nanos() as f64 / f64::from(CALLS)
+}
+
+#[test]
+fn disabled_profiler_stays_off_the_hot_path() {
+    let _guard = PROF_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    prof::set_enabled(false);
+    prof::reset();
+
+    let op = per_call_ns(|i| {
+        let timer = prof::op("overhead_probe");
+        std::hint::black_box(&timer);
+        std::hint::black_box(i);
+    });
+    let scope = per_call_ns(|i| {
+        let s = prof::scope("overhead_scope");
+        std::hint::black_box(&s);
+        std::hint::black_box(i);
+    });
+    let record = per_call_ns(|i| {
+        prof::record_at("overhead", "probe", 10, prof::Cost::new(1, 1));
+        std::hint::black_box(i);
+    });
+
+    assert!(op < DISABLED_NS_PER_CALL, "disabled op() costs {op:.1}ns/call");
+    assert!(scope < DISABLED_NS_PER_CALL, "disabled scope() costs {scope:.1}ns/call");
+    assert!(record < DISABLED_NS_PER_CALL, "disabled record_at() costs {record:.1}ns/call");
+
+    // And none of it left a trace in the store.
+    assert!(prof::snapshot().rows.is_empty(), "disabled profiler recorded rows");
+}
+
+#[test]
+fn enabling_then_disabling_leaves_a_clean_disabled_path() {
+    let _guard = PROF_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    prof::set_enabled(true);
+    {
+        let mut timer = prof::op("toggle_probe");
+        timer.set_cost(prof::Cost::new(1, 1));
+    }
+    assert!(!prof::snapshot().rows.is_empty());
+    prof::set_enabled(false);
+    prof::reset();
+    // Post-toggle, the disabled path records nothing and stays cheap.
+    let op = per_call_ns(|i| {
+        let timer = prof::op("toggle_probe");
+        std::hint::black_box(&timer);
+        std::hint::black_box(i);
+    });
+    assert!(op < DISABLED_NS_PER_CALL, "post-toggle disabled op() costs {op:.1}ns/call");
+    assert!(prof::snapshot().rows.is_empty());
+}

@@ -60,6 +60,8 @@ pub struct ItemResult {
     pub queue_wait: Duration,
     /// Size of the micro-batch the item was served in (0 when shed).
     pub batch_size: usize,
+    /// Engine forward time of the serving batch (zero when shed).
+    pub forward: Duration,
 }
 
 /// Batching knobs.
@@ -99,6 +101,8 @@ impl BatchConfig {
 struct Job {
     text: String,
     index: usize,
+    /// Trace id of the originating request (shared across a submission).
+    trace: Arc<str>,
     enqueued: Instant,
     deadline: Instant,
     reply: Sender<ItemResult>,
@@ -168,11 +172,24 @@ impl Batcher {
         texts: Vec<String>,
         deadline: Instant,
     ) -> Result<Receiver<ItemResult>, ShedReason> {
+        self.submit_traced(texts, deadline, &crate::trace::mint_trace_id())
+    }
+
+    /// [`submit`](Self::submit) under an existing request trace id; the id
+    /// travels with every queued item, so a batch dispatch can be tied
+    /// back to the requests it served.
+    pub fn submit_traced(
+        &self,
+        texts: Vec<String>,
+        deadline: Instant,
+        trace: &str,
+    ) -> Result<Receiver<ItemResult>, ShedReason> {
         let (tx, rx) = channel();
         let now = Instant::now();
         if now >= deadline {
             return Err(ShedReason::DeadlineExceeded);
         }
+        let trace: Arc<str> = Arc::from(trace);
         {
             let mut state = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
             if state.shutting_down {
@@ -186,6 +203,7 @@ impl Batcher {
                 state.queue.push_back(Job {
                     text,
                     index,
+                    trace: Arc::clone(&trace),
                     enqueued: now,
                     deadline,
                     reply: tx.clone(),
@@ -280,6 +298,7 @@ fn worker_loop(shared: &Shared, config: &BatchConfig, engine: &dyn ExtractEngine
                     outcome: Err(ShedReason::DeadlineExceeded),
                     queue_wait: dispatched - job.enqueued,
                     batch_size: 0,
+                    forward: Duration::ZERO,
                 });
             } else {
                 live.push(job);
@@ -291,8 +310,11 @@ fn worker_loop(shared: &Shared, config: &BatchConfig, engine: &dyn ExtractEngine
 
         let texts: Vec<String> = live.iter().map(|j| j.text.clone()).collect();
         let forward_start = Instant::now();
+        let _span = gs_obs::span("serve.batch_forward");
         let mut extractions = engine.extract_batch(&texts);
-        let forward_seconds = forward_start.elapsed().as_secs_f64();
+        drop(_span);
+        let forward = forward_start.elapsed();
+        let forward_seconds = forward.as_secs_f64();
         // A well-behaved engine returns one result per text; pad
         // defensively so a short answer cannot wedge waiting clients.
         extractions.resize_with(live.len(), Extraction::default);
@@ -305,6 +327,24 @@ fn worker_loop(shared: &Shared, config: &BatchConfig, engine: &dyn ExtractEngine
         );
         gs_obs::observe("serve.batch.forward_seconds", forward_seconds);
         gs_obs::counter("serve.extracted_items", batch_size as u64);
+        // Trace propagation record: which request traces this dispatch
+        // served, so a flight-recorder entry can be tied to its batch-mates.
+        let mut traces = String::new();
+        for (i, job) in live.iter().enumerate() {
+            if i > 0 {
+                traces.push(',');
+            }
+            traces.push_str(&job.trace);
+        }
+        gs_obs::emit(
+            "trace",
+            "batch_dispatch",
+            vec![
+                ("traces", gs_obs::FieldValue::Str(traces)),
+                ("batch_size", gs_obs::FieldValue::U64(batch_size as u64)),
+                ("forward_seconds", gs_obs::FieldValue::F64(forward_seconds)),
+            ],
+        );
 
         for (job, extraction) in live.into_iter().zip(extractions) {
             let queue_wait = dispatched - job.enqueued;
@@ -314,6 +354,7 @@ fn worker_loop(shared: &Shared, config: &BatchConfig, engine: &dyn ExtractEngine
                 outcome: Ok(extraction),
                 queue_wait,
                 batch_size,
+                forward,
             });
         }
     }

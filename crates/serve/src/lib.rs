@@ -20,6 +20,20 @@
 //! | `/v1/extract_batch` | POST | `{"texts": [...]}` → one result per text |
 //! | `/healthz` | GET | liveness + queue depth |
 //! | `/metrics` | GET | Prometheus text rendered from the gs-obs registry |
+//! | `/debug/traces` | GET | flight-recorder dump; `?id=` looks up one trace |
+//! | `/debug/prof` | GET | live op-profiler table; `?format=collapsed` for flamegraphs |
+//!
+//! ## Tracing and SLOs
+//!
+//! Every admitted extraction request is minted a **trace id** that rides
+//! through the batcher with each queued item, comes back in the response
+//! (`trace_id` field and `X-Trace-Id` header), and lands in a bounded
+//! in-memory [flight recorder](trace::FlightRecorder) queryable via
+//! `GET /debug/traces?id=...` — queue wait, batch size, forward time, and
+//! end-to-end latency per request. An [SLO watchdog](slo::SloTracker)
+//! keeps sliding-window p99 latency, error-rate, and shed-rate burn rates
+//! (short + long window), publishes them as `slo.*` gauges in `/metrics`,
+//! and emits `slo_alert` / `slo_resolve` events on threshold crossings.
 //!
 //! ## Robustness semantics
 //!
@@ -61,9 +75,13 @@ pub mod http;
 pub mod json;
 pub mod metrics_text;
 pub mod server;
+pub mod slo;
+pub mod trace;
 
 pub use batcher::{BatchConfig, Batcher, ExtractEngine, Extraction, ItemResult, ShedReason};
 pub use client::{Client, ClientResponse};
 pub use http::{Request, Response, Status};
 pub use json::Json;
 pub use server::{Server, ServerConfig};
+pub use slo::{SloConfig, SloDimension, SloTracker, WindowStats};
+pub use trace::{mint_trace_id, FlightRecorder, Trace};

@@ -1,9 +1,16 @@
 //! Renders a gs-obs [`MetricsSnapshot`] in the Prometheus text exposition
 //! format, so the `/metrics` endpoint can be scraped by standard tooling.
 //!
-//! Metric names are sanitized (`serve.queue.depth` becomes
-//! `serve_queue_depth`); histograms are exported as `_count`, `_sum`, and
-//! estimated `{quantile="..."}` series.
+//! Compliance details the format spec requires and scrapers check:
+//!
+//! - metric names are sanitized onto `[a-zA-Z_][a-zA-Z0-9_]*`
+//!   (`serve.queue.depth` becomes `serve_queue_depth`);
+//! - every family gets `# HELP` (escaped: `\\` and `\n`) and `# TYPE`
+//!   lines before its samples;
+//! - label values are escaped (`\\`, `\"`, `\n`);
+//! - histograms are exported as summaries: `_count`, `_sum`, and
+//!   estimated `{quantile="..."}` series;
+//! - non-finite floats are spelled `NaN` / `+Inf` / `-Inf`.
 
 use gs_obs::MetricsSnapshot;
 use std::fmt::Write as _;
@@ -15,25 +22,39 @@ const QUANTILES: [(f64, &str); 3] = [(0.5, "0.5"), (0.95, "0.95"), (0.99, "0.99"
 pub fn render(snapshot: &MetricsSnapshot) -> String {
     let mut out = String::with_capacity(1024);
     for (name, value) in &snapshot.counters {
-        let name = sanitize(name);
-        let _ = writeln!(out, "# TYPE {name} counter");
-        let _ = writeln!(out, "{name} {value}");
+        let fam = sanitize(name);
+        let _ = writeln!(out, "# HELP {fam} {}", help(name, "counter"));
+        let _ = writeln!(out, "# TYPE {fam} counter");
+        let _ = writeln!(out, "{fam} {value}");
     }
     for (name, value) in &snapshot.gauges {
-        let name = sanitize(name);
-        let _ = writeln!(out, "# TYPE {name} gauge");
-        let _ = writeln!(out, "{name} {}", num(*value));
+        let fam = sanitize(name);
+        let _ = writeln!(out, "# HELP {fam} {}", help(name, "gauge"));
+        let _ = writeln!(out, "# TYPE {fam} gauge");
+        let _ = writeln!(out, "{fam} {}", num(*value));
     }
     for (name, hist) in &snapshot.histograms {
-        let name = sanitize(name);
-        let _ = writeln!(out, "# TYPE {name} summary");
+        let fam = sanitize(name);
+        let _ = writeln!(out, "# HELP {fam} {}", help(name, "summary"));
+        let _ = writeln!(out, "# TYPE {fam} summary");
         for (q, label) in QUANTILES {
-            let _ = writeln!(out, "{name}{{quantile=\"{label}\"}} {}", num(hist.quantile(q)));
+            let _ = writeln!(
+                out,
+                "{fam}{{quantile=\"{}\"}} {}",
+                escape_label(label),
+                num(hist.quantile(q))
+            );
         }
-        let _ = writeln!(out, "{name}_sum {}", num(hist.sum));
-        let _ = writeln!(out, "{name}_count {}", hist.total);
+        let _ = writeln!(out, "{fam}_sum {}", num(hist.sum));
+        let _ = writeln!(out, "{fam}_count {}", hist.total);
     }
     out
+}
+
+/// The HELP text for a family: the original gs-obs metric name (which may
+/// contain characters the sanitized family name lost), escaped per spec.
+fn help(original: &str, kind: &str) -> String {
+    escape_help(&format!("gs-obs {kind} {original}"))
 }
 
 /// Maps a gs-obs metric name onto the Prometheus name charset.
@@ -44,6 +65,16 @@ fn sanitize(name: &str) -> String {
         out.insert(0, '_');
     }
     out
+}
+
+/// Escapes a `# HELP` text: backslash and newline.
+fn escape_help(text: &str) -> String {
+    text.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+/// Escapes a label value: backslash, double quote, and newline.
+fn escape_label(value: &str) -> String {
+    value.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
 }
 
 /// Prometheus floats: plain decimal, `NaN`/`+Inf`/`-Inf` spelled out.
@@ -82,9 +113,40 @@ mod tests {
     }
 
     #[test]
+    fn every_family_has_help_and_type_lines() {
+        let registry = Registry::new();
+        registry.counter("a.count").add(1);
+        registry.gauge("b.gauge").set(1.0);
+        registry.histogram("c.hist").record(0.5);
+        let text = render(&registry.snapshot());
+        for fam in ["a_count", "b_gauge", "c_hist"] {
+            assert!(text.contains(&format!("# HELP {fam} ")), "no HELP for {fam}: {text}");
+            assert!(text.contains(&format!("# TYPE {fam} ")), "no TYPE for {fam}: {text}");
+            // HELP precedes TYPE, which precedes the first sample.
+            let help_at = text.find(&format!("# HELP {fam}")).unwrap();
+            let type_at = text.find(&format!("# TYPE {fam}")).unwrap();
+            let sample_at = text.find(&format!("\n{fam}")).unwrap();
+            assert!(help_at < type_at && type_at < sample_at, "order wrong for {fam}");
+        }
+        // HELP keeps the original dotted name for traceability.
+        assert!(text.contains("# HELP a_count gs-obs counter a.count"));
+    }
+
+    #[test]
     fn sanitizes_awkward_names() {
         assert_eq!(sanitize("a.b-c/d"), "a_b_c_d");
         assert_eq!(sanitize("9lives"), "_9lives");
+    }
+
+    #[test]
+    fn escapes_help_and_label_values() {
+        assert_eq!(escape_help("back\\slash\nnewline"), "back\\\\slash\\nnewline");
+        assert_eq!(escape_label("say \"hi\"\\\n"), "say \\\"hi\\\"\\\\\\n");
+        // Escaping is idempotent-shaped: no raw quote, backslash, or
+        // newline survives unescaped in a rendered label value.
+        let escaped = escape_label("a\"b\\c\nd");
+        assert!(!escaped.contains('\n'));
+        assert_eq!(escaped, "a\\\"b\\\\c\\nd");
     }
 
     #[test]

@@ -6,11 +6,13 @@ use crate::batcher::{BatchConfig, Batcher, ExtractEngine, ItemResult, ShedReason
 use crate::http::{self, ParseOutcome, Request, Response, Status};
 use crate::json::{self, Json};
 use crate::metrics_text;
+use crate::slo::{SloConfig, SloTracker};
+use crate::trace::{mint_trace_id, FlightRecorder, Trace};
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::RecvTimeoutError;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -31,6 +33,11 @@ pub struct ServerConfig {
     /// Connection-level admission control: beyond this many concurrent
     /// connections, new ones get an immediate 503.
     pub max_connections: usize,
+    /// How many recent request traces the flight recorder keeps
+    /// (`GET /debug/traces`).
+    pub trace_capacity: usize,
+    /// SLO watchdog budgets and windows.
+    pub slo: SloConfig,
 }
 
 impl Default for ServerConfig {
@@ -42,6 +49,8 @@ impl Default for ServerConfig {
             default_deadline: Duration::from_secs(5),
             max_body_bytes: 1024 * 1024,
             max_connections: 256,
+            trace_capacity: 256,
+            slo: SloConfig::default(),
         }
     }
 }
@@ -51,6 +60,8 @@ struct ServerShared {
     config: ServerConfig,
     shutting_down: AtomicBool,
     active_connections: AtomicUsize,
+    recorder: FlightRecorder,
+    slo: Mutex<SloTracker>,
 }
 
 /// A running extraction server. Dropping it without calling
@@ -69,6 +80,8 @@ impl Server {
         let addr = listener.local_addr()?;
         let shared = Arc::new(ServerShared {
             batcher: Batcher::start(engine, config.batch.clone()),
+            recorder: FlightRecorder::new(config.trace_capacity),
+            slo: Mutex::new(SloTracker::new(config.slo.clone())),
             config,
             shutting_down: AtomicBool::new(false),
             active_connections: AtomicUsize::new(0),
@@ -85,6 +98,11 @@ impl Server {
     /// The bound address (useful with ephemeral ports).
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// Number of request traces currently held by the flight recorder.
+    pub fn trace_count(&self) -> usize {
+        self.shared.recorder.len()
     }
 
     /// Stops accepting connections, drains queued and in-flight batches,
@@ -186,30 +204,43 @@ fn handle_connection(stream: TcpStream, shared: &ServerShared) {
         let close = request.close || shared.shutting_down.load(Ordering::SeqCst);
         let started = Instant::now();
         let response = route(&request, shared);
-        observe_request(&request.path, &response, started.elapsed());
+        observe_request(shared, &request.path, &response, started.elapsed());
         if http::write_response(&mut writer, &response, close).is_err() || close {
             return;
         }
     }
 }
 
-fn observe_request(path: &str, response: &Response, elapsed: Duration) {
-    let endpoint = match path {
+fn observe_request(shared: &ServerShared, path: &str, response: &Response, elapsed: Duration) {
+    let endpoint = match path.split('?').next().unwrap_or(path) {
         "/v1/extract" => "extract",
         "/v1/extract_batch" => "extract_batch",
         "/healthz" => "healthz",
         "/metrics" => "metrics",
+        "/debug/traces" | "/debug/prof" => "debug",
         _ => "other",
     };
     gs_obs::counter(&format!("serve.requests.{endpoint}"), 1);
     gs_obs::counter(&format!("serve.responses.{}", response.status.code()), 1);
     gs_obs::observe(&format!("serve.latency.{endpoint}"), elapsed.as_secs_f64());
+    // The SLO watchdog judges the extraction service, not scrapes of its
+    // own health/metrics/debug surfaces.
+    if matches!(endpoint, "extract" | "extract_batch") {
+        let mut slo = shared.slo.lock().unwrap_or_else(|e| e.into_inner());
+        slo.record(elapsed, response.status.code());
+    }
 }
 
 fn route(request: &Request, shared: &ServerShared) -> Response {
-    match (request.method.as_str(), request.path.as_str()) {
+    let (path, query) = match request.path.split_once('?') {
+        Some((path, query)) => (path, query),
+        None => (request.path.as_str(), ""),
+    };
+    match (request.method.as_str(), path) {
         ("GET", "/healthz") => healthz(shared),
         ("GET", "/metrics") => metrics(),
+        ("GET", "/debug/traces") => debug_traces(shared, query),
+        ("GET", "/debug/prof") => debug_prof(query),
         ("POST", "/v1/extract") => extract_single(request, shared),
         ("POST", "/v1/extract_batch") => extract_batch(request, shared),
         ("GET" | "HEAD", "/v1/extract" | "/v1/extract_batch") => {
@@ -217,6 +248,37 @@ fn route(request: &Request, shared: &ServerShared) -> Response {
         }
         _ => error_response(Status::NotFound, "unknown endpoint"),
     }
+}
+
+/// `GET /debug/traces[?id=<trace_id>]`: the flight recorder's recent
+/// request traces, newest last; with `id=` only the matching trace.
+fn debug_traces(shared: &ServerShared, query: &str) -> Response {
+    let wanted = query.split('&').find_map(|kv| kv.strip_prefix("id="));
+    let traces: Vec<Json> = match wanted {
+        Some(id) => match shared.recorder.find(id) {
+            Some(t) => vec![t.to_json()],
+            None => return error_response(Status::NotFound, "trace id not found"),
+        },
+        None => shared.recorder.snapshot().iter().map(Trace::to_json).collect(),
+    };
+    Response::json(
+        Status::Ok,
+        Json::obj(vec![("count", traces.len().into()), ("traces", Json::Arr(traces))]).to_string(),
+    )
+}
+
+/// `GET /debug/prof[?format=collapsed]`: the live op-profiler table, or
+/// flamegraph-compatible collapsed stacks. Reports whether the profiler
+/// is even on, since an empty table usually just means "not enabled".
+fn debug_prof(query: &str) -> Response {
+    let collapsed = query.split('&').any(|kv| kv == "format=collapsed");
+    let snapshot = gs_obs::prof::snapshot();
+    let body = if collapsed {
+        snapshot.collapsed()
+    } else {
+        format!("# profiler enabled: {}\n{}", gs_obs::prof::enabled(), snapshot.table())
+    };
+    Response::text(Status::Ok, body)
 }
 
 fn error_response(status: Status, message: &str) -> Response {
@@ -287,7 +349,32 @@ fn extraction_json(fields: &[(String, String)]) -> Json {
     Json::Obj(fields.iter().map(|(k, v)| (k.clone(), Json::Str(v.clone()))).collect())
 }
 
+/// Finalizes an extraction response: stamps the trace id into the
+/// `X-Trace-Id` header and writes the request's flight-recorder entry.
+fn finish_traced(
+    shared: &ServerShared,
+    response: Response,
+    trace_id: String,
+    endpoint: &'static str,
+    items: usize,
+    started: Instant,
+    result: Option<&ItemResult>,
+) -> Response {
+    shared.recorder.record(Trace {
+        id: trace_id.clone(),
+        endpoint,
+        status: response.status.code(),
+        items,
+        queue_wait: result.map(|r| r.queue_wait).unwrap_or_default(),
+        batch_size: result.map(|r| r.batch_size).unwrap_or_default(),
+        forward: result.map(|r| r.forward).unwrap_or_default(),
+        total: started.elapsed(),
+    });
+    response.with_header("x-trace-id", trace_id)
+}
+
 fn extract_single(request: &Request, shared: &ServerShared) -> Response {
+    let started = Instant::now();
     let (body, deadline_budget) = match parse_body(request) {
         Ok(parsed) => parsed,
         Err(response) => return response,
@@ -295,30 +382,38 @@ fn extract_single(request: &Request, shared: &ServerShared) -> Response {
     let Some(text) = body.get("text").and_then(Json::as_str) else {
         return error_response(Status::BadRequest, "missing string field \"text\"");
     };
+    // Admission: the request is valid and enters the batching pipeline
+    // under this trace id.
+    let trace_id = mint_trace_id();
+    let finish = |response, result: Option<&ItemResult>| {
+        finish_traced(shared, response, trace_id.clone(), "extract", 1, started, result)
+    };
     let budget = deadline_budget.unwrap_or(shared.config.default_deadline);
     let deadline = Instant::now() + budget;
-    let receiver = match shared.batcher.submit(vec![text.to_string()], deadline) {
+    let receiver = match shared.batcher.submit_traced(vec![text.to_string()], deadline, &trace_id) {
         Ok(receiver) => receiver,
-        Err(reason) => return shed_response(reason),
+        Err(reason) => return finish(shed_response(reason), None),
     };
     match await_result(&receiver, deadline) {
-        Ok(result) => match result.outcome {
-            Ok(extraction) => Response::json(
-                Status::Ok,
-                Json::obj(vec![
+        Ok(result) => match &result.outcome {
+            Ok(extraction) => {
+                let body = Json::obj(vec![
                     ("fields", extraction_json(&extraction.fields)),
                     ("batch_size", result.batch_size.into()),
                     ("queue_us", (result.queue_wait.as_micros() as u64).into()),
+                    ("trace_id", Json::Str(trace_id.clone())),
                 ])
-                .to_string(),
-            ),
-            Err(reason) => shed_response(reason),
+                .to_string();
+                finish(Response::json(Status::Ok, body), Some(&result))
+            }
+            Err(reason) => finish(shed_response(*reason), Some(&result)),
         },
-        Err(response) => response,
+        Err(response) => finish(response, None),
     }
 }
 
 fn extract_batch(request: &Request, shared: &ServerShared) -> Response {
+    let started = Instant::now();
     let (body, deadline_budget) = match parse_body(request) {
         Ok(parsed) => parsed,
         Err(response) => return response,
@@ -333,18 +428,32 @@ fn extract_batch(request: &Request, shared: &ServerShared) -> Response {
             None => return error_response(Status::BadRequest, "\"texts\" must contain strings"),
         }
     }
+    let trace_id = mint_trace_id();
     if texts.is_empty() {
-        return Response::json(
-            Status::Ok,
-            Json::obj(vec![("results", Json::Arr(Vec::new()))]).to_string(),
+        let body = Json::obj(vec![
+            ("results", Json::Arr(Vec::new())),
+            ("trace_id", Json::Str(trace_id.clone())),
+        ])
+        .to_string();
+        return finish_traced(
+            shared,
+            Response::json(Status::Ok, body),
+            trace_id,
+            "extract_batch",
+            0,
+            started,
+            None,
         );
     }
     let n = texts.len();
+    let finish = |response, result: Option<&ItemResult>| {
+        finish_traced(shared, response, trace_id.clone(), "extract_batch", n, started, result)
+    };
     let budget = deadline_budget.unwrap_or(shared.config.default_deadline);
     let deadline = Instant::now() + budget;
-    let receiver = match shared.batcher.submit(texts, deadline) {
+    let receiver = match shared.batcher.submit_traced(texts, deadline, &trace_id) {
         Ok(receiver) => receiver,
-        Err(reason) => return shed_response(reason),
+        Err(reason) => return finish(shed_response(reason), None),
     };
     let mut results: Vec<Option<ItemResult>> = (0..n).map(|_| None).collect();
     for _ in 0..n {
@@ -353,20 +462,33 @@ fn extract_batch(request: &Request, shared: &ServerShared) -> Response {
                 let slot = result.index;
                 results[slot] = Some(result);
             }
-            Err(response) => return response,
+            Err(response) => return finish(response, None),
         }
     }
-    // Whole-request semantics: if any item timed out, the request did.
+    // Whole-request semantics: if any item timed out, the request did. The
+    // recorded trace carries the slowest item's queue wait and its batch.
     let mut rendered = Vec::with_capacity(n);
+    let mut slowest: Option<ItemResult> = None;
     for result in results.into_iter().flatten() {
-        match result.outcome {
+        match &result.outcome {
             Ok(extraction) => {
-                rendered.push(Json::obj(vec![("fields", extraction_json(&extraction.fields))]))
+                rendered.push(Json::obj(vec![("fields", extraction_json(&extraction.fields))]));
+                if slowest.as_ref().is_none_or(|s| result.queue_wait > s.queue_wait) {
+                    slowest = Some(result);
+                }
             }
-            Err(reason) => return shed_response(reason),
+            Err(reason) => {
+                let reason = *reason;
+                return finish(shed_response(reason), Some(&result));
+            }
         }
     }
-    Response::json(Status::Ok, Json::obj(vec![("results", Json::Arr(rendered))]).to_string())
+    let body = Json::obj(vec![
+        ("results", Json::Arr(rendered)),
+        ("trace_id", Json::Str(trace_id.clone())),
+    ])
+    .to_string();
+    finish(Response::json(Status::Ok, body), slowest.as_ref())
 }
 
 /// Waits for one batcher result, translating channel loss/timeouts into

@@ -1,0 +1,385 @@
+//! SLO watchdog: sliding-window p99 latency, error rate, and shed rate
+//! with multi-window burn-rate alerting.
+//!
+//! Burn rate is how fast the service is consuming its error budget: a
+//! burn rate of 1 spends exactly the budget (e.g. a 1% error budget with
+//! 1% of requests failing), 10 exhausts it ten times too fast. Following
+//! the standard multi-window rule, the watchdog alerts only when **both**
+//! a short window (fast detection) and a long window (noise suppression)
+//! burn above the threshold, and resolves when the short window recovers —
+//! a single bad request after a quiet hour cannot page, but a sustained
+//! failure fires within the short window.
+//!
+//! Three dimensions are tracked independently: availability (5xx rate
+//! against the error budget), saturation (shed 503/504 rate against the
+//! shed budget), and latency (fraction of requests over the p99 target
+//! against `1 - 0.99`). Alert transitions are emitted once per edge as
+//! `slo_alert` / `slo_resolve` obs events; current burn rates and window
+//! p99s are republished as gauges on every record, so they surface in
+//! `/metrics` alongside the request counters.
+
+use gs_obs::FieldValue;
+use std::collections::VecDeque;
+use std::time::{Duration, Instant};
+
+/// Watchdog configuration.
+#[derive(Clone, Debug)]
+pub struct SloConfig {
+    /// p99 latency target; requests slower than this consume the latency
+    /// budget.
+    pub latency_target: Duration,
+    /// Fraction of requests allowed to fail with 5xx (availability budget).
+    pub error_budget: f64,
+    /// Fraction of requests allowed to be shed with 503/504.
+    pub shed_budget: f64,
+    /// Fast-detection window.
+    pub short_window: Duration,
+    /// Noise-suppression window.
+    pub long_window: Duration,
+    /// Burn-rate threshold; alert when both windows burn above it.
+    pub burn_alert: f64,
+    /// Minimum short-window sample count before alerting (cold-start and
+    /// trickle-traffic guard).
+    pub min_requests: usize,
+}
+
+impl Default for SloConfig {
+    fn default() -> Self {
+        SloConfig {
+            latency_target: Duration::from_millis(500),
+            error_budget: 0.01,
+            shed_budget: 0.05,
+            short_window: Duration::from_secs(60),
+            long_window: Duration::from_secs(300),
+            burn_alert: 2.0,
+            min_requests: 10,
+        }
+    }
+}
+
+/// Aggregates over one sliding window.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct WindowStats {
+    /// Requests inside the window.
+    pub requests: usize,
+    /// p99 latency in seconds (0 when empty).
+    pub p99: f64,
+    /// Fraction of requests answered 5xx.
+    pub error_rate: f64,
+    /// Fraction of requests shed (503/504).
+    pub shed_rate: f64,
+    /// Fraction of requests slower than the latency target.
+    pub slow_rate: f64,
+}
+
+struct Sample {
+    at: Instant,
+    latency: f64,
+    error: bool,
+    shed: bool,
+    slow: bool,
+}
+
+/// The SLO dimensions the watchdog alerts on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SloDimension {
+    /// 5xx responses against the error budget.
+    Errors,
+    /// 503/504 sheds against the shed budget.
+    Shed,
+    /// Requests over the latency target against the 1% tail budget.
+    Latency,
+}
+
+impl SloDimension {
+    const ALL: [SloDimension; 3] =
+        [SloDimension::Errors, SloDimension::Shed, SloDimension::Latency];
+
+    fn name(self) -> &'static str {
+        match self {
+            SloDimension::Errors => "errors",
+            SloDimension::Shed => "shed",
+            SloDimension::Latency => "latency",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            SloDimension::Errors => 0,
+            SloDimension::Shed => 1,
+            SloDimension::Latency => 2,
+        }
+    }
+}
+
+/// Sliding-window burn-rate tracker. Not internally synchronized; the
+/// server wraps it in a mutex.
+pub struct SloTracker {
+    config: SloConfig,
+    samples: VecDeque<Sample>,
+    /// Current alert state per dimension (see [`SloDimension::index`]).
+    alerting: [bool; 3],
+}
+
+/// Hard cap on retained samples, bounding memory under request floods
+/// faster than the long window can age out.
+const MAX_SAMPLES: usize = 65_536;
+
+impl SloTracker {
+    /// A tracker with the given budgets and windows.
+    pub fn new(config: SloConfig) -> Self {
+        SloTracker { config, samples: VecDeque::new(), alerting: [false; 3] }
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &SloConfig {
+        &self.config
+    }
+
+    /// Records one finished request and re-evaluates the alerts.
+    /// Returns the dimensions whose alert state flipped on this record.
+    pub fn record_at(
+        &mut self,
+        now: Instant,
+        latency: Duration,
+        status: u16,
+    ) -> Vec<(SloDimension, bool)> {
+        let latency = latency.as_secs_f64();
+        self.samples.push_back(Sample {
+            at: now,
+            latency,
+            error: status >= 500,
+            shed: status == 503 || status == 504,
+            slow: latency > self.config.latency_target.as_secs_f64(),
+        });
+        while self.samples.len() > MAX_SAMPLES {
+            self.samples.pop_front();
+        }
+        let horizon = now.checked_sub(self.config.long_window);
+        if let Some(horizon) = horizon {
+            while self.samples.front().is_some_and(|s| s.at < horizon) {
+                self.samples.pop_front();
+            }
+        }
+        self.evaluate(now)
+    }
+
+    /// Records with the current time and publishes gauges/events through
+    /// the installed obs collector.
+    pub fn record(&mut self, latency: Duration, status: u16) {
+        let now = Instant::now();
+        let flips = self.record_at(now, latency, status);
+        let short = self.window_stats(now, self.config.short_window);
+        let long = self.window_stats(now, self.config.long_window);
+        gs_obs::gauge("slo.p99_seconds.short", short.p99);
+        gs_obs::gauge("slo.shed_rate.short", short.shed_rate);
+        for (dim, burn) in [
+            (SloDimension::Errors, self.burn(&short, SloDimension::Errors)),
+            (SloDimension::Shed, self.burn(&short, SloDimension::Shed)),
+            (SloDimension::Latency, self.burn(&short, SloDimension::Latency)),
+        ] {
+            gs_obs::gauge(&format!("slo.burn_rate.{}.short", dim.name()), burn);
+        }
+        for dim in SloDimension::ALL {
+            gs_obs::gauge(&format!("slo.burn_rate.{}.long", dim.name()), self.burn(&long, dim));
+        }
+        for (dim, raised) in flips {
+            let kind = if raised { "slo_alert" } else { "slo_resolve" };
+            gs_obs::emit(
+                "slo",
+                kind,
+                vec![
+                    ("dimension", FieldValue::Str(dim.name().to_string())),
+                    ("burn_short", FieldValue::F64(self.burn(&short, dim))),
+                    ("burn_long", FieldValue::F64(self.burn(&long, dim))),
+                    ("requests_short", FieldValue::U64(short.requests as u64)),
+                ],
+            );
+            gs_obs::counter(&format!("slo.alerts.{}", dim.name()), u64::from(raised));
+        }
+    }
+
+    /// Whether `dim` is currently alerting.
+    pub fn is_alerting(&self, dim: SloDimension) -> bool {
+        self.alerting[dim.index()]
+    }
+
+    /// Aggregates over the trailing `window` ending at `now`.
+    pub fn window_stats(&self, now: Instant, window: Duration) -> WindowStats {
+        let horizon = now.checked_sub(window);
+        let in_window = self.samples.iter().filter(|s| match horizon {
+            Some(h) => s.at >= h,
+            None => true,
+        });
+        let mut latencies: Vec<f64> = Vec::new();
+        let (mut errors, mut sheds, mut slow) = (0usize, 0usize, 0usize);
+        for s in in_window {
+            latencies.push(s.latency);
+            errors += usize::from(s.error);
+            sheds += usize::from(s.shed);
+            slow += usize::from(s.slow);
+        }
+        let n = latencies.len();
+        if n == 0 {
+            return WindowStats::default();
+        }
+        latencies.sort_by(|a, b| a.total_cmp(b));
+        // Nearest-rank p99 (matches the obs histogram convention).
+        let rank = ((0.99 * n as f64).ceil() as usize).clamp(1, n);
+        WindowStats {
+            requests: n,
+            p99: latencies[rank - 1],
+            error_rate: errors as f64 / n as f64,
+            shed_rate: sheds as f64 / n as f64,
+            slow_rate: slow as f64 / n as f64,
+        }
+    }
+
+    /// Burn rate of `dim` over pre-computed window stats.
+    pub fn burn(&self, stats: &WindowStats, dim: SloDimension) -> f64 {
+        let (rate, budget) = match dim {
+            SloDimension::Errors => (stats.error_rate, self.config.error_budget),
+            SloDimension::Shed => (stats.shed_rate, self.config.shed_budget),
+            SloDimension::Latency => (stats.slow_rate, 0.01),
+        };
+        if budget <= 0.0 {
+            return if rate > 0.0 { f64::INFINITY } else { 0.0 };
+        }
+        rate / budget
+    }
+
+    /// Re-evaluates the multi-window rule, returning the dimensions whose
+    /// alert state flipped (dimension, now_alerting).
+    fn evaluate(&mut self, now: Instant) -> Vec<(SloDimension, bool)> {
+        let short = self.window_stats(now, self.config.short_window);
+        let long = self.window_stats(now, self.config.long_window);
+        let mut flips = Vec::new();
+        for dim in SloDimension::ALL {
+            let burning = short.requests >= self.config.min_requests
+                && self.burn(&short, dim) > self.config.burn_alert
+                && self.burn(&long, dim) > self.config.burn_alert;
+            let slot = dim.index();
+            // Raise on both windows burning; resolve once the short window
+            // recovers (the long window lags by construction).
+            let next = if self.alerting[slot] {
+                short.requests == 0 || self.burn(&short, dim) > self.config.burn_alert
+            } else {
+                burning
+            };
+            if next != self.alerting[slot] {
+                self.alerting[slot] = next;
+                flips.push((dim, next));
+            }
+        }
+        flips
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> SloConfig {
+        SloConfig {
+            latency_target: Duration::from_millis(100),
+            error_budget: 0.1,
+            shed_budget: 0.1,
+            short_window: Duration::from_secs(10),
+            long_window: Duration::from_secs(60),
+            burn_alert: 2.0,
+            min_requests: 5,
+        }
+    }
+
+    #[test]
+    fn healthy_traffic_never_alerts() {
+        let mut slo = SloTracker::new(config());
+        let t0 = Instant::now();
+        for i in 0..100 {
+            let flips =
+                slo.record_at(t0 + Duration::from_millis(i * 10), Duration::from_millis(5), 200);
+            assert!(flips.is_empty());
+        }
+        assert!(!slo.is_alerting(SloDimension::Errors));
+        let stats = slo.window_stats(t0 + Duration::from_secs(1), Duration::from_secs(10));
+        assert!(stats.requests > 0);
+        assert!(stats.error_rate == 0.0 && stats.shed_rate == 0.0);
+    }
+
+    #[test]
+    fn sustained_errors_raise_then_resolve() {
+        let mut slo = SloTracker::new(config());
+        let t0 = Instant::now();
+        let mut raised = false;
+        // 50% 500s: burn 5x the 10% budget in both windows.
+        for i in 0..20u64 {
+            let status = if i % 2 == 0 { 500 } else { 200 };
+            let flips = slo.record_at(
+                t0 + Duration::from_millis(i * 100),
+                Duration::from_millis(5),
+                status,
+            );
+            if flips.iter().any(|&(d, up)| d == SloDimension::Errors && up) {
+                raised = true;
+            }
+        }
+        assert!(raised, "sustained errors never alerted");
+        assert!(slo.is_alerting(SloDimension::Errors));
+        // Recovery: the short window fills with clean traffic.
+        let mut resolved = false;
+        for i in 0..200u64 {
+            let at = t0 + Duration::from_secs(2) + Duration::from_millis(i * 100);
+            let flips = slo.record_at(at, Duration::from_millis(5), 200);
+            if flips.iter().any(|&(d, up)| d == SloDimension::Errors && !up) {
+                resolved = true;
+            }
+        }
+        assert!(resolved, "alert never resolved after recovery");
+        assert!(!slo.is_alerting(SloDimension::Errors));
+    }
+
+    #[test]
+    fn shed_and_latency_dimensions_are_independent() {
+        let mut slo = SloTracker::new(config());
+        let t0 = Instant::now();
+        for i in 0..20u64 {
+            // All requests slow and shed, none 500.
+            slo.record_at(t0 + Duration::from_millis(i * 100), Duration::from_millis(300), 503);
+        }
+        assert!(slo.is_alerting(SloDimension::Shed));
+        assert!(slo.is_alerting(SloDimension::Latency));
+        // 503 counts as an error too (it is 5xx).
+        assert!(slo.is_alerting(SloDimension::Errors));
+        let stats = slo.window_stats(t0 + Duration::from_secs(2), Duration::from_secs(10));
+        assert!(stats.slow_rate > 0.99 && stats.shed_rate > 0.99);
+        assert!(stats.p99 >= 0.3);
+    }
+
+    #[test]
+    fn few_requests_never_alert() {
+        let mut slo = SloTracker::new(config());
+        let t0 = Instant::now();
+        // Below min_requests: even 100% errors stay quiet.
+        for i in 0..4u64 {
+            let flips =
+                slo.record_at(t0 + Duration::from_millis(i * 10), Duration::from_secs(1), 500);
+            assert!(flips.is_empty());
+        }
+        assert!(!slo.is_alerting(SloDimension::Errors));
+    }
+
+    #[test]
+    fn old_samples_age_out() {
+        let mut slo = SloTracker::new(config());
+        let t0 = Instant::now();
+        for i in 0..10u64 {
+            slo.record_at(t0 + Duration::from_millis(i), Duration::from_millis(5), 500);
+        }
+        // Two minutes later the long window is empty again.
+        let later = t0 + Duration::from_secs(120);
+        slo.record_at(later, Duration::from_millis(5), 200);
+        let stats = slo.window_stats(later, Duration::from_secs(60));
+        assert_eq!(stats.requests, 1);
+        assert_eq!(stats.error_rate, 0.0);
+    }
+}

@@ -1,0 +1,182 @@
+//! Request-scoped tracing: every admitted request gets a trace id that
+//! follows it through the batcher and model forward, comes back in the
+//! response (JSON field and `X-Trace-Id` header), and lands in a bounded
+//! in-memory flight recorder dumpable via `GET /debug/traces`.
+//!
+//! The recorder is a fixed-capacity ring: recording is O(1), memory is
+//! bounded no matter how long the server runs, and a dump shows the most
+//! recent requests — exactly what post-incident "what did the last N
+//! requests look like" debugging needs. It is process-local and lost on
+//! restart by design; durable request logs belong to the obs JSONL sink.
+
+use crate::json::Json;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::{Duration, SystemTime, UNIX_EPOCH};
+
+/// Process-unique trace-id generator state: a random-ish 32-bit epoch
+/// drawn once from the clock, plus a monotonically increasing counter.
+static TRACE_EPOCH: OnceLock<u64> = OnceLock::new();
+static TRACE_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// Mints a new 16-hex-digit trace id, unique within the process and
+/// unlikely to collide across restarts (the top half mixes in the process
+/// start time).
+pub fn mint_trace_id() -> String {
+    let epoch = *TRACE_EPOCH.get_or_init(|| {
+        let nanos = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.subsec_nanos() as u64 ^ d.as_secs())
+            .unwrap_or(0x9e37_79b9);
+        // SplitMix-style scramble so consecutive restarts differ broadly.
+        let mut z = nanos.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    });
+    let seq = TRACE_COUNTER.fetch_add(1, Ordering::Relaxed);
+    format!("{:08x}{:08x}", (epoch as u32), (seq as u32))
+}
+
+/// One completed (or shed) request, as remembered by the flight recorder.
+#[derive(Clone, Debug)]
+pub struct Trace {
+    /// The request's trace id.
+    pub id: String,
+    /// Which endpoint served it (`extract`, `extract_batch`).
+    pub endpoint: &'static str,
+    /// HTTP status returned.
+    pub status: u16,
+    /// Number of texts in the request.
+    pub items: usize,
+    /// Time the request's first item spent queued before dispatch.
+    pub queue_wait: Duration,
+    /// Size of the micro-batch the request was served in (0 when shed).
+    pub batch_size: usize,
+    /// Model forward time of the serving batch (zero when shed).
+    pub forward: Duration,
+    /// End-to-end handler time.
+    pub total: Duration,
+}
+
+impl Trace {
+    /// Renders the trace as a JSON object (for `/debug/traces`).
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("trace_id", Json::Str(self.id.clone())),
+            ("endpoint", Json::Str(self.endpoint.to_string())),
+            ("status", (self.status as u64).into()),
+            ("items", self.items.into()),
+            ("queue_us", (self.queue_wait.as_micros() as u64).into()),
+            ("batch_size", self.batch_size.into()),
+            ("forward_us", (self.forward.as_micros() as u64).into()),
+            ("total_us", (self.total.as_micros() as u64).into()),
+        ])
+    }
+}
+
+/// Bounded in-memory ring of recent [`Trace`]s.
+pub struct FlightRecorder {
+    ring: Mutex<VecDeque<Trace>>,
+    capacity: usize,
+}
+
+impl FlightRecorder {
+    /// A recorder remembering the last `capacity` traces (min 1).
+    pub fn new(capacity: usize) -> Self {
+        FlightRecorder { ring: Mutex::new(VecDeque::new()), capacity: capacity.max(1) }
+    }
+
+    /// Records one trace, evicting the oldest when full.
+    pub fn record(&self, trace: Trace) {
+        let mut ring = self.ring.lock().unwrap_or_else(|e| e.into_inner());
+        if ring.len() == self.capacity {
+            ring.pop_front();
+        }
+        ring.push_back(trace);
+    }
+
+    /// The recorded traces, oldest first.
+    pub fn snapshot(&self) -> Vec<Trace> {
+        self.ring.lock().unwrap_or_else(|e| e.into_inner()).iter().cloned().collect()
+    }
+
+    /// Looks up a trace by id (most recent match wins).
+    pub fn find(&self, id: &str) -> Option<Trace> {
+        let ring = self.ring.lock().unwrap_or_else(|e| e.into_inner());
+        ring.iter().rev().find(|t| t.id == id).cloned()
+    }
+
+    /// Number of traces currently held.
+    pub fn len(&self) -> usize {
+        self.ring.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// Whether the recorder holds no traces yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace(id: &str) -> Trace {
+        Trace {
+            id: id.to_string(),
+            endpoint: "extract",
+            status: 200,
+            items: 1,
+            queue_wait: Duration::from_micros(10),
+            batch_size: 2,
+            forward: Duration::from_micros(500),
+            total: Duration::from_micros(700),
+        }
+    }
+
+    #[test]
+    fn trace_ids_are_unique_and_hex() {
+        let a = mint_trace_id();
+        let b = mint_trace_id();
+        assert_ne!(a, b);
+        for id in [&a, &b] {
+            assert_eq!(id.len(), 16);
+            assert!(id.chars().all(|c| c.is_ascii_hexdigit()));
+        }
+    }
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let recorder = FlightRecorder::new(3);
+        assert!(recorder.is_empty());
+        for i in 0..5 {
+            recorder.record(trace(&format!("t{i}")));
+        }
+        let snap = recorder.snapshot();
+        assert_eq!(snap.len(), 3);
+        assert_eq!(snap[0].id, "t2");
+        assert_eq!(snap[2].id, "t4");
+        assert!(recorder.find("t0").is_none());
+        assert_eq!(recorder.find("t3").unwrap().id, "t3");
+    }
+
+    #[test]
+    fn to_json_carries_all_fields() {
+        let rendered = trace("abc").to_json().to_string();
+        for key in [
+            "trace_id",
+            "endpoint",
+            "status",
+            "items",
+            "queue_us",
+            "batch_size",
+            "forward_us",
+            "total_us",
+        ] {
+            assert!(rendered.contains(key), "missing {key} in {rendered}");
+        }
+        assert!(rendered.contains("\"abc\""));
+    }
+}

@@ -1,0 +1,93 @@
+//! Analytic per-kernel work estimates for the op profiler.
+//!
+//! Each function maps an op's shape to a [`Cost`] — floating-point
+//! operations and bytes moved — feeding the roofline columns of
+//! `gs_obs::prof`. The estimates follow the usual conventions (a matmul is
+//! `2·m·k·n` flops; elementwise kernels read their operands once and write
+//! the result once); they rank kernels and locate them on a roofline, they
+//! are not cycle-exact.
+
+use gs_obs::prof::Cost;
+
+/// Bytes per element (`f32`).
+const ELEM: u64 = 4;
+
+/// `[m,k] x [k,n]` (also `[m,k] x [n,k]^T`): `2mkn` flops, one read of each
+/// operand and one write of the output.
+pub fn matmul(m: usize, k: usize, n: usize) -> Cost {
+    let (m, k, n) = (m as u64, k as u64, n as u64);
+    Cost::new(2 * m * k * n, ELEM * (m * k + k * n + m * n))
+}
+
+/// Backward of a matmul-family op: two products of the same magnitude.
+pub fn matmul_bwd(m: usize, k: usize, n: usize) -> Cost {
+    let fwd = matmul(m, k, n);
+    Cost::new(2 * fwd.flops, 2 * fwd.bytes)
+}
+
+/// Unary elementwise kernel over `len` elements at `flops_per_elt` each.
+pub fn map(len: usize, flops_per_elt: u64) -> Cost {
+    Cost::new(len as u64 * flops_per_elt, 2 * ELEM * len as u64)
+}
+
+/// Binary elementwise kernel over `len` elements at `flops_per_elt` each.
+pub fn zip(len: usize, flops_per_elt: u64) -> Cost {
+    Cost::new(len as u64 * flops_per_elt, 3 * ELEM * len as u64)
+}
+
+/// Pure data movement of `len` elements (gather, concat, slice).
+pub fn copy(len: usize) -> Cost {
+    Cost::new(0, 2 * ELEM * len as u64)
+}
+
+/// Row-wise softmax over `rows` rows of width `d`: max, subtract, exp, sum,
+/// divide — about 5 flops per element.
+pub fn softmax(rows: usize, d: usize) -> Cost {
+    let len = (rows * d) as u64;
+    Cost::new(5 * len, 2 * ELEM * len)
+}
+
+/// Layer norm over `rows` rows of width `d`: mean, variance, normalize,
+/// scale and shift — about 8 flops per element; reads x/gamma/beta, writes
+/// the output and the normalized aux buffer.
+pub fn layer_norm(rows: usize, d: usize) -> Cost {
+    let len = (rows * d) as u64;
+    Cost::new(8 * len, ELEM * (3 * len + 2 * d as u64 + rows as u64))
+}
+
+/// Token-masked cross-entropy over `[rows, classes]` logits: softmax plus
+/// log-prob accumulation — about 6 flops per logit.
+pub fn cross_entropy(rows: usize, classes: usize) -> Cost {
+    let len = (rows * classes) as u64;
+    Cost::new(6 * len, 2 * ELEM * len)
+}
+
+/// Embedding gather of `rows` rows of width `d` (no arithmetic).
+pub fn gather(rows: usize, d: usize) -> Cost {
+    copy(rows * d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_counts_flops_and_traffic() {
+        let c = matmul(2, 3, 4);
+        assert_eq!(c.flops, 2 * 2 * 3 * 4);
+        assert_eq!(c.bytes, 4 * (2 * 3 + 3 * 4 + 2 * 4));
+        let b = matmul_bwd(2, 3, 4);
+        assert_eq!(b.flops, 2 * c.flops);
+    }
+
+    #[test]
+    fn elementwise_scales_with_len() {
+        assert_eq!(map(10, 1).flops, 10);
+        assert_eq!(zip(10, 1).bytes, 120);
+        assert_eq!(copy(8).flops, 0);
+        assert_eq!(softmax(2, 4).flops, 40);
+        assert_eq!(layer_norm(2, 4).flops, 64);
+        assert_eq!(cross_entropy(2, 4).flops, 48);
+        assert_eq!(gather(3, 4), copy(12));
+    }
+}

@@ -288,10 +288,9 @@ pub fn infer_shape(
         OpKind::Sub { a, b } => shape::same_shape("sub", &need!(*a), &need!(*b))?,
         OpKind::Mul { a, b } => shape::same_shape("mul", &need!(*a), &need!(*b))?,
         OpKind::AddBias { x, bias } => shape::add_bias(&need!(*x), &need!(*bias))?,
-        OpKind::Scale { x, .. }
-        | OpKind::Relu { x }
-        | OpKind::Gelu { x }
-        | OpKind::Tanh { x } => shape::unary(&need!(*x))?,
+        OpKind::Scale { x, .. } | OpKind::Relu { x } | OpKind::Gelu { x } | OpKind::Tanh { x } => {
+            shape::unary(&need!(*x))?
+        }
         OpKind::SoftmaxLastDim { x } => shape::softmax_last_dim(&need!(*x))?,
         OpKind::MatMul { a, b } => shape::matmul(&need!(*a), &need!(*b))?,
         OpKind::MatMulTransB { a, b } => shape::matmul_transb(&need!(*a), &need!(*b))?,
@@ -324,7 +323,7 @@ mod tests {
     use super::*;
 
     #[test]
-    fn infer_matches_rules_and_propagates_unknown(){
+    fn infer_matches_rules_and_propagates_unknown() {
         let shapes = [Some(vec![2usize, 3]), Some(vec![3, 4]), None];
         let get = |i: usize| shapes[i].clone();
         let ok = infer_shape(&OpKind::MatMul { a: 0, b: 1 }, get).unwrap();

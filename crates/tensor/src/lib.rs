@@ -24,6 +24,8 @@ mod optim;
 mod tape;
 mod tensor;
 
+/// Analytic flop/byte estimates for profiled kernels.
+pub mod cost;
 /// Exportable graph mirror of recorded tapes.
 pub mod graph;
 /// Numeric sanitizer plumbing (global flag, issue types).
@@ -36,9 +38,7 @@ pub mod shape;
 pub use graph::{infer_shape, Graph, GraphNode, OpKind};
 pub use init::{normal, ones, xavier_uniform, zeros};
 pub use optim::{Binder, Optimizer, ParamId, ParamStore, WarmupLinearSchedule};
-pub use sanitize::{
-    sanitize_enabled, set_sanitize, NumericIssue, NumericKind, SanitizePhase,
-};
+pub use sanitize::{sanitize_enabled, set_sanitize, NumericIssue, NumericKind, SanitizePhase};
 pub use shape::{ShapeError, ShapeResult};
 pub use tape::{Grads, Tape, TapeOps, Var};
 pub use tensor::{gelu, gelu_grad, Tensor};

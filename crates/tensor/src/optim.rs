@@ -8,8 +8,10 @@
 //! 3. [`Binder::accumulate`] copies leaf gradients into the store;
 //! 4. an [`Optimizer`] applies the update and clears gradients.
 
+use crate::cost;
 use crate::tape::{Grads, Tape, TapeOps, Var};
 use crate::tensor::Tensor;
+use gs_obs::prof;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -131,6 +133,13 @@ impl ParamStore {
     /// Scales all gradients so that the global norm is at most `max_norm`.
     /// Returns the pre-clip norm.
     pub fn clip_grad_norm(&mut self, max_norm: f32) -> f32 {
+        // The string is only built when profiling is on.
+        let mut timer = if prof::enabled() {
+            prof::op_at("optim".to_string(), "clip_grad_norm")
+        } else {
+            prof::OpTimer::noop()
+        };
+        timer.set_cost(cost::map(self.num_weights(), 3));
         let norm = self.grad_norm();
         if norm > max_norm && norm > 0.0 {
             let scale = max_norm / norm;
@@ -264,6 +273,24 @@ impl Optimizer {
 
     /// Applies accumulated gradients to the store and clears them.
     pub fn step(&mut self, store: &mut ParamStore) {
+        let mut timer = if prof::enabled() {
+            prof::op_at(
+                "optim".to_string(),
+                match self {
+                    Optimizer::Sgd { .. } => "sgd_step",
+                    Optimizer::Adam { .. } => "adam_step",
+                },
+            )
+        } else {
+            prof::OpTimer::noop()
+        };
+        timer.set_cost(cost::map(
+            store.num_weights(),
+            match self {
+                Optimizer::Sgd { .. } => 2,
+                Optimizer::Adam { .. } => 12,
+            },
+        ));
         match self {
             Optimizer::Sgd { lr } => {
                 let lr = *lr;

@@ -83,7 +83,14 @@ pub struct NumericIssue {
 
 impl fmt::Display for NumericIssue {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "numeric sanitizer: {} in {} of {} (node {}", self.kind, self.phase_noun(), self.op, self.node)?;
+        write!(
+            f,
+            "numeric sanitizer: {} in {} of {} (node {}",
+            self.kind,
+            self.phase_noun(),
+            self.op,
+            self.node
+        )?;
         if !self.scope.is_empty() {
             write!(f, ", scope {}", self.scope)?;
         }

@@ -243,7 +243,10 @@ mod tests {
     fn display_includes_op_and_message() {
         let e = matmul(&[2, 3], &[4, 5]).unwrap_err();
         assert_eq!(e.op(), "matmul");
-        assert_eq!(e.to_string(), "shape error in matmul: inner dims of [2, 3] x [4, 5] do not agree");
+        assert_eq!(
+            e.to_string(),
+            "shape error in matmul: inner dims of [2, 3] x [4, 5] do not agree"
+        );
     }
 
     #[test]

@@ -11,12 +11,15 @@
 //! classification head needs; each op's backward rule is unit-tested against
 //! finite differences in this module's tests.
 
+use crate::cost;
 use crate::graph::{Graph, GraphNode, OpKind};
 use crate::sanitize::{self, NumericIssue, SanitizePhase};
 use crate::shape::{self, ShapeError};
 use crate::tensor::{gelu, gelu_grad, Tensor, ELEMWISE_PAR_CUTOFF};
+use gs_obs::prof;
 use std::cell::RefCell;
 use std::rc::Rc;
+use std::time::Instant;
 
 /// Raw `f32` base pointer that may cross threads. Used by row-parallel
 /// kernels that fill several output buffers at once: each task writes only
@@ -152,6 +155,72 @@ fn op_name(op: &Op) -> &'static str {
     }
 }
 
+/// Static backward-kernel names (`<op>.bwd`), so profiler rows distinguish
+/// forward kernels from their gradient kernels without allocating.
+fn bwd_name(op: &Op) -> &'static str {
+    match op {
+        Op::Leaf { .. } => "leaf.bwd",
+        Op::Add(..) => "add.bwd",
+        Op::AddBias(..) => "add_bias.bwd",
+        Op::Sub(..) => "sub.bwd",
+        Op::Mul(..) => "mul.bwd",
+        Op::Scale(..) => "scale.bwd",
+        Op::MatMul(..) => "matmul.bwd",
+        Op::MatMulTransB(..) => "matmul_transb.bwd",
+        Op::Relu(..) => "relu.bwd",
+        Op::Gelu(..) => "gelu.bwd",
+        Op::Tanh(..) => "tanh.bwd",
+        Op::SoftmaxLastDim(..) => "softmax_last_dim.bwd",
+        Op::LayerNorm { .. } => "layer_norm.bwd",
+        Op::EmbedGather { .. } => "embed_gather.bwd",
+        Op::Dropout { .. } => "dropout.bwd",
+        Op::ConcatCols(..) => "concat_cols.bwd",
+        Op::SliceCols { .. } => "slice_cols.bwd",
+        Op::MeanAll(..) => "mean_all.bwd",
+        Op::SumAll(..) => "sum_all.bwd",
+        Op::CrossEntropy { .. } => "cross_entropy.bwd",
+    }
+}
+
+/// Work estimate for one backward step of `op` given the output gradient
+/// length; matmul-family ops read their operand shapes off the tape.
+fn bwd_cost(op: &Op, nodes: &[Node], gout_len: usize) -> prof::Cost {
+    match op {
+        Op::Leaf { .. } => prof::Cost::zero(),
+        Op::MatMul(a, b) => {
+            let (va, vb) = (&nodes[*a].value, &nodes[*b].value);
+            cost::matmul_bwd(va.rows(), va.cols(), vb.cols())
+        }
+        Op::MatMulTransB(a, b) => {
+            let (va, vb) = (&nodes[*a].value, &nodes[*b].value);
+            cost::matmul_bwd(va.rows(), va.cols(), vb.rows())
+        }
+        Op::SoftmaxLastDim(a) => {
+            let va = &nodes[*a].value;
+            let d = *va.shape().last().unwrap_or(&1);
+            cost::softmax(va.len() / d.max(1), d)
+        }
+        Op::LayerNorm { x, .. } => {
+            let vx = &nodes[*x].value;
+            let d = *vx.shape().last().unwrap_or(&1);
+            let fwd = cost::layer_norm(vx.len() / d.max(1), d);
+            // Two row passes (gx, then gamma/beta reductions).
+            prof::Cost::new(2 * fwd.flops, 2 * fwd.bytes)
+        }
+        Op::CrossEntropy { logits, targets } => {
+            let classes = nodes[*logits].value.cols();
+            cost::cross_entropy(targets.len(), classes)
+        }
+        Op::EmbedGather { table, ids } => cost::gather(ids.len(), nodes[*table].value.cols()),
+        Op::Gelu(..) => cost::map(gout_len, 12),
+        Op::Tanh(..) => cost::map(gout_len, 3),
+        Op::Mul(..) => cost::zip(2 * gout_len, 1),
+        Op::MeanAll(x) | Op::SumAll(x) => cost::map(nodes[*x].value.len(), 1),
+        Op::ConcatCols(..) | Op::SliceCols { .. } => cost::copy(gout_len),
+        _ => cost::zip(gout_len, 1),
+    }
+}
+
 /// Panics with the rule's error text on a shape violation — the eager
 /// counterpart of a gs-check finding, with an identical message.
 fn enforce(result: Result<Vec<usize>, ShapeError>) {
@@ -195,6 +264,10 @@ pub struct Tape {
     /// Latched from the process-global flag at construction, so the hot-path
     /// cost when disabled is one branch on a plain bool.
     sanitize: bool,
+    /// Latched from `gs_obs::prof` at construction, same pattern as
+    /// `sanitize`: op methods record per-kernel profiler samples only when
+    /// this is set, costing one plain-bool branch otherwise.
+    prof: bool,
     first_issue: RefCell<Option<NumericIssue>>,
 }
 
@@ -213,6 +286,7 @@ impl Tape {
             scopes: RefCell::new(vec![String::new()]),
             scope_stack: RefCell::new(Vec::new()),
             sanitize: sanitize::sanitize_enabled(),
+            prof: prof::enabled(),
             first_issue: RefCell::new(None),
         }
     }
@@ -228,6 +302,23 @@ impl Tape {
     /// Whether this tape scans op outputs and gradients for NaN/Inf.
     pub fn is_sanitizing(&self) -> bool {
         self.sanitize
+    }
+
+    /// Whether this tape records per-op profiler samples (latched from
+    /// [`gs_obs::prof::enabled`] at construction).
+    pub fn is_profiling(&self) -> bool {
+        self.prof
+    }
+
+    /// Starts a profiler timer for op `name` keyed by the tape's current
+    /// provenance scope path; a free no-op timer when profiling is off.
+    #[inline]
+    fn prof_op(&self, name: &'static str) -> prof::OpTimer {
+        if !self.prof {
+            return prof::OpTimer::noop();
+        }
+        let path = self.scopes.borrow()[self.current_scope() as usize].clone();
+        prof::op_at(path, name)
     }
 
     /// The first NaN/Inf found by a sanitizing tape, if any.
@@ -339,16 +430,22 @@ impl Tape {
 
     /// Records a trainable leaf (parameter) on the tape.
     pub fn leaf(&self, value: Tensor) -> Var {
+        let mut timer = self.prof_op("leaf");
+        timer.set_cost(cost::copy(value.len()));
         self.push(value, Op::Leaf { requires_grad: true })
     }
 
     /// Records a constant leaf; backward will not propagate into it.
     pub fn constant(&self, value: Tensor) -> Var {
+        let mut timer = self.prof_op("leaf");
+        timer.set_cost(cost::copy(value.len()));
         self.push(value, Op::Leaf { requires_grad: false })
     }
 
     /// Records a trainable leaf carrying a parameter label for provenance.
     pub fn leaf_labeled(&self, value: &Tensor, label: &str) -> Var {
+        let mut timer = self.prof_op("leaf");
+        timer.set_cost(cost::copy(value.len()));
         self.push_node(
             value.clone(),
             Op::Leaf { requires_grad: true },
@@ -360,6 +457,8 @@ impl Tape {
 
     /// Records a labeled constant leaf.
     pub fn constant_labeled(&self, value: &Tensor, label: &str) -> Var {
+        let mut timer = self.prof_op("leaf");
+        timer.set_cost(cost::copy(value.len()));
         self.push_node(
             value.clone(),
             Op::Leaf { requires_grad: false },
@@ -371,16 +470,20 @@ impl Tape {
 
     /// Elementwise addition of equal shapes.
     pub fn add(&self, a: Var, b: Var) -> Var {
+        let mut timer = self.prof_op("add");
         let (va, vb) = (self.value_rc(a), self.value_rc(b));
         enforce(shape::same_shape("add", va.shape(), vb.shape()));
+        timer.set_cost(cost::zip(va.len(), 1));
         let out = va.zip_map(&vb, |x, y| x + y);
         self.push(out, Op::Add(a.index(), b.index()))
     }
 
     /// Adds a `[d]` bias to every row of `[n, d]`.
     pub fn add_bias(&self, x: Var, bias: Var) -> Var {
+        let mut timer = self.prof_op("add_bias");
         let (vx, vb) = (self.value_rc(x), self.value_rc(bias));
         enforce(shape::add_bias(vx.shape(), vb.shape()));
+        timer.set_cost(cost::zip(vx.len(), 1));
         let mut out = (*vx).clone();
         for i in 0..out.rows() {
             for (o, &bv) in out.row_mut(i).iter_mut().zip(vb.data()) {
@@ -392,65 +495,87 @@ impl Tape {
 
     /// Elementwise subtraction of equal shapes.
     pub fn sub(&self, a: Var, b: Var) -> Var {
+        let mut timer = self.prof_op("sub");
         let (va, vb) = (self.value_rc(a), self.value_rc(b));
         enforce(shape::same_shape("sub", va.shape(), vb.shape()));
+        timer.set_cost(cost::zip(va.len(), 1));
         let out = va.zip_map(&vb, |x, y| x - y);
         self.push(out, Op::Sub(a.index(), b.index()))
     }
 
     /// Elementwise multiplication of equal shapes.
     pub fn mul(&self, a: Var, b: Var) -> Var {
+        let mut timer = self.prof_op("mul");
         let (va, vb) = (self.value_rc(a), self.value_rc(b));
         enforce(shape::same_shape("mul", va.shape(), vb.shape()));
+        timer.set_cost(cost::zip(va.len(), 1));
         let out = va.zip_map(&vb, |x, y| x * y);
         self.push(out, Op::Mul(a.index(), b.index()))
     }
 
     /// Multiplication by a scalar constant.
     pub fn scale(&self, a: Var, c: f32) -> Var {
+        let mut timer = self.prof_op("scale");
         let va = self.value_rc(a);
+        timer.set_cost(cost::map(va.len(), 1));
         let out = va.map(|x| x * c);
         self.push(out, Op::Scale(a.index(), c))
     }
 
     /// Matrix product `[m,k] x [k,n]`.
     pub fn matmul(&self, a: Var, b: Var) -> Var {
+        let mut timer = self.prof_op("matmul");
         let (va, vb) = (self.value_rc(a), self.value_rc(b));
         enforce(shape::matmul(va.shape(), vb.shape()));
+        timer.set_cost(cost::matmul(va.rows(), va.cols(), vb.cols()));
         let out = va.matmul(&vb);
         self.push(out, Op::MatMul(a.index(), b.index()))
     }
 
     /// Matrix product against a transposed right operand `[m,k] x [n,k]^T`.
     pub fn matmul_transb(&self, a: Var, b: Var) -> Var {
+        let mut timer = self.prof_op("matmul_transb");
         let (va, vb) = (self.value_rc(a), self.value_rc(b));
         enforce(shape::matmul_transb(va.shape(), vb.shape()));
+        timer.set_cost(cost::matmul(va.rows(), va.cols(), vb.rows()));
         let out = va.matmul_transb(&vb);
         self.push(out, Op::MatMulTransB(a.index(), b.index()))
     }
 
     /// Elementwise ReLU.
     pub fn relu(&self, a: Var) -> Var {
-        let out = self.value_rc(a).map(|x| x.max(0.0));
+        let mut timer = self.prof_op("relu");
+        let va = self.value_rc(a);
+        timer.set_cost(cost::map(va.len(), 1));
+        let out = va.map(|x| x.max(0.0));
         self.push(out, Op::Relu(a.index()))
     }
 
     /// Elementwise GELU.
     pub fn gelu(&self, a: Var) -> Var {
-        let out = self.value_rc(a).map(gelu);
+        let mut timer = self.prof_op("gelu");
+        let va = self.value_rc(a);
+        timer.set_cost(cost::map(va.len(), 10));
+        let out = va.map(gelu);
         self.push(out, Op::Gelu(a.index()))
     }
 
     /// Elementwise tanh.
     pub fn tanh(&self, a: Var) -> Var {
-        let out = self.value_rc(a).map(f32::tanh);
+        let mut timer = self.prof_op("tanh");
+        let va = self.value_rc(a);
+        timer.set_cost(cost::map(va.len(), 5));
+        let out = va.map(f32::tanh);
         self.push(out, Op::Tanh(a.index()))
     }
 
     /// Softmax over the last dimension.
     pub fn softmax_last_dim(&self, a: Var) -> Var {
+        let mut timer = self.prof_op("softmax_last_dim");
         let va = self.value_rc(a);
         enforce(shape::softmax_last_dim(va.shape()));
+        let d = *va.shape().last().expect("softmax shape");
+        timer.set_cost(cost::softmax(va.len() / d, d));
         let out = va.softmax_last_dim();
         self.push(out, Op::SoftmaxLastDim(a.index()))
     }
@@ -459,12 +584,14 @@ impl Tape {
     /// `beta` (both rank-1 of the last-dimension width).
     pub fn layer_norm(&self, x: Var, gamma: Var, beta: Var) -> Var {
         const EPS: f32 = 1e-5;
+        let mut timer = self.prof_op("layer_norm");
         let vx = self.value_rc(x);
         let vg = self.value_rc(gamma);
         let vb = self.value_rc(beta);
         enforce(shape::layer_norm(vx.shape(), vg.shape(), vb.shape()));
         let d = *vx.shape().last().expect("layer_norm on rank-0");
         let n = vx.len() / d;
+        timer.set_cost(cost::layer_norm(n, d));
         let mut xhat = vec![0.0f32; vx.len()];
         let mut inv_std = vec![0.0f32; n];
         let mut out = vec![0.0f32; vx.len()];
@@ -519,8 +646,10 @@ impl Tape {
     /// Gathers rows `ids` from an embedding `table` (rank-2), producing
     /// `[ids.len(), d]`. Gradients scatter-add back into the table.
     pub fn embed_gather(&self, table: Var, ids: &[usize]) -> Var {
+        let mut timer = self.prof_op("embed_gather");
         let vt = self.value_rc(table);
         enforce(shape::embed_gather(vt.shape(), ids.len(), ids.iter().copied().max()));
+        timer.set_cost(cost::gather(ids.len(), vt.cols()));
         let out = vt.gather_rows(ids);
         self.push(out, Op::EmbedGather { table: table.index(), ids: ids.to_vec() })
     }
@@ -528,17 +657,21 @@ impl Tape {
     /// Applies a precomputed inverted-dropout mask (entries are either `0` or
     /// `1/(1-p)`), recorded so backward reuses the same mask.
     pub fn dropout_with_mask(&self, x: Var, mask: Tensor) -> Var {
+        let mut timer = self.prof_op("dropout");
         let vx = self.value_rc(x);
         enforce(shape::dropout(vx.shape(), mask.shape()));
+        timer.set_cost(cost::zip(vx.len(), 1));
         let out = vx.zip_map(&mask, |a, m| a * m);
         self.push_with_aux(out, Op::Dropout { x: x.index() }, Some(mask), None)
     }
 
     /// Column-wise concatenation of rank-2 tensors.
     pub fn concat_cols(&self, parts: &[Var]) -> Var {
+        let mut timer = self.prof_op("concat_cols");
         let values: Vec<Rc<Tensor>> = parts.iter().map(|&p| self.value_rc(p)).collect();
         let shapes: Vec<&[usize]> = values.iter().map(|v| v.shape()).collect();
         enforce(shape::concat_cols(&shapes));
+        timer.set_cost(cost::copy(values.iter().map(|v| v.len()).sum()));
         let refs: Vec<&Tensor> = values.iter().map(|v| v.as_ref()).collect();
         let out = Tensor::concat_cols(&refs);
         self.push(out, Op::ConcatCols(parts.iter().map(|p| p.index()).collect()))
@@ -546,21 +679,29 @@ impl Tape {
 
     /// Column slice `[start, end)` of a rank-2 tensor.
     pub fn slice_cols(&self, x: Var, start: usize, end: usize) -> Var {
+        let mut timer = self.prof_op("slice_cols");
         let vx = self.value_rc(x);
         enforce(shape::slice_cols(vx.shape(), start, end));
+        timer.set_cost(cost::copy(vx.rows() * (end - start)));
         let out = vx.slice_cols(start, end);
         self.push(out, Op::SliceCols { x: x.index(), start })
     }
 
     /// Mean over all elements.
     pub fn mean_all(&self, x: Var) -> Var {
-        let out = Tensor::scalar(self.value_rc(x).mean());
+        let mut timer = self.prof_op("mean_all");
+        let vx = self.value_rc(x);
+        timer.set_cost(cost::map(vx.len(), 1));
+        let out = Tensor::scalar(vx.mean());
         self.push(out, Op::MeanAll(x.index()))
     }
 
     /// Sum over all elements.
     pub fn sum_all(&self, x: Var) -> Var {
-        let out = Tensor::scalar(self.value_rc(x).sum());
+        let mut timer = self.prof_op("sum_all");
+        let vx = self.value_rc(x);
+        timer.set_cost(cost::map(vx.len(), 1));
+        let out = Tensor::scalar(vx.sum());
         self.push(out, Op::SumAll(x.index()))
     }
 
@@ -569,9 +710,11 @@ impl Tape {
     /// Positions with `targets[i] < 0` are ignored (padding / special
     /// tokens). The mean is taken over non-ignored positions.
     pub fn cross_entropy(&self, logits: Var, targets: &[i64]) -> Var {
+        let mut timer = self.prof_op("cross_entropy");
         let vl = self.value_rc(logits);
         let max_target = targets.iter().copied().filter(|&t| t >= 0).max();
         enforce(shape::cross_entropy(vl.shape(), targets.len(), max_target));
+        timer.set_cost(cost::cross_entropy(targets.len(), vl.cols()));
         let probs = vl.softmax_last_dim();
         let mut total = 0.0f64;
         let mut count = 0usize;
@@ -609,6 +752,8 @@ impl Tape {
             let Some(gout) = grads[idx].take() else { continue };
             // Reinsert so callers can read intermediate grads too.
             let node = &nodes[idx];
+            let gout_len = gout.len();
+            let prof_start = if self.prof { Some(Instant::now()) } else { None };
             if self.sanitize && self.first_issue.borrow().is_none() {
                 if let Some(kind) = sanitize::scan(gout.data()) {
                     *self.first_issue.borrow_mut() = Some(NumericIssue {
@@ -835,6 +980,16 @@ impl Tape {
                     }
                     accumulate(&mut grads, *logits, Tensor::from_vec(probs.shape().to_vec(), gl));
                 }
+            }
+            if let Some(start) = prof_start {
+                let ns = start.elapsed().as_nanos() as u64;
+                let scopes = self.scopes.borrow();
+                prof::record_at(
+                    &scopes[node.scope as usize],
+                    bwd_name(&node.op),
+                    ns,
+                    bwd_cost(&node.op, &nodes, gout_len),
+                );
             }
         }
         Grads { grads }
@@ -1416,6 +1571,42 @@ mod tests {
         let issue = tape.first_numeric_issue().expect("backward overflow");
         assert_eq!(issue.phase, SanitizePhase::Backward);
         assert_eq!(issue.kind, crate::sanitize::NumericKind::Inf);
+    }
+
+    #[test]
+    fn profiler_attributes_forward_and_backward_ops() {
+        // The profiler store is process-global; restrict assertions to the
+        // unique scope path this test uses so parallel tests can't collide.
+        gs_obs::prof::reset();
+        gs_obs::prof::set_enabled(true);
+        let tape = Tape::new();
+        assert!(tape.is_profiling());
+        tape.push_scope("prof_test_blk");
+        let x = tape.leaf(sample_matrix());
+        let w = tape.constant(Tensor::matrix(&[vec![0.2, -0.5], vec![1.0, 0.3], vec![-0.7, 0.8]]));
+        let y = tape.matmul(x, w);
+        let s = tape.softmax_last_dim(y);
+        let loss = tape.mean_all(s);
+        tape.pop_scope();
+        let _ = tape.backward(loss);
+        gs_obs::prof::set_enabled(false);
+        let snap = gs_obs::prof::snapshot();
+        let find = |op: &str| {
+            snap.rows
+                .iter()
+                .find(|r| r.op == op && r.path == "prof_test_blk")
+                .unwrap_or_else(|| panic!("missing profiled op {op}"))
+        };
+        let mm = find("matmul");
+        assert_eq!(mm.calls, 1);
+        assert_eq!(mm.flops, 2 * 2 * 3 * 2); // [2,3] x [3,2]
+        let bwd = find("matmul.bwd");
+        assert_eq!(bwd.flops, 2 * mm.flops);
+        find("leaf");
+        find("softmax_last_dim");
+        find("softmax_last_dim.bwd");
+        find("mean_all.bwd");
+        gs_obs::prof::reset();
     }
 
     #[test]

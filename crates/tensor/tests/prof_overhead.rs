@@ -1,0 +1,54 @@
+//! Bounds the profiler's disabled-path cost on the tape itself: a tape
+//! built while profiling is off must pay nothing beyond the latched bool
+//! check per op — no path strings, no global-store lock, no rows.
+
+use gs_obs::prof;
+use gs_tensor::{Tape, Tensor};
+use std::time::Instant;
+
+#[test]
+fn disabled_tape_ops_pay_no_profiler_cost() {
+    prof::set_enabled(false);
+    prof::reset();
+
+    // A taped elementwise kernel on a small tensor: with profiling off the
+    // tape must not accumulate any profiler rows, and per-op cost stays
+    // bounded (the op itself dominates; a stray lock or path-string
+    // allocation per op would blow well past this budget on any machine).
+    let tape = Tape::new();
+    assert!(!tape.is_profiling());
+    let x = tape.leaf(Tensor::from_vec(vec![8], vec![1.0f32; 8]));
+    let reps = 50_000u32;
+    // Warmup, then the timed pass.
+    for _ in 0..1000 {
+        let y = tape.scale(x, 1.0001);
+        std::hint::black_box(tape.value(y).len());
+    }
+    let start = Instant::now();
+    for _ in 0..reps {
+        let y = tape.scale(x, 1.0001);
+        std::hint::black_box(tape.value(y).len());
+    }
+    let per_op_ns = start.elapsed().as_nanos() as f64 / f64::from(reps);
+    assert!(per_op_ns < 40_000.0, "taped scale with profiling off costs {per_op_ns:.0}ns/op");
+    assert!(prof::snapshot().rows.is_empty(), "profiling-off tape recorded rows");
+}
+
+#[test]
+fn tape_latches_profiling_state_at_construction() {
+    // A tape born while profiling is off never records, even if profiling
+    // turns on mid-flight — so long-lived inference tapes cannot start
+    // paying mid-request.
+    prof::set_enabled(false);
+    let tape = Tape::new();
+    prof::set_enabled(true);
+    let before = prof::snapshot().rows.len();
+    let x = tape.leaf(Tensor::from_vec(vec![4], vec![2.0f32; 4]));
+    let y = tape.scale(x, 0.5);
+    std::hint::black_box(tape.value(y).len());
+    prof::set_enabled(false);
+    let after = prof::snapshot().rows.len();
+    assert!(!tape.is_profiling());
+    assert_eq!(before, after, "profiling-off tape recorded rows after a mid-flight enable");
+    prof::reset();
+}

@@ -19,10 +19,7 @@ fn disabled_sanitizer_neither_scans_nor_reports() {
     let y = tape.relu(tape.scale(x, 2.0));
     let loss = tape.sum_all(y);
     let _ = tape.backward(loss);
-    assert!(
-        tape.first_numeric_issue().is_none(),
-        "disabled sanitizer must not scan or report"
-    );
+    assert!(tape.first_numeric_issue().is_none(), "disabled sanitizer must not scan or report");
 
     // Timing half: per-op cost with the sanitizer disabled stays within a
     // deliberately generous bound (the op itself costs well under 10 us;

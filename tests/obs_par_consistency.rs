@@ -1,0 +1,152 @@
+//! gs-obs under the gs-par pool: spans, counters, histograms, and op
+//! profiler records emitted concurrently from `for_each_index` workers
+//! must land in one consistent snapshot — no lost updates, no torn
+//! aggregates.
+//!
+//! The collector and the profiler store are process-global, so the tests
+//! here serialize on one lock and install/uninstall their own collector.
+
+use goalspotter::obs::{self, prof};
+use goalspotter::par;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Serializes tests that own the process-global collector/profiler.
+static GLOBAL_OBS_LOCK: Mutex<()> = Mutex::new(());
+
+fn with_collector<R>(f: impl FnOnce() -> R) -> (R, goalspotter::obs::MetricsSnapshot) {
+    let _guard = GLOBAL_OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let _ = obs::uninstall();
+    obs::install(obs::Collector::new());
+    let out = f();
+    let collector = obs::uninstall().expect("collector installed");
+    let snapshot = collector.registry().snapshot();
+    (out, snapshot)
+}
+
+#[test]
+fn counters_from_pool_workers_never_lose_updates() {
+    const N: usize = 4096;
+    let ((), snapshot) = with_collector(|| {
+        par::for_each_index(N, |i| {
+            obs::counter("par_obs.hits", 1);
+            obs::counter("par_obs.weighted", i as u64 % 7);
+            obs::observe("par_obs.value", i as f64);
+        });
+    });
+    assert_eq!(snapshot.counter("par_obs.hits"), N as u64);
+    let expected: u64 = (0..N as u64).map(|i| i % 7).sum();
+    assert_eq!(snapshot.counter("par_obs.weighted"), expected);
+    let hist = snapshot.histogram("par_obs.value").expect("histogram recorded");
+    assert_eq!(hist.total, N as u64);
+    // The sum sees every observation exactly once.
+    let expected_sum: f64 = (0..N).map(|i| i as f64).sum();
+    assert!((hist.sum - expected_sum).abs() < 1e-6 * expected_sum.max(1.0));
+}
+
+#[test]
+fn spans_closed_on_worker_threads_all_record() {
+    const N: usize = 512;
+    let ((), snapshot) = with_collector(|| {
+        par::for_each_index(N, |i| {
+            let mut span = obs::span("par_obs.unit");
+            span.add("index", i as u64);
+            drop(span);
+        });
+    });
+    let hist = snapshot.histogram("span.par_obs.unit").expect("span durations recorded");
+    assert_eq!(hist.total, N as u64, "every worker-side span must record exactly once");
+}
+
+#[test]
+fn profiler_records_from_pool_workers_aggregate_consistently() {
+    let _guard = GLOBAL_OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    prof::set_enabled(false);
+    prof::reset();
+    prof::set_enabled(true);
+    const N: usize = 2048;
+    let flops_seen = AtomicU64::new(0);
+    par::for_each_index(N, |i| {
+        // Two distinct (path, op) keys hit from every worker, plus an
+        // explicit-path record — the same shapes the tape, the packed
+        // forward, and the trainer use.
+        let mut timer = prof::op_at(format!("blk{}", i % 4), "kernel_a");
+        timer.set_cost(prof::Cost::new(10, 2));
+        drop(timer);
+        prof::record_at("shared", "kernel_b", 1_000, prof::Cost::new(3, 1));
+        flops_seen.fetch_add(13, Ordering::Relaxed);
+    });
+    prof::set_enabled(false);
+    let snapshot = prof::snapshot();
+    prof::reset();
+
+    let a_rows: Vec<_> = snapshot.rows.iter().filter(|r| r.op == "kernel_a").collect();
+    assert_eq!(a_rows.len(), 4, "one row per distinct path");
+    assert_eq!(a_rows.iter().map(|r| r.calls).sum::<u64>(), N as u64);
+    assert_eq!(a_rows.iter().map(|r| r.flops).sum::<u64>(), 10 * N as u64);
+
+    let b_row = snapshot
+        .rows
+        .iter()
+        .find(|r| r.op == "kernel_b" && r.path == "shared")
+        .expect("kernel_b row");
+    assert_eq!(b_row.calls, N as u64);
+    assert_eq!(b_row.flops, 3 * N as u64);
+    // Explicit nanos: 2048 calls x 1us each.
+    assert!((b_row.seconds - N as f64 * 1e-6).abs() < 1e-9);
+
+    // The per-op aggregation sees exactly the same totals as the rows.
+    let by_op = snapshot.by_op();
+    let a_total = by_op.iter().find(|t| t.op == "kernel_a").expect("kernel_a total");
+    assert_eq!(a_total.calls, N as u64);
+    assert_eq!(a_total.flops, 10 * N as u64);
+    assert_eq!(flops_seen.load(Ordering::Relaxed), 13 * N as u64);
+}
+
+#[test]
+fn parallel_training_profile_is_complete_under_the_pool() {
+    use goalspotter::models::transformer::{
+        train_token_classifier, TokenClassifier, TrainConfig, TransformerConfig,
+    };
+    let _guard = GLOBAL_OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    prof::set_enabled(false);
+    prof::reset();
+    let config = TransformerConfig {
+        name: "obs-par-tiny".into(),
+        d_model: 16,
+        n_heads: 2,
+        n_layers: 1,
+        d_ff: 32,
+        max_len: 16,
+        subword_budget: 40,
+        ..TransformerConfig::roberta_sim()
+    };
+    let mut model = TokenClassifier::new(config, 40, 3, 7);
+    let examples: Vec<_> = (0..8)
+        .map(|s| {
+            let ids: Vec<usize> = (0..8).map(|i| 2 + (s * 5 + i * 3) % 30).collect();
+            let targets: Vec<i64> = ids.iter().map(|&id| (id % 2) as i64 + 1).collect();
+            goalspotter::models::transformer::TrainExample { ids, targets }
+        })
+        .collect();
+    prof::set_enabled(true);
+    train_token_classifier(
+        &mut model,
+        &examples,
+        &TrainConfig { epochs: 1, lr: 1e-3, batch_size: 4, ..Default::default() },
+    );
+    prof::set_enabled(false);
+    let snapshot = prof::snapshot();
+    prof::reset();
+
+    // Forward kernels run on pool workers inside per-sequence tapes;
+    // backward kernels and the optimizer run afterwards. All of them must
+    // land in the same global profile.
+    for op in ["matmul", "matmul.bwd", "cross_entropy", "adam_step", "accum_grad"] {
+        assert!(
+            snapshot.rows.iter().any(|r| r.op == op && r.calls > 0),
+            "missing op {op} in parallel training profile; have {:?}",
+            snapshot.rows.iter().map(|r| r.op).collect::<Vec<_>>()
+        );
+    }
+}

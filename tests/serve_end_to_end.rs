@@ -196,6 +196,91 @@ fn tiny_queue_sheds_excess_load_and_recovers() {
 }
 
 #[test]
+fn every_response_carries_a_resolvable_trace_id() {
+    let engine = engine();
+    // A collector so SLO gauges reach /metrics (telemetry is otherwise a
+    // no-op); other tests in this binary don't inspect metrics, so the
+    // shared global is safe here.
+    let _collector = goalspotter::obs::install(goalspotter::obs::Collector::new());
+    let server = Server::start(engine.clone(), ServerConfig::default()).expect("start server");
+    let addr = server.addr();
+    let texts = sample_texts(3);
+
+    let mut client = Client::connect(addr, Duration::from_secs(10)).expect("connect");
+    let mut ids = Vec::new();
+    for text in &texts {
+        let resp = client.post_json("/v1/extract", &single_body(text)).expect("request");
+        assert_eq!(resp.status, 200, "body: {}", resp.body);
+        let value = json::parse(&resp.body).expect("response json");
+        let body_id = value
+            .get("trace_id")
+            .and_then(Json::as_str)
+            .unwrap_or_else(|| panic!("no trace_id in {}", resp.body))
+            .to_string();
+        // Header and body agree.
+        assert_eq!(resp.header("x-trace-id"), Some(body_id.as_str()), "header/body mismatch");
+        assert_eq!(body_id.len(), 16);
+        ids.push(body_id);
+    }
+    // Batch responses carry one too.
+    let array = Json::Arr(texts.iter().map(|t| Json::from(t.as_str())).collect());
+    let body = Json::obj(vec![("texts", array)]).to_string();
+    let resp = client.post_json("/v1/extract_batch", &body).expect("batch request");
+    assert_eq!(resp.status, 200);
+    let batch_id = json::parse(&resp.body)
+        .expect("json")
+        .get("trace_id")
+        .and_then(Json::as_str)
+        .expect("batch trace_id")
+        .to_string();
+    ids.push(batch_id);
+
+    // Every id resolves through the flight recorder, with the request's
+    // timing attached.
+    for id in &ids {
+        let resp = client.get(&format!("/debug/traces?id={id}")).expect("trace lookup");
+        assert_eq!(resp.status, 200, "trace {id} not resolvable: {}", resp.body);
+        let value = json::parse(&resp.body).expect("traces json");
+        let traces = value.get("traces").and_then(Json::as_arr).expect("traces array");
+        assert_eq!(traces.len(), 1);
+        let trace = &traces[0];
+        assert_eq!(trace.get("trace_id").and_then(Json::as_str), Some(id.as_str()));
+        assert_eq!(trace.get("status").and_then(Json::as_u64), Some(200));
+        assert!(trace.get("total_us").and_then(Json::as_u64) > Some(0), "no total in {trace:?}");
+        assert!(trace.get("batch_size").and_then(Json::as_u64) >= Some(1));
+    }
+    // The full dump lists all of them; unknown ids 404.
+    let resp = client.get("/debug/traces").expect("trace dump");
+    let value = json::parse(&resp.body).expect("traces json");
+    assert!(value.get("count").and_then(Json::as_u64) >= Some(ids.len() as u64));
+    let missing = client.get("/debug/traces?id=ffffffffffffffff").expect("missing trace");
+    assert_eq!(missing.status, 404);
+
+    // /debug/prof serves the live op table; with the profiler enabled it
+    // attributes the forward's kernels, and the collapsed form nests
+    // path;op lines.
+    let resp = client.get("/debug/prof").expect("prof");
+    assert_eq!(resp.status, 200);
+    assert!(resp.body.contains("profiler enabled: false"), "body: {}", resp.body);
+    goalspotter::obs::prof::reset();
+    goalspotter::obs::prof::set_enabled(true);
+    let resp = client.post_json("/v1/extract", &single_body(&texts[0])).expect("profiled request");
+    assert_eq!(resp.status, 200);
+    goalspotter::obs::prof::set_enabled(false);
+    let table = client.get("/debug/prof").expect("prof table");
+    assert!(table.body.contains("matmul"), "no ops in profile: {}", table.body);
+    let collapsed = client.get("/debug/prof?format=collapsed").expect("collapsed");
+    assert!(collapsed.body.contains(";matmul"), "bad collapsed: {}", collapsed.body);
+    goalspotter::obs::prof::reset();
+
+    // The SLO gauges from this healthy traffic surface in /metrics.
+    let metrics = client.get("/metrics").expect("metrics");
+    assert!(metrics.body.contains("slo_burn_rate_errors_short"), "body: {}", metrics.body);
+    server.shutdown();
+    let _ = goalspotter::obs::uninstall();
+}
+
+#[test]
 fn threaded_pool_serving_matches_the_serial_path_exactly() {
     let engine = engine();
     let texts = sample_texts(12);

@@ -5,9 +5,7 @@
 //! monitor flags tapes retained across steps.
 
 use goalspotter::check::{FindingKind, GrowthMonitor};
-use goalspotter::models::transformer::{
-    validate_classifier, TokenClassifier, TransformerConfig,
-};
+use goalspotter::models::transformer::{validate_classifier, TokenClassifier, TransformerConfig};
 use goalspotter::tensor::{Binder, Tape, Tensor};
 use goalspotter::text::labels::LabelSet;
 use std::time::Instant;
