@@ -7,25 +7,33 @@
 //!       [--model PATH | --train-tiny] [--save-model PATH]
 //!       [--addr HOST:PORT] [--max-batch N] [--max-delay-us N]
 //!       [--queue-cap N] [--workers N] [--deadline-ms N]
-//!       [--size N] [--epochs N]
+//!       [--size N] [--epochs N] [--store-dir PATH]
 //!
 //! With `--model PATH` the extractor is restored from a
 //! `TransformerExtractor::save_json` checkpoint; with `--train-tiny` (the
 //! default when no model is given) a small extractor is trained on the
 //! synthetic Sustainability Goals corpus first — handy for smoke tests.
 //!
+//! With `--store-dir PATH` the server opens (or creates) a persistent
+//! `ObjectiveDb` there: extractions whose request body carries a `company`
+//! are upserted, and `GET /v1/objectives?company=NAME` serves the stored
+//! records. Re-starting against the same directory replays the logs.
+//!
 //! The server prints `listening on http://ADDR` once ready and serves until
 //! the process is killed. Try:
 //!   curl -s localhost:8462/healthz
 //!   curl -s localhost:8462/v1/extract -d '{"text": "Reduce emissions by 20% by 2030."}'
+//!   curl -s localhost:8462/v1/extract -d '{"text": "Cut waste 10% by 2030.", "company": "Acme"}'
+//!   curl -s 'localhost:8462/v1/objectives?company=Acme'
 
 use gs_bench::Args;
 use gs_core::Objective;
 use gs_models::transformer::{
     ExtractorOptions, TrainConfig, TransformerConfig, TransformerExtractor,
 };
-use gs_pipeline::ExtractorEngine;
-use gs_serve::{BatchConfig, Server, ServerConfig};
+use gs_pipeline::{DbStoreHook, ExtractorEngine};
+use gs_serve::{BatchConfig, ObjectiveStoreHook, Server, ServerConfig};
+use gs_store::{ObjectiveDb, StoreConfig};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -88,7 +96,18 @@ fn main() {
         default_deadline: Duration::from_millis(args.get_or("deadline-ms", 5_000)),
         ..Default::default()
     };
-    let server = Server::start(Arc::new(ExtractorEngine(extractor)), config)
+    let store: Option<Arc<dyn ObjectiveStoreHook>> = args.get("store-dir").map(|dir| {
+        let (db, recovery) = ObjectiveDb::open(std::path::Path::new(dir), StoreConfig::default())
+            .unwrap_or_else(|e| panic!("cannot open --store-dir {dir:?}: {e}"));
+        eprintln!(
+            "store {dir}: {} records replayed from {} frames ({} torn tails)",
+            db.len(),
+            recovery.frames(),
+            recovery.torn_tails()
+        );
+        Arc::new(DbStoreHook::new(Arc::new(db))) as Arc<dyn ObjectiveStoreHook>
+    });
+    let server = Server::start_with_store(Arc::new(ExtractorEngine(extractor)), config, store)
         .unwrap_or_else(|e| panic!("cannot start server: {e}"));
     println!("listening on http://{}", server.addr());
 

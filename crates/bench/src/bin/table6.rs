@@ -43,7 +43,7 @@ fn main() {
     for profile in gs_data::deployment::TABLE5 {
         for record in store.top_objectives(profile.name, 2) {
             table.row(&record_row(&record, 70));
-            json_rows.push(serde_json::to_value(&record).expect("record json"));
+            json_rows.push(record);
         }
     }
     print!("{}", table.render());
@@ -58,8 +58,7 @@ fn main() {
     print!("{}", spec_table.render());
 
     if let Some(path) = args.get("json") {
-        std::fs::write(path, serde_json::to_string_pretty(&json_rows).expect("json"))
-            .expect("write json");
+        std::fs::write(path, gs_store::records_to_json(&json_rows)).expect("write json");
         println!("wrote {path}");
     }
 

@@ -67,10 +67,7 @@ fn main() {
     );
 
     if let Some(path) = args.get("json") {
-        let json: Vec<serde_json::Value> =
-            records.iter().map(|r| serde_json::to_value(r).expect("json")).collect();
-        std::fs::write(path, serde_json::to_string_pretty(&json).expect("json"))
-            .expect("write json");
+        std::fs::write(path, gs_store::records_to_json(&records)).expect("write json");
         println!("wrote {path}");
     }
 

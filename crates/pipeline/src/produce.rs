@@ -5,7 +5,7 @@
 use crate::system::GoalSpotter;
 use gs_data::deployment::DeploymentCorpus;
 use gs_data::documents::Report;
-use gs_store::{ObjectiveRecord, ObjectiveStore};
+use gs_store::{ObjectiveRecord, ObjectiveSink, UpsertOutcome};
 use serde::Serialize;
 
 /// Processing statistics for one report.
@@ -15,13 +15,23 @@ pub struct ReportStats {
     pub pages: usize,
     /// Blocks classified.
     pub blocks: usize,
-    /// Blocks detected as objectives (and stored).
+    /// Blocks detected as objectives (and streamed into the store).
     pub detected: usize,
     /// Detection errors vs ground truth: noise blocks detected as
     /// objectives.
     pub false_positives: usize,
     /// Detection errors vs ground truth: objective blocks missed.
     pub false_negatives: usize,
+    /// Upserts that created a new record.
+    pub inserted: usize,
+    /// Upserts that merged new detail into an existing record.
+    pub updated: usize,
+    /// Upserts that found content-identical state (re-processing an
+    /// already-ingested report lands here — the idempotent path).
+    pub unchanged: usize,
+    /// Upserts the store rejected with an I/O error (records are dropped,
+    /// not retried; the count surfaces the loss).
+    pub store_errors: usize,
 }
 
 /// Per-company aggregate over a corpus (the shape of the paper's Table 5).
@@ -35,16 +45,26 @@ pub struct CompanyStats {
     pub pages: usize,
     /// Objectives extracted into the store.
     pub extracted_objectives: usize,
+    /// Upserts that created a new record (deduplicated, so re-processing a
+    /// company's reports leaves this at 0).
+    pub new_records: usize,
 }
 
-/// Runs detection + extraction over one report, inserting every detected
-/// objective into `store`.
+/// Runs detection + extraction over one report, streaming every detected
+/// objective into `store` as an upsert: new objectives insert, re-extracted
+/// ones merge details under their (company, objective) identity, and
+/// content-identical re-runs are no-ops — so processing the same report
+/// twice leaves the store bit-identical.
 ///
 /// Extraction is two-phase: detection sweeps all blocks first, then one
 /// [`GoalSpotter::extract_batch`] call runs a packed encoder forward over
 /// every detected block — the same amortization the serving layer's
 /// micro-batcher applies, here per report.
-pub fn process_report(gs: &GoalSpotter, report: &Report, store: &ObjectiveStore) -> ReportStats {
+pub fn process_report(
+    gs: &GoalSpotter,
+    report: &Report,
+    store: &(impl ObjectiveSink + ?Sized),
+) -> ReportStats {
     let mut stats = ReportStats { pages: report.pages.len(), ..Default::default() };
     let blocks: Vec<_> = report.pages.iter().flat_map(|p| p.blocks.iter()).collect();
     stats.blocks = blocks.len();
@@ -71,13 +91,22 @@ pub fn process_report(gs: &GoalSpotter, report: &Report, store: &ObjectiveStore)
     let texts: Vec<&str> = detected.iter().map(|(t, _)| *t).collect();
     let all_details = gs.extract_batch(&texts);
     for ((text, score), details) in detected.iter().zip(&all_details) {
-        store.insert(&ObjectiveRecord::from_details(
+        let record = ObjectiveRecord::from_details(
             &report.company,
             &report.title,
             text,
             details,
             f64::from(*score),
-        ));
+        );
+        match store.upsert_record(&record) {
+            Ok(UpsertOutcome::Inserted) => stats.inserted += 1,
+            Ok(UpsertOutcome::Updated) => stats.updated += 1,
+            Ok(UpsertOutcome::Unchanged) => stats.unchanged += 1,
+            Err(_) => {
+                stats.store_errors += 1;
+                gs_obs::counter("pipeline.store_errors", 1);
+            }
+        }
     }
     stats
 }
@@ -89,7 +118,7 @@ pub fn process_report(gs: &GoalSpotter, report: &Report, store: &ObjectiveStore)
 pub fn process_corpus_parallel(
     gs: &GoalSpotter,
     corpus: &DeploymentCorpus,
-    store: &ObjectiveStore,
+    store: &(impl ObjectiveSink + ?Sized),
     threads: usize,
 ) -> Vec<CompanyStats> {
     let threads = threads.max(1);
@@ -133,6 +162,7 @@ pub fn process_corpus_parallel(
         entry.documents += 1;
         entry.pages += rs.pages;
         entry.extracted_objectives += rs.detected;
+        entry.new_records += rs.inserted;
     }
     order.into_iter().map(|c| stats.remove(&c).expect("company stats")).collect()
 }
@@ -142,7 +172,7 @@ pub fn process_corpus_parallel(
 pub fn process_corpus(
     gs: &GoalSpotter,
     corpus: &DeploymentCorpus,
-    store: &ObjectiveStore,
+    store: &(impl ObjectiveSink + ?Sized),
 ) -> Vec<CompanyStats> {
     let mut order: Vec<String> = Vec::new();
     let mut stats: std::collections::HashMap<String, CompanyStats> =
@@ -156,6 +186,7 @@ pub fn process_corpus(
         entry.documents += 1;
         entry.pages += rs.pages;
         entry.extracted_objectives += rs.detected;
+        entry.new_records += rs.inserted;
     }
     order.into_iter().map(|c| stats.remove(&c).expect("company stats")).collect()
 }
@@ -167,6 +198,7 @@ mod tests {
     use gs_core::{Annotations, Objective};
     use gs_data::documents::{generate_report, ReportConfig};
     use gs_models::transformer::{ExtractorOptions, TrainConfig, TransformerConfig};
+    use gs_store::ObjectiveStore;
     use gs_text::labels::LabelSet;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -198,7 +230,7 @@ mod tests {
     }
 
     #[test]
-    fn report_processing_fills_the_store() {
+    fn report_processing_fills_the_store_and_reprocessing_is_idempotent() {
         let gs = tiny_system();
         let mut rng = StdRng::seed_from_u64(5);
         let report = generate_report("C1", "CSR 2025", 6, 8, &ReportConfig::default(), &mut rng);
@@ -206,10 +238,31 @@ mod tests {
         let stats = process_report(&gs, &report, &store);
         assert_eq!(stats.pages, 6);
         assert!(stats.blocks >= 8);
-        assert_eq!(store.len(), stats.detected);
+        assert_eq!(store.len(), stats.inserted);
+        assert_eq!(
+            stats.inserted + stats.updated + stats.unchanged + stats.store_errors,
+            stats.detected,
+            "every detected objective must be accounted for"
+        );
         // Detection on this clean synthetic data should be near-perfect.
         assert!(stats.false_positives + stats.false_negatives <= 2, "stats {stats:?}");
         assert!(stats.detected >= 6);
+
+        // Re-processing the same report must change nothing.
+        let before = store.export_json();
+        let again = process_report(&gs, &report, &store);
+        assert_eq!(again.inserted, 0, "re-run must not insert: {again:?}");
+        assert_eq!(again.unchanged, again.detected);
+        assert_eq!(store.export_json(), before, "store must be bit-identical after re-run");
+
+        // Same invariants hold for the log-structured ObjectiveDb sink.
+        let db = gs_store::ObjectiveDb::ephemeral(gs_store::StoreConfig::default());
+        let first = process_report(&gs, &report, &db);
+        assert_eq!(db.len(), first.inserted);
+        let before = db.reader().export_json();
+        let second = process_report(&gs, &report, &db);
+        assert_eq!(second.inserted, 0, "db re-run must not insert: {second:?}");
+        assert_eq!(db.reader().export_json(), before);
     }
 
     #[test]
@@ -239,8 +292,10 @@ mod tests {
         let store = ObjectiveStore::new();
         let stats = process_corpus(&gs, &corpus, &store);
         assert_eq!(stats.len(), 14);
+        let total_new: usize = stats.iter().map(|s| s.new_records).sum();
+        assert_eq!(total_new, store.len(), "every new record lands exactly once");
         let total_extracted: usize = stats.iter().map(|s| s.extracted_objectives).sum();
-        assert_eq!(total_extracted, store.len());
+        assert!(total_extracted >= store.len(), "dedupe can only shrink the store");
 
         let ann = Annotations::new();
         let _ = ann; // silence unused in non-test builds

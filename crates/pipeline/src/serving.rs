@@ -5,7 +5,9 @@
 use crate::system::GoalSpotter;
 use gs_core::ExtractedDetails;
 use gs_models::transformer::TransformerExtractor;
-use gs_serve::{ExtractEngine, Extraction};
+use gs_serve::{ExtractEngine, Extraction, Json, ObjectiveStoreHook};
+use gs_store::{ObjectiveDb, ObjectiveRecord, UpsertOutcome};
+use std::sync::Arc;
 
 fn to_extraction(details: ExtractedDetails) -> Extraction {
     Extraction { fields: details.fields.into_iter().filter(|(_, v)| !v.is_empty()).collect() }
@@ -26,6 +28,92 @@ impl ExtractEngine for ExtractorEngine {
     fn extract_batch(&self, texts: &[String]) -> Vec<Extraction> {
         let refs: Vec<&str> = texts.iter().map(String::as_str).collect();
         self.0.extract_batch(&refs).into_iter().map(to_extraction).collect()
+    }
+}
+
+/// Bridges the serving layer's [`ObjectiveStoreHook`] to the log-structured
+/// [`ObjectiveDb`]: served extractions that name a company are upserted
+/// (same dedupe/merge semantics as the batch pipeline), and
+/// `GET /v1/objectives` reads come from the store's lock-free reader path.
+///
+/// When built [`with_spotter`](Self::with_spotter), each upserted record is
+/// scored by the detector, so API-ingested records rank comparably with
+/// batch-pipeline records in `top_objectives`; without one the score is
+/// 1.0 (the client asserted it is an objective by asking for extraction).
+pub struct DbStoreHook {
+    db: Arc<ObjectiveDb>,
+    spotter: Option<Arc<GoalSpotter>>,
+}
+
+impl DbStoreHook {
+    /// A hook that stores served extractions with score 1.0.
+    pub fn new(db: Arc<ObjectiveDb>) -> Self {
+        DbStoreHook { db, spotter: None }
+    }
+
+    /// A hook that scores each stored objective with `spotter`'s detector.
+    pub fn with_spotter(db: Arc<ObjectiveDb>, spotter: Arc<GoalSpotter>) -> Self {
+        DbStoreHook { db, spotter: Some(spotter) }
+    }
+
+    /// The underlying store.
+    pub fn db(&self) -> &Arc<ObjectiveDb> {
+        &self.db
+    }
+}
+
+fn json_opt(field: &Option<String>) -> Json {
+    match field {
+        Some(s) => Json::Str(s.clone()),
+        None => Json::Null,
+    }
+}
+
+fn record_json(record: &ObjectiveRecord) -> Json {
+    Json::obj(vec![
+        ("company", Json::Str(record.company.clone())),
+        ("document", Json::Str(record.document.clone())),
+        ("objective", Json::Str(record.objective.clone())),
+        ("action", json_opt(&record.action)),
+        ("amount", json_opt(&record.amount)),
+        ("qualifier", json_opt(&record.qualifier)),
+        ("baseline", json_opt(&record.baseline)),
+        ("deadline", json_opt(&record.deadline)),
+        ("score", if record.score.is_finite() { Json::Num(record.score) } else { Json::Null }),
+    ])
+}
+
+impl ObjectiveStoreHook for DbStoreHook {
+    fn record_extraction(
+        &self,
+        company: &str,
+        document: &str,
+        objective: &str,
+        fields: &[(String, String)],
+    ) -> Result<&'static str, String> {
+        let mut details = ExtractedDetails::new();
+        for (key, value) in fields {
+            details.set(key, value);
+        }
+        let score = match &self.spotter {
+            Some(gs) => f64::from(gs.detection_score(objective)),
+            None => 1.0,
+        };
+        let record = ObjectiveRecord::from_details(company, document, objective, &details, score);
+        match self.db.upsert(&record) {
+            Ok(UpsertOutcome::Inserted) => Ok("inserted"),
+            Ok(UpsertOutcome::Updated) => Ok("updated"),
+            Ok(UpsertOutcome::Unchanged) => Ok("unchanged"),
+            Err(e) => Err(e.to_string()),
+        }
+    }
+
+    fn company_records(&self, company: &str) -> Vec<Json> {
+        self.db.reader().by_company(company).iter().map(record_json).collect()
+    }
+
+    fn record_count(&self) -> usize {
+        self.db.len()
     }
 }
 

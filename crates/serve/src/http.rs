@@ -251,6 +251,34 @@ impl Status {
     }
 }
 
+/// Decodes a percent-encoded query-string component (`%41` -> `A`,
+/// `+` -> space). Returns `None` on truncated or non-hex escapes and on
+/// byte sequences that are not valid UTF-8.
+pub fn percent_decode(raw: &str) -> Option<String> {
+    let bytes = raw.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' => {
+                let hex = bytes.get(i + 1..i + 3)?;
+                let hex = std::str::from_utf8(hex).ok()?;
+                out.push(u8::from_str_radix(hex, 16).ok()?);
+                i += 3;
+            }
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8(out).ok()
+}
+
 /// A response ready to serialize.
 #[derive(Clone, Debug)]
 pub struct Response {
@@ -409,6 +437,17 @@ mod tests {
         assert!(text.contains("connection: close\r\n"));
         assert!(text.contains("content-length: 22\r\n"));
         assert!(text.ends_with("{\"error\":\"queue full\"}"));
+    }
+
+    #[test]
+    fn percent_decoding_handles_escapes_plus_and_errors() {
+        assert_eq!(percent_decode("Acme+Corp").as_deref(), Some("Acme Corp"));
+        assert_eq!(percent_decode("Acme%20%26%20Co").as_deref(), Some("Acme & Co"));
+        assert_eq!(percent_decode("plain").as_deref(), Some("plain"));
+        assert_eq!(percent_decode("caf%C3%A9").as_deref(), Some("café"));
+        assert_eq!(percent_decode("bad%2").as_deref(), None, "truncated escape");
+        assert_eq!(percent_decode("bad%zz").as_deref(), None, "non-hex escape");
+        assert_eq!(percent_decode("bad%ff").as_deref(), None, "invalid UTF-8");
     }
 
     #[test]

@@ -76,6 +76,7 @@ pub mod json;
 pub mod metrics_text;
 pub mod server;
 pub mod slo;
+pub mod store_hook;
 pub mod trace;
 
 pub use batcher::{BatchConfig, Batcher, ExtractEngine, Extraction, ItemResult, ShedReason};
@@ -84,4 +85,5 @@ pub use http::{Request, Response, Status};
 pub use json::Json;
 pub use server::{Server, ServerConfig};
 pub use slo::{SloConfig, SloDimension, SloTracker, WindowStats};
+pub use store_hook::ObjectiveStoreHook;
 pub use trace::{mint_trace_id, FlightRecorder, Trace};

@@ -7,6 +7,7 @@ use crate::http::{self, ParseOutcome, Request, Response, Status};
 use crate::json::{self, Json};
 use crate::metrics_text;
 use crate::slo::{SloConfig, SloTracker};
+use crate::store_hook::ObjectiveStoreHook;
 use crate::trace::{mint_trace_id, FlightRecorder, Trace};
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -62,6 +63,7 @@ struct ServerShared {
     active_connections: AtomicUsize,
     recorder: FlightRecorder,
     slo: Mutex<SloTracker>,
+    store: Option<Arc<dyn ObjectiveStoreHook>>,
 }
 
 /// A running extraction server. Dropping it without calling
@@ -76,6 +78,17 @@ pub struct Server {
 impl Server {
     /// Binds, starts the batcher, and begins accepting connections.
     pub fn start(engine: Arc<dyn ExtractEngine>, config: ServerConfig) -> std::io::Result<Server> {
+        Self::start_with_store(engine, config, None)
+    }
+
+    /// Like [`start`](Self::start), additionally attaching an objective
+    /// store: extractions that carry a `company` field are upserted into
+    /// it, and `GET /v1/objectives?company=<name>` serves reads from it.
+    pub fn start_with_store(
+        engine: Arc<dyn ExtractEngine>,
+        config: ServerConfig,
+        store: Option<Arc<dyn ObjectiveStoreHook>>,
+    ) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
         let shared = Arc::new(ServerShared {
@@ -85,6 +98,7 @@ impl Server {
             config,
             shutting_down: AtomicBool::new(false),
             active_connections: AtomicUsize::new(0),
+            store,
         });
         let accept_thread = {
             let shared = Arc::clone(&shared);
@@ -215,6 +229,7 @@ fn observe_request(shared: &ServerShared, path: &str, response: &Response, elaps
     let endpoint = match path.split('?').next().unwrap_or(path) {
         "/v1/extract" => "extract",
         "/v1/extract_batch" => "extract_batch",
+        "/v1/objectives" => "objectives",
         "/healthz" => "healthz",
         "/metrics" => "metrics",
         "/debug/traces" | "/debug/prof" => "debug",
@@ -243,8 +258,12 @@ fn route(request: &Request, shared: &ServerShared) -> Response {
         ("GET", "/debug/prof") => debug_prof(query),
         ("POST", "/v1/extract") => extract_single(request, shared),
         ("POST", "/v1/extract_batch") => extract_batch(request, shared),
+        ("GET", "/v1/objectives") => objectives(shared, query),
         ("GET" | "HEAD", "/v1/extract" | "/v1/extract_batch") => {
             error_response(Status::MethodNotAllowed, "use POST with a JSON body")
+        }
+        ("POST" | "PUT" | "DELETE", "/v1/objectives") => {
+            error_response(Status::MethodNotAllowed, "objectives are read-only over HTTP")
         }
         _ => error_response(Status::NotFound, "unknown endpoint"),
     }
@@ -310,6 +329,78 @@ fn healthz(shared: &ServerShared) -> Response {
 fn metrics() -> Response {
     let snapshot = gs_obs::snapshot().unwrap_or_default();
     Response::text(Status::Ok, metrics_text::render(&snapshot))
+}
+
+/// `GET /v1/objectives?company=<percent-encoded name>`: every stored
+/// objective of one company, served from the store's lock-free reader path
+/// (never blocked behind ingest). Requires a store hook; servers started
+/// without one answer 404.
+fn objectives(shared: &ServerShared, query: &str) -> Response {
+    let started = Instant::now();
+    let Some(store) = shared.store.as_ref() else {
+        return error_response(Status::NotFound, "no objective store attached");
+    };
+    let Some(raw) = query.split('&').find_map(|kv| kv.strip_prefix("company=")) else {
+        return error_response(Status::BadRequest, "missing query parameter \"company\"");
+    };
+    let Some(company) = http::percent_decode(raw) else {
+        return error_response(Status::BadRequest, "malformed percent-encoding in \"company\"");
+    };
+    if company.is_empty() {
+        return error_response(Status::BadRequest, "\"company\" must be non-empty");
+    }
+    let trace_id = mint_trace_id();
+    let records = store.company_records(&company);
+    let count = records.len();
+    let body = Json::obj(vec![
+        ("company", Json::Str(company)),
+        ("count", count.into()),
+        ("records", Json::Arr(records)),
+        ("trace_id", Json::Str(trace_id.clone())),
+    ])
+    .to_string();
+    finish_traced(
+        shared,
+        Response::json(Status::Ok, body),
+        trace_id,
+        "objectives",
+        count,
+        started,
+        None,
+    )
+}
+
+/// Upserts one successful extraction into the attached store, if the
+/// request named a company. Store failures never fail the extraction
+/// response — the client got its answer; the loss is counted and traced.
+fn store_extraction(
+    shared: &ServerShared,
+    body: &Json,
+    text: &str,
+    fields: &[(String, String)],
+    trace_id: &str,
+) -> Option<(&'static str, Json)> {
+    let store = shared.store.as_ref()?;
+    let company = body.get("company").and_then(Json::as_str)?;
+    if company.is_empty() {
+        return None;
+    }
+    let document = body.get("document").and_then(Json::as_str).unwrap_or("api");
+    match store.record_extraction(company, document, text, fields) {
+        Ok(outcome) => {
+            gs_obs::counter(&format!("serve.store.{outcome}"), 1);
+            Some(("stored", Json::Str(outcome.to_string())))
+        }
+        Err(err) => {
+            gs_obs::counter("serve.store.errors", 1);
+            gs_obs::emit(
+                "store_error",
+                "serve.store",
+                vec![("trace", trace_id.into()), ("error", err.as_str().into())],
+            );
+            Some(("stored", Json::Str("error".to_string())))
+        }
+    }
 }
 
 /// Largest accepted `deadline_ms` (one hour). Anything bigger is a client
@@ -397,13 +488,18 @@ fn extract_single(request: &Request, shared: &ServerShared) -> Response {
     match await_result(&receiver, deadline) {
         Ok(result) => match &result.outcome {
             Ok(extraction) => {
-                let body = Json::obj(vec![
+                let mut pairs = vec![
                     ("fields", extraction_json(&extraction.fields)),
                     ("batch_size", result.batch_size.into()),
                     ("queue_us", (result.queue_wait.as_micros() as u64).into()),
                     ("trace_id", Json::Str(trace_id.clone())),
-                ])
-                .to_string();
+                ];
+                if let Some(stored) =
+                    store_extraction(shared, &body, text, &extraction.fields, &trace_id)
+                {
+                    pairs.push(stored);
+                }
+                let body = Json::obj(pairs).to_string();
                 finish(Response::json(Status::Ok, body), Some(&result))
             }
             Err(reason) => finish(shed_response(*reason), Some(&result)),

@@ -1,0 +1,32 @@
+//! The serving layer's bridge to an objective store.
+//!
+//! gs-serve is deliberately std-only and does not depend on gs-store; the
+//! server talks to persistence through this trait instead. The production
+//! implementation (in `gs-pipeline`) upserts into the log-structured
+//! `ObjectiveDb` and answers company queries from its lock-free reader
+//! path, so `GET /v1/objectives` stays fast under write load.
+
+use crate::json::Json;
+
+/// Store operations the server needs. Implementations must be cheap to
+/// call concurrently: `record_extraction` runs on extraction handler
+/// threads and `company_records` on read handler threads.
+pub trait ObjectiveStoreHook: Send + Sync + 'static {
+    /// Upserts one served extraction under `(company, objective)`. Returns
+    /// a short outcome label for metrics (`"inserted"`, `"updated"`,
+    /// `"unchanged"`) or an error message if the store rejected the write.
+    fn record_extraction(
+        &self,
+        company: &str,
+        document: &str,
+        objective: &str,
+        fields: &[(String, String)],
+    ) -> Result<&'static str, String>;
+
+    /// All stored records of one company, each rendered as a JSON object,
+    /// in stable first-insert order.
+    fn company_records(&self, company: &str) -> Vec<Json>;
+
+    /// Live record count across the store.
+    fn record_count(&self) -> usize;
+}

@@ -1,0 +1,642 @@
+//! The sharded objective database: hash-by-company routing over
+//! crash-safe, log-structured shards with lock-free concurrent readers.
+//!
+//! ## Layout on disk
+//!
+//! ```text
+//! <dir>/store.meta      # "gs-store v2" + shard count (fixed at creation)
+//! <dir>/shard-0.log     # per-shard WAL, see `wal` module for the framing
+//! <dir>/shard-1.log
+//! ...
+//! ```
+//!
+//! A record lives in the shard its *company* hashes to, so every query
+//! scoped to one company touches exactly one shard and writers for
+//! different companies rarely contend. The shard count is persisted in
+//! `store.meta` and wins over the configured value on reopen — resharding
+//! would silently strand records otherwise.
+//!
+//! ## Concurrency
+//!
+//! Writes take one shard's mutex; reads go through [`StoreReader`], which
+//! caches each shard's epoch and immutable view — steady-state reads cost
+//! one atomic load per shard and never block behind the writer. Compaction
+//! ([`ObjectiveDb::compact_all`]) fans out across shards on the gs-par
+//! pool, and [`ObjectiveDb::spawn_compactor`] runs the same sweep on a
+//! background thread whenever a shard's log accumulates enough ops.
+
+use std::collections::BTreeMap;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::codec;
+use crate::hash::fnv1a64;
+use crate::objective_store::ObjectiveRecord;
+use crate::shard::{CompactionStats, Shard, UpsertOutcome};
+use crate::view::ReadHandle;
+use crate::wal::{ReplayReport, SyncPolicy};
+
+/// First line of `store.meta`.
+const META_MAGIC: &str = "gs-store v2";
+
+/// Tuning knobs for an [`ObjectiveDb`].
+#[derive(Clone, Copy, Debug)]
+pub struct StoreConfig {
+    /// Shard count for a *newly created* store; an existing store keeps the
+    /// count recorded in its `store.meta`.
+    pub shards: usize,
+    /// When WAL appends fsync.
+    pub sync: SyncPolicy,
+    /// Upserts a shard buffers in its delta before folding a fresh base
+    /// generation (bounds per-read delta scans).
+    pub fold_threshold: usize,
+    /// Auto-compact a shard once this many upserts accumulate in its log
+    /// since the last compaction. `0` disables auto-compaction.
+    pub compact_after_ops: u64,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        StoreConfig {
+            shards: 8,
+            sync: SyncPolicy::Always,
+            fold_threshold: 128,
+            compact_after_ops: 0,
+        }
+    }
+}
+
+/// What opening a store recovered from disk.
+#[derive(Clone, Debug, Default)]
+pub struct RecoveryReport {
+    /// Per-shard replay accounting.
+    pub shards: Vec<ReplayReport>,
+    /// Live records after replay.
+    pub records: usize,
+}
+
+impl RecoveryReport {
+    /// Total clean frames replayed.
+    pub fn frames(&self) -> usize {
+        self.shards.iter().map(|r| r.frames).sum()
+    }
+
+    /// How many shards had a torn tail truncated.
+    pub fn torn_tails(&self) -> usize {
+        self.shards.iter().filter(|r| r.torn_tail).count()
+    }
+
+    /// Total bytes discarded as torn.
+    pub fn torn_bytes(&self) -> u64 {
+        self.shards.iter().map(|r| r.torn_bytes).sum()
+    }
+}
+
+/// The sharded, crash-safe objective database.
+pub struct ObjectiveDb {
+    shards: Arc<Vec<Shard>>,
+    config: StoreConfig,
+    dir: Option<PathBuf>,
+}
+
+impl std::fmt::Debug for ObjectiveDb {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ObjectiveDb")
+            .field("shards", &self.shards.len())
+            .field("dir", &self.dir)
+            .finish()
+    }
+}
+
+fn read_meta(path: &Path) -> io::Result<Option<usize>> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e),
+    };
+    let mut lines = text.lines();
+    if lines.next() != Some(META_MAGIC) {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("{}: not a {META_MAGIC} meta file", path.display()),
+        ));
+    }
+    let shards = lines
+        .next()
+        .and_then(|l| l.strip_prefix("shards "))
+        .and_then(|n| n.parse::<usize>().ok())
+        .filter(|&n| n > 0);
+    shards.map(Some).ok_or_else(|| {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("{}: malformed shard count", path.display()),
+        )
+    })
+}
+
+impl ObjectiveDb {
+    /// Opens (creating if needed) a persistent store under `dir`, replaying
+    /// every shard log and truncating torn tails.
+    pub fn open(dir: &Path, config: StoreConfig) -> io::Result<(Self, RecoveryReport)> {
+        std::fs::create_dir_all(dir)?;
+        let meta_path = dir.join("store.meta");
+        let shard_count = match read_meta(&meta_path)? {
+            Some(n) => n,
+            None => {
+                let n = config.shards.max(1);
+                std::fs::write(&meta_path, format!("{META_MAGIC}\nshards {n}\n"))?;
+                n
+            }
+        };
+        let started = std::time::Instant::now();
+        let mut shards = Vec::with_capacity(shard_count);
+        let mut report = RecoveryReport::default();
+        for i in 0..shard_count {
+            let path = dir.join(format!("shard-{i}.log"));
+            let (shard, rep) = Shard::open(i, Some(&path), config.sync, config.fold_threshold)?;
+            report.records += shard.len();
+            report.shards.push(rep);
+            shards.push(shard);
+        }
+        let db = ObjectiveDb { shards: Arc::new(shards), config, dir: Some(dir.to_path_buf()) };
+        if gs_obs::enabled() {
+            let elapsed = started.elapsed();
+            gs_obs::prof::record_at(
+                "store",
+                "wal.replay",
+                elapsed.as_nanos() as u64,
+                gs_obs::prof::Cost::new(0, report.shards.iter().map(|r| r.clean_bytes).sum()),
+            );
+            gs_obs::observe("store.recover_s", elapsed.as_secs_f64());
+            gs_obs::counter("store.recover.frames", report.frames() as u64);
+            db.publish_gauges();
+        }
+        Ok((db, report))
+    }
+
+    /// An in-memory store with the same upsert/merge/read semantics and no
+    /// durability — the default for tests and one-shot pipeline runs.
+    pub fn ephemeral(config: StoreConfig) -> Self {
+        let shard_count = config.shards.max(1);
+        let shards = (0..shard_count)
+            .map(|i| {
+                Shard::open(i, None, config.sync, config.fold_threshold)
+                    .expect("ephemeral shard cannot fail")
+                    .0
+            })
+            .collect();
+        ObjectiveDb { shards: Arc::new(shards), config, dir: None }
+    }
+
+    fn shard_for(&self, company: &str) -> &Shard {
+        let i = (fnv1a64(company.as_bytes()) % self.shards.len() as u64) as usize;
+        &self.shards[i]
+    }
+
+    fn publish_gauges(&self) {
+        let mut total = 0usize;
+        for shard in self.shards.iter() {
+            let len = shard.len();
+            total += len;
+            gs_obs::gauge(&format!("store.shard{}.records", shard.id()), len as f64);
+            gs_obs::gauge(
+                &format!("store.shard{}.wal_bytes", shard.id()),
+                shard.wal_bytes() as f64,
+            );
+        }
+        gs_obs::gauge("store.records", total as f64);
+    }
+
+    /// Upserts one record: routed by company, merged by (company,
+    /// objective), idempotent on identical content.
+    pub fn upsert(&self, record: &ObjectiveRecord) -> io::Result<UpsertOutcome> {
+        let shard = self.shard_for(&record.company);
+        let outcome = shard.upsert(record)?;
+        if gs_obs::enabled() {
+            let label = match outcome {
+                UpsertOutcome::Inserted => "store.upserts.inserted",
+                UpsertOutcome::Updated => "store.upserts.updated",
+                UpsertOutcome::Unchanged => "store.upserts.unchanged",
+            };
+            gs_obs::counter(label, 1);
+            gs_obs::gauge(&format!("store.shard{}.records", shard.id()), shard.len() as f64);
+        }
+        if self.config.compact_after_ops > 0
+            && outcome != UpsertOutcome::Unchanged
+            && shard.ops_since_compact() >= self.config.compact_after_ops
+        {
+            self.compact_shard(shard)?;
+        }
+        Ok(outcome)
+    }
+
+    fn compact_shard(&self, shard: &Shard) -> io::Result<CompactionStats> {
+        let span = gs_obs::span("store.compact.shard");
+        let stats = shard.compact()?;
+        drop(span);
+        if gs_obs::enabled() {
+            gs_obs::counter("store.compactions", 1);
+            gs_obs::counter(
+                "store.compact.bytes_reclaimed",
+                stats.bytes_before.saturating_sub(stats.bytes_after),
+            );
+            gs_obs::gauge(
+                &format!("store.shard{}.wal_bytes", stats.shard),
+                stats.bytes_after as f64,
+            );
+        }
+        Ok(stats)
+    }
+
+    /// Compacts every shard, fanning out across the gs-par pool. Each
+    /// shard's log shrinks to its point-in-time snapshot (one op per live
+    /// record).
+    pub fn compact_all(&self) -> io::Result<Vec<CompactionStats>> {
+        let span = gs_obs::span("store.compact");
+        let results =
+            gs_par::map_collect(self.shards.len(), |i| self.compact_shard(&self.shards[i]));
+        drop(span);
+        results.into_iter().collect()
+    }
+
+    /// Forces all unsynced WAL appends to disk.
+    pub fn sync_all(&self) -> io::Result<()> {
+        for shard in self.shards.iter() {
+            shard.sync()?;
+        }
+        Ok(())
+    }
+
+    /// Live record count across shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(Shard::len).sum()
+    }
+
+    /// Whether the store holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total WAL bytes across shards (0 when ephemeral).
+    pub fn wal_bytes(&self) -> u64 {
+        self.shards.iter().map(Shard::wal_bytes).sum()
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Directory backing this store, if persistent.
+    pub fn dir(&self) -> Option<&Path> {
+        self.dir.as_deref()
+    }
+
+    /// A detached reader with lock-free steady-state access. Clone-cheap;
+    /// give every reader thread its own.
+    pub fn reader(&self) -> StoreReader {
+        StoreReader {
+            shards: Arc::clone(&self.shards),
+            handles: vec![ReadHandle::new(); self.shards.len()],
+        }
+    }
+
+    /// Starts a background thread that sweeps shards every `interval` and
+    /// compacts any whose log holds at least `compact_after_ops` new ops
+    /// (the config value; the sweep is a no-op when auto-compaction is
+    /// disabled). Returns a handle that stops the thread on drop.
+    pub fn spawn_compactor(&self, interval: Duration) -> CompactorHandle {
+        let shards = Arc::clone(&self.shards);
+        let threshold = self.config.compact_after_ops;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let join = std::thread::Builder::new()
+            .name("gs-store-compactor".into())
+            .spawn(move || {
+                while !stop2.load(Ordering::Relaxed) {
+                    std::thread::sleep(interval);
+                    if threshold == 0 || stop2.load(Ordering::Relaxed) {
+                        continue;
+                    }
+                    for shard in shards.iter() {
+                        if shard.ops_since_compact() >= threshold {
+                            let span = gs_obs::span("store.compact.shard");
+                            if shard.compact().is_ok() {
+                                gs_obs::counter("store.compactions", 1);
+                            }
+                            drop(span);
+                        }
+                    }
+                }
+            })
+            .expect("spawn compactor thread");
+        CompactorHandle { stop, join: Some(join) }
+    }
+}
+
+/// Stops the background compactor when dropped.
+pub struct CompactorHandle {
+    stop: Arc<AtomicBool>,
+    join: Option<std::thread::JoinHandle<()>>,
+}
+
+impl CompactorHandle {
+    /// Signals the thread and waits for it to exit.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(join) = self.join.take() {
+            let _ = join.join();
+        }
+    }
+}
+
+impl Drop for CompactorHandle {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+/// A per-thread reader over the store's shard views. Steady-state queries
+/// take no locks: each call does one atomic epoch load per shard touched
+/// and refreshes its cached `Arc<ShardView>` only when the epoch moved.
+#[derive(Clone)]
+pub struct StoreReader {
+    shards: Arc<Vec<Shard>>,
+    handles: Vec<ReadHandle>,
+}
+
+impl std::fmt::Debug for StoreReader {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StoreReader").field("shards", &self.shards.len()).finish()
+    }
+}
+
+impl StoreReader {
+    fn shard_index(&self, company: &str) -> usize {
+        (fnv1a64(company.as_bytes()) % self.shards.len() as u64) as usize
+    }
+
+    /// Live record count in the snapshot this reader currently sees.
+    pub fn len(&mut self) -> usize {
+        (0..self.shards.len()).map(|i| self.handles[i].view(self.shards[i].cell()).len()).sum()
+    }
+
+    /// Whether the visible snapshot is empty.
+    pub fn is_empty(&mut self) -> bool {
+        self.len() == 0
+    }
+
+    /// All records of one company (touches exactly one shard), in stable
+    /// first-insert order.
+    pub fn by_company(&mut self, company: &str) -> Vec<ObjectiveRecord> {
+        let i = self.shard_index(company);
+        let view = self.handles[i].view(self.shards[i].cell());
+        let mut rows = Vec::new();
+        view.for_company(company, |s| rows.push((s.seq, s.record.clone())));
+        rows.sort_by_key(|(seq, _)| *seq);
+        rows.into_iter().map(|(_, r)| r).collect()
+    }
+
+    /// Every record in the store, ordered by (shard, first-insert seq).
+    pub fn records(&mut self) -> Vec<ObjectiveRecord> {
+        let mut out = Vec::new();
+        for i in 0..self.shards.len() {
+            let view = self.handles[i].view(self.shards[i].cell());
+            let mut rows = Vec::new();
+            view.for_each(|s| rows.push((s.seq, s.record.clone())));
+            rows.sort_by_key(|(seq, _)| *seq);
+            out.extend(rows.into_iter().map(|(_, r)| r));
+        }
+        out
+    }
+
+    /// Objectives with deadline years in `[from, to]` — the monitoring
+    /// query, answered from the per-shard deadline indexes.
+    pub fn deadlines_between(&mut self, from: i64, to: i64) -> Vec<ObjectiveRecord> {
+        let mut out = Vec::new();
+        for i in 0..self.shards.len() {
+            let view = self.handles[i].view(self.shards[i].cell());
+            let mut rows = Vec::new();
+            view.for_deadline_range(from, to, |s| rows.push((s.seq, s.record.clone())));
+            rows.sort_by_key(|(seq, _)| *seq);
+            out.extend(rows.into_iter().map(|(_, r)| r));
+        }
+        out
+    }
+
+    /// The top `k` objectives of a company by detection score, completeness
+    /// breaking ties (mirrors `ObjectiveStore::top_objectives`).
+    pub fn top_objectives(&mut self, company: &str, k: usize) -> Vec<ObjectiveRecord> {
+        let mut records = self.by_company(company);
+        records.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| b.completeness().cmp(&a.completeness()))
+        });
+        records.truncate(k);
+        records
+    }
+
+    /// Objective counts per company, sorted by company name.
+    pub fn counts_by_company(&mut self) -> Vec<(String, usize)> {
+        let mut counts: BTreeMap<String, usize> = BTreeMap::new();
+        for i in 0..self.shards.len() {
+            let view = self.handles[i].view(self.shards[i].cell());
+            view.for_each(|s| *counts.entry(s.record.company.clone()).or_default() += 1);
+        }
+        counts.into_iter().collect()
+    }
+
+    /// Mean completeness (fields per record) per company.
+    pub fn specificity_by_company(&mut self) -> Vec<(String, f64)> {
+        let mut sums: BTreeMap<String, (usize, usize)> = BTreeMap::new();
+        for i in 0..self.shards.len() {
+            let view = self.handles[i].view(self.shards[i].cell());
+            view.for_each(|s| {
+                let entry = sums.entry(s.record.company.clone()).or_default();
+                entry.0 += s.record.completeness();
+                entry.1 += 1;
+            });
+        }
+        sums.into_iter()
+            .map(|(company, (sum, n))| (company, sum as f64 / n.max(1) as f64))
+            .collect()
+    }
+
+    /// Exports the visible snapshot as a JSON array.
+    pub fn export_json(&mut self) -> String {
+        codec::records_to_json(&self.records())
+    }
+}
+
+/// Anything the extraction pipeline can stream upserts into. Implemented by
+/// [`ObjectiveDb`] and by the legacy in-memory `ObjectiveStore`, so
+/// `gs_pipeline::process_corpus` works against either.
+pub trait ObjectiveSink: Sync {
+    /// Upserts one extracted record; reports what happened.
+    fn upsert_record(&self, record: &ObjectiveRecord) -> io::Result<UpsertOutcome>;
+
+    /// Live record count.
+    fn record_count(&self) -> usize;
+}
+
+impl ObjectiveSink for ObjectiveDb {
+    fn upsert_record(&self, record: &ObjectiveRecord) -> io::Result<UpsertOutcome> {
+        self.upsert(record)
+    }
+
+    fn record_count(&self) -> usize {
+        self.len()
+    }
+}
+
+impl ObjectiveSink for crate::ObjectiveStore {
+    fn upsert_record(&self, record: &ObjectiveRecord) -> io::Result<UpsertOutcome> {
+        Ok(self.upsert(record).1)
+    }
+
+    fn record_count(&self) -> usize {
+        self.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join(format!("gs-db-test-{tag}-{}", std::process::id()))
+            .join(format!("{:?}", std::thread::current().id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        dir
+    }
+
+    fn record(
+        company: &str,
+        objective: &str,
+        deadline: Option<&str>,
+        score: f64,
+    ) -> ObjectiveRecord {
+        ObjectiveRecord {
+            company: company.into(),
+            document: "report.txt".into(),
+            objective: objective.into(),
+            action: Some("Reduce".into()),
+            amount: None,
+            qualifier: None,
+            baseline: None,
+            deadline: deadline.map(str::to_string),
+            score,
+        }
+    }
+
+    #[test]
+    fn routes_by_company_and_answers_queries() {
+        let db = ObjectiveDb::ephemeral(StoreConfig { shards: 4, ..StoreConfig::default() });
+        for c in ["Acme", "Bcme", "Ccme"] {
+            for i in 0..3 {
+                let r = record(c, &format!("objective {i}"), Some("2030"), 0.5 + i as f64 * 0.1);
+                assert_eq!(db.upsert(&r).unwrap(), UpsertOutcome::Inserted);
+            }
+        }
+        assert_eq!(db.len(), 9);
+        let mut reader = db.reader();
+        assert_eq!(reader.len(), 9);
+        assert_eq!(reader.by_company("Acme").len(), 3);
+        assert_eq!(reader.by_company("Nobody").len(), 0);
+        assert_eq!(reader.deadlines_between(2029, 2031).len(), 9);
+        assert_eq!(reader.deadlines_between(2031, 2040).len(), 0);
+        let top = reader.top_objectives("Bcme", 2);
+        assert_eq!(top.len(), 2);
+        assert!(top[0].score >= top[1].score);
+        assert_eq!(
+            reader.counts_by_company(),
+            vec![("Acme".into(), 3), ("Bcme".into(), 3), ("Ccme".into(), 3)]
+        );
+    }
+
+    #[test]
+    fn reopen_restores_every_shard() {
+        let dir = tmp_dir("reopen");
+        let config = StoreConfig { shards: 4, ..StoreConfig::default() };
+        {
+            let (db, report) = ObjectiveDb::open(&dir, config).expect("open");
+            assert_eq!(report.records, 0);
+            for i in 0..20 {
+                db.upsert(&record(&format!("Company {i}"), "objective", None, 0.5)).unwrap();
+            }
+        }
+        let (db, report) = ObjectiveDb::open(&dir, config).expect("reopen");
+        assert_eq!(report.records, 20);
+        assert_eq!(report.frames(), 20);
+        assert_eq!(report.torn_tails(), 0);
+        assert_eq!(db.len(), 20);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn meta_shard_count_wins_over_config() {
+        let dir = tmp_dir("meta");
+        {
+            let (db, _) =
+                ObjectiveDb::open(&dir, StoreConfig { shards: 3, ..StoreConfig::default() })
+                    .expect("open");
+            db.upsert(&record("Acme", "objective", None, 0.5)).unwrap();
+        }
+        // Reopening with a different configured count must keep 3 shards.
+        let (db, _) = ObjectiveDb::open(&dir, StoreConfig { shards: 16, ..StoreConfig::default() })
+            .expect("reopen");
+        assert_eq!(db.shard_count(), 3);
+        assert_eq!(db.reader().by_company("Acme").len(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn auto_compaction_bounds_log_growth() {
+        let dir = tmp_dir("autocompact");
+        let config = StoreConfig { shards: 1, compact_after_ops: 10, ..StoreConfig::default() };
+        let (db, _) = ObjectiveDb::open(&dir, config).expect("open");
+        // One identity updated many times: the log would hold 100 ops
+        // without compaction, but auto-compaction folds it back to 1 live
+        // record every 10 ops.
+        for i in 0..100 {
+            let mut r = record("Acme", "the objective", None, 0.5);
+            r.amount = Some(format!("{i}%"));
+            db.upsert(&r).unwrap();
+        }
+        assert_eq!(db.len(), 1);
+        let (db2, report) = ObjectiveDb::open(&dir, config).expect("reopen");
+        assert!(report.frames() <= 10, "log must stay compacted, found {} frames", report.frames());
+        assert_eq!(db2.reader().by_company("Acme")[0].amount.as_deref(), Some("99%"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compact_all_then_reopen_is_identical() {
+        let dir = tmp_dir("compactall");
+        let config = StoreConfig { shards: 4, ..StoreConfig::default() };
+        let (db, _) = ObjectiveDb::open(&dir, config).expect("open");
+        for i in 0..30 {
+            db.upsert(&record(&format!("C{}", i % 5), &format!("obj {i}"), Some("2030"), 0.5))
+                .unwrap();
+        }
+        let before = db.reader().export_json();
+        let stats = db.compact_all().expect("compact");
+        assert_eq!(stats.len(), 4);
+        assert_eq!(db.reader().export_json(), before, "compaction must not change state");
+        drop(db);
+        let (db2, _) = ObjectiveDb::open(&dir, config).expect("reopen");
+        assert_eq!(db2.reader().export_json(), before, "recovery must not change state");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,134 @@
+//! Content hashing and checksums for the log-structured store: FNV-1a for
+//! record identity/routing and CRC-32 (IEEE) for log-frame integrity.
+//!
+//! Both are tiny, dependency-free, and deterministic across platforms —
+//! requirements the WAL replay path inherits (a checksum that disagreed
+//! between writer and replayer would turn every restart into data loss).
+
+/// 64-bit FNV-1a over a byte slice.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = Fnv1a64::new();
+    h.write(bytes);
+    h.finish()
+}
+
+/// Streaming 64-bit FNV-1a hasher, used to fold multiple fields into one
+/// content hash with explicit separators (so `("ab","c")` and `("a","bc")`
+/// hash differently).
+#[derive(Clone, Copy, Debug)]
+pub struct Fnv1a64 {
+    state: u64,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+impl Default for Fnv1a64 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fnv1a64 {
+    /// A fresh hasher at the FNV offset basis.
+    pub fn new() -> Self {
+        Fnv1a64 { state: FNV_OFFSET }
+    }
+
+    /// Folds `bytes` into the state.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= u64::from(b);
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Folds a field boundary marker, disambiguating adjacent fields.
+    pub fn sep(&mut self) {
+        // 0xFF never appears in UTF-8 text, so it cannot collide with data.
+        self.write(&[0xFF]);
+    }
+
+    /// The current hash value.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected) over a byte slice — the frame
+/// checksum in WAL and snapshot files.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ CRC32_TABLE[usize::from((crc as u8) ^ b)];
+    }
+    !crc
+}
+
+/// Lookup table for the reflected IEEE polynomial `0xEDB88320`, generated
+/// at compile time.
+static CRC32_TABLE: [u32; 256] = build_crc32_table();
+
+const fn build_crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ 0xEDB8_8320 } else { crc >> 1 };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Published FNV-1a test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn separators_disambiguate_field_boundaries() {
+        let mut a = Fnv1a64::new();
+        a.write(b"ab");
+        a.sep();
+        a.write(b"c");
+        let mut b = Fnv1a64::new();
+        b.write(b"a");
+        b.sep();
+        b.write(b"bc");
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn crc32_matches_reference_vectors() {
+        // The canonical "123456789" check value for CRC-32/IEEE.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"hello"), 0x3610_A686);
+    }
+
+    #[test]
+    fn crc32_detects_single_bit_flips() {
+        let payload = b"u\t3\t1\tAcme\tESG 2026\tCut waste by 10% by 2030.";
+        let good = crc32(payload);
+        let mut corrupted = payload.to_vec();
+        for byte in 0..corrupted.len() {
+            for bit in 0..8 {
+                corrupted[byte] ^= 1 << bit;
+                assert_ne!(crc32(&corrupted), good, "flip at {byte}:{bit} undetected");
+                corrupted[byte] ^= 1 << bit;
+            }
+        }
+    }
+}

@@ -1,19 +1,47 @@
 //! # gs-store
 //!
 //! The structured database that extracted sustainability-objective details
-//! land in (paper §2.4, §5): a small columnar table engine with typed
-//! columns, hash and btree secondary indexes, predicate queries, and
-//! group-by counts — wrapped by a thread-safe, domain-level
-//! [`ObjectiveStore`] supporting the paper's monitoring queries (per-company
-//! views, deadline windows, top-k by detection score, specificity ranking)
-//! and JSON/CSV export.
+//! land in (paper §2.4, §5), in two layers:
+//!
+//! - **[`ObjectiveDb`]** — the production store: a sharded
+//!   (hash-by-company), crash-safe, log-structured database. Each shard
+//!   keeps an append-only WAL of checksummed text frames, replays it on
+//!   open (truncating torn tails), compacts in the background on the
+//!   gs-par pool, and publishes immutable views through an epoch/swap
+//!   cell so concurrent readers ([`StoreReader`]) run lock-free under
+//!   write load. Upserts merge details per (company, objective) and are
+//!   idempotent on identical content, so re-processing a report is safe.
+//! - **[`ObjectiveStore`]** — the original in-memory columnar engine
+//!   (typed columns, hash and btree secondary indexes, predicate queries,
+//!   group-by counts), still the lightweight choice for ad-hoc analysis
+//!   and the table-engine test bed.
+//!
+//! Both support the paper's monitoring queries: per-company views,
+//! deadline windows, top-k by detection score, and specificity ranking.
 
 #![warn(missing_docs)]
 
+mod codec;
+mod db;
+mod hash;
 mod objective_store;
+mod shard;
 mod table;
 mod value;
+mod view;
+mod wal;
 
+pub use codec::{
+    content_hash, decode_op, decode_record, encode_op, encode_record, identity_key, record_to_json,
+    records_to_json, CodecError, LogOp,
+};
+pub use db::{
+    CompactorHandle, ObjectiveDb, ObjectiveSink, RecoveryReport, StoreConfig, StoreReader,
+};
+pub use hash::{crc32, fnv1a64, Fnv1a64};
 pub use objective_store::{ObjectiveRecord, ObjectiveStore};
+pub use shard::{CompactionStats, Shard, UpsertOutcome};
 pub use table::{Predicate, RowId, Schema, Table};
 pub use value::{ColumnType, Value};
+pub use view::{EpochCell, Generation, ReadHandle, ShardView, StoredRecord};
+pub use wal::{scan_frames, ReplayReport, SyncPolicy, Wal, WAL_MAGIC};

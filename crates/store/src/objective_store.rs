@@ -8,15 +8,23 @@
 //! pipeline can ingest while analysts query. Poisoned locks are recovered
 //! rather than propagated: every mutation is a whole-row insert, so a
 //! writer that panicked mid-call cannot leave a partially updated table.
+//!
+//! Inserts are keyed by content hash: re-inserting a byte-identical record
+//! (the common case when a report is re-processed) returns the existing
+//! row instead of silently duplicating it. The full field-wise merge
+//! semantics live in the log-structured [`ObjectiveDb`](crate::ObjectiveDb);
+//! this store stays the lightweight in-memory engine.
 
+use crate::codec;
+use crate::shard::UpsertOutcome;
 use crate::table::{Predicate, RowId, Schema, Table};
 use crate::value::{ColumnType, Value};
 use gs_core::ExtractedDetails;
-use serde::Serialize;
+use std::collections::HashMap;
 use std::sync::{RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 /// One record as stored/exported.
-#[derive(Clone, Debug, PartialEq, Serialize, serde::Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ObjectiveRecord {
     /// Company the objective belongs to.
     pub company: String,
@@ -72,9 +80,16 @@ impl ObjectiveRecord {
     }
 }
 
+/// Writer-side state: the table plus the content-hash identity map that
+/// makes repeated inserts of the same record a no-op.
+struct StoreInner {
+    table: Table,
+    by_hash: HashMap<u64, RowId>,
+}
+
 /// Thread-safe objective database.
 pub struct ObjectiveStore {
-    inner: RwLock<Table>,
+    inner: RwLock<StoreInner>,
 }
 
 impl Default for ObjectiveStore {
@@ -84,11 +99,11 @@ impl Default for ObjectiveStore {
 }
 
 impl ObjectiveStore {
-    fn read(&self) -> RwLockReadGuard<'_, Table> {
+    fn read(&self) -> RwLockReadGuard<'_, StoreInner> {
         self.inner.read().unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
-    fn write(&self) -> RwLockWriteGuard<'_, Table> {
+    fn write(&self) -> RwLockWriteGuard<'_, StoreInner> {
         self.inner.write().unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
@@ -109,11 +124,20 @@ impl ObjectiveStore {
         let mut table = Table::new(schema);
         table.create_hash_index("company");
         table.create_btree_index("deadline_year");
-        ObjectiveStore { inner: RwLock::new(table) }
+        ObjectiveStore { inner: RwLock::new(StoreInner { table, by_hash: HashMap::new() }) }
     }
 
-    /// Inserts a record, deriving the deadline-year column.
+    /// Inserts a record, deriving the deadline-year column. Re-inserting a
+    /// content-identical record returns the existing row instead of
+    /// duplicating it.
     pub fn insert(&self, record: &ObjectiveRecord) -> RowId {
+        self.upsert(record).0
+    }
+
+    /// Like [`insert`](Self::insert), also reporting whether a new row was
+    /// created or an identical one already existed.
+    pub fn upsert(&self, record: &ObjectiveRecord) -> (RowId, UpsertOutcome) {
+        let hash = codec::content_hash(record);
         let opt = |o: &Option<String>| match o {
             Some(s) => Value::text_or_null(s),
             None => Value::Null,
@@ -132,7 +156,15 @@ impl ObjectiveStore {
             deadline_year,
             Value::Int((record.score * 1000.0).round() as i64),
         ];
-        let id = self.write().insert(row);
+        let mut inner = self.write();
+        if let Some(&id) = inner.by_hash.get(&hash) {
+            drop(inner);
+            gs_obs::counter("store.dedup_hits", 1);
+            return (id, UpsertOutcome::Unchanged);
+        }
+        let id = inner.table.insert(row);
+        inner.by_hash.insert(hash, id);
+        drop(inner);
         if gs_obs::enabled() {
             gs_obs::counter("store.writes", 1);
             gs_obs::emit(
@@ -141,12 +173,12 @@ impl ObjectiveStore {
                 vec![("row", id.0.into()), ("completeness", record.completeness().into())],
             );
         }
-        id
+        (id, UpsertOutcome::Inserted)
     }
 
     /// Total stored objectives.
     pub fn len(&self) -> usize {
-        self.read().len()
+        self.read().table.len()
     }
 
     /// Whether the store is empty.
@@ -171,8 +203,13 @@ impl ObjectiveStore {
 
     /// All records matching a predicate.
     pub fn query(&self, predicate: &Predicate) -> Vec<ObjectiveRecord> {
-        let table = self.read();
-        table.select(predicate).into_iter().map(|id| Self::record_at(&table, id)).collect()
+        let inner = self.read();
+        inner
+            .table
+            .select(predicate)
+            .into_iter()
+            .map(|id| Self::record_at(&inner.table, id))
+            .collect()
     }
 
     /// All records of one company.
@@ -202,6 +239,7 @@ impl ObjectiveStore {
     /// Objective counts per company.
     pub fn counts_by_company(&self) -> Vec<(String, usize)> {
         self.read()
+            .table
             .count_by("company")
             .into_iter()
             .filter_map(|(v, c)| v.as_text().map(|s| (s.to_string(), c)))
@@ -221,24 +259,27 @@ impl ObjectiveStore {
         out
     }
 
+    /// All records, in insertion order.
+    pub fn records(&self) -> Vec<ObjectiveRecord> {
+        let inner = self.read();
+        (0..inner.table.len()).map(|r| Self::record_at(&inner.table, RowId(r))).collect()
+    }
+
     /// Exports all rows as a JSON array.
     pub fn export_json(&self) -> String {
-        let table = self.read();
-        let records: Vec<ObjectiveRecord> =
-            (0..table.len()).map(|r| Self::record_at(&table, RowId(r))).collect();
-        serde_json::to_string_pretty(&records).expect("records serialize")
+        codec::records_to_json(&self.records())
     }
 
     /// Exports all rows as CSV (RFC-4180 quoting).
     pub fn export_csv(&self) -> String {
-        let table = self.read();
+        let inner = self.read();
         let mut out = String::new();
-        let names: Vec<&str> = table.schema().column_names().collect();
+        let names: Vec<&str> = inner.table.schema().column_names().collect();
         out.push_str(&names.join(","));
         out.push('\n');
-        for r in 0..table.len() {
+        for r in 0..inner.table.len() {
             let cells: Vec<String> =
-                table.row(RowId(r)).iter().map(|v| csv_quote(&v.to_string())).collect();
+                inner.table.row(RowId(r)).iter().map(|v| csv_quote(&v.to_string())).collect();
             out.push_str(&cells.join(","));
             out.push('\n');
         }
@@ -246,22 +287,41 @@ impl ObjectiveStore {
     }
 }
 
+/// First line of a [`ObjectiveStore::save`] file.
+const SAVE_MAGIC: &str = "gs-objectives v1";
+
 impl ObjectiveStore {
-    /// Persists all records as JSON to a writer (see [`export_json`](Self::export_json)).
+    /// Persists all records in the store's line-oriented text format: a
+    /// magic line followed by one encoded record per line (bit-exact score
+    /// round-trips, same codec as the WAL).
     pub fn save<W: std::io::Write>(&self, mut writer: W) -> std::io::Result<()> {
-        writer.write_all(self.export_json().as_bytes())
+        let mut out = String::with_capacity(64 + self.len() * 96);
+        out.push_str(SAVE_MAGIC);
+        out.push('\n');
+        for record in self.records() {
+            out.push_str(&codec::encode_record(&record));
+            out.push('\n');
+        }
+        writer.write_all(out.as_bytes())
     }
 
-    /// Restores a store from [`save`](Self::save)/[`export_json`](Self::export_json)
-    /// output, rebuilding all indexes.
+    /// Restores a store from [`save`](Self::save) output, rebuilding all
+    /// indexes (including the content-hash dedupe map).
     pub fn load<R: std::io::Read>(mut reader: R) -> std::io::Result<Self> {
-        let mut json = String::new();
-        reader.read_to_string(&mut json)?;
-        let records: Vec<ObjectiveRecord> =
-            serde_json::from_str(&json).map_err(std::io::Error::other)?;
+        let mut text = String::new();
+        reader.read_to_string(&mut text)?;
+        let mut lines = text.lines();
+        if lines.next() != Some(SAVE_MAGIC) {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("not a {SAVE_MAGIC} file"),
+            ));
+        }
         let store = ObjectiveStore::new();
-        for r in &records {
-            store.insert(r);
+        for line in lines {
+            let record = codec::decode_record(line)
+                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+            store.insert(&record);
         }
         Ok(store)
     }
@@ -308,6 +368,29 @@ mod tests {
     }
 
     #[test]
+    fn non_finite_confidence_is_stored_without_panicking() {
+        // Saturating `as i64` casts pin the behavior: NaN lands at 0,
+        // infinities clamp, and ranking never panics on partial_cmp.
+        let store = ObjectiveStore::new();
+        store.insert(&record("C1", Some("2030"), f64::NAN));
+        store.insert(&record("C2", Some("2031"), f64::INFINITY));
+        store.insert(&record("C3", Some("2032"), f64::NEG_INFINITY));
+        store.insert(&record("C1", Some("2033"), 0.5));
+        assert_eq!(store.len(), 4);
+        assert_eq!(store.by_company("C1")[0].score, 0.0, "NaN quantizes to 0");
+        assert!(store.by_company("C2")[0].score > 1e15, "inf clamps to i64::MAX millis");
+        assert!(store.by_company("C3")[0].score < -1e15);
+        let top = store.top_objectives("C1", 2);
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0].score, 0.5, "finite score outranks the NaN-zeroed one");
+        // A NaN-scored record re-inserted is still recognised as the same
+        // content (the identity hash uses the score's bit pattern).
+        let (_, outcome) = store.upsert(&record("C1", Some("2030"), f64::NAN));
+        assert_eq!(outcome, UpsertOutcome::Unchanged);
+        assert_eq!(store.len(), 4);
+    }
+
+    #[test]
     fn deadline_year_derivation_enables_monitoring() {
         let store = ObjectiveStore::new();
         store.insert(&record("C1", Some("2030"), 0.9));
@@ -350,19 +433,37 @@ mod tests {
     }
 
     #[test]
-    fn json_export_roundtrips() {
+    fn json_export_renders_records() {
         let store = ObjectiveStore::new();
         store.insert(&record("C1", Some("2030"), 0.9));
         let json = store.export_json();
-        let parsed: serde_json::Value = serde_json::from_str(&json).expect("valid json");
-        assert_eq!(parsed.as_array().expect("array").len(), 1);
-        assert_eq!(parsed[0]["company"], "C1");
+        assert!(json.starts_with('[') && json.ends_with(']'));
+        assert!(json.contains("\"company\":\"C1\""));
+        assert!(json.contains("\"deadline\":\"2030\""));
+        assert_eq!(ObjectiveStore::new().export_json(), "[]");
+    }
+
+    #[test]
+    fn duplicate_inserts_are_collapsed_to_one_row() {
+        let store = ObjectiveStore::new();
+        let r = record("C1", Some("2030"), 0.9);
+        let (id, out) = store.upsert(&r);
+        assert_eq!(out, UpsertOutcome::Inserted);
+        let (id2, out2) = store.upsert(&r);
+        assert_eq!(out2, UpsertOutcome::Unchanged);
+        assert_eq!(id, id2, "re-insert returns the original row");
+        assert_eq!(store.len(), 1);
+        // A genuinely different record still inserts.
+        store.insert(&record("C1", Some("2031"), 0.9));
+        assert_eq!(store.len(), 2);
     }
 
     #[test]
     fn concurrent_ingest_and_query() {
         use std::sync::Arc;
         let store = Arc::new(ObjectiveStore::new());
+        // Threads 0/2 and 1/3 insert identical record streams: dedupe must
+        // collapse each pair to one copy, under concurrency.
         std::thread::scope(|scope| {
             for t in 0..4 {
                 let store = Arc::clone(&store);
@@ -378,9 +479,9 @@ mod tests {
                 });
             }
         });
-        assert_eq!(store.len(), 200);
+        assert_eq!(store.len(), 100);
         let counts = store.counts_by_company();
-        assert_eq!(counts.iter().map(|(_, c)| c).sum::<usize>(), 200);
+        assert_eq!(counts.iter().map(|(_, c)| c).sum::<usize>(), 100);
     }
 
     #[test]

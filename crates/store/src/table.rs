@@ -3,11 +3,10 @@
 //! extracted details are stored in (§2.4).
 
 use crate::value::{ColumnType, Value};
-use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashMap};
 
 /// A table schema: ordered, named, typed columns.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Schema {
     columns: Vec<(String, ColumnType)>,
 }
@@ -47,7 +46,7 @@ impl Schema {
 }
 
 /// Row identifier (insertion order).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct RowId(pub usize);
 
 /// Filter predicates over rows.
@@ -83,7 +82,7 @@ impl Predicate {
 
 /// A columnar table with optional hash (equality) and btree (range)
 /// indexes.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Table {
     schema: Schema,
     /// Column-major storage: `columns[c][r]`.
@@ -197,6 +196,11 @@ impl Table {
                 }
             }
             Predicate::IntRange(col, lo, hi) => {
+                // An inverted range is empty everywhere; `BTreeMap::range`
+                // would panic on it.
+                if lo > hi {
+                    return Vec::new();
+                }
                 if let Some(c) = self.schema.column_index(col) {
                     if let Some(index) = self.btree_indexes.get(&c) {
                         let mut out: Vec<RowId> = index
@@ -336,6 +340,69 @@ mod tests {
                 (Value::Text("C3".into()), 1)
             ]
         );
+    }
+
+    #[test]
+    fn predicate_type_mismatches_select_nothing() {
+        let t = sample_table(true);
+        // Eq with the wrong value type: no row matches, with or without
+        // the index fast path.
+        assert!(t.select(&Predicate::Eq("company".into(), Value::Int(1))).is_empty());
+        assert!(t
+            .select(&Predicate::Eq("deadline_year".into(), Value::Text("2030".into())))
+            .is_empty());
+        // Range over a text column: `as_int` is None for every row.
+        assert!(t.select(&Predicate::IntRange("company".into(), 0, i64::MAX)).is_empty());
+        // Contains over an int column never matches (and never panics).
+        assert!(t.select(&Predicate::Contains("deadline_year".into(), "20".into())).is_empty());
+    }
+
+    #[test]
+    fn range_corners_with_and_without_index_agree() {
+        let plain = sample_table(false);
+        let indexed = sample_table(true);
+        let cases = [
+            (2030, 2030),         // degenerate single-year range
+            (2040, 2030),         // inverted: empty
+            (i64::MIN, i64::MAX), // everything with a year
+            (2041, i64::MAX),     // past the last year
+        ];
+        for (lo, hi) in cases {
+            let p = Predicate::IntRange("deadline_year".into(), lo, hi);
+            assert_eq!(plain.select(&p), indexed.select(&p), "range {lo}..={hi}");
+        }
+        let all = Predicate::IntRange("deadline_year".into(), i64::MIN, i64::MAX);
+        assert_eq!(plain.select(&all).len(), 3, "null row stays excluded");
+    }
+
+    #[test]
+    fn null_semantics_in_predicates() {
+        let t = sample_table(false);
+        // Eq(Null) matches null cells — it is the flip side of IsNull.
+        let eq_null = t.select(&Predicate::Eq("deadline_year".into(), Value::Null));
+        assert_eq!(eq_null, t.select(&Predicate::IsNull("deadline_year".into())));
+        assert_eq!(eq_null, vec![RowId(2)]);
+        // NotNull and IsNull partition the table.
+        let not_null = t.select(&Predicate::NotNull("deadline_year".into()));
+        assert_eq!(not_null.len() + eq_null.len(), t.len());
+        // Contains never matches a null cell, even with an empty needle.
+        let p = Predicate::Contains("action".into(), "".into());
+        assert_eq!(t.select(&p).len(), 4, "empty needle matches every text cell");
+    }
+
+    #[test]
+    fn nested_compound_predicates_evaluate_depth_first() {
+        let t = sample_table(true);
+        // (C1 OR C3) AND has-deadline AND action contains "re"
+        let p = Predicate::Eq("company".into(), Value::Text("C1".into()))
+            .or(Predicate::Eq("company".into(), Value::Text("C3".into())))
+            .and(Predicate::NotNull("deadline_year".into()))
+            .and(Predicate::Contains("action".into(), "RE".into()));
+        assert_eq!(t.select(&p), vec![RowId(0), RowId(3)]);
+        // A contradiction selects nothing regardless of nesting.
+        let q = Predicate::IsNull("deadline_year".into())
+            .and(Predicate::NotNull("deadline_year".into()));
+        assert!(t.select(&q).is_empty());
     }
 
     #[test]

@@ -1,10 +1,9 @@
 //! Typed cell values for the structured objective database.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Column data types.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ColumnType {
     /// UTF-8 text.
     Text,
@@ -14,7 +13,7 @@ pub enum ColumnType {
 
 /// A single cell value. `Null` models absent fields (e.g. an objective
 /// without a deadline).
-#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Value {
     /// Absent.
     Null,
@@ -65,19 +64,21 @@ impl Value {
     }
 
     /// Parses a 4-digit year out of a text value ("2040", "FY2030",
-    /// "the end of 2025"), if present.
+    /// "the end of 2025"), if present. Scans bytes, not char boundaries,
+    /// so multibyte text ("2025–2030", "→2040") is safe.
     pub fn parse_year(text: &str) -> Option<i64> {
         let bytes = text.as_bytes();
         for i in 0..bytes.len().saturating_sub(3) {
-            let window = &text[i..i + 4];
-            if window.chars().all(|c| c.is_ascii_digit())
-                && (window.starts_with("19") || window.starts_with("20"))
+            let window = &bytes[i..i + 4];
+            if window.iter().all(u8::is_ascii_digit)
+                && (window.starts_with(b"19") || window.starts_with(b"20"))
             {
                 // Reject when embedded in a longer digit run.
                 let before_digit = i > 0 && bytes[i - 1].is_ascii_digit();
                 let after_digit = i + 4 < bytes.len() && bytes[i + 4].is_ascii_digit();
                 if !before_digit && !after_digit {
-                    return window.parse().ok();
+                    // All-ASCII window, safe to parse as UTF-8.
+                    return std::str::from_utf8(window).ok()?.parse().ok();
                 }
             }
         }
@@ -120,6 +121,59 @@ mod tests {
         assert_eq!(Value::parse_year("20400"), None, "embedded in longer run");
         assert_eq!(Value::parse_year("no year here"), None);
         assert_eq!(Value::parse_year("2140"), None, "implausible century");
+    }
+
+    #[test]
+    fn year_parsing_corners() {
+        // Both centuries; boundaries of the accepted prefixes.
+        assert_eq!(Value::parse_year("1999"), Some(1999));
+        assert_eq!(Value::parse_year("1899"), None);
+        assert_eq!(Value::parse_year("2999"), None, "prefix 29 is not a year century");
+        // First plausible match wins in ranges and lists.
+        assert_eq!(Value::parse_year("2025-2030"), Some(2025));
+        // Too short, empty, digits-only noise.
+        assert_eq!(Value::parse_year(""), None);
+        assert_eq!(Value::parse_year("203"), None);
+        assert_eq!(Value::parse_year("12030"), None, "five-digit run");
+        // A rejected embedded run does not hide a later standalone year.
+        assert_eq!(Value::parse_year("12030 then 2040"), Some(2040));
+    }
+
+    #[test]
+    fn year_parsing_survives_multibyte_text() {
+        // Byte windows must never split UTF-8 sequences (these used to
+        // panic on non-char-boundary slices).
+        assert_eq!(Value::parse_year("2025–2030"), Some(2025), "en dash range");
+        assert_eq!(Value::parse_year("→2040"), Some(2040));
+        assert_eq!(Value::parse_year("année 2035"), Some(2035));
+        assert_eq!(Value::parse_year("…→…"), None);
+        assert_eq!(Value::parse_year("2030年"), Some(2030));
+    }
+
+    #[test]
+    fn mixed_type_ordering_is_null_then_text_then_int() {
+        // `count_by` and the btree indexes rely on this total order; the
+        // variant order is load-bearing, so pin it.
+        let mut values = vec![
+            Value::Int(-5),
+            Value::Text("a".into()),
+            Value::Null,
+            Value::Int(3),
+            Value::Text("Z".into()),
+        ];
+        values.sort();
+        assert_eq!(
+            values,
+            vec![
+                Value::Null,
+                Value::Text("Z".into()),
+                Value::Text("a".into()),
+                Value::Int(-5),
+                Value::Int(3),
+            ]
+        );
+        assert!(Value::Null < Value::Text(String::new()));
+        assert!(Value::Text("zzz".into()) < Value::Int(i64::MIN));
     }
 
     #[test]

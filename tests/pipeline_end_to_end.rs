@@ -50,7 +50,11 @@ fn full_pipeline_fills_the_store_with_consistent_records() {
     let stats = process_report(&gs, &report, &store);
 
     assert_eq!(stats.pages, 10);
-    assert_eq!(store.len(), stats.detected);
+    assert_eq!(store.len(), stats.inserted);
+    assert_eq!(
+        stats.inserted + stats.updated + stats.unchanged + stats.store_errors,
+        stats.detected
+    );
     // Detection on clean synthetic data is near-perfect.
     assert!(stats.false_positives + stats.false_negatives <= 2, "{stats:?}");
 

@@ -8,8 +8,11 @@ use goalspotter::models::transformer::{
     ExtractorOptions, TrainConfig, TransformerConfig, TransformerExtractor,
 };
 use goalspotter::models::DetailExtractor;
-use goalspotter::pipeline::ExtractorEngine;
-use goalspotter::serve::{json, BatchConfig, Client, Json, Server, ServerConfig};
+use goalspotter::pipeline::{DbStoreHook, ExtractorEngine};
+use goalspotter::serve::{
+    json, BatchConfig, Client, Json, ObjectiveStoreHook, Server, ServerConfig,
+};
+use goalspotter::store::{ObjectiveDb, StoreConfig};
 use std::collections::BTreeMap;
 use std::sync::{Arc, OnceLock};
 use std::time::Duration;
@@ -278,6 +281,110 @@ fn every_response_carries_a_resolvable_trace_id() {
     assert!(metrics.body.contains("slo_burn_rate_errors_short"), "body: {}", metrics.body);
     server.shutdown();
     let _ = goalspotter::obs::uninstall();
+}
+
+#[test]
+fn objectives_endpoint_persists_extractions_across_server_restarts() {
+    let engine = engine();
+    let dir = std::env::temp_dir().join(format!("gs-serve-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Without a store attached, the endpoint is absent.
+    {
+        let server = Server::start(engine.clone(), ServerConfig::default()).expect("start");
+        let mut client = Client::connect(server.addr(), Duration::from_secs(10)).expect("connect");
+        let resp = client.get("/v1/objectives?company=Acme").expect("request");
+        assert_eq!(resp.status, 404, "body: {}", resp.body);
+        server.shutdown();
+    }
+
+    let open_hook = |dir: &std::path::Path| -> Arc<dyn ObjectiveStoreHook> {
+        let (db, _) = ObjectiveDb::open(dir, StoreConfig::default()).expect("open db");
+        Arc::new(DbStoreHook::new(Arc::new(db)))
+    };
+    let text = "Cut waste by 27% by 2029.";
+    let body = Json::obj(vec![
+        ("text", Json::from(text)),
+        ("company", Json::from("Acme Corp")),
+        ("document", Json::from("esg-2029")),
+    ])
+    .to_string();
+
+    let count_after_first_run;
+    {
+        let server = Server::start_with_store(
+            engine.clone(),
+            ServerConfig::default(),
+            Some(open_hook(&dir)),
+        )
+        .expect("start with store");
+        let mut client = Client::connect(server.addr(), Duration::from_secs(10)).expect("connect");
+
+        // First extraction with a company is stored; the identical repeat
+        // is recognised as unchanged (idempotent re-ingestion).
+        let resp = client.post_json("/v1/extract", &body).expect("request");
+        assert_eq!(resp.status, 200, "body: {}", resp.body);
+        let value = json::parse(&resp.body).expect("json");
+        assert_eq!(value.get("stored").and_then(Json::as_str), Some("inserted"), "{}", resp.body);
+        let resp = client.post_json("/v1/extract", &body).expect("repeat");
+        let value = json::parse(&resp.body).expect("json");
+        assert_eq!(value.get("stored").and_then(Json::as_str), Some("unchanged"), "{}", resp.body);
+
+        // A company-less request is served but not stored.
+        let resp = client.post_json("/v1/extract", &single_body(text)).expect("no company");
+        assert_eq!(resp.status, 200);
+        assert!(json::parse(&resp.body).expect("json").get("stored").is_none());
+
+        // Query back via the read path; the space survives percent-encoding.
+        let resp = client.get("/v1/objectives?company=Acme%20Corp").expect("query");
+        assert_eq!(resp.status, 200, "body: {}", resp.body);
+        let value = json::parse(&resp.body).expect("json");
+        assert_eq!(value.get("company").and_then(Json::as_str), Some("Acme Corp"));
+        let records = value.get("records").and_then(Json::as_arr).expect("records");
+        assert_eq!(value.get("count").and_then(Json::as_u64), Some(records.len() as u64));
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].get("objective").and_then(Json::as_str), Some(text));
+        assert_eq!(records[0].get("document").and_then(Json::as_str), Some("esg-2029"));
+        let trace_id = value.get("trace_id").and_then(Json::as_str).expect("trace_id").to_string();
+        assert_eq!(resp.header("x-trace-id"), Some(trace_id.as_str()));
+
+        // `+` decodes to a space too; unknown companies yield empty lists.
+        let resp = client.get("/v1/objectives?company=Acme+Corp").expect("plus form");
+        assert_eq!(resp.status, 200);
+        let resp = client.get("/v1/objectives?company=Nobody").expect("unknown");
+        assert_eq!(
+            json::parse(&resp.body).expect("json").get("count").and_then(Json::as_u64),
+            Some(0)
+        );
+
+        // Malformed queries are client errors; writes are rejected.
+        for query in ["", "?company=", "?company=%zz", "?other=x"] {
+            let resp = client.get(&format!("/v1/objectives{query}")).expect("bad query");
+            assert_eq!(resp.status, 400, "query {query:?}: {}", resp.body);
+        }
+        let resp = client.post_json("/v1/objectives", "{}").expect("write attempt");
+        assert_eq!(resp.status, 405, "body: {}", resp.body);
+
+        count_after_first_run = records.len();
+        server.shutdown();
+    }
+
+    // A fresh server over the same directory replays the logs and serves
+    // the same records.
+    let server =
+        Server::start_with_store(engine.clone(), ServerConfig::default(), Some(open_hook(&dir)))
+            .expect("restart with store");
+    let mut client = Client::connect(server.addr(), Duration::from_secs(10)).expect("connect");
+    let resp = client.get("/v1/objectives?company=Acme%20Corp").expect("query after restart");
+    assert_eq!(resp.status, 200, "body: {}", resp.body);
+    let value = json::parse(&resp.body).expect("json");
+    assert_eq!(value.get("count").and_then(Json::as_u64), Some(count_after_first_run as u64));
+    // Re-ingestion after restart is still recognised as a duplicate.
+    let resp = client.post_json("/v1/extract", &body).expect("repeat after restart");
+    let value = json::parse(&resp.body).expect("json");
+    assert_eq!(value.get("stored").and_then(Json::as_str), Some("unchanged"), "{}", resp.body);
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]
