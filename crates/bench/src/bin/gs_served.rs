@@ -4,10 +4,15 @@
 //!
 //! Usage:
 //!   cargo run --release -p gs-bench --bin gs_served --
-//!       [--model PATH | --train-tiny] [--save-model PATH]
+//!       [--model PATH | --train-tiny] [--save-model PATH] [--quantized]
 //!       [--addr HOST:PORT] [--max-batch N] [--max-delay-us N]
 //!       [--queue-cap N] [--workers N] [--deadline-ms N]
 //!       [--size N] [--epochs N] [--store-dir PATH]
+//!
+//! With `--quantized` the encoder weights are quantized to int8 (per-row
+//! scales, f32 accumulation) after loading/training and the service runs
+//! the quantized forward; spans match the f32 path on the golden
+//! accuracy-tolerance suite.
 //!
 //! With `--model PATH` the extractor is restored from a
 //! `TransformerExtractor::save_json` checkpoint; with `--train-tiny` (the
@@ -31,8 +36,8 @@ use gs_core::Objective;
 use gs_models::transformer::{
     ExtractorOptions, TrainConfig, TransformerConfig, TransformerExtractor,
 };
-use gs_pipeline::{DbStoreHook, ExtractorEngine};
-use gs_serve::{BatchConfig, ObjectiveStoreHook, Server, ServerConfig};
+use gs_pipeline::{DbStoreHook, ExtractorEngine, QuantizedEngine};
+use gs_serve::{BatchConfig, ExtractEngine, ObjectiveStoreHook, Server, ServerConfig};
 use gs_store::{ObjectiveDb, StoreConfig};
 use std::sync::Arc;
 use std::time::Duration;
@@ -107,7 +112,17 @@ fn main() {
         );
         Arc::new(DbStoreHook::new(Arc::new(db))) as Arc<dyn ObjectiveStoreHook>
     });
-    let server = Server::start_with_store(Arc::new(ExtractorEngine(extractor)), config, store)
+    let engine: Arc<dyn ExtractEngine> = if args.has("quantized") {
+        let engine = QuantizedEngine::from_extractor(&extractor);
+        eprintln!(
+            "serving int8 quantized encoder ({} bytes of quantized weights)",
+            engine.0.model().quantized_bytes()
+        );
+        Arc::new(engine)
+    } else {
+        Arc::new(ExtractorEngine(extractor))
+    };
+    let server = Server::start_with_store(engine, config, store)
         .unwrap_or_else(|e| panic!("cannot start server: {e}"));
     println!("listening on http://{}", server.addr());
 

@@ -15,6 +15,11 @@
 //! Usage:
 //!   cargo run --release -p gs-bench --bin servebench --
 //!       [--size N] [--epochs N] [--requests N] [--trials N] [--out PATH]
+//!       [--quantized]
+//!
+//! With `--quantized` a third arm serves the same weights through the int8
+//! quantized packed forward (`QuantizedEngine`), so the summary compares
+//! f32 and int8 serving under identical batching.
 //!
 //! Writes `results/BENCH_serve.json` with throughput and client-side
 //! latency percentiles per (scheduling, client-count) cell; each cell is
@@ -201,8 +206,10 @@ fn main() {
     let texts = dataset.texts();
 
     // Throughput sweep: per-request baseline vs micro-batched serving,
-    // same weights, same single worker, growing concurrency.
-    let schedules: [(&str, Arc<dyn ExtractEngine>, BatchConfig); 2] = [
+    // same weights, same single worker, growing concurrency. With
+    // `--quantized`, a third arm serves the int8 encoder under the same
+    // micro-batching config as the f32 packed arm.
+    let mut schedules: Vec<(&str, Arc<dyn ExtractEngine>, BatchConfig)> = vec![
         (
             "unbatched",
             Arc::new(PerRequestEngine(Arc::clone(&extractor))),
@@ -214,10 +221,18 @@ fn main() {
             BatchConfig { max_batch: 8, max_delay: Duration::from_millis(1), ..Default::default() },
         ),
     ];
+    if args.has("quantized") {
+        schedules.push((
+            "quantized",
+            Arc::new(gs_pipeline::QuantizedEngine::from_extractor(&extractor)),
+            BatchConfig { max_batch: 8, max_delay: Duration::from_millis(1), ..Default::default() },
+        ));
+    }
     let mut cells = Vec::new();
     let mut schedule_stats = Vec::new();
     let mut batched_16 = 0.0f64;
     let mut unbatched_16 = 0.0f64;
+    let mut quantized_16 = 0.0f64;
     // serve.batch.size accumulates across schedules; per-schedule means
     // come from deltas of its running (sum, count).
     let (mut batch_sum, mut batch_count) = (0.0f64, 0u64);
@@ -240,6 +255,7 @@ fn main() {
             if clients == 16 {
                 match *name {
                     "unbatched" => unbatched_16 = rps,
+                    "quantized" => quantized_16 = rps,
                     _ => batched_16 = rps,
                 }
             }
@@ -258,6 +274,7 @@ fn main() {
                 "engine",
                 Json::from(match *name {
                     "unbatched" => "per-request taped single-text forward",
+                    "quantized" => "int8 packed tape-free batched forward",
                     _ => "packed tape-free batched forward",
                 }),
             ),
@@ -291,7 +308,7 @@ fn main() {
     );
     overload_server.shutdown();
 
-    let summary = Json::obj(vec![
+    let mut summary_fields = vec![
         ("bench", Json::from("servebench")),
         ("corpus_size", Json::from(size)),
         ("requests_per_client", Json::from(requests)),
@@ -300,22 +317,29 @@ fn main() {
         ("cells", Json::Arr(cells)),
         ("speedup_at_16_clients", Json::from(batched_16 / unbatched_16.max(1e-9))),
         ("microbatch_beats_unbatched", Json::from(batched_16 > unbatched_16)),
-        (
-            "overload",
-            Json::obj(vec![
-                ("ok", Json::from(overload.ok)),
-                ("shed", Json::from(overload.shed)),
-                ("other", Json::from(overload.other)),
-                (
-                    "shed_fraction",
-                    Json::from(
-                        overload.shed as f64
-                            / (overload.ok + overload.shed + overload.other).max(1) as f64,
-                    ),
+    ];
+    if args.has("quantized") {
+        summary_fields.push((
+            "quantized_vs_f32_at_16_clients",
+            Json::from(quantized_16 / batched_16.max(1e-9)),
+        ));
+    }
+    summary_fields.extend([(
+        "overload",
+        Json::obj(vec![
+            ("ok", Json::from(overload.ok)),
+            ("shed", Json::from(overload.shed)),
+            ("other", Json::from(overload.other)),
+            (
+                "shed_fraction",
+                Json::from(
+                    overload.shed as f64
+                        / (overload.ok + overload.shed + overload.other).max(1) as f64,
                 ),
-            ]),
-        ),
-    ]);
+            ),
+        ]),
+    )]);
+    let summary = Json::obj(summary_fields);
 
     if let Some(dir) = std::path::Path::new(&out).parent() {
         let _ = std::fs::create_dir_all(dir);

@@ -159,6 +159,11 @@ impl TransformerExtractor {
         &self.model
     }
 
+    /// Internal access for the int8 serving twin ([`super::quant`]).
+    pub(crate) fn parts(&self) -> (&Tokenizer, &Normalizer, MultiSpanPolicy) {
+        (&self.tokenizer, &self.case_normalizer, self.options.multi_span)
+    }
+
     /// Predicts word-level tags for a new objective, returning the
     /// case-preserved normalized text, its word tokens, and one tag per
     /// word.
@@ -180,7 +185,12 @@ impl TransformerExtractor {
         let prof_on = prof::enabled();
         let inputs: Vec<InferenceInput> = gs_par::map_collect(texts.len(), |i| {
             timed(prof_on, "tokenize", "encode", prof::Cost::zero(), || {
-                encode_for_inference(&self.tokenizer, &self.case_normalizer, &self.model, texts[i])
+                encode_for_inference(
+                    &self.tokenizer,
+                    &self.case_normalizer,
+                    self.model.config().max_len,
+                    texts[i],
+                )
             })
         });
         let seqs: Vec<&[usize]> = inputs.iter().map(|i| i.ids.as_slice()).collect();
@@ -223,19 +233,18 @@ impl TransformerExtractor {
 /// case-preserved tokens for decoding plus the BOS/EOS-wrapped id
 /// sequence. `ids` is empty when the text has no usable tokens, in which
 /// case decoding yields no tags.
-struct InferenceInput {
+pub(crate) struct InferenceInput {
     case_text: String,
     case_tokens: Vec<PreToken>,
     enc: Encoding,
-    ids: Vec<usize>,
+    pub(crate) ids: Vec<usize>,
 }
 
-/// Tokenizes `text` for inference: `<s> ids </s>`, truncated to the
-/// model's `max_len`.
-fn encode_for_inference(
+/// Tokenizes `text` for inference: `<s> ids </s>`, truncated to `max_len`.
+pub(crate) fn encode_for_inference(
     tokenizer: &Tokenizer,
     case_normalizer: &Normalizer,
-    model: &TokenClassifier,
+    max_len: usize,
     text: &str,
 ) -> InferenceInput {
     let case_text = case_normalizer.normalize(text);
@@ -249,14 +258,14 @@ fn encode_for_inference(
     let mut ids: Vec<usize> = Vec::with_capacity(enc.ids.len() + 2);
     ids.push(vocab.bos_id() as usize);
     ids.extend(enc.ids.iter().map(|&i| i as usize));
-    ids.truncate(model.config().max_len - 1);
+    ids.truncate(max_len - 1);
     ids.push(vocab.eos_id() as usize);
     InferenceInput { case_text, case_tokens, enc, ids }
 }
 
 /// Turns predicted subword classes back into word-level tags over the
 /// case-preserved tokens.
-fn decode_predictions(
+pub(crate) fn decode_predictions(
     labels: &LabelSet,
     input: InferenceInput,
     classes: &[usize],
@@ -297,7 +306,7 @@ fn predict_tags_impl(
 ) -> (String, Vec<PreToken>, Vec<Tag>) {
     let prof_on = prof::enabled();
     let input = timed(prof_on, "tokenize", "encode", prof::Cost::zero(), || {
-        encode_for_inference(tokenizer, case_normalizer, model, text)
+        encode_for_inference(tokenizer, case_normalizer, model.config().max_len, text)
     });
     let classes = model.predict_classes(&input.ids);
     timed(prof_on, "decode", "collapse", prof::Cost::zero(), || {

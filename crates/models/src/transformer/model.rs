@@ -392,15 +392,17 @@ impl TokenClassifier {
         if ids.is_empty() {
             return Vec::new();
         }
-        let truncated = &ids[..ids.len().min(self.config.max_len)];
-        let tape = Tape::new();
-        let mut binder = Binder::new(&tape);
-        let logits = self.forward(&tape, &mut binder, truncated, None);
-        let mut classes = tape.value(logits).argmax_rows();
-        // Truncated tail: repeat the O class (0) so callers get one class
-        // per input id.
-        classes.resize(ids.len(), 0);
-        classes
+        gs_tensor::arena::scope(|| {
+            let truncated = &ids[..ids.len().min(self.config.max_len)];
+            let tape = Tape::new();
+            let mut binder = Binder::new(&tape);
+            let logits = self.forward(&tape, &mut binder, truncated, None);
+            let mut classes = tape.value(logits).argmax_rows();
+            // Truncated tail: repeat the O class (0) so callers get one class
+            // per input id.
+            classes.resize(ids.len(), 0);
+            classes
+        })
     }
 
     /// Batched [`predict_classes`](Self::predict_classes): packs every
@@ -415,40 +417,34 @@ impl TokenClassifier {
     /// (no gradients at inference), which also removes the per-op value
     /// cloning the taped forward pays.
     pub fn predict_classes_batch(&self, seqs: &[&[usize]]) -> Vec<Vec<usize>> {
-        // Pack non-empty sequences, truncated to max_len; remember where
-        // each one landed.
-        let mut flat_ids: Vec<usize> = Vec::new();
-        let mut positions: Vec<usize> = Vec::new();
-        let mut ranges: Vec<Option<(usize, usize)>> = Vec::with_capacity(seqs.len());
-        for seq in seqs {
-            if seq.is_empty() {
-                ranges.push(None);
-                continue;
-            }
-            let n = seq.len().min(self.config.max_len);
-            let start = flat_ids.len();
-            flat_ids.extend_from_slice(&seq[..n]);
-            positions.extend(0..n);
-            ranges.push(Some((start, n)));
-        }
-        if flat_ids.is_empty() {
+        let packed = pack_sequences(seqs, self.config.max_len);
+        if packed.flat_ids.is_empty() {
             return seqs.iter().map(|_| Vec::new()).collect();
         }
 
-        let h = self.forward_packed(&flat_ids, &positions, &ranges);
-        let classes =
-            timed(prof::enabled(), "head", "argmax", cost::map(h.len(), 1), || h.argmax_rows());
-        seqs.iter()
-            .zip(&ranges)
-            .map(|(seq, range)| match range {
-                None => Vec::new(),
-                Some((start, n)) => {
-                    let mut out = classes[*start..*start + *n].to_vec();
-                    out.resize(seq.len(), 0);
-                    out
-                }
-            })
-            .collect()
+        // Arena scope: every kernel buffer the packed forward frees is
+        // recycled into the next allocation, so steady-state serving does no
+        // per-op heap allocation (pinned by tests/arena_flatness.rs).
+        let classes = gs_tensor::arena::scope(|| {
+            let h = self.forward_packed(&packed.flat_ids, &packed.positions, &packed.ranges);
+            timed(prof::enabled(), "head", "argmax", cost::map(h.len(), 1), || h.argmax_rows())
+        });
+        packed.unpack_classes(seqs, &classes)
+    }
+
+    /// Raw `[n, num_classes]` logits for one sequence (inference mode,
+    /// truncated to `max_len`), via the packed forward. Exposed so the int8
+    /// quantization tolerance suite can compare per-logit error against the
+    /// f32 path; not a serving entry point.
+    ///
+    /// # Panics
+    /// Panics on an empty sequence.
+    pub fn logits(&self, ids: &[usize]) -> Tensor {
+        assert!(!ids.is_empty(), "empty input sequence");
+        let n = ids.len().min(self.config.max_len);
+        let positions: Vec<usize> = (0..n).collect();
+        let ranges = vec![Some((0, n))];
+        gs_tensor::arena::scope(|| self.forward_packed(&ids[..n], &positions, &ranges))
     }
 
     /// The packed inference forward shared by
@@ -548,9 +544,10 @@ impl TokenClassifier {
                 })
             });
             let concat = timed(prof, &attn, "concat_cols", cost::copy(rows * d), || {
-                let mut mixed = Vec::with_capacity(h.len());
-                for seq in &per_seq {
-                    mixed.extend_from_slice(seq);
+                let mut mixed = gs_tensor::arena::alloc_empty(h.len());
+                for seq in per_seq {
+                    mixed.extend_from_slice(&seq);
+                    gs_tensor::arena::recycle(seq);
                 }
                 Tensor::from_vec(vec![rows, d], mixed)
             });
@@ -575,8 +572,7 @@ impl TokenClassifier {
             let pre = timed(prof, &ffn, "add_bias", cost::zip(rows * d_ff, 1), || {
                 add_bias_rows(mm, p(&format!("l{l}.ffn.b1")))
             });
-            let inner =
-                timed(prof, &ffn, "gelu", cost::map(rows * d_ff, 10), || pre.map(gs_tensor::gelu));
+            let inner = timed(prof, &ffn, "gelu", cost::gelu(rows * d_ff), || pre.gelu_forward());
             let mm = timed(prof, &ffn, "matmul", cost::matmul(rows, d_ff, d), || {
                 inner.matmul(p(&format!("l{l}.ffn.w2")))
             });
@@ -599,9 +595,61 @@ impl TokenClassifier {
     }
 }
 
+/// Sequences packed into one flat id stream for a batched forward, with
+/// enough bookkeeping to scatter per-token results back to their inputs.
+/// Shared between the f32 and int8 packed forwards so both paths have
+/// identical packing, truncation, and empty-sequence semantics.
+pub(crate) struct PackedSeqs {
+    /// Every non-empty sequence's ids (truncated to `max_len`), contiguous.
+    pub(crate) flat_ids: Vec<usize>,
+    /// Position index of each flat id within its own sequence.
+    pub(crate) positions: Vec<usize>,
+    /// Per input sequence: `Some((start, len))` into `flat_ids`, or `None`
+    /// for empty inputs.
+    pub(crate) ranges: Vec<Option<(usize, usize)>>,
+}
+
+/// Packs non-empty sequences (truncated to `max_len`) into one flat stream.
+pub(crate) fn pack_sequences(seqs: &[&[usize]], max_len: usize) -> PackedSeqs {
+    let mut flat_ids: Vec<usize> = Vec::new();
+    let mut positions: Vec<usize> = Vec::new();
+    let mut ranges: Vec<Option<(usize, usize)>> = Vec::with_capacity(seqs.len());
+    for seq in seqs {
+        if seq.is_empty() {
+            ranges.push(None);
+            continue;
+        }
+        let n = seq.len().min(max_len);
+        let start = flat_ids.len();
+        flat_ids.extend_from_slice(&seq[..n]);
+        positions.extend(0..n);
+        ranges.push(Some((start, n)));
+    }
+    PackedSeqs { flat_ids, positions, ranges }
+}
+
+impl PackedSeqs {
+    /// Scatters flat per-token classes back to one vector per input
+    /// sequence, padding truncated tails with the O class (0).
+    pub(crate) fn unpack_classes(&self, seqs: &[&[usize]], classes: &[usize]) -> Vec<Vec<usize>> {
+        seqs.iter()
+            .zip(&self.ranges)
+            .map(|(seq, range)| match range {
+                None => Vec::new(),
+                Some((start, n)) => {
+                    let mut out = classes[*start..*start + *n].to_vec();
+                    out.resize(seq.len(), 0);
+                    out
+                }
+            })
+            .collect()
+    }
+}
+
 /// Adds a `[d]` bias to every row of `[n, d]` — the inference twin of
 /// `Tape::add_bias` (same accumulation order for bitwise-equal results).
-fn add_bias_rows(mut x: Tensor, bias: &Tensor) -> Tensor {
+/// Shared with the int8 serving path in [`super::quant`].
+pub(crate) fn add_bias_rows(mut x: Tensor, bias: &Tensor) -> Tensor {
     assert_eq!(x.cols(), bias.len(), "add_bias width mismatch");
     for i in 0..x.rows() {
         for (o, &bv) in x.row_mut(i).iter_mut().zip(bias.data()) {
@@ -613,13 +661,14 @@ fn add_bias_rows(mut x: Tensor, bias: &Tensor) -> Tensor {
 
 /// Row-wise layer norm — the inference twin of `Tape::layer_norm` (same
 /// epsilon and evaluation order).
-fn layer_norm_rows(x: &Tensor, gamma: &Tensor, beta: &Tensor) -> Tensor {
+/// Shared with the int8 serving path in [`super::quant`].
+pub(crate) fn layer_norm_rows(x: &Tensor, gamma: &Tensor, beta: &Tensor) -> Tensor {
     const EPS: f32 = 1e-5;
     let d = x.cols();
     assert_eq!(gamma.len(), d, "layer_norm gamma width");
     assert_eq!(beta.len(), d, "layer_norm beta width");
     let n = x.rows();
-    let mut out = vec![0.0f32; x.len()];
+    let mut out = gs_tensor::arena::alloc_zeroed(x.len());
     for r in 0..n {
         let row = x.row(r);
         let mean: f32 = row.iter().sum::<f32>() / d as f32;

@@ -1,0 +1,618 @@
+//! Int8 weight-quantized inference fast path.
+//!
+//! Serving replicas are read-only: weights never change after training, so
+//! the projection matrices (attention `wq/wk/wv/wo`, FFN `w1/w2`, and the
+//! classification head) can be stored as `i8` with one `f32` scale per
+//! output channel — a ~4x shrink of the dominant weight memory and a
+//! smaller per-dot working set. Activations, attention math, layer norms,
+//! biases, and embedding tables stay `f32`, and every dot product
+//! accumulates in `f32`, so quantization error enters only through weight
+//! rounding (bounded by `scale/2` per weight).
+//!
+//! The quantized forward is **not** bit-identical to the f32 path — it is
+//! tolerance-bounded instead: `crates/models/tests/quant_equivalence.rs`
+//! pins exact golden-span agreement and a per-logit max-abs-error budget
+//! against the committed fixture.
+//!
+//! Layout: a `[k, n]` f32 weight is quantized per **output channel** `j`
+//! (`scale[j] = max_i |W[i][j]| / 127`) and stored transposed as a `[n, k]`
+//! row-major `i8` matrix, so each output's dot product scans one contiguous
+//! quantized row against the contiguous activation row.
+
+use super::config::TransformerConfig;
+use super::extractor::{decode_predictions, encode_for_inference, TransformerExtractor};
+use super::model::{add_bias_rows, layer_norm_rows, pack_sequences, timed, TokenClassifier};
+use crate::traits::DetailExtractor;
+use gs_core::{decode_details, ExtractedDetails, MultiSpanPolicy};
+use gs_obs::prof;
+use gs_tensor::{arena, cost, ParamStore, Tensor};
+use gs_text::labels::{LabelSet, Tag};
+use gs_text::{Normalizer, NormalizerConfig, PreToken, Tokenizer};
+use std::collections::BTreeMap;
+
+/// Flop threshold below which a quantized matmul stays serial.
+const QMM_PAR_CUTOFF: usize = 64 * 1024;
+
+/// One weight matrix stored as per-output-channel int8.
+#[derive(Clone)]
+pub struct QuantizedLinear {
+    /// Quantized weights, transposed to `[n, k]` row-major:
+    /// `q[j*k + p] = round(W[p][j] / scale[j])`.
+    q: Vec<i8>,
+    /// Per-output-channel dequantization scales, length `n`.
+    scale: Vec<f32>,
+    /// Input width (rows of the original `[k, n]` weight).
+    k: usize,
+    /// Output width (columns of the original weight).
+    n: usize,
+}
+
+impl QuantizedLinear {
+    /// Quantizes a `[k, n]` f32 weight matrix.
+    pub fn from_weights(w: &Tensor) -> Self {
+        let (k, n) = (w.rows(), w.cols());
+        let data = w.data();
+        let mut scale = vec![0.0f32; n];
+        for j in 0..n {
+            let mut max_abs = 0.0f32;
+            for p in 0..k {
+                max_abs = max_abs.max(data[p * n + j].abs());
+            }
+            // An all-zero column quantizes to zeros under any scale; 1.0
+            // keeps the stored scale finite and round-trippable.
+            scale[j] = if max_abs > 0.0 { max_abs / 127.0 } else { 1.0 };
+        }
+        let mut q = vec![0i8; n * k];
+        for j in 0..n {
+            let s = scale[j];
+            for p in 0..k {
+                q[j * k + p] = (data[p * n + j] / s).round().clamp(-127.0, 127.0) as i8;
+            }
+        }
+        QuantizedLinear { q, scale, k, n }
+    }
+
+    /// Input width of the original weight.
+    pub fn input_dim(&self) -> usize {
+        self.k
+    }
+
+    /// Output width of the original weight.
+    pub fn output_dim(&self) -> usize {
+        self.n
+    }
+
+    /// Bytes held by the quantized representation (weights + scales).
+    pub fn quantized_bytes(&self) -> usize {
+        self.q.len() + self.scale.len() * 4
+    }
+
+    /// `x [rows, k] -> [rows, n]`: each output is an f32-accumulated dot of
+    /// an activation row against one contiguous int8 weight row, scaled by
+    /// that channel's dequantization factor. Fans rows out across the
+    /// gs-par pool when the product is large enough to amortize dispatch.
+    pub fn matmul(&self, x: &Tensor) -> Tensor {
+        let rows = x.rows();
+        let (k, n) = (self.k, self.n);
+        assert_eq!(x.cols(), k, "quantized matmul inner-dim mismatch");
+        let mut out = arena::alloc_zeroed(rows * n);
+        let run_rows = |row0: usize, block: &mut [f32]| {
+            let xdata = x.data();
+            for (ri, orow) in block.chunks_mut(n).enumerate() {
+                let r = row0 + ri;
+                let xr = &xdata[r * k..(r + 1) * k];
+                for (j, o) in orow.iter_mut().enumerate() {
+                    let qr = &self.q[j * k..(j + 1) * k];
+                    *o = self.scale[j] * dot_i8(xr, qr);
+                }
+            }
+        };
+        if 2 * rows * k * n >= QMM_PAR_CUTOFF && gs_par::max_threads() > 1 && rows > 1 {
+            let rows_per_block = rows.div_ceil(gs_par::max_threads() * 4).max(1);
+            gs_par::for_each_chunk_mut(&mut out, rows_per_block * n, |ci, block| {
+                run_rows(ci * rows_per_block, block);
+            });
+        } else {
+            run_rows(0, &mut out);
+        }
+        Tensor::from_vec(vec![rows, n], out)
+    }
+}
+
+/// f32-accumulated dot of an activation row against an int8 weight row.
+///
+/// Four independent accumulator chains: the quantized path is
+/// tolerance-bounded rather than bit-pinned, so summation order is free to
+/// trade associativity for instruction-level parallelism.
+fn dot_i8(x: &[f32], q: &[i8]) -> f32 {
+    debug_assert_eq!(x.len(), q.len());
+    let mut acc = [0.0f32; 8];
+    let xc = x.chunks_exact(8);
+    let qc = q.chunks_exact(8);
+    let (xtail, qtail) = (xc.remainder(), qc.remainder());
+    // `chunks_exact` gives the optimizer provably in-bounds 8-wide panels,
+    // so the convert + multiply + add lowers to vector code.
+    for (xs, qs) in xc.zip(qc) {
+        for i in 0..8 {
+            acc[i] += xs[i] * qs[i] as f32;
+        }
+    }
+    let mut total =
+        ((acc[0] + acc[1]) + (acc[2] + acc[3])) + ((acc[4] + acc[5]) + (acc[6] + acc[7]));
+    for (xv, qv) in xtail.iter().zip(qtail) {
+        total += xv * *qv as f32;
+    }
+    total
+}
+
+/// Whether a parameter name is one of the projection matrices the
+/// quantized model stores as int8.
+fn is_quantized_param(name: &str) -> bool {
+    name == "head.w"
+        || (name.starts_with('l')
+            && (name.contains(".attn.w") || name.ends_with(".ffn.w1") || name.ends_with(".ffn.w2")))
+}
+
+/// A [`TokenClassifier`] with every projection matrix quantized to int8.
+///
+/// Inference-only: mirrors the packed f32 forward exactly in structure
+/// (same attention decomposition, same layer norms, same bias adds) with
+/// [`QuantizedLinear::matmul`] replacing each dense projection.
+#[derive(Clone)]
+pub struct QuantizedModel {
+    config: TransformerConfig,
+    num_classes: usize,
+    /// f32 passthrough parameters: embeddings, layer norms, biases.
+    store: ParamStore,
+    /// Quantized projections, keyed by the original parameter name.
+    quant: BTreeMap<String, QuantizedLinear>,
+}
+
+impl From<&TokenClassifier> for QuantizedModel {
+    fn from(model: &TokenClassifier) -> Self {
+        let src = model.store();
+        let mut store = ParamStore::new();
+        let mut quant = BTreeMap::new();
+        for id in src.ids() {
+            let name = src.name(id).to_string();
+            let value = src.value(id);
+            if is_quantized_param(&name) {
+                quant.insert(name, QuantizedLinear::from_weights(value));
+            } else {
+                store.register(&name, value.clone());
+            }
+        }
+        QuantizedModel {
+            config: model.config().clone(),
+            num_classes: model.num_classes(),
+            store,
+            quant,
+        }
+    }
+}
+
+impl QuantizedModel {
+    /// The model configuration.
+    pub fn config(&self) -> &TransformerConfig {
+        &self.config
+    }
+
+    /// Number of output classes.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// Total bytes of quantized weights plus scales (the memory the int8
+    /// representation actually pays for the projections).
+    pub fn quantized_bytes(&self) -> usize {
+        self.quant.values().map(QuantizedLinear::quantized_bytes).sum()
+    }
+
+    /// Flattens the model into a [`ParamStore`] that round-trips through
+    /// the text checkpoint format (`gs_tensor::serialize`): each quantized
+    /// projection `w` becomes `w.q` (a `[n, k]` tensor of exact integers in
+    /// `[-127, 127]`, bit-exact as f32) plus `w.scale` (`[n]`); f32
+    /// passthrough parameters keep their names.
+    pub fn to_store(&self) -> ParamStore {
+        let mut out = ParamStore::new();
+        for id in self.store.ids() {
+            out.register(self.store.name(id), self.store.value(id).clone());
+        }
+        for (name, lin) in &self.quant {
+            let ints: Vec<f32> = lin.q.iter().map(|&v| v as f32).collect();
+            out.register(&format!("{name}.q"), Tensor::from_vec(vec![lin.n, lin.k], ints));
+            out.register(
+                &format!("{name}.scale"),
+                Tensor::from_vec(vec![lin.n], lin.scale.clone()),
+            );
+        }
+        out
+    }
+
+    /// Rebuilds a quantized model from [`to_store`](Self::to_store) output.
+    ///
+    /// # Panics
+    /// Panics if a `.q` entry lacks its `.scale` twin (or vice versa), or
+    /// if a stored quantized value falls outside `[-127, 127]`.
+    pub fn from_store(config: TransformerConfig, num_classes: usize, src: ParamStore) -> Self {
+        let mut store = ParamStore::new();
+        let mut qmats: BTreeMap<String, &Tensor> = BTreeMap::new();
+        let mut scales: BTreeMap<String, &Tensor> = BTreeMap::new();
+        for id in src.ids() {
+            let name = src.name(id);
+            let value = src.value(id);
+            if let Some(base) = name.strip_suffix(".q") {
+                qmats.insert(base.to_string(), value);
+            } else if let Some(base) = name.strip_suffix(".scale") {
+                scales.insert(base.to_string(), value);
+            } else {
+                store.register(name, value.clone());
+            }
+        }
+        let mut quant = BTreeMap::new();
+        for (name, qt) in qmats {
+            let st = scales.remove(&name).unwrap_or_else(|| panic!("missing {name}.scale"));
+            let (n, k) = (qt.rows(), qt.cols());
+            assert_eq!(st.len(), n, "{name}.scale length");
+            let q: Vec<i8> = qt
+                .data()
+                .iter()
+                .map(|&v| {
+                    assert!(
+                        (-127.0..=127.0).contains(&v) && v == v.trunc(),
+                        "{name}.q holds non-int8 value {v}"
+                    );
+                    v as i8
+                })
+                .collect();
+            quant.insert(name, QuantizedLinear { q, scale: st.data().to_vec(), k, n });
+        }
+        assert!(scales.is_empty(), "orphan .scale entries: {:?}", scales.keys());
+        QuantizedModel { config, num_classes, store, quant }
+    }
+
+    fn p(&self, name: &str) -> &Tensor {
+        let id = self.store.id(name).unwrap_or_else(|| panic!("missing parameter {name}"));
+        self.store.value(id)
+    }
+
+    fn qlin(&self, name: &str) -> &QuantizedLinear {
+        self.quant.get(name).unwrap_or_else(|| panic!("missing quantized parameter {name}"))
+    }
+
+    /// Raw `[n, num_classes]` logits for one sequence — the quantized twin
+    /// of [`TokenClassifier::logits`], for the tolerance suite.
+    ///
+    /// # Panics
+    /// Panics on an empty sequence.
+    pub fn logits(&self, ids: &[usize]) -> Tensor {
+        assert!(!ids.is_empty(), "empty input sequence");
+        let n = ids.len().min(self.config.max_len);
+        let positions: Vec<usize> = (0..n).collect();
+        let ranges = vec![Some((0, n))];
+        arena::scope(|| self.forward_packed(&ids[..n], &positions, &ranges))
+    }
+
+    /// Batched class prediction — the quantized twin of
+    /// [`TokenClassifier::predict_classes_batch`], with identical packing,
+    /// truncation, and empty-sequence semantics.
+    pub fn predict_classes_batch(&self, seqs: &[&[usize]]) -> Vec<Vec<usize>> {
+        let packed = pack_sequences(seqs, self.config.max_len);
+        if packed.flat_ids.is_empty() {
+            return seqs.iter().map(|_| Vec::new()).collect();
+        }
+        let classes = arena::scope(|| {
+            let h = self.forward_packed(&packed.flat_ids, &packed.positions, &packed.ranges);
+            timed(prof::enabled(), "head", "argmax", cost::map(h.len(), 1), || h.argmax_rows())
+        });
+        packed.unpack_classes(seqs, &classes)
+    }
+
+    /// The packed quantized forward: structurally identical to the f32
+    /// packed forward, with int8 matmuls for every projection.
+    fn forward_packed(
+        &self,
+        flat_ids: &[usize],
+        positions: &[usize],
+        ranges: &[Option<(usize, usize)>],
+    ) -> Tensor {
+        let d = self.config.d_model;
+        let dh = self.config.d_head();
+        let seq_ranges: Vec<(usize, usize)> = ranges.iter().flatten().copied().collect();
+        let rows = flat_ids.len();
+        let prof = prof::enabled();
+
+        let tok = timed(prof, "emb", "embed_gather", cost::gather(rows, d), || {
+            self.p("emb.tok").gather_rows(flat_ids)
+        });
+        let pos = timed(prof, "emb", "embed_gather", cost::gather(rows, d), || {
+            self.p("emb.pos").gather_rows(positions)
+        });
+        let mut h =
+            timed(prof, "emb", "add", cost::zip(rows * d, 1), || tok.zip_map(&pos, |x, y| x + y));
+        if self.store.id("emb.seg").is_some() {
+            let seg = timed(prof, "emb", "embed_gather", cost::gather(rows, d), || {
+                self.p("emb.seg").gather_rows(&vec![0; rows])
+            });
+            h = timed(prof, "emb", "add", cost::zip(rows * d, 1), || h.zip_map(&seg, |x, y| x + y));
+        }
+        h = timed(prof, "emb", "layer_norm", cost::layer_norm(rows, d), || {
+            layer_norm_rows(&h, self.p("emb.ln.g"), self.p("emb.ln.b"))
+        });
+
+        for l in 0..self.config.n_layers {
+            let attn = format!("l{l}.attn");
+            let project = |w: &str, b: &str| {
+                let mm = timed(prof, &attn, "qmatmul", cost::matmul(rows, d, d), || {
+                    self.qlin(&format!("l{l}.attn.{w}")).matmul(&h)
+                });
+                timed(prof, &attn, "add_bias", cost::zip(rows * d, 1), || {
+                    add_bias_rows(mm, self.p(&format!("l{l}.attn.{b}")))
+                })
+            };
+            let q = project("wq", "bq");
+            let k = project("wk", "bk");
+            let v = project("wv", "bv");
+            let scale = 1.0 / (dh as f32).sqrt();
+            let per_seq: Vec<Vec<f32>> = gs_par::map_collect(seq_ranges.len(), |si| {
+                let (start, n) = seq_ranges[si];
+                let (qs, ks, vs) = (
+                    q.slice_rows(start, start + n),
+                    k.slice_rows(start, start + n),
+                    v.slice_rows(start, start + n),
+                );
+                let mut heads = Vec::with_capacity(self.config.n_heads);
+                for head in 0..self.config.n_heads {
+                    let (s, e) = (head * dh, (head + 1) * dh);
+                    let (qh, kh, vh) =
+                        (qs.slice_cols(s, e), ks.slice_cols(s, e), vs.slice_cols(s, e));
+                    let scores = qh.matmul_transb(&kh).map(|x| x * scale);
+                    let weights = scores.softmax_last_dim();
+                    heads.push(weights.matmul(&vh));
+                }
+                let head_refs: Vec<&Tensor> = heads.iter().collect();
+                Tensor::concat_cols(&head_refs).into_data()
+            });
+            let concat = timed(prof, &attn, "concat_cols", cost::copy(rows * d), || {
+                let mut mixed = arena::alloc_empty(h.len());
+                for seq in per_seq {
+                    mixed.extend_from_slice(&seq);
+                    arena::recycle(seq);
+                }
+                Tensor::from_vec(vec![rows, d], mixed)
+            });
+            let mm = timed(prof, &attn, "qmatmul", cost::matmul(rows, d, d), || {
+                self.qlin(&format!("l{l}.attn.wo")).matmul(&concat)
+            });
+            let out = timed(prof, &attn, "add_bias", cost::zip(rows * d, 1), || {
+                add_bias_rows(mm, self.p(&format!("l{l}.attn.bo")))
+            });
+            let sum =
+                timed(prof, &attn, "add", cost::zip(rows * d, 1), || h.zip_map(&out, |x, y| x + y));
+            h = timed(prof, &attn, "layer_norm", cost::layer_norm(rows, d), || {
+                layer_norm_rows(
+                    &sum,
+                    self.p(&format!("l{l}.ln1.g")),
+                    self.p(&format!("l{l}.ln1.b")),
+                )
+            });
+
+            let ffn = format!("l{l}.ffn");
+            let d_ff = self.config.d_ff;
+            let mm = timed(prof, &ffn, "qmatmul", cost::matmul(rows, d, d_ff), || {
+                self.qlin(&format!("l{l}.ffn.w1")).matmul(&h)
+            });
+            let pre = timed(prof, &ffn, "add_bias", cost::zip(rows * d_ff, 1), || {
+                add_bias_rows(mm, self.p(&format!("l{l}.ffn.b1")))
+            });
+            let inner = timed(prof, &ffn, "gelu", cost::gelu(rows * d_ff), || pre.gelu_forward());
+            let mm = timed(prof, &ffn, "qmatmul", cost::matmul(rows, d_ff, d), || {
+                self.qlin(&format!("l{l}.ffn.w2")).matmul(&inner)
+            });
+            let out = timed(prof, &ffn, "add_bias", cost::zip(rows * d, 1), || {
+                add_bias_rows(mm, self.p(&format!("l{l}.ffn.b2")))
+            });
+            let sum =
+                timed(prof, &ffn, "add", cost::zip(rows * d, 1), || h.zip_map(&out, |x, y| x + y));
+            h = timed(prof, &ffn, "layer_norm", cost::layer_norm(rows, d), || {
+                layer_norm_rows(
+                    &sum,
+                    self.p(&format!("l{l}.ln2.g")),
+                    self.p(&format!("l{l}.ln2.b")),
+                )
+            });
+        }
+
+        let mm = timed(prof, "head", "qmatmul", cost::matmul(rows, d, self.num_classes), || {
+            self.qlin("head.w").matmul(&h)
+        });
+        timed(prof, "head", "add_bias", cost::zip(rows * self.num_classes, 1), || {
+            add_bias_rows(mm, self.p("head.b"))
+        })
+    }
+}
+
+/// An int8-serving twin of [`TransformerExtractor`]: same tokenizer, label
+/// set, and decoding, with the encoder forward running through
+/// [`QuantizedModel`].
+pub struct QuantizedExtractor {
+    name: String,
+    labels: LabelSet,
+    tokenizer: Tokenizer,
+    case_normalizer: Normalizer,
+    model: QuantizedModel,
+    multi_span: MultiSpanPolicy,
+}
+
+impl From<&TransformerExtractor> for QuantizedExtractor {
+    fn from(extractor: &TransformerExtractor) -> Self {
+        let (tokenizer, _, multi_span) = extractor.parts();
+        QuantizedExtractor {
+            name: format!("{}-int8", extractor.name()),
+            labels: extractor.labels().clone(),
+            tokenizer: tokenizer.clone(),
+            case_normalizer: Normalizer::new(NormalizerConfig::default()),
+            model: QuantizedModel::from(extractor.model()),
+            multi_span,
+        }
+    }
+}
+
+impl QuantizedExtractor {
+    /// The label set this extractor predicts.
+    pub fn labels(&self) -> &LabelSet {
+        &self.labels
+    }
+
+    /// The quantized encoder.
+    pub fn model(&self) -> &QuantizedModel {
+        &self.model
+    }
+
+    /// Assembles a quantized extractor from independently persisted pieces;
+    /// `params` must be in [`QuantizedModel::to_store`] layout. The
+    /// quantized counterpart of [`TransformerExtractor::from_parts`].
+    pub fn from_parts(
+        labels: LabelSet,
+        tokenizer: Tokenizer,
+        model_config: TransformerConfig,
+        num_classes: usize,
+        params: ParamStore,
+        multi_span: MultiSpanPolicy,
+    ) -> Self {
+        let model = QuantizedModel::from_store(model_config.clone(), num_classes, params);
+        QuantizedExtractor {
+            name: format!("{}-int8", model_config.name),
+            labels,
+            tokenizer,
+            case_normalizer: Normalizer::new(NormalizerConfig::default()),
+            model,
+            multi_span,
+        }
+    }
+
+    /// Batched tag prediction — the quantized twin of
+    /// [`TransformerExtractor::predict_tags_batch`].
+    pub fn predict_tags_batch(&self, texts: &[&str]) -> Vec<(String, Vec<PreToken>, Vec<Tag>)> {
+        let prof_on = prof::enabled();
+        let max_len = self.model.config().max_len;
+        let inputs = gs_par::map_collect(texts.len(), |i| {
+            timed(prof_on, "tokenize", "encode", prof::Cost::zero(), || {
+                encode_for_inference(&self.tokenizer, &self.case_normalizer, max_len, texts[i])
+            })
+        });
+        let seqs: Vec<&[usize]> = inputs.iter().map(|i| i.ids.as_slice()).collect();
+        let classes = self.model.predict_classes_batch(&seqs);
+        inputs
+            .into_iter()
+            .zip(classes)
+            .map(|(input, classes)| {
+                timed(prof_on, "decode", "collapse", prof::Cost::zero(), || {
+                    decode_predictions(&self.labels, input, &classes)
+                })
+            })
+            .collect()
+    }
+
+    /// Batched extraction — the quantized twin of
+    /// [`TransformerExtractor::extract_batch`].
+    pub fn extract_batch(&self, texts: &[&str]) -> Vec<ExtractedDetails> {
+        self.predict_tags_batch(texts)
+            .into_iter()
+            .map(|(case_text, tokens, tags)| {
+                if tags.is_empty() {
+                    ExtractedDetails::new()
+                } else {
+                    decode_details(&case_text, &tokens, &tags, &self.labels, self.multi_span)
+                }
+            })
+            .collect()
+    }
+}
+
+impl DetailExtractor for QuantizedExtractor {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn extract(&self, text: &str) -> ExtractedDetails {
+        self.extract_batch(&[text]).pop().expect("one result per text")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantize_round_trips_within_half_scale() {
+        let w =
+            Tensor::matrix(&[vec![0.5, -1.0, 0.0], vec![-0.25, 2.0, 0.0], vec![0.125, 0.5, 0.0]]);
+        let lin = QuantizedLinear::from_weights(&w);
+        assert_eq!(lin.input_dim(), 3);
+        assert_eq!(lin.output_dim(), 3);
+        for j in 0..3 {
+            for p in 0..3 {
+                let original = w.data()[p * 3 + j];
+                let restored = lin.q[j * 3 + p] as f32 * lin.scale[j];
+                assert!(
+                    (original - restored).abs() <= lin.scale[j] * 0.5 + 1e-7,
+                    "w[{p}][{j}]: {original} vs {restored}"
+                );
+            }
+        }
+        // The all-zero column must stay all-zero with a benign scale.
+        assert_eq!(lin.scale[2], 1.0);
+        assert!(lin.q[2 * 3..3 * 3].iter().all(|&v| v == 0));
+    }
+
+    #[test]
+    fn quantized_matmul_tracks_f32() {
+        let k = 9;
+        let n = 5;
+        let rows = 4;
+        let wdata: Vec<f32> = (0..k * n).map(|i| ((i * 37 % 19) as f32 - 9.0) / 10.0).collect();
+        let xdata: Vec<f32> = (0..rows * k).map(|i| ((i * 23 % 17) as f32 - 8.0) / 8.0).collect();
+        let w = Tensor::from_vec(vec![k, n], wdata);
+        let x = Tensor::from_vec(vec![rows, k], xdata);
+        let exact = x.matmul(&w);
+        let quant = QuantizedLinear::from_weights(&w).matmul(&x);
+        assert_eq!(quant.shape(), &[rows, n]);
+        for (a, b) in exact.data().iter().zip(quant.data()) {
+            // Error budget: k weights each off by at most scale/2 against
+            // |x| <= 1 activations.
+            assert!((a - b).abs() < 0.05, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn dot_i8_handles_remainders() {
+        for len in [0, 1, 3, 4, 5, 8, 11] {
+            let x: Vec<f32> = (0..len).map(|i| i as f32 * 0.5).collect();
+            let q: Vec<i8> = (0..len).map(|i| (i as i8) - 3).collect();
+            let expect: f32 = x.iter().zip(&q).map(|(&a, &b)| a * b as f32).sum();
+            assert!((dot_i8(&x, &q) - expect).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn store_round_trip_is_exact() {
+        let cfg = TransformerConfig {
+            name: "tiny".into(),
+            family: crate::transformer::ModelFamily::Roberta,
+            d_model: 16,
+            n_heads: 2,
+            n_layers: 1,
+            d_ff: 32,
+            max_len: 16,
+            dropout: 0.0,
+            subword_budget: 50,
+        };
+        let model = TokenClassifier::new(cfg.clone(), 30, 5, 42);
+        let quantized = QuantizedModel::from(&model);
+        let restored = QuantizedModel::from_store(cfg, 5, quantized.to_store());
+        let ids: Vec<usize> = vec![1, 7, 2, 9, 4];
+        assert_eq!(quantized.logits(&ids).data(), restored.logits(&ids).data());
+        assert_eq!(quantized.quantized_bytes(), restored.quantized_bytes());
+    }
+}

@@ -83,113 +83,124 @@ pub fn train_token_classifier_cb(
     // Sequence lengths vary, so a long monotone run of growing tapes is a
     // leak signal, not data noise.
     let mut growth = GrowthMonitor::new(64);
-    for epoch in 0..config.epochs {
-        order.shuffle(&mut shuffle_rng);
-        let epoch_start = gs_obs::enabled().then(std::time::Instant::now);
-        let mut epoch_loss = 0.0f64;
-        for batch in order.chunks(config.batch_size.max(1)) {
-            // Pre-draw every sequence's dropout masks on this thread, in
-            // batch order, so the RNG stream is identical to serial
-            // training regardless of pool size.
-            let batch_masks: Vec<Vec<Tensor>> =
-                timed(prof_on, "train", "draw_dropout", prof::Cost::zero(), || {
-                    batch
-                        .iter()
-                        .map(|&i| model.draw_dropout_masks(examples[i].ids.len(), &mut dropout_rng))
-                        .collect()
+    // One arena scope across every epoch: once warm, each step's tape and
+    // kernel buffers are recycled from the pool instead of hitting the
+    // allocator (`arena_flatness.rs` pins steady-state training flat).
+    gs_tensor::arena::scope(|| {
+        for epoch in 0..config.epochs {
+            order.shuffle(&mut shuffle_rng);
+            let epoch_start = gs_obs::enabled().then(std::time::Instant::now);
+            let mut epoch_loss = 0.0f64;
+            for batch in order.chunks(config.batch_size.max(1)) {
+                // Pre-draw every sequence's dropout masks on this thread, in
+                // batch order, so the RNG stream is identical to serial
+                // training regardless of pool size.
+                let batch_masks: Vec<Vec<Tensor>> =
+                    timed(prof_on, "train", "draw_dropout", prof::Cost::zero(), || {
+                        batch
+                            .iter()
+                            .map(|&i| {
+                                model.draw_dropout_masks(examples[i].ids.len(), &mut dropout_rng)
+                            })
+                            .collect()
+                    });
+                // Data-parallel shard: each sequence's forward/backward runs on
+                // its own tape, possibly on a pool worker, and hands back its
+                // loss and gradient pairs.
+                let shard_model: &TokenClassifier = model;
+                let shards = gs_par::map_collect(batch.len(), |j| {
+                    let ex = &examples[batch[j]];
+                    let tape = Tape::new();
+                    let mut binder = Binder::new(&tape);
+                    let logits = shard_model.forward_with_masks(
+                        &tape,
+                        &mut binder,
+                        &ex.ids,
+                        &batch_masks[j],
+                    );
+                    let loss = tape.cross_entropy(logits, &ex.targets);
+                    let loss_val = f64::from(tape.value(loss).item());
+                    let mut grads = tape.backward(loss);
+                    let pairs = binder.take_param_grads(&mut grads);
+                    (loss_val, pairs, tape.first_numeric_issue(), tape.len())
                 });
-            // Data-parallel shard: each sequence's forward/backward runs on
-            // its own tape, possibly on a pool worker, and hands back its
-            // loss and gradient pairs.
-            let shard_model: &TokenClassifier = model;
-            let shards = gs_par::map_collect(batch.len(), |j| {
-                let ex = &examples[batch[j]];
-                let tape = Tape::new();
-                let mut binder = Binder::new(&tape);
-                let logits =
-                    shard_model.forward_with_masks(&tape, &mut binder, &ex.ids, &batch_masks[j]);
-                let loss = tape.cross_entropy(logits, &ex.targets);
-                let loss_val = f64::from(tape.value(loss).item());
-                let mut grads = tape.backward(loss);
-                let pairs = binder.take_param_grads(&mut grads);
-                (loss_val, pairs, tape.first_numeric_issue(), tape.len())
-            });
-            // Fold shards in batch order: loss totals and gradient sums see
-            // contributions in exactly the serial order, so every float is
-            // bit-identical to single-threaded training.
-            let mut batch_loss = 0.0f64;
-            for (loss_val, pairs, issue, tape_len) in shards {
-                batch_loss += loss_val;
-                let accum_len: usize = pairs.iter().map(|(_, g)| g.len()).sum();
-                timed(prof_on, "train", "accum_grad", cost::zip(accum_len, 1), || {
-                    for (id, g) in &pairs {
-                        model.store_mut().accumulate_grad(*id, g);
+                // Fold shards in batch order: loss totals and gradient sums see
+                // contributions in exactly the serial order, so every float is
+                // bit-identical to single-threaded training.
+                let mut batch_loss = 0.0f64;
+                for (loss_val, pairs, issue, tape_len) in shards {
+                    batch_loss += loss_val;
+                    let accum_len: usize = pairs.iter().map(|(_, g)| g.len()).sum();
+                    timed(prof_on, "train", "accum_grad", cost::zip(accum_len, 1), || {
+                        for (id, g) in &pairs {
+                            model.store_mut().accumulate_grad(*id, g);
+                        }
+                    });
+                    if let Some(issue) = issue {
+                        gs_obs::counter("train.sanitizer_trips", 1);
+                        panic!("numeric sanitizer tripped at step {step} (epoch {epoch}): {issue}");
                     }
-                });
-                if let Some(issue) = issue {
-                    gs_obs::counter("train.sanitizer_trips", 1);
-                    panic!("numeric sanitizer tripped at step {step} (epoch {epoch}): {issue}");
+                    if let Some(report) = growth.observe(tape_len) {
+                        gs_obs::counter("train.tape_growth_alerts", 1);
+                        gs_obs::emit(
+                            "tape_growth",
+                            "finetune",
+                            vec![
+                                ("step", step.into()),
+                                ("epoch", epoch.into()),
+                                ("detail", report.to_string().into()),
+                            ],
+                        );
+                    }
                 }
-                if let Some(report) = growth.observe(tape_len) {
-                    gs_obs::counter("train.tape_growth_alerts", 1);
+                epoch_loss += batch_loss;
+                let max_norm = config.clip_norm * batch.len() as f32;
+                let grad_norm = model.store_mut().clip_grad_norm(max_norm);
+                let lr = schedule.lr_at(step);
+                opt.set_lr(lr);
+                opt.step(model.store_mut());
+                step += 1;
+                if gs_obs::enabled() {
+                    let clipped = grad_norm > max_norm;
+                    gs_obs::counter("train.steps", 1);
+                    gs_obs::counter("train.sequences", batch.len() as u64);
+                    if clipped {
+                        gs_obs::counter("train.clip_events", 1);
+                    }
                     gs_obs::emit(
-                        "tape_growth",
+                        "train_step",
                         "finetune",
                         vec![
                             ("step", step.into()),
                             ("epoch", epoch.into()),
-                            ("detail", report.to_string().into()),
+                            ("loss", (batch_loss / batch.len() as f64).into()),
+                            ("lr", lr.into()),
+                            ("grad_norm", grad_norm.into()),
+                            ("clipped", clipped.into()),
+                            ("sequences", batch.len().into()),
                         ],
                     );
                 }
             }
-            epoch_loss += batch_loss;
-            let max_norm = config.clip_norm * batch.len() as f32;
-            let grad_norm = model.store_mut().clip_grad_norm(max_norm);
-            let lr = schedule.lr_at(step);
-            opt.set_lr(lr);
-            opt.step(model.store_mut());
-            step += 1;
-            if gs_obs::enabled() {
-                let clipped = grad_norm > max_norm;
-                gs_obs::counter("train.steps", 1);
-                gs_obs::counter("train.sequences", batch.len() as u64);
-                if clipped {
-                    gs_obs::counter("train.clip_events", 1);
-                }
+            let mean_loss = (epoch_loss / examples.len() as f64) as f32;
+            stats.push(EpochStats { epoch, mean_loss });
+            if let Some(start) = epoch_start {
+                let seconds = start.elapsed().as_secs_f64();
+                gs_obs::observe("train.epoch_seconds", seconds);
                 gs_obs::emit(
-                    "train_step",
+                    "train_epoch",
                     "finetune",
                     vec![
-                        ("step", step.into()),
                         ("epoch", epoch.into()),
-                        ("loss", (batch_loss / batch.len() as f64).into()),
-                        ("lr", lr.into()),
-                        ("grad_norm", grad_norm.into()),
-                        ("clipped", clipped.into()),
-                        ("sequences", batch.len().into()),
+                        ("mean_loss", mean_loss.into()),
+                        ("seconds", seconds.into()),
+                        ("sequences_per_sec", (examples.len() as f64 / seconds.max(1e-9)).into()),
                     ],
                 );
             }
+            on_epoch(epoch, model);
         }
-        let mean_loss = (epoch_loss / examples.len() as f64) as f32;
-        stats.push(EpochStats { epoch, mean_loss });
-        if let Some(start) = epoch_start {
-            let seconds = start.elapsed().as_secs_f64();
-            gs_obs::observe("train.epoch_seconds", seconds);
-            gs_obs::emit(
-                "train_epoch",
-                "finetune",
-                vec![
-                    ("epoch", epoch.into()),
-                    ("mean_loss", mean_loss.into()),
-                    ("seconds", seconds.into()),
-                    ("sequences_per_sec", (examples.len() as f64 / seconds.max(1e-9)).into()),
-                ],
-            );
-        }
-        on_epoch(epoch, model);
-    }
+    });
     drop(run_span);
     stats
 }

@@ -1,0 +1,170 @@
+//! Accuracy-tolerance suite for the int8 quantized serving path, pinned
+//! against the committed golden fixture (`tests/golden/` at the repo root):
+//!
+//! 1. **Spans are exact**: the quantized extractor must reproduce every
+//!    golden span byte-for-byte (span F1 == 1.0 against the f32 path).
+//! 2. **Logits are close**: per-logit max-abs error against the f32 packed
+//!    forward stays under a fixed budget on every fixture text.
+//! 3. **Round-trip**: the quantized model survives the plain-text
+//!    checkpoint format bit-exactly (`.q` integer tensors and `.scale`
+//!    rows through `save_params_text` / `load_params_text`).
+
+use gs_core::MultiSpanPolicy;
+use gs_models::transformer::{
+    ModelFamily, QuantizedExtractor, QuantizedModel, TransformerConfig, TransformerExtractor,
+};
+use gs_text::labels::LabelSet;
+use gs_text::{Normalizer, Tokenizer};
+use std::path::{Path, PathBuf};
+
+/// Per-logit max-abs-error budget for the golden model. Weight rounding
+/// injects at most `scale/2` per weight; two encoder layers of the golden
+/// architecture keep the compounded logit error well under this.
+const LOGIT_TOLERANCE: f32 = 0.15;
+
+/// Mirrors `golden_config()` in `tests/golden_extraction.rs`.
+fn golden_config() -> TransformerConfig {
+    TransformerConfig {
+        name: "golden-roberta".into(),
+        family: ModelFamily::Roberta,
+        d_model: 32,
+        n_heads: 2,
+        n_layers: 1,
+        d_ff: 64,
+        max_len: 48,
+        dropout: 0.05,
+        subword_budget: 300,
+    }
+}
+
+fn fixture_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden")
+}
+
+fn load_golden_extractor() -> TransformerExtractor {
+    let dir = fixture_dir();
+    let corpus = std::fs::read_to_string(dir.join("corpus.txt")).expect("read corpus.txt");
+    let texts: Vec<&str> = corpus.lines().collect();
+    assert!(!texts.is_empty(), "empty golden corpus");
+    let config = golden_config();
+    let tokenizer = Tokenizer::train_bpe(&texts, Normalizer::default(), config.subword_budget);
+    let params = gs_tensor::serialize::load_params_text_file(&dir.join("params.txt"))
+        .expect("read params.txt");
+    let labels = LabelSet::sustainability_goals();
+    let num_classes = labels.num_classes();
+    TransformerExtractor::from_parts(
+        labels,
+        tokenizer,
+        config,
+        num_classes,
+        params,
+        MultiSpanPolicy::First,
+    )
+}
+
+/// `>>> text` cases with their `field<TAB>value` spans.
+fn golden_cases() -> Vec<(String, Vec<(String, String)>)> {
+    let raw =
+        std::fs::read_to_string(fixture_dir().join("expected.txt")).expect("read expected.txt");
+    let mut cases: Vec<(String, Vec<(String, String)>)> = Vec::new();
+    for line in raw.lines() {
+        if let Some(text) = line.strip_prefix(">>> ") {
+            cases.push((text.to_string(), Vec::new()));
+        } else if !line.trim().is_empty() {
+            let (kind, value) = line.split_once('\t').expect("field lines are kind<TAB>value");
+            cases.last_mut().expect("field before case").1.push((kind.into(), value.into()));
+        }
+    }
+    assert!(!cases.is_empty(), "empty expected.txt");
+    cases
+}
+
+#[test]
+fn quantized_extractor_reproduces_every_golden_span() {
+    let f32_ex = load_golden_extractor();
+    let quant_ex = QuantizedExtractor::from(&f32_ex);
+    let cases = golden_cases();
+    let texts: Vec<&str> = cases.iter().map(|(t, _)| t.as_str()).collect();
+    let batched = quant_ex.extract_batch(&texts);
+    let mut spans = 0usize;
+    for (details, (text, want)) in batched.into_iter().zip(&cases) {
+        let got: Vec<(String, String)> =
+            details.fields.into_iter().filter(|(_, v)| !v.is_empty()).collect();
+        assert_eq!(&got, want, "quantized spans drifted for {text:?}");
+        spans += want.len();
+    }
+    // Exact agreement on every span is span F1 == 1.0 by construction;
+    // make sure the fixture actually exercised some.
+    assert!(spans > 0, "golden fixture contains no spans");
+}
+
+#[test]
+fn quantized_logits_stay_within_tolerance() {
+    let f32_ex = load_golden_extractor();
+    let quantized = QuantizedModel::from(f32_ex.model());
+    let cases = golden_cases();
+    let mut worst = 0.0f32;
+    for (text, _) in &cases {
+        let (_, _, tags) = f32_ex.predict_tags(text);
+        assert!(!tags.is_empty(), "fixture text produced no tags: {text:?}");
+        // Compare on the exact id sequence the extractor would run.
+        let ids = golden_ids(&f32_ex, text);
+        let exact = f32_ex.model().logits(&ids);
+        let approx = quantized.logits(&ids);
+        assert_eq!(exact.shape(), approx.shape());
+        for (a, b) in exact.data().iter().zip(approx.data()) {
+            worst = worst.max((a - b).abs());
+        }
+    }
+    assert!(
+        worst < LOGIT_TOLERANCE,
+        "per-logit max-abs error {worst} exceeds budget {LOGIT_TOLERANCE}"
+    );
+    // The budget is meaningful only if quantization moves the logits at
+    // all; exact zeros would mean the int8 path silently ran in f32.
+    assert!(worst > 0.0, "quantized logits are bitwise equal to f32 — suspicious");
+}
+
+/// Rebuilds the `<s> ids </s>` sequence `predict_tags` feeds the encoder.
+fn golden_ids(ex: &TransformerExtractor, text: &str) -> Vec<usize> {
+    let dir = fixture_dir();
+    let corpus = std::fs::read_to_string(dir.join("corpus.txt")).expect("read corpus.txt");
+    let texts: Vec<&str> = corpus.lines().collect();
+    let config = golden_config();
+    let tokenizer = Tokenizer::train_bpe(&texts, Normalizer::default(), config.subword_budget);
+    let enc = tokenizer.encode(text);
+    let vocab = tokenizer.vocab();
+    let mut ids: Vec<usize> = Vec::with_capacity(enc.ids.len() + 2);
+    ids.push(vocab.bos_id() as usize);
+    ids.extend(enc.ids.iter().map(|&i| i as usize));
+    ids.truncate(ex.model().config().max_len - 1);
+    ids.push(vocab.eos_id() as usize);
+    ids
+}
+
+#[test]
+fn quantized_model_round_trips_through_text_checkpoint() {
+    let f32_ex = load_golden_extractor();
+    let quantized = QuantizedModel::from(f32_ex.model());
+
+    let mut checkpoint: Vec<u8> = Vec::new();
+    gs_tensor::serialize::save_params_text(&quantized.to_store(), &mut checkpoint)
+        .expect("write checkpoint");
+    let restored_store =
+        gs_tensor::serialize::load_params_text(checkpoint.as_slice()).expect("parse checkpoint");
+    let restored =
+        QuantizedModel::from_store(golden_config(), f32_ex.model().num_classes(), restored_store);
+
+    assert_eq!(quantized.quantized_bytes(), restored.quantized_bytes());
+    let cases = golden_cases();
+    for (text, _) in cases.iter().take(4) {
+        let ids = golden_ids(&f32_ex, text);
+        let before = quantized.logits(&ids);
+        let after = restored.logits(&ids);
+        // Text checkpoints store exact f32 bits, so the round-tripped model
+        // must be bit-identical, not merely close.
+        let before_bits: Vec<u32> = before.data().iter().map(|v| v.to_bits()).collect();
+        let after_bits: Vec<u32> = after.data().iter().map(|v| v.to_bits()).collect();
+        assert_eq!(before_bits, after_bits, "round-trip drifted for {text:?}");
+    }
+}

@@ -18,5 +18,5 @@ pub use evaluate::{evaluate_extractor, ApproachResult};
 pub use produce::{
     process_corpus, process_corpus_parallel, process_report, CompanyStats, ReportStats,
 };
-pub use serving::{DbStoreHook, ExtractorEngine};
+pub use serving::{DbStoreHook, ExtractorEngine, QuantizedEngine};
 pub use system::{GoalSpotter, GoalSpotterConfig};

@@ -4,9 +4,10 @@
 
 use crate::system::GoalSpotter;
 use gs_core::ExtractedDetails;
-use gs_models::transformer::TransformerExtractor;
+use gs_models::transformer::{QuantizedExtractor, TransformerExtractor};
 use gs_serve::{ExtractEngine, Extraction, Json, ObjectiveStoreHook};
 use gs_store::{ObjectiveDb, ObjectiveRecord, UpsertOutcome};
+use gs_tensor::arena;
 use std::sync::Arc;
 
 fn to_extraction(details: ExtractedDetails) -> Extraction {
@@ -16,18 +17,56 @@ fn to_extraction(details: ExtractedDetails) -> Extraction {
 impl ExtractEngine for GoalSpotter {
     fn extract_batch(&self, texts: &[String]) -> Vec<Extraction> {
         let refs: Vec<&str> = texts.iter().map(String::as_str).collect();
-        GoalSpotter::extract_batch(self, &refs).into_iter().map(to_extraction).collect()
+        arena::scope(|| GoalSpotter::extract_batch(self, &refs))
+            .into_iter()
+            .map(to_extraction)
+            .collect()
+    }
+
+    fn arena_bytes(&self) -> Option<u64> {
+        Some(arena::stats().pooled_bytes)
     }
 }
 
 /// A serving engine around a bare [`TransformerExtractor`] (no detection
-/// stage), for deployments that only expose the extraction service.
+/// stage), for deployments that only expose the extraction service. Each
+/// micro-batch forward runs inside a buffer-arena scope, so steady-state
+/// serving recycles its kernel buffers instead of hitting the allocator.
 pub struct ExtractorEngine(pub TransformerExtractor);
 
 impl ExtractEngine for ExtractorEngine {
     fn extract_batch(&self, texts: &[String]) -> Vec<Extraction> {
         let refs: Vec<&str> = texts.iter().map(String::as_str).collect();
-        self.0.extract_batch(&refs).into_iter().map(to_extraction).collect()
+        arena::scope(|| self.0.extract_batch(&refs)).into_iter().map(to_extraction).collect()
+    }
+
+    fn arena_bytes(&self) -> Option<u64> {
+        Some(arena::stats().pooled_bytes)
+    }
+}
+
+/// The int8 serving engine: a weight-quantized copy of a trained extractor
+/// behind the same [`ExtractEngine`] interface. Spans match the f32 path on
+/// the accuracy-tolerance suite while the encoder weights occupy ~4x less
+/// memory; logits are tolerance-bounded, not bit-identical (see
+/// `gs_models::transformer::QuantizedExtractor`).
+pub struct QuantizedEngine(pub QuantizedExtractor);
+
+impl QuantizedEngine {
+    /// Quantizes `extractor`'s encoder weights into a serving engine.
+    pub fn from_extractor(extractor: &TransformerExtractor) -> Self {
+        QuantizedEngine(QuantizedExtractor::from(extractor))
+    }
+}
+
+impl ExtractEngine for QuantizedEngine {
+    fn extract_batch(&self, texts: &[String]) -> Vec<Extraction> {
+        let refs: Vec<&str> = texts.iter().map(String::as_str).collect();
+        arena::scope(|| self.0.extract_batch(&refs)).into_iter().map(to_extraction).collect()
+    }
+
+    fn arena_bytes(&self) -> Option<u64> {
+        Some(arena::stats().pooled_bytes)
     }
 }
 

@@ -36,6 +36,13 @@ pub struct Extraction {
 pub trait ExtractEngine: Send + Sync + 'static {
     /// Runs extraction over a micro-batch of texts.
     fn extract_batch(&self, texts: &[String]) -> Vec<Extraction>;
+
+    /// Bytes currently parked in the engine's buffer arena, if it runs its
+    /// forwards through one. Engines without an arena report `None` and the
+    /// worker loop skips the `serve.arena_bytes` gauge.
+    fn arena_bytes(&self) -> Option<u64> {
+        None
+    }
 }
 
 /// Why a request was rejected or abandoned instead of answered.
@@ -327,6 +334,9 @@ fn worker_loop(shared: &Shared, config: &BatchConfig, engine: &dyn ExtractEngine
         );
         gs_obs::observe("serve.batch.forward_seconds", forward_seconds);
         gs_obs::counter("serve.extracted_items", batch_size as u64);
+        if let Some(bytes) = engine.arena_bytes() {
+            gs_obs::gauge("serve.arena_bytes", bytes as f64);
+        }
         // Trace propagation record: which request traces this dispatch
         // served, so a flight-recorder entry can be tied to its batch-mates.
         let mut traces = String::new();

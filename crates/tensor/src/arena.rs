@@ -1,0 +1,284 @@
+//! A global recycling arena for kernel buffers.
+//!
+//! Every kernel in this crate allocates its output through [`alloc_zeroed`] /
+//! [`alloc_empty`] / [`alloc_copy`], and [`Tensor`](crate::Tensor)'s `Drop`
+//! returns the backing `Vec<f32>` here. While a [`scope`] is active, freed
+//! buffers are parked in power-of-two size-class buckets and handed back to
+//! the next allocation of a compatible size, so a steady-state forward pass
+//! (or the packed `predict_tags_batch` serve path) performs **zero per-op
+//! heap allocation** after the first warm-up round: [`ArenaStats::fresh_allocs`]
+//! stays flat, which `crates/models/tests/arena_flatness.rs` pins with a
+//! `GrowthMonitor`.
+//!
+//! The pool is deliberately **global**, not thread-local: `gs-par` fans work
+//! out to pool workers (which allocate outputs) while the fold and the final
+//! drop happen on the caller's thread. Thread-local pools would leak buffers
+//! from the allocating thread's perspective and never flatten under
+//! `GS_NUM_THREADS>1`; a shared pool recycles across threads at the cost of
+//! one short mutex hold per alloc/free of a pooled size. Buffers are recycled
+//! by *capacity class* (the arena never inspects or trusts old contents —
+//! `alloc_zeroed` re-zeroes, `alloc_empty` hands back a cleared vec).
+//!
+//! Outside a scope (or with `GS_ARENA=off`) every call degrades to the plain
+//! `Vec` it replaced — allocation behaviour is bitwise unobservable either
+//! way, since buffer *contents* are always written before use.
+
+use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Buffers smaller than this (in elements) are never pooled: malloc is
+/// effectively free at that size and pooling would just add mutex traffic.
+pub const MIN_POOL_ELEMS: usize = 64;
+/// Number of power-of-two size classes: class `c` holds buffers whose
+/// capacity lies in `[MIN_POOL_ELEMS << c, MIN_POOL_ELEMS << (c + 1))`.
+/// 19 classes covers 64 .. 32Mi elements (128 MiB); anything larger is
+/// returned to the allocator rather than parked.
+const NUM_CLASSES: usize = 19;
+/// Per-class retention budget in bytes. A whole autograd tape's buffers are
+/// freed at once when the tape drops at the end of a training step, so a
+/// class must hold a full step's worth of same-sized buffers (hundreds for
+/// a deep tape) or the next step re-allocates the overflow every round and
+/// the steady state never flattens. Small classes therefore get a high
+/// *count* cap, while the byte budget keeps large classes from pinning
+/// unbounded memory after a one-off batch-size spike.
+const MAX_CLASS_BYTES: usize = 16 << 20;
+
+/// Retention cap (in buffers) for size class `c`: the byte budget divided
+/// by the class's minimum buffer size, clamped to [4, 1024].
+fn max_per_class(c: usize) -> usize {
+    (MAX_CLASS_BYTES / (4 * (MIN_POOL_ELEMS << c))).clamp(4, 1024)
+}
+
+#[allow(clippy::declare_interior_mutable_const)]
+const EMPTY_BUCKET: Mutex<Vec<Vec<f32>>> = Mutex::new(Vec::new());
+static POOL: [Mutex<Vec<Vec<f32>>>; NUM_CLASSES] = [EMPTY_BUCKET; NUM_CLASSES];
+
+/// Nesting depth of active [`scope`] calls (scopes may nest; the pool drains
+/// only when the outermost scope ends, via the per-class caps).
+static DEPTH: AtomicUsize = AtomicUsize::new(0);
+
+/// Master switch: 0 = uninitialised (read `GS_ARENA` on first use),
+/// 1 = enabled, 2 = disabled.
+static ENABLED: AtomicU8 = AtomicU8::new(0);
+
+static FRESH_ALLOCS: AtomicU64 = AtomicU64::new(0);
+static RECYCLED_ALLOCS: AtomicU64 = AtomicU64::new(0);
+static POOLED_BYTES: AtomicU64 = AtomicU64::new(0);
+static POOLED_BUFFERS: AtomicU64 = AtomicU64::new(0);
+
+/// A snapshot of the arena's counters.
+///
+/// `fresh_allocs` / `recycled_allocs` are cumulative (since process start or
+/// the last [`reset_stats`]); `pooled_bytes` / `pooled_buffers` describe what
+/// the pool currently holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArenaStats {
+    /// Pooled-size allocations that had to hit the system allocator while a
+    /// scope was active. Flat across steady-state iterations ⇒ zero per-op
+    /// heap allocation.
+    pub fresh_allocs: u64,
+    /// Allocations satisfied by recycling a pooled buffer.
+    pub recycled_allocs: u64,
+    /// Bytes currently parked in the pool.
+    pub pooled_bytes: u64,
+    /// Buffers currently parked in the pool.
+    pub pooled_buffers: u64,
+}
+
+fn enabled() -> bool {
+    match ENABLED.load(Ordering::Relaxed) {
+        1 => true,
+        2 => false,
+        _ => {
+            let on =
+                !matches!(std::env::var("GS_ARENA").as_deref(), Ok("off") | Ok("0") | Ok("false"));
+            ENABLED.store(if on { 1 } else { 2 }, Ordering::Relaxed);
+            on
+        }
+    }
+}
+
+/// Force the pool on or off (overrides `GS_ARENA`). Used by benches to
+/// measure the pre-arena allocation behaviour; disabling does not drop
+/// already-pooled buffers (call [`clear`] for that).
+pub fn set_pool_enabled(on: bool) {
+    ENABLED.store(if on { 1 } else { 2 }, Ordering::Relaxed);
+}
+
+/// Whether buffers are currently being recycled (inside a [`scope`], pool
+/// enabled).
+#[inline]
+pub fn active() -> bool {
+    DEPTH.load(Ordering::Relaxed) > 0 && enabled()
+}
+
+/// Run `f` with the arena active: kernel buffers freed inside the closure
+/// are parked for reuse instead of returned to the allocator. Scopes nest.
+pub fn scope<R>(f: impl FnOnce() -> R) -> R {
+    struct Guard;
+    impl Drop for Guard {
+        fn drop(&mut self) {
+            DEPTH.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+    DEPTH.fetch_add(1, Ordering::Relaxed);
+    let _guard = Guard;
+    f()
+}
+
+/// Size class a *request* for `n` elements is served from: the smallest
+/// class whose minimum capacity covers `n`, so any pooled buffer in that
+/// class fits.
+fn request_class(n: usize) -> Option<usize> {
+    if n > MIN_POOL_ELEMS << (NUM_CLASSES - 1) {
+        return None;
+    }
+    let c = n.div_ceil(MIN_POOL_ELEMS).next_power_of_two().trailing_zeros() as usize;
+    Some(c)
+}
+
+/// Size class a buffer of capacity `cap` is *parked* in (floor), or `None`
+/// when the buffer is too small or too large to be worth pooling.
+fn park_class(cap: usize) -> Option<usize> {
+    if !(MIN_POOL_ELEMS..MIN_POOL_ELEMS << NUM_CLASSES).contains(&cap) {
+        return None;
+    }
+    let c = (cap / MIN_POOL_ELEMS).ilog2() as usize;
+    Some(c.min(NUM_CLASSES - 1))
+}
+
+fn take(n: usize) -> Option<Vec<f32>> {
+    let class = request_class(n)?;
+    let mut bucket = POOL[class].lock().unwrap_or_else(|e| e.into_inner());
+    let mut v = bucket.pop()?;
+    drop(bucket);
+    POOLED_BUFFERS.fetch_sub(1, Ordering::Relaxed);
+    POOLED_BYTES.fetch_sub((v.capacity() * 4) as u64, Ordering::Relaxed);
+    RECYCLED_ALLOCS.fetch_add(1, Ordering::Relaxed);
+    v.clear();
+    Some(v)
+}
+
+/// An empty `Vec<f32>` with capacity for at least `n` elements (for
+/// `extend`-style fills). Recycled from the pool when possible.
+pub fn alloc_empty(n: usize) -> Vec<f32> {
+    if active() {
+        if let Some(v) = take(n) {
+            debug_assert!(v.capacity() >= n);
+            return v;
+        }
+        if let Some(class) = request_class(n) {
+            FRESH_ALLOCS.fetch_add(1, Ordering::Relaxed);
+            // Round the capacity up to the class minimum: requests are
+            // served from the class whose *minimum* covers them, while
+            // parking floors by capacity, so an exactly-`n` buffer would
+            // park one class below the one its own request reads from and
+            // the steady state would never flatten.
+            return Vec::with_capacity(MIN_POOL_ELEMS << class);
+        }
+    }
+    Vec::with_capacity(n)
+}
+
+/// `vec![0.0; n]`, recycled from the pool when possible.
+pub fn alloc_zeroed(n: usize) -> Vec<f32> {
+    if active() {
+        if let Some(mut v) = take(n) {
+            v.resize(n, 0.0);
+            return v;
+        }
+        if let Some(class) = request_class(n) {
+            FRESH_ALLOCS.fetch_add(1, Ordering::Relaxed);
+            // Class-minimum capacity, for the same reason as alloc_empty.
+            let mut v = Vec::with_capacity(MIN_POOL_ELEMS << class);
+            v.resize(n, 0.0);
+            return v;
+        }
+    }
+    vec![0.0; n]
+}
+
+/// `src.to_vec()`, recycled from the pool when possible.
+pub fn alloc_copy(src: &[f32]) -> Vec<f32> {
+    let mut v = alloc_empty(src.len());
+    v.extend_from_slice(src);
+    v
+}
+
+/// Offer a buffer back to the pool. Dropped on the spot when no scope is
+/// active, the buffer is outside the poolable size range, or its class is
+/// already at capacity.
+pub fn recycle(v: Vec<f32>) {
+    if !active() {
+        return;
+    }
+    let Some(class) = park_class(v.capacity()) else {
+        return;
+    };
+    let mut bucket = POOL[class].lock().unwrap_or_else(|e| e.into_inner());
+    if bucket.len() >= max_per_class(class) {
+        return;
+    }
+    POOLED_BUFFERS.fetch_add(1, Ordering::Relaxed);
+    POOLED_BYTES.fetch_add((v.capacity() * 4) as u64, Ordering::Relaxed);
+    bucket.push(v);
+}
+
+/// Current counters.
+pub fn stats() -> ArenaStats {
+    ArenaStats {
+        fresh_allocs: FRESH_ALLOCS.load(Ordering::Relaxed),
+        recycled_allocs: RECYCLED_ALLOCS.load(Ordering::Relaxed),
+        pooled_bytes: POOLED_BYTES.load(Ordering::Relaxed),
+        pooled_buffers: POOLED_BUFFERS.load(Ordering::Relaxed),
+    }
+}
+
+/// Reset the cumulative counters (tests and benches).
+pub fn reset_stats() {
+    FRESH_ALLOCS.store(0, Ordering::Relaxed);
+    RECYCLED_ALLOCS.store(0, Ordering::Relaxed);
+}
+
+/// Drop every pooled buffer back to the allocator.
+pub fn clear() {
+    for bucket in &POOL {
+        let drained: Vec<Vec<f32>> =
+            std::mem::take(&mut *bucket.lock().unwrap_or_else(|e| e.into_inner()));
+        for v in &drained {
+            POOLED_BUFFERS.fetch_sub(1, Ordering::Relaxed);
+            POOLED_BYTES.fetch_sub((v.capacity() * 4) as u64, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retention_caps_scale_inversely_with_class_size() {
+        // Tiny buffers: generous count cap for tape-sized drop bursts.
+        assert_eq!(max_per_class(0), 1024);
+        // Large buffers: byte budget dominates but never starves the class.
+        assert!(max_per_class(NUM_CLASSES - 1) >= 4);
+        for c in 1..NUM_CLASSES {
+            assert!(max_per_class(c) <= max_per_class(c - 1));
+        }
+    }
+
+    #[test]
+    fn class_bounds_round_trip() {
+        // A buffer parked from a request of size n must be reusable by a
+        // later request of the same n.
+        for n in [64, 65, 100, 127, 128, 4096, 4097, 1 << 20] {
+            let req = request_class(n).unwrap();
+            let cap = MIN_POOL_ELEMS << req; // minimum capacity alloc'd for n
+            assert!(cap >= n, "class capacity {cap} must cover request {n}");
+            assert_eq!(park_class(cap), Some(req));
+        }
+        assert_eq!(request_class(1), Some(0));
+        assert_eq!(park_class(MIN_POOL_ELEMS - 1), None);
+        assert!(request_class(usize::MAX).is_none());
+    }
+}

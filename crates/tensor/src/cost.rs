@@ -40,19 +40,41 @@ pub fn copy(len: usize) -> Cost {
     Cost::new(0, 2 * ELEM * len as u64)
 }
 
+/// Forward gelu over `len` elements, mode-aware: the fast rational-tanh
+/// kernel is ~27 mul/add/div per element of straight-line arithmetic; the
+/// exact libm path is billed at the historical 10 (counting `tanh` as one
+/// flop, which is why its measured GFLOP/s column ran so low). Both read
+/// the input and write the output once.
+pub fn gelu(len: usize) -> Cost {
+    let per_elt = if crate::kernels::exact_gelu() { 10 } else { 27 };
+    Cost::new(len as u64 * per_elt, 2 * ELEM * len as u64)
+}
+
+/// Backward gelu (`gout * gelu'(x)`): reads gout and x, writes gin.
+pub fn gelu_bwd(len: usize) -> Cost {
+    let per_elt = if crate::kernels::exact_gelu() { 12 } else { 32 };
+    Cost::new(len as u64 * per_elt, 3 * ELEM * len as u64)
+}
+
 /// Row-wise softmax over `rows` rows of width `d`: max, subtract, exp, sum,
-/// divide — about 5 flops per element.
+/// divide — about 5 flops per element. The fused kernel reads the input
+/// twice (max scan, exp pass), writes the output in the exp pass, then
+/// rescales it in place: 5 element transfers per element total. (The
+/// pre-fusion kernel also cloned the input up front, which this accounting
+/// no longer bills.)
 pub fn softmax(rows: usize, d: usize) -> Cost {
     let len = (rows * d) as u64;
-    Cost::new(5 * len, 2 * ELEM * len)
+    Cost::new(5 * len, 5 * ELEM * len)
 }
 
 /// Layer norm over `rows` rows of width `d`: mean, variance, normalize,
-/// scale and shift — about 8 flops per element; reads x/gamma/beta, writes
-/// the output and the normalized aux buffer.
+/// scale and shift — about 8 flops per element. The kernel makes three
+/// streaming reads of x (mean, variance, normalize) and one write each of
+/// the output and the normalized aux buffer, plus gamma/beta once and one
+/// inv-std per row.
 pub fn layer_norm(rows: usize, d: usize) -> Cost {
     let len = (rows * d) as u64;
-    Cost::new(8 * len, ELEM * (3 * len + 2 * d as u64 + rows as u64))
+    Cost::new(8 * len, ELEM * (5 * len + 2 * d as u64 + rows as u64))
 }
 
 /// Token-masked cross-entropy over `[rows, classes]` logits: softmax plus
@@ -86,8 +108,24 @@ mod tests {
         assert_eq!(zip(10, 1).bytes, 120);
         assert_eq!(copy(8).flops, 0);
         assert_eq!(softmax(2, 4).flops, 40);
+        assert_eq!(softmax(2, 4).bytes, 5 * 4 * 8);
         assert_eq!(layer_norm(2, 4).flops, 64);
+        assert_eq!(layer_norm(2, 4).bytes, 4 * (5 * 8 + 2 * 4 + 2));
         assert_eq!(cross_entropy(2, 4).flops, 48);
         assert_eq!(gather(3, 4), copy(12));
+    }
+
+    #[test]
+    fn gelu_cost_tracks_active_mode() {
+        let before = crate::kernels::exact_gelu();
+        crate::kernels::set_exact_gelu(false);
+        assert_eq!(gelu(10).flops, 270);
+        assert_eq!(gelu_bwd(10).flops, 320);
+        crate::kernels::set_exact_gelu(true);
+        assert_eq!(gelu(10).flops, 100);
+        assert_eq!(gelu_bwd(10).flops, 120);
+        crate::kernels::set_exact_gelu(before);
+        assert_eq!(gelu(8).bytes, 2 * 4 * 8);
+        assert_eq!(gelu_bwd(8).bytes, 3 * 4 * 8);
     }
 }

@@ -24,10 +24,14 @@ mod optim;
 mod tape;
 mod tensor;
 
+/// Recycling buffer arena backing every kernel allocation.
+pub mod arena;
 /// Analytic flop/byte estimates for profiled kernels.
 pub mod cost;
 /// Exportable graph mirror of recorded tapes.
 pub mod graph;
+/// Cache-blocked GEMM micro-kernels and kernel/gelu mode switches.
+pub mod kernels;
 /// Numeric sanitizer plumbing (global flag, issue types).
 pub mod sanitize;
 /// Checkpoint save/load for parameter stores.
@@ -37,8 +41,11 @@ pub mod shape;
 
 pub use graph::{infer_shape, Graph, GraphNode, OpKind};
 pub use init::{normal, ones, xavier_uniform, zeros};
+pub use kernels::{exact_gelu, kernel_mode, set_exact_gelu, set_kernel_mode, KernelMode};
 pub use optim::{Binder, Optimizer, ParamId, ParamStore, WarmupLinearSchedule};
 pub use sanitize::{sanitize_enabled, set_sanitize, NumericIssue, NumericKind, SanitizePhase};
 pub use shape::{ShapeError, ShapeResult};
 pub use tape::{Grads, Tape, TapeOps, Var};
-pub use tensor::{gelu, gelu_grad, Tensor};
+pub use tensor::{
+    gelu, gelu_exact, gelu_fast, gelu_grad, gelu_grad_exact, gelu_grad_fast, tanh_fast, Tensor,
+};

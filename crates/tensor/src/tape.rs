@@ -11,11 +11,12 @@
 //! classification head needs; each op's backward rule is unit-tested against
 //! finite differences in this module's tests.
 
+use crate::arena;
 use crate::cost;
 use crate::graph::{Graph, GraphNode, OpKind};
 use crate::sanitize::{self, NumericIssue, SanitizePhase};
 use crate::shape::{self, ShapeError};
-use crate::tensor::{gelu, gelu_grad, Tensor, ELEMWISE_PAR_CUTOFF};
+use crate::tensor::{Tensor, ELEMWISE_PAR_CUTOFF};
 use gs_obs::prof;
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -212,7 +213,7 @@ fn bwd_cost(op: &Op, nodes: &[Node], gout_len: usize) -> prof::Cost {
             cost::cross_entropy(targets.len(), classes)
         }
         Op::EmbedGather { table, ids } => cost::gather(ids.len(), nodes[*table].value.cols()),
-        Op::Gelu(..) => cost::map(gout_len, 12),
+        Op::Gelu(..) => cost::gelu_bwd(gout_len),
         Op::Tanh(..) => cost::map(gout_len, 3),
         Op::Mul(..) => cost::zip(2 * gout_len, 1),
         Op::MeanAll(x) | Op::SumAll(x) => cost::map(nodes[*x].value.len(), 1),
@@ -551,12 +552,12 @@ impl Tape {
         self.push(out, Op::Relu(a.index()))
     }
 
-    /// Elementwise GELU.
+    /// Elementwise GELU (fast/exact per [`crate::kernels::exact_gelu`]).
     pub fn gelu(&self, a: Var) -> Var {
         let mut timer = self.prof_op("gelu");
         let va = self.value_rc(a);
-        timer.set_cost(cost::map(va.len(), 10));
-        let out = va.map(gelu);
+        timer.set_cost(cost::gelu(va.len()));
+        let out = va.gelu_forward();
         self.push(out, Op::Gelu(a.index()))
     }
 
@@ -592,9 +593,9 @@ impl Tape {
         let d = *vx.shape().last().expect("layer_norm on rank-0");
         let n = vx.len() / d;
         timer.set_cost(cost::layer_norm(n, d));
-        let mut xhat = vec![0.0f32; vx.len()];
-        let mut inv_std = vec![0.0f32; n];
-        let mut out = vec![0.0f32; vx.len()];
+        let mut xhat = arena::alloc_zeroed(vx.len());
+        let mut inv_std = arena::alloc_zeroed(n);
+        let mut out = arena::alloc_zeroed(vx.len());
         let (x_data, g_data, b_data) = (vx.data(), vg.data(), vb.data());
         let ln_row = |r: usize, xhat_row: &mut [f32], out_row: &mut [f32], istd_out: &mut f32| {
             let row = &x_data[r * d..(r + 1) * d];
@@ -817,7 +818,7 @@ impl Tape {
                 }
                 Op::Gelu(a) => {
                     let va = &nodes[*a].value;
-                    accumulate(&mut grads, *a, gout.zip_map(va, |g, x| g * gelu_grad(x)));
+                    accumulate(&mut grads, *a, va.gelu_backward(&gout));
                 }
                 Op::Tanh(a) => {
                     // value is tanh(x); grad = (1 - value^2)
@@ -827,7 +828,7 @@ impl Tape {
                     let s = &node.value; // softmax output
                     let d = *s.shape().last().expect("softmax shape");
                     let rows = s.len() / d;
-                    let mut gin = vec![0.0f32; s.len()];
+                    let mut gin = arena::alloc_zeroed(s.len());
                     let (s_data, g_all) = (s.data(), gout.data());
                     let bw_row = |r: usize, gin_row: &mut [f32]| {
                         let srow = &s_data[r * d..(r + 1) * d];
@@ -855,9 +856,9 @@ impl Tape {
                     let vg = &nodes[*gamma].value;
                     let d = *xhat.shape().last().expect("ln shape");
                     let rows = xhat.len() / d;
-                    let mut gx = vec![0.0f32; xhat.len()];
-                    let mut ggamma = vec![0.0f32; d];
-                    let mut gbeta = vec![0.0f32; d];
+                    let mut gx = arena::alloc_zeroed(xhat.len());
+                    let mut ggamma = arena::alloc_zeroed(d);
+                    let mut gbeta = arena::alloc_zeroed(d);
                     // `gx` rows are independent; `ggamma`/`gbeta` reduce
                     // *across* rows, so they stay on this thread, summed in
                     // ascending row order regardless of thread count (the
@@ -956,7 +957,7 @@ impl Tape {
                     let count = targets.iter().filter(|&&t| t >= 0).count().max(1) as f32;
                     let scale = gout.item() / count;
                     let classes = probs.cols();
-                    let mut gl = vec![0.0f32; probs.len()];
+                    let mut gl = arena::alloc_zeroed(probs.len());
                     let ce_row = |i: usize, grow: &mut [f32]| {
                         let t = targets[i];
                         if t < 0 {

@@ -1,0 +1,129 @@
+//! The cache-blocked matmul kernels must be **bit-identical** to the naive
+//! reference loops: every output element accumulates its k-products in
+//! ascending order through a single dependency chain in both
+//! implementations, so blocking may change *when* partial sums are computed
+//! but never *what* is added in which order. These tests pin that contract
+//! deterministically (no proptest) across shapes chosen to straddle every
+//! blocking boundary — the `MR`-row micro-panel, the `KU` unroll, and the
+//! `KC` k-strip — and across pool sizes, with the arena both on and off.
+
+use gs_tensor::kernels::{KC, KU, MR};
+use gs_tensor::{arena, Tensor};
+
+/// Deterministic pseudo-random fill: a cheap integer hash mapped to
+/// [-1, 1), so fixtures don't depend on any RNG crate.
+fn synth(len: usize, salt: u64) -> Vec<f32> {
+    (0..len)
+        .map(|i| {
+            let mut h = (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(salt);
+            h ^= h >> 33;
+            h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+            h ^= h >> 33;
+            ((h % 2000) as f32 / 1000.0) - 1.0
+        })
+        .collect()
+}
+
+/// Shapes that straddle the blocking boundaries: one element, sub-panel,
+/// exact multiples of MR/KU/KC, and each of those ±1.
+fn boundary_shapes() -> Vec<(usize, usize, usize)> {
+    let mut shapes = vec![
+        (1, 1, 1),
+        (2, 3, 4),
+        (MR, KU, MR),
+        (MR + 1, KU + 1, 5),
+        (MR - 1, KU - 1, 3),
+        (3, 17, 29),
+        (8, 64, 12),
+    ];
+    for k in [KC - 1, KC, KC + 1, 2 * KC, 2 * KC + 3] {
+        shapes.push((5, k, 7));
+        shapes.push((MR, k, 2));
+    }
+    shapes
+}
+
+fn bits(t: &Tensor) -> Vec<u32> {
+    t.data().iter().map(|v| v.to_bits()).collect()
+}
+
+#[test]
+fn blocked_matmul_family_is_bit_identical_to_reference() {
+    for (m, k, n) in boundary_shapes() {
+        let a = Tensor::from_vec(vec![m, k], synth(m * k, 1));
+        let b = Tensor::from_vec(vec![k, n], synth(k * n, 2));
+        assert_eq!(
+            bits(&a.matmul(&b)),
+            bits(&a.matmul_reference(&b)),
+            "matmul diverged at ({m},{k},{n})"
+        );
+
+        let bt = Tensor::from_vec(vec![n, k], synth(n * k, 3));
+        assert_eq!(
+            bits(&a.matmul_transb(&bt)),
+            bits(&a.matmul_transb_reference(&bt)),
+            "matmul_transb diverged at ({m},{k},{n})"
+        );
+
+        // transa: [k, m]^T x [k, n] — reuse k as the contracted dim.
+        let at = Tensor::from_vec(vec![k, m], synth(k * m, 4));
+        let b2 = Tensor::from_vec(vec![k, n], synth(k * n, 5));
+        assert_eq!(
+            bits(&at.matmul_transa(&b2)),
+            bits(&at.matmul_transa_reference(&b2)),
+            "matmul_transa diverged at ({m},{k},{n})"
+        );
+    }
+}
+
+#[test]
+fn blocked_kernels_are_bit_identical_across_pool_sizes() {
+    // Large enough to cross the parallel cutoff so row-block sharding kicks
+    // in at 4 threads.
+    let (m, k, n) = (96, KC + 5, 48);
+    let a = Tensor::from_vec(vec![m, k], synth(m * k, 6));
+    let b = Tensor::from_vec(vec![k, n], synth(k * n, 7));
+    let bt = Tensor::from_vec(vec![n, k], synth(n * k, 8));
+    let serial = gs_par::with_threads(1, || (bits(&a.matmul(&b)), bits(&a.matmul_transb(&bt))));
+    for threads in [2usize, 4] {
+        let parallel =
+            gs_par::with_threads(threads, || (bits(&a.matmul(&b)), bits(&a.matmul_transb(&bt))));
+        assert_eq!(serial, parallel, "kernels diverged at {threads} threads");
+    }
+}
+
+#[test]
+fn arena_recycling_does_not_change_results() {
+    let (m, k, n) = (24, KC + 1, 18);
+    let a = Tensor::from_vec(vec![m, k], synth(m * k, 9));
+    let b = Tensor::from_vec(vec![k, n], synth(k * n, 10));
+    let cold = bits(&a.matmul(&b));
+    // Inside a scope, repeated products recycle each other's buffers; the
+    // values must be byte-for-byte unchanged on every round.
+    arena::scope(|| {
+        for round in 0..8 {
+            assert_eq!(bits(&a.matmul(&b)), cold, "arena round {round} diverged");
+        }
+    });
+    assert_eq!(bits(&a.matmul(&b)), cold, "post-scope product diverged");
+}
+
+#[test]
+fn zero_heavy_inputs_stay_bit_identical() {
+    // The blocked kernel never skips zero products (the reference doesn't
+    // either); sparse panels are where a skip shortcut would first diverge
+    // on signed zeros.
+    let (m, k, n) = (7, KC + 2, 9);
+    let mut adata = synth(m * k, 11);
+    for (i, v) in adata.iter_mut().enumerate() {
+        if i % 3 != 0 {
+            *v = 0.0;
+        }
+        if i % 7 == 0 {
+            *v = -0.0;
+        }
+    }
+    let a = Tensor::from_vec(vec![m, k], adata);
+    let b = Tensor::from_vec(vec![k, n], synth(k * n, 12));
+    assert_eq!(bits(&a.matmul(&b)), bits(&a.matmul_reference(&b)));
+}

@@ -25,6 +25,19 @@ fn dim() -> impl Strategy<Value = usize> {
     prop_oneof![1usize..6, 30usize..34, 90usize..100]
 }
 
+/// Contracted (`k`) dimensions straddling the cache-blocking tile edges:
+/// the `MR`/`KU` micro-kernel sizes and the `KC` k-strip, each ±1, so a
+/// panel remainder, a full panel, and a strip spill are all exercised.
+fn blocked_k() -> impl Strategy<Value = usize> {
+    use gs_tensor::kernels::{KC, KU, MR};
+    prop_oneof![
+        (MR - 1)..=(MR + 1),
+        (KU - 1)..=(KU + 1),
+        (KC - 1)..=(KC + 1),
+        (2 * KC - 1)..=(2 * KC + 1),
+    ]
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
@@ -47,6 +60,29 @@ proptest! {
     }
 
     #[test]
+    fn matmul_blocked_boundaries_parallel_match_serial(
+        m in 1usize..10,
+        k in blocked_k(),
+        n in 1usize..10,
+        seed in any::<u64>(),
+    ) {
+        let a_data: Vec<f32> = (0..m * k)
+            .map(|i| ((seed.wrapping_add(i as u64).wrapping_mul(0x2545F4914F6CDD1D) >> 40) as i32 % 512) as f32 / 256.0)
+            .collect();
+        let b_data: Vec<f32> = (0..k * n)
+            .map(|i| ((seed.wrapping_add(i as u64 + 3).wrapping_mul(0x9E3779B97F4A7C15) >> 40) as i32 % 512) as f32 / 256.0)
+            .collect();
+        let a = Tensor::from_vec(vec![m, k], a_data);
+        let b = Tensor::from_vec(vec![k, n], b_data);
+        let serial = gs_par::with_threads(1, || a.matmul(&b));
+        let parallel = gs_par::with_threads(4, || a.matmul(&b));
+        prop_assert_eq!(bits(&serial), bits(&parallel));
+        // The blocked kernel must also agree with the naive reference
+        // bitwise at every tile edge.
+        prop_assert_eq!(bits(&serial), bits(&a.matmul_reference(&b)));
+    }
+
+    #[test]
     fn matmul_transb_parallel_matches_serial(
         a in tensor_strategy(70, 80),
         b in tensor_strategy(90, 80),
@@ -57,6 +93,27 @@ proptest! {
     }
 
     #[test]
+    fn matmul_transb_blocked_boundaries_parallel_match_serial(
+        m in 1usize..8,
+        k in blocked_k(),
+        n in 1usize..8,
+        salt in any::<u64>(),
+    ) {
+        let a_data: Vec<f32> = (0..m * k)
+            .map(|i| ((salt.wrapping_add(i as u64).wrapping_mul(0x2545F4914F6CDD1D) >> 40) as i32 % 512) as f32 / 256.0)
+            .collect();
+        let b_data: Vec<f32> = (0..n * k)
+            .map(|i| ((salt.wrapping_add(i as u64 + 11).wrapping_mul(0x9E3779B97F4A7C15) >> 40) as i32 % 512) as f32 / 256.0)
+            .collect();
+        let a = Tensor::from_vec(vec![m, k], a_data);
+        let b = Tensor::from_vec(vec![n, k], b_data);
+        let serial = gs_par::with_threads(1, || a.matmul_transb(&b));
+        let parallel = gs_par::with_threads(4, || a.matmul_transb(&b));
+        prop_assert_eq!(bits(&serial), bits(&parallel));
+        prop_assert_eq!(bits(&serial), bits(&a.matmul_transb_reference(&b)));
+    }
+
+    #[test]
     fn matmul_transa_parallel_matches_serial(
         a in tensor_strategy(80, 70),
         b in tensor_strategy(80, 90),
@@ -64,6 +121,28 @@ proptest! {
         let serial = gs_par::with_threads(1, || a.matmul_transa(&b));
         let parallel = gs_par::with_threads(4, || a.matmul_transa(&b));
         prop_assert_eq!(bits(&serial), bits(&parallel));
+    }
+
+    #[test]
+    fn matmul_transa_blocked_boundaries_parallel_match_serial(
+        m in 1usize..8,
+        k in blocked_k(),
+        n in 1usize..8,
+        salt in any::<u64>(),
+    ) {
+        // transa contracts over rows: a is [k, m], b is [k, n].
+        let a_data: Vec<f32> = (0..k * m)
+            .map(|i| ((salt.wrapping_add(i as u64).wrapping_mul(0x2545F4914F6CDD1D) >> 40) as i32 % 512) as f32 / 256.0)
+            .collect();
+        let b_data: Vec<f32> = (0..k * n)
+            .map(|i| ((salt.wrapping_add(i as u64 + 17).wrapping_mul(0x9E3779B97F4A7C15) >> 40) as i32 % 512) as f32 / 256.0)
+            .collect();
+        let a = Tensor::from_vec(vec![k, m], a_data);
+        let b = Tensor::from_vec(vec![k, n], b_data);
+        let serial = gs_par::with_threads(1, || a.matmul_transa(&b));
+        let parallel = gs_par::with_threads(4, || a.matmul_transa(&b));
+        prop_assert_eq!(bits(&serial), bits(&parallel));
+        prop_assert_eq!(bits(&serial), bits(&a.matmul_transa_reference(&b)));
     }
 
     #[test]
