@@ -44,8 +44,9 @@
 use std::any::Any;
 use std::collections::VecDeque;
 use std::panic::{self, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex, MutexGuard, OnceLock};
+use std::sync::OnceLock;
+
+use gs_race::sync::{AtomicBool, AtomicU64, AtomicUsize, Condvar, Mutex, Ordering};
 
 /// A queued unit of pool work.
 type Job = Box<dyn FnOnce() + Send + 'static>;
@@ -76,6 +77,9 @@ static PEAK_QUEUE: AtomicU64 = AtomicU64::new(0);
 /// A snapshot of the global pool counters.
 pub fn stats() -> PoolStats {
     PoolStats {
+        // ordering: Relaxed — monotonic statistics with no associated
+        // payload; a snapshot may mix slightly stale counters, which the
+        // PoolStats contract allows.
         dispatches: DISPATCHES.load(Ordering::Relaxed),
         jobs: JOBS.load(Ordering::Relaxed),
         steals: STEALS.load(Ordering::Relaxed),
@@ -106,6 +110,8 @@ fn configured_threads() -> usize {
 /// one is active, else `GS_NUM_THREADS`, else the machine's core count.
 /// Always at least 1.
 pub fn max_threads() -> usize {
+    // ordering: Relaxed — the override is a plain configuration value with
+    // no payload published alongside it; readers only need an atomic usize.
     match OVERRIDE.load(Ordering::Relaxed) {
         0 => configured_threads(),
         n => n,
@@ -126,6 +132,8 @@ impl ParScope {
     /// Installs a degree override of `threads` (clamped to at least 1),
     /// restored to the previous value on drop.
     pub fn new(threads: usize) -> ParScope {
+        // ordering: Relaxed — see max_threads(); the override carries no
+        // payload, so install/restore need no release edges.
         let prev = OVERRIDE.swap(threads.max(1), Ordering::Relaxed);
         ParScope { prev }
     }
@@ -133,6 +141,7 @@ impl ParScope {
 
 impl Drop for ParScope {
     fn drop(&mut self) {
+        // ordering: Relaxed — restore of a payload-free configuration value.
         OVERRIDE.store(self.prev, Ordering::Relaxed);
     }
 }
@@ -157,12 +166,6 @@ struct Pool {
     spawned: Mutex<usize>,
 }
 
-fn lock_ignore_poison<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
-    // Jobs run under catch_unwind, so poisoning is unreachable in practice;
-    // recover anyway so one bad scope can never wedge the process.
-    m.lock().unwrap_or_else(|e| e.into_inner())
-}
-
 fn pool() -> &'static Pool {
     static POOL: OnceLock<Pool> = OnceLock::new();
     POOL.get_or_init(|| {
@@ -177,13 +180,17 @@ fn pool() -> &'static Pool {
 fn worker_loop(shared: &'static PoolShared) {
     loop {
         let job = {
-            let mut queue = lock_ignore_poison(&shared.queue);
+            // The gs_race::sync mutex recovers from poisoning internally;
+            // jobs run under catch_unwind anyway, so one bad scope can
+            // never wedge the pool.
+            let mut queue = shared.queue.lock();
             loop {
                 if let Some(job) = queue.pop_front() {
                     break job;
                 }
+                // ordering: Relaxed — park count is a statistic only.
                 PARKS.fetch_add(1, Ordering::Relaxed);
-                queue = shared.available.wait(queue).unwrap_or_else(|e| e.into_inner());
+                queue = shared.available.wait(queue);
             }
         };
         job();
@@ -193,7 +200,7 @@ fn worker_loop(shared: &'static PoolShared) {
 /// Ensures at least `want` workers exist, spawning parked ones as needed.
 fn ensure_workers(want: usize) {
     let p = pool();
-    let mut spawned = lock_ignore_poison(&p.spawned);
+    let mut spawned = p.spawned.lock();
     while *spawned < want {
         let shared = p.shared;
         std::thread::Builder::new()
@@ -206,7 +213,9 @@ fn ensure_workers(want: usize) {
 
 fn push_jobs(jobs: Vec<Job>) {
     let p = pool();
-    let mut queue = lock_ignore_poison(&p.shared.queue);
+    let mut queue = p.shared.queue.lock();
+    // ordering: Relaxed — job/peak counters are statistics; the jobs
+    // themselves are published by the queue mutex, not by these atomics.
     JOBS.fetch_add(jobs.len() as u64, Ordering::Relaxed);
     for job in jobs {
         queue.push_back(job);
@@ -246,17 +255,26 @@ impl Scope<'_> {
     fn run_claims(&self, helper: bool) {
         IN_SCOPE.with(|flag| {
             let was = flag.replace(true);
+            // ordering: Relaxed — `abandoned` is advisory: it only trims
+            // wasted work after a panic. Correctness never depends on when
+            // a claimant observes it; the payload travels via `self.panic`.
             while !self.abandoned.load(Ordering::Relaxed) {
+                // ordering: Relaxed — index claims need only RMW atomicity
+                // for disjointness. The writes each task performs at index
+                // `i` are published to the caller by the scope-join edge
+                // (pending mutex + condvar), not by this counter.
                 let i = self.next.fetch_add(1, Ordering::Relaxed);
                 if i >= self.n {
                     break;
                 }
                 if helper {
+                    // ordering: Relaxed — statistic only.
                     STEALS.fetch_add(1, Ordering::Relaxed);
                 }
                 if let Err(payload) = panic::catch_unwind(AssertUnwindSafe(|| (self.f)(i))) {
+                    // ordering: Relaxed — see the loop condition above.
                     self.abandoned.store(true, Ordering::Relaxed);
-                    let mut slot = lock_ignore_poison(&self.panic);
+                    let mut slot = self.panic.lock();
                     if slot.is_none() {
                         *slot = Some(payload);
                     }
@@ -267,7 +285,7 @@ impl Scope<'_> {
     }
 
     fn helper_done(&self) {
-        let mut pending = lock_ignore_poison(&self.pending);
+        let mut pending = self.pending.lock();
         *pending -= 1;
         if *pending == 0 {
             self.done.notify_all();
@@ -275,9 +293,9 @@ impl Scope<'_> {
     }
 
     fn wait_helpers(&self) {
-        let mut pending = lock_ignore_poison(&self.pending);
+        let mut pending = self.pending.lock();
         while *pending > 0 {
-            pending = self.done.wait(pending).unwrap_or_else(|e| e.into_inner());
+            pending = self.done.wait(pending);
         }
     }
 }
@@ -311,6 +329,7 @@ pub fn for_each_index(n: usize, f: impl Fn(usize) + Sync) {
         pending: Mutex::new(helpers),
         done: Condvar::new(),
     };
+    // ordering: Relaxed — statistic only.
     DISPATCHES.fetch_add(1, Ordering::Relaxed);
     if gs_obs::enabled() {
         gs_obs::counter("par.dispatches", 1);
@@ -338,7 +357,7 @@ pub fn for_each_index(n: usize, f: impl Fn(usize) + Sync) {
     scope.run_claims(false);
     scope.wait_helpers();
 
-    let payload = lock_ignore_poison(&scope.panic).take();
+    let payload = scope.panic.lock().take();
     if let Some(payload) = payload {
         panic::resume_unwind(payload);
     }

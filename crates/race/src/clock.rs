@@ -1,0 +1,81 @@
+//! Vector clocks: the partial order underneath both the happens-before race
+//! detector and the model checker's trace reports.
+//!
+//! A [`VClock`] maps thread id → logical timestamp. Thread `t`'s own clock
+//! advances ([`VClock::tick`]) at every synchronization release it performs;
+//! synchronization edges (mutex release→acquire, atomic Release
+//! store→Acquire load, spawn, join) transfer clocks by component-wise
+//! maximum ([`VClock::join`]). Access `a` happens-before access `b` exactly
+//! when the clock `b`'s thread held at `b` covers the stamp `a`'s thread had
+//! at `a` — the [`VClock::covers`] test the detector runs on every
+//! conflicting pair.
+
+/// A vector clock: component `t` is the latest timestamp of thread `t` this
+/// clock has synchronized with. Missing components are zero.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct VClock(Vec<u32>);
+
+impl VClock {
+    /// The zero clock (knows about no thread).
+    pub fn new() -> Self {
+        VClock(Vec::new())
+    }
+
+    fn grow(&mut self, tid: usize) {
+        if self.0.len() <= tid {
+            self.0.resize(tid + 1, 0);
+        }
+    }
+
+    /// Timestamp of thread `tid` in this clock (0 when unknown).
+    pub fn get(&self, tid: usize) -> u32 {
+        self.0.get(tid).copied().unwrap_or(0)
+    }
+
+    /// Advances thread `tid`'s own component by one.
+    pub fn tick(&mut self, tid: usize) {
+        self.grow(tid);
+        self.0[tid] += 1;
+    }
+
+    /// Component-wise maximum: after `self.join(other)` this clock has
+    /// synchronized with everything `other` had.
+    pub fn join(&mut self, other: &VClock) {
+        self.grow(other.0.len().saturating_sub(1));
+        for (i, &stamp) in other.0.iter().enumerate() {
+            if self.0[i] < stamp {
+                self.0[i] = stamp;
+            }
+        }
+    }
+
+    /// Whether this clock covers `(tid, stamp)` — i.e. an event stamped
+    /// `stamp` by thread `tid` happens-before any event performed under this
+    /// clock.
+    pub fn covers(&self, tid: usize, stamp: u32) -> bool {
+        self.get(tid) >= stamp
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tick_join_covers() {
+        let mut a = VClock::new();
+        a.tick(0); // a = [1]
+        a.tick(0); // a = [2]
+        let mut b = VClock::new();
+        b.tick(3); // b = [0,0,0,1]
+        assert!(!b.covers(0, 1), "b never synchronized with thread 0");
+        b.join(&a);
+        assert!(b.covers(0, 2));
+        assert!(b.covers(0, 1));
+        assert!(!b.covers(0, 3));
+        assert_eq!(b.get(3), 1);
+        assert_eq!(a.get(3), 0, "join is one-directional");
+        // Zero stamps are covered by any clock (nothing happened yet).
+        assert!(VClock::new().covers(7, 0));
+    }
+}

@@ -1,0 +1,437 @@
+//! The vector-clock happens-before engine.
+//!
+//! One [`Detector`] instance tracks, for a set of threads:
+//!
+//! - a per-thread [`VClock`] advanced at every release edge;
+//! - a per-mutex clock transferred release→acquire (`unlock` publishes the
+//!   holder's clock, the next `lock` joins it);
+//! - a per-atomic-location **release clock**: a `Release`/`SeqCst` store
+//!   installs the writer's clock, an `Acquire`/`SeqCst` load joins it. A
+//!   `Relaxed` store *clears* the location's release clock (the newly
+//!   visible value carries no synchronization), while a `Relaxed` RMW
+//!   leaves it intact (read-modify-writes continue a release sequence) —
+//!   which is exactly what makes "`Relaxed` where `Release` is required"
+//!   publication bugs show up as happens-before races downstream;
+//! - per *data location* (an annotated non-atomic access, see
+//!   [`sync::Probe`](crate::sync) and the model checker's `RawCell`): the
+//!   last write epoch and per-thread read epochs, checked FastTrack-style
+//!   on every access. Two conflicting accesses with neither
+//!   happening-before the other append a [`RaceReport`] carrying both
+//!   access sites.
+//!
+//! The engine runs in two homes: embedded in a model execution (exact — the
+//! scheduler serializes every operation), or as the process-global live
+//! detector behind [`detecting`] that instruments the *real* pool/store/
+//! serve suites (best-effort — concurrent operations are ordered by the
+//! detector's own lock, so an extremely tight real race can be recorded in
+//! either order; the HB verdict is unaffected because a real race is
+//! unordered both ways).
+
+use std::collections::HashMap;
+use std::panic::Location;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Mutex;
+
+use crate::clock::VClock;
+
+/// A `'static` source location, threaded through by `#[track_caller]`.
+pub type Loc = &'static Location<'static>;
+
+/// Whether `ordering` has acquire semantics on a load / the load half of an
+/// RMW.
+pub fn acquires(ordering: Ordering) -> bool {
+    matches!(ordering, Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+/// Whether `ordering` has release semantics on a store / the store half of
+/// an RMW.
+pub fn releases(ordering: Ordering) -> bool {
+    matches!(ordering, Ordering::Release | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+/// One side of a detected race.
+#[derive(Clone, Debug)]
+pub struct AccessSite {
+    /// Detector-local thread id.
+    pub tid: usize,
+    /// Thread label (model thread name, or the OS thread name live).
+    pub thread: String,
+    /// `"read"` or `"write"`.
+    pub access: &'static str,
+    /// Source location of the access.
+    pub loc: Loc,
+}
+
+impl std::fmt::Display for AccessSite {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} by T{} [{}] at {}:{}",
+            self.access,
+            self.tid,
+            self.thread,
+            self.loc.file(),
+            self.loc.line()
+        )
+    }
+}
+
+/// An unsynchronized conflicting access pair: neither side happens-before
+/// the other.
+#[derive(Clone, Debug)]
+pub struct RaceReport {
+    /// Label of the data location (e.g. `"EpochCell.slot"`).
+    pub what: &'static str,
+    /// The earlier-recorded access.
+    pub first: AccessSite,
+    /// The access that exposed the race.
+    pub second: AccessSite,
+}
+
+impl std::fmt::Display for RaceReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "data race on `{}`: {} is unordered with {}", self.what, self.first, self.second)
+    }
+}
+
+/// Per-data-location access history.
+#[derive(Default)]
+struct DataState {
+    /// Last write: (tid, that thread's own stamp at the write, site).
+    last_write: Option<(usize, u32, Loc)>,
+    /// Per-thread last read: (stamp, site).
+    reads: Vec<Option<(u32, Loc)>>,
+}
+
+/// The happens-before engine. See the module docs for semantics.
+#[derive(Default)]
+pub struct Detector {
+    clocks: Vec<VClock>,
+    names: Vec<String>,
+    locks: HashMap<usize, VClock>,
+    atomics: HashMap<usize, VClock>,
+    data: HashMap<usize, DataState>,
+    races: Vec<RaceReport>,
+}
+
+impl Detector {
+    /// A fresh engine with no threads.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a thread and returns its detector-local id. When `parent`
+    /// is given, the child starts with the parent's clock (the spawn edge).
+    pub fn register_thread(&mut self, name: &str, parent: Option<usize>) -> usize {
+        let tid = self.clocks.len();
+        let mut clock = VClock::new();
+        if let Some(p) = parent {
+            clock.join(&self.clocks[p]);
+            self.clocks[p].tick(p);
+        }
+        clock.tick(tid);
+        self.clocks.push(clock);
+        self.names.push(name.to_string());
+        tid
+    }
+
+    /// Number of registered threads.
+    pub fn threads(&self) -> usize {
+        self.clocks.len()
+    }
+
+    /// The join edge: `parent` resumes after `child` finished.
+    pub fn join_edge(&mut self, parent: usize, child: usize) {
+        let child_clock = self.clocks[child].clone();
+        self.clocks[parent].join(&child_clock);
+    }
+
+    /// Mutex acquired: the holder inherits everything released under it.
+    pub fn lock_acquired(&mut self, tid: usize, addr: usize) {
+        if let Some(lc) = self.locks.get(&addr) {
+            let lc = lc.clone();
+            self.clocks[tid].join(&lc);
+        }
+    }
+
+    /// Mutex released: publish the holder's clock on the lock.
+    pub fn lock_released(&mut self, tid: usize, addr: usize) {
+        self.locks.insert(addr, self.clocks[tid].clone());
+        self.clocks[tid].tick(tid);
+    }
+
+    /// An atomic load at `ordering`.
+    pub fn atomic_load(&mut self, tid: usize, addr: usize, ordering: Ordering) {
+        if acquires(ordering) {
+            if let Some(rc) = self.atomics.get(&addr) {
+                let rc = rc.clone();
+                self.clocks[tid].join(&rc);
+            }
+        }
+    }
+
+    /// An atomic store at `ordering`. A plain `Relaxed` store clears the
+    /// location's release clock: the value now visible was published with
+    /// no ordering, so later acquire loads must not inherit the stale edge.
+    pub fn atomic_store(&mut self, tid: usize, addr: usize, ordering: Ordering) {
+        if releases(ordering) {
+            self.atomics.insert(addr, self.clocks[tid].clone());
+            self.clocks[tid].tick(tid);
+        } else {
+            self.atomics.remove(&addr);
+        }
+    }
+
+    /// An atomic read-modify-write at `ordering`. RMWs continue a release
+    /// sequence, so a `Relaxed` RMW leaves the location's release clock in
+    /// place (unlike a `Relaxed` store); with release semantics it *merges*
+    /// the updater's clock in.
+    pub fn atomic_rmw(&mut self, tid: usize, addr: usize, ordering: Ordering) {
+        if acquires(ordering) {
+            if let Some(rc) = self.atomics.get(&addr) {
+                let rc = rc.clone();
+                self.clocks[tid].join(&rc);
+            }
+        }
+        if releases(ordering) {
+            let clock = self.clocks[tid].clone();
+            self.atomics.entry(addr).or_default().join(&clock);
+            self.clocks[tid].tick(tid);
+        }
+    }
+
+    fn site(&self, tid: usize, access: &'static str, loc: Loc) -> AccessSite {
+        AccessSite { tid, thread: self.names[tid].clone(), access, loc }
+    }
+
+    /// A non-atomic read of data location `addr`. Flags a race against an
+    /// unordered earlier write.
+    pub fn data_read(&mut self, tid: usize, addr: usize, what: &'static str, loc: Loc) {
+        let clock = self.clocks[tid].clone();
+        let state = self.data.entry(addr).or_default();
+        if let Some((wt, wstamp, wloc)) = state.last_write {
+            if wt != tid && !clock.covers(wt, wstamp) {
+                let first = AccessSite {
+                    tid: wt,
+                    thread: self.names[wt].clone(),
+                    access: "write",
+                    loc: wloc,
+                };
+                let second = self.site(tid, "read", loc);
+                self.races.push(RaceReport { what, first, second });
+                return;
+            }
+        }
+        let state = self.data.entry(addr).or_default();
+        if state.reads.len() <= tid {
+            state.reads.resize_with(tid + 1, || None);
+        }
+        state.reads[tid] = Some((self.clocks[tid].get(tid), loc));
+    }
+
+    /// A non-atomic write of data location `addr`. Flags a race against an
+    /// unordered earlier write or read.
+    pub fn data_write(&mut self, tid: usize, addr: usize, what: &'static str, loc: Loc) {
+        let clock = self.clocks[tid].clone();
+        let state = self.data.entry(addr).or_default();
+        let mut raced: Option<(AccessSite, AccessSite)> = None;
+        if let Some((wt, wstamp, wloc)) = state.last_write {
+            if wt != tid && !clock.covers(wt, wstamp) {
+                raced = Some((
+                    AccessSite { tid: wt, thread: String::new(), access: "write", loc: wloc },
+                    AccessSite { tid, thread: String::new(), access: "write", loc },
+                ));
+            }
+        }
+        if raced.is_none() {
+            for (rt, read) in state.reads.iter().enumerate() {
+                if let Some((rstamp, rloc)) = read {
+                    if rt != tid && !clock.covers(rt, *rstamp) {
+                        raced = Some((
+                            AccessSite {
+                                tid: rt,
+                                thread: String::new(),
+                                access: "read",
+                                loc: rloc,
+                            },
+                            AccessSite { tid, thread: String::new(), access: "write", loc },
+                        ));
+                        break;
+                    }
+                }
+            }
+        }
+        let stamp = self.clocks[tid].get(tid);
+        let state = self.data.entry(addr).or_default();
+        state.last_write = Some((tid, stamp, loc));
+        state.reads.clear();
+        if let Some((mut first, mut second)) = raced {
+            first.thread = self.names[first.tid].clone();
+            second.thread = self.names[second.tid].clone();
+            self.races.push(RaceReport { what, first, second });
+        }
+    }
+
+    /// Races recorded so far.
+    pub fn races(&self) -> &[RaceReport] {
+        &self.races
+    }
+
+    /// Drains the recorded races.
+    pub fn take_races(&mut self) -> Vec<RaceReport> {
+        std::mem::take(&mut self.races)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The process-global live detector (instrumenting real test suites).
+// ---------------------------------------------------------------------------
+
+/// Live-mode gate: 0 = uninitialised (read `GS_RACE` on first use),
+/// 1 = on, 2 = off.
+static DETECTING: AtomicU8 = AtomicU8::new(0);
+
+static GLOBAL: Mutex<Option<Detector>> = Mutex::new(None);
+
+thread_local! {
+    /// This OS thread's id in the global detector.
+    static LIVE_TID: std::cell::Cell<Option<usize>> = const { std::cell::Cell::new(None) };
+}
+
+/// Whether the live detector is recording (one relaxed load steady-state).
+#[inline]
+pub fn detecting() -> bool {
+    match DETECTING.load(Ordering::Relaxed) {
+        1 => true,
+        2 => false,
+        _ => {
+            let on = matches!(std::env::var("GS_RACE").as_deref(), Ok("1") | Ok("on") | Ok("true"));
+            DETECTING.store(if on { 1 } else { 2 }, Ordering::Relaxed);
+            on
+        }
+    }
+}
+
+/// Turns the live detector on or off (overrides `GS_RACE`).
+pub fn set_detecting(on: bool) {
+    DETECTING.store(if on { 1 } else { 2 }, Ordering::Relaxed);
+}
+
+/// Runs `f` on the global detector with this OS thread registered. Spawn
+/// edges between real threads are unknown to the live detector, so a fresh
+/// thread starts with an empty clock — sound for lock/atomic-synchronized
+/// protocols (the edges the production code actually relies on), and every
+/// production access we annotate sits behind one of those.
+#[cfg_attr(not(feature = "model"), allow(dead_code))] // callers live in the instrumented paths
+pub(crate) fn with_global<R>(f: impl FnOnce(&mut Detector, usize) -> R) -> R {
+    let mut guard = GLOBAL.lock().unwrap_or_else(|e| e.into_inner());
+    let detector = guard.get_or_insert_with(Detector::new);
+    let tid = LIVE_TID.with(|cell| match cell.get() {
+        Some(tid) => tid,
+        None => {
+            let name = std::thread::current().name().unwrap_or("?").to_string();
+            let tid = detector.register_thread(&name, None);
+            cell.set(Some(tid));
+            tid
+        }
+    });
+    f(detector, tid)
+}
+
+/// Drains races recorded by the live detector (empty when it never ran).
+pub fn take_live_races() -> Vec<RaceReport> {
+    let mut guard = GLOBAL.lock().unwrap_or_else(|e| e.into_inner());
+    guard.as_mut().map(Detector::take_races).unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mutex_edges_order_accesses() {
+        let mut d = Detector::new();
+        let a = d.register_thread("a", None);
+        let b = d.register_thread("b", None);
+        d.lock_acquired(a, 1);
+        d.data_write(a, 100, "x", Location::caller());
+        d.lock_released(a, 1);
+        d.lock_acquired(b, 1);
+        d.data_read(b, 100, "x", Location::caller());
+        assert!(d.races().is_empty(), "{:?}", d.races());
+    }
+
+    #[test]
+    fn unordered_write_read_races() {
+        let mut d = Detector::new();
+        let a = d.register_thread("a", None);
+        let b = d.register_thread("b", None);
+        d.data_write(a, 100, "x", Location::caller());
+        d.data_read(b, 100, "x", Location::caller());
+        assert_eq!(d.races().len(), 1);
+        assert_eq!(d.races()[0].what, "x");
+        assert_eq!(d.races()[0].first.access, "write");
+    }
+
+    #[test]
+    fn release_acquire_publishes_relaxed_does_not() {
+        // Release store → Acquire load orders the data access.
+        let mut d = Detector::new();
+        let a = d.register_thread("a", None);
+        let b = d.register_thread("b", None);
+        d.data_write(a, 100, "payload", Location::caller());
+        d.atomic_store(a, 7, Ordering::Release);
+        d.atomic_load(b, 7, Ordering::Acquire);
+        d.data_read(b, 100, "payload", Location::caller());
+        assert!(d.races().is_empty());
+
+        // Same shape with a Relaxed store: the edge is gone.
+        let mut d = Detector::new();
+        let a = d.register_thread("a", None);
+        let b = d.register_thread("b", None);
+        d.data_write(a, 100, "payload", Location::caller());
+        d.atomic_store(a, 7, Ordering::Relaxed);
+        d.atomic_load(b, 7, Ordering::Acquire);
+        d.data_read(b, 100, "payload", Location::caller());
+        assert_eq!(d.races().len(), 1);
+    }
+
+    #[test]
+    fn relaxed_rmw_continues_release_sequence() {
+        let mut d = Detector::new();
+        let a = d.register_thread("a", None);
+        let b = d.register_thread("b", None);
+        let c = d.register_thread("c", None);
+        d.data_write(a, 100, "payload", Location::caller());
+        d.atomic_store(a, 7, Ordering::Release);
+        // A Relaxed counter bump by a third thread must not sever the edge.
+        d.atomic_rmw(c, 7, Ordering::Relaxed);
+        d.atomic_load(b, 7, Ordering::Acquire);
+        d.data_read(b, 100, "payload", Location::caller());
+        assert!(d.races().is_empty(), "{:?}", d.races());
+    }
+
+    #[test]
+    fn spawn_and_join_edges() {
+        let mut d = Detector::new();
+        let parent = d.register_thread("parent", None);
+        d.data_write(parent, 100, "x", Location::caller());
+        let child = d.register_thread("child", Some(parent));
+        d.data_read(child, 100, "x", Location::caller());
+        d.data_write(child, 100, "x", Location::caller());
+        d.join_edge(parent, child);
+        d.data_read(parent, 100, "x", Location::caller());
+        assert!(d.races().is_empty(), "{:?}", d.races());
+    }
+
+    #[test]
+    fn write_write_conflict_races() {
+        let mut d = Detector::new();
+        let a = d.register_thread("a", None);
+        let b = d.register_thread("b", None);
+        d.data_write(a, 100, "x", Location::caller());
+        d.data_write(b, 100, "x", Location::caller());
+        assert_eq!(d.races().len(), 1);
+        assert_eq!(d.races()[0].second.access, "write");
+    }
+}

@@ -1,0 +1,117 @@
+//! Model of the tensor arena's buffer pooling
+//! (`crates/tensor/src/arena.rs`): per-class free lists under a mutex,
+//! scope depth tracked by an atomic counter, and buffer *contents* whose
+//! ownership transfers through the free-list lock — a recycled buffer's
+//! previous writes must be ordered before the next owner's accesses by
+//! that lock, or reuse corrupts tensors.
+//!
+//! Two workers each take a buffer (reusing a pooled one when available,
+//! "allocating fresh" otherwise), use it exclusively, and recycle it. The
+//! pooled-bytes aggregate is modeled as non-atomic data guarded by the
+//! pool lock, mirroring the invariant that arena accounting is only
+//! mutated with the class lock held.
+
+use std::sync::Arc;
+
+use crate::model::{explore, ExploreOpts, RawCell, Report};
+use crate::sync::{AtomicUsize, Mutex, Ordering};
+
+/// Seeded bugs for the arena model.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Bug {
+    /// The pooled-bytes accounting is updated *after* releasing the pool
+    /// lock: two recyclers race on the aggregate (the "missed fence in
+    /// scope exit" class — the write escapes the critical section).
+    StatsOutsideLock,
+    /// A buffer is taken by peeking the free list under the lock but
+    /// popping later: two workers can observe the same head and both use
+    /// the buffer.
+    TakeOutsideLock,
+}
+
+impl Bug {
+    /// All arena bugs.
+    pub const ALL: &'static [Bug] = &[Bug::StatsOutsideLock, Bug::TakeOutsideLock];
+}
+
+const WORKERS: usize = 2;
+
+struct Pool {
+    /// Free-list of buffer indices; starts with one pooled buffer.
+    free: Mutex<Vec<usize>>,
+    /// Buffer contents; index 0 is pooled, 1.. are the "fresh" ones.
+    bufs: [RawCell<u64>; 1 + WORKERS],
+    /// Non-atomic accounting guarded by `free`'s lock.
+    bytes: RawCell<u64>,
+    depth: AtomicUsize,
+}
+
+fn worker_body(pool: &Pool, me: usize, bug: Option<Bug>) {
+    // ordering: Relaxed — scope depth is a counter used for accounting and
+    // leak asserts, never for publication.
+    pool.depth.fetch_add(1, Ordering::Relaxed);
+
+    // Take: reuse a pooled buffer, or fall back to our private fresh slot.
+    let idx = if bug == Some(Bug::TakeOutsideLock) {
+        // Seeded bug: peek now, pop later — the classic TOCTOU.
+        let peeked = pool.free.lock().last().copied();
+        let idx = peeked.unwrap_or(1 + me);
+        pool.free.lock().pop();
+        idx
+    } else {
+        let taken = pool.free.lock().pop();
+        taken.unwrap_or(1 + me)
+    };
+
+    // Use the buffer exclusively.
+    let tag = me as u64 + 10;
+    pool.bufs[idx].write(tag);
+    assert_eq!(pool.bufs[idx].read(), tag, "pooled buffer shared between owners");
+
+    // Recycle: return the buffer and account for it under the lock.
+    if bug == Some(Bug::StatsOutsideLock) {
+        // Seeded bug: the aggregate update escapes the critical section.
+        pool.free.lock().push(idx);
+        let bytes = pool.bytes.read();
+        pool.bytes.write(bytes + 8);
+    } else {
+        let mut free = pool.free.lock();
+        free.push(idx);
+        let bytes = pool.bytes.read();
+        pool.bytes.write(bytes + 8);
+        drop(free);
+    }
+
+    pool.depth.fetch_sub(1, Ordering::Relaxed);
+}
+
+/// Explores the model; `bug` seeds one mutation, `None` is the clean
+/// protocol (must pass exhaustively).
+pub fn run(bug: Option<Bug>, opts: ExploreOpts) -> Report {
+    explore(opts, move || {
+        let pool = Arc::new(Pool {
+            free: Mutex::new(vec![0]),
+            bufs: [
+                RawCell::new("Arena.buf", 0),
+                RawCell::new("Arena.fresh[0]", 0),
+                RawCell::new("Arena.fresh[1]", 0),
+            ],
+            bytes: RawCell::new("Arena.pooled_bytes", 0),
+            depth: AtomicUsize::new(0),
+        });
+
+        let handles: Vec<_> = (0..WORKERS)
+            .map(|w| {
+                let pool = Arc::clone(&pool);
+                crate::model::spawn(&format!("arena-worker-{w}"), move || {
+                    worker_body(&pool, w, bug)
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join();
+        }
+        assert_eq!(pool.depth.load(Ordering::Relaxed), 0, "unbalanced scope depth");
+        assert_eq!(pool.bytes.read(), 8 * WORKERS as u64, "lost accounting update");
+    })
+}

@@ -1,0 +1,162 @@
+//! Model of the serve batcher's worker-pull queue
+//! (`crates/serve/src/batcher.rs`): submitters push under a mutex and
+//! notify arrival; the worker parks while the queue is empty, lingers
+//! (timed wait) for a fuller batch when it is short, drains, and
+//! acknowledges; shutdown wakes the worker to drain and exit.
+//!
+//! The model is a ping-pong: the submitter waits for its item to be
+//! consumed before pushing the next one, which makes lost wakeups
+//! *deadlocks* instead of delays. The linger wait is a timed wait, which
+//! the scheduler may complete as a timeout at any legal point — both the
+//! "woken by arrival" and "timed out, drain partial batch" branches of the
+//! production worker loop get explored.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::model::{explore, ExploreOpts, RawCell, Report};
+use crate::sync::{Condvar, Mutex};
+
+/// Seeded bugs for the batcher model.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Bug {
+    /// The worker's park loop is an `if` instead of a `while` around its
+    /// deadline wait: a timeout (or any wake that isn't an arrival) falls
+    /// through to an unconditional pop of an empty queue.
+    IfInsteadOfWhile,
+    /// The submitter notifies arrival *before* publishing the item (and
+    /// outside the lock): the wakeup can land in the window where the
+    /// worker has decided to wait but is not yet a waiter — a classic lost
+    /// wakeup, surfacing as a deadlock.
+    NotifyBeforePush,
+    /// The linger loop waits for a full batch without re-checking
+    /// shutdown (untimed): a final short batch parks the worker forever.
+    LingerIgnoresShutdown,
+}
+
+impl Bug {
+    /// All batcher bugs.
+    pub const ALL: &'static [Bug] =
+        &[Bug::IfInsteadOfWhile, Bug::NotifyBeforePush, Bug::LingerIgnoresShutdown];
+}
+
+const ITEMS: u64 = 2;
+const BATCH: usize = 2;
+
+struct State {
+    queue: Vec<u64>,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    arrived: Condvar,
+    consumed: Condvar,
+    /// Total items drained, written only by the worker; the owner reads it
+    /// after joining, so the join edge must make it visible.
+    drained: RawCell<u64>,
+}
+
+fn worker_body(sh: &Shared, bug: Option<Bug>) {
+    let mut total = 0u64;
+    loop {
+        let mut st = sh.state.lock();
+        if bug == Some(Bug::IfInsteadOfWhile) {
+            // Seeded bug: the production park is a deadline wait in a
+            // re-check loop; one `if`-guarded wait lets a timeout fall
+            // through with nothing queued.
+            if st.queue.is_empty() && !st.shutdown {
+                st = sh.arrived.wait_timeout(st, Duration::from_millis(1)).0;
+            }
+            let item = st.queue.pop().expect("woken with an empty queue");
+            let _ = item;
+            total += 1;
+        } else {
+            while st.queue.is_empty() && !st.shutdown {
+                st = sh.arrived.wait(st);
+            }
+            if st.queue.is_empty() {
+                // Shutdown with nothing left.
+                sh.drained.write(total);
+                return;
+            }
+            if bug == Some(Bug::LingerIgnoresShutdown) {
+                // Seeded bug: hold out for a full batch unconditionally.
+                while st.queue.len() < BATCH {
+                    st = sh.arrived.wait(st);
+                }
+            } else if st.queue.len() < BATCH && !st.shutdown {
+                // Linger for a fuller batch; the timeout is a schedulable
+                // event, so both branches are explored.
+                let (guard, _timed_out) = sh.arrived.wait_timeout(st, Duration::from_millis(1));
+                st = guard;
+            }
+            total += st.queue.drain(..).count() as u64;
+        }
+        sh.drained.write(total);
+        sh.consumed.notify_all();
+        drop(st);
+        if total >= ITEMS {
+            // Keep looping only for the shutdown signal.
+            let mut st = sh.state.lock();
+            while !st.shutdown {
+                st = sh.arrived.wait(st);
+            }
+            return;
+        }
+    }
+}
+
+fn submitter_body(sh: &Shared, bug: Option<Bug>) {
+    for item in 0..ITEMS {
+        if bug == Some(Bug::NotifyBeforePush) {
+            // Seeded bug: signal first, publish after.
+            sh.arrived.notify_one();
+            let mut st = sh.state.lock();
+            st.queue.push(item);
+            drop(st);
+        } else {
+            let mut st = sh.state.lock();
+            st.queue.push(item);
+            drop(st);
+            sh.arrived.notify_one();
+        }
+        // Ping-pong: wait for the worker to consume before the next push,
+        // so a lost wakeup is a deadlock rather than a delay.
+        let mut st = sh.state.lock();
+        while !st.queue.is_empty() {
+            st = sh.consumed.wait(st);
+        }
+    }
+}
+
+/// Explores the model; `bug` seeds one mutation, `None` is the clean
+/// protocol (must pass exhaustively).
+pub fn run(bug: Option<Bug>, opts: ExploreOpts) -> Report {
+    explore(opts, move || {
+        let sh = Arc::new(Shared {
+            state: Mutex::new(State { queue: Vec::new(), shutdown: false }),
+            arrived: Condvar::new(),
+            consumed: Condvar::new(),
+            drained: RawCell::new("Batcher.drained", 0),
+        });
+
+        let worker = {
+            let sh = Arc::clone(&sh);
+            crate::model::spawn("batch-worker", move || worker_body(&sh, bug))
+        };
+        let submitter = {
+            let sh = Arc::clone(&sh);
+            crate::model::spawn("submitter", move || submitter_body(&sh, bug))
+        };
+
+        submitter.join();
+        {
+            let mut st = sh.state.lock();
+            st.shutdown = true;
+            sh.arrived.notify_all();
+        }
+        worker.join();
+        assert_eq!(sh.drained.read(), ITEMS, "worker exited before draining everything");
+    })
+}

@@ -1,0 +1,109 @@
+//! Model of the store's `EpochCell` publication protocol
+//! (`crates/store/src/view.rs`): a writer folds a new `ShardView`, publishes
+//! it, and bumps the epoch with `Release`; readers check the epoch with
+//! `Acquire` and, on a change, consume the published view.
+//!
+//! The model is the *lock-free core* of that contract: the payload is a
+//! [`RawCell`] (standing in for the `Arc<ShardView>` slot) guarded only by
+//! the epoch ordering, so the `Release`/`Acquire` pair is load-bearing —
+//! exactly the edge the production `// ordering:` comments promise. The
+//! production code additionally holds a mutex around the slot; the model
+//! drops it so that weakening the orderings is *observable* instead of
+//! being masked by the lock.
+
+use std::sync::Arc;
+
+use crate::model::{explore, ExploreOpts, RawCell, Report};
+use crate::sync::{AtomicU64, Ordering};
+
+/// Seeded bugs for the epoch publication model.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Bug {
+    /// `EpochCell::publish` bumps the epoch with `Relaxed` instead of
+    /// `Release`: the payload write is no longer ordered before the bump,
+    /// so a reader that observes the new epoch races the payload write.
+    RelaxedPublish,
+    /// The epoch is bumped *before* the payload is written: a reader can
+    /// observe the new epoch and read a half-published view.
+    BumpBeforeStore,
+    /// Readers check the epoch with `Relaxed` instead of `Acquire`: the
+    /// release edge exists but the reader never joins it.
+    ReadWithoutAcquire,
+}
+
+impl Bug {
+    /// All epoch bugs.
+    pub const ALL: &'static [Bug] =
+        &[Bug::RelaxedPublish, Bug::BumpBeforeStore, Bug::ReadWithoutAcquire];
+}
+
+struct Cell {
+    epoch: AtomicU64,
+    /// Stands in for the `Arc<ShardView>` slot: written once by the
+    /// folder, read by any reader that observed the epoch bump.
+    payload: RawCell<u64>,
+}
+
+const PUBLISHED: u64 = 42;
+
+/// Explores the model; `bug` seeds one mutation, `None` is the clean
+/// protocol (must pass exhaustively).
+pub fn run(bug: Option<Bug>, opts: ExploreOpts) -> Report {
+    explore(opts, move || {
+        let cell =
+            Arc::new(Cell { epoch: AtomicU64::new(0), payload: RawCell::new("EpochCell.slot", 0) });
+
+        let store_ordering = if bug == Some(Bug::RelaxedPublish) {
+            Ordering::Relaxed
+        } else {
+            // ordering: Release — the payload write must be visible to any
+            // reader that observes the bumped epoch.
+            Ordering::Release
+        };
+        let load_ordering = if bug == Some(Bug::ReadWithoutAcquire) {
+            Ordering::Relaxed
+        } else {
+            // ordering: Acquire — pairs with the writer's Release bump.
+            Ordering::Acquire
+        };
+
+        let writer = {
+            let cell = Arc::clone(&cell);
+            crate::model::spawn("swap-writer", move || {
+                if bug == Some(Bug::BumpBeforeStore) {
+                    cell.epoch.store(1, store_ordering);
+                    cell.payload.write(PUBLISHED);
+                } else {
+                    // Fold the new view, then publish: write, bump.
+                    cell.payload.write(PUBLISHED);
+                    cell.epoch.store(1, store_ordering);
+                }
+            })
+        };
+
+        let readers: Vec<_> = (0..2)
+            .map(|i| {
+                let cell = Arc::clone(&cell);
+                crate::model::spawn(&format!("reader-{i}"), move || {
+                    if cell.epoch.load(load_ordering) != 0 {
+                        // The epoch changed: the view must be fully
+                        // published.
+                        assert_eq!(
+                            cell.payload.read(),
+                            PUBLISHED,
+                            "reader observed a half-published view"
+                        );
+                    }
+                })
+            })
+            .collect();
+
+        writer.join();
+        for r in readers {
+            r.join();
+        }
+        // After joining everyone, the view is published regardless of what
+        // each reader observed in flight.
+        assert_eq!(cell.payload.read(), PUBLISHED);
+    })
+}

@@ -1,0 +1,135 @@
+//! Model of the `gs-par` fork-join core (`crates/par/src/lib.rs`): a scope
+//! with `n` index slots, helpers that claim indices with an atomic cursor
+//! and write results, a mutex/condvar completion protocol the owner waits
+//! on, and the owner consuming every result afterwards.
+//!
+//! The contract under test is the one `Scope` documents: claim
+//! disjointness comes from the *atomicity* of `next.fetch_add` (Relaxed is
+//! enough), while result *visibility* comes from the pending-counter mutex
+//! — each helper's writes are ordered before the owner's reads by the
+//! helper's final release of that mutex.
+
+use std::sync::Arc;
+
+use crate::model::{explore, ExploreOpts, RawCell, Report};
+use crate::sync::{AtomicUsize, Condvar, Mutex, Ordering};
+
+/// Seeded bugs for the fork-join model.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Bug {
+    /// A helper reports completion (decrements `pending`) *before* writing
+    /// its claimed slots — the owner can consume a slot concurrently with
+    /// the helper's write (the "double-publish"/early-done bug).
+    EarlyDone,
+    /// The last helper decrements `pending` to zero but never notifies the
+    /// completion condvar: the owner parks forever.
+    MissingNotify,
+    /// Index claiming is a non-atomic load+store instead of `fetch_add`:
+    /// two helpers can claim the same slot and race on its result.
+    NonAtomicClaim,
+}
+
+impl Bug {
+    /// All pool bugs.
+    pub const ALL: &'static [Bug] = &[Bug::EarlyDone, Bug::MissingNotify, Bug::NonAtomicClaim];
+}
+
+const SLOTS: usize = 3;
+const HELPERS: usize = 2;
+
+struct Scope {
+    next: AtomicUsize,
+    results: [RawCell<u64>; SLOTS],
+    pending: Mutex<usize>,
+    done: Condvar,
+}
+
+fn claim(scope: &Scope, bug: Option<Bug>) -> usize {
+    if bug == Some(Bug::NonAtomicClaim) {
+        // Seeded bug: a load+store pair is not a claim.
+        let i = scope.next.load(Ordering::Relaxed);
+        scope.next.store(i + 1, Ordering::Relaxed);
+        i
+    } else {
+        // ordering: Relaxed — disjointness needs only RMW atomicity; the
+        // owner's visibility of the slot writes comes from `pending`.
+        scope.next.fetch_add(1, Ordering::Relaxed)
+    }
+}
+
+fn helper_body(scope: &Scope, bug: Option<Bug>, last: bool) {
+    let mut claimed: Vec<usize> = Vec::new();
+    if bug == Some(Bug::EarlyDone) {
+        // Seeded bug: claim and report done first, write after.
+        loop {
+            let i = claim(scope, bug);
+            if i >= SLOTS {
+                break;
+            }
+            claimed.push(i);
+        }
+        finish(scope, bug, last);
+        for &i in &claimed {
+            scope.results[i].write(i as u64 + 1);
+        }
+        return;
+    }
+    loop {
+        let i = claim(scope, bug);
+        if i >= SLOTS {
+            break;
+        }
+        scope.results[i].write(i as u64 + 1);
+    }
+    finish(scope, bug, last);
+}
+
+fn finish(scope: &Scope, bug: Option<Bug>, last: bool) {
+    let mut pending = scope.pending.lock();
+    *pending -= 1;
+    if *pending == 0 && !(bug == Some(Bug::MissingNotify) && last) {
+        scope.done.notify_all();
+    }
+}
+
+/// Explores the model; `bug` seeds one mutation, `None` is the clean
+/// protocol (must pass exhaustively).
+pub fn run(bug: Option<Bug>, opts: ExploreOpts) -> Report {
+    explore(opts, move || {
+        let scope = Arc::new(Scope {
+            next: AtomicUsize::new(0),
+            results: [
+                RawCell::new("Scope.results[0]", 0),
+                RawCell::new("Scope.results[1]", 0),
+                RawCell::new("Scope.results[2]", 0),
+            ],
+            pending: Mutex::new(HELPERS),
+            done: Condvar::new(),
+        });
+
+        let handles: Vec<_> = (0..HELPERS)
+            .map(|h| {
+                let scope = Arc::clone(&scope);
+                crate::model::spawn(&format!("helper-{h}"), move || {
+                    helper_body(&scope, bug, h == HELPERS - 1)
+                })
+            })
+            .collect();
+
+        // The owner parks until every helper has reported done, like
+        // `Scope::wait_helpers`.
+        {
+            let mut pending = scope.pending.lock();
+            while *pending > 0 {
+                pending = scope.done.wait(pending);
+            }
+        }
+        // Every slot must now be written and visible.
+        for (i, slot) in scope.results.iter().enumerate() {
+            assert_eq!(slot.read(), i as u64 + 1, "slot {i} not fully published");
+        }
+        for h in handles {
+            h.join();
+        }
+    })
+}

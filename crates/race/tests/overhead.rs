@@ -1,0 +1,72 @@
+//! Pins the cost of the `gs_race::sync` wrappers against raw std.
+//!
+//! Without the `model` feature the wrappers are `#[inline(always)]`
+//! passthroughs and must be indistinguishable from std (bound 1.5x, all
+//! slack for timer noise — same discipline as gs-obs's `prof_overhead`).
+//! With the feature compiled in but the gate off (no model thread, live
+//! detector disabled), each op pays one thread-local check and one relaxed
+//! load; that path gets a loose sanity bound, while the hard ≤1.05x
+//! product gate lives in `racebench` on the real pool stress workload.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+const ITERS: u64 = 2_000_000;
+const TRIALS: usize = 5;
+
+fn best_of<F: FnMut() -> u64>(mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..TRIALS {
+        let start = Instant::now();
+        black_box(f());
+        let ns = start.elapsed().as_nanos() as f64;
+        if ns < best {
+            best = ns;
+        }
+    }
+    best
+}
+
+fn measure_ratio() -> f64 {
+    let wrapped = gs_race::sync::AtomicU64::new(0);
+    let raw = std::sync::atomic::AtomicU64::new(0);
+    // Warmup (and force the live-detector gate to settle).
+    for _ in 0..10_000 {
+        wrapped.fetch_add(1, gs_race::sync::Ordering::Relaxed);
+        raw.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    }
+    let raw_ns = best_of(|| {
+        for _ in 0..ITERS {
+            black_box(raw.fetch_add(1, std::sync::atomic::Ordering::Relaxed));
+        }
+        raw.load(std::sync::atomic::Ordering::Relaxed)
+    });
+    let wrapped_ns = best_of(|| {
+        for _ in 0..ITERS {
+            black_box(wrapped.fetch_add(1, gs_race::sync::Ordering::Relaxed));
+        }
+        wrapped.load(gs_race::sync::Ordering::Relaxed)
+    });
+    wrapped_ns / raw_ns
+}
+
+#[cfg(not(feature = "model"))]
+#[test]
+fn passthrough_wrappers_are_free() {
+    let ratio = measure_ratio();
+    assert!(
+        ratio < 1.5,
+        "uninstrumented wrapper costs {ratio:.3}x raw std (expected ~1.0x; bound is noise slack)"
+    );
+}
+
+#[cfg(feature = "model")]
+#[test]
+fn gated_off_wrappers_stay_cheap() {
+    gs_race::set_detecting(false);
+    let ratio = measure_ratio();
+    assert!(
+        ratio < 25.0,
+        "feature-compiled but gated-off wrapper costs {ratio:.1}x raw std — the gate got expensive"
+    );
+}

@@ -18,11 +18,12 @@
 //! work before returning.
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+use gs_race::sync::{AtomicU64, Condvar, Mutex, Ordering};
 
 /// One extraction result: field name/value pairs, in the engine's order.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -167,6 +168,8 @@ impl Batcher {
 
     /// Current queue depth (approximate; for health endpoints).
     pub fn queue_depth(&self) -> usize {
+        // ordering: Relaxed — an advisory gauge mirror of the queue length;
+        // the queue itself is only ever touched under the state mutex.
         self.shared.depth.load(Ordering::Relaxed) as usize
     }
 
@@ -198,7 +201,7 @@ impl Batcher {
         }
         let trace: Arc<str> = Arc::from(trace);
         {
-            let mut state = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+            let mut state = self.shared.state.lock();
             if state.shutting_down {
                 return Err(ShedReason::ShuttingDown);
             }
@@ -216,6 +219,7 @@ impl Batcher {
                     reply: tx.clone(),
                 });
             }
+            // ordering: Relaxed — see queue_depth(): statistics mirror only.
             self.shared.depth.store(state.queue.len() as u64, Ordering::Relaxed);
             gs_obs::gauge("serve.queue.depth", state.queue.len() as f64);
         }
@@ -233,7 +237,7 @@ impl Batcher {
     }
 
     fn begin_shutdown(&self) {
-        let mut state = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+        let mut state = self.shared.state.lock();
         state.shutting_down = true;
         drop(state);
         self.shared.arrived.notify_all();
@@ -256,9 +260,9 @@ impl Drop for Batcher {
 /// keeps pulling until the queue is drained, then exits.
 fn worker_loop(shared: &Shared, config: &BatchConfig, engine: &dyn ExtractEngine) {
     loop {
-        let mut state = shared.state.lock().unwrap_or_else(|e| e.into_inner());
+        let mut state = shared.state.lock();
         while state.queue.is_empty() && !state.shutting_down {
-            state = shared.arrived.wait(state).unwrap_or_else(|e| e.into_inner());
+            state = shared.arrived.wait(state);
         }
         if state.queue.is_empty() {
             return; // shutting down and fully drained
@@ -268,24 +272,33 @@ fn worker_loop(shared: &Shared, config: &BatchConfig, engine: &dyn ExtractEngine
         // a worker that was busy while the queue built up dispatches
         // immediately, an idle worker waits out the window. Skipped when
         // the batch is already full or we are draining for shutdown.
-        let fill_deadline = state.queue[0].enqueued + config.max_delay;
+        //
+        // The deadline uses `checked_add`: a huge configured `max_delay`
+        // (up to `Duration::MAX`, meaning "always wait for a full batch")
+        // must not panic on `Instant` overflow. An unrepresentable
+        // deadline degrades to an untimed wait, which a full batch or
+        // shutdown still interrupts.
+        let fill_deadline = state.queue[0].enqueued.checked_add(config.max_delay);
         while state.queue.len() < config.max_batch && !state.shutting_down {
-            let now = Instant::now();
-            if now >= fill_deadline {
-                break;
-            }
-            let (next, timeout) = shared
-                .arrived
-                .wait_timeout(state, fill_deadline - now)
-                .unwrap_or_else(|e| e.into_inner());
-            state = next;
-            if timeout.timed_out() {
-                break;
+            match fill_deadline {
+                Some(deadline) => {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        break;
+                    }
+                    let (next, timeout) = shared.arrived.wait_timeout(state, deadline - now);
+                    state = next;
+                    if timeout.timed_out() {
+                        break;
+                    }
+                }
+                None => state = shared.arrived.wait(state),
             }
         }
 
         let take = state.queue.len().min(config.max_batch);
         let batch: Vec<Job> = state.queue.drain(..take).collect();
+        // ordering: Relaxed — see queue_depth(): statistics mirror only.
         shared.depth.store(state.queue.len() as u64, Ordering::Relaxed);
         gs_obs::gauge("serve.queue.depth", state.queue.len() as f64);
         // Leftover items beyond max_batch: hand them to an idle sibling
@@ -391,7 +404,7 @@ mod tests {
     impl ExtractEngine for EchoEngine {
         fn extract_batch(&self, texts: &[String]) -> Vec<Extraction> {
             self.calls.fetch_add(1, Ordering::Relaxed);
-            self.batches.lock().unwrap().push(texts.len());
+            self.batches.lock().push(texts.len());
             if !self.delay.is_zero() {
                 std::thread::sleep(self.delay);
             }
@@ -463,7 +476,7 @@ mod tests {
                 });
             }
         });
-        let batches = engine.batches.lock().unwrap().clone();
+        let batches = engine.batches.lock().clone();
         assert_eq!(batches.iter().sum::<usize>(), 12);
         // Far fewer engine calls than requests: batching actually happened.
         assert!(batches.iter().any(|&b| b > 1), "no coalescing in {batches:?}");
@@ -562,7 +575,28 @@ mod tests {
             let r = rx.recv_timeout(Duration::from_secs(5)).unwrap();
             assert!(r.batch_size <= 3, "batch of {}", r.batch_size);
         }
-        assert!(engine.batches.lock().unwrap().iter().all(|&b| b <= 3));
+        assert!(engine.batches.lock().iter().all(|&b| b <= 3));
         batcher.shutdown();
+    }
+
+    #[test]
+    fn huge_max_delay_neither_panics_nor_wedges() {
+        // `Duration::MAX` as the linger window means "always wait for a
+        // full batch". The fill deadline `enqueued + max_delay` must not
+        // panic on Instant overflow; it degrades to an untimed wait.
+        let engine = Arc::new(EchoEngine::new(Duration::ZERO));
+        let batcher = Batcher::start(
+            engine,
+            BatchConfig { max_batch: 2, max_delay: Duration::MAX, ..Default::default() },
+        );
+        // A full batch dispatches without ever consulting the deadline.
+        let rx = batcher.submit(vec!["a".into(), "b".into()], far_deadline()).unwrap();
+        for _ in 0..2 {
+            assert!(rx.recv_timeout(Duration::from_secs(5)).unwrap().outcome.is_ok());
+        }
+        // A partial batch lingers untimed but must still drain on shutdown.
+        let rx = batcher.submit(vec!["c".into()], far_deadline()).unwrap();
+        batcher.shutdown();
+        assert!(rx.recv_timeout(Duration::from_secs(5)).unwrap().outcome.is_ok());
     }
 }

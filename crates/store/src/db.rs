@@ -25,10 +25,10 @@
 //! pool, and [`ObjectiveDb::spawn_compactor`] runs the same sweep on a
 //! background thread whenever a shard's log accumulates enough ops.
 
+use gs_race::sync::{AtomicBool, Ordering};
 use std::collections::BTreeMap;
 use std::io;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -316,6 +316,10 @@ impl ObjectiveDb {
         let join = std::thread::Builder::new()
             .name("gs-store-compactor".into())
             .spawn(move || {
+                // ordering: Relaxed — `stop` is a pure flag with no payload
+                // handed across it; the shard data the sweep touches is
+                // synchronized by each shard's own locks, and thread::join
+                // in `stop_and_join` orders everything at shutdown.
                 while !stop2.load(Ordering::Relaxed) {
                     std::thread::sleep(interval);
                     if threshold == 0 || stop2.load(Ordering::Relaxed) {
@@ -350,6 +354,8 @@ impl CompactorHandle {
     }
 
     fn stop_and_join(&mut self) {
+        // ordering: Relaxed — see the compactor loop: the flag carries no
+        // payload and the join below is the real synchronization point.
         self.stop.store(true, Ordering::Relaxed);
         if let Some(join) = self.join.take() {
             let _ = join.join();

@@ -27,8 +27,9 @@
 //! sees a fully consistent immutable snapshot (possibly one publish old).
 
 use std::collections::{BTreeMap, HashMap};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
+
+use gs_race::sync::{AtomicU64, Mutex, Ordering, Probe};
 
 use crate::objective_store::ObjectiveRecord;
 use crate::value::Value;
@@ -193,6 +194,13 @@ impl ShardView {
 pub struct EpochCell {
     epoch: AtomicU64,
     slot: Mutex<Arc<ShardView>>,
+    /// Race-detector annotation on the slot hand-off: written on every
+    /// publish and read on every load, both under the slot mutex. If the
+    /// lock discipline around the slot is ever broken, the live detector
+    /// (`GS_RACE=1`) reports these two sites as an unsynchronized
+    /// write/read pair. The epoch Release/Acquire contract itself is pinned
+    /// deterministically by `gs-race`'s epoch model (`models/epoch.rs`).
+    payload: Probe,
 }
 
 impl EpochCell {
@@ -205,18 +213,30 @@ impl EpochCell {
     /// epoch with `Release` so a reader that observes the new epoch also
     /// observes the new slot value.
     pub fn publish(&self, view: Arc<ShardView>) {
-        *self.slot.lock().unwrap_or_else(std::sync::PoisonError::into_inner) = view;
+        {
+            let mut slot = self.slot.lock();
+            self.payload.write("EpochCell.slot");
+            *slot = view;
+        }
+        // ordering: Release — publication edge. A reader that observes the
+        // bumped epoch (Acquire in `epoch()`) must also observe the view
+        // stored above; Relaxed here would let a lock-free fast path see
+        // the new epoch with a stale slot. Must NOT be weakened.
         self.epoch.fetch_add(1, Ordering::Release);
     }
 
     /// The current epoch (one atomic load).
     pub fn epoch(&self) -> u64 {
+        // ordering: Acquire — pairs with the Release bump in `publish` so
+        // an observed epoch move carries the writer's slot store with it.
         self.epoch.load(Ordering::Acquire)
     }
 
     /// Clones the current view (takes the slot mutex briefly).
     pub fn load(&self) -> Arc<ShardView> {
-        self.slot.lock().unwrap_or_else(std::sync::PoisonError::into_inner).clone()
+        let slot = self.slot.lock();
+        self.payload.read("EpochCell.slot");
+        slot.clone()
     }
 }
 

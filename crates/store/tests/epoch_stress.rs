@@ -1,0 +1,140 @@
+//! Concurrent stress test over the epoch/swap publication scheme: several
+//! readers refresh [`ReadHandle`]s while one swapper publishes growing
+//! views and a background folder republishes delta-free equivalents — the
+//! reader/writer/fold triangle the real store runs under load.
+//!
+//! Every view a reader observes must be **fully published**: all records
+//! carry the view's generation stamp, the key set is exactly `1..=stamp`,
+//! and the cached length matches. A torn publish (a reader seeing the new
+//! epoch with a stale or half-swapped slot) would mix stamps or miscount.
+//!
+//! The CI `race` job runs this test with the `race-model` feature and
+//! `GS_RACE=1`, so every wrapped mutex/atomic/probe op in `view.rs` feeds
+//! the vector-clock detector; `take_live_races()` must come back empty.
+//! Without the feature the detector calls are inert no-ops, so the test
+//! also runs (as a plain stress test) in the default build.
+
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use gs_store::{EpochCell, Generation, ObjectiveRecord, ReadHandle, ShardView, StoredRecord};
+
+const PUBLISHES: u32 = 200;
+const READERS: usize = 4;
+
+fn record(key: u64, stamp: u32) -> StoredRecord {
+    let rec = ObjectiveRecord {
+        company: format!("C{}", key % 3),
+        document: "doc".into(),
+        objective: format!("objective {key}"),
+        action: None,
+        amount: None,
+        qualifier: None,
+        baseline: None,
+        deadline: Some(format!("{}", 2026 + (key % 10))),
+        score: 0.9,
+    };
+    StoredRecord::new(key, key, stamp, rec)
+}
+
+/// Builds the stamped view with keys `1..=stamp`: the older half folded
+/// into the base, the newer half left in the delta (so the folder always
+/// has work to do).
+fn build_view(stamp: u32) -> ShardView {
+    let split = u64::from(stamp) / 2;
+    let base: Vec<StoredRecord> = (1..=split).map(|k| record(k, stamp)).collect();
+    let delta: Vec<StoredRecord> =
+        (split + 1..=u64::from(stamp)).map(|k| record(k, stamp)).collect();
+    ShardView::new(Generation::build(base), delta)
+}
+
+/// Asserts the view is internally consistent — one generation stamp, the
+/// exact key set for that stamp, and a matching cached length.
+fn check_view(view: &ShardView) {
+    let mut stamps = BTreeSet::new();
+    let mut keys = BTreeSet::new();
+    view.for_each(|r| {
+        stamps.insert(r.version);
+        keys.insert(r.key);
+    });
+    if keys.is_empty() {
+        return; // initial empty view, before the first publish
+    }
+    assert_eq!(stamps.len(), 1, "view mixes generation stamps: {stamps:?}");
+    let stamp = *stamps.iter().next().unwrap();
+    let expect: BTreeSet<u64> = (1..=u64::from(stamp)).collect();
+    assert_eq!(keys, expect, "view for stamp {stamp} is missing or inventing keys");
+    assert_eq!(view.len(), keys.len(), "cached len disagrees with visible records");
+    // Point lookups resolve inside the same snapshot.
+    assert_eq!(view.get(1).map(|r| r.version), Some(stamp));
+}
+
+#[test]
+fn concurrent_readers_always_see_fully_published_views() {
+    gs_race::set_detecting(true);
+
+    let cell = Arc::new(EpochCell::new());
+    let done = Arc::new(AtomicBool::new(false));
+
+    let readers: Vec<_> = (0..READERS)
+        .map(|_| {
+            let cell = Arc::clone(&cell);
+            let done = Arc::clone(&done);
+            std::thread::spawn(move || {
+                let mut handle = ReadHandle::new();
+                let mut refreshes = 0u64;
+                while !done.load(Ordering::Relaxed) {
+                    check_view(handle.view(&cell));
+                    refreshes += 1;
+                    if refreshes.is_multiple_of(16) {
+                        std::thread::yield_now();
+                    }
+                }
+                // One final refresh so the last publish is also covered.
+                check_view(handle.view(&cell));
+            })
+        })
+        .collect();
+
+    // Background folder: takes whatever view is current and republishes it
+    // with the delta folded into the base — same records, same stamp.
+    let folder = {
+        let cell = Arc::clone(&cell);
+        let done = Arc::clone(&done);
+        std::thread::spawn(move || {
+            while !done.load(Ordering::Relaxed) {
+                let view = cell.load();
+                if view.delta_len() > 0 {
+                    let mut all = Vec::new();
+                    view.for_each(|r| all.push(r.clone()));
+                    all.sort_by_key(|r| r.seq);
+                    cell.publish(Arc::new(ShardView::new(Generation::build(all), Vec::new())));
+                }
+                std::thread::yield_now();
+            }
+        })
+    };
+
+    // The swapper: one growing publish per stamp.
+    for stamp in 1..=PUBLISHES {
+        cell.publish(Arc::new(build_view(stamp)));
+        if stamp.is_multiple_of(32) {
+            std::thread::yield_now();
+        }
+    }
+    done.store(true, Ordering::Relaxed);
+
+    folder.join().unwrap();
+    for reader in readers {
+        reader.join().unwrap();
+    }
+
+    gs_race::set_detecting(false);
+    let races = gs_race::take_live_races();
+    assert!(
+        races.is_empty(),
+        "live race detector flagged the epoch/swap scheme:\n{}",
+        races.iter().map(|r| r.to_string()).collect::<Vec<_>>().join("\n")
+    );
+}

@@ -23,8 +23,7 @@
 //! `Vec` it replaced — allocation behaviour is bitwise unobservable either
 //! way, since buffer *contents* are always written before use.
 
-use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use gs_race::sync::{AtomicU64, AtomicU8, AtomicUsize, Mutex, Ordering};
 
 /// Buffers smaller than this (in elements) are never pooled: malloc is
 /// effectively free at that size and pooling would just add mutex traffic.
@@ -86,6 +85,9 @@ pub struct ArenaStats {
 }
 
 fn enabled() -> bool {
+    // ordering: Relaxed — a tri-state switch with no payload behind it;
+    // racing first-use initialisers compute the same env-derived value, so
+    // the worst case is a redundant store of an identical byte.
     match ENABLED.load(Ordering::Relaxed) {
         1 => true,
         2 => false,
@@ -102,6 +104,7 @@ fn enabled() -> bool {
 /// measure the pre-arena allocation behaviour; disabling does not drop
 /// already-pooled buffers (call [`clear`] for that).
 pub fn set_pool_enabled(on: bool) {
+    // ordering: Relaxed — see enabled().
     ENABLED.store(if on { 1 } else { 2 }, Ordering::Relaxed);
 }
 
@@ -109,6 +112,10 @@ pub fn set_pool_enabled(on: bool) {
 /// enabled).
 #[inline]
 pub fn active() -> bool {
+    // ordering: Relaxed — scope depth is advisory for the *observing*
+    // thread: it only decides pool-vs-malloc for an allocation, never
+    // publishes buffer contents (buffers are always written before use,
+    // and the pooled buffers themselves travel under the bucket mutexes).
     DEPTH.load(Ordering::Relaxed) > 0 && enabled()
 }
 
@@ -118,9 +125,12 @@ pub fn scope<R>(f: impl FnOnce() -> R) -> R {
     struct Guard;
     impl Drop for Guard {
         fn drop(&mut self) {
+            // ordering: Relaxed — see active(); the counter needs RMW
+            // atomicity for nesting, not a publication edge.
             DEPTH.fetch_sub(1, Ordering::Relaxed);
         }
     }
+    // ordering: Relaxed — see active().
     DEPTH.fetch_add(1, Ordering::Relaxed);
     let _guard = Guard;
     f()
@@ -149,9 +159,12 @@ fn park_class(cap: usize) -> Option<usize> {
 
 fn take(n: usize) -> Option<Vec<f32>> {
     let class = request_class(n)?;
-    let mut bucket = POOL[class].lock().unwrap_or_else(|e| e.into_inner());
+    let mut bucket = POOL[class].lock();
     let mut v = bucket.pop()?;
     drop(bucket);
+    // ordering: Relaxed — statistics only; the buffer itself was handed
+    // over by the bucket mutex above. Concurrent snapshots may transiently
+    // disagree with the bucket contents, which `stats()` documents.
     POOLED_BUFFERS.fetch_sub(1, Ordering::Relaxed);
     POOLED_BYTES.fetch_sub((v.capacity() * 4) as u64, Ordering::Relaxed);
     RECYCLED_ALLOCS.fetch_add(1, Ordering::Relaxed);
@@ -168,6 +181,7 @@ pub fn alloc_empty(n: usize) -> Vec<f32> {
             return v;
         }
         if let Some(class) = request_class(n) {
+            // ordering: Relaxed — statistic only.
             FRESH_ALLOCS.fetch_add(1, Ordering::Relaxed);
             // Round the capacity up to the class minimum: requests are
             // served from the class whose *minimum* covers them, while
@@ -188,6 +202,7 @@ pub fn alloc_zeroed(n: usize) -> Vec<f32> {
             return v;
         }
         if let Some(class) = request_class(n) {
+            // ordering: Relaxed — statistic only.
             FRESH_ALLOCS.fetch_add(1, Ordering::Relaxed);
             // Class-minimum capacity, for the same reason as alloc_empty.
             let mut v = Vec::with_capacity(MIN_POOL_ELEMS << class);
@@ -215,10 +230,12 @@ pub fn recycle(v: Vec<f32>) {
     let Some(class) = park_class(v.capacity()) else {
         return;
     };
-    let mut bucket = POOL[class].lock().unwrap_or_else(|e| e.into_inner());
+    let mut bucket = POOL[class].lock();
     if bucket.len() >= max_per_class(class) {
         return;
     }
+    // ordering: Relaxed — statistics only; see take(). Updated while the
+    // bucket lock is held so the counters can never double-count a buffer.
     POOLED_BUFFERS.fetch_add(1, Ordering::Relaxed);
     POOLED_BYTES.fetch_add((v.capacity() * 4) as u64, Ordering::Relaxed);
     bucket.push(v);
@@ -226,6 +243,7 @@ pub fn recycle(v: Vec<f32>) {
 
 /// Current counters.
 pub fn stats() -> ArenaStats {
+    // ordering: Relaxed — counter snapshot; fields may be mutually stale.
     ArenaStats {
         fresh_allocs: FRESH_ALLOCS.load(Ordering::Relaxed),
         recycled_allocs: RECYCLED_ALLOCS.load(Ordering::Relaxed),
@@ -236,6 +254,7 @@ pub fn stats() -> ArenaStats {
 
 /// Reset the cumulative counters (tests and benches).
 pub fn reset_stats() {
+    // ordering: Relaxed — statistics only.
     FRESH_ALLOCS.store(0, Ordering::Relaxed);
     RECYCLED_ALLOCS.store(0, Ordering::Relaxed);
 }
@@ -243,9 +262,9 @@ pub fn reset_stats() {
 /// Drop every pooled buffer back to the allocator.
 pub fn clear() {
     for bucket in &POOL {
-        let drained: Vec<Vec<f32>> =
-            std::mem::take(&mut *bucket.lock().unwrap_or_else(|e| e.into_inner()));
+        let drained: Vec<Vec<f32>> = std::mem::take(&mut *bucket.lock());
         for v in &drained {
+            // ordering: Relaxed — statistics only; see take().
             POOLED_BUFFERS.fetch_sub(1, Ordering::Relaxed);
             POOLED_BYTES.fetch_sub((v.capacity() * 4) as u64, Ordering::Relaxed);
         }
