@@ -17,17 +17,30 @@
 //! behavior drifted. Fixture constants (architecture, seed, label set)
 //! live in this file and are mirrored in the test.
 //!
+//! With `--ingest`, regenerates the *ingest* fixture instead — the frozen
+//! detection stage (`detector.txt`), a full synthetic report
+//! (`report.txt`, fixed seed), and the bit-exact ingest snapshot
+//! (`ingest_expected.txt`, see `gs_pipeline::ingest_snapshot`) the frozen
+//! detector + extractor produce on it. The extractor itself is *loaded*
+//! from the committed `corpus.txt`/`params.txt`, never retrained, so the
+//! ingest fixture stays consistent with the extraction fixture.
+//!
 //! Usage:
 //!   cargo run --release -p gs-bench --bin goldengen --
-//!       [--out DIR] [--obs-jsonl PATH] [--no-obs] [--no-obs-report]
+//!       [--ingest] [--out DIR] [--obs-jsonl PATH] [--no-obs] [--no-obs-report]
 
 use gs_bench::Args;
 use gs_core::{Annotations, MultiSpanPolicy, Objective};
 use gs_models::transformer::{
     ExtractorOptions, ModelFamily, TrainConfig, TransformerConfig, TransformerExtractor,
 };
-use gs_models::DetailExtractor;
+use gs_models::{DetailExtractor, LinearDetector, LinearDetectorConfig};
+use gs_pipeline::{ingest_report_text, ingest_snapshot, GoalSpotter};
+use gs_store::ObjectiveStore;
 use gs_text::labels::LabelSet;
+use gs_text::{Normalizer, Tokenizer};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use std::fmt::Write as _;
 use std::path::Path;
 
@@ -81,12 +94,86 @@ const EVAL_TEXTS: &[&str] = &[
     "Trim consumption by 18% by 2038.",
 ];
 
+/// Rebuilds the frozen golden extractor from the committed fixture files,
+/// exactly as `tests/golden_extraction.rs` does.
+fn load_golden_extractor(out: &Path) -> TransformerExtractor {
+    let corpus = std::fs::read_to_string(out.join("corpus.txt"))
+        .expect("read corpus.txt (run goldengen without --ingest first)");
+    let texts: Vec<&str> = corpus.lines().collect();
+    let config = golden_config();
+    let tokenizer = Tokenizer::train_bpe(&texts, Normalizer::default(), config.subword_budget);
+    let params =
+        gs_tensor::serialize::load_params_text_file(&out.join("params.txt")).expect("params.txt");
+    let labels = LabelSet::sustainability_goals();
+    let num_classes = labels.num_classes();
+    TransformerExtractor::from_parts(
+        labels,
+        tokenizer,
+        config,
+        num_classes,
+        params,
+        MultiSpanPolicy::First,
+    )
+}
+
+/// `--ingest` mode: freeze the detection stage and pin the full
+/// report → parse → detect → extract → store path.
+fn generate_ingest_fixture(out: &Path) {
+    let extractor = load_golden_extractor(out);
+
+    // The detector trains on the golden corpus vs boilerplate noise plus
+    // indicator names — the hard negatives an ingested table serves up.
+    let data = corpus();
+    let mut detection_data: Vec<(&str, bool)> =
+        data.iter().map(|o| (o.text.as_str(), true)).collect();
+    detection_data.extend(gs_data::banks::NOISE_BLOCKS.iter().map(|n| (*n, false)));
+    detection_data.extend(gs_data::banks::INDICATOR_NAMES.iter().map(|n| (*n, false)));
+    println!("training golden detector on {} examples...", detection_data.len());
+    let detector = LinearDetector::train(&detection_data, LinearDetectorConfig::default());
+    std::fs::write(out.join("detector.txt"), detector.save_text()).expect("write detector.txt");
+
+    let mut rng = StdRng::seed_from_u64(5);
+    let report = gs_data::fullreport::generate_full_report(
+        "Golden Corp",
+        "CSR Report 2026",
+        &gs_data::fullreport::FullReportConfig::default(),
+        &mut rng,
+    );
+    std::fs::write(out.join("report.txt"), &report.text).expect("write report.txt");
+
+    let gs = GoalSpotter::from_parts(detector, extractor, 0.5);
+    let store = ObjectiveStore::new();
+    let (stats, objectives) =
+        ingest_report_text(&gs, "Golden Corp", "golden-report", &report.text, &store);
+    let doc = gs_ingest::parse(&report.text);
+    let snapshot = ingest_snapshot(&doc, &stats, &objectives);
+    std::fs::write(out.join("ingest_expected.txt"), &snapshot).expect("write ingest_expected");
+    println!(
+        "wrote detector.txt, report.txt ({} bytes), ingest_expected.txt ({} objectives; {}/{} truths detected)",
+        report.text.len(),
+        objectives.len(),
+        report
+            .truths
+            .iter()
+            .filter(|t| objectives
+                .iter()
+                .any(|o| o.byte_range.0 < t.span.1 && t.span.0 < o.byte_range.1))
+            .count(),
+        report.truths.len(),
+    );
+}
+
 fn main() {
     let args = Args::from_env();
     gs_bench::obs::init(&args);
     let out_dir = args.get("out").unwrap_or("tests/golden").to_string();
     std::fs::create_dir_all(&out_dir).expect("create fixture directory");
     let out = Path::new(&out_dir);
+    if args.has("ingest") {
+        generate_ingest_fixture(out);
+        gs_bench::obs::finish(&args);
+        return;
+    }
 
     let data = corpus();
     let refs: Vec<&Objective> = data.iter().collect();

@@ -23,6 +23,10 @@
 //! `ObjectiveDb` there: extractions whose request body carries a `company`
 //! are upserted, and `GET /v1/objectives?company=NAME` serves the stored
 //! records. Re-starting against the same directory replays the logs.
+//! The store also enables `POST /v1/ingest` — a quickly-trained linear
+//! detector (synthetic objectives vs boilerplate + indicator-name noise)
+//! pairs with the f32 extractor so whole reports flow through
+//! parse → detect → extract → store with section provenance.
 //!
 //! The server prints `listening on http://ADDR` once ready and serves until
 //! the process is killed. Try:
@@ -36,8 +40,9 @@ use gs_core::Objective;
 use gs_models::transformer::{
     ExtractorOptions, TrainConfig, TransformerConfig, TransformerExtractor,
 };
-use gs_pipeline::{DbStoreHook, ExtractorEngine, QuantizedEngine};
-use gs_serve::{BatchConfig, ExtractEngine, ObjectiveStoreHook, Server, ServerConfig};
+use gs_models::{LinearDetector, LinearDetectorConfig};
+use gs_pipeline::{DbStoreHook, ExtractorEngine, GoalSpotter, QuantizedEngine};
+use gs_serve::{BatchConfig, ExtractEngine, IngestHook, ObjectiveStoreHook, Server, ServerConfig};
 use gs_store::{ObjectiveDb, StoreConfig};
 use std::sync::Arc;
 use std::time::Duration;
@@ -101,7 +106,7 @@ fn main() {
         default_deadline: Duration::from_millis(args.get_or("deadline-ms", 5_000)),
         ..Default::default()
     };
-    let store: Option<Arc<dyn ObjectiveStoreHook>> = args.get("store-dir").map(|dir| {
+    let hook: Option<Arc<DbStoreHook>> = args.get("store-dir").map(|dir| {
         let (db, recovery) = ObjectiveDb::open(std::path::Path::new(dir), StoreConfig::default())
             .unwrap_or_else(|e| panic!("cannot open --store-dir {dir:?}: {e}"));
         eprintln!(
@@ -110,8 +115,20 @@ fn main() {
             recovery.frames(),
             recovery.torn_tails()
         );
-        Arc::new(DbStoreHook::new(Arc::new(db))) as Arc<dyn ObjectiveStoreHook>
+        // A linear detector trains in well under a second; pairing it with
+        // the (f32) extractor gives /v1/ingest a full detect → extract path
+        // and scores store-hook upserts comparably to the batch pipeline.
+        let dataset = gs_data::sustaingoals::generate(64, 42);
+        let mut detection: Vec<(&str, bool)> =
+            dataset.objectives.iter().map(|o| (o.text.as_str(), true)).collect();
+        detection.extend(gs_data::banks::NOISE_BLOCKS.iter().map(|n| (*n, false)));
+        detection.extend(gs_data::banks::INDICATOR_NAMES.iter().map(|n| (*n, false)));
+        let detector = LinearDetector::train(&detection, LinearDetectorConfig::default());
+        let spotter = Arc::new(GoalSpotter::from_parts(detector, extractor.clone(), 0.5));
+        Arc::new(DbStoreHook::with_spotter(Arc::new(db), spotter))
     });
+    let store = hook.clone().map(|h| h as Arc<dyn ObjectiveStoreHook>);
+    let ingest = hook.map(|h| h as Arc<dyn IngestHook>);
     let engine: Arc<dyn ExtractEngine> = if args.has("quantized") {
         let engine = QuantizedEngine::from_extractor(&extractor);
         eprintln!(
@@ -122,7 +139,7 @@ fn main() {
     } else {
         Arc::new(ExtractorEngine(extractor))
     };
-    let server = Server::start_with_store(engine, config, store)
+    let server = Server::start_with_hooks(engine, config, store, ingest)
         .unwrap_or_else(|e| panic!("cannot start server: {e}"));
     println!("listening on http://{}", server.addr());
 

@@ -1,0 +1,186 @@
+//! Ingestion-front-end benchmark: raw parse throughput, end-to-end
+//! report → store latency through the full detect/extract path, and
+//! detection precision/recall against the generated corpus's byte-accurate
+//! ground truth.
+//!
+//! Usage:
+//!   cargo run --release -p gs-bench --bin ingestbench --
+//!       [--reports N] [--smoke] [--out PATH]
+//!
+//! `--smoke` shrinks the corpus and the parse sweep for CI; the full run
+//! additionally enforces the detection quality gate (precision and recall
+//! both >= 0.9 — the bar the ingest pipeline must clear to be worth
+//! running unattended). Writes `results/BENCH_ingest.json`.
+
+use gs_bench::Args;
+use gs_core::Objective;
+use gs_data::fullreport::{generate_full_report, FullReport, FullReportConfig};
+use gs_models::transformer::{ExtractorOptions, TrainConfig, TransformerConfig};
+use gs_pipeline::{ingest_report_text, GoalSpotter, GoalSpotterConfig};
+use gs_serve::Json;
+use gs_store::{ObjectiveDb, StoreConfig};
+use gs_text::labels::LabelSet;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+/// The pipeline test systems' small-but-real configuration: enough model
+/// to extract template objectives, small enough to train in seconds.
+fn system() -> GoalSpotter {
+    let dataset = gs_data::sustaingoals::generate(80, 11);
+    let refs: Vec<&Objective> = dataset.objectives.iter().collect();
+    let mut noise: Vec<&str> = gs_data::banks::NOISE_BLOCKS.to_vec();
+    noise.extend_from_slice(gs_data::banks::INDICATOR_NAMES);
+    let config = GoalSpotterConfig {
+        extractor: ExtractorOptions {
+            model: TransformerConfig {
+                name: "ingestbench".into(),
+                d_model: 32,
+                n_heads: 2,
+                n_layers: 1,
+                d_ff: 64,
+                max_len: 48,
+                subword_budget: 250,
+                ..TransformerConfig::roberta_sim()
+            },
+            train: TrainConfig { epochs: 6, lr: 3e-3, batch_size: 8, ..Default::default() },
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    GoalSpotter::develop(&refs, &noise, &LabelSet::sustainability_goals(), config)
+}
+
+fn corpus(reports: usize) -> Vec<FullReport> {
+    (0..reports)
+        .map(|i| {
+            let mut rng = StdRng::seed_from_u64(100 + i as u64);
+            generate_full_report(
+                &format!("Company-{i:03}"),
+                &format!("CSR Report {}", 2020 + i % 7),
+                &FullReportConfig::default(),
+                &mut rng,
+            )
+        })
+        .collect()
+}
+
+/// Parse-only throughput: MB/s and sections/s over repeated sweeps.
+fn parse_dimension(reports: &[FullReport], sweeps: usize) -> Json {
+    let total_bytes: usize = reports.iter().map(|r| r.text.len()).sum();
+    let mut sections = 0usize;
+    let start = Instant::now();
+    for _ in 0..sweeps {
+        for report in reports {
+            sections += gs_ingest::parse(&report.text).num_sections();
+        }
+    }
+    let secs = start.elapsed().as_secs_f64().max(1e-9);
+    let mb_per_sec = (total_bytes * sweeps) as f64 / 1e6 / secs;
+    let sections_per_sec = sections as f64 / secs;
+    println!(
+        "parse: {mb_per_sec:8.1} MB/s, {sections_per_sec:10.0} sections/s \
+         ({} reports x {sweeps} sweeps, {:.3}s)",
+        reports.len(),
+        secs
+    );
+    Json::obj(vec![
+        ("dimension", Json::from("parse")),
+        ("sweeps", Json::from(sweeps as u64)),
+        ("bytes_per_sweep", Json::from(total_bytes as u64)),
+        ("mb_per_sec", Json::from(mb_per_sec)),
+        ("sections_per_sec", Json::from(sections_per_sec)),
+    ])
+}
+
+/// End-to-end report → store latency plus detection P/R vs ground truth.
+fn ingest_dimension(gs: &GoalSpotter, reports: &[FullReport]) -> (Json, f64, f64) {
+    let db = ObjectiveDb::ephemeral(StoreConfig::default());
+    let mut latencies_us: Vec<u64> = Vec::with_capacity(reports.len());
+    let (mut tp, mut fp, mut truth_hits, mut truths) = (0usize, 0usize, 0usize, 0usize);
+    let started = Instant::now();
+    for report in reports {
+        let t0 = Instant::now();
+        let (_, objectives) = ingest_report_text(gs, &report.company, "csr", &report.text, &db);
+        latencies_us.push(t0.elapsed().as_micros() as u64);
+        let overlaps = |a: (usize, usize), b: (usize, usize)| a.0 < b.1 && b.0 < a.1;
+        for o in &objectives {
+            if report.truths.iter().any(|t| overlaps(o.byte_range, t.span)) {
+                tp += 1;
+            } else {
+                fp += 1;
+            }
+        }
+        truths += report.truths.len();
+        truth_hits += report
+            .truths
+            .iter()
+            .filter(|t| objectives.iter().any(|o| overlaps(o.byte_range, t.span)))
+            .count();
+    }
+    let total_secs = started.elapsed().as_secs_f64().max(1e-9);
+    latencies_us.sort_unstable();
+    let pct = |p: f64| latencies_us[((latencies_us.len() - 1) as f64 * p) as usize];
+    let precision = tp as f64 / (tp + fp).max(1) as f64;
+    let recall = truth_hits as f64 / truths.max(1) as f64;
+    println!(
+        "e2e: p50 {} us, p99 {} us, {:.1} reports/s into the store ({} records); \
+         detection precision {precision:.3} recall {recall:.3}",
+        pct(0.50),
+        pct(0.99),
+        reports.len() as f64 / total_secs,
+        db.len(),
+    );
+    let json = Json::obj(vec![
+        ("dimension", Json::from("ingest_e2e")),
+        ("reports", Json::from(reports.len() as u64)),
+        ("latency_p50_us", Json::from(pct(0.50))),
+        ("latency_p99_us", Json::from(pct(0.99))),
+        ("reports_per_sec", Json::from(reports.len() as f64 / total_secs)),
+        ("store_records", Json::from(db.len() as u64)),
+        ("detection_precision", Json::from(precision)),
+        ("detection_recall", Json::from(recall)),
+        ("true_positives", Json::from(tp as u64)),
+        ("false_positives", Json::from(fp as u64)),
+        ("truth_spans", Json::from(truths as u64)),
+    ]);
+    (json, precision, recall)
+}
+
+fn main() {
+    let args = Args::from_env();
+    let collector = gs_bench::obs::init(&args);
+    let smoke = args.has("smoke");
+    let n: usize = args.get_or("reports", if smoke { 8 } else { 48 });
+    let sweeps = if smoke { 20 } else { 200 };
+    let out = args.get("out").unwrap_or("results/BENCH_ingest.json").to_string();
+
+    let reports = corpus(n);
+    let parse = parse_dimension(&reports, sweeps);
+    println!("training ingest system...");
+    let gs = system();
+    let (e2e, precision, recall) = ingest_dimension(&gs, &reports);
+
+    let host_cores = std::thread::available_parallelism().map(usize::from).unwrap_or(1);
+    let summary = Json::obj(vec![
+        ("benchmark", Json::from("gs-ingest full-report ingestion front-end")),
+        ("host_cores", Json::from(host_cores as u64)),
+        ("smoke", Json::from(smoke)),
+        ("parse", parse),
+        ("ingest", e2e),
+    ]);
+    if let Some(dir) = std::path::Path::new(&out).parent() {
+        std::fs::create_dir_all(dir).expect("create results dir");
+    }
+    std::fs::write(&out, summary.to_string()).expect("write summary");
+    println!("wrote {out}");
+    drop(collector);
+    gs_bench::obs::finish(&args);
+
+    if !smoke {
+        assert!(
+            precision >= 0.9 && recall >= 0.9,
+            "detection quality gate failed: precision {precision:.3}, recall {recall:.3}"
+        );
+    }
+}

@@ -42,6 +42,7 @@ fn record(i: usize, salt: usize) -> ObjectiveRecord {
         baseline: i.is_multiple_of(4).then(|| "vs. 2019".to_string()),
         deadline: Some((2026 + (i + salt) % 14).to_string()),
         score: ((i + salt) % 1000) as f64 / 999.0,
+        ..ObjectiveRecord::default()
     }
 }
 

@@ -353,6 +353,45 @@ pub const COMPANY_TAILS: &[&str] = &[
     "Mobility",
 ];
 
+/// Report section titles for full-report generation (`fullreport`).
+pub const SECTION_TITLES: &[&str] = &[
+    "Climate",
+    "Energy",
+    "Water Stewardship",
+    "Circular Economy",
+    "Social Impact",
+    "Governance",
+    "Supply Chain",
+    "Biodiversity",
+];
+
+/// CSRD-style indicator names for embedded indicator tables. These look
+/// number-and-keyword-dense, which makes them good hard negatives for the
+/// detector: an indicator *name* is not an objective, even though the
+/// adjacent Target cell usually is.
+pub const INDICATOR_NAMES: &[&str] = &[
+    "Scope 1 GHG emissions (tCO2e)",
+    "Scope 2 GHG emissions, market-based (tCO2e)",
+    "Scope 3 upstream emissions (tCO2e)",
+    "Energy consumption (MWh)",
+    "Renewable electricity share (%)",
+    "Water withdrawal (megalitres)",
+    "Water discharge quality index",
+    "Waste diverted from landfill (%)",
+    "Hazardous waste generated (tonnes)",
+    "Recycled input materials (%)",
+    "Employee turnover rate (%)",
+    "Lost-time injury frequency rate",
+    "Training hours per employee",
+    "Gender pay gap (%)",
+    "Board independence ratio",
+    "Suppliers screened on ESG criteria (%)",
+    "Product carbon intensity (kgCO2e/unit)",
+    "Fleet electrification share (%)",
+    "Green financing volume (EUR m)",
+    "Biodiversity-sensitive sites assessed",
+];
+
 /// Emission-goal subjects for the NetZeroFacts-style dataset.
 pub const EMISSION_SUBJECTS: &[&str] = &[
     "CO2 emissions",

@@ -1,0 +1,321 @@
+//! Seeded full-report generator: whole semi-structured report texts with
+//! nested sections, boilerplate paragraphs, bullet lists, and embedded
+//! CSRD-style indicator tables — plus byte-accurate ground truth for every
+//! planted objective.
+//!
+//! Where [`documents`](crate::documents) generates a *block list* (the
+//! detection benchmark's unit), this module generates the *raw text* a real
+//! ingestion front-end would receive, so `gs-ingest` parsing, block-level
+//! sentence segmentation, and provenance threading can all be evaluated
+//! end-to-end: every [`GroundTruthSpan`] records exactly which bytes of the
+//! report state an objective.
+//!
+//! Objectives are planted three ways, cycling deterministically:
+//! - **bullets**, roughly half stripped of their terminal period (the
+//!   list-fusion regression class — flat segmentation would fuse these);
+//! - **paragraph tails**, after a boilerplate sentence in the same
+//!   paragraph (exercises intra-block sentence splitting);
+//! - **table Target cells**, beside indicator-name and numeric-baseline
+//!   cells that must *not* be detected.
+
+use crate::banks;
+use crate::grammar::{GrammarConfig, ObjectiveGrammar};
+use gs_core::Annotations;
+use rand::rngs::StdRng;
+use rand::seq::IndexedRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// How planted objective texts are produced.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub enum ObjectiveStyle {
+    /// The clean `"{Verb} {thing} by {pct}% by {year}."` template family
+    /// (matches the golden extractor's training distribution, so frozen
+    /// models extract from these texts).
+    Template,
+    /// The full compositional grammar with distractors (§5.3 difficulty).
+    Grammar(GrammarConfig),
+}
+
+/// Full-report generation parameters.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct FullReportConfig {
+    /// Number of top-level sections.
+    pub sections: usize,
+    /// Objectives planted in bullets and paragraphs (tables add more).
+    pub objectives: usize,
+    /// Number of embedded indicator tables.
+    pub tables: usize,
+    /// Indicator rows per table; each row's Target cell is one objective.
+    pub table_rows: usize,
+    /// Objective text style.
+    pub style: ObjectiveStyle,
+}
+
+impl Default for FullReportConfig {
+    fn default() -> Self {
+        FullReportConfig {
+            sections: 4,
+            objectives: 10,
+            tables: 1,
+            table_rows: 5,
+            style: ObjectiveStyle::Template,
+        }
+    }
+}
+
+/// Where a planted objective sits in the report layout.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TruthPlacement {
+    /// A `- ` bullet item (possibly without terminal punctuation).
+    Bullet,
+    /// The final sentence of a boilerplate paragraph.
+    Paragraph,
+    /// A Target cell of an indicator table.
+    TableCell,
+}
+
+/// One planted objective with its exact byte range in the report text.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct GroundTruthSpan {
+    /// The objective text exactly as written into the report.
+    pub text: String,
+    /// Byte range `[start, end)` of `text` within [`FullReport::text`].
+    pub span: (usize, usize),
+    /// Component-level annotations for the detail extractor.
+    pub truth: Annotations,
+    /// Layout position.
+    pub placement: TruthPlacement,
+}
+
+/// A generated report: raw text plus ground truth.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct FullReport {
+    /// Owning company.
+    pub company: String,
+    /// Report title (also the top-level heading).
+    pub title: String,
+    /// The raw semi-structured report text.
+    pub text: String,
+    /// Every planted objective, in document order.
+    pub truths: Vec<GroundTruthSpan>,
+}
+
+impl FullReport {
+    /// Number of planted objectives.
+    pub fn num_truths(&self) -> usize {
+        self.truths.len()
+    }
+}
+
+const TEMPLATE_VERBS: &[&str] = &["Reduce", "Cut", "Lower", "Decrease", "Trim", "Shrink"];
+const TEMPLATE_THINGS: &[&str] = &["emissions", "waste", "usage", "consumption", "footprint"];
+
+/// One objective text plus annotations, in the configured style.
+fn make_objective(
+    style: &ObjectiveStyle,
+    grammar: Option<&ObjectiveGrammar>,
+    id: u64,
+    rng: &mut StdRng,
+) -> (String, Annotations) {
+    match style {
+        ObjectiveStyle::Template => {
+            let v = *TEMPLATE_VERBS.choose(rng).expect("bank");
+            let t = *TEMPLATE_THINGS.choose(rng).expect("bank");
+            let pct = rng.random_range(5..95);
+            let year = rng.random_range(2025..2045);
+            let text = format!("{v} {t} by {pct}% by {year}.");
+            let truth = Annotations::new()
+                .with("Action", v)
+                .with("Qualifier", t)
+                .with("Amount", &format!("{pct}%"))
+                .with("Deadline", &year.to_string());
+            (text, truth)
+        }
+        ObjectiveStyle::Grammar(_) => {
+            let g = grammar.expect("grammar built for Grammar style").generate(id, rng);
+            (g.objective.text, g.truth)
+        }
+    }
+}
+
+/// Append-only report writer that records truth spans as it goes.
+struct Writer {
+    text: String,
+    truths: Vec<GroundTruthSpan>,
+}
+
+impl Writer {
+    fn push(&mut self, s: &str) {
+        self.text.push_str(s);
+    }
+
+    /// Writes `text` and records it as ground truth at its exact offsets.
+    fn push_truth(&mut self, text: &str, truth: Annotations, placement: TruthPlacement) {
+        let start = self.text.len();
+        self.text.push_str(text);
+        self.truths.push(GroundTruthSpan {
+            text: text.to_string(),
+            span: (start, self.text.len()),
+            truth,
+            placement,
+        });
+    }
+
+    fn noise_paragraph(&mut self, sentences: usize, rng: &mut StdRng) {
+        for i in 0..sentences.max(1) {
+            if i > 0 {
+                self.push(" ");
+            }
+            self.push(banks::NOISE_BLOCKS.choose(rng).expect("bank"));
+        }
+        self.push("\n\n");
+    }
+}
+
+/// Generates one full report. Deterministic given the rng state.
+pub fn generate_full_report(
+    company: &str,
+    title: &str,
+    config: &FullReportConfig,
+    rng: &mut StdRng,
+) -> FullReport {
+    let grammar = match &config.style {
+        ObjectiveStyle::Grammar(g) => Some(ObjectiveGrammar::new(g.clone())),
+        ObjectiveStyle::Template => None,
+    };
+    let mut next_id = 0u64;
+    let mut objective = |rng: &mut StdRng| {
+        let out = make_objective(&config.style, grammar.as_ref(), next_id, rng);
+        next_id += 1;
+        out
+    };
+
+    let mut w = Writer { text: String::new(), truths: Vec::new() };
+    w.push(&format!("# {title}\n\n"));
+    w.noise_paragraph(2, rng);
+
+    let sections = config.sections.max(1);
+    // Distribute bullet/paragraph objectives across sections, round-robin.
+    let mut per_section = vec![0usize; sections];
+    for i in 0..config.objectives {
+        per_section[i % sections] += 1;
+    }
+    let mut tables_left = config.tables;
+    let mut planted = 0usize;
+
+    for s in 0..sections {
+        let section_title = banks::SECTION_TITLES[s % banks::SECTION_TITLES.len()];
+        w.push(&format!("## {section_title}\n\n"));
+        w.noise_paragraph(1, rng);
+
+        let mut in_section = per_section[s];
+        // One objective rides as a paragraph tail after boilerplate.
+        if in_section > 0 && planted % 3 == 2 {
+            let (text, truth) = objective(rng);
+            w.push(banks::NOISE_BLOCKS.choose(rng).expect("bank"));
+            w.push(" ");
+            w.push_truth(&text, truth, TruthPlacement::Paragraph);
+            w.push("\n\n");
+            in_section -= 1;
+            planted += 1;
+        }
+        if in_section > 0 {
+            w.push("### Targets\n\n");
+            for b in 0..in_section {
+                let (mut text, truth) = objective(rng);
+                // Half the bullets lose their period: layout is the only
+                // thing separating them from the next item.
+                if b % 2 == 1 {
+                    if let Some(stripped) = text.strip_suffix('.') {
+                        text = stripped.to_string();
+                    }
+                }
+                w.push("- ");
+                w.push_truth(&text, truth, TruthPlacement::Bullet);
+                w.push("\n");
+                planted += 1;
+            }
+            w.push("\n");
+        }
+        if tables_left > 0 {
+            tables_left -= 1;
+            w.push("### Indicators\n\n");
+            w.push("| Indicator | Target | Baseline |\n");
+            w.push("| --- | --- | --- |\n");
+            for r in 0..config.table_rows.max(1) {
+                let indicator = banks::INDICATOR_NAMES[(s + r * 7) % banks::INDICATOR_NAMES.len()];
+                let (text, truth) = objective(rng);
+                let baseline = format!("2019: {}", rng.random_range(100..100_000));
+                w.push(&format!("| {indicator} | "));
+                w.push_truth(&text, truth, TruthPlacement::TableCell);
+                w.push(&format!(" | {baseline} |\n"));
+            }
+            w.push("\n");
+        }
+    }
+    w.noise_paragraph(1, rng);
+    let text = w.text.trim_end().to_string() + "\n";
+    FullReport { company: company.to_string(), title: title.to_string(), text, truths: w.truths }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn generate(seed: u64) -> FullReport {
+        let mut rng = StdRng::seed_from_u64(seed);
+        generate_full_report("Acme Corp", "CSR Report 2026", &FullReportConfig::default(), &mut rng)
+    }
+
+    #[test]
+    fn truth_spans_slice_back_to_their_text() {
+        let report = generate(7);
+        assert_eq!(report.num_truths(), 10 + 5, "bullet/paragraph + table objectives");
+        for t in &report.truths {
+            assert_eq!(&report.text[t.span.0..t.span.1], t.text, "{:?}", t.placement);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let (a, b) = (generate(11), generate(11));
+        assert_eq!(a.text, b.text);
+        assert_eq!(a.truths.len(), b.truths.len());
+    }
+
+    #[test]
+    fn plants_all_three_placements() {
+        let report = generate(3);
+        for placement in
+            [TruthPlacement::Bullet, TruthPlacement::Paragraph, TruthPlacement::TableCell]
+        {
+            assert!(
+                report.truths.iter().any(|t| t.placement == placement),
+                "missing {placement:?}"
+            );
+        }
+        assert!(
+            report
+                .truths
+                .iter()
+                .any(|t| t.placement == TruthPlacement::Bullet && !t.text.ends_with('.')),
+            "some bullets must lack terminal punctuation"
+        );
+    }
+
+    #[test]
+    fn grammar_style_uses_the_compositional_generator() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let config = FullReportConfig {
+            style: ObjectiveStyle::Grammar(GrammarConfig::default()),
+            ..FullReportConfig::default()
+        };
+        let report = generate_full_report("Acme", "ESG", &config, &mut rng);
+        assert_eq!(report.num_truths(), 15);
+        for t in &report.truths {
+            assert_eq!(&report.text[t.span.0..t.span.1], t.text);
+        }
+    }
+}

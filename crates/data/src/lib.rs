@@ -9,6 +9,9 @@
 //!   (599 annotated sentences, three fields).
 //! - [`documents`] / [`deployment`]: the report/page/block document model
 //!   and the 14-company post-deployment corpus of Table 5.
+//! - [`fullreport`]: whole semi-structured report texts (sections, bullet
+//!   lists, indicator tables) with byte-accurate objective ground truth,
+//!   for exercising the `gs-ingest` front-end.
 //! - [`grammar`]: the compositional objective generator both datasets use.
 
 #![warn(missing_docs)]
@@ -17,6 +20,7 @@ pub mod banks;
 pub mod dataset;
 pub mod deployment;
 pub mod documents;
+pub mod fullreport;
 pub mod grammar;
 pub mod netzerofacts;
 pub mod sustaingoals;

@@ -1,0 +1,198 @@
+//! # gs-ingest
+//!
+//! Report ingestion front-end: parses semi-structured sustainability
+//! report text (markdown-ish plain text with `#`/underline headings,
+//! bullet/numbered lists, and pipe tables) into a [`Document`] — a flat
+//! block list that tiles the source byte-for-byte, plus a section tree
+//! with stable ids and human-readable paths like
+//! `"Report > Climate > Targets"`.
+//!
+//! The crate is the first stage of the full-report pipeline: parse →
+//! [`Document::sentence_units`] (block-level sentence segmentation with
+//! byte offsets back to the source, one unit per table body cell keyed by
+//! its column header) → detection → extraction → store, with
+//! [`SectionProvenance`] threaded through every stage.
+//!
+//! Guarantees (pinned by the crate's property and fuzz suites):
+//!
+//! - [`parse`] never panics, on any byte sequence.
+//! - Block spans partition `[0, source_len)` exactly.
+//! - Section ids depend only on the ancestor title chain and occurrence
+//!   index, never on offsets, syntax, or body content.
+//! - [`render`] ∘ [`parse`] is a fixed point on rendered text.
+
+#![warn(missing_docs)]
+
+mod model;
+mod parse;
+mod render;
+
+pub use model::{
+    Block, BlockKind, Document, Section, SectionProvenance, SentenceUnit, TableBlock, TableCell,
+    TableRow,
+};
+pub use parse::parse;
+pub use render::render;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const REPORT: &str = "\
+# Annual Report
+
+Intro paragraph. Second sentence.
+
+## Climate
+
+### Targets
+
+- Reduce emissions 50%
+- Improve recycling rates.
+
+| Indicator | Target |
+| --- | --- |
+| Scope 1 | Cut 40% by 2030. |
+| Scope 2 | 100% renewables |
+
+Social
+------
+
+More text here.
+";
+
+    #[test]
+    fn builds_expected_section_tree_with_paths() {
+        let doc = parse(REPORT);
+        let paths: Vec<&str> = doc.sections.iter().map(|s| s.path.as_str()).collect();
+        assert_eq!(
+            paths,
+            vec![
+                "Report",
+                "Report > Annual Report",
+                "Report > Annual Report > Climate",
+                "Report > Annual Report > Climate > Targets",
+                "Report > Annual Report > Social",
+            ]
+        );
+        let social = &doc.sections[4];
+        assert_eq!(social.level, 2, "setext dashes underline a level-2 heading");
+        assert_eq!(social.parent, Some(1), "level 2 pops back to Annual Report");
+        assert_eq!(doc.sections[3].parent, Some(2), "Targets nests under Climate");
+    }
+
+    #[test]
+    fn blocks_tile_the_source_exactly() {
+        let doc = parse(REPORT);
+        let mut cursor = 0;
+        for block in &doc.blocks {
+            assert_eq!(block.span.start, cursor, "gap or overlap before {:?}", block.kind);
+            cursor = block.span.end;
+        }
+        assert_eq!(cursor, REPORT.len());
+    }
+
+    #[test]
+    fn section_ids_are_stable_across_syntax_and_content_edits() {
+        let doc = parse(REPORT);
+        let original = doc.section_by_id(&doc.sections[3].id).expect("targets").id.clone();
+        // Same heading chain, different syntax (Climate as a setext
+        // heading), different body, different offsets: id must not move.
+        let edited =
+            "# Annual Report\n\nnew intro\n\nClimate\n-------\n\n### Targets\n\nother body\n";
+        let doc2 = parse(edited);
+        let targets2 =
+            doc2.sections.iter().find(|s| s.title == "Targets").expect("targets section");
+        assert_eq!(targets2.id, original);
+        assert_eq!(targets2.path, "Report > Annual Report > Climate > Targets");
+    }
+
+    #[test]
+    fn repeated_titles_get_distinct_ids() {
+        let doc = parse("# A\n\n## Sub\n\ntext\n\n## Sub\n\nmore\n");
+        let subs: Vec<&Section> = doc.sections.iter().filter(|s| s.title == "Sub").collect();
+        assert_eq!(subs.len(), 2);
+        assert_ne!(subs[0].id, subs[1].id);
+    }
+
+    #[test]
+    fn table_cells_key_by_header() {
+        let doc = parse(REPORT);
+        let table = doc.blocks.iter().find_map(|b| b.table.as_ref()).expect("table block");
+        assert_eq!(table.header_for(0), Some("Indicator"));
+        assert_eq!(table.header_for(1), Some("Target"));
+        assert_eq!(table.rows.len(), 2);
+        assert_eq!(table.rows[0].cells[1].text, "Cut 40% by 2030.");
+        assert_eq!(table.rows[0].cells[1].span.slice(REPORT), "Cut 40% by 2030.");
+    }
+
+    #[test]
+    fn escaped_pipes_become_literal_cell_text() {
+        let doc = parse("| a \\| b | c\\\\d |\n");
+        let table = doc.blocks[0].table.as_ref().expect("table");
+        assert_eq!(table.rows[0].cells[0].text, "a | b");
+        assert_eq!(table.rows[0].cells[1].text, "c\\d");
+    }
+
+    #[test]
+    fn sentence_units_segment_per_block_and_per_cell() {
+        let doc = parse(REPORT);
+        let units = doc.sentence_units(REPORT);
+        let texts: Vec<&str> = units.iter().map(|u| u.text.as_str()).collect();
+        // The unpunctuated bullet stays its own unit — the fix for the
+        // flat-text fusion pinned in gs_text::sentence_spans tests.
+        assert!(texts.contains(&"Reduce emissions 50%"));
+        assert!(texts.contains(&"Improve recycling rates."));
+        assert!(texts.contains(&"Intro paragraph."));
+        assert!(texts.contains(&"Second sentence."));
+        let cell = units.iter().find(|u| u.text == "Cut 40% by 2030.").expect("table cell unit");
+        assert_eq!(cell.table_header.as_deref(), Some("Target"));
+        assert_eq!(cell.provenance.block_kind, "table_cell");
+        // Offsets always map back to the source bytes.
+        for unit in &units {
+            assert_eq!(unit.provenance.byte_range, (unit.span.start, unit.span.end));
+            assert!(!unit.span.slice(REPORT).is_empty());
+        }
+        let bullet = units.iter().find(|u| u.text == "Reduce emissions 50%").expect("bullet");
+        assert_eq!(bullet.provenance.path, "Report > Annual Report > Climate > Targets");
+        assert_eq!(bullet.provenance.block_kind, "list_item");
+    }
+
+    #[test]
+    fn numbered_lists_and_unicode_bullets_parse_as_items() {
+        let doc = parse("1. First goal.\n2) Second goal.\n\u{2022} Third goal.\n");
+        let kinds: Vec<_> = doc.blocks.iter().map(|b| b.kind).collect();
+        assert_eq!(kinds, vec![BlockKind::ListItem; 3]);
+        assert_eq!(doc.blocks[1].text, "Second goal.");
+    }
+
+    #[test]
+    fn rule_under_text_is_a_setext_heading_but_standalone_is_a_rule() {
+        let doc = parse("Title\n=====\n\n---\n\nbody\n");
+        assert_eq!(doc.blocks[0].kind, BlockKind::Heading { level: 1 });
+        assert!(doc.blocks.iter().any(|b| b.kind == BlockKind::Rule));
+    }
+
+    #[test]
+    fn render_is_canonical_and_reparses_identically() {
+        let doc = parse(REPORT);
+        let rendered = render(&doc);
+        let doc2 = parse(&rendered);
+        assert_eq!(render(&doc2), rendered, "render∘parse is a fixed point");
+        assert_eq!(
+            doc2.sections.iter().map(|s| s.id.as_str()).collect::<Vec<_>>(),
+            doc.sections.iter().map(|s| s.id.as_str()).collect::<Vec<_>>(),
+            "section ids survive re-rendering"
+        );
+    }
+
+    #[test]
+    fn empty_input_parses_to_empty_document() {
+        let doc = parse("");
+        assert_eq!(doc.blocks.len(), 0);
+        assert_eq!(doc.num_sections(), 0);
+        assert_eq!(doc.sections[0].path, "Report");
+        assert!(doc.sentence_units("").is_empty());
+        assert_eq!(render(&doc), "");
+    }
+}

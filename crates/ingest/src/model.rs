@@ -1,0 +1,273 @@
+//! The parsed document model: a flat, byte-tiling block list plus a
+//! section tree with stable ids and human-readable paths.
+//!
+//! ## Invariants (pinned by `tests/parser_properties.rs`)
+//!
+//! - **Tiling:** the blocks' `span`s partition `[0, source_len)` exactly —
+//!   every source byte belongs to exactly one block, in order.
+//! - **Path prefix consistency:** a section's `path` is its parent's path
+//!   plus `" > "` plus its own title; depth equals the number of `" > "`
+//!   separators.
+//! - **Section-id stability:** `id` is a hash of the ancestor title chain
+//!   and the section's occurrence index among same-titled siblings — it
+//!   does not depend on byte offsets, body content, blank lines, or
+//!   heading syntax (ATX `##` vs setext underline), so ids survive
+//!   re-rendering, boilerplate edits, and content growth above/below.
+
+use gs_text::Span;
+
+/// What a flat block is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BlockKind {
+    /// A section heading (`#`-prefixed or setext-underlined); `level` is
+    /// 1-based nesting depth, capped at 6.
+    Heading {
+        /// 1-based heading level.
+        level: u8,
+    },
+    /// A run of plain text lines.
+    Paragraph,
+    /// One bullet (`-`, `*`, `•`) or numbered (`1.` / `1)`) list item.
+    ListItem,
+    /// A run of pipe-table lines (`| a | b |`), including any separator.
+    Table,
+    /// A run of blank lines.
+    Blank,
+    /// A horizontal rule (`---` / `===` not under a text line).
+    Rule,
+}
+
+impl BlockKind {
+    /// Short stable label used in provenance records.
+    pub fn label(&self) -> &'static str {
+        match self {
+            BlockKind::Heading { .. } => "heading",
+            BlockKind::Paragraph => "paragraph",
+            BlockKind::ListItem => "list_item",
+            BlockKind::Table => "table",
+            BlockKind::Blank => "blank",
+            BlockKind::Rule => "rule",
+        }
+    }
+}
+
+/// One cell of a pipe table.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TableCell {
+    /// Unescaped, whitespace-trimmed cell text (`\|` → `|`, `\\` → `\`).
+    pub text: String,
+    /// Byte range of the trimmed raw cell content in the source.
+    pub span: Span,
+}
+
+/// One table row.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TableRow {
+    /// Cells left to right. Ragged rows keep their own length; header
+    /// keying pads or ignores as needed.
+    pub cells: Vec<TableCell>,
+}
+
+/// A parsed pipe table: optional header row plus body rows.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TableBlock {
+    /// Header cells when the second source row was a `|---|` separator.
+    pub header: Option<Vec<TableCell>>,
+    /// Body rows (the separator row is structural and not kept).
+    pub rows: Vec<TableRow>,
+}
+
+impl TableBlock {
+    /// The header text for a 0-based column, if a header exists and covers
+    /// that column with non-empty text.
+    pub fn header_for(&self, col: usize) -> Option<&str> {
+        let cell = self.header.as_ref()?.get(col)?;
+        if cell.text.is_empty() {
+            None
+        } else {
+            Some(&cell.text)
+        }
+    }
+}
+
+/// One flat block of the document.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Block {
+    /// Structural kind.
+    pub kind: BlockKind,
+    /// Exact source byte range, including trailing newline(s) — the
+    /// tiling unit.
+    pub span: Span,
+    /// Content region within `span`: after list markers / heading `#`s,
+    /// before the trailing newline. Equals `span` for tables.
+    pub content: Span,
+    /// Canonical text: heading title, whitespace-joined list-item text,
+    /// trimmed paragraph lines joined with `\n`; empty for tables, blank
+    /// runs, and rules.
+    pub text: String,
+    /// Index into [`Document::sections`] of the owning section.
+    pub section: u32,
+    /// Parsed cells for `Table` blocks.
+    pub table: Option<TableBlock>,
+}
+
+/// One node of the section tree.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Section {
+    /// Stable 16-hex id (see module docs for the stability contract).
+    pub id: String,
+    /// Heading title (`"Report"` for the root).
+    pub title: String,
+    /// Nesting level: 0 for the root, matching the heading level below it.
+    pub level: u8,
+    /// Parent index in [`Document::sections`]; `None` for the root.
+    pub parent: Option<u32>,
+    /// Human-readable path, e.g. `"Report > Climate > Targets"`.
+    pub path: String,
+}
+
+/// A parsed report.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Document {
+    /// Byte length of the source text the blocks tile.
+    pub source_len: usize,
+    /// Sections in document order; index 0 is always the root.
+    pub sections: Vec<Section>,
+    /// Flat blocks tiling the source.
+    pub blocks: Vec<Block>,
+}
+
+/// Where an extracted sentence came from — threaded from ingestion through
+/// detection and extraction into the objective store and API responses.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SectionProvenance {
+    /// Stable section id.
+    pub section_id: String,
+    /// Human-readable section path (`"Report > Climate > Targets"`).
+    pub path: String,
+    /// Block kind label (`"paragraph"`, `"list_item"`, `"table_cell"`…).
+    pub block_kind: String,
+    /// Byte range of the sentence in the source report.
+    pub byte_range: (usize, usize),
+}
+
+/// One detection/extraction candidate: a sentence (or table cell) with its
+/// source offsets and provenance.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SentenceUnit {
+    /// Whitespace-normalized sentence text (cells are also unescaped).
+    pub text: String,
+    /// Byte range of the sentence in the source.
+    pub span: Span,
+    /// Section/block provenance.
+    pub provenance: SectionProvenance,
+    /// Column header for table-cell units, when the table has one.
+    pub table_header: Option<String>,
+}
+
+impl Document {
+    /// Child section indexes of `section`, in document order.
+    pub fn children(&self, section: usize) -> Vec<usize> {
+        self.sections
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.parent == Some(section as u32))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Looks up a section by id.
+    pub fn section_by_id(&self, id: &str) -> Option<&Section> {
+        self.sections.iter().find(|s| s.id == id)
+    }
+
+    /// Total number of non-root sections.
+    pub fn num_sections(&self) -> usize {
+        self.sections.len().saturating_sub(1)
+    }
+
+    /// Block-level sentence segmentation with provenance: paragraphs and
+    /// list items are split by [`gs_text::sentence_spans`] *within their
+    /// own block* (so an unpunctuated bullet can never fuse with its
+    /// neighbor), and each non-empty table body cell becomes one unit
+    /// keyed by its column header. Headings, blank runs, rules, and table
+    /// headers yield no units.
+    ///
+    /// `source` must be the exact text this document was parsed from.
+    pub fn sentence_units(&self, source: &str) -> Vec<SentenceUnit> {
+        let mut out = Vec::new();
+        for block in &self.blocks {
+            let section = &self.sections[block.section as usize];
+            let provenance = |kind: &str, span: Span| SectionProvenance {
+                section_id: section.id.clone(),
+                path: section.path.clone(),
+                block_kind: kind.to_string(),
+                byte_range: (span.start, span.end),
+            };
+            match block.kind {
+                BlockKind::Paragraph | BlockKind::ListItem => {
+                    let region = block.content.slice(source);
+                    for rel in gs_text::sentence_spans(region) {
+                        let span = Span::new(
+                            block.content.start + rel.start,
+                            block.content.start + rel.end,
+                        );
+                        out.push(SentenceUnit {
+                            text: normalize_ws(span.slice(source)),
+                            span,
+                            provenance: provenance(block.kind.label(), span),
+                            table_header: None,
+                        });
+                    }
+                }
+                BlockKind::Table => {
+                    let Some(table) = &block.table else { continue };
+                    for row in &table.rows {
+                        for (col, cell) in row.cells.iter().enumerate() {
+                            if cell.text.is_empty() {
+                                continue;
+                            }
+                            out.push(SentenceUnit {
+                                text: normalize_ws(&cell.text),
+                                span: cell.span,
+                                provenance: provenance("table_cell", cell.span),
+                                table_header: table.header_for(col).map(str::to_string),
+                            });
+                        }
+                    }
+                }
+                BlockKind::Heading { .. } | BlockKind::Blank | BlockKind::Rule => {}
+            }
+        }
+        out
+    }
+}
+
+/// Collapses all whitespace runs to single spaces and trims.
+pub(crate) fn normalize_ws(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for part in s.split_whitespace() {
+        if !out.is_empty() {
+            out.push(' ');
+        }
+        out.push_str(part);
+    }
+    out
+}
+
+/// FNV-1a over the ancestor chain that defines a section identity.
+pub(crate) fn section_id(parent_id: &str, title: &str, occurrence: usize) -> String {
+    let mut h: u64 = 0xcbf29ce484222325;
+    let mut write = |bytes: &[u8]| {
+        for b in bytes {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x100000001b3);
+        }
+    };
+    write(parent_id.as_bytes());
+    write(&[0xff]);
+    write(title.as_bytes());
+    write(&[0xff]);
+    write(&(occurrence as u64).to_le_bytes());
+    format!("{h:016x}")
+}

@@ -1,0 +1,398 @@
+//! The report parser: a single line-classifying pass that tiles the source
+//! into blocks and threads a heading stack into the section tree.
+//!
+//! ## Grammar accepted
+//!
+//! - **ATX headings:** 1–6 `#`s at the start of a (possibly indented)
+//!   line, followed by a space or end of line; the level is the `#` count.
+//! - **Setext headings:** a single text line underlined by a line of `=`
+//!   (level 1) or `-` (level 2), at least two characters long.
+//! - **List items:** `-`, `*`, or `•` plus a space, or 1–3 digits plus
+//!   `.`/`)` plus a space; one line per item (no lazy continuation).
+//! - **Pipe tables:** consecutive lines whose trimmed form starts with
+//!   `|`; cells split on unescaped `|` (`\|` escapes a literal pipe,
+//!   `\\` a backslash). A second row of `-`/`:` cells marks row one as
+//!   the header.
+//! - **Rules:** `---`/`===` lines *not* under a text line.
+//! - Everything else accumulates into paragraphs; blank-line runs are
+//!   kept as explicit blocks so the block spans tile the source exactly.
+//!
+//! The parser never panics: any byte sequence (including invalid-looking
+//! markup, pathological nesting, and ragged tables) parses to *something*
+//! (`tests/fuzz_never_panic.rs`).
+
+use crate::model::{
+    normalize_ws, section_id, Block, BlockKind, Document, Section, TableBlock, TableCell, TableRow,
+};
+use gs_text::Span;
+use std::collections::HashMap;
+
+/// One source line: `span` includes the trailing newline (if present),
+/// `text` excludes it.
+struct Line<'a> {
+    span: Span,
+    text: &'a str,
+}
+
+fn split_lines(source: &str) -> Vec<Line<'_>> {
+    let mut out = Vec::new();
+    let mut start = 0;
+    let bytes = source.as_bytes();
+    for (i, b) in bytes.iter().enumerate() {
+        if *b == b'\n' {
+            out.push(Line { span: Span::new(start, i + 1), text: &source[start..i] });
+            start = i + 1;
+        }
+    }
+    if start < source.len() {
+        out.push(Line { span: Span::new(start, source.len()), text: &source[start..] });
+    }
+    out
+}
+
+fn is_blank(line: &str) -> bool {
+    line.trim().is_empty()
+}
+
+fn is_table_line(line: &str) -> bool {
+    line.trim_start().starts_with('|')
+}
+
+/// `(level, title span)` for an ATX heading line, if it is one.
+fn atx_heading(line: &str, line_start: usize) -> Option<(u8, Span)> {
+    let indent = line.len() - line.trim_start().len();
+    let rest = &line[indent..];
+    let hashes = rest.bytes().take_while(|b| *b == b'#').count();
+    if hashes == 0 || hashes > 6 {
+        return None;
+    }
+    let after = &rest[hashes..];
+    let title_rel = if after.is_empty() {
+        hashes
+    } else if after.starts_with(' ') || after.starts_with('\t') {
+        hashes + 1
+    } else {
+        return None;
+    };
+    let title = line[indent + title_rel..].trim();
+    let tstart = line_start + indent + title_rel;
+    // Locate the trimmed title within the remainder for an exact span.
+    let lead = line[indent + title_rel..].len() - line[indent + title_rel..].trim_start().len();
+    Some((hashes as u8, Span::new(tstart + lead, tstart + lead + title.len())))
+}
+
+/// Setext underline: all `=` (level 1) or all `-` (level 2), len >= 2.
+fn underline_level(line: &str) -> Option<u8> {
+    let t = line.trim();
+    if t.len() >= 2 && t.bytes().all(|b| b == b'=') {
+        Some(1)
+    } else if t.len() >= 2 && t.bytes().all(|b| b == b'-') {
+        Some(2)
+    } else {
+        None
+    }
+}
+
+/// Byte length of a list marker (including its trailing space) at the
+/// start of `trimmed`, if the line is a list item.
+fn list_marker_len(trimmed: &str) -> Option<usize> {
+    for bullet in ["- ", "* ", "\u{2022} "] {
+        if trimmed.starts_with(bullet) {
+            return Some(bullet.len());
+        }
+    }
+    let digits = trimmed.bytes().take_while(u8::is_ascii_digit).count();
+    if (1..=3).contains(&digits) {
+        let rest = &trimmed[digits..];
+        if (rest.starts_with(". ") || rest.starts_with(") ")) && rest.len() > 2 {
+            return Some(digits + 2);
+        }
+    }
+    None
+}
+
+fn is_list_line(line: &str) -> bool {
+    list_marker_len(line.trim_start()).is_some()
+}
+
+/// A line that can extend a paragraph: not blank and not the start of any
+/// other construct.
+fn is_paragraph_text(line: &str) -> bool {
+    !is_blank(line)
+        && !is_table_line(line)
+        && !is_list_line(line)
+        && atx_heading(line, 0).is_none()
+        && underline_level(line).is_none()
+}
+
+/// Splits one table line into trimmed raw-cell spans plus unescaped text.
+/// `content` is the line text, `base` its absolute byte offset.
+fn split_row(content: &str, base: usize) -> Vec<TableCell> {
+    let indent = content.len() - content.trim_start().len();
+    let trimmed = content.trim_end();
+    let mut cells = Vec::new();
+    // Consume the leading `|`.
+    let pos = indent + 1;
+    let mut cell_start = pos;
+    let mut pending = String::new();
+    let mut chars = trimmed[pos.min(trimmed.len())..].char_indices().peekable();
+    let mut trailing_sep = trimmed.len() == pos; // a bare "|" has no cells
+    let push_cell = |cells: &mut Vec<TableCell>, raw_start: usize, raw_end: usize, text: &str| {
+        let raw = &content[raw_start..raw_end];
+        let lead = raw.len() - raw.trim_start().len();
+        let tail = raw.trim_end().len();
+        let (s, e) = if lead <= tail {
+            (raw_start + lead, raw_start + tail)
+        } else {
+            (raw_start, raw_start)
+        };
+        cells
+            .push(TableCell { text: text.trim().to_string(), span: Span::new(base + s, base + e) });
+    };
+    while let Some((i, c)) = chars.next() {
+        let abs = pos + i;
+        match c {
+            '\\' => match chars.peek().copied() {
+                Some((_, c2)) if c2 == '|' || c2 == '\\' => {
+                    pending.push(c2);
+                    chars.next();
+                }
+                _ => pending.push('\\'),
+            },
+            '|' => {
+                push_cell(&mut cells, cell_start, abs, &pending);
+                pending.clear();
+                cell_start = abs + 1;
+                trailing_sep = chars.peek().is_none();
+            }
+            c => pending.push(c),
+        }
+    }
+    if !trailing_sep {
+        push_cell(&mut cells, cell_start, trimmed.len(), &pending);
+    }
+    cells
+}
+
+/// A separator row: every cell is made of `-` and `:` (at least one `-`).
+fn is_separator_row(cells: &[TableCell]) -> bool {
+    !cells.is_empty()
+        && cells.iter().all(|c| {
+            !c.text.is_empty()
+                && c.text.contains('-')
+                && c.text.bytes().all(|b| b == b'-' || b == b':' || b == b' ')
+        })
+}
+
+fn parse_table(lines: &[Line<'_>]) -> TableBlock {
+    let mut rows: Vec<TableRow> =
+        lines.iter().map(|l| TableRow { cells: split_row(l.text, l.span.start) }).collect();
+    if rows.len() >= 2 && is_separator_row(&rows[1].cells) {
+        let header = rows.remove(0);
+        rows.remove(0); // the structural `|---|` separator row
+        TableBlock { header: Some(header.cells), rows }
+    } else {
+        TableBlock { header: None, rows }
+    }
+}
+
+/// Tracks the open-section stack and mints stable ids.
+struct SectionBuilder {
+    sections: Vec<Section>,
+    stack: Vec<u32>,
+    occurrences: HashMap<(u32, String), usize>,
+}
+
+impl SectionBuilder {
+    fn new() -> Self {
+        SectionBuilder {
+            sections: vec![Section {
+                id: section_id("", "Report", 0),
+                title: "Report".to_string(),
+                level: 0,
+                parent: None,
+                path: "Report".to_string(),
+            }],
+            stack: vec![0],
+            occurrences: HashMap::new(),
+        }
+    }
+
+    fn current(&self) -> u32 {
+        *self.stack.last().expect("root never popped")
+    }
+
+    /// Opens a section for a heading of `level`, returning its index.
+    fn open(&mut self, level: u8, title: &str) -> u32 {
+        while self.stack.len() > 1 {
+            let top = *self.stack.last().expect("stack non-empty");
+            if self.sections[top as usize].level >= level {
+                self.stack.pop();
+            } else {
+                break;
+            }
+        }
+        let parent = self.current();
+        let occ = self
+            .occurrences
+            .entry((parent, title.to_string()))
+            .and_modify(|n| *n += 1)
+            .or_insert(0);
+        let parent_section = &self.sections[parent as usize];
+        let idx = self.sections.len() as u32;
+        self.sections.push(Section {
+            id: section_id(&parent_section.id, title, *occ),
+            title: title.to_string(),
+            level,
+            parent: Some(parent),
+            path: format!("{} > {}", parent_section.path, title),
+        });
+        self.stack.push(idx);
+        idx
+    }
+}
+
+/// Parses `source` into a [`Document`]. Total work is linear in the input;
+/// the parser never panics (see `tests/fuzz_never_panic.rs`).
+pub fn parse(source: &str) -> Document {
+    let _span = gs_obs::span("ingest.parse");
+    let lines = split_lines(source);
+    let mut sections = SectionBuilder::new();
+    let mut blocks: Vec<Block> = Vec::new();
+    let mut i = 0;
+    while i < lines.len() {
+        let line = &lines[i];
+        if is_blank(line.text) {
+            let start = i;
+            while i < lines.len() && is_blank(lines[i].text) {
+                i += 1;
+            }
+            let span = Span::new(lines[start].span.start, lines[i - 1].span.end);
+            blocks.push(Block {
+                kind: BlockKind::Blank,
+                span,
+                content: Span::new(span.start, span.start),
+                text: String::new(),
+                section: sections.current(),
+                table: None,
+            });
+            continue;
+        }
+        if is_table_line(line.text) {
+            let start = i;
+            while i < lines.len() && is_table_line(lines[i].text) {
+                i += 1;
+            }
+            let span = Span::new(lines[start].span.start, lines[i - 1].span.end);
+            blocks.push(Block {
+                kind: BlockKind::Table,
+                span,
+                content: span,
+                text: String::new(),
+                section: sections.current(),
+                table: Some(parse_table(&lines[start..i])),
+            });
+            continue;
+        }
+        if let Some((level, title_span)) = atx_heading(line.text, line.span.start) {
+            let title = title_span.slice(source);
+            let section = sections.open(level, title);
+            blocks.push(Block {
+                kind: BlockKind::Heading { level },
+                span: line.span,
+                content: title_span,
+                text: title.to_string(),
+                section,
+                table: None,
+            });
+            i += 1;
+            continue;
+        }
+        if is_list_line(line.text) {
+            let trimmed_start = line.text.len() - line.text.trim_start().len();
+            let marker = list_marker_len(line.text.trim_start()).unwrap_or(0);
+            let content_start = line.span.start + trimmed_start + marker;
+            let content_end = line.span.start + line.text.trim_end().len();
+            let content = if content_start <= content_end {
+                Span::new(content_start, content_end)
+            } else {
+                Span::new(content_start, content_start)
+            };
+            blocks.push(Block {
+                kind: BlockKind::ListItem,
+                span: line.span,
+                content,
+                text: normalize_ws(content.slice(source)),
+                section: sections.current(),
+                table: None,
+            });
+            i += 1;
+            continue;
+        }
+        if underline_level(line.text).is_some() {
+            // An underline with no text line above it (text lines bind to
+            // it in the setext branch below) is a horizontal rule.
+            blocks.push(Block {
+                kind: BlockKind::Rule,
+                span: line.span,
+                content: Span::new(line.span.start, line.span.start),
+                text: String::new(),
+                section: sections.current(),
+                table: None,
+            });
+            i += 1;
+            continue;
+        }
+        // Plain text: setext heading if the next line underlines it,
+        // otherwise a paragraph run.
+        if i + 1 < lines.len() {
+            if let Some(level) = underline_level(lines[i + 1].text) {
+                let title = line.text.trim();
+                let lead = line.text.len() - line.text.trim_start().len();
+                let title_span =
+                    Span::new(line.span.start + lead, line.span.start + lead + title.len());
+                let section = sections.open(level, title);
+                blocks.push(Block {
+                    kind: BlockKind::Heading { level },
+                    span: Span::new(line.span.start, lines[i + 1].span.end),
+                    content: title_span,
+                    text: title.to_string(),
+                    section,
+                    table: None,
+                });
+                i += 2;
+                continue;
+            }
+        }
+        let start = i;
+        i += 1;
+        while i < lines.len()
+            && is_paragraph_text(lines[i].text)
+            && !(i + 1 < lines.len() && underline_level(lines[i + 1].text).is_some())
+        {
+            i += 1;
+        }
+        let span = Span::new(lines[start].span.start, lines[i - 1].span.end);
+        let first = &lines[start];
+        let lead = first.text.len() - first.text.trim_start().len();
+        let last = &lines[i - 1];
+        let content =
+            Span::new(first.span.start + lead, last.span.start + last.text.trim_end().len());
+        let text = lines[start..i].iter().map(|l| l.text.trim()).collect::<Vec<_>>().join("\n");
+        blocks.push(Block {
+            kind: BlockKind::Paragraph,
+            span,
+            content,
+            text,
+            section: sections.current(),
+            table: None,
+        });
+    }
+    let doc = Document { source_len: source.len(), sections: sections.sections, blocks };
+    if gs_obs::enabled() {
+        gs_obs::counter("ingest.bytes", source.len() as u64);
+        gs_obs::counter("ingest.blocks", doc.blocks.len() as u64);
+        gs_obs::counter("ingest.sections", doc.num_sections() as u64);
+    }
+    doc
+}

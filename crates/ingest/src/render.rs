@@ -1,0 +1,96 @@
+//! Canonical renderer: turns a parsed [`Document`] back into report text.
+//!
+//! The output is a *normal form*: headings are always ATX (`##`-style),
+//! list items always use `- `, table cells are trimmed and re-escaped,
+//! blank runs collapse to the single blank line separating blocks, and
+//! rules render as `---`. Rendering then re-parsing a rendered document is
+//! a fixed point (`tests/parser_properties.rs::render_parse_is_fixed_point`),
+//! which is what makes the normal form well-defined.
+
+use crate::model::{Block, BlockKind, Document, TableBlock, TableCell};
+
+/// Renders one table cell with `|` and `\` re-escaped.
+fn escape_cell(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '|' => out.push_str("\\|"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn render_row(cells: &[TableCell], out: &mut String) {
+    out.push('|');
+    for cell in cells {
+        out.push(' ');
+        out.push_str(&escape_cell(&cell.text));
+        out.push_str(" |");
+    }
+}
+
+fn render_table(table: &TableBlock, out: &mut String) {
+    let mut lines: Vec<String> = Vec::new();
+    if let Some(header) = &table.header {
+        let mut line = String::new();
+        render_row(header, &mut line);
+        lines.push(line);
+        let mut sep = String::from("|");
+        for _ in header {
+            sep.push_str(" --- |");
+        }
+        lines.push(sep);
+    }
+    for row in &table.rows {
+        let mut line = String::new();
+        render_row(&row.cells, &mut line);
+        lines.push(line);
+    }
+    out.push_str(&lines.join("\n"));
+}
+
+fn render_block(block: &Block, out: &mut String) {
+    match &block.kind {
+        BlockKind::Heading { level } => {
+            for _ in 0..*level {
+                out.push('#');
+            }
+            if !block.text.is_empty() {
+                out.push(' ');
+                out.push_str(&block.text);
+            }
+        }
+        BlockKind::Paragraph => out.push_str(&block.text),
+        BlockKind::ListItem => {
+            out.push('-');
+            out.push(' ');
+            out.push_str(&block.text);
+        }
+        BlockKind::Table => {
+            if let Some(table) = &block.table {
+                render_table(table, out);
+            }
+        }
+        BlockKind::Rule => out.push_str("---"),
+        BlockKind::Blank => {}
+    }
+}
+
+/// Renders `doc` to canonical report text. Blank blocks are dropped; the
+/// remaining blocks are separated by exactly one blank line, with no
+/// trailing newline.
+pub fn render(doc: &Document) -> String {
+    let mut out = String::new();
+    for block in &doc.blocks {
+        if matches!(block.kind, BlockKind::Blank) {
+            continue;
+        }
+        if !out.is_empty() {
+            out.push_str("\n\n");
+        }
+        render_block(block, &mut out);
+    }
+    out
+}

@@ -1,0 +1,298 @@
+//! Property tests for the ingest parser: randomized documents (seeded,
+//! dependency-free generator) checked against the crate's structural
+//! invariants. These are the contracts the pipeline's provenance
+//! threading relies on — byte ranges that tile, paths that nest, ids that
+//! survive re-rendering.
+
+use gs_ingest::{parse, render, BlockKind, Document};
+
+/// Tiny deterministic RNG (xorshift*), so these properties run unchanged
+/// in environments without a real `rand` crate.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(seed.wrapping_mul(2685821657736338717).max(1))
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(2685821657736338717)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n.max(1) as u64) as usize
+    }
+
+    fn pick<'a>(&mut self, options: &[&'a str]) -> &'a str {
+        options[self.below(options.len())]
+    }
+}
+
+const WORDS: &[&str] = &[
+    "emissions",
+    "reduce",
+    "2030",
+    "scope",
+    "naïve",
+    "Ωmega",
+    "café",
+    "50%",
+    "net-zero",
+    "—",
+    "targets",
+    "π",
+];
+
+const TITLES: &[&str] = &["Climate", "Energy", "Überblick", "Social", "Governance", "水資源"];
+
+fn sentence(rng: &mut Rng) -> String {
+    let n = 2 + rng.below(6);
+    let mut s = String::new();
+    for i in 0..n {
+        if i > 0 {
+            s.push(' ');
+        }
+        s.push_str(rng.pick(WORDS));
+    }
+    if rng.below(4) > 0 {
+        s.push('.');
+    }
+    s
+}
+
+/// One random document: a mix of every construct the grammar accepts.
+fn random_document(rng: &mut Rng) -> String {
+    let mut out = String::new();
+    let pieces = 3 + rng.below(12);
+    for _ in 0..pieces {
+        match rng.below(7) {
+            0 => {
+                let level = 1 + rng.below(6);
+                out.push_str(&"#".repeat(level));
+                out.push(' ');
+                out.push_str(rng.pick(TITLES));
+                out.push('\n');
+            }
+            1 => {
+                // Setext heading: text line plus underline.
+                let title = rng.pick(TITLES);
+                out.push_str(title);
+                out.push('\n');
+                let ch = if rng.below(2) == 0 { "=" } else { "-" };
+                out.push_str(&ch.repeat(2 + rng.below(8)));
+                out.push('\n');
+            }
+            2 => {
+                for _ in 0..1 + rng.below(3) {
+                    out.push_str(&sentence(rng));
+                    out.push(' ');
+                    out.push_str(&sentence(rng));
+                    out.push('\n');
+                }
+            }
+            3 => {
+                for _ in 0..1 + rng.below(4) {
+                    out.push_str(rng.pick(&["- ", "* ", "1. ", "12) "]));
+                    out.push_str(&sentence(rng));
+                    out.push('\n');
+                }
+            }
+            4 => {
+                let cols = 1 + rng.below(4);
+                let with_header = rng.below(2) == 0;
+                let header: Vec<&str> =
+                    (0..cols).map(|_| rng.pick(&["Indicator", "Target", "", "Basis"])).collect();
+                if with_header {
+                    out.push('|');
+                    for h in &header {
+                        out.push_str(&format!(" {h} |"));
+                    }
+                    out.push('\n');
+                    out.push('|');
+                    for _ in 0..cols {
+                        out.push_str(" --- |");
+                    }
+                    out.push('\n');
+                }
+                for _ in 0..1 + rng.below(3) {
+                    out.push('|');
+                    // Ragged on purpose: rows may have a different width.
+                    for _ in 0..1 + rng.below(5) {
+                        let cell = match rng.below(4) {
+                            0 => String::from("a \\| b"),
+                            1 => String::new(),
+                            _ => sentence(rng),
+                        };
+                        out.push_str(&format!(" {cell} |"));
+                    }
+                    out.push('\n');
+                }
+            }
+            5 => {
+                out.push_str(&"-".repeat(3 + rng.below(5)));
+                out.push('\n');
+            }
+            _ => {
+                for _ in 0..1 + rng.below(3) {
+                    out.push('\n');
+                }
+            }
+        }
+        if rng.below(3) > 0 {
+            out.push('\n');
+        }
+    }
+    if rng.below(5) == 0 {
+        // Sometimes no trailing newline at all.
+        while out.ends_with('\n') {
+            out.pop();
+        }
+    }
+    out
+}
+
+const CASES: usize = 300;
+
+fn check_tiling(doc: &Document, source: &str) {
+    assert_eq!(doc.source_len, source.len());
+    let mut cursor = 0usize;
+    for block in &doc.blocks {
+        assert_eq!(block.span.start, cursor, "gap or overlap before {:?}", block.kind);
+        assert!(block.span.end >= block.span.start);
+        assert!(block.content.start >= block.span.start && block.content.end <= block.span.end);
+        cursor = block.span.end;
+    }
+    assert_eq!(cursor, source.len(), "blocks must cover the full source");
+    if source.is_empty() {
+        assert!(doc.blocks.is_empty());
+    }
+}
+
+fn check_section_tree(doc: &Document) {
+    assert!(!doc.sections.is_empty(), "root section always exists");
+    assert_eq!(doc.sections[0].path, "Report");
+    assert_eq!(doc.sections[0].level, 0);
+    assert!(doc.sections[0].parent.is_none());
+    let mut seen_ids = std::collections::HashSet::new();
+    for (i, section) in doc.sections.iter().enumerate() {
+        assert!(seen_ids.insert(section.id.clone()), "duplicate id {}", section.id);
+        assert_eq!(section.id.len(), 16);
+        if let Some(parent) = section.parent {
+            let parent = &doc.sections[parent as usize];
+            assert_eq!(
+                section.path,
+                format!("{} > {}", parent.path, section.title),
+                "path is parent path + title"
+            );
+            assert!(section.level > parent.level, "child nests strictly deeper");
+        } else {
+            assert_eq!(i, 0, "only the root lacks a parent");
+        }
+        let depth = section.path.matches(" > ").count();
+        let mut ancestors = 0usize;
+        let mut cur = section.parent;
+        while let Some(p) = cur {
+            ancestors += 1;
+            cur = doc.sections[p as usize].parent;
+        }
+        assert_eq!(depth, ancestors, "path separators count the ancestor chain");
+    }
+    for block in &doc.blocks {
+        assert!((block.section as usize) < doc.sections.len());
+    }
+}
+
+fn check_sentence_units(doc: &Document, source: &str) {
+    for unit in doc.sentence_units(source) {
+        assert!(source.is_char_boundary(unit.span.start), "start on a char boundary");
+        assert!(source.is_char_boundary(unit.span.end), "end on a char boundary");
+        assert!(unit.span.end <= source.len());
+        let raw = &source[unit.span.start..unit.span.end];
+        // The unit's normalized text is rebuilt from exactly these bytes
+        // (table cells additionally unescape \| and \\).
+        if unit.provenance.block_kind != "table_cell" {
+            let renorm: Vec<&str> = raw.split_whitespace().collect();
+            assert_eq!(unit.text, renorm.join(" "), "text matches its span");
+        } else {
+            assert!(!unit.text.is_empty(), "empty cells yield no units");
+        }
+        assert!(!unit.provenance.section_id.is_empty());
+        assert!(unit.provenance.path.starts_with("Report"));
+    }
+}
+
+#[test]
+fn every_byte_belongs_to_exactly_one_block() {
+    let mut rng = Rng::new(0xb10c);
+    for case in 0..CASES {
+        let source = random_document(&mut rng);
+        let doc = parse(&source);
+        check_tiling(&doc, &source);
+        let _ = case;
+    }
+}
+
+#[test]
+fn section_paths_are_prefix_consistent_with_tree_depth() {
+    let mut rng = Rng::new(0x5ec7);
+    for _ in 0..CASES {
+        let source = random_document(&mut rng);
+        check_section_tree(&parse(&source));
+    }
+}
+
+#[test]
+fn segmentation_offsets_always_slice_valid_utf8() {
+    let mut rng = Rng::new(0x0ff5);
+    for _ in 0..CASES {
+        let source = random_document(&mut rng);
+        check_sentence_units(&parse(&source), &source);
+    }
+}
+
+#[test]
+fn render_then_parse_is_a_fixed_point() {
+    let mut rng = Rng::new(0xf1fe);
+    for case in 0..CASES {
+        let source = random_document(&mut rng);
+        let once = render(&parse(&source));
+        let twice = render(&parse(&once));
+        assert_eq!(
+            once, twice,
+            "case {case}: render∘parse must be idempotent\n--- source\n{source:?}"
+        );
+        // The canonical form preserves the section tree and its ids.
+        let (a, b) = (parse(&source), parse(&once));
+        let ids = |d: &Document| d.sections.iter().map(|s| s.id.clone()).collect::<Vec<_>>();
+        assert_eq!(ids(&a), ids(&b), "case {case}: ids survive canonicalization");
+        // And the re-parsed canonical document still satisfies every
+        // structural invariant.
+        check_tiling(&b, &once);
+        check_section_tree(&b);
+        check_sentence_units(&b, &once);
+    }
+}
+
+#[test]
+fn non_blank_content_is_never_dropped_by_canonicalization() {
+    let mut rng = Rng::new(0xcafe);
+    for _ in 0..CASES {
+        let source = random_document(&mut rng);
+        let doc = parse(&source);
+        let rendered = render(&doc);
+        let re = parse(&rendered);
+        let shape = |d: &Document| {
+            d.blocks
+                .iter()
+                .filter(|b| !matches!(b.kind, BlockKind::Blank))
+                .map(|b| (b.kind.label(), b.text.clone()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(shape(&doc), shape(&re), "block kinds and texts survive\n{source:?}");
+    }
+}

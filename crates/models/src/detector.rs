@@ -118,6 +118,59 @@ impl LinearDetector {
         }
         LinearDetector { weights, bias, dim: config.dim, normalizer }
     }
+
+    /// Rebuilds a detector from saved parts (see [`save_text`](Self::save_text)).
+    pub fn from_parts(dim: usize, bias: f32, weights: Vec<f32>) -> Self {
+        assert_eq!(weights.len(), dim, "weight vector must match dim");
+        LinearDetector { weights, bias, dim, normalizer: Normalizer::default() }
+    }
+
+    /// Serializes the detector as line-oriented text with bit-exact f32
+    /// round-trips (hex bit patterns, following the repo's text-serialization
+    /// discipline). Only nonzero weights are written, so frozen detectors
+    /// stay reviewable in version control.
+    pub fn save_text(&self) -> String {
+        let mut out = String::with_capacity(64 + self.weights.len() / 4);
+        out.push_str("gs-linear-detector v1\n");
+        out.push_str(&format!("dim {}\n", self.dim));
+        out.push_str(&format!("bias {:08x}\n", self.bias.to_bits()));
+        for (i, w) in self.weights.iter().enumerate() {
+            if *w != 0.0 {
+                out.push_str(&format!("{i} {:08x}\n", w.to_bits()));
+            }
+        }
+        out
+    }
+
+    /// Restores a detector from [`save_text`](Self::save_text) output.
+    pub fn load_text(text: &str) -> Result<Self, String> {
+        let mut lines = text.lines();
+        if lines.next() != Some("gs-linear-detector v1") {
+            return Err("not a gs-linear-detector v1 file".to_string());
+        }
+        let field = |line: Option<&str>, name: &str| -> Result<String, String> {
+            let line = line.ok_or_else(|| format!("missing {name} line"))?;
+            line.strip_prefix(name)
+                .and_then(|rest| rest.strip_prefix(' '))
+                .map(str::to_string)
+                .ok_or_else(|| format!("malformed {name} line"))
+        };
+        let dim: usize = field(lines.next(), "dim")?.parse().map_err(|_| "bad dim".to_string())?;
+        let bias_bits = u32::from_str_radix(&field(lines.next(), "bias")?, 16)
+            .map_err(|_| "bad bias bits".to_string())?;
+        let mut weights = vec![0.0f32; dim];
+        for line in lines {
+            let (idx, bits) =
+                line.split_once(' ').ok_or_else(|| format!("malformed weight line {line:?}"))?;
+            let idx: usize = idx.parse().map_err(|_| "bad weight index".to_string())?;
+            if idx >= dim {
+                return Err(format!("weight index {idx} out of range for dim {dim}"));
+            }
+            let bits = u32::from_str_radix(bits, 16).map_err(|_| "bad weight bits".to_string())?;
+            weights[idx] = f32::from_bits(bits);
+        }
+        Ok(LinearDetector::from_parts(dim, f32::from_bits(bias_bits), weights))
+    }
 }
 
 impl ObjectiveDetector for LinearDetector {
@@ -181,5 +234,24 @@ mod tests {
     #[should_panic(expected = "no detector training examples")]
     fn rejects_empty_training() {
         let _ = LinearDetector::train(&[], LinearDetectorConfig::default());
+    }
+
+    #[test]
+    fn text_serialization_roundtrips_scores_bit_exactly() {
+        let det = LinearDetector::train(&training_data(), LinearDetectorConfig::default());
+        let saved = det.save_text();
+        let back = LinearDetector::load_text(&saved).expect("load");
+        for (text, _) in training_data() {
+            assert_eq!(det.score(text).to_bits(), back.score(text).to_bits(), "{text}");
+        }
+        // And the frozen form is itself stable.
+        assert_eq!(back.save_text(), saved);
+        assert!(LinearDetector::load_text("nonsense").is_err());
+        assert!(LinearDetector::load_text("gs-linear-detector v1\ndim 4\nbias zz").is_err());
+        assert!(
+            LinearDetector::load_text("gs-linear-detector v1\ndim 4\nbias 00000000\n9 00000000")
+                .is_err(),
+            "out-of-range index rejected"
+        );
     }
 }

@@ -51,6 +51,7 @@ impl Default for ExtractorOptions {
 
 /// A trained transformer-based detail extractor (the GoalSpotter extraction
 /// service).
+#[derive(Clone)]
 pub struct TransformerExtractor {
     name: String,
     labels: LabelSet,

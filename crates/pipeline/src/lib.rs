@@ -5,16 +5,21 @@
 //! the production phase sweeps reports, detects objective blocks, extracts
 //! their details, and fills the structured [`gs_store::ObjectiveStore`].
 //! [`evaluate_extractor`] is the shared driver behind every comparison in
-//! the benchmark harnesses.
+//! the benchmark harnesses. [`ingest_report_text`] is the raw-text front
+//! door: it parses whole semi-structured reports with `gs-ingest` and
+//! threads section provenance through detection and extraction into the
+//! store.
 
 #![warn(missing_docs)]
 
 mod evaluate;
+mod ingest;
 mod produce;
 mod serving;
 mod system;
 
 pub use evaluate::{evaluate_extractor, ApproachResult};
+pub use ingest::{ingest_report_text, ingest_snapshot, IngestStats, IngestedObjective};
 pub use produce::{
     process_corpus, process_corpus_parallel, process_report, CompanyStats, ReportStats,
 };

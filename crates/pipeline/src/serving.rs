@@ -2,10 +2,11 @@
 //! [`gs_serve::ExtractEngine`] implementations whose batched entry points
 //! run one packed encoder forward per micro-batch.
 
+use crate::ingest::{ingest_report_text, IngestStats, IngestedObjective};
 use crate::system::GoalSpotter;
 use gs_core::ExtractedDetails;
 use gs_models::transformer::{QuantizedExtractor, TransformerExtractor};
-use gs_serve::{ExtractEngine, Extraction, Json, ObjectiveStoreHook};
+use gs_serve::{ExtractEngine, Extraction, IngestHook, Json, ObjectiveStoreHook};
 use gs_store::{ObjectiveDb, ObjectiveRecord, UpsertOutcome};
 use gs_tensor::arena;
 use std::sync::Arc;
@@ -119,6 +120,47 @@ fn record_json(record: &ObjectiveRecord) -> Json {
         ("baseline", json_opt(&record.baseline)),
         ("deadline", json_opt(&record.deadline)),
         ("score", if record.score.is_finite() { Json::Num(record.score) } else { Json::Null }),
+        ("section_id", json_opt(&record.section_id)),
+        ("section_path", json_opt(&record.section_path)),
+        ("block_kind", json_opt(&record.block_kind)),
+        ("source_range", json_opt(&record.source_range)),
+    ])
+}
+
+fn stats_json(stats: &IngestStats) -> Json {
+    Json::obj(vec![
+        ("bytes", stats.bytes.into()),
+        ("blocks", stats.blocks.into()),
+        ("sections", stats.sections.into()),
+        ("units", stats.units.into()),
+        ("candidates", stats.candidates.into()),
+        ("detected", stats.detected.into()),
+        ("inserted", stats.inserted.into()),
+        ("updated", stats.updated.into()),
+        ("unchanged", stats.unchanged.into()),
+        ("store_errors", stats.store_errors.into()),
+    ])
+}
+
+fn ingested_json(o: &IngestedObjective) -> Json {
+    Json::obj(vec![
+        ("text", Json::Str(o.text.clone())),
+        ("score", Json::Num(f64::from(o.score))),
+        (
+            "fields",
+            Json::Obj(o.fields.iter().map(|(k, v)| (k.clone(), Json::Str(v.clone()))).collect()),
+        ),
+        ("section_id", Json::Str(o.section_id.clone())),
+        ("section_path", Json::Str(o.section_path.clone())),
+        ("block_kind", Json::Str(o.block_kind.clone())),
+        ("byte_range", Json::Arr(vec![o.byte_range.0.into(), o.byte_range.1.into()])),
+        (
+            "table_header",
+            match &o.table_header {
+                Some(h) => Json::Str(h.clone()),
+                None => Json::Null,
+            },
+        ),
     ])
 }
 
@@ -153,6 +195,23 @@ impl ObjectiveStoreHook for DbStoreHook {
 
     fn record_count(&self) -> usize {
         self.db.len()
+    }
+}
+
+impl IngestHook for DbStoreHook {
+    fn ingest_report(&self, company: &str, document: &str, text: &str) -> Result<Json, String> {
+        let Some(gs) = &self.spotter else {
+            return Err(
+                "ingestion needs a detection stage; build the hook with_spotter".to_string()
+            );
+        };
+        let (stats, objectives) = ingest_report_text(gs, company, document, text, self.db.as_ref());
+        Ok(Json::obj(vec![
+            ("company", Json::Str(company.to_string())),
+            ("document", Json::Str(document.to_string())),
+            ("stats", stats_json(&stats)),
+            ("objectives", Json::Arr(objectives.iter().map(ingested_json).collect())),
+        ]))
     }
 }
 
@@ -200,5 +259,72 @@ mod tests {
             direct.fields.values().filter(|v| !v.is_empty()).count()
         );
         assert!(via_engine[1].fields.is_empty());
+    }
+
+    #[test]
+    fn ingest_endpoint_round_trips_a_report_into_the_store() {
+        use gs_serve::{Client, Server, ServerConfig};
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        use std::time::Duration;
+
+        let gs = Arc::new(crate::ingest::tests::tiny_ingest_system());
+        let db = Arc::new(ObjectiveDb::ephemeral(gs_store::StoreConfig::default()));
+        let hook = Arc::new(DbStoreHook::with_spotter(Arc::clone(&db), Arc::clone(&gs)));
+        let server =
+            Server::start_with_hooks(gs, ServerConfig::default(), Some(hook.clone()), Some(hook))
+                .expect("server");
+        let mut client = Client::connect(server.addr(), Duration::from_secs(30)).expect("client");
+
+        let mut rng = StdRng::seed_from_u64(5);
+        let report = gs_data::fullreport::generate_full_report(
+            "Acme Corp",
+            "CSR 2026",
+            &gs_data::fullreport::FullReportConfig::default(),
+            &mut rng,
+        );
+        let body = Json::obj(vec![
+            ("company", Json::Str("Acme Corp".to_string())),
+            ("document", Json::Str("csr-2026".to_string())),
+            ("text", Json::Str(report.text.clone())),
+        ])
+        .to_string();
+        let response = client.post_json("/v1/ingest", &body).expect("ingest");
+        assert_eq!(response.status, 200, "body {}", response.body);
+        let parsed = gs_serve::json::parse(&response.body).expect("json");
+        let detected = parsed.get("stats").and_then(|s| s.get("detected")).and_then(Json::as_u64);
+        assert!(detected.unwrap_or(0) > 0, "body {}", response.body);
+        assert!(response.body.contains("section_path"), "body {}", response.body);
+        assert!(response.header("x-trace-id").is_some());
+        assert!(!db.is_empty(), "records landed in the store");
+
+        // Stored provenance surfaces on the objectives read path too.
+        let read = client.get("/v1/objectives?company=Acme%20Corp").expect("objectives");
+        assert_eq!(read.status, 200);
+        assert!(read.body.contains("section_path"), "body {}", read.body);
+
+        // Bad requests are client errors, not 500s.
+        let missing = client.post_json("/v1/ingest", "{\"text\": \"x\"}").expect("post");
+        assert_eq!(missing.status, 400);
+        server.shutdown();
+    }
+
+    #[test]
+    fn ingest_endpoint_is_absent_without_a_hook() {
+        use gs_serve::{Client, Server, ServerConfig};
+        use std::time::Duration;
+
+        struct Null;
+        impl ExtractEngine for Null {
+            fn extract_batch(&self, texts: &[String]) -> Vec<Extraction> {
+                texts.iter().map(|_| Extraction { fields: vec![] }).collect()
+            }
+        }
+        let server = Server::start(Arc::new(Null), ServerConfig::default()).expect("server");
+        let mut client = Client::connect(server.addr(), Duration::from_secs(5)).expect("client");
+        let response =
+            client.post_json("/v1/ingest", "{\"company\": \"A\", \"text\": \"t\"}").expect("post");
+        assert_eq!(response.status, 404);
+        server.shutdown();
     }
 }

@@ -18,6 +18,7 @@
 //! |---|---|---|
 //! | `/v1/extract` | POST | `{"text": "...", "deadline_ms"?: n}` → extracted fields |
 //! | `/v1/extract_batch` | POST | `{"texts": [...]}` → one result per text |
+//! | `/v1/ingest` | POST | `{"company": "...", "text": "<raw report>"}` → provenance-tagged extractions (needs an [`IngestHook`]) |
 //! | `/healthz` | GET | liveness + queue depth |
 //! | `/metrics` | GET | Prometheus text rendered from the gs-obs registry |
 //! | `/debug/traces` | GET | flight-recorder dump; `?id=` looks up one trace |
@@ -85,5 +86,5 @@ pub use http::{Request, Response, Status};
 pub use json::Json;
 pub use server::{Server, ServerConfig};
 pub use slo::{SloConfig, SloDimension, SloTracker, WindowStats};
-pub use store_hook::ObjectiveStoreHook;
+pub use store_hook::{IngestHook, ObjectiveStoreHook};
 pub use trace::{mint_trace_id, FlightRecorder, Trace};

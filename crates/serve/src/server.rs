@@ -7,7 +7,7 @@ use crate::http::{self, ParseOutcome, Request, Response, Status};
 use crate::json::{self, Json};
 use crate::metrics_text;
 use crate::slo::{SloConfig, SloTracker};
-use crate::store_hook::ObjectiveStoreHook;
+use crate::store_hook::{IngestHook, ObjectiveStoreHook};
 use crate::trace::{mint_trace_id, FlightRecorder, Trace};
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -64,6 +64,7 @@ struct ServerShared {
     recorder: FlightRecorder,
     slo: Mutex<SloTracker>,
     store: Option<Arc<dyn ObjectiveStoreHook>>,
+    ingest: Option<Arc<dyn IngestHook>>,
 }
 
 /// A running extraction server. Dropping it without calling
@@ -89,6 +90,19 @@ impl Server {
         config: ServerConfig,
         store: Option<Arc<dyn ObjectiveStoreHook>>,
     ) -> std::io::Result<Server> {
+        Self::start_with_hooks(engine, config, store, None)
+    }
+
+    /// The full-surface constructor: optionally attaches both the
+    /// objective store and a whole-report ingestion hook. With an
+    /// [`IngestHook`], `POST /v1/ingest` accepts raw report text and
+    /// answers with provenance-tagged extractions; without one it is 404.
+    pub fn start_with_hooks(
+        engine: Arc<dyn ExtractEngine>,
+        config: ServerConfig,
+        store: Option<Arc<dyn ObjectiveStoreHook>>,
+        ingest: Option<Arc<dyn IngestHook>>,
+    ) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
         let shared = Arc::new(ServerShared {
@@ -99,6 +113,7 @@ impl Server {
             shutting_down: AtomicBool::new(false),
             active_connections: AtomicUsize::new(0),
             store,
+            ingest,
         });
         let accept_thread = {
             let shared = Arc::clone(&shared);
@@ -229,6 +244,7 @@ fn observe_request(shared: &ServerShared, path: &str, response: &Response, elaps
     let endpoint = match path.split('?').next().unwrap_or(path) {
         "/v1/extract" => "extract",
         "/v1/extract_batch" => "extract_batch",
+        "/v1/ingest" => "ingest",
         "/v1/objectives" => "objectives",
         "/healthz" => "healthz",
         "/metrics" => "metrics",
@@ -258,8 +274,9 @@ fn route(request: &Request, shared: &ServerShared) -> Response {
         ("GET", "/debug/prof") => debug_prof(query),
         ("POST", "/v1/extract") => extract_single(request, shared),
         ("POST", "/v1/extract_batch") => extract_batch(request, shared),
+        ("POST", "/v1/ingest") => ingest_report(request, shared),
         ("GET", "/v1/objectives") => objectives(shared, query),
-        ("GET" | "HEAD", "/v1/extract" | "/v1/extract_batch") => {
+        ("GET" | "HEAD", "/v1/extract" | "/v1/extract_batch" | "/v1/ingest") => {
             error_response(Status::MethodNotAllowed, "use POST with a JSON body")
         }
         ("POST" | "PUT" | "DELETE", "/v1/objectives") => {
@@ -365,6 +382,59 @@ fn objectives(shared: &ServerShared, query: &str) -> Response {
         trace_id,
         "objectives",
         count,
+        started,
+        None,
+    )
+}
+
+/// `POST /v1/ingest`: `{"company": "...", "text": "<raw report>",
+/// "document"?: "..."}` — parse a whole semi-structured report, detect and
+/// extract its objectives, and upsert them with section provenance.
+/// Answers with ingestion stats plus every detected objective (section
+/// path, block kind, byte range). Requires an ingest hook; servers started
+/// without one answer 404. Ingestion runs synchronously on the handler
+/// thread, outside the micro-batcher: a report is one indivisible unit of
+/// work, not a batchable item.
+fn ingest_report(request: &Request, shared: &ServerShared) -> Response {
+    let started = Instant::now();
+    let Some(hook) = shared.ingest.as_ref() else {
+        return error_response(Status::NotFound, "no ingestion pipeline attached");
+    };
+    let (body, _deadline) = match parse_body(request) {
+        Ok(parsed) => parsed,
+        Err(response) => return response,
+    };
+    let Some(company) = body.get("company").and_then(Json::as_str) else {
+        return error_response(Status::BadRequest, "missing string field \"company\"");
+    };
+    if company.is_empty() {
+        return error_response(Status::BadRequest, "\"company\" must be non-empty");
+    }
+    let Some(text) = body.get("text").and_then(Json::as_str) else {
+        return error_response(Status::BadRequest, "missing string field \"text\"");
+    };
+    let document = body.get("document").and_then(Json::as_str).unwrap_or("ingest");
+    let trace_id = mint_trace_id();
+    let (status, mut fields) = match hook.ingest_report(company, document, text) {
+        Ok(Json::Obj(map)) => (Status::Ok, map),
+        Ok(other) => (Status::Ok, std::iter::once(("result".to_string(), other)).collect()),
+        Err(err) => {
+            gs_obs::counter("serve.ingest.errors", 1);
+            let map = std::iter::once(("error".to_string(), Json::Str(err))).collect();
+            (Status::InternalError, map)
+        }
+    };
+    let items = match fields.get("objectives") {
+        Some(Json::Arr(objectives)) => objectives.len(),
+        _ => 0,
+    };
+    fields.insert("trace_id".to_string(), Json::Str(trace_id.clone()));
+    finish_traced(
+        shared,
+        Response::json(status, Json::Obj(fields).to_string()),
+        trace_id,
+        "ingest",
+        items,
         started,
         None,
     )

@@ -30,3 +30,19 @@ pub trait ObjectiveStoreHook: Send + Sync + 'static {
     /// Live record count across the store.
     fn record_count(&self) -> usize;
 }
+
+/// Whole-report ingestion behind `POST /v1/ingest`.
+///
+/// Like [`ObjectiveStoreHook`], this keeps gs-serve free of pipeline and
+/// store dependencies: the production implementation (in `gs-pipeline`)
+/// parses the raw report text with `gs-ingest`, runs detection and
+/// extraction over its sentence units, and upserts provenance-tagged
+/// records. Ingestion runs synchronously on the handler thread — callers
+/// should budget a generous `deadline_ms` for large reports.
+pub trait IngestHook: Send + Sync + 'static {
+    /// Ingests one raw report text for `company`, recording extractions
+    /// under `document`. Returns the response body fields: ingestion
+    /// stats plus every detected objective with its section path and
+    /// byte range. `Err` messages become HTTP 500 bodies.
+    fn ingest_report(&self, company: &str, document: &str, text: &str) -> Result<Json, String>;
+}

@@ -102,8 +102,13 @@ fn opt_from(field: &str) -> Result<Option<String>, CodecError> {
     }
 }
 
-/// Number of tab-separated fields in an encoded record.
-const RECORD_FIELDS: usize = 9;
+/// Number of tab-separated fields in an encoded record (v2, with the four
+/// ingestion-provenance fields after the score).
+const RECORD_FIELDS: usize = 13;
+
+/// Field count of pre-provenance records; still accepted on decode so logs
+/// and saves written before the ingest front-end replay cleanly.
+const LEGACY_RECORD_FIELDS: usize = 9;
 
 /// Encodes a record as one line (no trailing newline).
 pub fn encode_record(record: &ObjectiveRecord) -> String {
@@ -126,6 +131,12 @@ fn encode_record_into(out: &mut String, record: &ObjectiveRecord) {
     }
     out.push('\t');
     out.push_str(&format!("{:016x}", record.score.to_bits()));
+    for field in
+        [&record.section_id, &record.section_path, &record.block_kind, &record.source_range]
+    {
+        out.push('\t');
+        opt_into(out, field);
+    }
 }
 
 /// Decodes one [`encode_record`] line.
@@ -135,7 +146,7 @@ pub fn decode_record(line: &str) -> Result<ObjectiveRecord, CodecError> {
 }
 
 fn decode_record_fields(fields: &[&str]) -> Result<ObjectiveRecord, CodecError> {
-    if fields.len() != RECORD_FIELDS {
+    if fields.len() != RECORD_FIELDS && fields.len() != LEGACY_RECORD_FIELDS {
         return Err(CodecError::BadArity);
     }
     let score_bits =
@@ -146,6 +157,10 @@ fn decode_record_fields(fields: &[&str]) -> Result<ObjectiveRecord, CodecError> 
                 Err(CodecError::BadScore)
             }
         })?;
+    let prov = |i: usize| match fields.get(i) {
+        Some(f) => opt_from(f),
+        None => Ok(None), // legacy 9-field record: no provenance
+    };
     Ok(ObjectiveRecord {
         company: unescape(fields[0])?,
         document: unescape(fields[1])?,
@@ -156,6 +171,10 @@ fn decode_record_fields(fields: &[&str]) -> Result<ObjectiveRecord, CodecError> 
         baseline: opt_from(fields[6])?,
         deadline: opt_from(fields[7])?,
         score: f64::from_bits(score_bits),
+        section_id: prov(9)?,
+        section_path: prov(10)?,
+        block_kind: prov(11)?,
+        source_range: prov(12)?,
     })
 }
 
@@ -199,7 +218,7 @@ pub fn decode_op(line: &str) -> Result<LogOp, CodecError> {
     if fields.first() != Some(&"u") {
         return Err(CodecError::BadOp);
     }
-    if fields.len() != RECORD_FIELDS + 3 {
+    if fields.len() != RECORD_FIELDS + 3 && fields.len() != LEGACY_RECORD_FIELDS + 3 {
         return Err(CodecError::BadArity);
     }
     let seq: u64 = fields[1].parse().map_err(|_| CodecError::BadMeta)?;
@@ -227,9 +246,17 @@ pub fn content_hash(record: &ObjectiveRecord) -> u64 {
     h.write(record.document.as_bytes());
     h.sep();
     h.write(record.objective.as_bytes());
-    for field in
-        [&record.action, &record.amount, &record.qualifier, &record.baseline, &record.deadline]
-    {
+    for field in [
+        &record.action,
+        &record.amount,
+        &record.qualifier,
+        &record.baseline,
+        &record.deadline,
+        &record.section_id,
+        &record.section_path,
+        &record.block_kind,
+        &record.source_range,
+    ] {
         h.sep();
         // Normalize Some("") to None, matching the codec.
         if let Some(s) = field.as_deref().filter(|s| !s.is_empty()) {
@@ -289,6 +316,10 @@ pub fn record_to_json(record: &ObjectiveRecord) -> String {
         ("qualifier", &record.qualifier),
         ("baseline", &record.baseline),
         ("deadline", &record.deadline),
+        ("section_id", &record.section_id),
+        ("section_path", &record.section_path),
+        ("block_kind", &record.block_kind),
+        ("source_range", &record.source_range),
     ] {
         out.push_str(",\"");
         out.push_str(name);
@@ -341,6 +372,10 @@ mod tests {
             baseline: Some(String::new()),
             deadline: Some("2030".into()),
             score: 0.875,
+            section_id: Some("00deadbeef001234".into()),
+            section_path: Some("Report > Climate > Targets".into()),
+            block_kind: Some("list_item".into()),
+            source_range: Some("120..156".into()),
         }
     }
 
@@ -357,6 +392,29 @@ mod tests {
         assert_eq!(back.baseline, None);
         assert_eq!(back.deadline, record.deadline);
         assert_eq!(back.score.to_bits(), record.score.to_bits());
+        assert_eq!(back.section_path, record.section_path);
+        assert_eq!(back.source_range, record.source_range);
+    }
+
+    #[test]
+    fn legacy_nine_field_records_decode_with_empty_provenance() {
+        // A line written before the ingest front-end existed.
+        let legacy = "Acme\tdoc\tCut emissions.\t=Cut\t-\t-\t-\t=2030\t3fec000000000000";
+        let record = decode_record(legacy).expect("legacy decode");
+        assert_eq!(record.company, "Acme");
+        assert_eq!(record.score, 0.875);
+        assert_eq!(record.deadline.as_deref(), Some("2030"));
+        assert_eq!(record.section_id, None);
+        assert_eq!(record.section_path, None);
+        assert_eq!(record.block_kind, None);
+        assert_eq!(record.source_range, None);
+        // Legacy ops replay too.
+        let op = format!("u\t4\t2\t{legacy}");
+        let LogOp::Upsert { seq, version, record } = decode_op(&op).expect("legacy op");
+        assert_eq!((seq, version), (4, 2));
+        assert_eq!(record.objective, "Cut emissions.");
+        // Re-encoding writes the modern 13-field form.
+        assert_eq!(encode_record(&record).split('\t').count(), 13);
     }
 
     #[test]

@@ -543,6 +543,7 @@ mod tests {
             baseline: None,
             deadline: deadline.map(str::to_string),
             score,
+            ..ObjectiveRecord::default()
         }
     }
 

@@ -24,7 +24,7 @@ use std::collections::HashMap;
 use std::sync::{RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 /// One record as stored/exported.
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct ObjectiveRecord {
     /// Company the objective belongs to.
     pub company: String,
@@ -45,6 +45,15 @@ pub struct ObjectiveRecord {
     pub deadline: Option<String>,
     /// Detection confidence from GoalSpotter.
     pub score: f64,
+    /// Stable section id from report ingestion (`gs-ingest`), if the
+    /// objective came through the full-report path.
+    pub section_id: Option<String>,
+    /// Human-readable section path, e.g. `"Report > Climate > Targets"`.
+    pub section_path: Option<String>,
+    /// Source block kind (`"paragraph"`, `"list_item"`, `"table_cell"`).
+    pub block_kind: Option<String>,
+    /// Byte range of the sentence in the source report, as `"start..end"`.
+    pub source_range: Option<String>,
 }
 
 impl ObjectiveRecord {
@@ -67,7 +76,24 @@ impl ObjectiveRecord {
             baseline: field("Baseline"),
             deadline: field("Deadline"),
             score,
+            ..ObjectiveRecord::default()
         }
+    }
+
+    /// Attaches ingestion provenance (section id/path, block kind, source
+    /// byte range) to a record built by [`from_details`](Self::from_details).
+    pub fn with_provenance(
+        mut self,
+        section_id: &str,
+        section_path: &str,
+        block_kind: &str,
+        byte_range: (usize, usize),
+    ) -> Self {
+        self.section_id = Some(section_id.to_string());
+        self.section_path = Some(section_path.to_string());
+        self.block_kind = Some(block_kind.to_string());
+        self.source_range = Some(format!("{}..{}", byte_range.0, byte_range.1));
+        self
     }
 
     /// Number of non-empty detail fields (specificity indicator; the
@@ -120,6 +146,10 @@ impl ObjectiveStore {
             ("deadline", ColumnType::Text),
             ("deadline_year", ColumnType::Int),
             ("score_milli", ColumnType::Int),
+            ("section_id", ColumnType::Text),
+            ("section_path", ColumnType::Text),
+            ("block_kind", ColumnType::Text),
+            ("source_range", ColumnType::Text),
         ]);
         let mut table = Table::new(schema);
         table.create_hash_index("company");
@@ -155,6 +185,10 @@ impl ObjectiveStore {
             opt(&record.deadline),
             deadline_year,
             Value::Int((record.score * 1000.0).round() as i64),
+            opt(&record.section_id),
+            opt(&record.section_path),
+            opt(&record.block_kind),
+            opt(&record.source_range),
         ];
         let mut inner = self.write();
         if let Some(&id) = inner.by_hash.get(&hash) {
@@ -198,6 +232,10 @@ impl ObjectiveStore {
             baseline: text("baseline"),
             deadline: text("deadline"),
             score: table.get(id, "score_milli").as_int().unwrap_or(0) as f64 / 1000.0,
+            section_id: text("section_id"),
+            section_path: text("section_path"),
+            block_kind: text("block_kind"),
+            source_range: text("source_range"),
         }
     }
 

@@ -69,8 +69,17 @@ impl std::fmt::Debug for Shard {
 /// content hashing, and the codec agree on one canonical form.
 fn normalize(record: &ObjectiveRecord) -> ObjectiveRecord {
     let mut r = record.clone();
-    for field in [&mut r.action, &mut r.amount, &mut r.qualifier, &mut r.baseline, &mut r.deadline]
-    {
+    for field in [
+        &mut r.action,
+        &mut r.amount,
+        &mut r.qualifier,
+        &mut r.baseline,
+        &mut r.deadline,
+        &mut r.section_id,
+        &mut r.section_path,
+        &mut r.block_kind,
+        &mut r.source_range,
+    ] {
         if field.as_deref() == Some("") {
             *field = None;
         }
@@ -80,8 +89,9 @@ fn normalize(record: &ObjectiveRecord) -> ObjectiveRecord {
 
 /// Merges an incoming record into an existing one: identity fields stay,
 /// provenance (document, score) follows the newest observation, and each
-/// detail field keeps its old value unless the incoming record actually
-/// extracted one.
+/// detail or ingestion-provenance field keeps its old value unless the
+/// incoming record actually carries one — so a re-run through the flat
+/// (provenance-less) path never erases where an objective was first found.
 fn merge(existing: &ObjectiveRecord, incoming: &ObjectiveRecord) -> ObjectiveRecord {
     let mut merged = existing.clone();
     merged.document = incoming.document.clone();
@@ -92,6 +102,10 @@ fn merge(existing: &ObjectiveRecord, incoming: &ObjectiveRecord) -> ObjectiveRec
         (&mut merged.qualifier, &incoming.qualifier),
         (&mut merged.baseline, &incoming.baseline),
         (&mut merged.deadline, &incoming.deadline),
+        (&mut merged.section_id, &incoming.section_id),
+        (&mut merged.section_path, &incoming.section_path),
+        (&mut merged.block_kind, &incoming.block_kind),
+        (&mut merged.source_range, &incoming.source_range),
     ] {
         if new.is_some() {
             *slot = new.clone();
@@ -372,7 +386,38 @@ mod tests {
             baseline: None,
             deadline: Some("2030".into()),
             score: 0.75,
+            ..ObjectiveRecord::default()
         }
+    }
+
+    #[test]
+    fn provenance_merges_some_wins_and_survives_flat_rerun() {
+        let (shard, _) = Shard::open(0, None, SyncPolicy::Always, 4).expect("open");
+        let ingested = record("Acme", "Cut emissions 50% by 2030").with_provenance(
+            "00c0ffee00c0ffee",
+            "Report > Climate > Targets",
+            "list_item",
+            (120, 156),
+        );
+        assert_eq!(shard.upsert(&ingested).unwrap(), UpsertOutcome::Inserted);
+        // A flat (provenance-less) re-run of the same objective must not
+        // erase where it was first found.
+        let flat = record("Acme", "Cut emissions 50% by 2030");
+        assert_eq!(shard.upsert(&flat).unwrap(), UpsertOutcome::Unchanged);
+        // A re-ingest that moved the objective updates the provenance.
+        let moved = record("Acme", "Cut emissions 50% by 2030").with_provenance(
+            "00c0ffee00c0ffee",
+            "Report > Climate > Targets",
+            "list_item",
+            (130, 166),
+        );
+        assert_eq!(shard.upsert(&moved).unwrap(), UpsertOutcome::Updated);
+        let view = shard.cell().load();
+        let mut got = None;
+        view.for_company("Acme", |s| got = Some(s.record.clone()));
+        let got = got.expect("record");
+        assert_eq!(got.section_path.as_deref(), Some("Report > Climate > Targets"));
+        assert_eq!(got.source_range.as_deref(), Some("130..166"));
     }
 
     #[test]

@@ -281,6 +281,7 @@ mod tests {
             baseline: None,
             deadline: deadline.map(str::to_string),
             score: 0.5,
+            ..ObjectiveRecord::default()
         }
     }
 

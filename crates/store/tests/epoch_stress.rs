@@ -34,6 +34,7 @@ fn record(key: u64, stamp: u32) -> StoredRecord {
         baseline: None,
         deadline: Some(format!("{}", 2026 + (key % 10))),
         score: 0.9,
+        ..ObjectiveRecord::default()
     };
     StoredRecord::new(key, key, stamp, rec)
 }

@@ -13,6 +13,7 @@ mod bpe;
 mod conll;
 mod normalize;
 mod pretokenize;
+mod sentence;
 mod span;
 mod tokenizer;
 mod vocab;
@@ -25,6 +26,7 @@ pub use bpe::Bpe;
 pub use conll::{bioes_to_iob, from_conll, iob_to_bioes, to_conll, BioesTag, ConllSentence};
 pub use normalize::{match_key, Normalizer, NormalizerConfig};
 pub use pretokenize::{lowercased_texts, pretokenize, PreToken};
+pub use sentence::sentence_spans;
 pub use span::Span;
 pub use tokenizer::{Encoding, SubwordModel, Tokenizer};
 pub use vocab::{Vocab, BOS, EOS, MASK, PAD, UNK};

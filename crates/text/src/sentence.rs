@@ -1,0 +1,167 @@
+//! Offset-preserving sentence segmentation.
+//!
+//! [`sentence_spans`] splits a flat text into sentence [`Span`]s without
+//! copying: every span slices the original text on UTF-8 boundaries, so
+//! downstream consumers (detection, extraction, provenance) can always map
+//! a sentence back to its source bytes.
+//!
+//! A boundary is a terminal punctuation run (`.`, `!`, `?`, optionally
+//! followed by closing quotes/brackets) followed by whitespace and then an
+//! uppercase letter, digit, or opening quote/bracket — so decimals
+//! (`50.5%`), abbreviations followed by lowercase (`e.g. emissions`), and
+//! mid-token periods never split. Trailing text without terminal
+//! punctuation forms one final sentence.
+//!
+//! **Known limitation (by design):** the splitter sees only punctuation,
+//! not layout. Flat text that concatenates list items loses the item
+//! boundary whenever a bullet lacks terminal punctuation — "Reduce
+//! emissions 50%\n• Improve recycling." fuses into one sentence. Document
+//! ingestion (`gs-ingest`) therefore segments *per block*, where list-item
+//! boundaries are structural, not punctuational; the fused behavior here
+//! is pinned by `fuses_across_unpunctuated_list_items_in_flat_text`.
+
+use crate::span::Span;
+
+/// Closing characters that may trail terminal punctuation.
+fn is_closer(c: char) -> bool {
+    matches!(c, '"' | '\'' | ')' | ']' | '\u{201d}' | '\u{2019}')
+}
+
+/// Characters that can start a new sentence after a boundary.
+fn starts_sentence(c: char) -> bool {
+    c.is_uppercase()
+        || c.is_ascii_digit()
+        || matches!(c, '"' | '\'' | '(' | '[' | '\u{201c}' | '\u{2018}' | '\u{2022}' | '-' | '*')
+}
+
+/// Splits `text` into trimmed, non-empty sentence spans covering the
+/// original bytes. Offsets always lie on UTF-8 character boundaries;
+/// `span.slice(text)` never panics for a returned span.
+pub fn sentence_spans(text: &str) -> Vec<Span> {
+    let mut out = Vec::new();
+    let mut start: Option<usize> = None;
+    let mut chars = text.char_indices().peekable();
+    while let Some((i, c)) = chars.next() {
+        if start.is_none() {
+            if c.is_whitespace() {
+                continue;
+            }
+            start = Some(i);
+        }
+        if !matches!(c, '.' | '!' | '?') {
+            continue;
+        }
+        // Absorb a run of terminal punctuation and trailing closers, then
+        // decide whether what follows opens a new sentence.
+        let mut end = i + c.len_utf8();
+        while let Some(&(j, c2)) = chars.peek() {
+            if matches!(c2, '.' | '!' | '?') || is_closer(c2) {
+                end = j + c2.len_utf8();
+                chars.next();
+            } else {
+                break;
+            }
+        }
+        let rest = &text[end..];
+        let mut rest_chars = rest.chars();
+        let boundary = match rest_chars.next() {
+            None => true,
+            Some(ws) if ws.is_whitespace() => {
+                match rest.trim_start().chars().next() {
+                    // Whitespace to end-of-text closes the sentence too.
+                    None => true,
+                    Some(next) => starts_sentence(next),
+                }
+            }
+            Some(_) => false,
+        };
+        if boundary {
+            push_trimmed(&mut out, text, start.take().unwrap_or(i), end);
+        }
+    }
+    if let Some(s) = start {
+        push_trimmed(&mut out, text, s, text.len());
+    }
+    out
+}
+
+/// Pushes `[start, end)` shrunk to its non-whitespace extent, if any.
+fn push_trimmed(out: &mut Vec<Span>, text: &str, start: usize, end: usize) {
+    let slice = &text[start..end];
+    let trimmed = slice.trim_end();
+    if trimmed.is_empty() {
+        return;
+    }
+    let lead = slice.len() - slice.trim_start().len();
+    out.push(Span::new(start + lead, start + trimmed.len()));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(s: &str) -> Vec<&str> {
+        sentence_spans(s).iter().map(|sp| sp.slice(s)).collect()
+    }
+
+    #[test]
+    fn splits_on_terminal_punctuation_before_uppercase() {
+        assert_eq!(
+            texts("Reduce emissions by 50% by 2030. Improve recycling rates."),
+            vec!["Reduce emissions by 50% by 2030.", "Improve recycling rates."]
+        );
+    }
+
+    #[test]
+    fn decimals_and_lowercase_abbreviations_do_not_split() {
+        assert_eq!(
+            texts("Cut usage by 12.5% vs. the baseline."),
+            vec!["Cut usage by 12.5% vs. the baseline."]
+        );
+        assert_eq!(
+            texts("Targets cover e.g. emissions and waste."),
+            vec!["Targets cover e.g. emissions and waste."]
+        );
+    }
+
+    #[test]
+    fn trailing_text_without_punctuation_is_one_sentence() {
+        assert_eq!(texts("Reduce emissions 50%"), vec!["Reduce emissions 50%"]);
+    }
+
+    /// The regression the ingest path exists to avoid: in flat text, a
+    /// bullet without terminal punctuation fuses with the next item. The
+    /// ingest layer segments per block so this cannot happen there (see
+    /// `crates/ingest`); here the flat-text behavior is pinned.
+    #[test]
+    fn fuses_across_unpunctuated_list_items_in_flat_text() {
+        let flat = "Reduce emissions 50%\nImprove recycling rates.";
+        assert_eq!(texts(flat), vec!["Reduce emissions 50%\nImprove recycling rates."]);
+    }
+
+    #[test]
+    fn offsets_are_utf8_safe_on_multibyte_text() {
+        let s = "Curb CO\u{2082} by 30%. R\u{e9}duire \u{201c}more\u{201d}! Done";
+        let spans = sentence_spans(s);
+        // Every span slices without panicking and round-trips its bytes.
+        for sp in &spans {
+            assert!(!sp.slice(s).is_empty());
+        }
+        assert_eq!(spans.len(), 3, "{:?}", texts(s));
+    }
+
+    #[test]
+    fn quotes_and_closers_stay_with_their_sentence() {
+        assert_eq!(
+            texts("He said \"done.\" Next goal follows."),
+            vec!["He said \"done.\"", "Next goal follows."]
+        );
+    }
+
+    #[test]
+    fn empty_and_whitespace_inputs_yield_nothing() {
+        assert!(sentence_spans("").is_empty());
+        assert!(sentence_spans("  \n\t  ").is_empty());
+        assert_eq!(texts("..."), vec!["..."]);
+    }
+}

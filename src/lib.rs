@@ -13,6 +13,8 @@
 //! - [`data`]: synthetic Sustainability Goals / NetZeroFacts / deployment
 //!   corpora.
 //! - [`eval`]: the paper's P/R/F1 protocol, timing, table rendering.
+//! - [`ingest`]: full-report parsing — section trees with stable ids,
+//!   pipe-table cell extraction, offset-preserving sentence units.
 //! - [`store`]: the structured objective database.
 //! - [`pipeline`]: the end-to-end GoalSpotter system.
 //! - [`serve`]: the std-only HTTP extraction service with micro-batching.
@@ -32,6 +34,7 @@ pub use gs_check as check;
 pub use gs_core as core;
 pub use gs_data as data;
 pub use gs_eval as eval;
+pub use gs_ingest as ingest;
 pub use gs_models as models;
 pub use gs_obs as obs;
 pub use gs_par as par;

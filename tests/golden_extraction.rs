@@ -13,7 +13,9 @@
 
 use goalspotter::core::MultiSpanPolicy;
 use goalspotter::models::transformer::{ModelFamily, TransformerConfig, TransformerExtractor};
-use goalspotter::models::DetailExtractor;
+use goalspotter::models::{DetailExtractor, LinearDetector};
+use goalspotter::pipeline::{ingest_report_text, ingest_snapshot, GoalSpotter};
+use goalspotter::store::ObjectiveStore;
 use goalspotter::text::labels::LabelSet;
 use goalspotter::text::{Normalizer, Tokenizer};
 use std::path::{Path, PathBuf};
@@ -95,6 +97,52 @@ fn frozen_checkpoint_extracts_the_golden_spans() {
             }
         });
     }
+}
+
+/// The frozen full system: detector from `detector.txt` (never retrained
+/// — training shuffles with an RNG; loading is RNG-free), extractor from
+/// the shared extraction fixture.
+fn load_golden_spotter() -> GoalSpotter {
+    let text = std::fs::read_to_string(fixture_dir().join("detector.txt")).expect("detector.txt");
+    let detector = LinearDetector::load_text(&text).expect("parse frozen detector");
+    GoalSpotter::from_parts(detector, load_golden_extractor(), 0.5)
+}
+
+/// Full-report golden ingest: `report.txt` flows through
+/// parse → detect → extract → store, and the run's snapshot (section
+/// tree, stats, every objective with score bits and provenance) must be
+/// byte-identical to `ingest_expected.txt` — at 1 and at 4 pool threads,
+/// and the store contents must also be bit-identical across pool sizes
+/// and idempotent under re-ingestion.
+#[test]
+fn frozen_ingest_pipeline_reproduces_the_golden_snapshot() {
+    let gs = load_golden_spotter();
+    let report = std::fs::read_to_string(fixture_dir().join("report.txt")).expect("report.txt");
+    let want =
+        std::fs::read_to_string(fixture_dir().join("ingest_expected.txt")).expect("expected");
+
+    let mut exports = Vec::new();
+    for threads in [1usize, 4] {
+        gs_par::with_threads(threads, || {
+            let store = ObjectiveStore::new();
+            let (stats, objectives) =
+                ingest_report_text(&gs, "Golden Corp", "golden-report", &report, &store);
+            let doc = goalspotter::ingest::parse(&report);
+            let got = ingest_snapshot(&doc, &stats, &objectives);
+            assert_eq!(got, want, "golden ingest snapshot drifted at {threads} threads");
+            assert!(stats.detected > 0, "frozen system must detect something");
+
+            let before = store.export_json();
+            let (again, _) =
+                ingest_report_text(&gs, "Golden Corp", "golden-report", &report, &store);
+            assert_eq!(again.inserted, 0, "re-ingest must not insert");
+            assert_eq!(again.unchanged, again.detected);
+            assert_eq!(store.export_json(), before, "re-ingest must leave the store untouched");
+            exports.push(before);
+        });
+    }
+    assert_eq!(exports[0], exports[1], "store contents must not depend on pool size");
+    assert!(exports[0].contains("section_path"), "stored records carry provenance");
 }
 
 #[test]
